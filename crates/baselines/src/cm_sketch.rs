@@ -1,0 +1,207 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan, 2005) with a min-heap —
+//! the paper's canonical *count-all* strategy (Section II-B).
+//!
+//! `d` arrays of `w` counters each; a packet increments one counter per
+//! array; the estimate is the minimum of the `d` counters. Every counter
+//! is shared by many flows, so estimates only over-estimate — a mouse
+//! whose counters are all shared with elephants looks like an elephant,
+//! which is exactly the failure mode the paper's Figures 4–19 expose
+//! under tight memory.
+
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::hash::HashFamily;
+use hk_common::key::FlowKey;
+use hk_common::topk::MinHeapTopK;
+
+/// Bytes per Count-Min counter (32-bit, as in the paper's comparison).
+pub const COUNTER_BYTES: usize = 4;
+
+/// Count-Min sketch + min-heap top-k.
+///
+/// # Examples
+///
+/// ```
+/// use hk_baselines::CmSketchTopK;
+/// use hk_common::TopKAlgorithm;
+/// let mut cm = CmSketchTopK::<u64>::new(3, 1024, 10, 7);
+/// for _ in 0..100 { cm.insert(&5); }
+/// assert!(cm.query(&5) >= 100, "CM never under-estimates");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmSketchTopK<K: FlowKey> {
+    counters: Vec<Vec<u32>>,
+    hashers: Vec<hk_common::hash::SeededHasher>,
+    heap: MinHeapTopK<K>,
+    width: usize,
+}
+
+impl<K: FlowKey> CmSketchTopK<K> {
+    /// Creates a CM sketch with `d` arrays of `w` counters, a top-`k`
+    /// heap, and the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `w == 0` or `k == 0`.
+    pub fn new(d: usize, w: usize, k: usize, seed: u64) -> Self {
+        assert!(d > 0 && w > 0 && k > 0, "d, w and k must be positive");
+        let family = HashFamily::new(seed);
+        Self {
+            counters: vec![vec![0u32; w]; d],
+            hashers: (0..d).map(|j| family.hasher(j)).collect(),
+            heap: MinHeapTopK::new(k),
+            width: w,
+        }
+    }
+
+    /// Builds from a total memory budget with the paper's setup: 3
+    /// arrays, heap of size `k` charged separately.
+    pub fn with_memory(bytes: usize, k: usize, seed: u64) -> Self {
+        let heap_bytes = k * (K::ENCODED_LEN + 4);
+        let sketch_bytes = bytes.saturating_sub(heap_bytes).max(COUNTER_BYTES * 3);
+        let w = (sketch_bytes / (3 * COUNTER_BYTES)).max(1);
+        Self::new(3, w, k, seed)
+    }
+
+    /// Raw sketch estimate (min over the `d` counters), without heap
+    /// interaction — used by the throughput benches, matching the
+    /// paper's note that heap operations are skipped when timing CM.
+    pub fn estimate(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        let bytes = kb.as_slice();
+        self.counters
+            .iter()
+            .zip(&self.hashers)
+            .map(|(row, h)| row[h.index(bytes, self.width)] as u64)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Increments the sketch without touching the heap.
+    pub fn record(&mut self, key: &K) {
+        let kb = key.key_bytes();
+        let bytes = kb.as_slice();
+        for (row, h) in self.counters.iter_mut().zip(&self.hashers) {
+            let i = h.index(bytes, self.width);
+            row[i] = row[i].saturating_add(1);
+        }
+    }
+
+    /// Per-array width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of arrays `d`.
+    pub fn depth(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for CmSketchTopK<K> {
+    fn insert(&mut self, key: &K) {
+        self.record(key);
+        let est = self.estimate(key);
+        // Count-all heap discipline (Section II-B): replace the minimum
+        // when the sketch estimate exceeds it.
+        if self.heap.contains(key) {
+            if est > self.heap.count(key).unwrap_or(0) {
+                self.heap.update(key, est);
+            }
+        } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
+            self.heap.offer(key.clone(), est);
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        self.estimate(key)
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.heap.sorted_desc()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.counters.len() * self.width * COUNTER_BYTES
+            + self.heap.capacity() * (K::ENCODED_LEN + 4)
+    }
+
+    fn name(&self) -> &'static str {
+        "CMSketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_without_collisions() {
+        let mut cm = CmSketchTopK::<u64>::new(3, 4096, 5, 1);
+        for f in 0..5u64 {
+            for _ in 0..(f + 1) * 10 {
+                cm.insert(&f);
+            }
+        }
+        // With 4096-wide arrays and 5 flows, collisions are unlikely.
+        for f in 0..5u64 {
+            assert_eq!(cm.query(&f), (f + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CmSketchTopK::<u64>::new(3, 32, 8, 2);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 11u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = state % 500;
+            cm.insert(&f);
+            *truth.entry(f).or_insert(0) += 1;
+            assert!(cm.query(&f) >= truth[&f]);
+        }
+    }
+
+    #[test]
+    fn shared_counters_inflate_small_flows() {
+        // Tiny sketch: one array position shared by everything.
+        let mut cm = CmSketchTopK::<u64>::new(1, 1, 2, 3);
+        for _ in 0..1000 {
+            cm.insert(&1);
+        }
+        cm.insert(&2);
+        assert!(cm.query(&2) >= 1000, "mouse rides the elephant's counter");
+    }
+
+    #[test]
+    fn top_k_finds_elephants_with_ample_memory() {
+        let mut cm = CmSketchTopK::<u64>::new(3, 8192, 5, 4);
+        for round in 0..200u64 {
+            for e in 0..5u64 {
+                cm.insert(&e);
+            }
+            cm.insert(&(100 + round));
+        }
+        let top: Vec<u64> = cm.top_k().into_iter().map(|(k, _)| k).collect();
+        let hits = top.iter().filter(|&&f| f < 5).count();
+        assert_eq!(hits, 5);
+    }
+
+    #[test]
+    fn with_memory_accounting() {
+        let cm = CmSketchTopK::<u64>::with_memory(10_000, 100, 5);
+        assert!(cm.memory_bytes() <= 10_000);
+        assert_eq!(cm.depth(), 3);
+    }
+
+    #[test]
+    fn record_does_not_touch_heap() {
+        let mut cm = CmSketchTopK::<u64>::new(2, 64, 4, 6);
+        cm.record(&9);
+        assert!(cm.top_k().is_empty());
+        assert_eq!(cm.query(&9), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! The Count sketch (Charikar, Chen, Farach-Colton — ICALP 2002).
+//!
+//! Like Count-Min but each flow also gets a ±1 sign per array, and the
+//! estimate is the *median* of the signed counters instead of the
+//! minimum. Collisions therefore cancel in expectation: the estimator is
+//! unbiased but two-sided (it can under- *or* over-estimate), unlike
+//! CM's one-sided over-estimation. The paper cites it as the other
+//! classic count-all sketch (Section II-B).
+
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::hash::HashFamily;
+use hk_common::key::FlowKey;
+use hk_common::topk::MinHeapTopK;
+
+/// Bytes per Count-sketch counter (signed 32-bit).
+pub const COUNTER_BYTES: usize = 4;
+
+/// Count sketch + min-heap top-k.
+///
+/// # Examples
+///
+/// ```
+/// use hk_baselines::CountSketchTopK;
+/// use hk_common::TopKAlgorithm;
+/// let mut cs = CountSketchTopK::<u64>::new(3, 1024, 10, 7);
+/// for _ in 0..100 { cs.insert(&5); }
+/// let est = cs.query(&5);
+/// assert!(est >= 90 && est <= 110, "median estimator is near-exact here");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSketchTopK<K: FlowKey> {
+    counters: Vec<Vec<i64>>,
+    index_hashers: Vec<hk_common::hash::SeededHasher>,
+    sign_hashers: Vec<hk_common::hash::SeededHasher>,
+    heap: MinHeapTopK<K>,
+    width: usize,
+}
+
+impl<K: FlowKey> CountSketchTopK<K> {
+    /// Creates a Count sketch with `d` arrays of `w` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `w == 0` or `k == 0`.
+    pub fn new(d: usize, w: usize, k: usize, seed: u64) -> Self {
+        assert!(d > 0 && w > 0 && k > 0, "d, w and k must be positive");
+        let family = HashFamily::new(seed);
+        Self {
+            counters: vec![vec![0i64; w]; d],
+            index_hashers: (0..d).map(|j| family.hasher(2 * j)).collect(),
+            sign_hashers: (0..d).map(|j| family.hasher(2 * j + 1)).collect(),
+            heap: MinHeapTopK::new(k),
+            width: w,
+        }
+    }
+
+    /// Builds from a memory budget: 3 arrays, heap charged separately.
+    pub fn with_memory(bytes: usize, k: usize, seed: u64) -> Self {
+        let heap_bytes = k * (K::ENCODED_LEN + 4);
+        let sketch_bytes = bytes.saturating_sub(heap_bytes).max(COUNTER_BYTES * 3);
+        let w = (sketch_bytes / (3 * COUNTER_BYTES)).max(1);
+        Self::new(3, w, k, seed)
+    }
+
+    fn signed_values(&self, key: &K) -> Vec<i64> {
+        let kb = key.key_bytes();
+        let bytes = kb.as_slice();
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(j, row)| {
+                let i = self.index_hashers[j].index(bytes, self.width);
+                let sign = if self.sign_hashers[j].hash(bytes) & 1 == 0 { 1 } else { -1 };
+                row[i] * sign
+            })
+            .collect()
+    }
+
+    /// The raw (possibly negative) median estimate.
+    pub fn signed_estimate(&self, key: &K) -> i64 {
+        let mut vals = self.signed_values(key);
+        vals.sort_unstable();
+        vals[vals.len() / 2]
+    }
+
+    /// The median estimate, floored at 0 (packet counts are
+    /// non-negative).
+    pub fn estimate(&self, key: &K) -> u64 {
+        self.signed_estimate(key).max(0) as u64
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for CountSketchTopK<K> {
+    fn insert(&mut self, key: &K) {
+        let kb = key.key_bytes();
+        let bytes = kb.as_slice();
+        for j in 0..self.counters.len() {
+            let i = self.index_hashers[j].index(bytes, self.width);
+            let sign = if self.sign_hashers[j].hash(bytes) & 1 == 0 { 1 } else { -1 };
+            self.counters[j][i] += sign;
+        }
+        let est = self.estimate(key);
+        if self.heap.contains(key) {
+            if est > self.heap.count(key).unwrap_or(0) {
+                self.heap.update(key, est);
+            }
+        } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
+            if est > 0 {
+                self.heap.offer(key.clone(), est);
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        self.estimate(key)
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.heap.sorted_desc()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.counters.len() * self.width * COUNTER_BYTES
+            + self.heap.capacity() * (K::ENCODED_LEN + 4)
+    }
+
+    fn name(&self) -> &'static str {
+        "CountSketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_without_collisions() {
+        let mut cs = CountSketchTopK::<u64>::new(3, 4096, 5, 1);
+        for f in 0..5u64 {
+            for _ in 0..(f + 1) * 10 {
+                cs.insert(&f);
+            }
+        }
+        for f in 0..5u64 {
+            assert_eq!(cs.query(&f), (f + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn estimator_is_two_sided_but_centered() {
+        // With heavy collision pressure, the average signed error should
+        // be near zero (unbiased), unlike CM.
+        let mut cs = CountSketchTopK::<u64>::new(3, 64, 8, 2);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 13u64;
+        for _ in 0..30_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = state % 1000;
+            cs.insert(&f);
+            *truth.entry(f).or_insert(0u64) += 1;
+        }
+        let mut total_err = 0i64;
+        let mut count = 0i64;
+        for (&f, &t) in &truth {
+            total_err += cs.signed_estimate(&f) - t as i64;
+            count += 1;
+        }
+        let mean_err = total_err as f64 / count as f64;
+        assert!(
+            mean_err.abs() < 15.0,
+            "mean signed error {mean_err} should be near 0"
+        );
+    }
+
+    #[test]
+    fn finds_elephants() {
+        let mut cs = CountSketchTopK::<u64>::new(3, 2048, 5, 3);
+        for round in 0..500u64 {
+            for e in 0..5u64 {
+                cs.insert(&e);
+            }
+            cs.insert(&(100 + round));
+        }
+        let top: Vec<u64> = cs.top_k().into_iter().map(|(k, _)| k).collect();
+        let hits = top.iter().filter(|&&f| f < 5).count();
+        assert!(hits >= 4, "top = {top:?}");
+    }
+
+    #[test]
+    fn memory_budget_respected() {
+        let cs = CountSketchTopK::<u64>::with_memory(8192, 50, 4);
+        assert!(cs.memory_bytes() <= 8192);
+    }
+}

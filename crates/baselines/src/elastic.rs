@@ -1,0 +1,260 @@
+//! The Elastic sketch (Yang et al., SIGCOMM 2018) — heavy/light
+//! separation with vote-based eviction (paper Section VI-E).
+//!
+//! *Heavy part*: a hash table of buckets `(key, vote+, vote−, flag)`.
+//! A packet of the resident flow increments `vote+`; a packet of any
+//! other flow increments `vote−`, and when `vote− / vote+` reaches the
+//! eviction threshold λ = 8 the resident is evicted into the light part
+//! and the newcomer takes the bucket (its `flag` marks that part of its
+//! count lives in the light part).
+//!
+//! *Light part*: a Count-Min sketch of 8-bit saturating counters that
+//! absorbs evicted counts and non-resident packets.
+//!
+//! Top-k is read from the heavy part, adding the light-part share for
+//! flagged buckets. The paper finds Elastic slightly worse than
+//! HeavyKeeper for top-k because it is a general-purpose structure; our
+//! Figures 20–22 reproduce that ordering.
+
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::hash::HashFamily;
+use hk_common::key::FlowKey;
+
+/// Eviction threshold λ from the Elastic sketch paper.
+pub const LAMBDA: u64 = 8;
+
+/// Fraction of the memory budget given to the heavy part.
+pub const HEAVY_FRACTION: f64 = 0.75;
+
+#[derive(Debug, Clone)]
+struct HeavyBucket<K> {
+    key: Option<K>,
+    vote_pos: u64,
+    vote_neg: u64,
+    flag: bool,
+}
+
+impl<K> Default for HeavyBucket<K> {
+    fn default() -> Self {
+        Self { key: None, vote_pos: 0, vote_neg: 0, flag: false }
+    }
+}
+
+/// Elastic sketch top-k.
+///
+/// # Examples
+///
+/// ```
+/// use hk_baselines::ElasticTopK;
+/// use hk_common::TopKAlgorithm;
+/// let mut es = ElasticTopK::<u64>::new(64, 512, 8, 7);
+/// for _ in 0..100 { es.insert(&3); }
+/// assert!(es.query(&3) > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticTopK<K: FlowKey> {
+    heavy: Vec<HeavyBucket<K>>,
+    light: Vec<u8>,
+    heavy_hasher: hk_common::hash::SeededHasher,
+    light_hashers: [hk_common::hash::SeededHasher; 2],
+    k: usize,
+}
+
+impl<K: FlowKey> ElasticTopK<K> {
+    /// Creates an Elastic sketch with `heavy_buckets` heavy entries and
+    /// `light_counters` 8-bit light counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    pub fn new(heavy_buckets: usize, light_counters: usize, k: usize, seed: u64) -> Self {
+        assert!(heavy_buckets > 0 && light_counters > 0 && k > 0, "sizes must be positive");
+        let family = HashFamily::new(seed);
+        Self {
+            heavy: (0..heavy_buckets).map(|_| HeavyBucket::default()).collect(),
+            light: vec![0u8; light_counters],
+            heavy_hasher: family.hasher(0),
+            light_hashers: [family.hasher(1), family.hasher(2)],
+            k,
+        }
+    }
+
+    /// Builds from a total memory budget: 75% heavy / 25% light, heavy
+    /// buckets charged ID + 9 bytes (two votes + flag).
+    pub fn with_memory(bytes: usize, k: usize, seed: u64) -> Self {
+        let heavy_bytes = (bytes as f64 * HEAVY_FRACTION) as usize;
+        let bucket_cost = Self::heavy_bucket_bytes();
+        let hb = (heavy_bytes / bucket_cost).max(1);
+        let lc = (bytes - hb * bucket_cost).max(1);
+        Self::new(hb, lc, k, seed)
+    }
+
+    const fn heavy_bucket_bytes() -> usize {
+        K::ENCODED_LEN + 4 + 4 + 1
+    }
+
+    fn light_add(&mut self, key_bytes: &[u8], amount: u64) {
+        let w = self.light.len();
+        for h in &self.light_hashers {
+            let i = h.index(key_bytes, w);
+            self.light[i] = self.light[i].saturating_add(amount.min(255) as u8);
+        }
+    }
+
+    fn light_query(&self, key_bytes: &[u8]) -> u64 {
+        let w = self.light.len();
+        self.light_hashers
+            .iter()
+            .map(|h| self.light[h.index(key_bytes, w)] as u64)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Number of heavy buckets.
+    pub fn heavy_buckets(&self) -> usize {
+        self.heavy.len()
+    }
+
+    fn estimate_with(&self, b: &HeavyBucket<K>, key_bytes: &[u8]) -> u64 {
+        b.vote_pos + if b.flag { self.light_query(key_bytes) } else { 0 }
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for ElasticTopK<K> {
+    fn insert(&mut self, key: &K) {
+        let kb = key.key_bytes();
+        let bytes = kb.as_slice();
+        let i = self.heavy_hasher.index(bytes, self.heavy.len());
+        let bucket = &mut self.heavy[i];
+        match &bucket.key {
+            None => {
+                bucket.key = Some(key.clone());
+                bucket.vote_pos = 1;
+                bucket.vote_neg = 0;
+                bucket.flag = false;
+            }
+            Some(res) if res == key => {
+                bucket.vote_pos += 1;
+            }
+            Some(_) => {
+                bucket.vote_neg += 1;
+                if bucket.vote_neg >= LAMBDA * bucket.vote_pos {
+                    // Evict the resident into the light part.
+                    let old_key = bucket.key.take().expect("occupied bucket");
+                    let old_votes = bucket.vote_pos;
+                    bucket.key = Some(key.clone());
+                    bucket.vote_pos = 1;
+                    bucket.vote_neg = 0;
+                    // The newcomer had earlier packets counted as votes
+                    // against / in light; flag its count as split.
+                    bucket.flag = true;
+                    let old_kb = old_key.key_bytes();
+                    self.light_add(old_kb.as_slice(), old_votes);
+                } else {
+                    // Non-resident packet is absorbed by the light part.
+                    self.light_add(bytes, 1);
+                }
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        let bytes = kb.as_slice();
+        let i = self.heavy_hasher.index(bytes, self.heavy.len());
+        let b = &self.heavy[i];
+        if b.key.as_ref() == Some(key) {
+            self.estimate_with(b, bytes)
+        } else {
+            self.light_query(bytes)
+        }
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = self
+            .heavy
+            .iter()
+            .filter_map(|b| {
+                b.key.as_ref().map(|k| {
+                    let kb = k.key_bytes();
+                    (k.clone(), self.estimate_with(b, kb.as_slice()))
+                })
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.truncate(self.k);
+        v
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.heavy.len() * Self::heavy_bucket_bytes() + self.light.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Elastic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_flow_counts_exactly() {
+        let mut es = ElasticTopK::<u64>::new(64, 256, 4, 1);
+        for _ in 0..100 {
+            es.insert(&1);
+        }
+        assert_eq!(es.query(&1), 100);
+    }
+
+    #[test]
+    fn vote_eviction_replaces_weak_resident() {
+        let mut es = ElasticTopK::<u64>::new(1, 64, 2, 2);
+        // Resident with 2 packets.
+        es.insert(&1);
+        es.insert(&1);
+        // 16+ foreign packets (λ·vote+ = 16) force eviction.
+        for _ in 0..20 {
+            es.insert(&2);
+        }
+        let top = es.top_k();
+        assert_eq!(top[0].0, 2, "strong newcomer must take the bucket");
+        // The old resident's count lives on in the light part.
+        assert!(es.query(&1) >= 2);
+    }
+
+    #[test]
+    fn elephants_dominate_topk() {
+        let mut es = ElasticTopK::<u64>::new(128, 1024, 5, 3);
+        for round in 0..1000u64 {
+            for e in 0..5u64 {
+                es.insert(&e);
+            }
+            es.insert(&(100 + round));
+        }
+        let top: Vec<u64> = es.top_k().into_iter().map(|(k, _)| k).collect();
+        let hits = top.iter().filter(|&&f| f < 5).count();
+        assert!(hits >= 4, "top = {top:?}");
+    }
+
+    #[test]
+    fn light_part_saturates_not_wraps() {
+        let mut es = ElasticTopK::<u64>::new(1, 8, 2, 4);
+        es.insert(&1);
+        // Push far more than 255 foreign packets through the bucket.
+        for _ in 0..5000 {
+            es.insert(&2);
+        }
+        // The 8-bit light counters must not wrap to small values.
+        assert!(es.query(&1) <= 255 + 1);
+    }
+
+    #[test]
+    fn memory_split_roughly_75_25() {
+        let es = ElasticTopK::<u64>::with_memory(10_000, 10, 5);
+        let heavy_bytes = es.heavy_buckets() * (8 + 9);
+        assert!(heavy_bytes as f64 > 0.6 * 10_000.0);
+        assert!(es.memory_bytes() <= 10_000);
+    }
+}

@@ -1,0 +1,227 @@
+//! HeavyGuardian (Yang, Gong, Zhang, Zou, Shi, Li — KDD 2018).
+//!
+//! The algorithm whose *exponential decay* strategy HeavyKeeper adapts
+//! (Section I-B). HeavyGuardian hashes every flow to **one** bucket; a
+//! bucket holds `G` heavy cells of `(flow, count)`. A packet increments
+//! its flow's cell, takes an empty cell, or applies exponential decay
+//! (`b^{-C}`) to the *weakest* cell, replacing it on reaching zero.
+//!
+//! Differences from HeavyKeeper that the paper calls out: a single hash
+//! table (so it "cannot scale" across arrays), multi-cell buckets, and a
+//! general-purpose design (frequency estimation, heavy hitters, entropy
+//! …) rather than a dedicated top-k algorithm. The paper does not
+//! benchmark against it; we include it for the ablation story — it is
+//! the closest ancestor design point.
+//!
+//! Cells store full flow IDs (HeavyGuardian's heavy part does) and are
+//! charged accordingly.
+
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::hash::HashFamily;
+use hk_common::key::FlowKey;
+use hk_common::prng::XorShift64;
+
+/// Cells per bucket (the HeavyGuardian paper's default heavy-part size).
+pub const CELLS_PER_BUCKET: usize = 8;
+
+/// Decay base, shared with HeavyKeeper's default.
+pub const DECAY_BASE: f64 = 1.08;
+
+#[derive(Debug, Clone)]
+struct Cell<K> {
+    key: Option<K>,
+    count: u64,
+}
+
+impl<K> Default for Cell<K> {
+    fn default() -> Self {
+        Self { key: None, count: 0 }
+    }
+}
+
+/// HeavyGuardian top-k.
+///
+/// # Examples
+///
+/// ```
+/// use hk_baselines::HeavyGuardianTopK;
+/// use hk_common::TopKAlgorithm;
+/// let mut hg = HeavyGuardianTopK::<u64>::new(64, 8, 7);
+/// for _ in 0..100 { hg.insert(&3); }
+/// assert!(hg.query(&3) <= 100, "decay never over-estimates");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeavyGuardianTopK<K: FlowKey> {
+    buckets: Vec<Vec<Cell<K>>>,
+    hasher: hk_common::hash::SeededHasher,
+    rng: XorShift64,
+    k: usize,
+}
+
+impl<K: FlowKey> HeavyGuardianTopK<K> {
+    /// Creates a table of `buckets` buckets with
+    /// [`CELLS_PER_BUCKET`] cells each, reporting top `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `k == 0`.
+    pub fn new(buckets: usize, k: usize, seed: u64) -> Self {
+        assert!(buckets > 0 && k > 0, "sizes must be positive");
+        let family = HashFamily::new(seed);
+        Self {
+            buckets: (0..buckets)
+                .map(|_| (0..CELLS_PER_BUCKET).map(|_| Cell::default()).collect())
+                .collect(),
+            hasher: family.hasher(0),
+            rng: XorShift64::new(seed ^ 0x9D),
+            k,
+        }
+    }
+
+    /// Builds from a total memory budget: each cell costs ID + 4 bytes.
+    pub fn with_memory(bytes: usize, k: usize, seed: u64) -> Self {
+        let bucket_cost = CELLS_PER_BUCKET * (K::ENCODED_LEN + 4);
+        let buckets = (bytes / bucket_cost).max(1);
+        Self::new(buckets, k, seed)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for HeavyGuardianTopK<K> {
+    fn insert(&mut self, key: &K) {
+        let kb = key.key_bytes();
+        let i = self.hasher.index(kb.as_slice(), self.buckets.len());
+        let bucket = &mut self.buckets[i];
+
+        // Matching cell?
+        if let Some(cell) = bucket.iter_mut().find(|c| c.key.as_ref() == Some(key)) {
+            cell.count += 1;
+            return;
+        }
+        // Empty cell?
+        if let Some(cell) = bucket.iter_mut().find(|c| c.key.is_none()) {
+            cell.key = Some(key.clone());
+            cell.count = 1;
+            return;
+        }
+        // Exponential decay on the weakest cell.
+        let weakest = bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(j, _)| j)
+            .expect("bucket has cells");
+        let c = bucket[weakest].count;
+        let p = DECAY_BASE.powf(-(c as f64));
+        if self.rng.bernoulli(p) {
+            let cell = &mut bucket[weakest];
+            cell.count -= 1;
+            if cell.count == 0 {
+                cell.key = Some(key.clone());
+                cell.count = 1;
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        let i = self.hasher.index(kb.as_slice(), self.buckets.len());
+        self.buckets[i]
+            .iter()
+            .find(|c| c.key.as_ref() == Some(key))
+            .map(|c| c.count)
+            .unwrap_or(0)
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .filter_map(|c| c.key.as_ref().map(|k| (k.clone(), c.count)))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.truncate(self.k);
+        v
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.buckets.len() * CELLS_PER_BUCKET * (K::ENCODED_LEN + 4)
+    }
+
+    fn name(&self) -> &'static str {
+        "HeavyGuardian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly_without_contention() {
+        let mut hg = HeavyGuardianTopK::<u64>::new(64, 4, 1);
+        for _ in 0..100 {
+            hg.insert(&1);
+        }
+        assert_eq!(hg.query(&1), 100);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut hg = HeavyGuardianTopK::<u64>::new(4, 8, 2);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 23u64;
+        for _ in 0..30_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 2 == 0 { state % 8 } else { state % 2048 };
+            hg.insert(&f);
+            *truth.entry(f).or_insert(0u64) += 1;
+            assert!(hg.query(&f) <= truth[&f]);
+        }
+    }
+
+    #[test]
+    fn eight_elephants_share_one_bucket() {
+        // All flows forced into one bucket: the 8 cells hold the 8
+        // largest flows, mice decay away.
+        let mut hg = HeavyGuardianTopK::<u64>::new(1, 8, 3);
+        for round in 0..2000u64 {
+            for e in 0..8u64 {
+                hg.insert(&e);
+            }
+            hg.insert(&(100 + round));
+        }
+        let top: Vec<u64> = hg.top_k().into_iter().map(|(k, _)| k).collect();
+        let hits = top.iter().filter(|&&f| f < 8).count();
+        assert!(hits >= 7, "top = {top:?}");
+    }
+
+    #[test]
+    fn decay_replaces_weakest() {
+        let mut hg = HeavyGuardianTopK::<u64>::new(1, 8, 4);
+        // Fill all 8 cells with singletons, then hammer a new elephant:
+        // it must eventually displace a weak cell.
+        for f in 0..8u64 {
+            hg.insert(&f);
+        }
+        for _ in 0..1000 {
+            hg.insert(&99);
+        }
+        assert!(hg.query(&99) > 500, "elephant must claim a cell");
+    }
+
+    #[test]
+    fn with_memory_budget() {
+        let hg = HeavyGuardianTopK::<u64>::with_memory(9_600, 10, 5);
+        // Bucket cost: 8 cells x 12 bytes = 96 → 100 buckets.
+        assert_eq!(hg.buckets(), 100);
+        assert_eq!(hg.memory_bytes(), 9_600);
+    }
+}

@@ -1,0 +1,55 @@
+//! Baseline top-k algorithms for the HeavyKeeper evaluation.
+//!
+//! Every algorithm the paper compares against, implemented from scratch
+//! behind the common [`hk_common::TopKAlgorithm`] trait:
+//!
+//! **Count-all strategy** (sketch for *all* flows + top-k heap):
+//!
+//! * [`cm_sketch`] — the Count-Min sketch (Cormode & Muthukrishnan) with a
+//!   min-heap, the paper's canonical count-all baseline.
+//! * [`count_sketch`] — the Count sketch (Charikar et al.), the signed
+//!   median-estimator variant.
+//! * [`counter_tree`] — Counter Tree (Min & Chen, ToN'17): hierarchical
+//!   shared counters with formula-based estimation (Section VI-E).
+//!
+//! **Admit-all-count-some strategy** (bounded summary, evict minimum):
+//!
+//! * [`space_saving`] — Space-Saving (Metwally et al.) on Stream-Summary.
+//! * [`lossy_counting`] — Lossy Counting (Manku & Motwani).
+//! * [`frequent`] — Frequent / Misra-Gries (Demaine et al.).
+//! * [`css`] — compact Space-Saving (Ben-Basat et al.): Space-Saving with
+//!   fingerprint-compacted entries, so the same memory holds more flows.
+//!
+//! **Recent works** (Section VI-E):
+//!
+//! * [`elastic`] — the Elastic sketch's heavy part (vote-based eviction)
+//!   with a byte-counter light part.
+//! * [`cold_filter`] — Cold Filter: a two-layer CU-sketch filter in front
+//!   of Space-Saving.
+//! * [`heavy_guardian`] — HeavyGuardian (Yang et al., KDD'18), the
+//!   exponential-decay ancestor of HeavyKeeper (multi-cell buckets).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cm_sketch;
+pub mod cold_filter;
+pub mod count_sketch;
+pub mod counter_tree;
+pub mod css;
+pub mod elastic;
+pub mod frequent;
+pub mod heavy_guardian;
+pub mod lossy_counting;
+pub mod space_saving;
+
+pub use cm_sketch::CmSketchTopK;
+pub use cold_filter::ColdFilterTopK;
+pub use count_sketch::CountSketchTopK;
+pub use counter_tree::CounterTreeTopK;
+pub use css::CssTopK;
+pub use elastic::ElasticTopK;
+pub use frequent::FrequentTopK;
+pub use heavy_guardian::HeavyGuardianTopK;
+pub use lossy_counting::LossyCountingTopK;
+pub use space_saving::SpaceSavingTopK;

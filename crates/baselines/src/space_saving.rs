@@ -1,0 +1,184 @@
+//! Space-Saving (Metwally, Agrawal, El Abbadi — ICDT 2005).
+//!
+//! The canonical *admit-all-count-some* algorithm (paper Section II-B):
+//! a Stream-Summary of `m` entries; a packet of a monitored flow
+//! increments it; a packet of a new flow *always* enters, replacing the
+//! current minimum and starting from `n̂_min + 1`.
+//!
+//! That unconditional admission is precisely the weakness HeavyKeeper
+//! attacks: every mouse flow that passes through inherits the minimum's
+//! count, so under tight memory the summary churns and sizes are wildly
+//! over-estimated (`n̂ ≥ n` always — the mirror image of HeavyKeeper's
+//! under-estimation-only guarantee; both are asserted in tests).
+
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_common::stream_summary::StreamSummary;
+
+/// Per-entry memory charge in bytes: flow ID + 32-bit counter + the
+/// Stream-Summary linkage overhead (two 32-bit links, as in a compact C
+/// implementation). CSS exists precisely to shrink this.
+pub const fn entry_bytes(id_len: usize) -> usize {
+    id_len + 4 + 8
+}
+
+/// Space-Saving top-k.
+///
+/// # Examples
+///
+/// ```
+/// use hk_baselines::SpaceSavingTopK;
+/// use hk_common::TopKAlgorithm;
+/// let mut ss = SpaceSavingTopK::<u64>::new(100, 10);
+/// for _ in 0..50 { ss.insert(&7); }
+/// assert!(ss.query(&7) >= 50, "Space-Saving never under-estimates");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSavingTopK<K: FlowKey> {
+    summary: StreamSummary<K>,
+    k: usize,
+}
+
+impl<K: FlowKey> SpaceSavingTopK<K> {
+    /// Creates a summary of `m` entries reporting the top `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            summary: StreamSummary::new(m),
+            k,
+        }
+    }
+
+    /// Builds from a total memory budget, like the paper's Section VI-A:
+    /// "the number of buckets m is determined by the memory size".
+    pub fn with_memory(bytes: usize, k: usize) -> Self {
+        let m = (bytes / entry_bytes(K::ENCODED_LEN)).max(1);
+        Self::new(m, k)
+    }
+
+    /// Number of summary entries `m`.
+    pub fn entries(&self) -> usize {
+        self.summary.capacity()
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for SpaceSavingTopK<K> {
+    fn insert(&mut self, key: &K) {
+        if self.summary.contains(key) {
+            self.summary.increment(key, 1);
+        } else if !self.summary.is_full() {
+            self.summary.insert(key.clone(), 1);
+        } else {
+            // Admit-all: expel the minimum, inherit its count + 1.
+            let min = self.summary.min_count().unwrap_or(0);
+            self.summary.evict_min();
+            self.summary.insert(key.clone(), min + 1);
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        self.summary.count(key).unwrap_or(0)
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.summary.top_k(self.k)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.summary.capacity() * entry_bytes(K::ENCODED_LEN)
+    }
+
+    fn name(&self) -> &'static str {
+        "SpaceSaving"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_when_flows_fit() {
+        let mut ss = SpaceSavingTopK::<u64>::new(10, 5);
+        for f in 0..5u64 {
+            for _ in 0..(f + 1) * 10 {
+                ss.insert(&f);
+            }
+        }
+        for f in 0..5u64 {
+            assert_eq!(ss.query(&f), (f + 1) * 10, "no error without eviction");
+        }
+        let top = ss.top_k();
+        assert_eq!(top[0], (4, 50));
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut ss = SpaceSavingTopK::<u64>::new(8, 4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 3u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 2 == 0 { state % 4 } else { state % 512 };
+            ss.insert(&f);
+            *truth.entry(f).or_insert(0) += 1;
+            let q = ss.query(&f);
+            if q > 0 {
+                assert!(q >= truth[&f], "flow {f}: {q} < {}", truth[&f]);
+            }
+        }
+    }
+
+    #[test]
+    fn new_flow_inherits_min_plus_one() {
+        let mut ss = SpaceSavingTopK::<u64>::new(2, 2);
+        for _ in 0..100 {
+            ss.insert(&1);
+        }
+        for _ in 0..50 {
+            ss.insert(&2);
+        }
+        // Summary full: {1:100, 2:50}. A brand-new mouse inherits 51.
+        ss.insert(&3);
+        assert_eq!(ss.query(&3), 51, "the Section II-B over-estimation example");
+        assert_eq!(ss.query(&2), 0, "minimum was expelled");
+    }
+
+    #[test]
+    fn mouse_churn_overestimates_under_tight_memory() {
+        // The paper's core criticism: a parade of distinct mice inflates
+        // counts without bound.
+        let mut ss = SpaceSavingTopK::<u64>::new(4, 4);
+        for m in 0..10_000u64 {
+            ss.insert(&m);
+        }
+        let top = ss.top_k();
+        // Every reported "size" is enormous even though every true size
+        // is exactly 1.
+        assert!(top[0].1 > 1000, "expected massive over-estimation, got {}", top[0].1);
+    }
+
+    #[test]
+    fn with_memory_entry_accounting() {
+        let ss = SpaceSavingTopK::<u64>::with_memory(2000, 10);
+        // 8-byte keys: entry = 8 + 4 + 8 = 20 bytes → 100 entries.
+        assert_eq!(ss.entries(), 100);
+        assert_eq!(ss.memory_bytes(), 2000);
+    }
+
+    #[test]
+    fn top_k_truncates_to_k() {
+        let mut ss = SpaceSavingTopK::<u64>::new(100, 3);
+        for f in 0..50u64 {
+            ss.insert(&f);
+        }
+        assert_eq!(ss.top_k().len(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks for the extension features: weighted
+//! insertion (byte counting), sketch merging, sliding-window insertion,
+//! and the pcap parse path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use heavykeeper::sliding::SlidingTopK;
+use heavykeeper::{HkConfig, MergeMode, ParallelTopK, WeightedTopK};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::packet::{build_frame, parse_ethernet};
+use hk_traffic::synthetic::sampled_zipf;
+
+const MEM: usize = 20 * 1024;
+const K: usize = 100;
+const N: usize = 100_000;
+
+fn workload() -> Vec<u64> {
+    sampled_zipf(N as u64, 50_000, 1.05, 42).packets
+}
+
+fn bench_weighted_insert(c: &mut Criterion) {
+    let packets = workload();
+    // Realistic packet sizes: bimodal ACK/MTU mix keyed off the flow id.
+    let weighted: Vec<(u64, u64)> = packets
+        .iter()
+        .map(|&f| (f, if f % 3 == 0 { 1460 } else { 40 }))
+        .collect();
+    let mut g = c.benchmark_group("weighted_insert");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("unit_weight", |b| {
+        b.iter_batched(
+            || WeightedTopK::<u64>::with_memory(MEM, K, 1),
+            |mut hk| {
+                for &(f, _) in &weighted {
+                    hk.insert_weighted(&f, 1);
+                }
+                hk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("byte_weight", |b| {
+        b.iter_batched(
+            || WeightedTopK::<u64>::with_memory(MEM, K, 1),
+            |mut hk| {
+                for &(f, w) in &weighted {
+                    hk.insert_weighted(&f, w);
+                }
+                hk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // Reference point: the unit-update Parallel version on the same stream.
+    g.bench_function("parallel_reference", |b| {
+        b.iter_batched(
+            || ParallelTopK::<u64>::with_memory(MEM, K, 1),
+            |mut hk| {
+                hk.insert_all(&packets);
+                hk
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let packets = workload();
+    let cfg = HkConfig::builder().memory_bytes(MEM).k(K).seed(1).build();
+    let mut a = ParallelTopK::<u64>::new(cfg.clone());
+    let mut b_sketch = ParallelTopK::<u64>::new(cfg);
+    for (n, p) in packets.iter().enumerate() {
+        if n % 2 == 0 {
+            a.insert(p);
+        } else {
+            b_sketch.insert(p);
+        }
+    }
+    let mut g = c.benchmark_group("merge");
+    for (label, mode) in [("sum", MergeMode::Sum), ("max", MergeMode::Max)] {
+        g.bench_function(label, |bch| {
+            bch.iter_batched(
+                || a.clone(),
+                |mut acc| {
+                    acc.merge_from_with(&b_sketch, mode).unwrap();
+                    acc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sliding(c: &mut Criterion) {
+    let packets = workload();
+    let cfg = HkConfig::builder().memory_bytes(MEM).k(K).seed(1).build();
+    let mut g = c.benchmark_group("sliding_window");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("insert_with_rotation", |b| {
+        b.iter_batched(
+            || SlidingTopK::<u64>::new(cfg.clone(), 3),
+            |mut win| {
+                for (n, p) in packets.iter().enumerate() {
+                    win.insert(p);
+                    if n % 20_000 == 19_999 {
+                        win.rotate();
+                    }
+                }
+                win
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pcap_parse(c: &mut Criterion) {
+    let frames: Vec<Vec<u8>> = (0..10_000u64)
+        .map(|i| build_frame(&FiveTuple::from_index(i % 1000), 64))
+        .collect();
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Elements(frames.len() as u64));
+    g.bench_function("parse_ethernet", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for f in &frames {
+                if parse_ethernet(std::hint::black_box(f)).is_ok() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_weighted_insert, bench_merge, bench_sliding, bench_pcap_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks: per-packet insert and per-flow query cost
+//! of every algorithm at the paper's default configuration (2 arrays,
+//! 16-bit fields, b = 1.08, k = 100, ~20 KB).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK};
+use hk_baselines::{
+    CmSketchTopK, ColdFilterTopK, CssTopK, ElasticTopK, HeavyGuardianTopK, LossyCountingTopK,
+    SpaceSavingTopK,
+};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_traffic::synthetic::sampled_zipf;
+
+const MEM: usize = 20 * 1024;
+const K: usize = 100;
+const N: usize = 100_000;
+
+fn workload() -> Vec<u64> {
+    sampled_zipf(N as u64, 50_000, 1.05, 42).packets
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let packets = workload();
+    let mut g = c.benchmark_group("insert");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+
+    macro_rules! bench_algo {
+        ($name:literal, $make:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_batched(
+                    || $make,
+                    |mut algo| {
+                        algo.insert_all(&packets);
+                        algo
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        };
+    }
+
+    bench_algo!("hk_parallel", ParallelTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!("hk_minimum", MinimumTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!("hk_basic", BasicTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!("space_saving", SpaceSavingTopK::<u64>::with_memory(MEM, K));
+    bench_algo!("lossy_counting", LossyCountingTopK::<u64>::with_memory(MEM, K));
+    bench_algo!("css", CssTopK::<u64>::with_memory(MEM, K));
+    bench_algo!("cm_sketch", CmSketchTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!("elastic", ElasticTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!("cold_filter", ColdFilterTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!("heavy_guardian", HeavyGuardianTopK::<u64>::with_memory(MEM, K, 1));
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let packets = workload();
+    let mut hk = ParallelTopK::<u64>::with_memory(MEM, K, 1);
+    hk.insert_all(&packets);
+    let mut min = MinimumTopK::<u64>::with_memory(MEM, K, 1);
+    min.insert_all(&packets);
+
+    let mut g = c.benchmark_group("query");
+    g.bench_function("hk_parallel", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            std::hint::black_box(hk.query(&i))
+        })
+    });
+    g.bench_function("hk_minimum", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            std::hint::black_box(min.query(&i))
+        })
+    });
+    g.bench_function("hk_parallel_topk_report", |b| {
+        b.iter(|| std::hint::black_box(hk.top_k().len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_query
+}
+criterion_main!(benches);

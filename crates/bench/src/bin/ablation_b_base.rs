@@ -1,0 +1,56 @@
+//! Ablation (Section III-B): sensitivity to the exponential decay base
+//! `b`. The paper fixes `b = 1.08` ("b > 1 and b ≈ 1"); this sweep shows
+//! why: bases close to 1 decay aggressively enough to evict mice but
+//! gently enough to spare elephants, while large bases (e.g. 2.0)
+//! freeze buckets early — whoever arrives first keeps the bucket, and
+//! late elephants are locked out.
+
+use heavykeeper::{DecayFn, HkConfig, ParallelTopK};
+use hk_bench::{emit, scale, seed, Metric, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+const BASES: &[f64] = &[1.02, 1.05, 1.08, 1.2, 1.5, 2.0];
+
+fn build(b: f64, bytes: usize, k: usize) -> ParallelTopK<FiveTuple> {
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    let cfg = HkConfig::builder()
+        .memory_bytes(bytes.saturating_sub(store_bytes))
+        .k(k)
+        .seed(seed())
+        .decay(DecayFn::exponential(b))
+        .build();
+    ParallelTopK::new(cfg)
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+    for metric in [Metric::Precision, Metric::Log10Are] {
+        let mut series = Series::new(
+            format!(
+                "Ablation: decay base b, {} vs memory (campus-like, scale={}), k=100",
+                metric.label(),
+                scale()
+            ),
+            "memory_KB",
+            metric.label(),
+        );
+        for &kb in MEMORY_KB_TICKS {
+            let mut row = Vec::new();
+            for &b in BASES {
+                let mut hk = build(b, kb * 1024, k);
+                hk.insert_all(&trace.packets);
+                let r = evaluate_topk(&hk.top_k(), &oracle, k);
+                row.push((format!("b={b}"), metric.of(&r)));
+            }
+            series.push(kb as f64, row);
+        }
+        emit(&series);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation (Section VI-A: "we set d = 2"): the number of arrays `d` at
+//! a *fixed total memory budget* — more arrays means more alternative
+//! buckets per flow but proportionally fewer buckets per array. The
+//! paper's choice of `d = 2` sits at the sweet spot: `d = 1` has no
+//! escape hatch from a lost bucket contest, large `d` wastes buckets on
+//! duplicate copies of each elephant (the Minimum version exists
+//! precisely to curb that waste).
+
+use heavykeeper::{HkConfig, MinimumTopK, ParallelTopK};
+use hk_bench::{emit, scale, seed, Metric, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+const DS: &[usize] = &[1, 2, 3, 4, 6, 8];
+
+fn cfg(d: usize, bytes: usize, k: usize) -> HkConfig {
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    HkConfig::builder()
+        .arrays(d)
+        .memory_bytes(bytes.saturating_sub(store_bytes))
+        .k(k)
+        .seed(seed())
+        .build()
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+    for (variant, run) in [
+        ("Parallel", true),
+        ("Minimum", false),
+    ] {
+        let mut series = Series::new(
+            format!(
+                "Ablation: arrays d ({variant} version), precision vs memory (campus-like, scale={}), k=100",
+                scale()
+            ),
+            "memory_KB",
+            Metric::Precision.label(),
+        );
+        for &kb in MEMORY_KB_TICKS {
+            let mut row = Vec::new();
+            for &d in DS {
+                let r = if run {
+                    let mut hk = ParallelTopK::<FiveTuple>::new(cfg(d, kb * 1024, k));
+                    hk.insert_all(&trace.packets);
+                    evaluate_topk(&hk.top_k(), &oracle, k)
+                } else {
+                    let mut hk = MinimumTopK::<FiveTuple>::new(cfg(d, kb * 1024, k));
+                    hk.insert_all(&trace.packets);
+                    evaluate_topk(&hk.top_k(), &oracle, k)
+                };
+                row.push((format!("d={d}"), Metric::Precision.of(&r)));
+            }
+            series.push(kb as f64, row);
+        }
+        emit(&series);
+    }
+}

@@ -1,0 +1,57 @@
+//! Ablation (Section III-B, "Decay probability"): compare the decay
+//! functions the paper names — exponential `b^{-C}`, polynomial
+//! `C^{-b}`, and a sigmoid — and confirm their top-k performance is
+//! similar, as the paper reports.
+
+use heavykeeper::{DecayFn, HkConfig, ParallelTopK};
+use hk_bench::{emit, scale, seed, Metric, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+fn build(decay: DecayFn, bytes: usize, k: usize) -> ParallelTopK<FiveTuple> {
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    let cfg = HkConfig::builder()
+        .memory_bytes(bytes.saturating_sub(store_bytes))
+        .k(k)
+        .seed(seed())
+        .decay(decay)
+        .build();
+    ParallelTopK::new(cfg)
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+    let decays = [
+        ("exp(1.08)", DecayFn::exponential(1.08)),
+        ("poly(1.5)", DecayFn::polynomial(1.5)),
+        ("sigmoid(.08)", DecayFn::sigmoid(0.08)),
+    ];
+    for metric in [Metric::Precision, Metric::Log10Are] {
+        let mut series = Series::new(
+            format!(
+                "Ablation: decay functions, {} vs memory (campus-like, scale={}), k=100",
+                metric.label(),
+                scale()
+            ),
+            "memory_KB",
+            metric.label(),
+        );
+        for &kb in MEMORY_KB_TICKS {
+            let mut row = Vec::new();
+            for (name, decay) in decays {
+                let mut hk = build(decay, kb * 1024, k);
+                hk.insert_all(&trace.packets);
+                let r = evaluate_topk(&hk.top_k(), &oracle, k);
+                row.push((name.to_string(), metric.of(&r)));
+            }
+            series.push(kb as f64, row);
+        }
+        emit(&series);
+    }
+}

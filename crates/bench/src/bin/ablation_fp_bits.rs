@@ -1,0 +1,57 @@
+//! Ablation (Section III-D, Optimization I): fingerprint width. Narrow
+//! fingerprints buy more buckets from the same budget but collide more
+//! (the paper's footnote 1 quantifies ~1.5e-3 collision probability at
+//! 16 bits / 10k buckets); wide fingerprints waste budget on bits that
+//! buy nothing once collisions are already negligible. The paper's
+//! 16-bit choice balances the two; Optimization I blunts (but does not
+//! eliminate) the damage at 8 bits.
+
+use heavykeeper::{HkConfig, ParallelTopK};
+use hk_bench::{emit, scale, seed, Metric, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+const FP_BITS: &[u32] = &[8, 12, 16, 24, 32];
+
+fn build(fp_bits: u32, bytes: usize, k: usize) -> ParallelTopK<FiveTuple> {
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    let cfg = HkConfig::builder()
+        .fingerprint_bits(fp_bits)
+        .memory_bytes(bytes.saturating_sub(store_bytes))
+        .k(k)
+        .seed(seed())
+        .build();
+    ParallelTopK::new(cfg)
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+    for metric in [Metric::Precision, Metric::Log10Aae] {
+        let mut series = Series::new(
+            format!(
+                "Ablation: fingerprint bits, {} vs memory (campus-like, scale={}), k=100",
+                metric.label(),
+                scale()
+            ),
+            "memory_KB",
+            metric.label(),
+        );
+        for &kb in MEMORY_KB_TICKS {
+            let mut row = Vec::new();
+            for &bits in FP_BITS {
+                let mut hk = build(bits, kb * 1024, k);
+                hk.insert_all(&trace.packets);
+                let r = evaluate_topk(&hk.top_k(), &oracle, k);
+                row.push((format!("fp={bits}b"), metric.of(&r)));
+            }
+            series.push(kb as f64, row);
+        }
+        emit(&series);
+    }
+}

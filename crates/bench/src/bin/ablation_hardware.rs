@@ -1,0 +1,70 @@
+//! Ablation (Sections I, III-E, IV): the hardware cost model driven by
+//! measured operation mixes. For each discipline, run the campus-like
+//! trace through the software implementation, extract its per-packet
+//! case mix (`InsertStats`), and print memory accesses plus line-rate
+//! bounds on three devices:
+//!
+//! * `switch`  — banked 1 ns SRAM, pipelined (FPGA/ASIC/P4);
+//! * `cpu$`    — cache-resident sketch on a CPU (Figure 33's regime);
+//! * `cpuDRAM` — off-chip DRAM at the paper's 50 ns figure.
+//!
+//! Expected shape: Parallel clears 100 GbE line rate (~149 Mpps) on the
+//! switch; Minimum runs at exactly half (recirculation); DRAM placement
+//! is an order of magnitude too slow — the Section I argument.
+
+use heavykeeper::{HkConfig, MinimumTopK, ParallelTopK};
+use hk_bench::{scale, seed};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_hw::{packet_cost, DeviceProfile, InsertDiscipline};
+use hk_traffic::flow::FiveTuple;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let k = 100;
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    let cfg = HkConfig::builder()
+        .memory_bytes(20 * 1024 - store_bytes)
+        .k(k)
+        .seed(seed())
+        .build();
+    let d = cfg.arrays;
+
+    let mut par = ParallelTopK::<FiveTuple>::new(cfg.clone());
+    par.insert_all(&trace.packets);
+    let mut min = MinimumTopK::<FiveTuple>::new(cfg);
+    min.insert_all(&trace.packets);
+
+    let rows = [
+        ("HK-Parallel", packet_cost(InsertDiscipline::Parallel { d }, par.stats())),
+        ("HK-Minimum", packet_cost(InsertDiscipline::Minimum { d }, min.stats())),
+        ("CM-style count-all", packet_cost(InsertDiscipline::CountAll { d }, par.stats())),
+    ];
+    let devices = [
+        ("switch", DeviceProfile::switch_pipeline()),
+        ("cpu$", DeviceProfile::cpu_cached()),
+        ("cpuDRAM", DeviceProfile::cpu_dram()),
+    ];
+
+    println!(
+        "# Ablation: hardware cost model (campus-like, scale={}, 20 KB, d={d}, k={k})",
+        scale()
+    );
+    println!(
+        "{:<20} {:>8} {:>8} {:>7} {:>12} {:>12} {:>12}",
+        "discipline", "reads", "writes", "passes", "switch_Mpps", "cpu$_Mpps", "DRAM_Mpps"
+    );
+    for (name, cost) in rows {
+        print!(
+            "{name:<20} {:>8.2} {:>8.2} {:>7}",
+            cost.reads, cost.writes, cost.recirculations
+        );
+        for (_, dev) in &devices {
+            print!(" {:>12.1}", cost.throughput_mpps(dev));
+        }
+        println!();
+    }
+    println!();
+    println!("measured case mix (per packet, Parallel): {:?}", par.stats());
+    println!("measured case mix (per packet, Minimum):  {:?}", min.stats());
+}

@@ -1,0 +1,75 @@
+//! Ablation (extension, `heavykeeper::merge`): how much accuracy does
+//! distributed collection cost? The same stream is measured two ways:
+//!
+//! * `single` — one sketch sees every packet (the paper's setting);
+//! * `merged-S` — the stream is round-robin split across S switches
+//!   with identical configs, each sketch sees 1/S of the packets, and
+//!   the collector Sum-merges them.
+//!
+//! The merged estimate pays for bucket contests resolved at merge time
+//! rather than packet-by-packet; the sweep quantifies that gap.
+
+use heavykeeper::{HkConfig, ParallelTopK};
+use hk_bench::{emit, scale, seed, Metric, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+const SPLITS: &[usize] = &[2, 4, 8];
+
+fn cfg(bytes: usize, k: usize) -> HkConfig {
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    HkConfig::builder()
+        .memory_bytes(bytes.saturating_sub(store_bytes))
+        .k(k)
+        .seed(seed())
+        .build()
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+    for metric in [Metric::Precision, Metric::Log10Are] {
+        let mut series = Series::new(
+            format!(
+                "Ablation: Sum-merged split streams vs single sketch, {} (campus-like, scale={}), k=100",
+                metric.label(),
+                scale()
+            ),
+            "memory_KB",
+            metric.label(),
+        );
+        for &kb in MEMORY_KB_TICKS {
+            let mut row = Vec::new();
+
+            let mut single = ParallelTopK::<FiveTuple>::new(cfg(kb * 1024, k));
+            single.insert_all(&trace.packets);
+            row.push((
+                "single".to_string(),
+                metric.of(&evaluate_topk(&single.top_k(), &oracle, k)),
+            ));
+
+            for &s in SPLITS {
+                let mut switches: Vec<ParallelTopK<FiveTuple>> =
+                    (0..s).map(|_| ParallelTopK::new(cfg(kb * 1024, k))).collect();
+                for (n, pkt) in trace.packets.iter().enumerate() {
+                    switches[n % s].insert(pkt);
+                }
+                let mut merged = switches.swap_remove(0);
+                for sw in &switches {
+                    merged.merge_from(sw).expect("identical configs merge");
+                }
+                row.push((
+                    format!("merged-{s}"),
+                    metric.of(&evaluate_topk(&merged.top_k(), &oracle, k)),
+                ));
+            }
+            series.push(kb as f64, row);
+        }
+        emit(&series);
+    }
+}

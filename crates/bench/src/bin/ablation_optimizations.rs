@@ -1,0 +1,69 @@
+//! Ablation (Section III-D/E): what the two optimizations and minimum
+//! decay each buy. Compares, at identical budgets:
+//!
+//! * `Basic` — Section III-C: decay-all insertion, plain admission (no
+//!   Optimization I/II);
+//! * `Parallel` — Basic + Optimization I (collision detection) +
+//!   Optimization II (selective increment);
+//! * `Minimum` — Parallel + minimum decay (touch one bucket per packet).
+//!
+//! The paper only reports Parallel vs Minimum (Figures 23–31); this
+//! ablation adds the Basic baseline to isolate the optimizations'
+//! contribution from the minimum-decay contribution.
+
+use heavykeeper::{BasicTopK, HkConfig, MinimumTopK, ParallelTopK};
+use hk_bench::{emit, scale, seed, Metric};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+/// The tight budgets where the variants separate (Figure 23's range).
+const MEMORY_KB: &[usize] = &[6, 8, 10, 15, 20, 30];
+
+fn cfg(bytes: usize, k: usize) -> HkConfig {
+    let store_bytes = k * (FiveTuple::ENCODED_LEN + 4);
+    HkConfig::builder()
+        .memory_bytes(bytes.saturating_sub(store_bytes))
+        .k(k)
+        .seed(seed())
+        .build()
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+    for metric in [Metric::Precision, Metric::Log10Are, Metric::Log10Aae] {
+        let mut series = Series::new(
+            format!(
+                "Ablation: Basic vs +OptI/II (Parallel) vs +min-decay (Minimum), {} (campus-like, scale={}), k=100",
+                metric.label(),
+                scale()
+            ),
+            "memory_KB",
+            metric.label(),
+        );
+        for &kb in MEMORY_KB {
+            let c = cfg(kb * 1024, k);
+            let mut row = Vec::new();
+
+            let mut basic = BasicTopK::<FiveTuple>::new(c.clone());
+            basic.insert_all(&trace.packets);
+            row.push(("Basic".to_string(), metric.of(&evaluate_topk(&basic.top_k(), &oracle, k))));
+
+            let mut par = ParallelTopK::<FiveTuple>::new(c.clone());
+            par.insert_all(&trace.packets);
+            row.push(("Parallel".to_string(), metric.of(&evaluate_topk(&par.top_k(), &oracle, k))));
+
+            let mut min = MinimumTopK::<FiveTuple>::new(c);
+            min.insert_all(&trace.packets);
+            row.push(("Minimum".to_string(), metric.of(&evaluate_topk(&min.top_k(), &oracle, k))));
+
+            series.push(kb as f64, row);
+        }
+        emit(&series);
+    }
+}

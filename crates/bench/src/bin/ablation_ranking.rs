@@ -1,0 +1,50 @@
+//! Ablation (extension, `hk-metrics::ranking`): order-aware quality.
+//! The paper scores reports as *sets* (precision); an elephant-flow
+//! scheduler also cares about *order* (top ranks first) and *volume*
+//! (how much elephant traffic the report captures). This sweep prints,
+//! per algorithm and memory budget:
+//!
+//! * `P@1` / `P@10` / `P@k` — precision of the first 1/10/k ranks;
+//! * `tau` — Kendall rank correlation over the common flows;
+//! * `vol` — fraction of the true top-k traffic captured.
+
+use hk_bench::{scale, seed, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_metrics::experiment::classic_suite;
+use hk_metrics::ranking::{intersection_at, kendall_tau, weighted_overlap};
+use hk_traffic::flow::FiveTuple;
+use hk_traffic::oracle::ExactCounter;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let k = 100;
+
+    println!(
+        "# Ablation: ranking quality (campus-like, scale={}, k={k})",
+        scale()
+    );
+    println!(
+        "{:>6} {:<16} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "mem_KB", "algorithm", "P@1", "P@10", "P@k", "tau", "vol"
+    );
+    for &kb in MEMORY_KB_TICKS {
+        for (name, factory) in classic_suite::<FiveTuple>() {
+            let mut algo = factory(kb * 1024, k, seed());
+            algo.insert_all(&trace.packets);
+            let top = algo.top_k();
+            let curve = intersection_at(&top, &oracle, k);
+            let tau = kendall_tau(&top, &oracle, k);
+            let vol = weighted_overlap(&top, &oracle, k);
+            println!(
+                "{kb:>6} {name:<16} {:>7.2} {:>7.2} {:>7.2} {:>7} {:>7.3}",
+                curve[0],
+                curve[9],
+                curve[k - 1],
+                tau.map(|t| format!("{t:.3}")).unwrap_or_else(|| "-".into()),
+                vol,
+            );
+        }
+        println!();
+    }
+}

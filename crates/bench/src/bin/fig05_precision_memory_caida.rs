@@ -1,0 +1,15 @@
+//! Figure 5: Precision vs memory size (CAIDA-like trace), k = 100.
+use hk_bench::{emit, scale, seed, sweep_memory, Metric, MEMORY_KB_TICKS};
+use hk_metrics::experiment::classic_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::caida_like(scale(), seed());
+    emit(&sweep_memory(
+        &format!("Fig 5: Precision vs memory (caida-like, scale={}), k=100", scale()),
+        &trace,
+        &classic_suite(),
+        MEMORY_KB_TICKS,
+        100,
+        Metric::Precision,
+    ));
+}

@@ -1,0 +1,15 @@
+//! Figure 15: log10(AAE) vs memory size (campus-like trace), k = 100.
+use hk_bench::{emit, scale, seed, sweep_memory, Metric, MEMORY_KB_TICKS};
+use hk_metrics::experiment::classic_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    emit(&sweep_memory(
+        &format!("Fig 15: AAE vs memory (campus-like, scale={}), k=100", scale()),
+        &trace,
+        &classic_suite(),
+        MEMORY_KB_TICKS,
+        100,
+        Metric::Log10Aae,
+    ));
+}

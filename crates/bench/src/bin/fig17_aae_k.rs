@@ -1,0 +1,15 @@
+//! Figure 17: log10(AAE) vs k (campus-like trace), memory = 100 KB.
+use hk_bench::{emit, scale, seed, sweep_k, Metric, K_TICKS};
+use hk_metrics::experiment::classic_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    emit(&sweep_k(
+        &format!("Fig 17: AAE vs k (campus-like, scale={}), mem=100KB", scale()),
+        &trace,
+        &classic_suite(),
+        100,
+        K_TICKS,
+        Metric::Log10Aae,
+    ));
+}

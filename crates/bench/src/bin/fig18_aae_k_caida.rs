@@ -1,0 +1,15 @@
+//! Figure 18: log10(AAE) vs k (CAIDA-like trace), memory = 100 KB.
+use hk_bench::{emit, scale, seed, sweep_k, Metric, K_TICKS};
+use hk_metrics::experiment::classic_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::caida_like(scale(), seed());
+    emit(&sweep_k(
+        &format!("Fig 18: AAE vs k (caida-like, scale={}), mem=100KB", scale()),
+        &trace,
+        &classic_suite(),
+        100,
+        K_TICKS,
+        Metric::Log10Aae,
+    ));
+}

@@ -1,0 +1,14 @@
+//! Figure 19: log10(AAE) vs skewness (synthetic Zipf), mem = 100 KB, k = 1000.
+use hk_bench::{emit, sweep_skew, Metric, SKEW_TICKS};
+use hk_metrics::experiment::classic_suite;
+
+fn main() {
+    emit(&sweep_skew(
+        "Fig 19: AAE vs skewness (synthetic), mem=100KB, k=1000",
+        &classic_suite(),
+        SKEW_TICKS,
+        100,
+        1000,
+        Metric::Log10Aae,
+    ));
+}

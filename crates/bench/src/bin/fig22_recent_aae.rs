@@ -1,0 +1,16 @@
+//! Figure 22: Aae vs memory size against recent works
+//! (Counter Tree, Cold Filter, Elastic), campus-like trace, k = 100.
+use hk_bench::{emit, scale, seed, sweep_memory, Metric, MEMORY_KB_TICKS};
+use hk_metrics::experiment::recent_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    emit(&sweep_memory(
+        &format!("Fig 22: Aae vs memory, recent works (campus-like, scale={}), k=100", scale()),
+        &trace,
+        &recent_suite(),
+        MEMORY_KB_TICKS,
+        100,
+        Metric::Log10Aae,
+    ));
+}

@@ -1,0 +1,23 @@
+//! Figures 23-25: Hardware Parallel vs Software Minimum, varying memory
+//! (6-10 KB, k = 100, campus-like trace). Emits all three metrics.
+use hk_bench::{emit, scale, seed, sweep_memory, Metric};
+use hk_metrics::experiment::versions_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let budgets = [6, 7, 8, 9, 10];
+    for (fig, metric) in [
+        ("23: Precision", Metric::Precision),
+        ("24: ARE", Metric::Log10Are),
+        ("25: AAE", Metric::Log10Aae),
+    ] {
+        emit(&sweep_memory(
+            &format!("Fig {fig} vs memory, versions (campus-like, scale={}), k=100", scale()),
+            &trace,
+            &versions_suite(),
+            &budgets,
+            100,
+            metric,
+        ));
+    }
+}

@@ -1,0 +1,23 @@
+//! Figures 26-28: Hardware Parallel vs Software Minimum, varying k
+//! (100-500, memory = 30 KB, campus-like trace). Emits all three metrics.
+use hk_bench::{emit, scale, seed, sweep_k, Metric};
+use hk_metrics::experiment::versions_suite;
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let ks = [100, 200, 300, 400, 500];
+    for (fig, metric) in [
+        ("26: Precision", Metric::Precision),
+        ("27: ARE", Metric::Log10Are),
+        ("28: AAE", Metric::Log10Aae),
+    ] {
+        emit(&sweep_k(
+            &format!("Fig {fig} vs k, versions (campus-like, scale={}), mem=30KB", scale()),
+            &trace,
+            &versions_suite(),
+            30,
+            &ks,
+            metric,
+        ));
+    }
+}

@@ -1,0 +1,21 @@
+//! Figures 29-31: Hardware Parallel vs Software Minimum, varying
+//! skewness (memory = 10 KB, k = 100). Emits all three metrics.
+use hk_bench::{emit, sweep_skew, Metric, SKEW_TICKS};
+use hk_metrics::experiment::versions_suite;
+
+fn main() {
+    for (fig, metric) in [
+        ("29: Precision", Metric::Precision),
+        ("30: ARE", Metric::Log10Are),
+        ("31: AAE", Metric::Log10Aae),
+    ] {
+        emit(&sweep_skew(
+            &format!("Fig {fig} vs skewness, versions, mem=10KB, k=100"),
+            &versions_suite(),
+            SKEW_TICKS,
+            10,
+            100,
+            metric,
+        ));
+    }
+}

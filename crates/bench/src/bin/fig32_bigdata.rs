@@ -1,0 +1,42 @@
+//! Figure 32: Precision vs number of packets on a very big dataset.
+//!
+//! The paper streams 10⁸ packets (k = 1000, memory = 100 KB) and reports
+//! precision after every 10M packets. We stream `10⁸ / HK_SCALE` packets
+//! from the synthetic Zipf generator without materializing the trace,
+//! checkpointing precision ten times.
+
+use heavykeeper::ParallelTopK;
+use hk_bench::{emit, scale, seed};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_metrics::experiment::Series;
+use hk_traffic::oracle::ExactCounter;
+use hk_traffic::synthetic::sampled_zipf_stream;
+
+fn main() {
+    let total: u64 = 100_000_000 / scale();
+    let checkpoints = 10;
+    let chunk = total / checkpoints;
+    let k = 1000;
+    let universe = (10_000_000 / scale()).max(10_000) as usize;
+
+    let mut hk = ParallelTopK::<u64>::with_memory(100 * 1024, k, seed());
+    let mut oracle = ExactCounter::new();
+    let mut series = Series::new(
+        format!("Fig 32: Precision vs #packets (zipf 1.0, total={total}), mem=100KB, k=1000"),
+        "packets",
+        "precision",
+    );
+
+    let mut stream = sampled_zipf_stream(universe, 1.0, seed());
+    for cp in 1..=checkpoints {
+        for _ in 0..chunk {
+            let f = stream.next().expect("infinite stream");
+            hk.insert(&f);
+            oracle.observe(&f);
+        }
+        let r = evaluate_topk(&hk.top_k(), &oracle, k);
+        series.push((cp * chunk) as f64, vec![("HK".to_string(), r.precision)]);
+    }
+    emit(&series);
+}

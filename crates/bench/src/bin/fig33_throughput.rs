@@ -1,0 +1,78 @@
+//! Figure 33: Throughput (Mps) vs memory size, campus-like trace,
+//! k = 100.
+//!
+//! Compares Space-Saving, Lossy Counting, the CM sketch, and both
+//! HeavyKeeper versions, like the paper (CSS is excluded there because
+//! the authors' Java implementation is not speed-comparable; we exclude
+//! it for parity). The CM sketch is timed without heap operations, as
+//! the paper notes.
+
+use heavykeeper::{MinimumTopK, ParallelTopK};
+use hk_baselines::{CmSketchTopK, LossyCountingTopK, SpaceSavingTopK};
+use hk_bench::{emit, scale, seed, MEMORY_KB_TICKS};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_metrics::experiment::Series;
+use hk_metrics::throughput::measure_mps;
+use hk_traffic::flow::FiveTuple;
+
+/// CM wrapper that skips heap maintenance (paper Section VI-A note).
+struct CmRawOnly(CmSketchTopK<FiveTuple>);
+
+impl TopKAlgorithm<FiveTuple> for CmRawOnly {
+    fn insert(&mut self, key: &FiveTuple) {
+        self.0.record(key);
+    }
+    fn query(&self, key: &FiveTuple) -> u64 {
+        self.0.query(key)
+    }
+    fn top_k(&self) -> Vec<(FiveTuple, u64)> {
+        self.0.top_k()
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+    fn name(&self) -> &'static str {
+        "CM(raw)"
+    }
+}
+
+fn main() {
+    let trace = hk_traffic::presets::campus_like(scale(), seed());
+    let k = 100;
+    let repeats = 3;
+    let mut series = Series::new(
+        format!("Fig 33: Throughput vs memory (campus-like, scale={}), k=100", scale()),
+        "memory_KB",
+        "Mps",
+    );
+    for &kb in MEMORY_KB_TICKS {
+        let bytes = kb * 1024;
+        let s = seed();
+        let row = vec![
+            (
+                "SS".to_string(),
+                measure_mps(|| SpaceSavingTopK::<FiveTuple>::with_memory(bytes, k), &trace.packets, repeats).mps_best,
+            ),
+            (
+                "LC".to_string(),
+                measure_mps(|| LossyCountingTopK::<FiveTuple>::with_memory(bytes, k), &trace.packets, repeats).mps_best,
+            ),
+            (
+                "CM".to_string(),
+                measure_mps(|| CmRawOnly(CmSketchTopK::<FiveTuple>::with_memory(bytes, k, s)), &trace.packets, repeats).mps_best,
+            ),
+            (
+                "Parallel".to_string(),
+                measure_mps(|| ParallelTopK::<FiveTuple>::with_memory(bytes, k, s), &trace.packets, repeats).mps_best,
+            ),
+            (
+                "Minimum".to_string(),
+                measure_mps(|| MinimumTopK::<FiveTuple>::with_memory(bytes, k, s), &trace.packets, repeats).mps_best,
+            ),
+        ];
+        series.push(kb as f64, row);
+    }
+    emit(&series);
+    let _ = FiveTuple::ENCODED_LEN; // Silence unused-import lints on some toolchains.
+}

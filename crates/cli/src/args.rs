@@ -1,0 +1,140 @@
+//! Minimal `--flag value` argument parsing for the `hk` tool.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Malformed invocation (unknown flag, missing value, bad number).
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(m) => write!(f, "{m}"),
+            Self::Io(m) => write!(f, "i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// Parsed command line: one subcommand plus `--flag value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (`generate`, `analyze`, `compare`, `help`).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        if let Some(cmd) = it.next() {
+            if cmd.starts_with('-') {
+                return Err(CliError::Usage(format!("expected subcommand, got `{cmd}`")));
+            }
+            args.command = cmd.clone();
+        }
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("expected `--flag`, got `{flag}`")));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError::Usage(format!("flag `--{name}` needs a value")));
+            };
+            args.flags.insert(name.to_string(), value.clone());
+        }
+        Ok(args)
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag `--{name}`")))
+    }
+
+    /// A numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag `--{name}`: bad value `{v}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(&sv(&["generate", "--kind", "zipf", "--packets", "1000"])).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.get_or("kind", "x"), "zipf");
+        assert_eq!(a.num_or::<u64>("packets", 0).unwrap(), 1000);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&sv(&["analyze"])).unwrap();
+        assert_eq!(a.get_or("algo", "parallel"), "parallel");
+        assert_eq!(a.num_or::<usize>("k", 100).unwrap(), 100);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = Args::parse(&sv(&["x", "--kind"])).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn bare_word_flag_rejected() {
+        let e = Args::parse(&sv(&["x", "kind", "zipf"])).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let a = Args::parse(&sv(&["x", "--k", "abc"])).unwrap();
+        assert!(a.num_or::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn required_flag() {
+        let a = Args::parse(&sv(&["x", "--out", "f.trace"])).unwrap();
+        assert_eq!(a.require("out").unwrap(), "f.trace");
+        assert!(a.require("in").is_err());
+    }
+
+    #[test]
+    fn leading_flag_rejected() {
+        let e = Args::parse(&sv(&["--kind", "zipf"])).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+}

@@ -1,0 +1,435 @@
+//! The `hk` subcommands.
+
+use crate::args::{Args, CliError};
+use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK};
+use hk_baselines::{
+    CmSketchTopK, ColdFilterTopK, CountSketchTopK, CounterTreeTopK, CssTopK, ElasticTopK,
+    FrequentTopK, HeavyGuardianTopK, LossyCountingTopK, SpaceSavingTopK,
+};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_traffic::oracle::ExactCounter;
+use hk_traffic::synthetic::{all_distinct, exact_zipf, sampled_zipf, uniform, Trace};
+use hk_traffic::trace_io::{read_trace, write_trace};
+use std::fs::File;
+use std::time::Instant;
+
+/// Help text (also printed on usage errors).
+pub const USAGE: &str = "\
+hk — HeavyKeeper trace tools
+
+USAGE:
+  hk generate --out FILE [--kind zipf|exact-zipf|uniform|all-distinct]
+              [--packets N] [--flows M] [--skew S] [--seed X]
+  hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
+  hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
+  hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
+              [--payload BYTES]
+  hk pcap     --in FILE [--by packets|bytes] [--memory-kb KB] [--k K] [--seed X]
+  hk change   --trace FILE [--epochs N] [--threshold T] [--memory-kb KB]
+              [--k K] [--seed X]
+  hk help
+
+Algorithms for --algo:
+  parallel (default), minimum, basic, space-saving, lossy-counting,
+  frequent, css, cm-sketch, count-sketch, elastic, cold-filter,
+  counter-tree, heavy-guardian
+";
+
+/// Builds an algorithm by CLI name.
+pub fn make_algo(
+    name: &str,
+    mem: usize,
+    k: usize,
+    seed: u64,
+) -> Result<Box<dyn TopKAlgorithm<u64>>, CliError> {
+    Ok(match name {
+        "parallel" => Box::new(ParallelTopK::<u64>::with_memory(mem, k, seed)),
+        "minimum" => Box::new(MinimumTopK::<u64>::with_memory(mem, k, seed)),
+        "basic" => Box::new(BasicTopK::<u64>::with_memory(mem, k, seed)),
+        "space-saving" => Box::new(SpaceSavingTopK::<u64>::with_memory(mem, k)),
+        "lossy-counting" => Box::new(LossyCountingTopK::<u64>::with_memory(mem, k)),
+        "frequent" => Box::new(FrequentTopK::<u64>::with_memory(mem, k)),
+        "css" => Box::new(CssTopK::<u64>::with_memory(mem, k)),
+        "cm-sketch" => Box::new(CmSketchTopK::<u64>::with_memory(mem, k, seed)),
+        "count-sketch" => Box::new(CountSketchTopK::<u64>::with_memory(mem, k, seed)),
+        "elastic" => Box::new(ElasticTopK::<u64>::with_memory(mem, k, seed)),
+        "cold-filter" => Box::new(ColdFilterTopK::<u64>::with_memory(mem, k, seed)),
+        "counter-tree" => Box::new(CounterTreeTopK::<u64>::with_memory(mem, k, seed)),
+        "heavy-guardian" => Box::new(HeavyGuardianTopK::<u64>::with_memory(mem, k, seed)),
+        other => return Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
+    })
+}
+
+/// Every algorithm name accepted by [`make_algo`].
+pub const ALGO_NAMES: &[&str] = &[
+    "parallel",
+    "minimum",
+    "basic",
+    "space-saving",
+    "lossy-counting",
+    "frequent",
+    "css",
+    "cm-sketch",
+    "count-sketch",
+    "elastic",
+    "cold-filter",
+    "counter-tree",
+    "heavy-guardian",
+];
+
+/// `hk generate`.
+pub fn generate(args: &Args) -> Result<(), CliError> {
+    let out = args.require("out")?;
+    let kind = args.get_or("kind", "zipf");
+    let packets: u64 = args.num_or("packets", 1_000_000)?;
+    let flows: usize = args.num_or("flows", 100_000)?;
+    let skew: f64 = args.num_or("skew", 1.0)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+
+    let trace: Trace<u64> = match kind {
+        "zipf" => sampled_zipf(packets, flows, skew, seed),
+        "exact-zipf" => exact_zipf(packets, flows, skew, seed),
+        "uniform" => uniform(packets, flows, seed),
+        "all-distinct" => all_distinct(packets),
+        other => return Err(CliError::Usage(format!("unknown trace kind `{other}`"))),
+    };
+    let mut file = File::create(out)?;
+    write_trace(&trace, &mut file).map_err(|e| CliError::Io(e.to_string()))?;
+    println!("wrote {} packets ({}) to {out}", trace.len(), trace.name);
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<Trace<u64>, CliError> {
+    let path = args.require("trace")?;
+    let mut file = File::open(path)?;
+    read_trace(&mut file, path).map_err(|e| CliError::Io(e.to_string()))
+}
+
+/// `hk analyze`.
+pub fn analyze(args: &Args) -> Result<(), CliError> {
+    let trace = load(args)?;
+    let algo_name = args.get_or("algo", "parallel");
+    let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
+    let k: usize = args.num_or("k", 100)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let mut algo = make_algo(algo_name, mem, k, seed)?;
+    let start = Instant::now();
+    algo.insert_all(&trace.packets);
+    let secs = start.elapsed().as_secs_f64();
+    let report = evaluate_topk(&algo.top_k(), &oracle, k);
+
+    println!(
+        "{} on {} ({} packets, {} flows)",
+        algo.name(),
+        trace.name,
+        trace.len(),
+        oracle.distinct_flows()
+    );
+    println!(
+        "memory: {} bytes | precision {:.4} | ARE {:.4} | AAE {:.1} | {:.2} Mps",
+        algo.memory_bytes(),
+        report.precision,
+        report.are,
+        report.aae,
+        trace.len() as f64 / secs / 1e6
+    );
+    println!("{:>6} {:>14} {:>14} {:>14}", "rank", "flow", "estimated", "true");
+    for (rank, (flow, est)) in algo.top_k().iter().take(k.min(20)).enumerate() {
+        println!("{:>6} {flow:>14} {est:>14} {:>14}", rank + 1, oracle.count(flow));
+    }
+    Ok(())
+}
+
+/// `hk compare`.
+pub fn compare(args: &Args) -> Result<(), CliError> {
+    let trace = load(args)?;
+    let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
+    let k: usize = args.num_or("k", 100)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    let oracle = ExactCounter::from_packets(&trace.packets);
+
+    println!(
+        "{} — {} packets, {} flows, {} KB, k = {k}",
+        trace.name,
+        trace.len(),
+        oracle.distinct_flows(),
+        mem / 1024
+    );
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>8}",
+        "algorithm", "precision", "ARE", "AAE", "Mps"
+    );
+    for name in ALGO_NAMES {
+        let mut algo = make_algo(name, mem, k, seed)?;
+        let start = Instant::now();
+        algo.insert_all(&trace.packets);
+        let secs = start.elapsed().as_secs_f64();
+        let r = evaluate_topk(&algo.top_k(), &oracle, k);
+        println!(
+            "{:<16} {:>10.4} {:>12.4} {:>12.1} {:>8.2}",
+            algo.name(),
+            r.precision,
+            r.are,
+            r.aae,
+            trace.len() as f64 / secs / 1e6
+        );
+    }
+    Ok(())
+}
+
+/// `hk pcap-gen`: synthesize a capture file from a Zipf workload with
+/// real Ethernet/IPv4/TCP/UDP frames (openable by standard pcap tools).
+pub fn pcap_gen(args: &Args) -> Result<(), CliError> {
+    use hk_traffic::flow::FiveTuple;
+    use hk_traffic::packet::build_frame;
+    use hk_traffic::pcap::PcapWriter;
+
+    let out = args.require("out")?;
+    let packets: u64 = args.num_or("packets", 100_000)?;
+    let flows: usize = args.num_or("flows", 10_000)?;
+    let skew: f64 = args.num_or("skew", 1.0)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    let payload: usize = args.num_or("payload", 64)?;
+
+    let trace = sampled_zipf(packets, flows, skew, seed).map_keys(FiveTuple::from_index);
+    let file = File::create(out)?;
+    let mut w = PcapWriter::new(std::io::BufWriter::new(file))
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    for (n, flow) in trace.packets.iter().enumerate() {
+        let ts_sec = (n / 1_000_000) as u32;
+        let ts_usec = (n % 1_000_000) as u32;
+        w.write_packet(ts_sec, ts_usec, &build_frame(flow, payload))
+            .map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    w.finish().map_err(|e| CliError::Io(e.to_string()))?;
+    println!("wrote {} frames to {out}", trace.len());
+    Ok(())
+}
+
+/// `hk pcap`: read a capture and report top-k flows by packets or bytes.
+pub fn pcap(args: &Args) -> Result<(), CliError> {
+    use heavykeeper::WeightedTopK;
+    use hk_traffic::flow::FiveTuple;
+    use hk_traffic::pcap::PcapReader;
+
+    let path = args.require("in")?;
+    let by = args.get_or("by", "packets");
+    let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
+    let k: usize = args.num_or("k", 20)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+
+    let file = File::open(path)?;
+    let cap = PcapReader::new(std::io::BufReader::new(file))
+        .map_err(|e| CliError::Io(e.to_string()))?
+        .read_flows()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    println!("{path}: {} frames parsed, {} skipped", cap.flows.len(), cap.skipped);
+
+    let top: Vec<(FiveTuple, u64)> = match by {
+        "packets" => {
+            let mut hk = MinimumTopK::<FiveTuple>::with_memory(mem, k, seed);
+            for &(flow, _) in &cap.flows {
+                hk.insert(&flow);
+            }
+            hk.top_k()
+        }
+        "bytes" => {
+            let mut hk = WeightedTopK::<FiveTuple>::with_memory(mem, k, seed);
+            for &(flow, bytes) in &cap.flows {
+                hk.insert_weighted(&flow, bytes);
+            }
+            hk.top_k()
+        }
+        other => return Err(CliError::Usage(format!("--by must be packets|bytes, got `{other}`"))),
+    };
+
+    let unit = if by == "bytes" { "bytes" } else { "pkts" };
+    println!("{:>4}  {:<46} {:>14}", "rank", "flow", unit);
+    for (rank, (f, est)) in top.iter().enumerate() {
+        let flow = format!(
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} p{}",
+            f.src_ip[0], f.src_ip[1], f.src_ip[2], f.src_ip[3], f.src_port,
+            f.dst_ip[0], f.dst_ip[1], f.dst_ip[2], f.dst_ip[3], f.dst_port,
+            f.protocol,
+        );
+        println!("{:>4}  {flow:<46} {est:>14}", rank + 1);
+    }
+    Ok(())
+}
+
+/// `hk change`: split a trace into epochs and report heavy changes at
+/// every epoch boundary.
+pub fn change(args: &Args) -> Result<(), CliError> {
+    use heavykeeper::change::HeavyChangeDetector;
+    use heavykeeper::HkConfig;
+
+    let trace = load(args)?;
+    let epochs: usize = args.num_or("epochs", 10)?;
+    let threshold: u64 = args.num_or("threshold", 1000)?;
+    let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
+    let k: usize = args.num_or("k", 100)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    if epochs == 0 {
+        return Err(CliError::Usage("--epochs must be positive".into()));
+    }
+    if threshold == 0 {
+        return Err(CliError::Usage("--threshold must be positive".into()));
+    }
+
+    let cfg = HkConfig::builder().memory_bytes(mem).k(k).seed(seed).build();
+    let mut det = HeavyChangeDetector::<u64>::new(cfg, threshold);
+    let chunk = trace.packets.len().div_ceil(epochs).max(1);
+    println!(
+        "{}: {} packets, {epochs} epochs of ~{chunk}, threshold {threshold}",
+        trace.name,
+        trace.len()
+    );
+    for (e, packets) in trace.packets.chunks(chunk).enumerate() {
+        for p in packets {
+            det.insert(p);
+        }
+        let changes = det.end_epoch();
+        println!("epoch {e}: {} heavy change(s)", changes.len());
+        for c in changes.iter().take(20) {
+            println!(
+                "  flow {:>14}: {:>8} -> {:>8} ({:?})",
+                c.flow, c.before, c.after, c.kind
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn make_algo_covers_all_names() {
+        for name in ALGO_NAMES {
+            let a = make_algo(name, 10 * 1024, 10, 1).unwrap();
+            assert!(!a.name().is_empty());
+        }
+        assert!(make_algo("nope", 1024, 1, 1).is_err());
+    }
+
+    #[test]
+    fn generate_analyze_compare_roundtrip() {
+        let dir = std::env::temp_dir().join("hk-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+
+        let gen = Args::parse(&sv(&[
+            "generate", "--out", path_s, "--kind", "zipf", "--packets", "20000", "--flows",
+            "2000", "--skew", "1.1", "--seed", "3",
+        ]))
+        .unwrap();
+        generate(&gen).unwrap();
+
+        let ana = Args::parse(&sv(&[
+            "analyze", "--trace", path_s, "--algo", "minimum", "--memory-kb", "8", "--k", "10",
+        ]))
+        .unwrap();
+        analyze(&ana).unwrap();
+
+        let cmp = Args::parse(&sv(&[
+            "compare", "--trace", path_s, "--memory-kb", "8", "--k", "10",
+        ]))
+        .unwrap();
+        compare(&cmp).unwrap();
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("hk-cli-bad.trace");
+        let gen = Args::parse(&sv(&[
+            "generate", "--out", path.to_str().unwrap(), "--kind", "weird",
+        ]))
+        .unwrap();
+        assert!(generate(&gen).is_err());
+    }
+
+    #[test]
+    fn analyze_missing_trace_flag() {
+        let ana = Args::parse(&sv(&["analyze"])).unwrap();
+        assert!(analyze(&ana).is_err());
+    }
+
+    #[test]
+    fn run_help_works() {
+        crate::run(&sv(&["help"])).unwrap();
+        assert!(crate::run(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn pcap_gen_and_pcap_roundtrip() {
+        let dir = std::env::temp_dir().join("hk-cli-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pcap");
+        let path_s = path.to_str().unwrap();
+
+        let gen = Args::parse(&sv(&[
+            "pcap-gen", "--out", path_s, "--packets", "5000", "--flows", "500", "--skew",
+            "1.2", "--seed", "3",
+        ]))
+        .unwrap();
+        pcap_gen(&gen).unwrap();
+
+        for by in ["packets", "bytes"] {
+            let ana = Args::parse(&sv(&[
+                "pcap", "--in", path_s, "--by", by, "--memory-kb", "8", "--k", "5",
+            ]))
+            .unwrap();
+            pcap(&ana).unwrap();
+        }
+
+        let bad = Args::parse(&sv(&["pcap", "--in", path_s, "--by", "flops"])).unwrap();
+        assert!(pcap(&bad).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pcap_missing_file_is_io_error() {
+        let ana = Args::parse(&sv(&["pcap", "--in", "/nonexistent/x.pcap"])).unwrap();
+        assert!(matches!(pcap(&ana).unwrap_err(), CliError::Io(_)));
+    }
+
+    #[test]
+    fn change_over_generated_trace() {
+        let dir = std::env::temp_dir().join("hk-cli-change-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+        let gen = Args::parse(&sv(&[
+            "generate", "--out", path_s, "--kind", "zipf", "--packets", "30000", "--flows",
+            "3000", "--skew", "1.2", "--seed", "3",
+        ]))
+        .unwrap();
+        generate(&gen).unwrap();
+
+        let ch = Args::parse(&sv(&[
+            "change", "--trace", path_s, "--epochs", "3", "--threshold", "500", "--memory-kb",
+            "16", "--k", "20",
+        ]))
+        .unwrap();
+        change(&ch).unwrap();
+
+        let bad = Args::parse(&sv(&["change", "--trace", path_s, "--epochs", "0"])).unwrap();
+        assert!(change(&bad).is_err());
+        let bad = Args::parse(&sv(&["change", "--trace", path_s, "--threshold", "0"])).unwrap();
+        assert!(change(&bad).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,45 @@
+//! Implementation of the `hk` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `hk generate` — write a synthetic trace to disk (Zipf /
+//!   campus-like / CAIDA-like / adversarial shapes).
+//! * `hk analyze` — run one algorithm over a trace file and print its
+//!   top-k with accuracy against the exact oracle.
+//! * `hk compare` — run the full algorithm suite over a trace file and
+//!   print a precision/ARE/AAE/throughput table.
+//! * `hk pcap-gen` — synthesize a `.pcap` capture (real Ethernet/IPv4
+//!   frames) from a Zipf workload.
+//! * `hk pcap` — read a `.pcap` capture and report top-k flows by
+//!   packets or by bytes.
+//! * `hk change` — split a trace into epochs and report heavy changes
+//!   (eruptions/disappearances) at every epoch boundary.
+//!
+//! The argument parser is a small hand-rolled `--flag value` scanner so
+//! the workspace stays within its sanctioned dependency set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by the binary and the tests.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "analyze" => commands::analyze(&args),
+        "compare" => commands::compare(&args),
+        "pcap-gen" => commands::pcap_gen(&args),
+        "pcap" => commands::pcap(&args),
+        "change" => commands::change(&args),
+        "help" | "" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}

@@ -1,0 +1,10 @@
+//! The `hk` binary: see `hk help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = hk_cli::run(&argv) {
+        eprintln!("error: {e}");
+        eprint!("{}", hk_cli::commands::USAGE);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,54 @@
+//! The common interface every top-k algorithm in this workspace exposes.
+//!
+//! The experiment harness (`hk-metrics`) drives HeavyKeeper and every
+//! baseline through this one trait, which mirrors the operations the
+//! paper's evaluation performs: insert each packet, query a flow's
+//! estimated size, and report the top-k flows.
+
+use crate::key::FlowKey;
+
+/// A streaming top-k / frequency-estimation algorithm.
+pub trait TopKAlgorithm<K: FlowKey> {
+    /// Processes one packet belonging to flow `key`.
+    fn insert(&mut self, key: &K);
+
+    /// Returns the algorithm's estimate of `key`'s size (0 if unknown).
+    fn query(&self, key: &K) -> u64;
+
+    /// Reports the current top-k flows with estimated sizes, largest
+    /// first. The length may be smaller than k early in the stream.
+    fn top_k(&self) -> Vec<(K, u64)>;
+
+    /// The memory the algorithm is accounted with, in bytes, under the
+    /// paper's accounting (Section VI-A): sketch arrays at their bit
+    /// widths plus top-k bookkeeping.
+    fn memory_bytes(&self) -> usize;
+
+    /// A short display name for experiment output (e.g. `"HK-Parallel"`).
+    fn name(&self) -> &'static str;
+
+    /// Processes a whole slice of packets.
+    fn insert_all(&mut self, keys: &[K]) {
+        for k in keys {
+            self.insert(k);
+        }
+    }
+}
+
+impl<K: FlowKey, T: TopKAlgorithm<K> + ?Sized> TopKAlgorithm<K> for Box<T> {
+    fn insert(&mut self, key: &K) {
+        (**self).insert(key);
+    }
+    fn query(&self, key: &K) -> u64 {
+        (**self).query(key)
+    }
+    fn top_k(&self) -> Vec<(K, u64)> {
+        (**self).top_k()
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

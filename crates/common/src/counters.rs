@@ -1,0 +1,130 @@
+//! Bit-width-limited saturating counters.
+//!
+//! The paper's memory accounting assumes 16-bit counter fields
+//! (Section VI-A). Representing counters as plain `u64` would silently
+//! grant the sketch more dynamic range than its memory budget allows, so
+//! sketches in this workspace use [`SaturatingCounter`] which enforces an
+//! explicit bit width and saturates at its maximum.
+
+/// A counter limited to `bits` bits that saturates instead of wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::counters::SaturatingCounter;
+/// let mut c = SaturatingCounter::new(4); // max 15
+/// for _ in 0..100 { c.increment(); }
+/// assert_eq!(c.get(), 15);
+/// c.decrement();
+/// assert_eq!(c.get(), 14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturatingCounter {
+    value: u64,
+    max: u64,
+}
+
+impl SaturatingCounter {
+    /// Creates a zeroed counter with the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0 && bits < 64, "counter width must be in 1..=63");
+        Self {
+            value: 0,
+            max: (1u64 << bits) - 1,
+        }
+    }
+
+    /// Returns the current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Returns the maximum representable value.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns true if the counter is saturated.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// Increments by one, saturating at the maximum.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements by one, flooring at zero. Returns the new value.
+    #[inline]
+    pub fn decrement(&mut self) -> u64 {
+        self.value = self.value.saturating_sub(1);
+        self.value
+    }
+
+    /// Sets the value, clamping to the representable range.
+    #[inline]
+    pub fn set(&mut self, v: u64) {
+        self.value = v.min(self.max);
+    }
+
+    /// Resets to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_max() {
+        let mut c = SaturatingCounter::new(3);
+        for _ in 0..20 {
+            c.increment();
+        }
+        assert_eq!(c.get(), 7);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn floors_at_zero() {
+        let mut c = SaturatingCounter::new(8);
+        assert_eq!(c.decrement(), 0);
+        c.increment();
+        assert_eq!(c.decrement(), 0);
+        assert_eq!(c.decrement(), 0);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = SaturatingCounter::new(16);
+        c.set(1_000_000);
+        assert_eq!(c.get(), 65_535);
+        c.set(42);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_panics() {
+        SaturatingCounter::new(0);
+    }
+
+    #[test]
+    fn sixteen_bit_matches_paper_config() {
+        let c = SaturatingCounter::new(16);
+        assert_eq!(c.max(), 65_535);
+    }
+}

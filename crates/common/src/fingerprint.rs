@@ -1,0 +1,118 @@
+//! Flow fingerprints.
+//!
+//! HeavyKeeper stores a short *fingerprint* of the flow ID in each bucket
+//! instead of the full ID (paper footnote 1): with a 16-bit fingerprint and
+//! ~10⁴ buckets per array, the probability that two distinct flows mapped
+//! to the same bucket also share a fingerprint is ≈ 1.5 × 10⁻³. This module
+//! computes fingerprints and exposes the collision-probability formula so
+//! that tests and docs can reason about it.
+
+use crate::hash::murmur3_32;
+
+/// Default fingerprint width used throughout the reproduction (bits).
+///
+/// Matches the evaluation setup: "Both the fingerprint field and the
+/// counter field are 16-bit long" (Section VI-A).
+pub const DEFAULT_FINGERPRINT_BITS: u32 = 16;
+
+/// Seed for the fingerprint hash function, fixed so that fingerprints are
+/// stable across sketches and runs (the paper uses a single `h_f`).
+const FINGERPRINT_SEED: u32 = 0x9747_B28C;
+
+/// Computes the fingerprint of a flow ID, truncated to `bits` bits.
+///
+/// A fingerprint of 0 is reserved to mean "empty bucket" in some variants,
+/// so the result is remapped away from 0 (0 becomes 1). This costs an
+/// entirely negligible bias (2⁻¹⁶ of keys at 16 bits).
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 32.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::fingerprint::fingerprint_of;
+/// let fp = fingerprint_of(b"10.0.0.1:443->10.0.0.2:8080", 16);
+/// assert!(fp > 0 && fp < (1 << 16));
+/// ```
+#[inline]
+pub fn fingerprint_of(flow_id: &[u8], bits: u32) -> u32 {
+    assert!(bits > 0 && bits <= 32, "fingerprint width must be in 1..=32");
+    let h = murmur3_32(flow_id, FINGERPRINT_SEED);
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let fp = h & mask;
+    if fp == 0 {
+        1
+    } else {
+        fp
+    }
+}
+
+/// Probability that at least one of `flows_per_bucket` other flows sharing
+/// a bucket collides with a given flow's `bits`-bit fingerprint.
+///
+/// This is the quantity behind the paper's footnote-1 estimate: with a
+/// 16-bit fingerprint and 10⁴ buckets over ~10⁶ flows (≈ 100 flows per
+/// bucket), the collision probability is ≈ 1.5 × 10⁻³.
+pub fn collision_probability(bits: u32, flows_per_bucket: f64) -> f64 {
+    assert!(bits > 0 && bits <= 32, "fingerprint width must be in 1..=32");
+    let p_single = 1.0 / (1u64 << bits) as f64;
+    1.0 - (1.0 - p_single).powf(flows_per_bucket)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_nonzero_and_bounded() {
+        for bits in [8u32, 12, 16, 24, 32] {
+            for v in 0..2000u64 {
+                let fp = fingerprint_of(&v.to_le_bytes(), bits);
+                assert!(fp >= 1);
+                if bits < 32 {
+                    assert!(fp < (1 << bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_deterministic() {
+        assert_eq!(fingerprint_of(b"flow-a", 16), fingerprint_of(b"flow-a", 16));
+        assert_ne!(fingerprint_of(b"flow-a", 16), fingerprint_of(b"flow-b", 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint width")]
+    fn zero_width_panics() {
+        fingerprint_of(b"x", 0);
+    }
+
+    #[test]
+    fn collision_probability_matches_footnote() {
+        // Paper footnote 1: 16-bit fingerprints, 10000 buckets → 1.52e-3.
+        // With 10^6 flows over 10^4 buckets that is ~100 flows per bucket.
+        let p = collision_probability(16, 100.0);
+        assert!((p - 1.52e-3).abs() < 2e-4, "p = {p}");
+    }
+
+    #[test]
+    fn collision_rate_empirical() {
+        // Empirically count 16-bit fingerprint collisions among random IDs.
+        let n = 20_000u64;
+        let mut fps: Vec<u32> = (0..n)
+            .map(|v| fingerprint_of(&v.to_le_bytes(), 16))
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        let distinct = fps.len() as f64;
+        // Expected distinct values under uniform hashing (birthday bound):
+        // m(1 - (1-1/m)^n) with m = 65536.
+        let m = 65_536f64;
+        let expected = m * (1.0 - (1.0 - 1.0 / m).powf(n as f64));
+        let dev = (distinct - expected).abs() / expected;
+        assert!(dev < 0.01, "distinct {distinct} vs expected {expected}");
+    }
+}

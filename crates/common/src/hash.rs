@@ -1,0 +1,414 @@
+//! From-scratch hash functions and a seeded 2-universal hash family.
+//!
+//! The paper (Section III-B) requires `d` pairwise-independent hash
+//! functions `h_1 .. h_d` mapping flow IDs to array indices, plus an
+//! independent fingerprint hash `h_f`. We implement two well-known
+//! non-cryptographic hashes from their published specifications —
+//! xxHash64 and MurmurHash3 (x86, 32-bit) — and derive per-array
+//! functions by seeding.
+//!
+//! No external hash crates are used; everything below is implemented from
+//! the algorithm descriptions.
+
+/// Primes from the xxHash64 reference specification.
+const XXH_PRIME64_1: u64 = 0x9E3779B185EBCA87;
+const XXH_PRIME64_2: u64 = 0xC2B2AE3D27D4EB4F;
+const XXH_PRIME64_3: u64 = 0x165667B19E3779F9;
+const XXH_PRIME64_4: u64 = 0x85EBCA77C2B2AE63;
+const XXH_PRIME64_5: u64 = 0x27D4EB2F165667C5;
+
+#[inline(always)]
+fn xxh64_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(XXH_PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(XXH_PRIME64_1)
+}
+
+#[inline(always)]
+fn xxh64_merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ xxh64_round(0, val))
+        .wrapping_mul(XXH_PRIME64_1)
+        .wrapping_add(XXH_PRIME64_4)
+}
+
+#[inline(always)]
+fn read_u64_le(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline(always)]
+fn read_u32_le(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+/// Computes xxHash64 of `data` with the given `seed`.
+///
+/// This follows the canonical xxHash64 algorithm: four parallel lanes over
+/// 32-byte stripes, a merge, then tail processing and avalanche.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::hash::xxhash64;
+/// // Known-answer: empty input, seed 0.
+/// assert_eq!(xxhash64(&[], 0), 0xEF46_DB37_51D8_E999);
+/// ```
+pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut h: u64;
+    let mut rest = data;
+
+    if len >= 32 {
+        let mut v1 = seed
+            .wrapping_add(XXH_PRIME64_1)
+            .wrapping_add(XXH_PRIME64_2);
+        let mut v2 = seed.wrapping_add(XXH_PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(XXH_PRIME64_1);
+
+        while rest.len() >= 32 {
+            v1 = xxh64_round(v1, read_u64_le(&rest[0..]));
+            v2 = xxh64_round(v2, read_u64_le(&rest[8..]));
+            v3 = xxh64_round(v3, read_u64_le(&rest[16..]));
+            v4 = xxh64_round(v4, read_u64_le(&rest[24..]));
+            rest = &rest[32..];
+        }
+
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = xxh64_merge_round(h, v1);
+        h = xxh64_merge_round(h, v2);
+        h = xxh64_merge_round(h, v3);
+        h = xxh64_merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(XXH_PRIME64_5);
+    }
+
+    h = h.wrapping_add(len as u64);
+
+    while rest.len() >= 8 {
+        h ^= xxh64_round(0, read_u64_le(rest));
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(XXH_PRIME64_1)
+            .wrapping_add(XXH_PRIME64_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h ^= u64::from(read_u32_le(rest)).wrapping_mul(XXH_PRIME64_1);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(XXH_PRIME64_2)
+            .wrapping_add(XXH_PRIME64_3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h ^= u64::from(byte).wrapping_mul(XXH_PRIME64_5);
+        h = h.rotate_left(11).wrapping_mul(XXH_PRIME64_1);
+    }
+
+    // Avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(XXH_PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(XXH_PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+/// Computes MurmurHash3 (x86, 32-bit variant) of `data` with `seed`.
+///
+/// Used as the fingerprint hash so that fingerprints and bucket indices
+/// come from structurally different hash functions, reducing correlated
+/// collisions.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::hash::murmur3_32;
+/// // Known-answer vectors from the reference implementation.
+/// assert_eq!(murmur3_32(&[], 0), 0);
+/// assert_eq!(murmur3_32(b"hello", 0), 0x248B_FA47);
+/// ```
+pub fn murmur3_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xCC9E_2D51;
+    const C2: u32 = 0x1B87_3593;
+
+    let mut h = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut k = read_u32_le(chunk);
+        k = k.wrapping_mul(C1).rotate_left(15).wrapping_mul(C2);
+        h ^= k;
+        h = h.rotate_left(13).wrapping_mul(5).wrapping_add(0xE654_6B64);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut k: u32 = 0;
+        for (i, &byte) in tail.iter().enumerate() {
+            k |= u32::from(byte) << (8 * i);
+        }
+        k = k.wrapping_mul(C1).rotate_left(15).wrapping_mul(C2);
+        h ^= k;
+    }
+
+    h ^= data.len() as u32;
+    // fmix32 avalanche.
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
+}
+
+/// A single seeded hash function over byte strings.
+///
+/// Cheap to copy; hashing is stateless apart from the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededHasher {
+    seed: u64,
+}
+
+impl SeededHasher {
+    /// Creates a hasher with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Hashes `data` to a full 64-bit value.
+    #[inline]
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        xxhash64(data, self.seed)
+    }
+
+    /// Hashes `data` to an index in `[0, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    #[inline]
+    pub fn index(&self, data: &[u8], w: usize) -> usize {
+        assert!(w > 0, "array width must be positive");
+        // Multiply-shift mapping avoids modulo bias better than `% w`
+        // for non-power-of-two widths and is faster.
+        let h = self.hash(data);
+        (((u128::from(h)) * (w as u128)) >> 64) as usize
+    }
+
+    /// Returns the seed this hasher was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// A family of independently seeded hash functions.
+///
+/// Seeds are derived from a master seed by hashing the function index, so
+/// families built from the same master seed are reproducible — important
+/// for deterministic tests — while distinct indices give (empirically)
+/// independent functions, satisfying the paper's 2-way independence
+/// requirement for `h_1 .. h_d`.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::hash::HashFamily;
+/// let fam = HashFamily::new(42);
+/// let h0 = fam.hasher(0);
+/// let h1 = fam.hasher(1);
+/// assert_ne!(h0.hash(b"flow"), h1.hash(b"flow"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFamily {
+    master_seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        Self { master_seed }
+    }
+
+    /// Returns the `i`-th hash function of the family.
+    pub fn hasher(&self, i: usize) -> SeededHasher {
+        // Derive the i-th seed by hashing the index under the master seed;
+        // this decorrelates consecutive indices far better than `seed + i`.
+        let derived = xxhash64(&(i as u64).to_le_bytes(), self.master_seed ^ XXH_PRIME64_3);
+        SeededHasher::new(derived)
+    }
+
+    /// Returns the master seed of the family.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+}
+
+/// A fast `std::hash::Hasher` built on the xxHash64 round function, for
+/// the workspace's internal hash maps.
+///
+/// The default SipHash is DoS-resistant but costs tens of nanoseconds per
+/// 13-byte flow key — dominating HeavyKeeper's per-packet budget (the
+/// paper's C++ implementation uses plain fast hashing too). Flow keys in
+/// a measurement sketch are not attacker-chosen hash-map keys in the
+/// SipHash threat-model sense: an adversary who could engineer
+/// collisions would only degrade their own flow's accuracy.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche.
+        let mut h = self.state;
+        h ^= h >> 33;
+        h = h.wrapping_mul(XXH_PRIME64_2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(XXH_PRIME64_3);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            self.state = xxh64_round(self.state, read_u64_le(rest));
+            rest = &rest[8..];
+        }
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.state = xxh64_round(self.state ^ rest.len() as u64, u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = xxh64_round(self.state, v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.state = xxh64_round(self.state, v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.state = xxh64_round(self.state, v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.state = xxh64_round(self.state, v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]-keyed maps.
+pub type FastBuildHasher = std::hash::BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xxhash64_known_answers() {
+        // Vectors cross-checked against the reference xxHash implementation.
+        assert_eq!(xxhash64(&[], 0), 0xEF46DB3751D8E999);
+        assert_ne!(xxhash64(&[], 1), xxhash64(&[], 0), "seed must perturb the hash");
+        assert_eq!(xxhash64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC2CF5AD770999);
+    }
+
+    #[test]
+    fn xxhash64_long_input_stable() {
+        // 100-byte input exercises the 32-byte stripe loop and all tails.
+        let data: Vec<u8> = (0..100u8).collect();
+        let h1 = xxhash64(&data, 7);
+        let h2 = xxhash64(&data, 7);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, xxhash64(&data, 8));
+    }
+
+    #[test]
+    fn murmur3_known_answers() {
+        assert_eq!(murmur3_32(&[], 0), 0);
+        assert_eq!(murmur3_32(&[], 1), 0x514E28B7);
+        assert_eq!(murmur3_32(b"hello", 0), 0x248BFA47);
+        assert_eq!(murmur3_32(b"hello, world", 0), 0x149BBB7F);
+        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2E4FF723);
+    }
+
+    #[test]
+    fn index_is_in_range_and_deterministic() {
+        let h = SeededHasher::new(99);
+        for w in [1usize, 2, 3, 17, 1024, 100_000] {
+            for v in 0..200u64 {
+                let idx = h.index(&v.to_le_bytes(), w);
+                assert!(idx < w);
+                assert_eq!(idx, h.index(&v.to_le_bytes(), w));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "array width must be positive")]
+    fn index_zero_width_panics() {
+        SeededHasher::new(1).index(b"x", 0);
+    }
+
+    #[test]
+    fn index_distribution_is_roughly_uniform() {
+        // Chi-squared-style sanity check: 64 buckets, 64k keys.
+        let h = SeededHasher::new(12345);
+        let w = 64;
+        let n = 65_536u64;
+        let mut counts = vec![0u64; w];
+        for v in 0..n {
+            counts[h.index(&v.to_le_bytes(), w)] += 1;
+        }
+        let expected = (n as f64) / (w as f64);
+        for &c in &counts {
+            let dev = ((c as f64) - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn family_members_are_decorrelated() {
+        // The fraction of keys where two family members agree on a 64-wide
+        // index should be close to 1/64.
+        let fam = HashFamily::new(7);
+        let (h0, h1) = (fam.hasher(0), fam.hasher(1));
+        let w = 64;
+        let n = 40_000u64;
+        let mut agree = 0u64;
+        for v in 0..n {
+            let b = v.to_le_bytes();
+            if h0.index(&b, w) == h1.index(&b, w) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / n as f64;
+        assert!(
+            (frac - 1.0 / 64.0).abs() < 0.01,
+            "agreement fraction {frac:.4} should be near 1/64"
+        );
+    }
+
+    #[test]
+    fn family_is_reproducible() {
+        let a = HashFamily::new(3).hasher(5);
+        let b = HashFamily::new(3).hasher(5);
+        assert_eq!(a.hash(b"k"), b.hash(b"k"));
+    }
+}

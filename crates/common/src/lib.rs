@@ -1,0 +1,41 @@
+//! Shared substrate for the HeavyKeeper reproduction.
+//!
+//! This crate contains the building blocks that both the HeavyKeeper
+//! implementations (`heavykeeper` crate) and all baseline algorithms
+//! (`hk-baselines` crate) are built from:
+//!
+//! * [`hash`] — from-scratch xxHash64 and MurmurHash3 implementations plus
+//!   a seeded, 2-universal hash family. The paper requires `d` 2-way
+//!   independent hash functions (Section III-B); this module provides them
+//!   without external hash crates.
+//! * [`fingerprint`] — flow-fingerprint extraction and collision-probability
+//!   helpers (paper footnote 1).
+//! * [`stream_summary`] — the Stream-Summary structure of Metwally et al.
+//!   used by Space-Saving and by HeavyKeeper's top-k bookkeeping, with O(1)
+//!   amortized increment and replace-min.
+//! * [`topk`] — an indexed min-heap top-k tracker, the didactic structure
+//!   the paper uses to explain the algorithms.
+//! * [`counters`] — bit-width-limited counters so that memory accounting
+//!   (16-bit counter fields, Section VI-A) is enforced in type.
+//! * [`prng`] — a tiny, fast xorshift PRNG used for decay coin flips.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod counters;
+pub mod fingerprint;
+pub mod hash;
+pub mod key;
+pub mod prng;
+pub mod stream_summary;
+pub mod topk;
+
+pub use algorithm::TopKAlgorithm;
+pub use counters::SaturatingCounter;
+pub use fingerprint::fingerprint_of;
+pub use hash::{HashFamily, SeededHasher};
+pub use key::{FlowKey, KeyBytes};
+pub use prng::XorShift64;
+pub use stream_summary::StreamSummary;
+pub use topk::MinHeapTopK;

@@ -1,0 +1,158 @@
+//! A small, fast xorshift PRNG for decay coin flips.
+//!
+//! HeavyKeeper's hot path flips a biased coin with probability `b^{-C}`
+//! (Section III-B, "Decay probability"). A full-featured RNG is
+//! unnecessary overhead there; this xorshift64* generator produces one
+//! `u64` in a handful of cycles and has far more than enough quality for
+//! Bernoulli sampling. It also implements [`rand::RngCore`] so callers can
+//! substitute any other `rand` generator.
+
+use rand::RngCore;
+
+/// xorshift64* pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::prng::XorShift64;
+/// let mut rng = XorShift64::new(1);
+/// let x = rng.next_u64_raw();
+/// let y = rng.next_u64_raw();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed. A zero seed is remapped (xorshift
+    /// has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64_raw(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Flips a coin that lands true with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+}
+
+impl RngCore for XorShift64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut rng = XorShift64::new(0);
+        assert_ne!(rng.next_u64_raw(), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = XorShift64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = XorShift64::new(1234);
+        let p = 0.3;
+        let n = 200_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(p)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - p).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut rng = XorShift64::new(5);
+        assert!(!rng.bernoulli(0.0));
+        assert!(!rng.bernoulli(-1.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(rng.bernoulli(2.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = XorShift64::new(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = XorShift64::new(77);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+}

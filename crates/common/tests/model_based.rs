@@ -1,0 +1,132 @@
+//! Model-based testing of the Stream-Summary: drive the real O(1)
+//! bucket-list implementation and a trivially-correct `HashMap` model
+//! through the same randomized operation sequences and require the
+//! observable state to agree after every step.
+//!
+//! The model keeps only `key → count`; eviction victims under count
+//! ties are implementation-defined, so the comparison is over the
+//! tie-insensitive observables: the count multiset, `min/max`,
+//! membership in the model (the real structure may pick any victim
+//! among minimum-count entries, so membership is compared only when the
+//! minimum is unique).
+
+use hk_common::stream_summary::StreamSummary;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert key with count (only if absent and not full).
+    Insert(u8, u64),
+    /// Increment key by amount (if present).
+    Increment(u8, u64),
+    /// Raise key's count (if present; Stream-Summary moves it).
+    SetCount(u8, u64),
+    /// Evict one minimum entry.
+    EvictMin,
+    /// Remove key (if present).
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u64..100).prop_map(|(k, c)| Op::Insert(k, c)),
+        3 => (any::<u8>(), 1u64..50).prop_map(|(k, c)| Op::Increment(k, c)),
+        2 => (any::<u8>(), 1u64..200).prop_map(|(k, c)| Op::SetCount(k, c)),
+        1 => Just(Op::EvictMin),
+        1 => any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+fn sorted_counts(m: &HashMap<u8, u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.values().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stream_summary_agrees_with_hashmap_model(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        capacity in 1usize..24,
+    ) {
+        let mut real = StreamSummary::<u8>::new(capacity);
+        let mut model: HashMap<u8, u64> = HashMap::new();
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(k, c) => {
+                    if !model.contains_key(&k) && model.len() < capacity {
+                        prop_assert!(real.insert(k, c), "step {}: insert rejected", step);
+                        model.insert(k, c);
+                    }
+                }
+                Op::Increment(k, by) => {
+                    let expect = model.get(&k).map(|&c| c + by);
+                    prop_assert_eq!(real.increment(&k, by), expect, "step {}", step);
+                    if let Some(c) = model.get_mut(&k) {
+                        *c += by;
+                    }
+                }
+                Op::SetCount(k, c) => {
+                    // Stream-Summary's set_count is used for raises
+                    // (update_max); only apply when it raises.
+                    if let Some(&cur) = model.get(&k) {
+                        if c > cur {
+                            prop_assert_eq!(real.set_count(&k, c), Some(cur), "step {}", step);
+                            model.insert(k, c);
+                        }
+                    }
+                }
+                Op::EvictMin => {
+                    let evicted = real.evict_min();
+                    match evicted {
+                        None => prop_assert!(model.is_empty(), "step {}", step),
+                        Some((k, c)) => {
+                            let min = *model.values().min().unwrap();
+                            prop_assert_eq!(c, min, "step {}: evicted non-minimum", step);
+                            prop_assert_eq!(model.remove(&k), Some(c), "step {}", step);
+                        }
+                    }
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(real.remove(&k), model.remove(&k), "step {}", step);
+                }
+            }
+
+            // Observable state agreement after every operation.
+            real.check_invariants();
+            prop_assert_eq!(real.len(), model.len(), "step {}", step);
+            prop_assert_eq!(real.min_count(), model.values().min().copied(), "step {}", step);
+            prop_assert_eq!(real.max_count(), model.values().max().copied(), "step {}", step);
+            let real_counts: Vec<u64> = {
+                let mut v: Vec<u64> = real.iter_desc().map(|(_, c)| c).collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(real_counts, sorted_counts(&model), "step {}", step);
+            for (k, &c) in &model {
+                prop_assert_eq!(real.count(k), Some(c), "step {}: key {}", step, k);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_the_models_largest(
+        entries in prop::collection::hash_map(any::<u8>(), 1u64..1000, 1..30),
+        k in 1usize..10,
+    ) {
+        let mut real = StreamSummary::<u8>::new(entries.len());
+        for (&key, &c) in &entries {
+            real.insert(key, c);
+        }
+        let top = real.top_k(k);
+        let mut expect: Vec<u64> = entries.values().copied().collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(k);
+        let got: Vec<u64> = top.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

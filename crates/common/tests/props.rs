@@ -1,0 +1,176 @@
+//! Property-based tests for the substrate structures: Stream-Summary and
+//! the indexed min-heap are checked against a naive reference model
+//! under arbitrary operation sequences.
+
+use hk_common::stream_summary::StreamSummary;
+use hk_common::topk::MinHeapTopK;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations on a bounded count-ordered structure.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u32),
+    Increment(u8, u32),
+    SetCount(u8, u32),
+    EvictMin,
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u32..1000).prop_map(|(k, c)| Op::Insert(k, c)),
+        (any::<u8>(), 1u32..50).prop_map(|(k, c)| Op::Increment(k, c)),
+        (any::<u8>(), 1u32..1000).prop_map(|(k, c)| Op::SetCount(k, c)),
+        Just(Op::EvictMin),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+/// Naive reference: a hash map plus linear scans.
+#[derive(Default)]
+struct Model {
+    counts: HashMap<u8, u64>,
+    capacity: usize,
+}
+
+impl Model {
+    fn min_count(&self) -> Option<u64> {
+        self.counts.values().min().copied()
+    }
+    fn max_count(&self) -> Option<u64> {
+        self.counts.values().max().copied()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stream_summary_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        capacity in 1usize..24,
+    ) {
+        let mut ss: StreamSummary<u8> = StreamSummary::new(capacity);
+        let mut model = Model { counts: HashMap::new(), capacity };
+
+        for op in ops {
+            match op {
+                Op::Insert(k, c) => {
+                    let ok = ss.insert(k, c as u64);
+                    let model_ok = !model.counts.contains_key(&k)
+                        && model.counts.len() < model.capacity;
+                    prop_assert_eq!(ok, model_ok);
+                    if model_ok {
+                        model.counts.insert(k, c as u64);
+                    }
+                }
+                Op::Increment(k, by) => {
+                    let got = ss.increment(&k, by as u64);
+                    let expect = model.counts.get_mut(&k).map(|v| {
+                        *v += by as u64;
+                        *v
+                    });
+                    prop_assert_eq!(got, expect);
+                }
+                Op::SetCount(k, c) => {
+                    let got = ss.set_count(&k, c as u64);
+                    let expect = model.counts.get_mut(&k).map(|v| {
+                        let old = *v;
+                        *v = c as u64;
+                        old
+                    });
+                    prop_assert_eq!(got, expect);
+                }
+                Op::EvictMin => {
+                    let got = ss.evict_min();
+                    match got {
+                        Some((k, c)) => {
+                            // Must be *a* minimum (which one is
+                            // unspecified under ties).
+                            prop_assert_eq!(Some(c), model.min_count());
+                            prop_assert_eq!(model.counts.remove(&k), Some(c));
+                        }
+                        None => prop_assert!(model.counts.is_empty()),
+                    }
+                }
+                Op::Remove(k) => {
+                    let got = ss.remove(&k);
+                    prop_assert_eq!(got, model.counts.remove(&k));
+                }
+            }
+            ss.check_invariants();
+            prop_assert_eq!(ss.len(), model.counts.len());
+            prop_assert_eq!(ss.min_count(), model.min_count());
+            prop_assert_eq!(ss.max_count(), model.max_count());
+        }
+
+        // Final: the descending iteration is the model sorted by count.
+        let mut got: Vec<u64> = ss.iter_desc().map(|(_, c)| c).collect();
+        let mut expect: Vec<u64> = model.counts.values().copied().collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn minheap_always_tracks_k_largest_offers(
+        items in prop::collection::vec((any::<u16>(), 1u64..10_000), 1..200),
+        k in 1usize..16,
+    ) {
+        // Offer every (key, count) with distinct keys and unique counts:
+        // the heap must end holding the k largest final values.
+        let mut dedup: HashMap<u16, u64> = HashMap::new();
+        for (key, count) in items {
+            dedup.insert(key, count);
+        }
+        let mut heap = MinHeapTopK::new(k);
+        for (&key, &count) in &dedup {
+            if !heap.is_full() || count > heap.min_count().unwrap_or(0) {
+                heap.offer(key, count);
+            }
+            heap.check_invariants();
+        }
+        let mut expect: Vec<u64> = dedup.values().copied().collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(k);
+        let mut got: Vec<u64> = heap.sorted_desc().iter().map(|&(_, c)| c).collect();
+        // Ties at the boundary make the *key set* ambiguous but the
+        // count multiset must match.
+        got.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn key_bytes_roundtrip_distinct(
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        use hk_common::key::FlowKey;
+        prop_assert_eq!(a == b, a.key_bytes() == b.key_bytes());
+    }
+
+    #[test]
+    fn hash_family_members_stay_in_range(
+        seed in any::<u64>(),
+        idx in 0usize..16,
+        key in any::<u64>(),
+        w in 1usize..10_000,
+    ) {
+        use hk_common::hash::HashFamily;
+        let h = HashFamily::new(seed).hasher(idx);
+        prop_assert!(h.index(&key.to_le_bytes(), w) < w);
+    }
+
+    #[test]
+    fn bernoulli_never_fires_on_zero_probability(
+        seed in any::<u64>(),
+    ) {
+        use hk_common::prng::XorShift64;
+        let mut rng = XorShift64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(!rng.bernoulli(0.0));
+            prop_assert!(rng.bernoulli(1.0));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The basic HeavyKeeper top-k finder (Section III-C).
+//!
+//! Per packet: insert into the sketch with the plain three-case rule
+//! (decay in every mapped bucket), read back the estimate `n̂`, and update
+//! the top-k store — `max`-update if the flow is already monitored,
+//! otherwise admit it whenever `n̂` exceeds the current minimum.
+//!
+//! This version has neither Optimization I (fingerprint-collision
+//! detection) nor Optimization II (selective increment); it exists as the
+//! paper's baseline variant and as the subject of the appendix error
+//! bound (Theorem 5), which experiment E21 validates.
+
+use crate::config::HkConfig;
+use crate::sketch::HkSketch;
+use crate::store::TopKStore;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+/// Basic HeavyKeeper + min-heap (Section III-C).
+///
+/// # Examples
+///
+/// ```
+/// use heavykeeper::{BasicTopK, HkConfig};
+/// use hk_common::TopKAlgorithm;
+/// let cfg = HkConfig::builder().width(128).k(4).seed(2).build();
+/// let mut hk = BasicTopK::<u64>::new(cfg);
+/// for _ in 0..1000 { hk.insert(&1); }
+/// for i in 0..100u64 { hk.insert(&(i + 10)); }
+/// assert_eq!(hk.top_k()[0].0, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicTopK<K: FlowKey> {
+    sketch: HkSketch,
+    store: TopKStore<K>,
+    cfg: HkConfig,
+}
+
+impl<K: FlowKey> BasicTopK<K> {
+    /// Builds the algorithm from a configuration.
+    pub fn new(cfg: HkConfig) -> Self {
+        Self {
+            sketch: HkSketch::new(&cfg),
+            store: TopKStore::new(cfg.store, cfg.k),
+            cfg,
+        }
+    }
+
+    /// Convenience constructor from a total memory budget (bytes): the
+    /// top-k store gets its `k·(ID+4)` bytes, the sketch the remainder —
+    /// the paper's Section VI-A accounting.
+    pub fn with_memory(bytes: usize, k: usize, seed: u64) -> Self {
+        let store_bytes = k * (K::ENCODED_LEN + 4);
+        let sketch_bytes = bytes.saturating_sub(store_bytes).max(8);
+        let cfg = HkConfig::builder()
+            .memory_bytes(sketch_bytes)
+            .k(k)
+            .seed(seed)
+            .build();
+        Self::new(cfg)
+    }
+
+    /// Read access to the underlying sketch (diagnostics and tests).
+    pub fn sketch(&self) -> &HkSketch {
+        &self.sketch
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &HkConfig {
+        &self.cfg
+    }
+
+    /// Clears all measurement state for a new epoch, keeping the
+    /// configuration. Used by periodic network-wide collection (paper
+    /// footnote 2), where each switch reports and resets per period.
+    pub fn reset(&mut self) {
+        self.sketch.reset();
+        self.store = TopKStore::new(self.cfg.store, self.cfg.k);
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for BasicTopK<K> {
+    fn insert(&mut self, key: &K) {
+        let kb = key.key_bytes();
+        let p = self.sketch.prepare(kb.as_slice());
+        self.sketch.insert_basic_prepared(&p);
+        let estimate = self.sketch.query_prepared(&p);
+        if self.store.contains(key) {
+            self.store.update_max(key, estimate);
+        } else if estimate > self.store.nmin() {
+            // nmin() is 0 while the store is not full, so early flows with
+            // any positive estimate are admitted, as in the paper.
+            if estimate > 0 {
+                self.store.admit(key.clone(), estimate);
+            }
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        self.sketch.query(kb.as_slice())
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.store.sorted_desc()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes() + self.store.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "HK-Basic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> HkConfig {
+        HkConfig::builder().arrays(2).width(64).k(4).seed(3).build()
+    }
+
+    #[test]
+    fn finds_single_elephant() {
+        let mut hk = BasicTopK::<u64>::new(small_cfg());
+        for _ in 0..500 {
+            hk.insert(&42);
+        }
+        for i in 0..200u64 {
+            hk.insert(&(100 + i));
+        }
+        let top = hk.top_k();
+        assert_eq!(top[0].0, 42);
+        assert!(top[0].1 <= 500, "no over-estimation");
+        assert!(top[0].1 > 400, "estimate should be near 500, got {}", top[0].1);
+    }
+
+    #[test]
+    fn top_k_sorted_and_bounded() {
+        let mut hk = BasicTopK::<u64>::new(small_cfg());
+        for f in 1..=8u64 {
+            for _ in 0..(f * 50) {
+                hk.insert(&f);
+            }
+        }
+        let top = hk.top_k();
+        assert!(top.len() <= 4);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn query_mouse_flow_is_small() {
+        let mut hk = BasicTopK::<u64>::new(small_cfg());
+        for _ in 0..1000 {
+            hk.insert(&1);
+        }
+        hk.insert(&999);
+        // Flow 999 was inserted once; its estimate is at most 1 (or 0 if
+        // its buckets are contested).
+        assert!(hk.query(&999) <= 1);
+    }
+
+    #[test]
+    fn memory_accounting_includes_store() {
+        let hk = BasicTopK::<u64>::new(small_cfg());
+        // Sketch: 2x64x4 = 512; store: 4x(8+4) = 48.
+        assert_eq!(hk.memory_bytes(), 512 + 48);
+    }
+
+    #[test]
+    fn with_memory_budget_respected() {
+        let hk = BasicTopK::<u64>::with_memory(10 * 1024, 100, 1);
+        assert!(hk.memory_bytes() <= 10 * 1024);
+        // Should use most of the budget, not a token amount.
+        assert!(hk.memory_bytes() > 9 * 1024);
+    }
+
+    #[test]
+    fn empty_top_k_initially() {
+        let hk = BasicTopK::<u64>::new(small_cfg());
+        assert!(hk.top_k().is_empty());
+        assert_eq!(hk.query(&1), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Buckets and bucket arrays.
+//!
+//! Each HeavyKeeper bucket holds a fingerprint field `FP` and a counter
+//! field `C` (Figure 1). The struct below stores both in native integers
+//! for speed while the *accounted* memory (what experiments charge the
+//! algorithm for) uses the configured bit widths — exactly how a C
+//! implementation with packed 16+16-bit buckets would behave.
+//!
+//! Index computation lives in [`crate::sketch::HkSketch`] (one hash per
+//! packet, Kirsch–Mitzenmacher derivation); an [`Array`] is pure bucket
+//! storage.
+
+/// One `(fingerprint, counter)` bucket.
+///
+/// `fp == 0` encodes an empty bucket; real fingerprints are remapped away
+/// from 0 by the sketch's fingerprint derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bucket {
+    /// Fingerprint field (0 = empty).
+    pub fp: u32,
+    /// Counter field.
+    pub count: u64,
+}
+
+impl Bucket {
+    /// True if no flow is held here (counter 0).
+    ///
+    /// The paper's invariant: "as long as flows are mapped to a bucket,
+    /// its counter field will never be 0", so `count == 0 ⇔ empty`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One of HeavyKeeper's `d` arrays: `w` buckets.
+#[derive(Debug, Clone)]
+pub struct Array {
+    buckets: Vec<Bucket>,
+}
+
+impl Array {
+    /// Creates an array of `w` empty buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn new(w: usize) -> Self {
+        assert!(w > 0, "array width must be positive");
+        Self { buckets: vec![Bucket::default(); w] }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Immutable access to bucket `i`.
+    #[inline]
+    pub fn bucket(&self, i: usize) -> &Bucket {
+        &self.buckets[i]
+    }
+
+    /// Mutable access to bucket `i`.
+    #[inline]
+    pub fn bucket_mut(&mut self, i: usize) -> &mut Bucket {
+        &mut self.buckets[i]
+    }
+
+    /// Iterates over all buckets.
+    pub fn iter(&self) -> impl Iterator<Item = &Bucket> + '_ {
+        self.buckets.iter()
+    }
+
+    /// Number of non-empty buckets (used by tests and diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_array_is_empty() {
+        let a = Array::new(16);
+        assert_eq!(a.width(), 16);
+        assert_eq!(a.occupancy(), 0);
+        assert!(a.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn bucket_mutation() {
+        let mut a = Array::new(4);
+        a.bucket_mut(2).fp = 9;
+        a.bucket_mut(2).count = 5;
+        assert_eq!(a.bucket(2).fp, 9);
+        assert_eq!(a.bucket(2).count, 5);
+        assert_eq!(a.occupancy(), 1);
+    }
+
+    #[test]
+    fn empty_means_zero_count() {
+        let b = Bucket { fp: 7, count: 0 };
+        assert!(b.is_empty(), "a zero counter is empty even with stale fp");
+        let b = Bucket { fp: 7, count: 1 };
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        Array::new(0);
+    }
+}

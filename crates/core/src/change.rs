@@ -1,0 +1,301 @@
+//! Heavy-change detection across measurement epochs — an extension
+//! beyond the paper.
+//!
+//! The paper motivates top-k measurement with anomaly detection
+//! (Section I-A); the concrete primitive anomaly detectors want is the
+//! *heavy change*: a flow whose size changed by more than a threshold
+//! between two adjacent epochs (a new DDoS source ramping up, a service
+//! going dark). HeavyGuardian (the decay strategy's origin) lists heavy
+//! change among its five tasks; HeavyKeeper does not address it. The
+//! epoch deployment model (footnote 2: report and reset per period)
+//! makes it cheap to add on top of HeavyKeeper:
+//!
+//! Keep the previous epoch's top-k report (k flows + sizes, a few KB)
+//! next to the current epoch's sketch. At the epoch boundary, a flow is
+//! a heavy change if `|n̂_now − n̂_prev| ≥ threshold`, where a flow
+//! missing from one epoch's view counts as 0 there.
+//!
+//! Detection is necessarily restricted to flows that were heavy enough
+//! to be *reported* in at least one epoch — the same candidate-set
+//! limit every sketch-based change detector has. A mouse-to-mouse
+//! change (e.g. 3 → 80 packets, both below the top-k floor) is
+//! invisible; a mouse-to-elephant or elephant-to-mouse change is
+//! exactly what the top-k reports surface. Since per-epoch estimates
+//! never over-estimate (Theorem 2), a *detected increase* of `Δ` means
+//! the true increase is at least `Δ − (prev's over-read of 0) −
+//! under-estimation slack` — in practice the under-estimation of
+//! elephants is tiny (Theorem 3), so thresholds transfer.
+
+use crate::parallel::ParallelTopK;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use std::collections::HashMap;
+
+/// Which direction a flow's size moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The flow grew (e.g. attack ramp-up, new bulk transfer).
+    Increase,
+    /// The flow shrank (e.g. service outage, transfer completed).
+    Decrease,
+}
+
+/// One detected heavy change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyChange<K> {
+    /// The flow that changed.
+    pub flow: K,
+    /// Estimated size in the previous epoch (0 if unreported).
+    pub before: u64,
+    /// Estimated size in the current epoch (0 if unreported).
+    pub after: u64,
+    /// Direction of the change.
+    pub kind: ChangeKind,
+}
+
+impl<K> HeavyChange<K> {
+    /// The absolute estimated change.
+    pub fn magnitude(&self) -> u64 {
+        self.before.abs_diff(self.after)
+    }
+}
+
+/// Epoch-to-epoch heavy-change detector over a HeavyKeeper.
+///
+/// # Examples
+///
+/// ```
+/// use heavykeeper::change::{ChangeKind, HeavyChangeDetector};
+/// use heavykeeper::HkConfig;
+///
+/// let cfg = HkConfig::builder().width(512).k(8).seed(1).build();
+/// let mut det = HeavyChangeDetector::<u64>::new(cfg, 500);
+/// // Epoch 1: flow 1 is the elephant.
+/// for _ in 0..1000 {
+///     det.insert(&1);
+/// }
+/// assert!(det.end_epoch().is_empty(), "first epoch has no baseline");
+/// // Epoch 2: flow 1 vanishes, flow 2 erupts.
+/// for _ in 0..1000 {
+///     det.insert(&2);
+/// }
+/// let changes = det.end_epoch();
+/// assert!(changes.iter().any(|c| c.flow == 2 && c.kind == ChangeKind::Increase));
+/// assert!(changes.iter().any(|c| c.flow == 1 && c.kind == ChangeKind::Decrease));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeavyChangeDetector<K: FlowKey> {
+    current: ParallelTopK<K>,
+    previous: HashMap<K, u64>,
+    threshold: u64,
+    epochs: u64,
+}
+
+impl<K: FlowKey> HeavyChangeDetector<K> {
+    /// Creates a detector flagging changes of at least `threshold`
+    /// packets between adjacent epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` (every reported flow would be a
+    /// change).
+    pub fn new(cfg: crate::config::HkConfig, threshold: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        Self {
+            current: ParallelTopK::new(cfg),
+            previous: HashMap::new(),
+            threshold,
+            epochs: 0,
+        }
+    }
+
+    /// The change threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Completed epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Processes one packet of the current epoch.
+    pub fn insert(&mut self, key: &K) {
+        self.current.insert(key);
+    }
+
+    /// Read access to the current epoch's top-k (diagnostics).
+    pub fn current_top_k(&self) -> Vec<(K, u64)> {
+        self.current.top_k()
+    }
+
+    /// Closes the epoch: returns the heavy changes versus the previous
+    /// epoch (largest magnitude first), stores this epoch's report as
+    /// the new baseline, and resets the sketch for the next epoch.
+    ///
+    /// The first `end_epoch` returns no changes (no baseline yet).
+    pub fn end_epoch(&mut self) -> Vec<HeavyChange<K>> {
+        let now: HashMap<K, u64> = self.current.top_k().into_iter().collect();
+        let mut changes = Vec::new();
+        if self.epochs > 0 {
+            // Flows visible now: compare against the previous estimate
+            // (0 when previously unreported).
+            for (flow, &after) in &now {
+                let before = self.previous.get(flow).copied().unwrap_or(0);
+                push_if_heavy(&mut changes, flow.clone(), before, after, self.threshold);
+            }
+            // Flows that fell out of the report entirely.
+            for (flow, &before) in &self.previous {
+                if !now.contains_key(flow) {
+                    push_if_heavy(&mut changes, flow.clone(), before, 0, self.threshold);
+                }
+            }
+            changes.sort_by(|a, b| b.magnitude().cmp(&a.magnitude()));
+        }
+        self.previous = now;
+        self.current.reset();
+        self.epochs += 1;
+        changes
+    }
+}
+
+fn push_if_heavy<K>(
+    out: &mut Vec<HeavyChange<K>>,
+    flow: K,
+    before: u64,
+    after: u64,
+    threshold: u64,
+) {
+    if before.abs_diff(after) >= threshold {
+        out.push(HeavyChange {
+            flow,
+            before,
+            after,
+            kind: if after >= before { ChangeKind::Increase } else { ChangeKind::Decrease },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HkConfig;
+
+    fn cfg() -> HkConfig {
+        HkConfig::builder().width(512).k(8).seed(3).build()
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _ = HeavyChangeDetector::<u64>::new(cfg(), 0);
+    }
+
+    #[test]
+    fn first_epoch_has_no_changes() {
+        let mut det = HeavyChangeDetector::<u64>::new(cfg(), 10);
+        for _ in 0..1000 {
+            det.insert(&1);
+        }
+        assert!(det.end_epoch().is_empty());
+        assert_eq!(det.epochs(), 1);
+    }
+
+    #[test]
+    fn stable_traffic_reports_nothing() {
+        let mut det = HeavyChangeDetector::<u64>::new(cfg(), 100);
+        for _ in 0..3 {
+            for _ in 0..1000 {
+                det.insert(&1);
+                det.insert(&2);
+            }
+            let changes = det.end_epoch();
+            if det.epochs() > 1 {
+                assert!(changes.is_empty(), "stable flows flagged: {changes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eruption_and_disappearance_detected() {
+        let mut det = HeavyChangeDetector::<u64>::new(cfg(), 500);
+        for _ in 0..1000 {
+            det.insert(&1);
+        }
+        det.end_epoch();
+        for _ in 0..1000 {
+            det.insert(&2);
+        }
+        let changes = det.end_epoch();
+        let up = changes.iter().find(|c| c.flow == 2).expect("eruption missed");
+        assert_eq!(up.kind, ChangeKind::Increase);
+        assert_eq!(up.before, 0);
+        assert!(up.after <= 1000, "no over-estimation");
+        let down = changes.iter().find(|c| c.flow == 1).expect("disappearance missed");
+        assert_eq!(down.kind, ChangeKind::Decrease);
+        assert_eq!(down.after, 0);
+    }
+
+    #[test]
+    fn sub_threshold_drift_ignored() {
+        let mut det = HeavyChangeDetector::<u64>::new(cfg(), 500);
+        for _ in 0..1000 {
+            det.insert(&1);
+        }
+        det.end_epoch();
+        // 1000 -> 800: drift of 200 < 500.
+        for _ in 0..800 {
+            det.insert(&1);
+        }
+        assert!(det.end_epoch().is_empty());
+    }
+
+    #[test]
+    fn changes_sorted_by_magnitude() {
+        let mut det = HeavyChangeDetector::<u64>::new(cfg(), 100);
+        for _ in 0..500 {
+            det.insert(&1);
+        }
+        for _ in 0..2000 {
+            det.insert(&2);
+        }
+        det.end_epoch();
+        // Both vanish; flow 2's change is larger.
+        for _ in 0..1500 {
+            det.insert(&3);
+        }
+        let changes = det.end_epoch();
+        assert!(changes.len() >= 3);
+        assert!(changes.windows(2).all(|w| w[0].magnitude() >= w[1].magnitude()));
+        assert_eq!(changes[0].flow, 2);
+    }
+
+    #[test]
+    fn magnitude_is_absolute_difference() {
+        let c = HeavyChange { flow: 1u64, before: 300, after: 120, kind: ChangeKind::Decrease };
+        assert_eq!(c.magnitude(), 180);
+    }
+
+    #[test]
+    fn background_noise_does_not_hide_change() {
+        // An eruption among 2000 background mice per epoch.
+        let mut det = HeavyChangeDetector::<u64>::new(cfg(), 400);
+        let mut mouse = 10_000u64;
+        for epoch in 0..2 {
+            for i in 0..2000u64 {
+                det.insert(&mouse);
+                mouse += 1;
+                if epoch == 1 && i % 4 == 0 {
+                    det.insert(&7); // erupting flow, 500 pkts
+                }
+            }
+            let changes = det.end_epoch();
+            if epoch == 1 {
+                assert!(
+                    changes.iter().any(|c| c.flow == 7 && c.kind == ChangeKind::Increase),
+                    "eruption lost in noise: {changes:?}"
+                );
+            }
+        }
+    }
+}

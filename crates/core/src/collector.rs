@@ -1,0 +1,340 @@
+//! Network-wide top-k collection.
+//!
+//! The paper's footnote 2 describes the deployment HeavyKeeper targets:
+//! each switch runs a sketch over its own traffic and periodically ships
+//! it to a central collector, which combines the per-switch views into a
+//! network-wide top-k and the switches reset for the next period.
+//!
+//! [`Collector`] implements the collector side. Switches submit either
+//! whole sketches (merged via [`crate::merge`]) or plain top-k reports
+//! (flow, estimate) when shipping the full sketch is too expensive.
+//! Because one packet traverses several switches, the collector must be
+//! told how to reconcile counts for the same flow seen at different
+//! vantage points — [`AggregationRule`]:
+//!
+//! * [`AggregationRule::Max`] — every switch on a flow's path counts all
+//!   of its packets, so the network-wide size is the *maximum* of the
+//!   per-switch counts (the right rule for a single administrative domain
+//!   where paths overlap). `Max` also preserves no-over-estimation: each
+//!   input is a lower bound on the flow's true size, hence so is the max.
+//! * [`AggregationRule::Sum`] — vantage points observe *disjoint* traffic
+//!   (e.g. per-rack ToR uplinks), so sizes add.
+//!
+//! # Examples
+//!
+//! ```
+//! use heavykeeper::collector::{AggregationRule, Collector};
+//! use heavykeeper::{HkConfig, ParallelTopK};
+//! use hk_common::TopKAlgorithm;
+//!
+//! let cfg = HkConfig::builder().width(512).k(4).seed(7).build();
+//! let mut sw1 = ParallelTopK::<u64>::new(cfg.clone());
+//! let mut sw2 = ParallelTopK::<u64>::new(cfg);
+//! for i in 0..1000 {
+//!     sw1.insert(&1); // flow 1 crosses both switches
+//!     sw2.insert(&1);
+//!     if i % 2 == 0 {
+//!         sw2.insert(&2); // flow 2: only at switch 2, half the size
+//!     }
+//! }
+//! let mut coll = Collector::new(4, AggregationRule::Max);
+//! coll.submit_report(sw1.top_k());
+//! coll.submit_report(sw2.top_k());
+//! let top = coll.top_k();
+//! assert_eq!(top[0].0, 1);
+//! assert!(top[0].1 <= 1000, "Max rule never over-estimates");
+//! ```
+
+use std::collections::HashMap;
+
+use crate::merge::{MergeError, MergeMode};
+use crate::parallel::ParallelTopK;
+use crate::wire::WireError;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+/// Why a wire submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The payload did not decode.
+    Wire(WireError),
+    /// The decoded sketch is not merge-compatible with earlier ones.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "wire decode failed: {e}"),
+            Self::Merge(e) => write!(f, "merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How per-switch counts for the same flow combine network-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationRule {
+    /// Overlapping vantage points: take the maximum count. Preserves the
+    /// no-over-estimation property of the inputs.
+    #[default]
+    Max,
+    /// Disjoint vantage points: counts add.
+    Sum,
+}
+
+/// Central collector aggregating per-switch top-k evidence.
+///
+/// Works from plain `(flow, estimate)` reports; for whole-sketch
+/// submission see [`Collector::submit_sketch`], which folds the sketch's
+/// own top-k through the same path after merging the bucket arrays into
+/// an accumulated network-wide sketch.
+#[derive(Debug, Clone)]
+pub struct Collector<K: FlowKey> {
+    rule: AggregationRule,
+    k: usize,
+    counts: HashMap<K, u64>,
+    /// Network-wide merged sketch, present once a sketch was submitted.
+    merged: Option<ParallelTopK<K>>,
+    reports: usize,
+}
+
+impl<K: FlowKey> Collector<K> {
+    /// Creates a collector reporting the top `k` flows network-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, rule: AggregationRule) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { rule, k, counts: HashMap::new(), merged: None, reports: 0 }
+    }
+
+    /// Number of submissions (reports + sketches) so far this period.
+    pub fn reports(&self) -> usize {
+        self.reports
+    }
+
+    /// Submits one switch's top-k report for this period.
+    pub fn submit_report(&mut self, report: Vec<(K, u64)>) {
+        self.reports += 1;
+        for (key, est) in report {
+            let slot = self.counts.entry(key).or_insert(0);
+            *slot = match self.rule {
+                AggregationRule::Max => (*slot).max(est),
+                AggregationRule::Sum => slot.saturating_add(est),
+            };
+        }
+    }
+
+    /// Submits one switch's *whole sketch* for this period. The first
+    /// sketch seeds the network-wide merged sketch; later ones must be
+    /// merge-compatible with it (same seed/width/arrays/field widths).
+    ///
+    /// The bucket-level merge follows the collector's aggregation rule:
+    /// [`AggregationRule::Sum`] adds matching counts (disjoint vantage
+    /// points), [`AggregationRule::Max`] takes the maximum (overlapping
+    /// paths — summing would double-count shared packets).
+    pub fn submit_sketch(&mut self, sketch: &ParallelTopK<K>) -> Result<(), MergeError> {
+        let mode = match self.rule {
+            AggregationRule::Max => MergeMode::Max,
+            AggregationRule::Sum => MergeMode::Sum,
+        };
+        match &mut self.merged {
+            None => {
+                self.merged = Some(sketch.clone());
+            }
+            Some(acc) => acc.merge_from_with(sketch, mode)?,
+        }
+        self.submit_report(sketch.top_k());
+        Ok(())
+    }
+
+    /// Submits a sketch shipped over the wire
+    /// ([`ParallelTopK::to_wire`]) — the full footnote-2 hop: switch
+    /// serializes, network carries the bytes, collector decodes and
+    /// merges.
+    pub fn submit_wire(&mut self, payload: &[u8]) -> Result<(), SubmitError> {
+        let sketch = ParallelTopK::<K>::from_wire(payload).map_err(SubmitError::Wire)?;
+        self.submit_sketch(&sketch).map_err(SubmitError::Merge)
+    }
+
+    /// The network-wide top-k for the current period, largest first.
+    ///
+    /// Flow estimates combine the reported evidence under the
+    /// aggregation rule with (when sketches were submitted) the merged
+    /// sketch's own estimate.
+    pub fn top_k(&self) -> Vec<(K, u64)> {
+        let mut all: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .map(|(key, &c)| {
+                // The merged sketch (built with the rule's merge mode) is
+                // one more lower bound on the flow's network-wide size;
+                // take the strongest evidence.
+                let est = match &self.merged {
+                    Some(m) => c.max(m.query(key)),
+                    None => c,
+                };
+                (key.clone(), est)
+            })
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1));
+        all.truncate(self.k);
+        all
+    }
+
+    /// Ends the period: returns this period's top-k and clears all state
+    /// (switch sketches reset on their side, paper footnote 2).
+    pub fn end_period(&mut self) -> Vec<(K, u64)> {
+        let out = self.top_k();
+        self.counts.clear();
+        self.merged = None;
+        self.reports = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HkConfig;
+
+    fn cfg(seed: u64) -> HkConfig {
+        HkConfig::builder().arrays(2).width(512).k(8).seed(seed).build()
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Collector::<u64>::new(0, AggregationRule::Max);
+    }
+
+    #[test]
+    fn max_rule_takes_maximum() {
+        let mut c = Collector::new(2, AggregationRule::Max);
+        c.submit_report(vec![(1u64, 100), (2, 50)]);
+        c.submit_report(vec![(1u64, 70), (2, 90)]);
+        let top = c.top_k();
+        assert_eq!(top, vec![(1, 100), (2, 90)]);
+    }
+
+    #[test]
+    fn sum_rule_adds() {
+        let mut c = Collector::new(2, AggregationRule::Sum);
+        c.submit_report(vec![(1u64, 100)]);
+        c.submit_report(vec![(1u64, 70)]);
+        assert_eq!(c.top_k(), vec![(1, 170)]);
+    }
+
+    #[test]
+    fn sum_rule_saturates() {
+        let mut c = Collector::new(1, AggregationRule::Sum);
+        c.submit_report(vec![(1u64, u64::MAX - 5)]);
+        c.submit_report(vec![(1u64, 100)]);
+        assert_eq!(c.top_k(), vec![(1, u64::MAX)]);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let mut c = Collector::new(3, AggregationRule::Max);
+        c.submit_report((0..10u64).map(|f| (f, 100 - f)).collect());
+        let top = c.top_k();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], (0, 100));
+    }
+
+    #[test]
+    fn end_period_clears() {
+        let mut c = Collector::new(3, AggregationRule::Max);
+        c.submit_report(vec![(1u64, 10)]);
+        assert_eq!(c.reports(), 1);
+        let period1 = c.end_period();
+        assert_eq!(period1.len(), 1);
+        assert_eq!(c.reports(), 0);
+        assert!(c.top_k().is_empty());
+    }
+
+    #[test]
+    fn sketch_submission_improves_cross_switch_flow() {
+        // Flow 100 is medium at each switch; its per-switch reports may
+        // miss it, but the merged sketch still knows it.
+        let mk = || ParallelTopK::<u64>::new(cfg(13));
+        let (mut sw1, mut sw2) = (mk(), mk());
+        for _ in 0..300 {
+            for f in 0..8u64 {
+                sw1.insert(&f);
+                sw2.insert(&(10 + f));
+            }
+            sw1.insert(&100);
+            sw2.insert(&100);
+        }
+        let mut c = Collector::new(4, AggregationRule::Max);
+        c.submit_sketch(&sw1).unwrap();
+        c.submit_sketch(&sw2).unwrap();
+        // Even if flow 100 misses top-4, the merged sketch must estimate
+        // it at up to 600 (300 per switch) and never more.
+        let direct = c.merged.as_ref().unwrap().query(&100);
+        assert!(direct <= 600, "no over-estimation: {direct}");
+        assert!(direct >= 300, "merge should see both halves: {direct}");
+    }
+
+    #[test]
+    fn wire_submission_end_to_end() {
+        let mut sw = ParallelTopK::<u64>::new(cfg(21));
+        for _ in 0..1000 {
+            sw.insert(&5);
+        }
+        let payload = sw.to_wire();
+        let mut c = Collector::<u64>::new(4, AggregationRule::Max);
+        c.submit_wire(&payload).unwrap();
+        let top = c.top_k();
+        assert_eq!(top[0].0, 5);
+        assert!(top[0].1 <= 1000);
+        // Garbage payloads error cleanly.
+        assert!(matches!(c.submit_wire(b"junk"), Err(SubmitError::Wire(_))));
+        // Merge-incompatible payloads error cleanly.
+        let other = ParallelTopK::<u64>::new(cfg(22));
+        assert!(matches!(
+            c.submit_wire(&other.to_wire()),
+            Err(SubmitError::Merge(_))
+        ));
+    }
+
+    #[test]
+    fn incompatible_sketch_rejected() {
+        let mut c = Collector::new(4, AggregationRule::Max);
+        c.submit_sketch(&ParallelTopK::<u64>::new(cfg(1))).unwrap();
+        let err = c.submit_sketch(&ParallelTopK::<u64>::new(cfg(2)));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn max_rule_no_overestimation_end_to_end() {
+        use std::collections::HashMap;
+        // Every packet of a flow is seen by every switch on its path:
+        // simulate 3 switches all observing the same stream.
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut switches: Vec<ParallelTopK<u64>> =
+            (0..3).map(|_| ParallelTopK::<u64>::new(cfg(42))).collect();
+        let mut state = 9u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 3 == 0 { state % 6 } else { 100 + state % 1000 };
+            for sw in &mut switches {
+                sw.insert(&f);
+            }
+            *truth.entry(f).or_insert(0) += 1;
+        }
+        let mut c = Collector::new(6, AggregationRule::Max);
+        for sw in &switches {
+            c.submit_report(sw.top_k());
+        }
+        for (f, est) in c.top_k() {
+            assert!(est <= truth[&f], "flow {f}: {est} > {}", truth[&f]);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Decay probability functions.
+//!
+//! The heart of HeavyKeeper is the *exponential-weakening decay*: a
+//! non-matching packet decays a bucket's counter `C` with probability
+//! `P_decay = b^{-C}` for a base `b` slightly above 1 (the paper uses
+//! `b = 1.08`). The paper notes (Section III-B) that any monotonically
+//! decreasing probability function works comparably and names `C^{-b}`
+//! and a sigmoid as alternatives; all three are implemented here and an
+//! ablation bench compares them.
+//!
+//! For speed, probabilities are precomputed into a table: past the point
+//! where `P < 2⁻⁴⁰` the decay is treated as exactly zero, matching the
+//! paper's observation that large counters effectively never decay
+//! ("when the value is large enough (e.g., 50), the probability is close
+//! to 0, so we can regard the probability as 0, so as to accelerate the
+//! throughput").
+
+/// A decay probability function `C ↦ P_decay(C)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecayFn {
+    /// `P = b^{-C}` — the paper's choice, `b > 1`, `b ≈ 1` (e.g. 1.08).
+    Exponential {
+        /// The base `b`.
+        b: f64,
+    },
+    /// `P = C^{-b}` — the polynomial alternative named in Section III-B.
+    Polynomial {
+        /// The exponent `b`.
+        b: f64,
+    },
+    /// `P = 1 / (1 + e^{λC})` — the sigmoid-shaped alternative. The
+    /// paper writes it as `e^C / (1 + e^C)`, which *increases* with `C`;
+    /// a decay probability must decrease, so we use its complement with
+    /// a rate `λ` to control how fast it falls.
+    Sigmoid {
+        /// The rate `λ`.
+        lambda: f64,
+    },
+}
+
+impl DecayFn {
+    /// The paper's default: exponential with `b = 1.08`.
+    pub const PAPER_DEFAULT_BASE: f64 = 1.08;
+
+    /// Creates an exponential decay with base `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `b > 1`.
+    pub fn exponential(b: f64) -> Self {
+        assert!(b > 1.0, "exponential base must exceed 1");
+        Self::Exponential { b }
+    }
+
+    /// Creates a polynomial decay with exponent `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `b > 0`.
+    pub fn polynomial(b: f64) -> Self {
+        assert!(b > 0.0, "polynomial exponent must be positive");
+        Self::Polynomial { b }
+    }
+
+    /// Creates a sigmoid decay with rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda > 0`.
+    pub fn sigmoid(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "sigmoid rate must be positive");
+        Self::Sigmoid { lambda }
+    }
+
+    /// The decay probability for counter value `c`.
+    ///
+    /// `c = 0` never occurs in decay decisions (Case 3 requires `C > 0`);
+    /// the function is still total and returns a clamped value.
+    pub fn probability(&self, c: u64) -> f64 {
+        let c = c as f64;
+        let p = match self {
+            Self::Exponential { b } => b.powf(-c),
+            Self::Polynomial { b } => {
+                if c < 1.0 {
+                    1.0
+                } else {
+                    c.powf(-b)
+                }
+            }
+            Self::Sigmoid { lambda } => 1.0 / (1.0 + (lambda * c).exp()),
+        };
+        p.clamp(0.0, 1.0)
+    }
+}
+
+impl Default for DecayFn {
+    fn default() -> Self {
+        Self::Exponential { b: Self::PAPER_DEFAULT_BASE }
+    }
+}
+
+/// Probability below which decay is treated as exactly zero (2⁻⁴⁰).
+const NEGLIGIBLE: f64 = 1.0 / (1u64 << 40) as f64;
+
+/// A precomputed decay-probability table.
+///
+/// Lookup is one bounds check and one array read; counters past the
+/// table's cutoff have negligible probability and return 0.
+#[derive(Debug, Clone)]
+pub struct DecayTable {
+    probs: Vec<f64>,
+    /// `probability * 2⁶⁴` as a saturating integer, so the hot path can
+    /// roll the coin as `rng.next_u64() < threshold` without floats.
+    thresholds: Vec<u64>,
+    decay: DecayFn,
+}
+
+impl DecayTable {
+    /// Precomputes probabilities for the given function.
+    ///
+    /// The table extends until the probability falls below 2⁻⁴⁰ (capped
+    /// at 2¹⁶ entries for slowly-decaying functions).
+    pub fn new(decay: DecayFn) -> Self {
+        let mut probs = Vec::new();
+        let mut thresholds = Vec::new();
+        for c in 0..=(1u64 << 16) {
+            let p = decay.probability(c);
+            if p < NEGLIGIBLE {
+                break;
+            }
+            probs.push(p);
+            thresholds.push(if p >= 1.0 {
+                u64::MAX
+            } else {
+                (p * (u64::MAX as f64)) as u64
+            });
+        }
+        Self { probs, thresholds, decay }
+    }
+
+    /// The decay probability for counter value `c` (0 past the cutoff).
+    #[inline]
+    pub fn probability(&self, c: u64) -> f64 {
+        self.probs.get(c as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The integer decay threshold for counter value `c`: decay fires
+    /// when a uniform `u64` draw is below it (0 past the cutoff).
+    #[inline]
+    pub fn threshold(&self, c: u64) -> u64 {
+        self.thresholds.get(c as usize).copied().unwrap_or(0)
+    }
+
+    /// The function this table was built from.
+    pub fn decay_fn(&self) -> DecayFn {
+        self.decay
+    }
+
+    /// The first counter value whose decay probability is treated as 0.
+    pub fn cutoff(&self) -> u64 {
+        self.probs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_matches_formula() {
+        let d = DecayFn::exponential(1.08);
+        for c in [1u64, 5, 21, 100] {
+            let expect = 1.08f64.powi(-(c as i32));
+            assert!((d.probability(c) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_prob_at_21() {
+        // Figure 1 example: counter 21 decays with probability 1.08^-21.
+        let d = DecayFn::default();
+        let p = d.probability(21);
+        assert!((p - 1.08f64.powi(-21)).abs() < 1e-12);
+        assert!((p - 0.1986).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn all_functions_monotone_decreasing() {
+        for d in [
+            DecayFn::exponential(1.08),
+            DecayFn::polynomial(1.5),
+            DecayFn::sigmoid(0.08),
+        ] {
+            let mut prev = f64::INFINITY;
+            for c in 1..200u64 {
+                let p = d.probability(c);
+                assert!(p <= prev + 1e-15, "{d:?} not monotone at c={c}");
+                assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn small_counters_decay_almost_surely() {
+        // Section III-B: "When the value is small (e.g., 3) ... the
+        // probability is close to 1".
+        let d = DecayFn::default();
+        assert!(d.probability(1) > 0.9);
+        assert!(d.probability(3) > 0.75);
+    }
+
+    #[test]
+    fn large_counters_effectively_never_decay() {
+        let d = DecayFn::default();
+        assert!(d.probability(300) < 1e-9);
+    }
+
+    #[test]
+    fn table_matches_function_up_to_cutoff() {
+        let f = DecayFn::exponential(1.08);
+        let t = DecayTable::new(f);
+        assert!(t.cutoff() > 100, "cutoff = {}", t.cutoff());
+        for c in 0..t.cutoff() {
+            assert!((t.probability(c) - f.probability(c)).abs() < 1e-15);
+        }
+        assert_eq!(t.probability(t.cutoff() + 1), 0.0);
+    }
+
+    #[test]
+    fn table_cutoff_for_default_base_reasonable() {
+        // b = 1.08: b^-C < 2^-40 at C ≈ 40·ln2/ln1.08 ≈ 360.
+        let t = DecayTable::new(DecayFn::default());
+        assert!((300..420).contains(&t.cutoff()), "cutoff = {}", t.cutoff());
+    }
+
+    #[test]
+    fn thresholds_match_probabilities() {
+        let t = DecayTable::new(DecayFn::exponential(1.08));
+        for c in 0..t.cutoff() {
+            let p = t.probability(c);
+            let th = t.threshold(c);
+            if p >= 1.0 {
+                assert_eq!(th, u64::MAX);
+            } else {
+                let implied = th as f64 / u64::MAX as f64;
+                assert!((implied - p).abs() < 1e-9, "c={c}: {implied} vs {p}");
+            }
+        }
+        assert_eq!(t.threshold(t.cutoff() + 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed 1")]
+    fn bad_base_panics() {
+        DecayFn::exponential(1.0);
+    }
+
+    #[test]
+    fn polynomial_at_one_is_one() {
+        assert!((DecayFn::polynomial(2.0).probability(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,528 @@
+//! Merging HeavyKeeper sketches for network-wide measurement.
+//!
+//! The paper's deployment model (footnote 2) has "sketches in different
+//! switches ... periodically sent to a collector for timely network
+//! traffic analysis". The collector must combine the per-switch sketches
+//! into one network-wide view. This module provides that combination:
+//!
+//! * [`HkSketch::merge_from`] — bucket-wise merge of two sketches built
+//!   with the *same* seed, width, array count and field widths (so a flow
+//!   maps to the same buckets with the same fingerprint in both).
+//! * [`ParallelTopK::merge_from`] / [`MinimumTopK::merge_from`] — merge
+//!   the sketch halves and fold the other instance's top-k entries into
+//!   this one's store.
+//!
+//! ## Bucket merge rules
+//!
+//! The right way to combine two counts of the *same* flow depends on
+//! what the two sketches observed ([`MergeMode`]):
+//!
+//! * [`MergeMode::Sum`] — the sketches saw **disjoint** packets (two
+//!   halves of a stream, two non-overlapping vantage points): counts of
+//!   the same flow add.
+//! * [`MergeMode::Max`] — the sketches **overlap** (every switch on a
+//!   flow's path counts all of its packets): summing would double-count;
+//!   the maximum is the strongest valid lower bound.
+//!
+//! For each bucket position, with `(f₁,c₁)` here and `(f₂,c₂)` there:
+//!
+//! | case | `Sum` | `Max` |
+//! |---|---|---|
+//! | both empty | empty | empty |
+//! | one empty | the non-empty one | the non-empty one |
+//! | `f₁ = f₂` | `(f₁, min(c₁+c₂, max))` | `(f₁, max(c₁,c₂))` |
+//! | `f₁ ≠ f₂` | winner = larger count, count = difference (tie → incumbent at 1) | keep the larger-count bucket as-is |
+//!
+//! The `Sum` conflict rule is the same "contest" the decay process plays
+//! out one packet at a time: each loser packet *would have* decayed the
+//! winner's counter with high probability had the streams been
+//! interleaved into one sketch; subtracting is the deterministic limit
+//! of that contest. Under `Max`, the loser's observation is simply
+//! weaker evidence about the same traffic, so the winner keeps its full
+//! count. Both rules preserve no-over-estimation (Theorem 2): every
+//! resulting count is bounded by an input count that was itself a lower
+//! bound (for `Sum`, by the sum of per-input lower bounds on disjoint
+//! packet sets).
+//!
+//! ## What merging cannot do
+//!
+//! Merging is *lossy* in the conflict case, exactly like streaming both
+//! inputs into one half-size sketch would be. It is associative in
+//! distribution but not bit-exact under reordering (the tie rule breaks
+//! symmetry); the tests pin down the properties that do hold.
+
+use crate::minimum::MinimumTopK;
+use crate::parallel::ParallelTopK;
+use crate::sketch::HkSketch;
+use hk_common::key::FlowKey;
+
+/// How counts of the same flow combine across two sketches (see the
+/// module docs for when each applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeMode {
+    /// The sketches observed disjoint packets: counts add.
+    #[default]
+    Sum,
+    /// The sketches observed overlapping traffic: take the maximum.
+    Max,
+}
+
+/// Why two sketches cannot be merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// Different hash seeds: flows map to unrelated buckets/fingerprints.
+    SeedMismatch,
+    /// Different array widths.
+    WidthMismatch,
+    /// Different number of arrays (e.g. one side expanded, Section III-F).
+    ArrayCountMismatch,
+    /// Different fingerprint widths: fingerprints are not comparable.
+    FingerprintMismatch,
+    /// Different counter widths: saturation points disagree.
+    CounterWidthMismatch,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            Self::SeedMismatch => "hash seeds differ",
+            Self::WidthMismatch => "array widths differ",
+            Self::ArrayCountMismatch => "array counts differ",
+            Self::FingerprintMismatch => "fingerprint widths differ",
+            Self::CounterWidthMismatch => "counter widths differ",
+        };
+        write!(f, "sketches are not merge-compatible: {what}")
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Checks that `a` and `b` agree on every parameter that affects bucket
+/// placement, fingerprints, or counter saturation.
+pub fn check_compatible(a: &HkSketch, b: &HkSketch) -> Result<(), MergeError> {
+    if a.seed() != b.seed() {
+        return Err(MergeError::SeedMismatch);
+    }
+    if a.width() != b.width() {
+        return Err(MergeError::WidthMismatch);
+    }
+    if a.arrays() != b.arrays() {
+        return Err(MergeError::ArrayCountMismatch);
+    }
+    if a.fingerprint_bits() != b.fingerprint_bits() {
+        return Err(MergeError::FingerprintMismatch);
+    }
+    if a.counter_max() != b.counter_max() {
+        return Err(MergeError::CounterWidthMismatch);
+    }
+    Ok(())
+}
+
+impl HkSketch {
+    /// Merges `other` into `self` with [`MergeMode::Sum`] semantics
+    /// (disjoint observations). See [`HkSketch::merge_from_with`].
+    pub fn merge_from(&mut self, other: &HkSketch) -> Result<(), MergeError> {
+        self.merge_from_with(other, MergeMode::Sum)
+    }
+
+    /// Merges `other` into `self`, bucket by bucket, under the given
+    /// mode (see the module docs for the rules). Returns an error and
+    /// leaves `self` untouched when the two sketches are not compatible.
+    pub fn merge_from_with(&mut self, other: &HkSketch, mode: MergeMode) -> Result<(), MergeError> {
+        check_compatible(self, other)?;
+        let max = self.counter_max();
+        for j in 0..self.arrays() {
+            for i in 0..self.width() {
+                let theirs = *other.bucket(j, i);
+                if theirs.is_empty() {
+                    continue;
+                }
+                let ours = self.bucket_mut(j, i);
+                if ours.is_empty() {
+                    *ours = theirs;
+                } else if ours.fp == theirs.fp {
+                    ours.count = match mode {
+                        MergeMode::Sum => (ours.count + theirs.count).min(max),
+                        MergeMode::Max => ours.count.max(theirs.count),
+                    };
+                } else {
+                    match mode {
+                        MergeMode::Sum => {
+                            if theirs.count > ours.count {
+                                ours.fp = theirs.fp;
+                                ours.count = theirs.count - ours.count;
+                            } else if theirs.count < ours.count {
+                                ours.count -= theirs.count;
+                            } else {
+                                // Tie: keep our fingerprint, shrink to the
+                                // floor the contest would end at. Counters
+                                // stay non-zero so the "held bucket is
+                                // never empty" invariant survives.
+                                ours.count = 1;
+                            }
+                        }
+                        MergeMode::Max => {
+                            if theirs.count > ours.count {
+                                *ours = theirs;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Folds `reported` (another instance's top-k, any order) into a top-k
+/// algorithm by re-estimating each flow against the *merged* sketch and
+/// offering it to the store.
+///
+/// Admission here is collector-side bookkeeping, not the per-packet
+/// Algorithm 1 path, so Optimization I's `n̂ = n_min + 1` gate does not
+/// apply: estimates arrive in arbitrary (not +1-increment) steps.
+fn fold_reported<K, Q, A>(reported: Vec<(K, u64)>, query: Q, admit: A)
+where
+    K: FlowKey,
+    Q: Fn(&K) -> u64,
+    A: FnMut(K, u64),
+{
+    let mut admit = admit;
+    for (key, reported_est) in reported {
+        // The merged sketch may know the flow better than the report
+        // (fingerprint survived the merge) or have lost it (conflict
+        // eviction); trust whichever evidence is stronger.
+        let est = query(&key).max(reported_est);
+        if est > 0 {
+            admit(key, est);
+        }
+    }
+}
+
+impl<K: FlowKey> ParallelTopK<K> {
+    /// Merges another instance (same configuration) into this one with
+    /// [`MergeMode::Sum`] semantics: sketches bucket-wise, then the
+    /// other store's entries.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.merge_from_with(other, MergeMode::Sum)
+    }
+
+    /// [`ParallelTopK::merge_from`] under an explicit [`MergeMode`].
+    pub fn merge_from_with(&mut self, other: &Self, mode: MergeMode) -> Result<(), MergeError> {
+        self.sketch_mut().merge_from_with(other.sketch(), mode)?;
+        let snapshot = {
+            use hk_common::algorithm::TopKAlgorithm;
+            other.top_k()
+        };
+        let sketch = self.sketch().clone();
+        fold_reported(
+            snapshot,
+            |k: &K| sketch.query(k.key_bytes().as_slice()),
+            |k, est| self.offer(k, est),
+        );
+        Ok(())
+    }
+}
+
+impl<K: FlowKey> MinimumTopK<K> {
+    /// Merges another instance (same configuration) into this one with
+    /// [`MergeMode::Sum`] semantics: sketches bucket-wise, then the
+    /// other store's entries.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.merge_from_with(other, MergeMode::Sum)
+    }
+
+    /// [`MinimumTopK::merge_from`] under an explicit [`MergeMode`].
+    pub fn merge_from_with(&mut self, other: &Self, mode: MergeMode) -> Result<(), MergeError> {
+        self.sketch_mut().merge_from_with(other.sketch(), mode)?;
+        let snapshot = {
+            use hk_common::algorithm::TopKAlgorithm;
+            other.top_k()
+        };
+        let sketch = self.sketch().clone();
+        fold_reported(
+            snapshot,
+            |k: &K| sketch.query(k.key_bytes().as_slice()),
+            |k, est| self.offer(k, est),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HkConfig;
+    use hk_common::algorithm::TopKAlgorithm;
+
+    fn cfg(seed: u64) -> HkConfig {
+        HkConfig::builder().arrays(2).width(256).k(8).seed(seed).build()
+    }
+
+    #[test]
+    fn incompatible_seeds_rejected() {
+        let a = HkSketch::new(&cfg(1));
+        let b = HkSketch::new(&cfg(2));
+        assert_eq!(check_compatible(&a, &b), Err(MergeError::SeedMismatch));
+    }
+
+    #[test]
+    fn incompatible_widths_rejected() {
+        let a = HkSketch::new(&HkConfig::builder().width(64).seed(1).build());
+        let mut b = HkSketch::new(&HkConfig::builder().width(128).seed(1).build());
+        assert_eq!(b.merge_from(&a), Err(MergeError::WidthMismatch));
+    }
+
+    #[test]
+    fn incompatible_array_counts_rejected() {
+        let a = HkSketch::new(&HkConfig::builder().arrays(2).width(64).seed(1).build());
+        let mut b = HkSketch::new(&HkConfig::builder().arrays(3).width(64).seed(1).build());
+        assert_eq!(b.merge_from(&a), Err(MergeError::ArrayCountMismatch));
+    }
+
+    #[test]
+    fn incompatible_fp_bits_rejected() {
+        let a = HkSketch::new(&HkConfig::builder().fingerprint_bits(16).width(64).seed(1).build());
+        let mut b =
+            HkSketch::new(&HkConfig::builder().fingerprint_bits(12).width(64).seed(1).build());
+        assert_eq!(b.merge_from(&a), Err(MergeError::FingerprintMismatch));
+    }
+
+    #[test]
+    fn incompatible_counter_bits_rejected() {
+        let a = HkSketch::new(&HkConfig::builder().counter_bits(16).width(64).seed(1).build());
+        let mut b = HkSketch::new(&HkConfig::builder().counter_bits(32).width(64).seed(1).build());
+        assert_eq!(b.merge_from(&a), Err(MergeError::CounterWidthMismatch));
+    }
+
+    #[test]
+    fn merge_sums_matching_fingerprints() {
+        let (mut a, mut b) = (HkSketch::new(&cfg(7)), HkSketch::new(&cfg(7)));
+        let key = 42u64.to_le_bytes();
+        for _ in 0..100 {
+            a.insert_basic(&key);
+        }
+        for _ in 0..250 {
+            b.insert_basic(&key);
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.query(&key), 350, "uncontended counts add exactly");
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let mut a = HkSketch::new(&cfg(3));
+        for v in 0..500u64 {
+            a.insert_basic(&v.to_le_bytes());
+        }
+        let before = a.clone();
+        a.merge_from(&HkSketch::new(&cfg(3))).unwrap();
+        for v in 0..500u64 {
+            let key = v.to_le_bytes();
+            assert_eq!(a.query(&key), before.query(&key));
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = HkSketch::new(&cfg(3));
+        let mut b = HkSketch::new(&cfg(3));
+        for v in 0..500u64 {
+            b.insert_basic(&v.to_le_bytes());
+        }
+        a.merge_from(&b).unwrap();
+        for v in 0..500u64 {
+            let key = v.to_le_bytes();
+            assert_eq!(a.query(&key), b.query(&key));
+        }
+    }
+
+    #[test]
+    fn merge_preserves_no_overestimation() {
+        // Stream disjoint halves of a skewed workload into two sketches,
+        // merge, and verify no flow's estimate exceeds its true total.
+        use std::collections::HashMap;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut sketches = [HkSketch::new(&cfg(11)), HkSketch::new(&cfg(11))];
+        let mut state = 0x1234_5678u64;
+        for n in 0..40_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 4 == 0 { state % 8 } else { 100 + state % 3000 };
+            sketches[(n % 2) as usize].insert_basic(&f.to_le_bytes());
+            *truth.entry(f).or_insert(0) += 1;
+        }
+        let [mut a, b] = sketches;
+        a.merge_from(&b).unwrap();
+        for (&f, &n) in &truth {
+            let est = a.query(&f.to_le_bytes());
+            assert!(est <= n, "flow {f}: merged estimate {est} > truth {n}");
+        }
+    }
+
+    #[test]
+    fn merge_conflict_keeps_larger_flow() {
+        // Force a conflict: a 1x1 sketch, two distinct flows, one big and
+        // one small, in separate sketches.
+        let tiny = HkConfig::builder().arrays(1).width(1).seed(5).build();
+        let mut a = HkSketch::new(&tiny);
+        let mut b = HkSketch::new(&tiny);
+        let (big, small) = (1u64.to_le_bytes(), 2u64.to_le_bytes());
+        for _ in 0..1000 {
+            a.insert_basic(&big);
+        }
+        for _ in 0..100 {
+            b.insert_basic(&small);
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.query(&big), 900, "winner shrinks by the loser's count");
+        assert_eq!(a.query(&small), 0, "loser is evicted");
+    }
+
+    #[test]
+    fn merge_conflict_tie_leaves_held_bucket() {
+        let tiny = HkConfig::builder().arrays(1).width(1).seed(5).build();
+        let mut a = HkSketch::new(&tiny);
+        let mut b = HkSketch::new(&tiny);
+        for _ in 0..50 {
+            a.insert_basic(&1u64.to_le_bytes());
+            b.insert_basic(&2u64.to_le_bytes());
+        }
+        a.merge_from(&b).unwrap();
+        let bucket = *a.bucket(0, 0);
+        assert!(!bucket.is_empty(), "tie must not empty a held bucket");
+        assert_eq!(bucket.count, 1);
+        assert_eq!(a.query(&1u64.to_le_bytes()), 1, "tie keeps the incumbent");
+    }
+
+    #[test]
+    fn max_mode_takes_maximum_of_matching() {
+        let (mut a, mut b) = (HkSketch::new(&cfg(7)), HkSketch::new(&cfg(7)));
+        let key = 42u64.to_le_bytes();
+        for _ in 0..100 {
+            a.insert_basic(&key);
+        }
+        for _ in 0..250 {
+            b.insert_basic(&key);
+        }
+        a.merge_from_with(&b, MergeMode::Max).unwrap();
+        assert_eq!(a.query(&key), 250, "overlapping observations do not add");
+    }
+
+    #[test]
+    fn max_mode_conflict_keeps_winner_intact() {
+        let tiny = HkConfig::builder().arrays(1).width(1).seed(5).build();
+        let mut a = HkSketch::new(&tiny);
+        let mut b = HkSketch::new(&tiny);
+        let (big, small) = (1u64.to_le_bytes(), 2u64.to_le_bytes());
+        for _ in 0..1000 {
+            a.insert_basic(&big);
+        }
+        for _ in 0..100 {
+            b.insert_basic(&small);
+        }
+        a.merge_from_with(&b, MergeMode::Max).unwrap();
+        assert_eq!(a.query(&big), 1000, "winner keeps its full count under Max");
+        assert_eq!(a.query(&small), 0);
+        // Symmetric direction: the bigger foreign bucket replaces ours.
+        let mut b2 = HkSketch::new(&tiny);
+        for _ in 0..100 {
+            b2.insert_basic(&small);
+        }
+        let mut a2 = HkSketch::new(&tiny);
+        for _ in 0..1000 {
+            a2.insert_basic(&big);
+        }
+        b2.merge_from_with(&a2, MergeMode::Max).unwrap();
+        assert_eq!(b2.query(&big), 1000);
+    }
+
+    #[test]
+    fn max_mode_no_overestimation_overlapping_observers() {
+        // Two sketches observing the SAME stream: Max-merging must not
+        // exceed the single-stream truth for any flow.
+        use std::collections::HashMap;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut a = HkSketch::new(&cfg(11));
+        let mut b = HkSketch::new(&cfg(11));
+        let mut state = 0xABCDu64;
+        for _ in 0..20_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 4 == 0 { state % 8 } else { 100 + state % 3000 };
+            a.insert_basic(&f.to_le_bytes());
+            b.insert_basic(&f.to_le_bytes());
+            *truth.entry(f).or_insert(0) += 1;
+        }
+        a.merge_from_with(&b, MergeMode::Max).unwrap();
+        for (&f, &n) in &truth {
+            let est = a.query(&f.to_le_bytes());
+            assert!(est <= n, "flow {f}: Max-merged estimate {est} > truth {n}");
+        }
+    }
+
+    #[test]
+    fn merge_saturates_at_counter_max() {
+        let cfg8 = HkConfig::builder().arrays(1).width(8).counter_bits(8).seed(2).build();
+        let mut a = HkSketch::new(&cfg8);
+        let mut b = HkSketch::new(&cfg8);
+        let key = 9u64.to_le_bytes();
+        for _ in 0..200 {
+            a.insert_basic(&key);
+            b.insert_basic(&key);
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.query(&key), 255, "8-bit counters saturate at 255");
+    }
+
+    #[test]
+    fn parallel_topk_merge_finds_cross_switch_elephant() {
+        // A flow that is medium at each of two switches but an elephant
+        // in aggregate must surface after the merge.
+        let mk = || ParallelTopK::<u64>::new(cfg(21));
+        let (mut s1, mut s2) = (mk(), mk());
+        // Flows 0..8: heavy at switch 1 only. Flow 100: half its traffic
+        // at each switch.
+        for _ in 0..400 {
+            for f in 0..8u64 {
+                s1.insert(&f);
+            }
+            s1.insert(&100);
+            s2.insert(&100);
+            s2.insert(&100);
+        }
+        s1.merge_from(&s2).unwrap();
+        let top: Vec<u64> = s1.top_k().into_iter().map(|(k, _)| k).collect();
+        assert!(top.contains(&100), "aggregate elephant missing: {top:?}");
+        let est = s1.top_k().iter().find(|(k, _)| *k == 100).unwrap().1;
+        assert!(est > 400, "merged estimate {est} should reflect both switches");
+        assert!(est <= 1200, "no over-estimation after merge");
+    }
+
+    #[test]
+    fn minimum_topk_merge_works() {
+        let mk = || MinimumTopK::<u64>::new(cfg(33));
+        let (mut s1, mut s2) = (mk(), mk());
+        for _ in 0..500 {
+            s1.insert(&1);
+            s2.insert(&2);
+        }
+        s1.merge_from(&s2).unwrap();
+        let top: Vec<u64> = s1.top_k().into_iter().map(|(k, _)| k).collect();
+        assert!(top.contains(&1) && top.contains(&2), "top = {top:?}");
+    }
+
+    #[test]
+    fn merge_mismatched_config_leaves_self_untouched() {
+        let mut a = ParallelTopK::<u64>::new(cfg(1));
+        for _ in 0..100 {
+            a.insert(&5);
+        }
+        let before = a.top_k();
+        let b = ParallelTopK::<u64>::new(cfg(2));
+        assert!(a.merge_from(&b).is_err());
+        assert_eq!(a.top_k(), before);
+    }
+}

@@ -1,0 +1,366 @@
+//! The Software Minimum version (Section IV, Algorithm 2).
+//!
+//! The Parallel version decays *every* mapped bucket that belongs to
+//! another flow, which Section IV-A shows is unnecessary and harmful:
+//! decaying a large counter neither evicts its elephant nor contributes
+//! to any query. The Minimum version touches **at most one bucket per
+//! packet**:
+//!
+//! 1. If some mapped bucket holds the flow's fingerprint (and the
+//!    Optimization II gate allows it), increment that one bucket.
+//! 2. Otherwise, if some mapped bucket is empty, claim the first one.
+//! 3. Otherwise, apply the decay roll to the **first smallest** mapped
+//!    counter only ("minimum decay").
+//!
+//! Because each flow occupies at most one bucket (no duplicates across
+//! arrays), memory is used more efficiently — the paper's Figures 23–31
+//! show the accuracy gain, which experiments E15–E17 reproduce.
+
+use crate::config::HkConfig;
+use crate::sketch::HkSketch;
+use crate::stats::InsertStats;
+use crate::store::TopKStore;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+/// Software Minimum HeavyKeeper (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use heavykeeper::{HkConfig, MinimumTopK};
+/// use hk_common::TopKAlgorithm;
+/// let cfg = HkConfig::builder().width(256).k(8).seed(1).build();
+/// let mut hk = MinimumTopK::<u64>::new(cfg);
+/// for i in 0..5000u64 {
+///     hk.insert(&(i % 10));
+///     hk.insert(&(1000 + i));
+/// }
+/// let top: Vec<u64> = hk.top_k().into_iter().map(|(k, _)| k).collect();
+/// assert!(top.iter().all(|&k| k < 10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinimumTopK<K: FlowKey> {
+    sketch: HkSketch,
+    store: TopKStore<K>,
+    cfg: HkConfig,
+    stats: InsertStats,
+}
+
+impl<K: FlowKey> MinimumTopK<K> {
+    /// Builds the algorithm from a configuration.
+    pub fn new(cfg: HkConfig) -> Self {
+        Self {
+            sketch: HkSketch::new(&cfg),
+            store: TopKStore::new(cfg.store, cfg.k),
+            cfg,
+            stats: InsertStats::default(),
+        }
+    }
+
+    /// Constructor from a total memory budget in bytes (Section VI-A
+    /// accounting).
+    pub fn with_memory(bytes: usize, k: usize, seed: u64) -> Self {
+        let store_bytes = k * (K::ENCODED_LEN + 4);
+        let sketch_bytes = bytes.saturating_sub(store_bytes).max(8);
+        let cfg = HkConfig::builder()
+            .memory_bytes(sketch_bytes)
+            .k(k)
+            .seed(seed)
+            .build();
+        Self::new(cfg)
+    }
+
+    /// Read access to the underlying sketch.
+    pub fn sketch(&self) -> &HkSketch {
+        &self.sketch
+    }
+
+    /// Mutable access for the [`crate::merge`] machinery.
+    pub(crate) fn sketch_mut(&mut self) -> &mut HkSketch {
+        &mut self.sketch
+    }
+
+    /// Offers a flow with an externally derived estimate to the top-k
+    /// store (collector-side path: no Optimization I gate, estimates
+    /// arrive in arbitrary steps rather than +1 increments).
+    pub(crate) fn offer(&mut self, key: K, estimate: u64) {
+        if self.store.contains(&key) {
+            self.store.update_max(&key, estimate);
+        } else if !self.store.is_full() || estimate > self.store.nmin() {
+            self.store.admit(key, estimate);
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &HkConfig {
+        &self.cfg
+    }
+
+    /// Insertion-outcome counters since construction or [`reset`](Self::reset).
+    pub fn stats(&self) -> &InsertStats {
+        &self.stats
+    }
+
+    /// Clears all measurement state for a new epoch, keeping the
+    /// configuration. Used by periodic network-wide collection (paper
+    /// footnote 2), where each switch reports and resets per period.
+    pub fn reset(&mut self) {
+        self.sketch.reset();
+        self.store = TopKStore::new(self.cfg.store, self.cfg.k);
+        self.stats = InsertStats::default();
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for MinimumTopK<K> {
+    fn insert(&mut self, key: &K) {
+        let kb = key.key_bytes();
+        let p = self.sketch.prepare(kb.as_slice());
+        let d = self.sketch.arrays();
+        self.stats.packets += 1;
+
+        // Step 1: monitored flag and admission threshold.
+        let flag = self.store.contains(key);
+        let nmin = self.store.nmin();
+
+        // Scan the d mapped buckets once, remembering what Step 2-4 need.
+        let mut matched: Option<(usize, usize, u64)> = None; // (j, i, count)
+        let mut first_empty: Option<(usize, usize)> = None;
+        let mut min_slot: Option<(usize, usize, u64)> = None;
+        for j in 0..d {
+            let i = self.sketch.slot(j, &p);
+            let b = *self.sketch.bucket(j, i);
+            if b.count > 0 && b.fp == p.fp && matched.is_none() {
+                matched = Some((j, i, b.count));
+            }
+            if b.is_empty() {
+                if first_empty.is_none() {
+                    first_empty = Some((j, i));
+                }
+            } else if min_slot.map_or(true, |(_, _, c)| b.count < c) {
+                // Strict `<` keeps the *first* smallest (Situation 3).
+                min_slot = Some((j, i, b.count));
+            }
+        }
+
+        let mut heavy_v = 0u64;
+
+        // Step 2: increment a matching bucket if the gate allows. As in
+        // the Parallel version, the Optimization II gate is `C <= n_min`
+        // (skip only when the counter exceeds n_min — the text's rule;
+        // the pseudo-code's strict `<` would live-lock admissions).
+        let mut handled = false;
+        if let Some((j, i, count)) = matched {
+            if flag || count <= nmin {
+                heavy_v = self.sketch.saturating_increment(j, i);
+                handled = true;
+                self.stats.increments += 1;
+            } else {
+                self.stats.increments_gated += 1;
+            }
+        }
+
+        // Step 3: claim the first empty bucket.
+        if !handled {
+            if let Some((j, i)) = first_empty {
+                let b = self.sketch.bucket_mut(j, i);
+                b.fp = p.fp;
+                b.count = 1;
+                heavy_v = 1;
+                handled = true;
+                self.stats.empty_claims += 1;
+            }
+        }
+
+        // Step 4: minimum decay — roll against the first smallest counter.
+        if !handled && matched.is_none() {
+            if let Some((j, i, count)) = min_slot {
+                if self.sketch.is_large_for_expansion(count) {
+                    // Every bucket is at least as large as the minimum, so
+                    // a large minimum means all d buckets are large:
+                    // Section III-F's blocked situation.
+                    self.stats.blocked += 1;
+                    self.sketch.note_blocked();
+                }
+                self.stats.decay_rolls += 1;
+                if self.sketch.decay_roll(count) {
+                    self.stats.decays += 1;
+                    let b = self.sketch.bucket_mut(j, i);
+                    b.count -= 1;
+                    if b.count == 0 {
+                        b.fp = p.fp;
+                        b.count = 1;
+                        heavy_v = 1;
+                        self.stats.replacements += 1;
+                    }
+                }
+            }
+        }
+
+        // Step 5: top-k store update (same rule as the Parallel version).
+        if flag {
+            self.store.update_max(key, heavy_v);
+        } else if !self.store.is_full() {
+            if heavy_v > 0 {
+                self.store.admit(key.clone(), heavy_v);
+                self.stats.admissions += 1;
+            }
+        } else if heavy_v == nmin + 1 {
+            self.store.admit(key.clone(), heavy_v);
+            self.stats.admissions += 1;
+        } else if heavy_v > nmin {
+            self.stats.admissions_rejected += 1;
+        }
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        self.sketch.query(kb.as_slice())
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.store.sorted_desc()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes() + self.store.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "HK-Minimum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(w: usize, k: usize) -> HkConfig {
+        HkConfig::builder().arrays(2).width(w).k(k).seed(5).build()
+    }
+
+    #[test]
+    fn situation1_increments_single_bucket() {
+        let mut hk = MinimumTopK::<u64>::new(cfg(32, 4));
+        for _ in 0..10 {
+            hk.insert(&1);
+        }
+        // Exactly one bucket in the whole sketch should hold the flow.
+        let occupancy = hk.sketch().occupancy();
+        assert_eq!(occupancy, 1, "Minimum version must not duplicate flows");
+        assert_eq!(hk.query(&1), 10);
+    }
+
+    #[test]
+    fn no_duplicates_across_arrays() {
+        let mut hk = MinimumTopK::<u64>::new(cfg(64, 8));
+        for i in 0..5000u64 {
+            hk.insert(&(i % 20));
+        }
+        // 20 flows, each in at most one bucket: occupancy <= 20.
+        assert!(hk.sketch().occupancy() <= 20);
+    }
+
+    #[test]
+    fn parallel_may_duplicate_minimum_does_not() {
+        use crate::parallel::ParallelTopK;
+        let c = cfg(64, 8);
+        let mut par = ParallelTopK::<u64>::new(c.clone());
+        let mut min = MinimumTopK::<u64>::new(c);
+        for i in 0..20_000u64 {
+            let f = i % 10;
+            par.insert(&f);
+            min.insert(&f);
+        }
+        // Ten flows: Minimum occupies <= 10 buckets; Parallel typically
+        // holds each flow in ~d buckets.
+        assert!(min.sketch().occupancy() <= 10);
+        assert!(par.sketch().occupancy() > min.sketch().occupancy());
+    }
+
+    #[test]
+    fn elephants_found_under_tight_memory() {
+        // 8 buckets total for 4 elephants + mice stream.
+        let mut hk = MinimumTopK::<u64>::new(cfg(4, 4));
+        for round in 0..3000u64 {
+            for e in 0..4u64 {
+                hk.insert(&e);
+            }
+            hk.insert(&(100 + round));
+        }
+        let top: Vec<u64> = hk.top_k().into_iter().map(|(k, _)| k).collect();
+        let hits = top.iter().filter(|&&k| k < 4).count();
+        assert!(hits >= 3, "top = {top:?}");
+    }
+
+    #[test]
+    fn no_overestimation() {
+        use std::collections::HashMap;
+        let mut hk = MinimumTopK::<u64>::new(cfg(64, 8));
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 7u64;
+        for _ in 0..30_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 3 == 0 { state % 8 } else { 100 + state % 3000 };
+            hk.insert(&f);
+            *truth.entry(f).or_insert(0) += 1;
+        }
+        for (f, est) in hk.top_k() {
+            assert!(est <= truth[&f], "flow {f}: {est} > {}", truth[&f]);
+        }
+    }
+
+    #[test]
+    fn minimum_decay_targets_smallest() {
+        // Craft: one array pair where a flow's two buckets hold counters
+        // 1 (mouse) and large (elephant). Insert a new flow repeatedly —
+        // only the small bucket may ever be displaced.
+        let mut hk = MinimumTopK::<u64>::new(cfg(1, 2)); // 2 arrays x 1 bucket
+        for _ in 0..10_000 {
+            hk.insert(&1); // Elephant takes the single bucket of array 1.
+        }
+        let big_before = hk.sketch().bucket(0, 0).count.max(hk.sketch().bucket(1, 0).count);
+        assert!(big_before > 5_000);
+        // A stream of distinct mice hits both buckets; minimum decay
+        // must chew on the smaller one and leave the elephant's counter
+        // almost intact.
+        for m in 0..2000u64 {
+            hk.insert(&(10 + m));
+        }
+        let big_after = hk.sketch().bucket(0, 0).count.max(hk.sketch().bucket(1, 0).count);
+        assert!(
+            big_after + 10 >= big_before,
+            "elephant bucket decayed {big_before} -> {big_after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut hk = MinimumTopK::<u64>::new(cfg(64, 4));
+            for i in 0..10_000u64 {
+                hk.insert(&(i % 50));
+            }
+            hk.top_k()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_touch_at_most_one_bucket_per_packet() {
+        let mut hk = MinimumTopK::<u64>::new(cfg(32, 4));
+        for i in 0..5000u64 {
+            hk.insert(&(i % 100));
+        }
+        let s = *hk.stats();
+        assert_eq!(s.packets, 5000);
+        // The Minimum version's defining property, visible in the
+        // counters: at most one bucket *write path* per packet.
+        let touches = s.empty_claims + s.increments + s.decay_rolls;
+        assert!(touches <= 5000, "more than one touched bucket per packet");
+        assert!(s.decays <= s.decay_rolls);
+        assert!(s.replacements <= s.decays);
+    }
+}

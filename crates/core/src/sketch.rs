@@ -1,0 +1,605 @@
+//! The raw HeavyKeeper sketch: `d` arrays of `(FP, C)` buckets.
+//!
+//! This type implements the data structure of Section III-B — hashing,
+//! fingerprints, the three insertion cases with exponential-weakening
+//! decay, and max-over-matching-buckets queries — without any top-k
+//! bookkeeping. The three top-k variants ([`crate::BasicTopK`],
+//! [`crate::ParallelTopK`], [`crate::MinimumTopK`]) drive it with their
+//! respective insertion disciplines.
+//!
+//! ## Hashing
+//!
+//! The hot path computes **one** 64-bit hash per packet (like the
+//! authors' C++ implementation) and derives everything from it:
+//!
+//! * per-array indices by the Kirsch–Mitzenmacher construction
+//!   `h_j = h1 + j·h2` over the two 32-bit halves — a standard, provably
+//!   adequate substitute for `d` independent hash functions;
+//! * the fingerprint from an additional multiply-rotate fold of the same
+//!   hash, so fingerprint equality does not imply index equality.
+
+use crate::bucket::{Array, Bucket};
+use crate::config::HkConfig;
+use crate::decay::DecayTable;
+use hk_common::hash::xxhash64;
+use hk_common::prng::XorShift64;
+
+/// Hard cap on the number of arrays, including Section III-F expansion.
+pub const MAX_ARRAYS: usize = 16;
+
+/// The per-packet hash state: index bases and fingerprint, all derived
+/// from one 64-bit hash of the flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedKey {
+    h1: u32,
+    h2: u32,
+    /// The flow's fingerprint (never 0; 0 encodes an empty bucket).
+    pub fp: u32,
+}
+
+impl PreparedKey {
+    /// The bucket index for array `j` in an array of `width` buckets
+    /// (Kirsch–Mitzenmacher derivation + multiply-shift reduction).
+    #[inline]
+    pub fn slot(&self, j: usize, width: usize) -> usize {
+        let h = self.h1.wrapping_add((j as u32).wrapping_mul(self.h2));
+        ((h as u64 * width as u64) >> 32) as usize
+    }
+}
+
+/// Derives the per-packet hash state from one 64-bit hash of the key.
+///
+/// Shared by [`HkSketch`] and the batch-pipelined
+/// [`crate::sharded::ShardedParallelTopK`], which owns its arrays
+/// directly.
+#[inline]
+pub fn prepare_key(seed: u64, fingerprint_mask: u32, key_bytes: &[u8]) -> PreparedKey {
+    let base = xxhash64(key_bytes, seed);
+    let h1 = (base >> 32) as u32;
+    // Odd step so `h1 + j*h2` walks the full 32-bit ring.
+    let h2 = (base as u32) | 1;
+    // Fold the hash again for the fingerprint so that fingerprint
+    // equality does not imply index equality.
+    let folded = (base.rotate_left(23) ^ base).wrapping_mul(0x9E37_79B1_85EB_CA87);
+    let fp = ((folded >> 24) as u32) & fingerprint_mask;
+    PreparedKey { h1, h2, fp: if fp == 0 { 1 } else { fp } }
+}
+
+/// The HeavyKeeper bucket matrix with decay machinery.
+///
+/// # Examples
+///
+/// ```
+/// use heavykeeper::{HkConfig, HkSketch};
+/// let cfg = HkConfig::builder().arrays(2).width(64).seed(9).build();
+/// let mut sk = HkSketch::new(&cfg);
+/// let key = 42u64.to_le_bytes();
+/// for _ in 0..100 {
+///     sk.insert_basic(&key);
+/// }
+/// // No over-estimation: the estimate never exceeds the true count.
+/// assert!(sk.query(&key) <= 100);
+/// assert!(sk.query(&key) > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HkSketch {
+    arrays: Vec<Array>,
+    decay_table: DecayTable,
+    rng: XorShift64,
+    seed: u64,
+    fingerprint_mask: u32,
+    counter_max: u64,
+    width: usize,
+    fingerprint_bits: u32,
+    /// Section III-F global counter of blocked insertions.
+    blocked: u64,
+    expansion: Option<crate::config::ExpansionPolicy>,
+    /// How many arrays were added by expansion (diagnostics).
+    expansions: usize,
+}
+
+impl HkSketch {
+    /// Builds the sketch described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.arrays` exceeds [`MAX_ARRAYS`].
+    pub fn new(cfg: &HkConfig) -> Self {
+        assert!(cfg.arrays <= MAX_ARRAYS, "at most {MAX_ARRAYS} arrays supported");
+        let arrays = (0..cfg.arrays).map(|_| Array::new(cfg.width)).collect();
+        let fingerprint_mask = if cfg.fingerprint_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << cfg.fingerprint_bits) - 1
+        };
+        Self {
+            arrays,
+            decay_table: DecayTable::new(cfg.decay),
+            rng: XorShift64::new(cfg.seed ^ 0xDECA_F00D),
+            seed: cfg.seed,
+            fingerprint_mask,
+            counter_max: cfg.counter_max(),
+            width: cfg.width,
+            fingerprint_bits: cfg.fingerprint_bits,
+            blocked: 0,
+            expansion: cfg.expansion,
+            expansions: 0,
+        }
+    }
+
+    /// Number of arrays `d` (grows under expansion).
+    #[inline]
+    pub fn arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Buckets per array `w`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Maximum value a counter may hold (from the configured bit width).
+    #[inline]
+    pub fn counter_max(&self) -> u64 {
+        self.counter_max
+    }
+
+    /// The master seed this sketch hashes with. Two sketches agree on
+    /// bucket placement and fingerprints iff they share seed, width and
+    /// fingerprint width — the compatibility precondition for
+    /// [`merge`](crate::merge) operations.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configured fingerprint width in bits.
+    #[inline]
+    pub fn fingerprint_bits(&self) -> u32 {
+        self.fingerprint_bits
+    }
+
+    /// Hashes a flow key once and derives all per-packet hash state.
+    #[inline]
+    pub fn prepare(&self, key_bytes: &[u8]) -> PreparedKey {
+        prepare_key(self.seed, self.fingerprint_mask, key_bytes)
+    }
+
+    /// The flow's fingerprint (convenience wrapper over
+    /// [`HkSketch::prepare`]).
+    #[inline]
+    pub fn fingerprint(&self, key_bytes: &[u8]) -> u32 {
+        self.prepare(key_bytes).fp
+    }
+
+    /// The bucket index array `j` maps this key to.
+    #[inline]
+    pub fn slot(&self, j: usize, p: &PreparedKey) -> usize {
+        p.slot(j, self.width)
+    }
+
+    /// Immutable access to a bucket.
+    #[inline]
+    pub fn bucket(&self, j: usize, i: usize) -> &Bucket {
+        self.arrays[j].bucket(i)
+    }
+
+    /// Mutable access to a bucket (used by the variant insert routines).
+    #[inline]
+    pub fn bucket_mut(&mut self, j: usize, i: usize) -> &mut Bucket {
+        self.arrays[j].bucket_mut(i)
+    }
+
+    /// Rolls the decay coin for counter value `c`: true means decay.
+    ///
+    /// Uses the precomputed integer-threshold table: one table read and
+    /// one 64-bit compare, no floating point on the hot path.
+    #[inline]
+    pub fn decay_roll(&mut self, c: u64) -> bool {
+        let t = self.decay_table.threshold(c);
+        t != 0 && self.rng.next_u64_raw() < t
+    }
+
+    /// Plays `weight` opposing unit-decay trials against a counter at
+    /// value `c` — the weighted generalization of [`Self::decay_roll`].
+    ///
+    /// Semantically equivalent to running the Case-3 coin `weight` times
+    /// (counter value, and hence the probability, updating after every
+    /// successful decay), but implemented with geometric skipping: per
+    /// counter level one uniform draw samples how many trials pass until
+    /// the first success, so the cost is `O(decays)` rather than
+    /// `O(weight)`. Elephant-held buckets (probability ≈ 0) exit after a
+    /// single table read.
+    ///
+    /// Returns `(new_count, remaining_weight)`; `remaining_weight > 0`
+    /// only when the counter reached 0 with trials to spare, in which
+    /// case the caller claims the bucket for the new flow (the weighted
+    /// analogue of "replace the fingerprint and set `C = 1`").
+    pub fn weighted_decay_roll(&mut self, c: u64, weight: u64) -> (u64, u64) {
+        let mut c = c;
+        let mut w = weight;
+        while w > 0 && c > 0 {
+            let p = self.decay_table.probability(c);
+            if p <= 0.0 {
+                // Past the table cutoff: effectively immovable.
+                return (c, 0);
+            }
+            if p >= 1.0 {
+                c -= 1;
+                w -= 1;
+                continue;
+            }
+            // Trials until the first success ~ Geometric(p). The draw is
+            // mapped into (0, 1]: zero is excluded so ln is finite.
+            let u = ((self.rng.next_u64_raw() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+            let skip = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
+            if skip > w {
+                return (c, 0);
+            }
+            w -= skip;
+            c -= 1;
+        }
+        (c, w)
+    }
+
+    /// Increments a bucket counter, saturating at the configured width.
+    #[inline]
+    pub fn saturating_increment(&mut self, j: usize, i: usize) -> u64 {
+        let max = self.counter_max;
+        let b = self.arrays[j].bucket_mut(i);
+        if b.count < max {
+            b.count += 1;
+        }
+        b.count
+    }
+
+    /// Queries the estimated size of a prepared flow: the maximum counter
+    /// among mapped buckets whose fingerprint matches (Section III-B,
+    /// Query). Returns 0 when no mapped bucket holds the flow.
+    pub fn query_prepared(&self, p: &PreparedKey) -> u64 {
+        let mut best = 0;
+        for j in 0..self.arrays.len() {
+            let b = self.arrays[j].bucket(self.slot(j, p));
+            if b.fp == p.fp && b.count > best {
+                best = b.count;
+            }
+        }
+        best
+    }
+
+    /// Convenience query from raw key bytes.
+    pub fn query(&self, key_bytes: &[u8]) -> u64 {
+        self.query_prepared(&self.prepare(key_bytes))
+    }
+
+    /// The basic insertion of Section III-B: apply Cases 1–3 in *every*
+    /// mapped bucket, then return the post-insert estimate.
+    ///
+    /// * Case 1 — empty bucket: take it with `C = 1`.
+    /// * Case 2 — fingerprint match: `C += 1`.
+    /// * Case 3 — held by another flow: decay with probability
+    ///   `P_decay(C)`; if `C` hits 0, replace the fingerprint and set
+    ///   `C = 1`.
+    pub fn insert_basic(&mut self, key_bytes: &[u8]) -> u64 {
+        let p = self.prepare(key_bytes);
+        self.insert_basic_prepared(&p)
+    }
+
+    /// [`HkSketch::insert_basic`] on an already-prepared key.
+    pub fn insert_basic_prepared(&mut self, p: &PreparedKey) -> u64 {
+        let mut estimate = 0u64;
+        for j in 0..self.arrays.len() {
+            let i = self.slot(j, p);
+            let bucket = *self.arrays[j].bucket(i);
+            if bucket.is_empty() {
+                // Case 1.
+                let b = self.arrays[j].bucket_mut(i);
+                b.fp = p.fp;
+                b.count = 1;
+                estimate = estimate.max(1);
+            } else if bucket.fp == p.fp {
+                // Case 2.
+                let c = self.saturating_increment(j, i);
+                estimate = estimate.max(c);
+            } else {
+                // Case 3.
+                if self.decay_roll(bucket.count) {
+                    let b = self.arrays[j].bucket_mut(i);
+                    b.count -= 1;
+                    if b.count == 0 {
+                        b.fp = p.fp;
+                        b.count = 1;
+                        estimate = estimate.max(1);
+                    }
+                }
+            }
+        }
+        estimate
+    }
+
+    /// Records a blocked insertion (Section III-F): every mapped bucket
+    /// was held by another flow with a "large" counter. When the global
+    /// counter crosses the policy threshold, a new array is appended.
+    ///
+    /// Returns `true` if an array was added.
+    pub fn note_blocked(&mut self) -> bool {
+        let Some(policy) = self.expansion else {
+            return false;
+        };
+        self.blocked += 1;
+        if self.blocked > policy.blocked_threshold
+            && self.arrays.len() < policy.max_arrays.min(MAX_ARRAYS)
+        {
+            self.arrays.push(Array::new(self.width));
+            self.blocked = 0;
+            self.expansions += 1;
+            return true;
+        }
+        false
+    }
+
+    /// True if, for a non-matching flow, a bucket counter counts as
+    /// "large" under the expansion policy (never true when expansion is
+    /// disabled).
+    #[inline]
+    pub fn is_large_for_expansion(&self, count: u64) -> bool {
+        match self.expansion {
+            Some(p) => count >= p.large_counter,
+            None => false,
+        }
+    }
+
+    /// Number of arrays added by Section III-F expansion so far.
+    pub fn expansions(&self) -> usize {
+        self.expansions
+    }
+
+    /// Current value of the global blocked counter.
+    pub fn blocked_count(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Accounted memory of the bucket matrix in bytes: each bucket is
+    /// charged `fingerprint_bits + counter_bits` bits like the paper's
+    /// packed 16+16 layout.
+    pub fn memory_bytes(&self) -> usize {
+        let bucket_bits = self.fingerprint_bits as usize
+            + (64 - self.counter_max.leading_zeros() as usize);
+        self.arrays.len() * self.width * bucket_bits.div_ceil(8)
+    }
+
+    /// Total non-empty buckets (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.arrays.iter().map(Array::occupancy).sum()
+    }
+
+    /// Clears every bucket and the blocked counter, keeping the
+    /// configuration (including any arrays added by expansion).
+    ///
+    /// Network-wide measurement resets sketches at every reporting
+    /// period (paper footnote 2: "sketches in different switches are
+    /// often periodically sent to a collector").
+    pub fn reset(&mut self) {
+        for a in &mut self.arrays {
+            for i in 0..a.width() {
+                *a.bucket_mut(i) = Bucket::default();
+            }
+        }
+        self.blocked = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExpansionPolicy, HkConfig};
+    use hk_common::prng::XorShift64;
+
+    fn cfg(w: usize) -> HkConfig {
+        HkConfig::builder().arrays(2).width(w).seed(7).build()
+    }
+
+    #[test]
+    fn case1_takes_empty_bucket() {
+        let mut sk = HkSketch::new(&cfg(16));
+        let key = 1u64.to_le_bytes();
+        let est = sk.insert_basic(&key);
+        assert_eq!(est, 1);
+        assert_eq!(sk.query(&key), 1);
+    }
+
+    #[test]
+    fn case2_increments_matching() {
+        let mut sk = HkSketch::new(&cfg(16));
+        let key = 1u64.to_le_bytes();
+        for expect in 1..=50u64 {
+            let est = sk.insert_basic(&key);
+            assert_eq!(est, expect, "uncontended flow counts exactly");
+        }
+    }
+
+    #[test]
+    fn prepared_key_fields_consistent() {
+        let sk = HkSketch::new(&cfg(64));
+        let key = 9u64.to_le_bytes();
+        let p1 = sk.prepare(&key);
+        let p2 = sk.prepare(&key);
+        assert_eq!(p1, p2, "preparation is deterministic");
+        assert!(p1.fp > 0, "fingerprint 0 is reserved for empty buckets");
+        for j in 0..2 {
+            assert!(sk.slot(j, &p1) < 64);
+        }
+    }
+
+    #[test]
+    fn distinct_arrays_map_to_distinct_slots_usually() {
+        // Kirsch-Mitzenmacher derivation: the two arrays' slots for one
+        // key agree only ~1/w of the time.
+        let sk = HkSketch::new(&cfg(64));
+        let mut agree = 0;
+        let n = 10_000u64;
+        for v in 0..n {
+            let p = sk.prepare(&v.to_le_bytes());
+            if sk.slot(0, &p) == sk.slot(1, &p) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / n as f64;
+        assert!(frac < 0.05, "arrays too correlated: {frac}");
+    }
+
+    #[test]
+    fn fingerprint_not_determined_by_slot() {
+        // Flows in the same bucket must still have diverse fingerprints.
+        let sk = HkSketch::new(&cfg(4));
+        let mut fps_in_slot0 = std::collections::HashSet::new();
+        for v in 0..2000u64 {
+            let p = sk.prepare(&v.to_le_bytes());
+            if sk.slot(0, &p) == 0 {
+                fps_in_slot0.insert(p.fp);
+            }
+        }
+        assert!(fps_in_slot0.len() > 100, "fingerprints collapse with slot");
+    }
+
+    #[test]
+    fn no_overestimation_under_contention() {
+        // Theorem 2: with no fingerprint collision, a counter never
+        // exceeds the true size of the held flow. Stream two flows into
+        // a 1-bucket sketch: collisions are forced.
+        let cfg = HkConfig::builder().arrays(1).width(1).seed(3).build();
+        let mut sk = HkSketch::new(&cfg);
+        let (ka, kb) = (1u64.to_le_bytes(), 2u64.to_le_bytes());
+        assert_ne!(sk.fingerprint(&ka), sk.fingerprint(&kb));
+        let (mut na, mut nb) = (0u64, 0u64);
+        let mut rng = XorShift64::new(99);
+        for _ in 0..10_000 {
+            if rng.bernoulli(0.7) {
+                sk.insert_basic(&ka);
+                na += 1;
+            } else {
+                sk.insert_basic(&kb);
+                nb += 1;
+            }
+            assert!(sk.query(&ka) <= na);
+            assert!(sk.query(&kb) <= nb);
+        }
+    }
+
+    #[test]
+    fn counter_never_zero_while_held() {
+        // "As long as flows are mapped to a bucket, its counter field
+        // will never be 0": after any insert, a previously non-empty
+        // bucket stays non-empty.
+        let cfg = HkConfig::builder().arrays(1).width(1).seed(5).build();
+        let mut sk = HkSketch::new(&cfg);
+        sk.insert_basic(&1u64.to_le_bytes());
+        for v in 2..500u64 {
+            sk.insert_basic(&v.to_le_bytes());
+            assert!(sk.bucket(0, 0).count >= 1);
+        }
+    }
+
+    #[test]
+    fn mouse_decays_away_elephant_survives() {
+        let cfg = HkConfig::builder().arrays(1).width(1).seed(11).build();
+        let mut sk = HkSketch::new(&cfg);
+        let el = 77u64.to_le_bytes();
+        let mut rng = XorShift64::new(1);
+        for i in 0..20_000u64 {
+            if rng.bernoulli(0.5) {
+                sk.insert_basic(&el);
+            } else {
+                sk.insert_basic(&(1000 + i).to_le_bytes());
+            }
+        }
+        let est = sk.query(&el);
+        assert!(est > 5_000, "elephant estimate {est} too low");
+    }
+
+    #[test]
+    fn query_unknown_flow_is_zero() {
+        let sk = HkSketch::new(&cfg(8));
+        assert_eq!(sk.query(&9u64.to_le_bytes()), 0);
+    }
+
+    #[test]
+    fn counter_saturates_at_bit_width() {
+        let cfg = HkConfig::builder().arrays(1).width(4).counter_bits(4).seed(2).build();
+        let mut sk = HkSketch::new(&cfg);
+        let key = 3u64.to_le_bytes();
+        for _ in 0..100 {
+            sk.insert_basic(&key);
+        }
+        assert_eq!(sk.query(&key), 15, "4-bit counter must saturate at 15");
+    }
+
+    #[test]
+    fn expansion_adds_array_after_threshold() {
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(4)
+            .expansion(ExpansionPolicy { large_counter: 10, blocked_threshold: 5, max_arrays: 3 })
+            .build();
+        let mut sk = HkSketch::new(&cfg);
+        assert_eq!(sk.arrays(), 2);
+        let mut added = false;
+        for _ in 0..10 {
+            added |= sk.note_blocked();
+        }
+        assert!(added);
+        assert_eq!(sk.arrays(), 3);
+        assert_eq!(sk.expansions(), 1);
+        // Capped at max_arrays.
+        for _ in 0..100 {
+            sk.note_blocked();
+        }
+        assert_eq!(sk.arrays(), 3);
+    }
+
+    #[test]
+    fn expansion_disabled_never_expands() {
+        let mut sk = HkSketch::new(&cfg(4));
+        for _ in 0..10_000 {
+            assert!(!sk.note_blocked());
+        }
+        assert_eq!(sk.arrays(), 2);
+        assert!(!sk.is_large_for_expansion(1 << 30));
+    }
+
+    #[test]
+    fn memory_accounting_16_16() {
+        // 2 arrays x 100 buckets x 4 bytes = 800 bytes.
+        let cfg = HkConfig::builder().arrays(2).width(100).build();
+        let sk = HkSketch::new(&cfg);
+        assert_eq!(sk.memory_bytes(), 800);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut sk = HkSketch::new(&cfg(16));
+        for v in 0..100u64 {
+            sk.insert_basic(&v.to_le_bytes());
+        }
+        assert!(sk.occupancy() > 0);
+        sk.reset();
+        assert_eq!(sk.occupancy(), 0);
+        assert_eq!(sk.blocked_count(), 0);
+        assert_eq!(sk.query(&1u64.to_le_bytes()), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut sk = HkSketch::new(&cfg(32));
+            let mut rng = XorShift64::new(4);
+            for _ in 0..5000 {
+                let v = rng.next_u64_raw() % 100;
+                sk.insert_basic(&v.to_le_bytes());
+            }
+            sk.query(&1u64.to_le_bytes())
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,279 @@
+//! Sliding-window top-k — an extension beyond the paper.
+//!
+//! The paper's deployment model is *tumbling*: every reporting period
+//! the switch ships its sketch and resets (footnote 2). Operators often
+//! want the complementary *sliding* view — "the top-k flows over the
+//! last W periods" — which the related-work line on CSS ("heavy hitters
+//! in streams and sliding windows", Ben-Basat et al.) pursues for
+//! Space-Saving. [`SlidingTopK`] provides it for HeavyKeeper with the
+//! standard epoch-ring construction:
+//!
+//! * the window is `W` epochs; each epoch is an independent
+//!   [`ParallelTopK`] over only that epoch's packets;
+//! * [`SlidingTopK::insert`] feeds the newest epoch;
+//! * [`SlidingTopK::rotate`] closes the newest epoch and drops the
+//!   oldest — one call per period boundary (the caller owns the clock,
+//!   so tests and simulations stay deterministic);
+//! * a window query sums per-epoch estimates over the live epochs.
+//!   Per-epoch estimates never over-estimate (Theorem 2), so the summed
+//!   window estimate never over-estimates the flow's window count.
+//!
+//! The window's candidate set is the union of per-epoch top-k sets. A
+//! flow that is top-k over the window but never top-k within any single
+//! epoch can be missed — the same within-epoch granularity limit as
+//! every epoch-ring scheme; widening per-epoch `k` mitigates it.
+//!
+//! Memory is `W`× one sketch, the usual price of sliding windows.
+
+use std::collections::VecDeque;
+
+use crate::config::HkConfig;
+use crate::parallel::ParallelTopK;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+/// Top-k flows over a sliding window of the last `W` epochs.
+///
+/// # Examples
+///
+/// ```
+/// use heavykeeper::{HkConfig, sliding::SlidingTopK};
+/// use hk_common::TopKAlgorithm;
+///
+/// let cfg = HkConfig::builder().width(256).k(4).seed(1).build();
+/// let mut win = SlidingTopK::<u64>::new(cfg, 3); // last 3 epochs
+/// for epoch in 0..5u64 {
+///     for _ in 0..1000 {
+///         win.insert(&epoch); // each epoch has its own elephant
+///     }
+///     win.rotate();
+/// }
+/// let top: Vec<u64> = win.top_k().into_iter().map(|(k, _)| k).collect();
+/// // Epochs 0 and 1 have slid out of the window.
+/// assert!(!top.contains(&0) && !top.contains(&1));
+/// assert!(top.contains(&4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingTopK<K: FlowKey> {
+    epochs: VecDeque<ParallelTopK<K>>,
+    cfg: HkConfig,
+    window: usize,
+    rotations: u64,
+}
+
+impl<K: FlowKey> SlidingTopK<K> {
+    /// Creates a window of `window` epochs, each an independent
+    /// HeavyKeeper built from `cfg`.
+    ///
+    /// All epochs share `cfg.seed`, so a flow occupies the same buckets
+    /// in every epoch — cache-friendly and required for nothing, but it
+    /// keeps behaviour reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(cfg: HkConfig, window: usize) -> Self {
+        assert!(window > 0, "window must span at least one epoch");
+        let mut epochs = VecDeque::with_capacity(window);
+        epochs.push_back(ParallelTopK::new(cfg.clone()));
+        Self { epochs, cfg, window, rotations: 0 }
+    }
+
+    /// Number of epochs the window spans.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of epochs currently live (≤ `window`; smaller at startup).
+    pub fn live_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Total period boundaries crossed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Processes one packet of flow `key` into the newest epoch.
+    pub fn insert(&mut self, key: &K) {
+        self.epochs
+            .back_mut()
+            .expect("at least one epoch is always live")
+            .insert(key);
+    }
+
+    /// Crosses a period boundary: opens a fresh epoch and, once more
+    /// than `window` epochs are live, forgets the oldest.
+    pub fn rotate(&mut self) {
+        if self.epochs.len() == self.window {
+            self.epochs.pop_front();
+        }
+        self.epochs.push_back(ParallelTopK::new(self.cfg.clone()));
+        self.rotations += 1;
+    }
+
+    /// The flow's estimated size over the window: the sum of per-epoch
+    /// estimates. Never over-estimates the window count (each summand is
+    /// a per-epoch lower bound, Theorem 2).
+    pub fn query(&self, key: &K) -> u64 {
+        self.epochs.iter().map(|e| e.query(key)).sum()
+    }
+
+    /// The top-k flows over the window, largest first.
+    ///
+    /// Candidates are the union of per-epoch top-k sets; each candidate
+    /// is re-estimated with the window query.
+    pub fn top_k(&self) -> Vec<(K, u64)> {
+        let mut seen: Vec<(K, u64)> = Vec::new();
+        for epoch in &self.epochs {
+            for (key, _) in epoch.top_k() {
+                if !seen.iter().any(|(k, _)| *k == key) {
+                    let est = self.query(&key);
+                    seen.push((key, est));
+                }
+            }
+        }
+        seen.sort_by(|a, b| b.1.cmp(&a.1));
+        seen.truncate(self.cfg.k);
+        seen
+    }
+
+    /// Accounted memory: `window` full instances (the epoch ring's cost).
+    pub fn memory_bytes(&self) -> usize {
+        let per_epoch = self
+            .epochs
+            .front()
+            .expect("at least one epoch is always live")
+            .memory_bytes();
+        per_epoch * self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(w: usize, k: usize) -> HkConfig {
+        HkConfig::builder().arrays(2).width(w).k(k).seed(5).build()
+    }
+
+    #[test]
+    #[should_panic(expected = "window must span")]
+    fn zero_window_panics() {
+        let _ = SlidingTopK::<u64>::new(cfg(64, 4), 0);
+    }
+
+    #[test]
+    fn startup_fewer_epochs_than_window() {
+        let mut win = SlidingTopK::<u64>::new(cfg(64, 4), 4);
+        assert_eq!(win.live_epochs(), 1);
+        win.rotate();
+        win.rotate();
+        assert_eq!(win.live_epochs(), 3);
+        assert_eq!(win.rotations(), 2);
+    }
+
+    #[test]
+    fn live_epochs_capped_at_window() {
+        let mut win = SlidingTopK::<u64>::new(cfg(64, 4), 3);
+        for _ in 0..10 {
+            win.rotate();
+        }
+        assert_eq!(win.live_epochs(), 3);
+    }
+
+    #[test]
+    fn old_elephants_expire() {
+        let mut win = SlidingTopK::<u64>::new(cfg(256, 4), 2);
+        for _ in 0..5000 {
+            win.insert(&1);
+        }
+        assert!(win.query(&1) > 0);
+        win.rotate();
+        assert!(win.query(&1) > 0, "still inside the 2-epoch window");
+        win.rotate();
+        assert_eq!(win.query(&1), 0, "expired after sliding out");
+        assert!(win.top_k().iter().all(|(k, _)| *k != 1));
+    }
+
+    #[test]
+    fn window_estimate_sums_epochs() {
+        let mut win = SlidingTopK::<u64>::new(cfg(256, 4), 3);
+        for _ in 0..100 {
+            win.insert(&7);
+        }
+        win.rotate();
+        for _ in 0..250 {
+            win.insert(&7);
+        }
+        assert_eq!(win.query(&7), 350, "uncontended epochs sum exactly");
+    }
+
+    #[test]
+    fn no_overestimation_over_window() {
+        use std::collections::HashMap;
+        let mut win = SlidingTopK::<u64>::new(cfg(128, 8), 3);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 13u64;
+        for step in 0..30_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 3 == 0 { state % 8 } else { 100 + state % 2000 };
+            win.insert(&f);
+            *truth.entry(f).or_insert(0) += 1;
+            if step % 5000 == 4999 {
+                win.rotate();
+                if win.rotations() >= 3 {
+                    // Window slid: restart the ground truth of the live
+                    // window by replaying from scratch is complex; instead
+                    // keep truth as the *stream total*, a valid upper
+                    // bound for the window count.
+                }
+            }
+        }
+        for (f, est) in win.top_k() {
+            assert!(est <= truth[&f], "flow {f}: {est} > {}", truth[&f]);
+        }
+    }
+
+    #[test]
+    fn persistent_elephant_spans_epochs() {
+        let mut win = SlidingTopK::<u64>::new(cfg(256, 4), 3);
+        let mut mouse = 1000u64;
+        for _ in 0..3 {
+            for _ in 0..2000 {
+                win.insert(&42);
+                win.insert(&mouse);
+                mouse += 1;
+            }
+            win.rotate();
+        }
+        let top = win.top_k();
+        assert_eq!(top[0].0, 42);
+        assert!(top[0].1 > 3000, "window estimate spans epochs: {}", top[0].1);
+        assert!(top[0].1 <= 6000);
+    }
+
+    #[test]
+    fn memory_scales_with_window() {
+        let one = SlidingTopK::<u64>::new(cfg(128, 4), 1);
+        let four = SlidingTopK::<u64>::new(cfg(128, 4), 4);
+        assert_eq!(four.memory_bytes(), 4 * one.memory_bytes());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut win = SlidingTopK::<u64>::new(cfg(64, 4), 2);
+            for i in 0..20_000u64 {
+                win.insert(&(i % 50));
+                if i % 4000 == 3999 {
+                    win.rotate();
+                }
+            }
+            win.top_k()
+        };
+        assert_eq!(run(), run());
+    }
+}

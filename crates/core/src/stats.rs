@@ -1,0 +1,106 @@
+//! Insertion-outcome statistics.
+//!
+//! Cheap always-on counters recording which of the paper's insertion
+//! cases each packet hit. Two consumers:
+//!
+//! * diagnostics — "why is accuracy low?" usually reads as "Case 3 decay
+//!   churn is high" or "the store rejects every admission";
+//! * the hardware pipeline model (`hk-hw`), which converts the case mix
+//!   into SRAM access counts and cycle estimates for the Section III-E
+//!   parallel-pipeline argument.
+//!
+//! Counters are plain `u64` increments on paths that already touch the
+//! bucket, so the overhead is unmeasurable next to the hash + RNG work.
+
+/// Per-case insertion counters for one sketch instance.
+///
+/// The cases are the paper's (Section III-B / IV):
+///
+/// * Case 1 / Situation 2 — claimed an empty bucket;
+/// * Case 2 / Situation 1 — incremented a matching fingerprint;
+/// * Case 3 / Situation 3 — contested a foreign bucket (with the
+///   decay/replacement sub-outcomes broken out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Bucket takeovers of an empty bucket (Case 1).
+    pub empty_claims: u64,
+    /// Matching-fingerprint increments (Case 2) that were applied.
+    pub increments: u64,
+    /// Matching-fingerprint increments skipped by Optimization II.
+    pub increments_gated: u64,
+    /// Foreign-bucket contests (Case 3) where the decay coin was rolled.
+    pub decay_rolls: u64,
+    /// Decay rolls that succeeded (counter reduced by one).
+    pub decays: u64,
+    /// Decays that zeroed the counter and replaced the fingerprint.
+    pub replacements: u64,
+    /// Packets whose every mapped bucket was "large" (Section III-F).
+    pub blocked: u64,
+    /// Store admissions (new flow entered the top-k structure).
+    pub admissions: u64,
+    /// Store admissions rejected by Optimization I (estimate ≠ n_min+1).
+    pub admissions_rejected: u64,
+}
+
+impl InsertStats {
+    /// Fraction of packets that hit a matching bucket (the fast path).
+    pub fn match_rate(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.increments as f64 / self.packets as f64
+    }
+
+    /// Fraction of decay rolls that actually decayed — high values mean
+    /// the sketch is churning on small counters (mouse-dominated).
+    pub fn decay_hit_rate(&self) -> f64 {
+        if self.decay_rolls == 0 {
+            return 0.0;
+        }
+        self.decays as f64 / self.decay_rolls as f64
+    }
+
+    /// Merges another instance's counters into this one.
+    pub fn absorb(&mut self, other: &InsertStats) {
+        self.packets += other.packets;
+        self.empty_claims += other.empty_claims;
+        self.increments += other.increments;
+        self.increments_gated += other.increments_gated;
+        self.decay_rolls += other.decay_rolls;
+        self.decays += other.decays;
+        self.replacements += other.replacements;
+        self.blocked += other.blocked;
+        self.admissions += other.admissions;
+        self.admissions_rejected += other.admissions_rejected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = InsertStats::default();
+        assert_eq!(s.match_rate(), 0.0);
+        assert_eq!(s.decay_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_adds_fields() {
+        let mut a = InsertStats { packets: 10, decays: 3, ..Default::default() };
+        let b = InsertStats { packets: 5, decays: 2, replacements: 1, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.packets, 15);
+        assert_eq!(a.decays, 5);
+        assert_eq!(a.replacements, 1);
+    }
+
+    #[test]
+    fn match_rate_computed() {
+        let s = InsertStats { packets: 100, increments: 25, ..Default::default() };
+        assert!((s.match_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,471 @@
+//! Wire serialization: shipping a HeavyKeeper to the collector.
+//!
+//! Footnote 2's deployment has switches *send their sketches* to a
+//! collector every period. [`ParallelTopK::to_wire`] /
+//! [`ParallelTopK::from_wire`] implement that hop: a compact,
+//! self-describing binary encoding of the configuration, the bucket
+//! matrix, and the top-k store, suitable for a UDP report or an RPC
+//! payload.
+//!
+//! ```text
+//! magic "HKSK" | version u8 | key_len u8 |
+//! config: arrays u16 | width u32 | k u32 | fp_bits u8 | ctr_bits u8 |
+//!         seed u64 | decay tag u8 + param f64 | store u8 |
+//!         expansion flag u8 [+ large u64 + blocked u64 + max u16]
+//! buckets: arrays × width × (fp u32 | count u64)
+//! store:   n u32, then n × (key bytes | count u64)
+//! ```
+//!
+//! The decoded instance queries and merges identically to the original
+//! (bucket state and store entries are bit-preserved). Two pieces of
+//! *transient* state are intentionally not shipped: the decay RNG
+//! position (the decoded sketch re-seeds from the config, which affects
+//! reproducibility of *future* inserts, never correctness) and the
+//! Section III-F blocked counter (restarts at 0; arrays already added
+//! by expansion are preserved because the encoded config carries the
+//! *current* array count).
+
+use crate::config::{ExpansionPolicy, HkConfig, StoreKind};
+use crate::decay::DecayFn;
+use crate::parallel::ParallelTopK;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+const MAGIC: &[u8; 4] = b"HKSK";
+const VERSION: u8 = 1;
+
+/// Why a wire payload could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload does not start with the `HKSK` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Payload ends before a required field.
+    Truncated,
+    /// A field holds an impossible value (named for diagnostics).
+    Corrupt(&'static str),
+    /// The payload's key width does not match the requested key type,
+    /// or the key type does not implement `from_key_bytes`.
+    KeyMismatch,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a HKSK payload"),
+            Self::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            Self::Truncated => write!(f, "wire payload truncated"),
+            Self::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            Self::KeyMismatch => write!(f, "key type does not match payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian cursor over a wire payload.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn encode_decay(out: &mut Vec<u8>, decay: DecayFn) {
+    let (tag, param) = match decay {
+        DecayFn::Exponential { b } => (0u8, b),
+        DecayFn::Polynomial { b } => (1, b),
+        DecayFn::Sigmoid { lambda } => (2, lambda),
+    };
+    out.push(tag);
+    out.extend_from_slice(&param.to_le_bytes());
+}
+
+fn decode_decay(r: &mut Reader<'_>) -> Result<DecayFn, WireError> {
+    let tag = r.u8()?;
+    let param = r.f64()?;
+    if !param.is_finite() {
+        return Err(WireError::Corrupt("decay parameter"));
+    }
+    match tag {
+        0 if param > 1.0 => Ok(DecayFn::Exponential { b: param }),
+        1 if param > 0.0 => Ok(DecayFn::Polynomial { b: param }),
+        2 if param > 0.0 => Ok(DecayFn::Sigmoid { lambda: param }),
+        0..=2 => Err(WireError::Corrupt("decay parameter range")),
+        _ => Err(WireError::Corrupt("decay tag")),
+    }
+}
+
+impl<K: FlowKey> ParallelTopK<K> {
+    /// Serializes this instance for shipping to a collector.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let sketch = self.sketch();
+        let cfg = self.config();
+        let top = self.top_k();
+        let mut out = Vec::with_capacity(
+            32 + sketch.arrays() * sketch.width() * 12 + top.len() * (K::ENCODED_LEN + 8),
+        );
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(K::ENCODED_LEN as u8);
+
+        // Config, with `arrays` reflecting the *current* matrix so that
+        // Section III-F growth survives the round trip.
+        out.extend_from_slice(&(sketch.arrays() as u16).to_le_bytes());
+        out.extend_from_slice(&(sketch.width() as u32).to_le_bytes());
+        out.extend_from_slice(&(cfg.k as u32).to_le_bytes());
+        out.push(cfg.fingerprint_bits as u8);
+        out.push(cfg.counter_bits as u8);
+        out.extend_from_slice(&cfg.seed.to_le_bytes());
+        encode_decay(&mut out, cfg.decay);
+        out.push(match cfg.store {
+            StoreKind::StreamSummary => 0,
+            StoreKind::MinHeap => 1,
+        });
+        match cfg.expansion {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.large_counter.to_le_bytes());
+                out.extend_from_slice(&p.blocked_threshold.to_le_bytes());
+                out.extend_from_slice(&(p.max_arrays as u16).to_le_bytes());
+            }
+        }
+
+        // Bucket matrix.
+        for j in 0..sketch.arrays() {
+            for i in 0..sketch.width() {
+                let b = sketch.bucket(j, i);
+                out.extend_from_slice(&b.fp.to_le_bytes());
+                out.extend_from_slice(&b.count.to_le_bytes());
+            }
+        }
+
+        // Top-k store.
+        out.extend_from_slice(&(top.len() as u32).to_le_bytes());
+        for (key, count) in &top {
+            out.extend_from_slice(key.key_bytes().as_slice());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs an instance from [`ParallelTopK::to_wire`] bytes.
+    ///
+    /// The key type `K` must match the one encoded (width-checked) and
+    /// must implement [`FlowKey::from_key_bytes`].
+    pub fn from_wire(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { data, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        if r.u8()? as usize != K::ENCODED_LEN {
+            return Err(WireError::KeyMismatch);
+        }
+
+        let arrays = r.u16()? as usize;
+        let width = r.u32()? as usize;
+        let k = r.u32()? as usize;
+        let fp_bits = r.u8()? as u32;
+        let ctr_bits = r.u8()? as u32;
+        let seed = r.u64()?;
+        let decay = decode_decay(&mut r)?;
+        let store = match r.u8()? {
+            0 => StoreKind::StreamSummary,
+            1 => StoreKind::MinHeap,
+            _ => return Err(WireError::Corrupt("store kind")),
+        };
+        let expansion = match r.u8()? {
+            0 => None,
+            1 => Some(ExpansionPolicy {
+                large_counter: r.u64()?,
+                blocked_threshold: r.u64()?,
+                max_arrays: r.u16()? as usize,
+            }),
+            _ => return Err(WireError::Corrupt("expansion flag")),
+        };
+        if arrays == 0 || arrays > crate::sketch::MAX_ARRAYS {
+            return Err(WireError::Corrupt("array count"));
+        }
+        if width == 0 || k == 0 {
+            return Err(WireError::Corrupt("width/k"));
+        }
+        if fp_bits == 0 || fp_bits > 32 || ctr_bits == 0 || ctr_bits >= 64 {
+            return Err(WireError::Corrupt("field widths"));
+        }
+
+        let mut builder = HkConfig::builder()
+            .arrays(arrays)
+            .width(width)
+            .k(k)
+            .fingerprint_bits(fp_bits)
+            .counter_bits(ctr_bits)
+            .seed(seed)
+            .decay(decay)
+            .store(store);
+        if let Some(p) = expansion {
+            builder = builder.expansion(p);
+        }
+        let mut hk = ParallelTopK::<K>::new(builder.build());
+
+        // Bucket matrix.
+        let counter_max = hk.sketch().counter_max();
+        let fp_max = if fp_bits == 32 { u32::MAX } else { (1u32 << fp_bits) - 1 };
+        for j in 0..arrays {
+            for i in 0..width {
+                let mut cell = Reader { data: r.take(12)?, pos: 0 };
+                let fp = cell.u32()?;
+                let count = cell.u64()?;
+                if fp > fp_max {
+                    return Err(WireError::Corrupt("bucket fingerprint"));
+                }
+                if count > counter_max {
+                    return Err(WireError::Corrupt("bucket counter"));
+                }
+                if count == 0 && fp != 0 {
+                    return Err(WireError::Corrupt("empty bucket with fingerprint"));
+                }
+                let b = hk.sketch_mut().bucket_mut(j, i);
+                b.fp = fp;
+                b.count = count;
+            }
+        }
+
+        // Top-k store, re-offered largest-first so admissions succeed.
+        let n = r.u32()? as usize;
+        if n > k {
+            return Err(WireError::Corrupt("store size"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kb = r.take(K::ENCODED_LEN)?;
+            let key = K::from_key_bytes(kb).ok_or(WireError::KeyMismatch)?;
+            let count = r.u64()?;
+            entries.push((key, count));
+        }
+        if r.pos != data.len() {
+            return Err(WireError::Corrupt("trailing bytes"));
+        }
+        entries.sort_by(|a, b| b.1.cmp(&a.1));
+        for (key, count) in entries {
+            if count == 0 {
+                return Err(WireError::Corrupt("zero store count"));
+            }
+            hk.offer(key, count);
+        }
+        Ok(hk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated(seed: u64) -> ParallelTopK<u64> {
+        let cfg = HkConfig::builder().arrays(2).width(64).k(8).seed(seed).build();
+        let mut hk = ParallelTopK::new(cfg);
+        let mut state = seed | 1;
+        for _ in 0..20_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state % 3 == 0 { state % 6 } else { 100 + state % 1000 };
+            hk.insert(&f);
+        }
+        hk
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries_and_topk() {
+        let hk = populated(9);
+        let wire = hk.to_wire();
+        let back = ParallelTopK::<u64>::from_wire(&wire).unwrap();
+        // The store's order among equal counts is unspecified (re-offer
+        // reorders ties); compare as sorted sets.
+        let canon = |mut v: Vec<(u64, u64)>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(hk.top_k()), canon(back.top_k()));
+        for f in 0..1200u64 {
+            assert_eq!(hk.query(&f), back.query(&f), "flow {f}");
+        }
+        assert_eq!(hk.config(), back.config());
+        assert_eq!(hk.memory_bytes(), back.memory_bytes());
+    }
+
+    #[test]
+    fn decoded_sketch_keeps_working() {
+        let hk = populated(4);
+        let mut back = ParallelTopK::<u64>::from_wire(&hk.to_wire()).unwrap();
+        let before = back.query(&0);
+        for _ in 0..100 {
+            back.insert(&0);
+        }
+        assert!(back.query(&0) >= before, "inserts after decode must work");
+    }
+
+    #[test]
+    fn decoded_sketch_merges_with_original_lineage() {
+        // The collector path: decode a shipped sketch and merge it with
+        // another same-config instance.
+        let a = populated(7);
+        let wire = a.to_wire();
+        let mut decoded = ParallelTopK::<u64>::from_wire(&wire).unwrap();
+        let b = {
+            let cfg = a.config().clone();
+            let mut hk = ParallelTopK::<u64>::new(cfg);
+            for _ in 0..500 {
+                hk.insert(&424242);
+            }
+            hk
+        };
+        decoded.merge_from(&b).unwrap();
+        // Sum-merge may shave a few counts off in bucket conflicts with
+        // the decoded sketch's residents; never over-estimates.
+        let est = decoded.query(&424242);
+        assert!(est <= 500, "over-estimation after decode+merge");
+        assert!(est >= 450, "merge lost the flow: {est}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            ParallelTopK::<u64>::from_wire(b"NOPE").unwrap_err(),
+            WireError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let wire = populated(3).to_wire();
+        for cut in 0..wire.len() {
+            let err = ParallelTopK::<u64>::from_wire(&wire[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut wire = populated(3).to_wire();
+        wire.push(0);
+        assert_eq!(
+            ParallelTopK::<u64>::from_wire(&wire).unwrap_err(),
+            WireError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn key_width_mismatch_rejected() {
+        let wire = populated(3).to_wire();
+        assert_eq!(
+            ParallelTopK::<u32>::from_wire(&wire).unwrap_err(),
+            WireError::KeyMismatch
+        );
+    }
+
+    #[test]
+    fn corrupt_counter_rejected() {
+        let hk = populated(3);
+        let mut wire = hk.to_wire();
+        // First bucket's count field: bytes after the fixed header.
+        // Header: 4 magic + 1 ver + 1 keylen + 2 arrays + 4 width + 4 k
+        // + 1 fp + 1 ctr + 8 seed + 9 decay + 1 store + 1 expansion = 37.
+        let count_off = 37 + 4;
+        wire[count_off..count_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ParallelTopK::<u64>::from_wire(&wire).unwrap_err(),
+            WireError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut wire = populated(3).to_wire();
+        wire[4] = 9;
+        assert_eq!(
+            ParallelTopK::<u64>::from_wire(&wire).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn expansion_policy_survives_roundtrip() {
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(8)
+            .k(4)
+            .seed(1)
+            .expansion(ExpansionPolicy {
+                large_counter: 77,
+                blocked_threshold: 99,
+                max_arrays: 5,
+            })
+            .build();
+        let hk = ParallelTopK::<u64>::new(cfg);
+        let back = ParallelTopK::<u64>::from_wire(&hk.to_wire()).unwrap();
+        assert_eq!(back.config().expansion, hk.config().expansion);
+    }
+
+    #[test]
+    fn grown_arrays_survive_roundtrip() {
+        // Force Section III-F growth, then round-trip: the extra array
+        // and its contents must survive.
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(2)
+            .k(2)
+            .seed(9)
+            .expansion(ExpansionPolicy {
+                large_counter: 50,
+                blocked_threshold: 100,
+                max_arrays: 6,
+            })
+            .build();
+        let mut hk = ParallelTopK::<u64>::new(cfg);
+        for f in 0..4u64 {
+            for _ in 0..2000 {
+                hk.insert(&f);
+            }
+        }
+        for _ in 0..3000 {
+            hk.insert(&999);
+        }
+        assert!(hk.sketch().expansions() > 0, "growth precondition");
+        let back = ParallelTopK::<u64>::from_wire(&hk.to_wire()).unwrap();
+        assert_eq!(back.sketch().arrays(), hk.sketch().arrays());
+        for f in [0u64, 1, 2, 3, 999] {
+            assert_eq!(back.query(&f), hk.query(&f));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Differential testing: a deliberately naive, line-by-line
+//! transcription of the paper's Section III-B insertion (Cases 1–3 in
+//! every mapped bucket) against the optimized `HkSketch::insert_basic`.
+//!
+//! The reference consumes randomness through the same primitives in the
+//! same order (one xorshift64* draw per Case-3 roll below the table
+//! cutoff), so the two implementations must agree **bit-exactly** on
+//! every bucket after every packet — any divergence in hashing, slot
+//! derivation, threshold tables, saturation, or roll ordering fails the
+//! test immediately.
+
+use heavykeeper::decay::DecayTable;
+use heavykeeper::sketch::{prepare_key, PreparedKey};
+use heavykeeper::{HkConfig, HkSketch};
+use hk_common::prng::XorShift64;
+use proptest::prelude::*;
+
+/// The paper's data structure with no cleverness: a `d × w` matrix of
+/// `(fp, count)` tuples and direct transcription of the three cases.
+struct NaiveSketch {
+    buckets: Vec<Vec<(u32, u64)>>,
+    table: DecayTable,
+    rng: XorShift64,
+    seed: u64,
+    fingerprint_mask: u32,
+    counter_max: u64,
+    width: usize,
+}
+
+impl NaiveSketch {
+    fn new(cfg: &HkConfig) -> Self {
+        let fingerprint_mask = if cfg.fingerprint_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << cfg.fingerprint_bits) - 1
+        };
+        Self {
+            buckets: vec![vec![(0, 0); cfg.width]; cfg.arrays],
+            table: DecayTable::new(cfg.decay),
+            // Same RNG construction as HkSketch (sketch.rs).
+            rng: XorShift64::new(cfg.seed ^ 0xDECA_F00D),
+            seed: cfg.seed,
+            fingerprint_mask,
+            counter_max: cfg.counter_max(),
+            width: cfg.width,
+        }
+    }
+
+    fn prepare(&self, key: &[u8]) -> PreparedKey {
+        prepare_key(self.seed, self.fingerprint_mask, key)
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let p = self.prepare(key);
+        for j in 0..self.buckets.len() {
+            let i = p.slot(j, self.width);
+            let (fp, count) = self.buckets[j][i];
+            if count == 0 {
+                // Case 1.
+                self.buckets[j][i] = (p.fp, 1);
+            } else if fp == p.fp {
+                // Case 2 (saturating at the configured width).
+                if count < self.counter_max {
+                    self.buckets[j][i].1 = count + 1;
+                }
+            } else {
+                // Case 3: decay with probability P_decay = b^-C, rolled
+                // as an integer threshold compare like the real sketch.
+                let threshold = self.table.threshold(count);
+                if threshold != 0 && self.rng.next_u64_raw() < threshold {
+                    let c = count - 1;
+                    if c == 0 {
+                        self.buckets[j][i] = (p.fp, 1);
+                    } else {
+                        self.buckets[j][i].1 = c;
+                    }
+                }
+            }
+        }
+    }
+
+    fn query(&self, key: &[u8]) -> u64 {
+        let p = self.prepare(key);
+        let mut best = 0;
+        for j in 0..self.buckets.len() {
+            let (fp, count) = self.buckets[j][p.slot(j, self.width)];
+            if fp == p.fp && count > best {
+                best = count;
+            }
+        }
+        best
+    }
+}
+
+fn buckets_equal(real: &HkSketch, naive: &NaiveSketch) -> bool {
+    for j in 0..real.arrays() {
+        for i in 0..real.width() {
+            let b = real.bucket(j, i);
+            if (b.fp, b.count) != naive.buckets[j][i] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_basic_matches_naive_transcription_bit_exactly(
+        stream in prop::collection::vec(0u64..200, 1..2000),
+        seed in any::<u64>(),
+        width in 1usize..64,
+        arrays in 1usize..4,
+        counter_bits in prop::sample::select(vec![4u32, 8, 16]),
+    ) {
+        let cfg = HkConfig::builder()
+            .arrays(arrays)
+            .width(width)
+            .counter_bits(counter_bits)
+            .seed(seed)
+            .build();
+        let mut real = HkSketch::new(&cfg);
+        let mut naive = NaiveSketch::new(&cfg);
+        for (n, &f) in stream.iter().enumerate() {
+            let key = f.to_le_bytes();
+            real.insert_basic(&key);
+            naive.insert(&key);
+            prop_assert!(
+                buckets_equal(&real, &naive),
+                "bucket state diverged after packet {n} (flow {f})"
+            );
+        }
+        // Queries agree for the whole universe, not just inserted keys.
+        for f in 0..200u64 {
+            let key = f.to_le_bytes();
+            prop_assert_eq!(real.query(&key), naive.query(&key));
+        }
+    }
+
+    #[test]
+    fn differential_with_alternative_decay_functions(
+        stream in prop::collection::vec(0u64..100, 1..1000),
+        seed in any::<u64>(),
+        poly in any::<bool>(),
+    ) {
+        use heavykeeper::DecayFn;
+        let decay = if poly { DecayFn::polynomial(1.5) } else { DecayFn::sigmoid(0.08) };
+        let cfg = HkConfig::builder().width(16).decay(decay).seed(seed).build();
+        let mut real = HkSketch::new(&cfg);
+        let mut naive = NaiveSketch::new(&cfg);
+        for &f in &stream {
+            let key = f.to_le_bytes();
+            real.insert_basic(&key);
+            naive.insert(&key);
+        }
+        prop_assert!(buckets_equal(&real, &naive));
+    }
+}

@@ -1,0 +1,307 @@
+//! Property-based tests for the HeavyKeeper core: hash derivation,
+//! decay machinery, config arithmetic, cross-variant invariants, and the
+//! merge / weighted / sliding extensions.
+
+use heavykeeper::decay::{DecayFn, DecayTable};
+use heavykeeper::sliding::SlidingTopK;
+use heavykeeper::{
+    HkConfig, HkSketch, MergeMode, MinimumTopK, ParallelTopK, WeightedTopK,
+};
+use hk_common::TopKAlgorithm;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a universe of `n` flow IDs with pairwise-distinct fingerprints
+/// under `cfg`'s fingerprint function, so Theorem 2's "no fingerprint
+/// collision" precondition holds by construction (same helper as
+/// `tests/theorem_properties.rs`).
+fn collision_free_universe(cfg: &HkConfig, n: usize) -> Vec<u64> {
+    let sketch = HkSketch::new(cfg);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut v = 0u64;
+    while out.len() < n {
+        if seen.insert(sketch.fingerprint(&v.to_le_bytes())) {
+            out.push(v);
+        }
+        v += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slots_always_in_range(
+        seed in any::<u64>(),
+        width in 1usize..100_000,
+        key in any::<u64>(),
+        arrays in 1usize..16,
+    ) {
+        let cfg = HkConfig::builder().arrays(arrays).width(width).seed(seed).build();
+        let sk = HkSketch::new(&cfg);
+        let p = sk.prepare(&key.to_le_bytes());
+        for j in 0..arrays {
+            prop_assert!(sk.slot(j, &p) < width);
+        }
+    }
+
+    #[test]
+    fn fingerprint_respects_width_and_nonzero(
+        seed in any::<u64>(),
+        bits in 1u32..=32,
+        key in any::<u64>(),
+    ) {
+        let cfg = HkConfig::builder().width(8).fingerprint_bits(bits).seed(seed).build();
+        let sk = HkSketch::new(&cfg);
+        let fp = sk.fingerprint(&key.to_le_bytes());
+        prop_assert!(fp >= 1);
+        if bits < 32 {
+            prop_assert!(fp < (1u32 << bits) + 1);
+        }
+    }
+
+    #[test]
+    fn decay_table_thresholds_monotone(
+        base_milli in 1001u64..3000,
+    ) {
+        // b in (1.001, 3.0): thresholds must be non-increasing in C.
+        let b = base_milli as f64 / 1000.0;
+        let t = DecayTable::new(DecayFn::exponential(b));
+        let mut prev = u64::MAX;
+        for c in 0..t.cutoff() {
+            let th = t.threshold(c);
+            prop_assert!(th <= prev, "threshold not monotone at c={c}");
+            prev = th;
+        }
+    }
+
+    #[test]
+    fn memory_budget_never_exceeded(
+        budget_kb in 1usize..200,
+        k in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let budget = budget_kb * 1024;
+        // Budget must cover at least the top-k store.
+        prop_assume!(budget > k * 12 + 64);
+        let hk = ParallelTopK::<u64>::with_memory(budget, k, seed);
+        prop_assert!(hk.memory_bytes() <= budget, "{} > {budget}", hk.memory_bytes());
+    }
+
+    #[test]
+    fn uncontended_flow_counts_exactly(
+        n in 1u64..2000,
+        seed in any::<u64>(),
+    ) {
+        // A single flow with the whole sketch to itself: both optimized
+        // variants must count it exactly (within counter saturation).
+        let cfg = HkConfig::builder().width(64).k(4).seed(seed).build();
+        let mut par = ParallelTopK::<u64>::new(cfg.clone());
+        let mut min = MinimumTopK::<u64>::new(cfg);
+        for _ in 0..n {
+            par.insert(&42);
+            min.insert(&42);
+        }
+        prop_assert_eq!(par.query(&42), n.min(65_535));
+        prop_assert_eq!(min.query(&42), n.min(65_535));
+    }
+
+    #[test]
+    fn reset_restores_empty_state(
+        stream in prop::collection::vec(0u64..100, 1..500),
+        seed in any::<u64>(),
+    ) {
+        let cfg = HkConfig::builder().width(16).k(4).seed(seed).build();
+        let mut hk = ParallelTopK::<u64>::new(cfg);
+        hk.insert_all(&stream);
+        hk.reset();
+        prop_assert!(hk.top_k().is_empty());
+        prop_assert_eq!(hk.sketch().occupancy(), 0);
+        for &f in &stream {
+            prop_assert_eq!(hk.query(&f), 0);
+        }
+    }
+
+    #[test]
+    fn minimum_occupancy_bounded_by_distinct_flows(
+        stream in prop::collection::vec(0u64..40, 1..3000),
+        seed in any::<u64>(),
+    ) {
+        // The Minimum version never duplicates a flow across arrays, so
+        // occupancy is at most the number of distinct flows seen.
+        let cfg = HkConfig::builder().arrays(3).width(64).k(8).seed(seed).build();
+        let mut hk = MinimumTopK::<u64>::new(cfg);
+        hk.insert_all(&stream);
+        let distinct = {
+            let mut v = stream.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        prop_assert!(hk.sketch().occupancy() <= distinct);
+    }
+
+    #[test]
+    fn variants_agree_on_the_dominant_flow(
+        seed in any::<u64>(),
+        heavy_share in 3u64..8,
+    ) {
+        // One flow takes 1/heavy_share of a mixed stream; all variants
+        // must rank it first.
+        let mut stream = Vec::new();
+        let mut state = seed | 1;
+        for i in 0..5000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if i % heavy_share == 0 {
+                stream.push(0u64);
+            } else {
+                stream.push(1 + state % 300);
+            }
+        }
+        let cfg = HkConfig::builder().width(128).k(4).seed(seed).build();
+        let mut par = ParallelTopK::<u64>::new(cfg.clone());
+        let mut min = MinimumTopK::<u64>::new(cfg);
+        par.insert_all(&stream);
+        min.insert_all(&stream);
+        prop_assert_eq!(par.top_k()[0].0, 0);
+        prop_assert_eq!(min.top_k()[0].0, 0);
+    }
+
+    #[test]
+    fn sum_merge_never_overestimates_disjoint_split(
+        indices in prop::collection::vec(0usize..60, 2..2000),
+        seed in any::<u64>(),
+        splits in 2usize..5,
+    ) {
+        // Split a stream round-robin into S sketches, Sum-merge, and
+        // check Theorem 2 still holds flow-by-flow (collision-free
+        // universe: the theorem's precondition).
+        let cfg = HkConfig::builder().width(32).k(8).seed(seed).build();
+        let universe = collision_free_universe(&cfg, 60);
+        let mut parts: Vec<HkSketch> = (0..splits).map(|_| HkSketch::new(&cfg)).collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (n, &i) in indices.iter().enumerate() {
+            let p = universe[i];
+            parts[n % splits].insert_basic(&p.to_le_bytes());
+            *truth.entry(p).or_insert(0) += 1;
+        }
+        let mut merged = parts.swap_remove(0);
+        for part in &parts {
+            merged.merge_from(part).unwrap();
+        }
+        for (&f, &n) in &truth {
+            prop_assert!(merged.query(&f.to_le_bytes()) <= n);
+        }
+    }
+
+    #[test]
+    fn max_merge_never_overestimates_replicated_observers(
+        indices in prop::collection::vec(0usize..60, 1..1500),
+        seed in any::<u64>(),
+    ) {
+        // Two sketches see the SAME stream; Max-merge must stay within
+        // single-stream truth.
+        let cfg = HkConfig::builder().width(32).k(8).seed(seed).build();
+        let universe = collision_free_universe(&cfg, 60);
+        let mut a = HkSketch::new(&cfg);
+        let mut b = HkSketch::new(&cfg);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &i in &indices {
+            let p = universe[i];
+            a.insert_basic(&p.to_le_bytes());
+            b.insert_basic(&p.to_le_bytes());
+            *truth.entry(p).or_insert(0) += 1;
+        }
+        a.merge_from_with(&b, MergeMode::Max).unwrap();
+        for (&f, &n) in &truth {
+            prop_assert!(a.query(&f.to_le_bytes()) <= n);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_for_queries(
+        stream in prop::collection::vec(0u64..60, 1..1500),
+        seed in any::<u64>(),
+        mode_max in any::<bool>(),
+    ) {
+        let cfg = HkConfig::builder().width(32).k(8).seed(seed).build();
+        let mut a = HkSketch::new(&cfg);
+        for &p in &stream {
+            a.insert_basic(&p.to_le_bytes());
+        }
+        let before: Vec<u64> = (0..60u64).map(|f| a.query(&f.to_le_bytes())).collect();
+        let mode = if mode_max { MergeMode::Max } else { MergeMode::Sum };
+        a.merge_from_with(&HkSketch::new(&cfg), mode).unwrap();
+        let after: Vec<u64> = (0..60u64).map(|f| a.query(&f.to_le_bytes())).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn weighted_never_overestimates(
+        updates in prop::collection::vec((0usize..30, 1u64..2000), 1..800),
+        seed in any::<u64>(),
+    ) {
+        let cfg = HkConfig::builder()
+            .width(32)
+            .counter_bits(40)
+            .k(8)
+            .seed(seed)
+            .build();
+        let universe = collision_free_universe(&cfg, 30);
+        let mut hk = WeightedTopK::<u64>::new(cfg);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(i, w) in &updates {
+            let f = universe[i];
+            hk.insert_weighted(&f, w);
+            *truth.entry(f).or_insert(0) += w;
+        }
+        for (f, est) in hk.top_k() {
+            prop_assert!(est <= truth[&f], "flow {f}: {est} > {}", truth[&f]);
+        }
+    }
+
+    #[test]
+    fn weighted_decay_roll_consumes_monotonically(
+        c0 in 1u64..400,
+        w0 in 0u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = HkConfig::builder().width(8).seed(seed).build();
+        let mut sk = HkSketch::new(&cfg);
+        let (c, rem) = sk.weighted_decay_roll(c0, w0);
+        prop_assert!(c <= c0);
+        prop_assert!(rem <= w0);
+        prop_assert!(rem == 0 || c == 0, "leftover weight implies a zeroed counter");
+    }
+
+    #[test]
+    fn sliding_window_estimate_bounded_by_stream_total(
+        indices in prop::collection::vec(0usize..40, 1..2000),
+        seed in any::<u64>(),
+        rotate_every in 50usize..500,
+        window in 1usize..4,
+    ) {
+        let cfg = HkConfig::builder().width(32).k(8).seed(seed).build();
+        let universe = collision_free_universe(&cfg, 40);
+        let mut win = SlidingTopK::<u64>::new(cfg, window);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (n, &i) in indices.iter().enumerate() {
+            let p = universe[i];
+            win.insert(&p);
+            *truth.entry(p).or_insert(0) += 1;
+            if n % rotate_every == rotate_every - 1 {
+                win.rotate();
+            }
+        }
+        // The window view counts a subset of the stream, so the stream
+        // total is a valid upper bound on every window estimate.
+        for (f, est) in win.top_k() {
+            prop_assert!(est <= truth[&f]);
+        }
+        prop_assert!(win.live_epochs() <= window.max(1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Hardware pipeline cost model for HeavyKeeper.
+//!
+//! The paper makes two hardware claims this crate makes quantitative:
+//!
+//! 1. **Section I**: line-rate measurement must run from on-chip SRAM
+//!    ("latency is around 1ns"), not DRAM ("around 50ns") — memory
+//!    placement, not arithmetic, decides feasibility.
+//! 2. **Sections III-E / IV**: in the *Hardware Parallel* version "the
+//!    operation in each array can be implemented in parallel on hardware
+//!    platforms (e.g., FPGA, ASIC, or P4Switch)", while the *Software
+//!    Minimum* version improves accuracy "at the cost of sacrificing the
+//!    parallel property" — its single update depends on comparing all
+//!    `d` mapped counters, serializing the read→decide→write chain.
+//!
+//! The model is analytical, not cycle-accurate: it converts a measured
+//! per-packet operation mix ([`heavykeeper::InsertStats`] from a real
+//! software run) into memory accesses and dependent pipeline stages,
+//! then into a line-rate bound under a device profile. That is the same
+//! granularity the paper argues at (counts of SRAM accesses and their
+//! dependencies), and it is enough to reproduce the claims' *shape*:
+//! who pipelines to line rate on which memory, and what the Minimum
+//! version's accuracy costs in initiation interval.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod profile;
+
+pub use model::{packet_cost, InsertDiscipline, PacketCost};
+pub use profile::{DeviceProfile, MemoryTech};

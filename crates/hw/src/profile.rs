@@ -1,0 +1,118 @@
+//! Device profiles: memory technologies and pipeline parameters.
+
+/// Where the bucket arrays live.
+///
+/// Latency defaults come from the paper's own figures (Section I):
+/// "on-chip memory such as SRAM whose latency is around 1ns ... in
+/// contrast to a latency of around 50ns when off-chip DRAM is used".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryTech {
+    /// On-chip SRAM (the deployment the paper targets).
+    Sram {
+        /// Access latency in nanoseconds (paper: ~1).
+        latency_ns: f64,
+    },
+    /// Off-chip DRAM (the contrast case).
+    Dram {
+        /// Access latency in nanoseconds (paper: ~50).
+        latency_ns: f64,
+    },
+}
+
+impl MemoryTech {
+    /// The paper's on-chip SRAM figure (1 ns).
+    pub fn sram() -> Self {
+        Self::Sram { latency_ns: 1.0 }
+    }
+
+    /// The paper's off-chip DRAM figure (50 ns).
+    pub fn dram() -> Self {
+        Self::Dram { latency_ns: 50.0 }
+    }
+
+    /// Access latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        match *self {
+            Self::Sram { latency_ns } | Self::Dram { latency_ns } => latency_ns,
+        }
+    }
+}
+
+/// A device the sketch is deployed on.
+///
+/// The model is deliberately small: a packet's cost is its *dependent*
+/// memory stages (reads that must complete before the dependent write
+/// can issue) times the memory latency, plus fixed per-packet logic.
+/// Independent accesses to different arrays overlap when the device has
+/// one memory unit (bank/port) per array — the Section III-E picture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Bucket-array memory.
+    pub memory: MemoryTech,
+    /// True when each of the `d` arrays has its own bank/port so that
+    /// per-array accesses proceed in parallel (FPGA/ASIC/P4 pipelines);
+    /// false for a single-ported memory (e.g. one DRAM channel).
+    pub banked_arrays: bool,
+    /// Fixed per-packet logic latency (hash + decay table + compare), ns.
+    pub logic_ns: f64,
+    /// True when the pipeline can overlap successive packets so that the
+    /// *initiation interval* (time between accepting two packets), not
+    /// the end-to-end latency, bounds throughput. Hardware pipelines
+    /// can; a simple software loop cannot.
+    pub pipelined: bool,
+}
+
+impl DeviceProfile {
+    /// An ASIC/P4-style switch pipeline: banked 1 ns SRAM, deeply
+    /// pipelined, ~1 ns of logic per stage.
+    pub fn switch_pipeline() -> Self {
+        Self {
+            memory: MemoryTech::sram(),
+            banked_arrays: true,
+            logic_ns: 1.0,
+            pipelined: true,
+        }
+    }
+
+    /// A server CPU keeping the sketch in off-chip DRAM, executing one
+    /// packet's accesses before the next (no cross-packet overlap).
+    pub fn cpu_dram() -> Self {
+        Self {
+            memory: MemoryTech::dram(),
+            banked_arrays: false,
+            logic_ns: 5.0,
+            pipelined: false,
+        }
+    }
+
+    /// A server CPU whose working set fits in cache — the approximation
+    /// behind the paper's software throughput experiments (Figure 33).
+    pub fn cpu_cached() -> Self {
+        Self {
+            memory: MemoryTech::Sram { latency_ns: 2.0 },
+            banked_arrays: false,
+            logic_ns: 5.0,
+            pipelined: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latency_figures() {
+        assert_eq!(MemoryTech::sram().latency_ns(), 1.0);
+        assert_eq!(MemoryTech::dram().latency_ns(), 50.0);
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let sw = DeviceProfile::switch_pipeline();
+        let cpu = DeviceProfile::cpu_dram();
+        assert!(sw.pipelined && sw.banked_arrays);
+        assert!(!cpu.pipelined && !cpu.banked_arrays);
+        assert!(cpu.memory.latency_ns() > sw.memory.latency_ns());
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's accuracy metrics (Section VI-B).
+//!
+//! * **Precision** = `C / k`, where `C` is how many reported flows belong
+//!   to the real top-k. Ties at the k-th size are handled by counting a
+//!   reported flow as correct if its true size reaches the k-th largest
+//!   size (any such flow is a legitimate top-k member).
+//! * **ARE** (average relative error) = `(1/|Ψ|) Σ |n̂ᵢ − nᵢ| / nᵢ` over
+//!   the reported set Ψ.
+//! * **AAE** (average absolute error) = `(1/|Ψ|) Σ |n̂ᵢ − nᵢ|`.
+
+use hk_common::key::FlowKey;
+use hk_traffic::oracle::ExactCounter;
+
+/// Precision / ARE / AAE of one top-k report.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct AccuracyReport {
+    /// Fraction of reported flows that are real top-k flows.
+    pub precision: f64,
+    /// Average relative error of reported sizes.
+    pub are: f64,
+    /// Average absolute error of reported sizes.
+    pub aae: f64,
+    /// Number of reported flows (|Ψ|, at most k).
+    pub reported: usize,
+}
+
+/// Scores a reported top-k against exact ground truth.
+///
+/// `reported` is truncated to `k` entries (algorithms may track more).
+/// Flows reported with a true size of zero (possible only through
+/// reporting bugs) contribute a relative error of `n̂` — i.e. they are
+/// maximally penalized rather than skipped.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hk_metrics::accuracy::evaluate_topk;
+/// use hk_traffic::oracle::ExactCounter;
+/// let mut oracle = ExactCounter::new();
+/// for _ in 0..10 { oracle.observe(&1u64); }
+/// for _ in 0..5 { oracle.observe(&2u64); }
+/// oracle.observe(&3u64);
+/// let report = evaluate_topk(&[(1u64, 10), (2u64, 4)], &oracle, 2);
+/// assert_eq!(report.precision, 1.0);
+/// assert!((report.aae - 0.5).abs() < 1e-9); // errors 0 and 1
+/// ```
+pub fn evaluate_topk<K: FlowKey>(
+    reported: &[(K, u64)],
+    oracle: &ExactCounter<K>,
+    k: usize,
+) -> AccuracyReport {
+    assert!(k > 0, "k must be positive");
+    let eligible = oracle.top_k_eligible(k);
+    let reported = &reported[..reported.len().min(k)];
+
+    let mut correct = 0usize;
+    let mut sum_rel = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    for (flow, est) in reported {
+        if eligible.contains(flow) {
+            correct += 1;
+        }
+        let truth = oracle.count(flow);
+        let abs_err = est.abs_diff(truth) as f64;
+        sum_abs += abs_err;
+        sum_rel += if truth > 0 { abs_err / truth as f64 } else { *est as f64 };
+    }
+
+    let denom = reported.len().max(1) as f64;
+    AccuracyReport {
+        precision: correct as f64 / k as f64,
+        are: sum_rel / denom,
+        aae: sum_abs / denom,
+        reported: reported.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_with(sizes: &[(u64, u64)]) -> ExactCounter<u64> {
+        let mut o = ExactCounter::new();
+        for &(f, n) in sizes {
+            for _ in 0..n {
+                o.observe(&f);
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn perfect_report_scores_one() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 10), (4, 1)]);
+        let r = evaluate_topk(&[(1, 100), (2, 50)], &o, 2);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.are, 0.0);
+        assert_eq!(r.aae, 0.0);
+    }
+
+    #[test]
+    fn wrong_flows_lower_precision() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 10), (4, 1)]);
+        let r = evaluate_topk(&[(1, 100), (4, 1)], &o, 2);
+        assert_eq!(r.precision, 0.5);
+    }
+
+    #[test]
+    fn missing_reports_lower_precision() {
+        let o = oracle_with(&[(1, 100), (2, 50)]);
+        // Only one flow reported out of k = 2.
+        let r = evaluate_topk(&[(1, 100)], &o, 2);
+        assert_eq!(r.precision, 0.5);
+        assert_eq!(r.reported, 1);
+    }
+
+    #[test]
+    fn ties_at_kth_size_count_as_correct() {
+        // Flows 2 and 3 tie at size 50: either is a valid 2nd place.
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 50), (4, 1)]);
+        let a = evaluate_topk(&[(1, 100), (2, 50)], &o, 2);
+        let b = evaluate_topk(&[(1, 100), (3, 50)], &o, 2);
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(b.precision, 1.0);
+    }
+
+    #[test]
+    fn are_and_aae_match_hand_computation() {
+        let o = oracle_with(&[(1, 100), (2, 50)]);
+        // Errors: |90-100| = 10 (rel 0.1), |60-50| = 10 (rel 0.2).
+        let r = evaluate_topk(&[(1, 90), (2, 60)], &o, 2);
+        assert!((r.aae - 10.0).abs() < 1e-12);
+        assert!((r.are - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlong_report_is_truncated() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 25)]);
+        let r = evaluate_topk(&[(1, 100), (2, 50), (3, 25)], &o, 2);
+        assert_eq!(r.reported, 2);
+        assert_eq!(r.precision, 1.0);
+    }
+
+    #[test]
+    fn unseen_reported_flow_penalized() {
+        let o = oracle_with(&[(1, 100)]);
+        let r = evaluate_topk(&[(9, 40)], &o, 1);
+        assert_eq!(r.precision, 0.0);
+        assert!((r.are - 40.0).abs() < 1e-12, "relative error charged as n̂");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let o = oracle_with(&[(1, 1)]);
+        evaluate_topk::<u64>(&[], &o, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Experiment harness: algorithm factories, sweep runner and the series
+//! table printer used by every per-figure binary in `hk-bench`.
+//!
+//! Each paper figure is a sweep: one x-axis (memory, k, skewness, stream
+//! length), one line per algorithm, one metric on the y-axis. The
+//! binaries build a [`Series`] and print it as an aligned table whose
+//! rows correspond to the figure's x-ticks — the reproduction artifact
+//! recorded in EXPERIMENTS.md.
+
+use crate::accuracy::{evaluate_topk, AccuracyReport};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use hk_traffic::oracle::ExactCounter;
+
+use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK};
+use hk_baselines::{
+    CmSketchTopK, ColdFilterTopK, CounterTreeTopK, CssTopK, ElasticTopK, LossyCountingTopK,
+    SpaceSavingTopK,
+};
+
+/// Builds a fresh algorithm from `(memory_bytes, k, seed)`.
+pub type Factory<K> = Box<dyn Fn(usize, usize, u64) -> Box<dyn TopKAlgorithm<K>>>;
+
+/// The classic comparison set of Figures 4–19: Space-Saving, Lossy
+/// Counting, CSS, the CM sketch, and HeavyKeeper (Parallel version, the
+/// paper's default head-to-head configuration).
+pub fn classic_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
+    vec![
+        ("SS", Box::new(|m, k, _| Box::new(SpaceSavingTopK::<K>::with_memory(m, k)))),
+        ("LC", Box::new(|m, k, _| Box::new(LossyCountingTopK::<K>::with_memory(m, k)))),
+        ("CSS", Box::new(|m, k, _| Box::new(CssTopK::<K>::with_memory(m, k)))),
+        ("CM", Box::new(|m, k, s| Box::new(CmSketchTopK::<K>::with_memory(m, k, s)))),
+        ("HK", Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s)))),
+    ]
+}
+
+/// The recent-works comparison of Figures 20–22: Counter Tree, Cold
+/// Filter, Elastic, and HeavyKeeper.
+pub fn recent_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
+    vec![
+        ("CTree", Box::new(|m, k, s| Box::new(CounterTreeTopK::<K>::with_memory(m, k, s)))),
+        ("CF", Box::new(|m, k, s| Box::new(ColdFilterTopK::<K>::with_memory(m, k, s)))),
+        ("Elastic", Box::new(|m, k, s| Box::new(ElasticTopK::<K>::with_memory(m, k, s)))),
+        ("HK", Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s)))),
+    ]
+}
+
+/// The two HeavyKeeper versions compared in Figures 23–31, plus the
+/// basic version for reference.
+pub fn versions_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
+    vec![
+        ("Parallel", Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s)))),
+        ("Minimum", Box::new(|m, k, s| Box::new(MinimumTopK::<K>::with_memory(m, k, s)))),
+        ("Basic", Box::new(|m, k, s| Box::new(BasicTopK::<K>::with_memory(m, k, s)))),
+    ]
+}
+
+/// Runs one algorithm over one trace and scores it against the oracle.
+pub fn run_accuracy<K: FlowKey>(
+    algo: &mut dyn TopKAlgorithm<K>,
+    packets: &[K],
+    oracle: &ExactCounter<K>,
+    k: usize,
+) -> AccuracyReport {
+    algo.insert_all(packets);
+    evaluate_topk(&algo.top_k(), oracle, k)
+}
+
+/// One x-tick of a figure: x-value plus one y-value per algorithm.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SeriesPoint {
+    /// The x coordinate (memory in KB, k, skewness, ...).
+    pub x: f64,
+    /// `(algorithm, y)` pairs in insertion order.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A reproduced figure: title, axes, and one [`SeriesPoint`] per x-tick.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Series {
+    /// Figure title, e.g. `"Fig 4: Precision vs memory (campus-like)"`.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The data rows.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(title: impl Into<String>, xlabel: impl Into<String>, ylabel: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one x-tick.
+    pub fn push(&mut self, x: f64, values: Vec<(String, f64)>) {
+        self.points.push(SeriesPoint { x, values });
+    }
+
+    /// Renders the aligned text table the figure binaries print.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        // Header.
+        let algos: Vec<&str> = self
+            .points
+            .first()
+            .map(|p| p.values.iter().map(|(n, _)| n.as_str()).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "{:>12}", self.xlabel);
+        for a in &algos {
+            let _ = write!(out, " {a:>12}");
+        }
+        let _ = writeln!(out, "    [{}]", self.ylabel);
+        for p in &self.points {
+            let _ = write!(out, "{:>12}", format_num(p.x));
+            for (_, v) in &p.values {
+                let _ = write!(out, " {:>12}", format_num(*v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serializes the series as JSON (for archival in EXPERIMENTS.md
+    /// tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("series serializes")
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || (v.abs() < 0.01 && v != 0.0) {
+        format!("{v:.3e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_traffic::synthetic::exact_zipf;
+
+    #[test]
+    fn classic_suite_has_five_algorithms() {
+        let suite = classic_suite::<u64>();
+        let names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["SS", "LC", "CSS", "CM", "HK"]);
+    }
+
+    #[test]
+    fn factories_respect_memory_budget() {
+        for (name, f) in classic_suite::<u64>()
+            .into_iter()
+            .chain(recent_suite::<u64>())
+            .chain(versions_suite::<u64>())
+        {
+            let algo = f(20 * 1024, 50, 7);
+            assert!(
+                algo.memory_bytes() <= 20 * 1024,
+                "{name} exceeds budget: {}",
+                algo.memory_bytes()
+            );
+            assert!(
+                algo.memory_bytes() > 10 * 1024,
+                "{name} underuses budget: {}",
+                algo.memory_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn hk_beats_space_saving_on_skewed_trace() {
+        // The paper's headline claim in miniature: a mouse-heavy Zipf
+        // stream under a 1 KB budget, where Space-Saving's summary churns
+        // (N/m far exceeds the k-th flow size) while HeavyKeeper's decay
+        // protects the elephants.
+        let trace = exact_zipf(100_000, 20_000, 1.0, 42);
+        let oracle = ExactCounter::from_packets(&trace.packets);
+        let k = 20;
+        let budget = 1024; // Tight: 1 KB.
+        let suite = classic_suite::<u64>();
+        let mut scores = std::collections::HashMap::new();
+        for (name, f) in &suite {
+            let mut algo = f(budget, k, 1);
+            let r = run_accuracy(algo.as_mut(), &trace.packets, &oracle, k);
+            scores.insert(*name, r.precision);
+        }
+        assert!(
+            scores["HK"] > scores["SS"],
+            "HK {} should beat SS {}",
+            scores["HK"],
+            scores["SS"]
+        );
+        assert!(scores["HK"] >= 0.8, "HK precision too low: {}", scores["HK"]);
+    }
+
+    #[test]
+    fn series_table_renders() {
+        let mut s = Series::new("Fig X", "mem_kb", "precision");
+        s.push(10.0, vec![("SS".into(), 0.5), ("HK".into(), 0.99)]);
+        s.push(20.0, vec![("SS".into(), 0.6), ("HK".into(), 1.0)]);
+        let t = s.to_table();
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("HK"));
+        assert!(t.lines().count() >= 4);
+        // JSON round-trips through serde.
+        assert!(s.to_json().contains("\"points\""));
+    }
+
+    #[test]
+    fn format_num_covers_ranges() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(10.0), "10");
+        assert_eq!(format_num(0.5), "0.5000");
+        assert!(format_num(123456.0).contains('e'));
+        assert!(format_num(0.0001).contains('e'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Ranking-quality metrics beyond the paper's Precision/ARE/AAE.
+//!
+//! Precision treats a top-k report as a *set*; follow-on work (and
+//! operators debugging a sketch) also care about the *order*: an
+//! elephant scheduler that rate-limits the top 3 flows needs the first
+//! three ranks right, not just 100 flows that are somewhere in the true
+//! top 100. This module adds the standard order-aware scores:
+//!
+//! * [`intersection_at`] — `|reported[..i] ∩ true[..i]|/i` for every
+//!   prefix `i ≤ k` (the "precision@i curve");
+//! * [`kendall_tau`] — rank correlation over the common flows, in
+//!   `[-1, 1]` (1 = identical order, −1 = reversed);
+//! * [`weighted_overlap`] — the fraction of true top-k *traffic volume*
+//!   the report captures, which is what an elephant-flow scheduler
+//!   actually gets paid in.
+
+use hk_common::key::FlowKey;
+use hk_traffic::oracle::ExactCounter;
+
+/// Precision@i for every prefix `1..=k`: element `i-1` is the fraction
+/// of the reported first `i` flows that are in the true first `i`.
+///
+/// Ties in the true ranking are handled like the paper's precision: a
+/// reported flow counts at prefix `i` if its true size reaches the
+/// `i`-th largest size.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn intersection_at<K: FlowKey>(
+    reported: &[(K, u64)],
+    oracle: &ExactCounter<K>,
+    k: usize,
+) -> Vec<f64> {
+    assert!(k > 0, "k must be positive");
+    let truth = oracle.top_k(k);
+    let mut out = Vec::with_capacity(k);
+    for i in 1..=k {
+        // The i-th largest true size (ties below it are eligible).
+        let threshold = truth.get(i - 1).map(|&(_, c)| c).unwrap_or(0);
+        let hits = reported
+            .iter()
+            .take(i)
+            .filter(|(f, _)| {
+                let t = oracle.count(f);
+                t > 0 && t >= threshold
+            })
+            .count();
+        out.push(hits as f64 / i as f64);
+    }
+    out
+}
+
+/// Kendall's τ-a over the flows common to the report and the true
+/// top-k, comparing the *reported order* against the *true-size order*.
+///
+/// Returns `None` when fewer than two common flows exist (correlation
+/// is undefined). Ties in true sizes count as concordant (either order
+/// is right).
+pub fn kendall_tau<K: FlowKey>(
+    reported: &[(K, u64)],
+    oracle: &ExactCounter<K>,
+    k: usize,
+) -> Option<f64> {
+    let truth = oracle.top_k(k);
+    let common: Vec<(usize, u64)> = reported
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, (f, _))| truth.iter().any(|(tf, _)| tf == f))
+        .map(|(rank, (f, _))| (rank, oracle.count(f)))
+        .collect();
+    let n = common.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            // Reported order: a before b. True order wants the larger
+            // true size first; ties are fine either way.
+            if common[a].1 >= common[b].1 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
+/// The fraction of the true top-k flows' total traffic captured by the
+/// reported set (weighted by *true* sizes, so estimation error doesn't
+/// double-count): `Σ_{f ∈ reported ∩ true-top-k} n_f / Σ_{f ∈ true-top-k} n_f`.
+///
+/// Returns 1.0 for an empty true top-k (nothing to capture).
+pub fn weighted_overlap<K: FlowKey>(
+    reported: &[(K, u64)],
+    oracle: &ExactCounter<K>,
+    k: usize,
+) -> f64 {
+    let truth = oracle.top_k(k);
+    let total: u64 = truth.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let captured: u64 = truth
+        .iter()
+        .filter(|(f, _)| reported.iter().take(k).any(|(rf, _)| rf == f))
+        .map(|&(_, c)| c)
+        .sum();
+    captured as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_with(sizes: &[(u64, u64)]) -> ExactCounter<u64> {
+        let mut o = ExactCounter::new();
+        for &(f, n) in sizes {
+            for _ in 0..n {
+                o.observe(&f);
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn perfect_report_perfect_scores() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 10)]);
+        let rep = [(1u64, 100), (2, 50), (3, 10)];
+        assert_eq!(intersection_at(&rep, &o, 3), vec![1.0, 1.0, 1.0]);
+        assert_eq!(kendall_tau(&rep, &o, 3), Some(1.0));
+        assert_eq!(weighted_overlap(&rep, &o, 3), 1.0);
+    }
+
+    #[test]
+    fn reversed_order_negative_tau() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 10)]);
+        let rep = [(3u64, 90), (2, 95), (1, 99)];
+        assert_eq!(kendall_tau(&rep, &o, 3), Some(-1.0));
+        // Set metrics don't care about order.
+        assert_eq!(weighted_overlap(&rep, &o, 3), 1.0);
+        let curve = intersection_at(&rep, &o, 3);
+        assert_eq!(curve[2], 1.0, "full prefix contains everything");
+        assert_eq!(curve[0], 0.0, "rank 1 is wrong");
+    }
+
+    #[test]
+    fn swapped_adjacent_pair_partial_tau() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 10)]);
+        let rep = [(2u64, 60), (1, 55), (3, 9)];
+        // Pairs: (2,1) discordant, (2,3) concordant, (1,3) concordant.
+        let tau = kendall_tau(&rep, &o, 3).unwrap();
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn tau_undefined_below_two_common() {
+        let o = oracle_with(&[(1, 100), (2, 50)]);
+        assert_eq!(kendall_tau(&[(9u64, 5)], &o, 2), None);
+        assert_eq!(kendall_tau(&[(1u64, 100)], &o, 2), None);
+    }
+
+    #[test]
+    fn ties_count_as_concordant() {
+        let o = oracle_with(&[(1, 50), (2, 50), (3, 10)]);
+        // Flows 1 and 2 tie; any relative order is perfect.
+        assert_eq!(kendall_tau(&[(2u64, 50), (1, 50), (3, 10)], &o, 3), Some(1.0));
+        assert_eq!(kendall_tau(&[(1u64, 50), (2, 50), (3, 10)], &o, 3), Some(1.0));
+    }
+
+    #[test]
+    fn weighted_overlap_weighs_by_traffic() {
+        let o = oracle_with(&[(1, 97), (2, 2), (3, 1)]);
+        // Missing flow 1 loses 97% of the weight even though set
+        // precision would be 2/3.
+        let rep = [(2u64, 2), (3, 1)];
+        let w = weighted_overlap(&rep, &o, 3);
+        assert!((w - 0.03).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn intersection_curve_prefix_semantics() {
+        let o = oracle_with(&[(1, 100), (2, 50), (3, 25), (4, 12)]);
+        // Report finds all flows but promotes flow 3 to rank 2.
+        let rep = [(1u64, 100), (3, 30), (2, 40), (4, 12)];
+        let curve = intersection_at(&rep, &o, 4);
+        assert_eq!(curve[0], 1.0);
+        assert_eq!(curve[1], 0.5, "flow 3 is not in the true top-2");
+        assert_eq!(curve[2], 1.0);
+        assert_eq!(curve[3], 1.0);
+    }
+
+    #[test]
+    fn empty_oracle_overlap_is_one() {
+        let o = ExactCounter::<u64>::new();
+        assert_eq!(weighted_overlap::<u64>(&[], &o, 5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let o = oracle_with(&[(1, 1)]);
+        intersection_at::<u64>(&[], &o, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Throughput measurement (paper Section VI-B, "Throughput").
+//!
+//! The paper defines throughput as `N / T` in million insertions per
+//! second (Mps): insert the whole trace, record wall time. [`measure_mps`]
+//! does exactly that, with warm-up and repetition to steady the numbers.
+
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+use std::time::Instant;
+
+/// The result of a throughput run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ThroughputReport {
+    /// Million insertions per second (best of the measured repeats).
+    pub mps_best: f64,
+    /// Million insertions per second (mean over repeats).
+    pub mps_mean: f64,
+    /// Packets inserted per repeat.
+    pub packets: usize,
+}
+
+/// Measures insertion throughput of `make_algo`'s product over `packets`.
+///
+/// A fresh algorithm instance is built per repeat (inserting into a
+/// *full* structure differs from a cold one; the paper times full-trace
+/// insertion, so each repeat replays the whole trace from scratch).
+/// Returns Mps statistics over `repeats` runs.
+///
+/// # Panics
+///
+/// Panics if `packets` is empty or `repeats == 0`.
+pub fn measure_mps<K, A, F>(mut make_algo: F, packets: &[K], repeats: usize) -> ThroughputReport
+where
+    K: FlowKey,
+    A: TopKAlgorithm<K>,
+    F: FnMut() -> A,
+{
+    assert!(!packets.is_empty(), "need packets to measure");
+    assert!(repeats > 0, "need at least one repeat");
+
+    // Warm-up run: touches the allocator and fills caches.
+    {
+        let mut algo = make_algo();
+        algo.insert_all(&packets[..packets.len().min(100_000)]);
+    }
+
+    let mut best = 0.0f64;
+    let mut sum = 0.0f64;
+    for _ in 0..repeats {
+        let mut algo = make_algo();
+        let start = Instant::now();
+        algo.insert_all(packets);
+        let secs = start.elapsed().as_secs_f64();
+        let mps = packets.len() as f64 / secs / 1e6;
+        best = best.max(mps);
+        sum += mps;
+        // Keep the optimizer honest: consume a result.
+        std::hint::black_box(algo.top_k().len());
+    }
+    ThroughputReport {
+        mps_best: best,
+        mps_mean: sum / repeats as f64,
+        packets: packets.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heavykeeper::{HkConfig, ParallelTopK};
+
+    #[test]
+    fn reports_positive_throughput() {
+        let packets: Vec<u64> = (0..50_000u64).map(|i| i % 100).collect();
+        let r = measure_mps(
+            || ParallelTopK::<u64>::new(HkConfig::builder().width(256).k(10).build()),
+            &packets,
+            2,
+        );
+        assert!(r.mps_best > 0.0);
+        assert!(r.mps_mean > 0.0);
+        assert!(r.mps_best >= r.mps_mean - 1e-9);
+        assert_eq!(r.packets, 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "need packets")]
+    fn empty_trace_panics() {
+        let packets: Vec<u64> = vec![];
+        measure_mps(
+            || ParallelTopK::<u64>::new(HkConfig::builder().width(16).k(2).build()),
+            &packets,
+            1,
+        );
+    }
+}

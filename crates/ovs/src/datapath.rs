@@ -1,0 +1,163 @@
+//! Packet synthesis, parsing, and the simulated OVS datapath.
+//!
+//! Real OVS receives Ethernet frames, parses headers to extract the flow
+//! key, and forwards the packet. To exercise the same code path we
+//! synthesize minimal Ethernet/IPv4/TCP frames from [`FiveTuple`]s,
+//! parse them back in the datapath thread, and "forward" by folding the
+//! header into a checksum (standing in for the table lookup + egress the
+//! real datapath performs per packet).
+
+use hk_traffic::flow::FiveTuple;
+
+/// Length of the synthesized frame: 14 (Ethernet) + 20 (IPv4) + 20 (TCP).
+pub const FRAME_LEN: usize = 54;
+
+/// Builds a minimal Ethernet+IPv4+TCP frame carrying the 5-tuple.
+///
+/// # Examples
+///
+/// ```
+/// use hk_ovs::datapath::{synthesize_frame, parse_packet};
+/// use hk_traffic::flow::FiveTuple;
+/// let ft = FiveTuple::new([10, 0, 0, 1], [10, 0, 0, 2], 80, 443, 6);
+/// let frame = synthesize_frame(&ft);
+/// assert_eq!(parse_packet(&frame), Some(ft));
+/// ```
+pub fn synthesize_frame(ft: &FiveTuple) -> [u8; FRAME_LEN] {
+    let mut f = [0u8; FRAME_LEN];
+    // Ethernet: dst/src MAC zeroed, EtherType IPv4.
+    f[12] = 0x08;
+    f[13] = 0x00;
+    // IPv4 header at offset 14.
+    f[14] = 0x45; // Version 4, IHL 5.
+    f[16] = 0x00;
+    f[17] = 40; // Total length: 20 IP + 20 TCP.
+    f[22] = 64; // TTL.
+    f[23] = ft.protocol;
+    f[26..30].copy_from_slice(&ft.src_ip);
+    f[30..34].copy_from_slice(&ft.dst_ip);
+    // Transport header at offset 34.
+    f[34..36].copy_from_slice(&ft.src_port.to_be_bytes());
+    f[36..38].copy_from_slice(&ft.dst_port.to_be_bytes());
+    f
+}
+
+/// Parses a frame back into its 5-tuple.
+///
+/// Returns `None` for anything that is not a well-formed IPv4 frame of
+/// at least [`FRAME_LEN`] bytes.
+pub fn parse_packet(frame: &[u8]) -> Option<FiveTuple> {
+    if frame.len() < FRAME_LEN {
+        return None;
+    }
+    if frame[12] != 0x08 || frame[13] != 0x00 {
+        return None; // Not IPv4.
+    }
+    if frame[14] >> 4 != 4 {
+        return None; // Bad IP version.
+    }
+    Some(FiveTuple {
+        src_ip: [frame[26], frame[27], frame[28], frame[29]],
+        dst_ip: [frame[30], frame[31], frame[32], frame[33]],
+        src_port: u16::from_be_bytes([frame[34], frame[35]]),
+        dst_port: u16::from_be_bytes([frame[36], frame[37]]),
+        protocol: frame[23],
+    })
+}
+
+/// The simulated datapath: parse, forward, mirror.
+#[derive(Debug, Default)]
+pub struct Datapath {
+    forwarded: u64,
+    parse_failures: u64,
+    /// Running fold standing in for forwarding work (kept so the
+    /// optimizer cannot elide the per-packet loop).
+    fold: u64,
+}
+
+impl Datapath {
+    /// Creates an idle datapath.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one frame: parse headers, do forwarding work, and
+    /// return the flow ID to be mirrored to user space.
+    #[inline]
+    pub fn process(&mut self, frame: &[u8]) -> Option<FiveTuple> {
+        let ft = match parse_packet(frame) {
+            Some(ft) => ft,
+            None => {
+                self.parse_failures += 1;
+                return None;
+            }
+        };
+        // "Forwarding": fold the header words, as a stand-in for the
+        // flow-table lookup cost.
+        let mut acc = 0u64;
+        for chunk in frame[14..FRAME_LEN].chunks_exact(4) {
+            acc = acc
+                .rotate_left(13)
+                .wrapping_add(u32::from_le_bytes(chunk.try_into().unwrap()) as u64);
+        }
+        self.fold ^= acc;
+        self.forwarded += 1;
+        Some(ft)
+    }
+
+    /// Packets successfully forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Frames that failed to parse.
+    pub fn parse_failures(&self) -> u64 {
+        self.parse_failures
+    }
+
+    /// The forwarding fold (diagnostics; prevents dead-code elimination).
+    pub fn fold(&self) -> u64 {
+        self.fold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        for i in 0..1000u64 {
+            let ft = FiveTuple::from_index(i);
+            let frame = synthesize_frame(&ft);
+            assert_eq!(parse_packet(&frame), Some(ft));
+        }
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(parse_packet(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let ft = FiveTuple::from_index(1);
+        let mut frame = synthesize_frame(&ft);
+        frame[13] = 0x06; // ARP.
+        assert_eq!(parse_packet(&frame), None);
+        frame[13] = 0x00;
+        frame[14] = 0x65; // IPv6 version nibble.
+        assert_eq!(parse_packet(&frame), None);
+    }
+
+    #[test]
+    fn datapath_counts() {
+        let mut dp = Datapath::new();
+        let ft = FiveTuple::from_index(2);
+        let frame = synthesize_frame(&ft);
+        assert_eq!(dp.process(&frame), Some(ft));
+        assert_eq!(dp.process(&[0u8; 4]), None);
+        assert_eq!(dp.forwarded(), 1);
+        assert_eq!(dp.parse_failures(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! The two-thread OVS deployment: datapath producer + sketch consumer.
+//!
+//! Mirrors the paper's Section VII architecture: the datapath thread
+//! parses and forwards frames and writes flow IDs into the shared ring;
+//! the user-space thread drains the ring and feeds the measurement
+//! algorithm. End-to-end throughput — packets fully processed per second
+//! — is what Figure 34 compares across algorithms (plus a no-algorithm
+//! OVS baseline).
+
+use crate::datapath::{synthesize_frame, Datapath, FRAME_LEN};
+use crate::ring::SharedRing;
+use hk_common::algorithm::TopKAlgorithm;
+use hk_traffic::flow::FiveTuple;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What the datapath does when the ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingMode {
+    /// Spin until the consumer frees space — end-to-end throughput is
+    /// gated by the slower stage, like the paper's saturated pipeline.
+    Backpressure,
+    /// Drop the mirror (the packet is still forwarded). Measures how
+    /// much measurement traffic survives a slow consumer.
+    DropWhenFull,
+}
+
+/// Results of one deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// End-to-end throughput in million packets per second: packets the
+    /// *consumer* fully processed, divided by wall time.
+    pub mps: f64,
+    /// Packets the datapath forwarded.
+    pub forwarded: u64,
+    /// Flow IDs dropped at the ring (only in [`RingMode::DropWhenFull`]).
+    pub dropped: u64,
+    /// Packets the algorithm consumed.
+    pub consumed: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs the deployment over `flows`, feeding `algo` in the consumer
+/// thread. `ring_capacity` models the shared-memory region size.
+///
+/// When `algo` is `None`, the consumer still drains the ring but runs no
+/// algorithm — the paper's "original OVS" baseline in Figure 34.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty or `ring_capacity == 0`.
+pub fn run_deployment<A>(
+    flows: &[FiveTuple],
+    mut algo: Option<A>,
+    ring_capacity: usize,
+    mode: RingMode,
+) -> (DeploymentReport, Option<A>)
+where
+    A: TopKAlgorithm<FiveTuple> + Send,
+{
+    assert!(!flows.is_empty(), "need packets to run");
+
+    // Pre-synthesize frames so frame construction isn't measured.
+    let frames: Vec<[u8; FRAME_LEN]> = flows.iter().map(synthesize_frame).collect();
+
+    let ring: Arc<SharedRing<FiveTuple>> = Arc::new(SharedRing::new(ring_capacity));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let start = Instant::now();
+    let mut forwarded = 0u64;
+    let mut consumed = 0u64;
+
+    std::thread::scope(|s| {
+        // Datapath producer.
+        let producer_ring = Arc::clone(&ring);
+        let producer_done = Arc::clone(&done);
+        let producer = s.spawn(move || {
+            let mut dp = Datapath::new();
+            for frame in &frames {
+                if let Some(ft) = dp.process(frame) {
+                    match mode {
+                        RingMode::Backpressure => producer_ring.push_blocking(ft),
+                        RingMode::DropWhenFull => {
+                            let _ = producer_ring.try_push(ft);
+                        }
+                    }
+                }
+            }
+            producer_done.store(true, Ordering::Release);
+            dp.forwarded()
+        });
+
+        // User-space consumer (runs on this thread).
+        let mut local_consumed = 0u64;
+        loop {
+            match ring.try_pop() {
+                Some(ft) => {
+                    if let Some(a) = algo.as_mut() {
+                        a.insert(&ft);
+                    }
+                    local_consumed += 1;
+                }
+                None => {
+                    if done.load(Ordering::Acquire) && ring.is_empty() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        consumed = local_consumed;
+        forwarded = producer.join().expect("datapath thread");
+    });
+
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        DeploymentReport {
+            mps: consumed as f64 / seconds / 1e6,
+            forwarded,
+            dropped: ring.dropped(),
+            consumed,
+            seconds,
+        },
+        algo,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heavykeeper::{HkConfig, ParallelTopK};
+
+    fn flows(n: u64, distinct: u64) -> Vec<FiveTuple> {
+        (0..n).map(|i| FiveTuple::from_index(i % distinct)).collect()
+    }
+
+    #[test]
+    fn backpressure_processes_every_packet() {
+        let pkts = flows(200_000, 100);
+        let algo = ParallelTopK::<FiveTuple>::new(HkConfig::builder().width(256).k(10).build());
+        let (report, algo) = run_deployment(&pkts, Some(algo), 1024, RingMode::Backpressure);
+        assert_eq!(report.forwarded, 200_000);
+        assert_eq!(report.consumed, 200_000);
+        assert_eq!(report.dropped, 0);
+        assert!(report.mps > 0.0);
+        // The algorithm actually saw the traffic.
+        let top = algo.unwrap().top_k();
+        assert_eq!(top.len(), 10);
+        assert!(top[0].1 > 1000);
+    }
+
+    #[test]
+    fn no_algorithm_baseline_runs() {
+        let pkts = flows(100_000, 50);
+        let (report, _) = run_deployment::<ParallelTopK<FiveTuple>>(
+            &pkts,
+            None,
+            1024,
+            RingMode::Backpressure,
+        );
+        assert_eq!(report.consumed, 100_000);
+    }
+
+    #[test]
+    fn drop_mode_may_shed_load() {
+        let pkts = flows(100_000, 50);
+        // A tiny ring plus a slow consumer: some mirrors may drop, but
+        // forwarded + accounting must stay consistent.
+        let algo = ParallelTopK::<FiveTuple>::new(HkConfig::builder().width(64).k(5).build());
+        let (report, _) = run_deployment(&pkts, Some(algo), 16, RingMode::DropWhenFull);
+        assert_eq!(report.forwarded, 100_000);
+        assert_eq!(report.consumed + report.dropped, 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "need packets")]
+    fn empty_trace_panics() {
+        run_deployment::<ParallelTopK<FiveTuple>>(&[], None, 8, RingMode::Backpressure);
+    }
+}

@@ -1,0 +1,172 @@
+//! The shared-memory ring between datapath and user space.
+//!
+//! The paper's OVS integration buffers flow IDs in a shared-memory
+//! region written by the (kernel/DPDK) datapath and read by the
+//! user-space HeavyKeeper process. This module models it as a bounded
+//! lock-free SPSC queue with drop/backpressure statistics.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded single-producer/single-consumer ring of flow IDs.
+///
+/// # Examples
+///
+/// ```
+/// use hk_ovs::ring::SharedRing;
+/// let ring: SharedRing<u64> = SharedRing::new(4);
+/// assert!(ring.try_push(1));
+/// assert_eq!(ring.try_pop(), Some(1));
+/// assert_eq!(ring.try_pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct SharedRing<T> {
+    queue: ArrayQueue<T>,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+    popped: AtomicU64,
+}
+
+impl<T> SharedRing<T> {
+    /// Creates a ring with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            queue: ArrayQueue::new(capacity),
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to push; returns `false` (and counts a drop) when full.
+    pub fn try_push(&self, item: T) -> bool {
+        match self.queue.push(item) {
+            Ok(()) => {
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Pushes with backpressure: spins until space frees up.
+    pub fn push_blocking(&self, mut item: T) {
+        loop {
+            match self.queue.push(item) {
+                Ok(()) => {
+                    self.pushed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(back) => {
+                    item = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Attempts to pop one item.
+    pub fn try_pop(&self) -> Option<T> {
+        let item = self.queue.pop();
+        if item.is_some() {
+            self.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+
+    /// Items successfully pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Items dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Items popped by the consumer.
+    pub fn popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// True when the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let ring: SharedRing<u32> = SharedRing::new(8);
+        for i in 0..5 {
+            assert!(ring.try_push(i));
+        }
+        for i in 0..5 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let ring: SharedRing<u32> = SharedRing::new(2);
+        assert!(ring.try_push(1));
+        assert!(ring.try_push(2));
+        assert!(!ring.try_push(3));
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.pushed(), 2);
+    }
+
+    #[test]
+    fn stats_track_pops() {
+        let ring: SharedRing<u32> = SharedRing::new(2);
+        ring.try_push(1);
+        ring.try_pop();
+        ring.try_pop();
+        assert_eq!(ring.popped(), 1);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let ring: Arc<SharedRing<u64>> = Arc::new(SharedRing::new(64));
+        let n = 100_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    ring.push_blocking(i);
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < n {
+            if let Some(v) = ring.try_pop() {
+                assert_eq!(v, expected, "SPSC order must hold");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(ring.pushed(), n);
+        assert_eq!(ring.popped(), n);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

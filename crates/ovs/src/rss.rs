@@ -1,0 +1,216 @@
+//! Multi-queue (RSS) deployment: one ring + consumer per queue.
+//!
+//! Real OVS-DPDK deployments spread a port's traffic over several
+//! receive queues by hashing the flow ID (Receive Side Scaling), with
+//! one poll-mode thread per queue. This module models that scale-out:
+//! the datapath RSS-hashes each flow to one of `q` rings; `q` consumer
+//! threads run *independent* HeavyKeeper instances (same config and
+//! seed); at the end the per-queue sketches are Sum-merged
+//! ([`heavykeeper::merge`]) into one port-wide view.
+//!
+//! RSS is flow-affine — every packet of a flow lands in the same queue
+//! — so the per-queue streams are *disjoint by flow*: the Sum merge
+//! never meets the same fingerprint on both sides of a bucket, and the
+//! merged estimate of every flow equals the single-queue estimate of
+//! its home queue. Accuracy is therefore *per-flow identical* to a
+//! single sketch with the same per-queue dimensions; what changes is
+//! capacity: `q` queues bring `q×` the buckets and `q×` the insert
+//! bandwidth.
+
+use crate::datapath::{synthesize_frame, Datapath, FRAME_LEN};
+use crate::ring::SharedRing;
+use heavykeeper::{HkConfig, ParallelTopK};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::hash::xxhash64;
+use hk_traffic::flow::FiveTuple;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Seed for the RSS hash — fixed and independent of the sketch seed,
+/// like a NIC's RSS key.
+const RSS_SEED: u64 = 0x5255_5353; // "RSS"
+
+/// Which queue a flow's packets land in.
+pub fn rss_queue(flow: &FiveTuple, queues: usize) -> usize {
+    (xxhash64(&flow.to_bytes(), RSS_SEED) % queues as u64) as usize
+}
+
+/// Results of one multi-queue run.
+#[derive(Debug, Clone)]
+pub struct RssReport {
+    /// Aggregate consumer throughput in million packets per second.
+    pub mps: f64,
+    /// Packets forwarded by the datapath.
+    pub forwarded: u64,
+    /// Packets consumed, per queue.
+    pub per_queue: Vec<u64>,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs the RSS deployment: one datapath thread, `queues` rings and
+/// consumer threads each feeding its own HeavyKeeper, then a Sum-merge
+/// into the returned port-wide sketch.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty, `queues == 0`, or `ring_capacity == 0`.
+pub fn run_rss_deployment(
+    flows: &[FiveTuple],
+    cfg: &HkConfig,
+    queues: usize,
+    ring_capacity: usize,
+) -> (RssReport, ParallelTopK<FiveTuple>) {
+    assert!(!flows.is_empty(), "need packets to run");
+    assert!(queues > 0, "need at least one queue");
+
+    let frames: Vec<[u8; FRAME_LEN]> = flows.iter().map(synthesize_frame).collect();
+    let rings: Vec<Arc<SharedRing<FiveTuple>>> =
+        (0..queues).map(|_| Arc::new(SharedRing::new(ring_capacity))).collect();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let start = Instant::now();
+    let mut forwarded = 0u64;
+    let mut sketches: Vec<ParallelTopK<FiveTuple>> = Vec::with_capacity(queues);
+    let mut per_queue = vec![0u64; queues];
+
+    std::thread::scope(|s| {
+        // Per-queue consumers.
+        let mut handles = Vec::with_capacity(queues);
+        for ring in &rings {
+            let ring = Arc::clone(ring);
+            let done = Arc::clone(&done);
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || {
+                let mut hk = ParallelTopK::<FiveTuple>::new(cfg);
+                let mut n = 0u64;
+                loop {
+                    match ring.try_pop() {
+                        Some(ft) => {
+                            hk.insert(&ft);
+                            n += 1;
+                        }
+                        None => {
+                            if done.load(Ordering::Acquire) && ring.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                (hk, n)
+            }));
+        }
+
+        // Datapath producer (this thread): parse, forward, RSS-steer.
+        let mut dp = Datapath::new();
+        for frame in &frames {
+            if let Some(ft) = dp.process(frame) {
+                rings[rss_queue(&ft, queues)].push_blocking(ft);
+            }
+        }
+        forwarded = dp.forwarded();
+        done.store(true, Ordering::Release);
+
+        for (q, h) in handles.into_iter().enumerate() {
+            let (hk, n) = h.join().expect("consumer thread");
+            sketches.push(hk);
+            per_queue[q] = n;
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    // Port-wide view: Sum-merge (queues partition the traffic by flow).
+    let mut merged = sketches.swap_remove(0);
+    for sk in &sketches {
+        merged.merge_from(sk).expect("same config + seed merge");
+    }
+
+    let consumed: u64 = per_queue.iter().sum();
+    (
+        RssReport {
+            mps: consumed as f64 / seconds / 1e6,
+            forwarded,
+            per_queue,
+            seconds,
+        },
+        merged,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(n: u64, distinct: u64) -> Vec<FiveTuple> {
+        (0..n).map(|i| FiveTuple::from_index(i % distinct)).collect()
+    }
+
+    fn cfg() -> HkConfig {
+        HkConfig::builder().width(256).k(10).seed(5).build()
+    }
+
+    #[test]
+    fn rss_is_flow_affine_and_covers_all_queues() {
+        let qs = 4;
+        for i in 0..1000u64 {
+            let f = FiveTuple::from_index(i);
+            assert_eq!(rss_queue(&f, qs), rss_queue(&f, qs));
+        }
+        let mut seen = vec![false; qs];
+        for i in 0..1000u64 {
+            seen[rss_queue(&FiveTuple::from_index(i), qs)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some queue never selected");
+    }
+
+    #[test]
+    fn every_packet_consumed_exactly_once() {
+        let pkts = flows(100_000, 200);
+        let (report, _) = run_rss_deployment(&pkts, &cfg(), 4, 512);
+        assert_eq!(report.forwarded, 100_000);
+        assert_eq!(report.per_queue.iter().sum::<u64>(), 100_000);
+        assert!(report.mps > 0.0);
+    }
+
+    #[test]
+    fn merged_view_finds_the_port_wide_elephants() {
+        // 10 elephants spread across queues by RSS; the merged sketch
+        // must rank all of them with exact (uncontended) counts.
+        let mut pkts = Vec::new();
+        for round in 0..1000u64 {
+            for e in 0..10u64 {
+                pkts.push(FiveTuple::from_index(e));
+            }
+            pkts.push(FiveTuple::from_index(1000 + round));
+        }
+        let (_, merged) = run_rss_deployment(&pkts, &cfg(), 4, 512);
+        let top = merged.top_k();
+        assert_eq!(top.len(), 10);
+        for (f, est) in &top {
+            assert!(*est <= 1000, "no over-estimation across the merge");
+            let is_elephant = (0..10u64).any(|i| FiveTuple::from_index(i) == *f);
+            assert!(is_elephant, "non-elephant {f:?} in merged top-k");
+        }
+    }
+
+    #[test]
+    fn single_queue_equals_plain_deployment_accuracy() {
+        // queues = 1 degenerates to the Section VII two-thread pipeline.
+        let pkts = flows(50_000, 100);
+        let (report, merged) = run_rss_deployment(&pkts, &cfg(), 1, 512);
+        assert_eq!(report.per_queue, vec![50_000]);
+        let mut direct = ParallelTopK::<FiveTuple>::new(cfg());
+        for p in &pkts {
+            direct.insert(p);
+        }
+        assert_eq!(merged.top_k(), direct.top_k());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one queue")]
+    fn zero_queues_panics() {
+        run_rss_deployment(&flows(10, 2), &cfg(), 0, 8);
+    }
+}

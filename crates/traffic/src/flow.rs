@@ -1,0 +1,200 @@
+//! Flow identifier types.
+//!
+//! The paper defines a flow ID as "a combination of certain packet header
+//! fields" (Section I-A): the campus dataset keys flows by 5-tuple, the
+//! CAIDA dataset by source/destination address pair, and the synthetic
+//! datasets by an opaque integer. All three shapes implement
+//! [`hk_common::key::FlowKey`] so any sketch accepts any of them.
+
+use hk_common::key::{FlowKey, KeyBytes};
+
+/// A transport 5-tuple: the campus dataset's flow identifier.
+///
+/// Encodes to 13 bytes (the paper notes real 5-tuple IDs exceed 100 bits,
+/// which is why HeavyKeeper stores fingerprints instead of full IDs).
+///
+/// # Examples
+///
+/// ```
+/// use hk_traffic::flow::FiveTuple;
+/// use hk_common::key::FlowKey;
+/// let ft = FiveTuple::new([10, 0, 0, 1], [10, 0, 0, 2], 443, 51234, 6);
+/// assert_eq!(ft.key_bytes().as_slice().len(), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, ...).
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// Creates a 5-tuple from its fields.
+    pub fn new(src_ip: [u8; 4], dst_ip: [u8; 4], src_port: u16, dst_port: u16, protocol: u8) -> Self {
+        Self { src_ip, dst_ip, src_port, dst_port, protocol }
+    }
+
+    /// Derives a synthetic but deterministic 5-tuple from a flow index.
+    ///
+    /// Used by the trace generators: flow `i` always maps to the same
+    /// 5-tuple, and distinct indices map to distinct tuples.
+    pub fn from_index(i: u64) -> Self {
+        // Spread the index over the address/port fields; keep protocol in
+        // {TCP, UDP} like real traffic.
+        let x = i.wrapping_mul(0x9E3779B97F4A7C15); // golden-ratio mix
+        Self {
+            src_ip: [10, (i >> 16) as u8, (i >> 8) as u8, i as u8],
+            dst_ip: [
+                172,
+                ((i >> 40) & 0xFF) as u8,
+                ((i >> 32) & 0xFF) as u8,
+                ((i >> 24) & 0xFF) as u8,
+            ],
+            src_port: (x >> 48) as u16,
+            dst_port: (x >> 32) as u16,
+            protocol: if x & 1 == 0 { 6 } else { 17 },
+        }
+    }
+
+    /// Fixed-width byte encoding (13 bytes).
+    #[inline]
+    pub fn to_bytes(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip);
+        b[4..8].copy_from_slice(&self.dst_ip);
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.protocol;
+        b
+    }
+
+    /// Decodes from the 13-byte encoding.
+    pub fn from_bytes(b: &[u8; 13]) -> Self {
+        Self {
+            src_ip: [b[0], b[1], b[2], b[3]],
+            dst_ip: [b[4], b[5], b[6], b[7]],
+            src_port: u16::from_be_bytes([b[8], b[9]]),
+            dst_port: u16::from_be_bytes([b[10], b[11]]),
+            protocol: b[12],
+        }
+    }
+}
+
+impl FlowKey for FiveTuple {
+    const ENCODED_LEN: usize = 13;
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes {
+        KeyBytes::new(&self.to_bytes())
+    }
+    fn from_key_bytes(bytes: &[u8]) -> Option<Self> {
+        let b: &[u8; 13] = bytes.try_into().ok()?;
+        Some(Self::from_bytes(b))
+    }
+}
+
+/// A source/destination address pair: the CAIDA dataset's flow identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SrcDst {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+}
+
+impl SrcDst {
+    /// Creates an address pair.
+    pub fn new(src_ip: [u8; 4], dst_ip: [u8; 4]) -> Self {
+        Self { src_ip, dst_ip }
+    }
+
+    /// Derives a deterministic address pair from a flow index.
+    pub fn from_index(i: u64) -> Self {
+        let x = i.wrapping_mul(0xD1B54A32D192ED03);
+        Self {
+            src_ip: [(x >> 56) as u8, (x >> 48) as u8, (i >> 8) as u8, i as u8],
+            dst_ip: [(x >> 40) as u8, (x >> 32) as u8, (i >> 24) as u8, (i >> 16) as u8],
+        }
+    }
+
+    /// Fixed-width byte encoding (8 bytes).
+    #[inline]
+    pub fn to_bytes(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0..4].copy_from_slice(&self.src_ip);
+        b[4..8].copy_from_slice(&self.dst_ip);
+        b
+    }
+
+    /// Decodes from the 8-byte encoding.
+    pub fn from_bytes(b: &[u8; 8]) -> Self {
+        Self {
+            src_ip: [b[0], b[1], b[2], b[3]],
+            dst_ip: [b[4], b[5], b[6], b[7]],
+        }
+    }
+}
+
+impl FlowKey for SrcDst {
+    const ENCODED_LEN: usize = 8;
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes {
+        KeyBytes::new(&self.to_bytes())
+    }
+    fn from_key_bytes(bytes: &[u8]) -> Option<Self> {
+        let b: &[u8; 8] = bytes.try_into().ok()?;
+        Some(Self::from_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn five_tuple_roundtrip() {
+        let ft = FiveTuple::new([1, 2, 3, 4], [5, 6, 7, 8], 80, 443, 6);
+        assert_eq!(FiveTuple::from_bytes(&ft.to_bytes()), ft);
+    }
+
+    #[test]
+    fn srcdst_roundtrip() {
+        let sd = SrcDst::new([9, 9, 9, 9], [1, 1, 1, 1]);
+        assert_eq!(SrcDst::from_bytes(&sd.to_bytes()), sd);
+    }
+
+    #[test]
+    fn from_index_is_injective_five_tuple() {
+        let n = 100_000u64;
+        let set: HashSet<FiveTuple> = (0..n).map(FiveTuple::from_index).collect();
+        assert_eq!(set.len(), n as usize);
+    }
+
+    #[test]
+    fn from_index_is_injective_srcdst() {
+        let n = 100_000u64;
+        let set: HashSet<SrcDst> = (0..n).map(SrcDst::from_index).collect();
+        assert_eq!(set.len(), n as usize);
+    }
+
+    #[test]
+    fn from_index_deterministic() {
+        assert_eq!(FiveTuple::from_index(77), FiveTuple::from_index(77));
+        assert_eq!(SrcDst::from_index(77), SrcDst::from_index(77));
+    }
+
+    #[test]
+    fn protocol_is_tcp_or_udp() {
+        for i in 0..1000 {
+            let p = FiveTuple::from_index(i).protocol;
+            assert!(p == 6 || p == 17);
+        }
+    }
+}

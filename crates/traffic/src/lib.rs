@@ -1,0 +1,45 @@
+//! Workload substrate for the HeavyKeeper evaluation.
+//!
+//! The paper evaluates on three kinds of traces (Section VI-A):
+//!
+//! 1. a *campus* trace — 10M packets, ~1M flows, 5-tuple flow IDs;
+//! 2. a *CAIDA 2016* trace — 10M packets, ~4.2M flows, src/dst IDs;
+//! 3. *synthetic* Zipf traces with skewness 0.6–3.0 (Web Polygraph
+//!    generator), 32M packets, 1–10M flows.
+//!
+//! We do not have the proprietary campus capture or the CAIDA trace, so
+//! this crate builds the closest synthetic equivalents (see DESIGN.md §2):
+//! the flow-size distributions are matched (packets, distinct flows,
+//! skew), arrivals are uniformly interleaved, and flow IDs use the same
+//! shapes (5-tuple / address pair). Everything an algorithm can observe —
+//! sizes, ordering statistics, ID entropy — is reproduced.
+//!
+//! Modules:
+//!
+//! * [`flow`] — 5-tuple / src-dst / opaque flow IDs.
+//! * [`zipf`] — the footnote-3 Zipf sampler (alias method, O(1)/packet).
+//! * [`synthetic`] — trace builders, including adversarial shapes.
+//! * [`presets`] — `campus_like`, `caida_like`, `zipf_trace` presets.
+//! * [`oracle`] — exact per-flow counts and true top-k (ground truth).
+//! * [`trace_io`] — compact binary trace serialization.
+//! * [`packet`] — Ethernet/IPv4/TCP/UDP header parsing and synthesis.
+//! * [`pcap`] — classic libpcap capture reading/writing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod oracle;
+pub mod packet;
+pub mod pcap;
+pub mod presets;
+pub mod synthetic;
+pub mod trace_io;
+pub mod zipf;
+
+pub use flow::{FiveTuple, SrcDst};
+pub use oracle::ExactCounter;
+pub use packet::{build_frame, parse_ethernet, ParsedPacket};
+pub use pcap::{PcapReader, PcapWriter};
+pub use synthetic::Trace;
+pub use zipf::ZipfGenerator;

@@ -1,0 +1,386 @@
+//! Raw packet header parsing and synthesis.
+//!
+//! The paper's campus dataset "is comprised of IP packets captured from
+//! the network of our campus" keyed by 5-tuple (Section VI-A). This
+//! module provides the packet-level substrate a deployment needs to feed
+//! HeavyKeeper from real captures: a parser from raw Ethernet frames to
+//! [`FiveTuple`] flow IDs, and the inverse — a frame builder used by the
+//! trace tooling (and tests) to synthesize valid captures.
+//!
+//! Scope: Ethernet II with optional 802.1Q VLAN tags (including QinQ),
+//! IPv4 with options, TCP/UDP ports. Other IP protocols parse with ports
+//! zeroed (the conventional flow-key fallback); IPv6 and non-IP
+//! EtherTypes are reported as unsupported so callers can count skips.
+
+use crate::flow::FiveTuple;
+
+/// Why a frame could not be parsed to a flow ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Frame ends before the required header field.
+    Truncated,
+    /// Not IPv4 (e.g. ARP, IPv6, LLDP); the EtherType is included.
+    UnsupportedEtherType(u16),
+    /// The IP version nibble was not 4.
+    BadIpVersion(u8),
+    /// The IPv4 IHL field implies a header shorter than 20 bytes.
+    BadIhl(u8),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame truncated"),
+            Self::UnsupportedEtherType(t) => write!(f, "unsupported EtherType {t:#06x}"),
+            Self::BadIpVersion(v) => write!(f, "bad IP version {v}"),
+            Self::BadIhl(ihl) => write!(f, "bad IPv4 IHL {ihl}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for 802.1Q VLAN tagging.
+pub const ETHERTYPE_VLAN: u16 = 0x8100;
+/// EtherType for 802.1ad (QinQ) service tags.
+pub const ETHERTYPE_QINQ: u16 = 0x88A8;
+/// EtherType for IPv6 (recognized, reported unsupported).
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// A parsed packet: the flow ID plus the sizes measurement cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// The flow 5-tuple (ports are 0 for non-TCP/UDP protocols).
+    pub flow: FiveTuple,
+    /// The IPv4 `total_length` field — the byte weight a byte-counting
+    /// deployment feeds to a weighted sketch (`heavykeeper::WeightedTopK`).
+    pub ip_total_len: u16,
+    /// Offset of the IPv4 header within the frame (after VLAN tags).
+    pub ip_offset: usize,
+}
+
+/// Parses an Ethernet II frame down to its [`FiveTuple`].
+///
+/// # Examples
+///
+/// ```
+/// use hk_traffic::flow::FiveTuple;
+/// use hk_traffic::packet::{build_frame, parse_ethernet};
+/// let ft = FiveTuple::new([10, 0, 0, 1], [10, 0, 0, 2], 443, 51234, 6);
+/// let frame = build_frame(&ft, 100);
+/// assert_eq!(parse_ethernet(&frame).unwrap().flow, ft);
+/// ```
+pub fn parse_ethernet(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
+    // 6 dst MAC + 6 src MAC + 2 EtherType.
+    if frame.len() < 14 {
+        return Err(ParseError::Truncated);
+    }
+    let mut off = 12;
+    let mut ethertype = u16::from_be_bytes([frame[off], frame[off + 1]]);
+    off += 2;
+    // Walk VLAN tags (802.1Q / QinQ): each adds 4 bytes (TCI + inner type).
+    while ethertype == ETHERTYPE_VLAN || ethertype == ETHERTYPE_QINQ {
+        if frame.len() < off + 4 {
+            return Err(ParseError::Truncated);
+        }
+        ethertype = u16::from_be_bytes([frame[off + 2], frame[off + 3]]);
+        off += 4;
+    }
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::UnsupportedEtherType(ethertype));
+    }
+    let parsed = parse_ipv4(&frame[off..])?;
+    Ok(ParsedPacket { ip_offset: off, ..parsed })
+}
+
+/// Parses an IPv4 packet (starting at the IP header) to its flow ID.
+pub fn parse_ipv4(ip: &[u8]) -> Result<ParsedPacket, ParseError> {
+    if ip.len() < 20 {
+        return Err(ParseError::Truncated);
+    }
+    let version = ip[0] >> 4;
+    if version != 4 {
+        return Err(ParseError::BadIpVersion(version));
+    }
+    let ihl = ip[0] & 0x0F;
+    if ihl < 5 {
+        return Err(ParseError::BadIhl(ihl));
+    }
+    let header_len = ihl as usize * 4;
+    if ip.len() < header_len {
+        return Err(ParseError::Truncated);
+    }
+    let total_len = u16::from_be_bytes([ip[2], ip[3]]);
+    let protocol = ip[9];
+    let src_ip = [ip[12], ip[13], ip[14], ip[15]];
+    let dst_ip = [ip[16], ip[17], ip[18], ip[19]];
+
+    // Ports live in the first 4 transport bytes for both TCP and UDP.
+    // A fragment with nonzero offset carries no transport header; treat
+    // it like a portless protocol (standard flow-keying fallback).
+    let frag_offset = u16::from_be_bytes([ip[6], ip[7]]) & 0x1FFF;
+    let (src_port, dst_port) = if (protocol == PROTO_TCP || protocol == PROTO_UDP)
+        && frag_offset == 0
+    {
+        let t = &ip[header_len..];
+        if t.len() < 4 {
+            return Err(ParseError::Truncated);
+        }
+        (
+            u16::from_be_bytes([t[0], t[1]]),
+            u16::from_be_bytes([t[2], t[3]]),
+        )
+    } else {
+        (0, 0)
+    };
+
+    Ok(ParsedPacket {
+        flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, protocol),
+        ip_total_len: total_len,
+        ip_offset: 0,
+    })
+}
+
+/// The Internet checksum (RFC 1071) over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Builds a valid Ethernet II + IPv4 + TCP/UDP frame for the flow, with
+/// `payload_len` bytes of zero payload. The IPv4 header checksum is
+/// computed; transport checksums are left zero (valid for captures; a
+/// zero UDP checksum means "not computed" per RFC 768).
+///
+/// For non-TCP/UDP protocols the transport header is omitted and the
+/// payload follows the IP header directly.
+pub fn build_frame(flow: &FiveTuple, payload_len: usize) -> Vec<u8> {
+    let transport_len = match flow.protocol {
+        PROTO_TCP => 20,
+        PROTO_UDP => 8,
+        _ => 0,
+    };
+    let ip_total = 20 + transport_len + payload_len;
+    assert!(ip_total <= u16::MAX as usize, "packet too large for IPv4");
+
+    let mut f = Vec::with_capacity(14 + ip_total);
+    // Ethernet: locally administered MACs derived from the addresses.
+    f.extend_from_slice(&[0x02, flow.dst_ip[0], flow.dst_ip[1], flow.dst_ip[2], flow.dst_ip[3], 0x01]);
+    f.extend_from_slice(&[0x02, flow.src_ip[0], flow.src_ip[1], flow.src_ip[2], flow.src_ip[3], 0x02]);
+    f.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+
+    // IPv4 header (no options).
+    let ip_start = f.len();
+    f.push(0x45); // version 4, IHL 5
+    f.push(0); // DSCP/ECN
+    f.extend_from_slice(&(ip_total as u16).to_be_bytes());
+    f.extend_from_slice(&[0, 0]); // identification
+    f.extend_from_slice(&[0x40, 0]); // flags: DF, fragment offset 0
+    f.push(64); // TTL
+    f.push(flow.protocol);
+    f.extend_from_slice(&[0, 0]); // checksum placeholder
+    f.extend_from_slice(&flow.src_ip);
+    f.extend_from_slice(&flow.dst_ip);
+    let csum = internet_checksum(&f[ip_start..ip_start + 20]);
+    f[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+
+    // Transport header.
+    match flow.protocol {
+        PROTO_TCP => {
+            f.extend_from_slice(&flow.src_port.to_be_bytes());
+            f.extend_from_slice(&flow.dst_port.to_be_bytes());
+            f.extend_from_slice(&[0; 8]); // seq + ack
+            f.push(0x50); // data offset 5
+            f.push(0x10); // ACK
+            f.extend_from_slice(&[0xFF, 0xFF]); // window
+            f.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        }
+        PROTO_UDP => {
+            f.extend_from_slice(&flow.src_port.to_be_bytes());
+            f.extend_from_slice(&flow.dst_port.to_be_bytes());
+            f.extend_from_slice(&((8 + payload_len) as u16).to_be_bytes());
+            f.extend_from_slice(&[0, 0]); // checksum: not computed
+        }
+        _ => {}
+    }
+    f.resize(14 + ip_total, 0);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_flow() -> FiveTuple {
+        FiveTuple::new([10, 1, 2, 3], [192, 168, 0, 9], 443, 51234, PROTO_TCP)
+    }
+
+    #[test]
+    fn build_parse_roundtrip_tcp() {
+        let ft = tcp_flow();
+        let frame = build_frame(&ft, 256);
+        let p = parse_ethernet(&frame).unwrap();
+        assert_eq!(p.flow, ft);
+        assert_eq!(p.ip_total_len, 20 + 20 + 256);
+        assert_eq!(p.ip_offset, 14);
+    }
+
+    #[test]
+    fn build_parse_roundtrip_udp() {
+        let ft = FiveTuple::new([1, 2, 3, 4], [5, 6, 7, 8], 53, 33000, PROTO_UDP);
+        let p = parse_ethernet(&build_frame(&ft, 64)).unwrap();
+        assert_eq!(p.flow, ft);
+        assert_eq!(p.ip_total_len, 20 + 8 + 64);
+    }
+
+    #[test]
+    fn icmp_has_zero_ports() {
+        let ft = FiveTuple::new([1, 1, 1, 1], [2, 2, 2, 2], 0, 0, 1); // ICMP
+        let p = parse_ethernet(&build_frame(&ft, 32)).unwrap();
+        assert_eq!(p.flow.protocol, 1);
+        assert_eq!((p.flow.src_port, p.flow.dst_port), (0, 0));
+    }
+
+    #[test]
+    fn vlan_tag_skipped() {
+        let ft = tcp_flow();
+        let mut frame = build_frame(&ft, 10);
+        // Splice an 802.1Q tag after the MACs.
+        let mut tagged = frame[..12].to_vec();
+        tagged.extend_from_slice(&ETHERTYPE_VLAN.to_be_bytes());
+        tagged.extend_from_slice(&[0x00, 0x64]); // VID 100
+        tagged.extend_from_slice(&frame.split_off(12));
+        let p = parse_ethernet(&tagged).unwrap();
+        assert_eq!(p.flow, ft);
+        assert_eq!(p.ip_offset, 18);
+    }
+
+    #[test]
+    fn qinq_double_tag_skipped() {
+        let ft = tcp_flow();
+        let mut frame = build_frame(&ft, 10);
+        let mut tagged = frame[..12].to_vec();
+        tagged.extend_from_slice(&ETHERTYPE_QINQ.to_be_bytes());
+        tagged.extend_from_slice(&[0x00, 0x01]);
+        tagged.extend_from_slice(&ETHERTYPE_VLAN.to_be_bytes());
+        tagged.extend_from_slice(&[0x00, 0x64]);
+        tagged.extend_from_slice(&frame.split_off(12));
+        let p = parse_ethernet(&tagged).unwrap();
+        assert_eq!(p.flow, ft);
+        assert_eq!(p.ip_offset, 22);
+    }
+
+    #[test]
+    fn ipv6_reported_unsupported() {
+        let mut frame = vec![0u8; 54];
+        frame[12..14].copy_from_slice(&ETHERTYPE_IPV6.to_be_bytes());
+        assert_eq!(
+            parse_ethernet(&frame),
+            Err(ParseError::UnsupportedEtherType(ETHERTYPE_IPV6))
+        );
+    }
+
+    #[test]
+    fn arp_reported_unsupported() {
+        let mut frame = vec![0u8; 60];
+        frame[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
+        assert_eq!(parse_ethernet(&frame), Err(ParseError::UnsupportedEtherType(0x0806)));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        assert_eq!(parse_ethernet(&[0u8; 13]), Err(ParseError::Truncated));
+        let ft = tcp_flow();
+        let frame = build_frame(&ft, 0);
+        // Cut inside the IPv4 header.
+        assert_eq!(parse_ethernet(&frame[..20]), Err(ParseError::Truncated));
+        // Cut inside the transport ports.
+        assert_eq!(parse_ethernet(&frame[..36]), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn ipv4_with_options_parses() {
+        let ft = tcp_flow();
+        let frame = build_frame(&ft, 0);
+        // Rebuild with IHL = 6 (4 bytes of options: NOPs).
+        let mut ip = frame[14..].to_vec();
+        ip[0] = 0x46;
+        let mut with_opts = ip[..20].to_vec();
+        with_opts.extend_from_slice(&[1, 1, 1, 1]); // NOP options
+        with_opts.extend_from_slice(&ip[20..]);
+        let p = parse_ipv4(&with_opts).unwrap();
+        assert_eq!(p.flow, ft);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let ft = tcp_flow();
+        let mut frame = build_frame(&ft, 0);
+        frame[14] = 0x65; // version 6, IHL 5
+        assert_eq!(parse_ethernet(&frame), Err(ParseError::BadIpVersion(6)));
+    }
+
+    #[test]
+    fn bad_ihl_rejected() {
+        let ft = tcp_flow();
+        let mut frame = build_frame(&ft, 0);
+        frame[14] = 0x43; // version 4, IHL 3 (< 5)
+        assert_eq!(parse_ethernet(&frame), Err(ParseError::BadIhl(3)));
+    }
+
+    #[test]
+    fn fragment_with_offset_has_zero_ports() {
+        let ft = tcp_flow();
+        let mut frame = build_frame(&ft, 8);
+        // Set fragment offset to 100 (the "transport" bytes are payload).
+        frame[14 + 6] = 0x00;
+        frame[14 + 7] = 100;
+        let p = parse_ethernet(&frame).unwrap();
+        assert_eq!((p.flow.src_port, p.flow.dst_port), (0, 0));
+        assert_eq!(p.flow.protocol, PROTO_TCP);
+    }
+
+    #[test]
+    fn ip_checksum_is_valid() {
+        // Checksumming a header including its own checksum yields 0.
+        let frame = build_frame(&tcp_flow(), 0);
+        assert_eq!(internet_checksum(&frame[14..34]), 0);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // RFC 1071 worked example: sum of 0x0001 0xf203 0xf4f5 0xf6f7
+        // is 0x2ddf0 → folded 0xddf2 → complement 0x220d.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+        // Appending the checksum makes the whole buffer sum to zero.
+        let mut with = data.to_vec();
+        with.extend_from_slice(&internet_checksum(&data).to_be_bytes());
+        assert_eq!(internet_checksum(&with), 0);
+    }
+
+    #[test]
+    fn odd_length_checksum_pads_with_zero() {
+        assert_eq!(
+            internet_checksum(&[0xFF, 0x00, 0xAB]),
+            internet_checksum(&[0xFF, 0x00, 0xAB, 0x00])
+        );
+    }
+}

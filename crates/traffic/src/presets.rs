@@ -1,0 +1,135 @@
+//! Dataset presets matching the paper's Section VI-A setup.
+//!
+//! | Paper dataset | Preset | Shape |
+//! |---|---|---|
+//! | Campus (10M pkts, 1M flows, 5-tuple) | [`campus_like`] | sampled Zipf, calibrated skew |
+//! | CAIDA 2016 (10M pkts, ~4.2M flows, src/dst) | [`caida_like`] | lower skew, larger universe |
+//! | Synthetic (32M pkts, skew 0.6–3.0) | [`zipf_trace`] | footnote-3 Zipf |
+//!
+//! The scaled variants (`*_scaled`) keep the flow-size *shape* while
+//! shrinking packet counts so the full figure sweeps finish quickly;
+//! experiments accept a scale factor.
+
+use crate::flow::{FiveTuple, SrcDst};
+use crate::synthetic::{sampled_zipf, Trace};
+
+/// Default packet count of the paper's campus/CAIDA traces.
+pub const PAPER_TRACE_PACKETS: u64 = 10_000_000;
+
+/// Campus-like trace: heavy skew, ~1 distinct flow per 10 packets.
+///
+/// Flow IDs are 5-tuples like the paper's campus dataset. `scale` divides
+/// the packet count (1 = the paper's full 10M packets).
+///
+/// Calibration: sampling 10M packets i.i.d. from Zipf(γ≈1.05) over a 2.5M
+/// universe observes ≈1M distinct flows, matching the paper's 10:1
+/// packets-to-flows ratio.
+pub fn campus_like(scale: u64, seed: u64) -> Trace<FiveTuple> {
+    assert!(scale >= 1, "scale must be >= 1");
+    let n = PAPER_TRACE_PACKETS / scale;
+    let m = (2_500_000 / scale).max(1000) as usize;
+    let mut t = sampled_zipf(n, m, 1.05, seed).map_keys(FiveTuple::from_index);
+    t.name = format!("campus-like(scale={scale})");
+    t
+}
+
+/// CAIDA-like trace: much larger mouse population, ~4.2 distinct flows
+/// per 10 packets, src/dst flow IDs.
+///
+/// Calibration: 10M i.i.d. packets from Zipf(γ≈0.65) over a 12M universe
+/// observe ≈4.2M distinct flows.
+pub fn caida_like(scale: u64, seed: u64) -> Trace<SrcDst> {
+    assert!(scale >= 1, "scale must be >= 1");
+    let n = PAPER_TRACE_PACKETS / scale;
+    let m = (12_000_000 / scale).max(2000) as usize;
+    let mut t = sampled_zipf(n, m, 0.65, seed).map_keys(SrcDst::from_index);
+    t.name = format!("caida-like(scale={scale})");
+    t
+}
+
+/// Synthetic Zipf trace with explicit skewness, like the paper's ten
+/// synthetic datasets (skew 0.6–3.0, 32M packets, 1–10M flows).
+///
+/// `scale` divides the packet count (1 = the paper's full 32M packets).
+///
+/// Uses the *exact* generator ([`crate::synthetic::exact_zipf`]): every
+/// flow of the universe appears at least once, matching the Web
+/// Polygraph generator's materialized flow population (the paper's
+/// datasets have 1–10M flows at every skewness — a sampled stream would
+/// observe only a handful of distinct flows at skew 3).
+pub fn zipf_trace(skew: f64, scale: u64, seed: u64) -> Trace<u64> {
+    assert!(scale >= 1, "scale must be >= 1");
+    let n = 32_000_000 / scale;
+    let m = (10_000_000 / scale).max(1000) as usize;
+    let mut t = crate::synthetic::exact_zipf(n, m, skew, seed);
+    t.name = format!("zipf(skew={skew},scale={scale})");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactCounter;
+
+    #[test]
+    fn campus_like_ratio_calibrated() {
+        // At scale 100 (100k packets, 25k universe) the packets-to-flows
+        // ratio should be in the same regime as the paper's 10:1.
+        let t = campus_like(100, 1);
+        let o = ExactCounter::from_packets(&t.packets);
+        let ratio = o.total_packets() as f64 / o.distinct_flows() as f64;
+        assert!(
+            (5.0..20.0).contains(&ratio),
+            "campus packets:flows ratio {ratio:.1} out of range"
+        );
+    }
+
+    #[test]
+    fn caida_like_has_more_flows_than_campus() {
+        let campus = campus_like(100, 1);
+        let caida = caida_like(100, 1);
+        let oc = ExactCounter::from_packets(&campus.packets);
+        let oa = ExactCounter::from_packets(&caida.packets);
+        assert!(
+            oa.distinct_flows() > 2 * oc.distinct_flows(),
+            "caida {} vs campus {}",
+            oa.distinct_flows(),
+            oc.distinct_flows()
+        );
+    }
+
+    #[test]
+    fn caida_like_ratio_calibrated() {
+        let t = caida_like(100, 2);
+        let o = ExactCounter::from_packets(&t.packets);
+        let flows_per_10_packets = 10.0 * o.distinct_flows() as f64 / o.total_packets() as f64;
+        // Paper: 4.2M flows per 10M packets → 4.2 per 10.
+        assert!(
+            (2.0..7.0).contains(&flows_per_10_packets),
+            "flows per 10 packets = {flows_per_10_packets:.2}"
+        );
+    }
+
+    #[test]
+    fn zipf_trace_respects_scale() {
+        let t = zipf_trace(1.0, 1000, 3);
+        // Exact generator: ~n packets plus the 1-packet floor for tail
+        // flows (every flow of the universe appears at least once).
+        assert!(t.len() >= 32_000, "len {}", t.len());
+        assert!(t.len() <= 32_000 + 12_000, "len {}", t.len());
+        let o = ExactCounter::from_packets(&t.packets);
+        assert_eq!(o.distinct_flows(), 10_000, "every universe flow appears");
+    }
+
+    #[test]
+    fn presets_are_seeded() {
+        assert_eq!(campus_like(1000, 5).packets, campus_like(1000, 5).packets);
+        assert_ne!(campus_like(1000, 5).packets, campus_like(1000, 6).packets);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be >= 1")]
+    fn zero_scale_panics() {
+        campus_like(0, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Synthetic trace builders.
+//!
+//! Two families of generators:
+//!
+//! * **Exact** traces materialize the deterministic Zipf size vector and
+//!   shuffle the packet order — every run has identical ground truth,
+//!   which tests rely on.
+//! * **Sampled** traces draw packets i.i.d. from the Zipf distribution
+//!   (the paper's Web Polygraph generator also samples), cheaper for very
+//!   long streams and available as an iterator ([`sampled_zipf_stream`])
+//!   so the 10⁸-packet experiment (Fig. 32) never materializes the trace.
+//!
+//! Also provides the adversarial shapes used for failure-injection tests:
+//! all-distinct traffic, uniform traffic, and late-arriving elephants
+//! (the Section III-F / Theorem 3 discussion).
+
+use crate::zipf::{zipf_sizes, ZipfGenerator};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A finite packet trace: each element is the flow ID of one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<K> {
+    /// Human-readable name used in experiment output.
+    pub name: String,
+    /// One flow ID per packet, in arrival order.
+    pub packets: Vec<K>,
+}
+
+impl<K> Trace<K> {
+    /// Creates a trace from parts.
+    pub fn new(name: impl Into<String>, packets: Vec<K>) -> Self {
+        Self { name: name.into(), packets }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Maps every flow ID through `f`, preserving order.
+    pub fn map_keys<K2>(self, f: impl Fn(K) -> K2) -> Trace<K2> {
+        Trace {
+            name: self.name,
+            packets: self.packets.into_iter().map(f).collect(),
+        }
+    }
+}
+
+/// Builds an exact Zipf trace: flow `i` (0-based) appears exactly
+/// `zipf_sizes(n, m, skew)[i]` times, shuffled into a uniformly random
+/// arrival order.
+///
+/// The realized packet count differs slightly from `n` because the size
+/// vector is rounded per flow.
+pub fn exact_zipf(n: u64, m: usize, skew: f64, seed: u64) -> Trace<u64> {
+    let sizes = zipf_sizes(n, m, skew);
+    let total: u64 = sizes.iter().sum();
+    let mut packets = Vec::with_capacity(total as usize);
+    for (i, &s) in sizes.iter().enumerate() {
+        packets.extend(std::iter::repeat(i as u64).take(s as usize));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    packets.shuffle(&mut rng);
+    Trace::new(format!("exact-zipf(n={n},m={m},s={skew})"), packets)
+}
+
+/// Builds a sampled Zipf trace: `n` i.i.d. draws over a universe of `m`
+/// flows. The number of *observed* distinct flows is below `m`.
+pub fn sampled_zipf(n: u64, m: usize, skew: f64, seed: u64) -> Trace<u64> {
+    let gen = ZipfGenerator::new(m, skew);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let packets = gen.sample_many(&mut rng, n as usize);
+    Trace::new(format!("sampled-zipf(n={n},m={m},s={skew})"), packets)
+}
+
+/// Returns an iterator form of [`sampled_zipf`] that never materializes
+/// the trace; used for very long streams (Fig. 32).
+pub fn sampled_zipf_stream(m: usize, skew: f64, seed: u64) -> impl Iterator<Item = u64> {
+    let gen = ZipfGenerator::new(m, skew);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    std::iter::from_fn(move || Some(gen.sample(&mut rng)))
+}
+
+/// Adversarial: every packet belongs to a different flow.
+///
+/// No algorithm can find meaningful top-k here; HeavyKeeper must degrade
+/// gracefully (buckets keep being decayed/replaced) and never report an
+/// over-estimated size.
+pub fn all_distinct(n: u64) -> Trace<u64> {
+    Trace::new(format!("all-distinct(n={n})"), (0..n).collect())
+}
+
+/// Adversarial: uniform traffic over `m` flows (skew 0).
+pub fn uniform(n: u64, m: usize, seed: u64) -> Trace<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let packets = (0..n).map(|_| rng.gen_range(0..m as u64)).collect();
+    Trace::new(format!("uniform(n={n},m={m})"), packets)
+}
+
+/// Adversarial: a background of mouse flows followed by one very large
+/// elephant that arrives only after the buckets have filled.
+///
+/// Exercises the paper's Section III-F "late-arriving elephant" weakness
+/// and the dynamic-expansion countermeasure. The elephant's ID is
+/// `u64::MAX` so tests can refer to it.
+pub fn late_elephant(mice_packets: u64, mice_flows: usize, elephant_size: u64, seed: u64) -> Trace<u64> {
+    let mut trace = sampled_zipf(mice_packets, mice_flows, 0.8, seed);
+    trace
+        .packets
+        .extend(std::iter::repeat(u64::MAX).take(elephant_size as usize));
+    trace.name = format!(
+        "late-elephant(mice={mice_packets}x{mice_flows},elephant={elephant_size})"
+    );
+    trace
+}
+
+/// A periodic burst pattern: `flows` flows take turns sending bursts of
+/// `burst` consecutive packets, `rounds` times.
+///
+/// Bursty arrivals are the worst case for decay-based replacement because
+/// a bursting mouse looks temporarily heavy.
+pub fn bursty(flows: usize, burst: usize, rounds: usize) -> Trace<u64> {
+    let mut packets = Vec::with_capacity(flows * burst * rounds);
+    for _ in 0..rounds {
+        for f in 0..flows {
+            packets.extend(std::iter::repeat(f as u64).take(burst));
+        }
+    }
+    Trace::new(format!("bursty(f={flows},b={burst},r={rounds})"), packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn count_flows(t: &Trace<u64>) -> HashMap<u64, u64> {
+        let mut m = HashMap::new();
+        for &p in &t.packets {
+            *m.entry(p).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn exact_zipf_sizes_match() {
+        let t = exact_zipf(10_000, 100, 1.5, 1);
+        let counts = count_flows(&t);
+        let sizes = zipf_sizes(10_000, 100, 1.5);
+        assert_eq!(counts.len(), 100);
+        for (i, &s) in sizes.iter().enumerate() {
+            assert_eq!(counts[&(i as u64)], s, "flow {i}");
+        }
+    }
+
+    #[test]
+    fn exact_zipf_deterministic_per_seed() {
+        assert_eq!(exact_zipf(1000, 10, 1.0, 7), exact_zipf(1000, 10, 1.0, 7));
+        assert_ne!(
+            exact_zipf(1000, 10, 1.0, 7).packets,
+            exact_zipf(1000, 10, 1.0, 8).packets,
+            "different seeds must shuffle differently"
+        );
+    }
+
+    #[test]
+    fn sampled_zipf_within_universe() {
+        let t = sampled_zipf(5000, 50, 1.0, 3);
+        assert_eq!(t.len(), 5000);
+        assert!(t.packets.iter().all(|&p| p < 50));
+    }
+
+    #[test]
+    fn stream_matches_materialized() {
+        let t = sampled_zipf(1000, 50, 1.0, 9);
+        let s: Vec<u64> = sampled_zipf_stream(50, 1.0, 9).take(1000).collect();
+        assert_eq!(t.packets, s);
+    }
+
+    #[test]
+    fn all_distinct_has_no_repeats() {
+        let t = all_distinct(1000);
+        let counts = count_flows(&t);
+        assert_eq!(counts.len(), 1000);
+        assert!(counts.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn late_elephant_is_last_and_largest() {
+        let t = late_elephant(1000, 100, 500, 5);
+        let counts = count_flows(&t);
+        assert_eq!(counts[&u64::MAX], 500);
+        // The tail of the trace is all elephant.
+        assert!(t.packets[t.len() - 500..].iter().all(|&p| p == u64::MAX));
+    }
+
+    #[test]
+    fn bursty_shape() {
+        let t = bursty(3, 4, 2);
+        assert_eq!(t.len(), 24);
+        assert_eq!(&t.packets[0..4], &[0, 0, 0, 0]);
+        assert_eq!(&t.packets[4..8], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn map_keys_preserves_order() {
+        let t = Trace::new("t", vec![1u64, 2, 3]).map_keys(|k| k * 10);
+        assert_eq!(t.packets, vec![10, 20, 30]);
+    }
+}

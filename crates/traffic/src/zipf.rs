@@ -1,0 +1,233 @@
+//! Zipf flow-size distribution (paper footnote 3).
+//!
+//! The paper's synthetic datasets draw flow frequencies from a Zipf law:
+//! flow `i`'s frequency is `f_i = N / (i^γ · δ(γ))` with normalization
+//! `δ(γ) = Σ_{j=1..M} 1/j^γ`, where `γ` is the *skewness* (0.6–3.0 in the
+//! evaluation) and `M` the number of distinct flows. This module provides:
+//!
+//! * [`zipf_sizes`] — the exact deterministic size vector `(n_1..n_M)`,
+//!   used when experiments need reproducible ground truth;
+//! * [`ZipfGenerator`] — an O(1)-per-sample Walker alias-method sampler
+//!   over that distribution, used to stream packets without materializing
+//!   a shuffled trace (required for the 10⁸-packet experiment, Fig. 32).
+
+use rand::Rng;
+
+/// Computes the Zipf normalization constant `δ(γ) = Σ_{j=1..m} j^{-γ}`.
+pub fn zipf_delta(skew: f64, m: usize) -> f64 {
+    (1..=m).map(|j| (j as f64).powf(-skew)).sum()
+}
+
+/// Exact expected flow sizes for a Zipf stream.
+///
+/// Returns `m` sizes summing to (approximately) `n`, non-increasing, with
+/// `sizes[i] = round(n / ((i+1)^γ δ(γ)))` floored at 1 packet — the
+/// paper's footnote-3 definition made integral.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n == 0`.
+pub fn zipf_sizes(n: u64, m: usize, skew: f64) -> Vec<u64> {
+    assert!(m > 0 && n > 0, "need at least one flow and one packet");
+    let delta = zipf_delta(skew, m);
+    (1..=m)
+        .map(|i| {
+            let f = (n as f64) / ((i as f64).powf(skew) * delta);
+            (f.round() as u64).max(1)
+        })
+        .collect()
+}
+
+/// An O(1)-per-sample Zipf sampler over flow indices `0..m` using Walker's
+/// alias method.
+///
+/// # Examples
+///
+/// ```
+/// use hk_traffic::zipf::ZipfGenerator;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let gen = ZipfGenerator::new(1000, 1.2);
+/// let flow = gen.sample(&mut rng);
+/// assert!(flow < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    /// Alias table: probability of taking the "primary" column.
+    prob: Vec<f64>,
+    /// Alias table: alternative column index.
+    alias: Vec<u32>,
+    skew: f64,
+}
+
+impl ZipfGenerator {
+    /// Builds the alias table for `m` flows with the given skewness.
+    ///
+    /// Construction is O(m); sampling is O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m > u32::MAX as usize`.
+    pub fn new(m: usize, skew: f64) -> Self {
+        assert!(m > 0, "need at least one flow");
+        assert!(m <= u32::MAX as usize, "flow universe too large");
+        let delta = zipf_delta(skew, m);
+        // Normalized probabilities scaled by m for the alias construction.
+        let scaled: Vec<f64> = (1..=m)
+            .map(|i| (m as f64) * (i as f64).powf(-skew) / delta)
+            .collect();
+
+        let mut prob = vec![0.0f64; m];
+        let mut alias = vec![0u32; m];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        let mut p = scaled;
+        for (i, &v) in p.iter().enumerate() {
+            if v < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = p[s as usize];
+            alias[s as usize] = l;
+            p[l as usize] = (p[l as usize] + p[s as usize]) - 1.0;
+            if p[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        Self { prob, alias, skew }
+    }
+
+    /// Number of distinct flows in the universe.
+    pub fn universe(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// The skewness this generator was built with.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Draws one flow index in `[0, m)`; flow 0 is the largest.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let m = self.prob.len();
+        let col = rng.gen_range(0..m);
+        if rng.gen::<f64>() < self.prob[col] {
+            col as u64
+        } else {
+            self.alias[col] as u64
+        }
+    }
+
+    /// Draws `count` samples into a vector.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delta_known_values() {
+        // δ(1, 3) = 1 + 1/2 + 1/3.
+        assert!((zipf_delta(1.0, 3) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        // δ(0, m) = m.
+        assert!((zipf_delta(0.0, 10) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizes_are_non_increasing_and_near_n() {
+        let sizes = zipf_sizes(100_000, 1000, 1.2);
+        assert_eq!(sizes.len(), 1000);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        let total: u64 = sizes.iter().sum();
+        // Rounding and the 1-packet floor perturb the total slightly.
+        assert!((total as f64 - 100_000.0).abs() / 100_000.0 < 0.05, "total = {total}");
+    }
+
+    #[test]
+    fn sizes_match_footnote_formula() {
+        let (n, m, skew) = (10_000u64, 50usize, 2.0f64);
+        let sizes = zipf_sizes(n, m, skew);
+        let delta = zipf_delta(skew, m);
+        for i in 1..=m {
+            let expect = (n as f64 / ((i as f64).powf(skew) * delta)).round().max(1.0) as u64;
+            assert_eq!(sizes[i - 1], expect);
+        }
+    }
+
+    #[test]
+    fn alias_table_sampling_matches_distribution() {
+        let m = 100;
+        let skew = 1.0;
+        let gen = ZipfGenerator::new(m, skew);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 500_000usize;
+        let mut counts = vec![0u64; m];
+        for _ in 0..n {
+            counts[gen.sample(&mut rng) as usize] += 1;
+        }
+        let delta = zipf_delta(skew, m);
+        // Compare empirical frequencies of the head flows to theory.
+        for i in 0..10 {
+            let expect = ((i + 1) as f64).powf(-skew) / delta;
+            let got = counts[i] as f64 / n as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.05, "flow {i}: got {got:.5} expect {expect:.5}");
+        }
+        // Head should dominate: flow 0 ≈ 1/δ of all traffic.
+        assert!(counts[0] > counts[99] * 10);
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = 10_000;
+        let n = 200_000;
+        let frac_top = |skew: f64, rng: &mut rand::rngs::StdRng| {
+            let g = ZipfGenerator::new(m, skew);
+            let hits = (0..n).filter(|_| g.sample(rng) < 10).count();
+            hits as f64 / n as f64
+        };
+        let low = frac_top(0.6, &mut rng);
+        let high = frac_top(2.4, &mut rng);
+        assert!(high > low + 0.3, "low-skew {low:.3} vs high-skew {high:.3}");
+    }
+
+    #[test]
+    fn sample_within_universe() {
+        let gen = ZipfGenerator::new(17, 1.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(gen.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn single_flow_universe() {
+        let gen = ZipfGenerator::new(1, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(gen.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one flow")]
+    fn zero_universe_panics() {
+        ZipfGenerator::new(0, 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the workload substrate.
+
+use hk_traffic::flow::{FiveTuple, SrcDst};
+use hk_traffic::oracle::ExactCounter;
+use hk_traffic::packet::{build_frame, internet_checksum, parse_ethernet};
+use hk_traffic::pcap::{PcapReader, PcapWriter};
+use hk_traffic::synthetic::{exact_zipf, Trace};
+use hk_traffic::trace_io::{from_bytes, to_bytes};
+use hk_traffic::zipf::{zipf_delta, zipf_sizes};
+use proptest::prelude::*;
+
+/// An arbitrary 5-tuple (any addresses/ports, protocol TCP, UDP or ICMP).
+fn arb_five_tuple() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop::sample::select(vec![6u8, 17, 1]),
+    )
+        .prop_map(|(s, d, sp, dp, proto)| {
+            // Non-TCP/UDP frames carry no ports; normalize so the parsed
+            // tuple can equal the input.
+            if proto == 6 || proto == 17 {
+                FiveTuple::new(s, d, sp, dp, proto)
+            } else {
+                FiveTuple::new(s, d, 0, 0, proto)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_sizes_sum_and_shape(
+        n in 1000u64..200_000,
+        m in 1usize..2000,
+        skew_milli in 300u64..3000,
+    ) {
+        let skew = skew_milli as f64 / 1000.0;
+        let sizes = zipf_sizes(n, m, skew);
+        prop_assert_eq!(sizes.len(), m);
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "not non-increasing");
+        prop_assert!(sizes.iter().all(|&s| s >= 1), "one-packet floor violated");
+        // The head follows the footnote-3 formula exactly.
+        let delta = zipf_delta(skew, m);
+        let expect_head = ((n as f64) / delta).round().max(1.0) as u64;
+        prop_assert_eq!(sizes[0], expect_head);
+    }
+
+    #[test]
+    fn exact_zipf_trace_matches_sizes(
+        n in 1000u64..20_000,
+        m in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let trace = exact_zipf(n, m, 1.1, seed);
+        let sizes = zipf_sizes(n, m, 1.1);
+        let oracle = ExactCounter::from_packets(&trace.packets);
+        prop_assert_eq!(oracle.distinct_flows(), m);
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(oracle.count(&(i as u64)), s);
+        }
+    }
+
+    #[test]
+    fn trace_io_roundtrip_u64(
+        packets in prop::collection::vec(any::<u64>(), 0..500),
+    ) {
+        let t = Trace::new("prop", packets);
+        let t2: Trace<u64> = from_bytes(to_bytes(&t), "prop").unwrap();
+        prop_assert_eq!(t.packets, t2.packets);
+    }
+
+    #[test]
+    fn trace_io_roundtrip_five_tuple(
+        idx in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let t = Trace::new("ft", idx.iter().map(|&i| FiveTuple::from_index(i)).collect());
+        let t2: Trace<FiveTuple> = from_bytes(to_bytes(&t), "ft").unwrap();
+        prop_assert_eq!(t.packets, t2.packets);
+    }
+
+    #[test]
+    fn five_tuple_bytes_injective(
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let (fa, fb) = (FiveTuple::from_index(a), FiveTuple::from_index(b));
+        prop_assert_eq!(fa == fb, fa.to_bytes() == fb.to_bytes());
+        let (sa, sb) = (SrcDst::from_index(a), SrcDst::from_index(b));
+        prop_assert_eq!(sa == sb, sa.to_bytes() == sb.to_bytes());
+    }
+
+    #[test]
+    fn oracle_totals_consistent(
+        packets in prop::collection::vec(0u64..50, 1..2000),
+    ) {
+        let oracle = ExactCounter::from_packets(&packets);
+        prop_assert_eq!(oracle.total_packets(), packets.len() as u64);
+        let sum: u64 = oracle.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(sum, packets.len() as u64);
+        // Top-k of everything is everything, sorted.
+        let all = oracle.top_k(usize::MAX);
+        prop_assert_eq!(all.len(), oracle.distinct_flows());
+        prop_assert!(all.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn eligible_set_is_superset_of_topk_list(
+        packets in prop::collection::vec(0u64..50, 1..2000),
+        k in 1usize..20,
+    ) {
+        let oracle = ExactCounter::from_packets(&packets);
+        let eligible = oracle.top_k_eligible(k);
+        for (flow, _) in oracle.top_k(k) {
+            prop_assert!(eligible.contains(&flow));
+        }
+    }
+
+    #[test]
+    fn frame_build_parse_roundtrip(
+        ft in arb_five_tuple(),
+        payload in 0usize..1400,
+    ) {
+        let frame = build_frame(&ft, payload);
+        let parsed = parse_ethernet(&frame).unwrap();
+        prop_assert_eq!(parsed.flow, ft);
+        // The frame self-describes its IP length.
+        let transport = match ft.protocol { 6 => 20, 17 => 8, _ => 0 };
+        prop_assert_eq!(parsed.ip_total_len as usize, 20 + transport + payload);
+        // IPv4 header checksum is valid.
+        let ip = &frame[parsed.ip_offset..parsed.ip_offset + 20];
+        prop_assert_eq!(internet_checksum(ip), 0);
+    }
+
+    #[test]
+    fn truncating_a_valid_frame_never_panics(
+        ft in arb_five_tuple(),
+        cut in 0usize..60,
+    ) {
+        let frame = build_frame(&ft, 16);
+        let cut = cut.min(frame.len());
+        // Any prefix must parse or error cleanly — no panic, no bogus
+        // tuple claiming to be the original on a too-short prefix.
+        if let Ok(p) = parse_ethernet(&frame[..cut]) {
+            prop_assert_eq!(p.flow, ft);
+        }
+    }
+
+    #[test]
+    fn pcap_roundtrip_arbitrary_flows(
+        idx in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let fts: Vec<FiveTuple> = idx.iter().map(|&i| FiveTuple::from_index(i)).collect();
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        for (i, ft) in fts.iter().enumerate() {
+            w.write_packet(i as u32, 0, &build_frame(ft, i % 700)).unwrap();
+        }
+        w.finish().unwrap();
+        let cap = PcapReader::new(buf.as_slice()).unwrap().read_flows().unwrap();
+        prop_assert_eq!(cap.skipped, 0);
+        let got: Vec<FiveTuple> = cap.flows.iter().map(|&(f, _)| f).collect();
+        prop_assert_eq!(got, fts);
+    }
+
+    #[test]
+    fn pcap_reader_never_panics_on_garbage(
+        junk in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // Arbitrary bytes must produce clean errors, never panics.
+        if let Ok(mut r) = PcapReader::new(junk.as_slice()) {
+            while let Some(rec) = r.next_record() {
+                if rec.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_complement_identity(
+        data in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        // Appending the checksum of even-length data zeroes the total.
+        let mut even = data.clone();
+        if even.len() % 2 == 1 {
+            even.push(0);
+        }
+        let c = internet_checksum(&even);
+        let mut with = even.clone();
+        with.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&with), 0);
+    }
+}

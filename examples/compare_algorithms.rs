@@ -1,0 +1,66 @@
+//! Head-to-head comparison of every algorithm in the workspace on one
+//! skewed trace: precision, ARE, AAE, and throughput at a 20 KB budget.
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK};
+use hk_baselines::{
+    CmSketchTopK, ColdFilterTopK, CountSketchTopK, CounterTreeTopK, CssTopK, ElasticTopK,
+    FrequentTopK, HeavyGuardianTopK, LossyCountingTopK, SpaceSavingTopK,
+};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_metrics::accuracy::evaluate_topk;
+use hk_traffic::oracle::ExactCounter;
+use hk_traffic::synthetic::sampled_zipf;
+use std::time::Instant;
+
+const MEM: usize = 20 * 1024;
+const K: usize = 100;
+
+fn main() {
+    let trace = sampled_zipf(1_000_000, 200_000, 1.0, 17);
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    println!(
+        "trace: {} packets, {} flows | budget {} KB, k = {K}\n",
+        trace.packets.len(),
+        oracle.distinct_flows(),
+        MEM / 1024
+    );
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10}",
+        "algorithm", "precision", "ARE", "AAE", "Mps"
+    );
+
+    let algos: Vec<Box<dyn TopKAlgorithm<u64>>> = vec![
+        Box::new(ParallelTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(MinimumTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(BasicTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(SpaceSavingTopK::<u64>::with_memory(MEM, K)),
+        Box::new(LossyCountingTopK::<u64>::with_memory(MEM, K)),
+        Box::new(FrequentTopK::<u64>::with_memory(MEM, K)),
+        Box::new(CssTopK::<u64>::with_memory(MEM, K)),
+        Box::new(CmSketchTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(CountSketchTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(ElasticTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(ColdFilterTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(CounterTreeTopK::<u64>::with_memory(MEM, K, 1)),
+        Box::new(HeavyGuardianTopK::<u64>::with_memory(MEM, K, 1)),
+    ];
+
+    for mut algo in algos {
+        let start = Instant::now();
+        algo.insert_all(&trace.packets);
+        let secs = start.elapsed().as_secs_f64();
+        let r = evaluate_topk(&algo.top_k(), &oracle, K);
+        println!(
+            "{:<16} {:>10.4} {:>12.4} {:>12.1} {:>10.2}",
+            algo.name(),
+            r.precision,
+            r.are,
+            r.aae,
+            trace.packets.len() as f64 / secs / 1e6,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: find the top-10 elephant flows in a skewed packet stream.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use heavykeeper::{HkConfig, ParallelTopK};
+use hk_common::TopKAlgorithm;
+use hk_traffic::oracle::ExactCounter;
+use hk_traffic::synthetic::exact_zipf;
+
+fn main() {
+    // A 100k-packet Zipf stream over 10k flows: a handful of elephants,
+    // a long tail of mice.
+    let trace = exact_zipf(100_000, 10_000, 1.1, 7);
+    let oracle = ExactCounter::from_packets(&trace.packets);
+
+    // HeavyKeeper in its paper configuration: d = 2 arrays, 16-bit
+    // fingerprints and counters, exponential decay with b = 1.08, and a
+    // Stream-Summary tracking the top k = 10 flows. ~8 KB total.
+    let cfg = HkConfig::builder().memory_bytes(8 * 1024).k(10).seed(1).build();
+    let mut hk = ParallelTopK::<u64>::new(cfg);
+
+    for packet in &trace.packets {
+        hk.insert(packet);
+    }
+
+    println!("{:>8} {:>12} {:>12} {:>8}", "flow", "estimated", "true", "error");
+    for (flow, estimate) in hk.top_k() {
+        let truth = oracle.count(&flow);
+        println!(
+            "{flow:>8} {estimate:>12} {truth:>12} {:>7.3}%",
+            100.0 * (truth.abs_diff(estimate)) as f64 / truth.max(1) as f64
+        );
+    }
+
+    let true_top: Vec<u64> = oracle.top_k(10).into_iter().map(|(f, _)| f).collect();
+    let reported: Vec<u64> = hk.top_k().into_iter().map(|(f, _)| f).collect();
+    let hits = reported.iter().filter(|f| true_top.contains(f)).count();
+    println!("\nprecision: {}/10  (memory: {} bytes)", hits, hk.memory_bytes());
+}

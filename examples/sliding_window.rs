@@ -1,0 +1,61 @@
+//! Sliding-window monitoring: "top-k over the last W periods".
+//!
+//! The paper's deployment reports and resets every period (footnote 2) —
+//! a tumbling window. This example contrasts that with the epoch-ring
+//! sliding window: a short-lived burst flow dominates one period, then a
+//! steady flow that never spikes overtakes it as the window slides.
+//!
+//! ```sh
+//! cargo run --release --example sliding_window
+//! ```
+
+use heavykeeper::sliding::SlidingTopK;
+use heavykeeper::HkConfig;
+use hk_traffic::synthetic::sampled_zipf;
+
+const STEADY_FLOW: u64 = 1_000_000;
+const BURST_FLOW: u64 = 2_000_000;
+const PERIODS: u64 = 6;
+const PKTS_PER_PERIOD: usize = 50_000;
+
+fn main() {
+    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(5).seed(41).build();
+    let mut window = SlidingTopK::<u64>::new(cfg, 3); // last 3 periods
+
+    for period in 0..PERIODS {
+        let background =
+            sampled_zipf(PKTS_PER_PERIOD as u64, 10_000, 1.0, period + 1).packets;
+        for (n, pkt) in background.iter().enumerate() {
+            window.insert(pkt);
+            // The steady flow sends ~2.5k pkts every period.
+            if n % 20 == 0 {
+                window.insert(&STEADY_FLOW);
+            }
+            // The burst flow sends ~12.5k pkts in period 1 only.
+            if period == 1 && n % 4 == 0 {
+                window.insert(&BURST_FLOW);
+            }
+        }
+
+        let top = window.top_k();
+        let rank_of = |flow: u64| {
+            top.iter()
+                .position(|(k, _)| *k == flow)
+                .map(|p| format!("#{}", p + 1))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "period {period}: window covers last {} epoch(s) | steady {} | burst {}",
+            window.live_epochs(),
+            rank_of(STEADY_FLOW),
+            rank_of(BURST_FLOW),
+        );
+
+        window.rotate();
+    }
+
+    // After period 4 the burst (period 1) has slid out of the window.
+    assert_eq!(window.query(&BURST_FLOW), 0, "burst must expire with its epochs");
+    assert!(window.query(&STEADY_FLOW) > 0, "steady flow persists");
+    println!("\nburst flow expired from the window; steady flow still ranked");
+}

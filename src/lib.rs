@@ -1,0 +1,22 @@
+//! Umbrella crate for the HeavyKeeper reproduction workspace.
+//!
+//! This package exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`). It re-exports the
+//! member crates so that examples and tests can use a single import root.
+//!
+//! See the individual crates for the actual implementation:
+//!
+//! * [`heavykeeper`] — the paper's contribution (Basic, Parallel and
+//!   Minimum versions of the HeavyKeeper sketch).
+//! * [`hk_baselines`] — all comparison algorithms from the evaluation.
+//! * [`hk_traffic`] — workload generation and ground-truth oracles.
+//! * [`hk_metrics`] — precision / ARE / AAE / throughput harness.
+//! * [`hk_ovs`] — the simulated Open vSwitch deployment of Section VII.
+//! * [`hk_common`] — shared substrate (hashing, Stream-Summary, top-k).
+
+pub use heavykeeper;
+pub use hk_baselines;
+pub use hk_common;
+pub use hk_metrics;
+pub use hk_ovs;
+pub use hk_traffic;

@@ -1,0 +1,262 @@
+//! Failure injection: adversarial streams that stress the decay
+//! machinery — all-distinct traffic, uniform traffic, bursts, hostile
+//! packet orderings, forced bucket contention, degenerate key patterns,
+//! and the Section III-F late-arriving elephant.
+
+use heavykeeper::{BasicTopK, ExpansionPolicy, HkConfig, MinimumTopK, ParallelTopK};
+use hk_common::TopKAlgorithm;
+use hk_traffic::synthetic::{all_distinct, bursty, uniform};
+use std::collections::HashMap;
+
+fn variant_cfg(width: usize, k: usize) -> HkConfig {
+    HkConfig::builder().arrays(2).width(width).k(k).seed(99).build()
+}
+
+/// Runs a stream through all three variants, returning their top-k sets.
+fn run_all(stream: &[u64], width: usize, k: usize) -> Vec<(&'static str, Vec<(u64, u64)>)> {
+    let mut basic = BasicTopK::<u64>::new(variant_cfg(width, k));
+    let mut par = ParallelTopK::<u64>::new(variant_cfg(width, k));
+    let mut min = MinimumTopK::<u64>::new(variant_cfg(width, k));
+    basic.insert_all(stream);
+    par.insert_all(stream);
+    min.insert_all(stream);
+    vec![("basic", basic.top_k()), ("parallel", par.top_k()), ("minimum", min.top_k())]
+}
+
+fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut t = HashMap::new();
+    for &p in stream {
+        *t.entry(p).or_insert(0u64) += 1;
+    }
+    t
+}
+
+#[test]
+fn all_distinct_traffic_degrades_gracefully() {
+    // Every packet is a new flow: there are no elephants to find. The
+    // sketch must stay consistent (no panic, estimates <= 1) and the
+    // report must not invent large flows.
+    let cfg = HkConfig::builder().memory_bytes(4 * 1024).k(20).seed(1).build();
+    let mut hk = ParallelTopK::<u64>::new(cfg);
+    let trace = all_distinct(100_000);
+    hk.insert_all(&trace.packets);
+    // With 100k distinct flows and 16-bit fingerprints, a few buckets
+    // see fingerprint collisions, so estimates of 2-3 are legitimate
+    // (Theorem 2 is conditioned on no collision). The real claim is
+    // graceful degradation: no invented elephants.
+    for (_, est) in hk.top_k() {
+        assert!(est <= 8, "invented an elephant from singleton traffic: {est}");
+    }
+}
+
+#[test]
+fn uniform_traffic_reports_plausible_sizes() {
+    // Uniform over 1000 flows x ~100 packets each: precision is
+    // meaningless (all flows tie) but sizes must stay bounded by truth.
+    let cfg = HkConfig::builder().memory_bytes(8 * 1024).k(10).seed(2).build();
+    let mut hk = MinimumTopK::<u64>::new(cfg);
+    let trace = uniform(100_000, 1000, 7);
+    let oracle = hk_traffic::oracle::ExactCounter::from_packets(&trace.packets);
+    hk.insert_all(&trace.packets);
+    for (flow, est) in hk.top_k() {
+        assert!(est <= oracle.count(&flow));
+    }
+}
+
+#[test]
+fn bursty_mice_do_not_evict_a_settled_elephant() {
+    // One elephant builds a large counter; then mice arrive in bursts.
+    // The elephant's bucket must survive (decay probability at large C
+    // is negligible) and it must stay at rank 1.
+    let cfg = HkConfig::builder().arrays(2).width(32).k(5).seed(3).build();
+    let mut hk = ParallelTopK::<u64>::new(cfg);
+    for _ in 0..20_000 {
+        hk.insert(&0);
+    }
+    let burst_trace = bursty(50, 20, 40); // 50 mice, bursts of 20, 40 rounds.
+    for f in &burst_trace.packets {
+        hk.insert(&(f + 1_000)); // Shift so mice don't collide with flow 0.
+    }
+    let top = hk.top_k();
+    assert_eq!(top[0].0, 0, "elephant lost rank: {top:?}");
+    assert!(top[0].1 > 15_000);
+}
+
+#[test]
+fn late_elephant_blocked_without_expansion_found_with_it() {
+    // Phase 1 must leave *large* resident counters (the Section III-F
+    // blocked situation needs decay probabilities near zero), so use a
+    // few dozen giant flows that saturate all 2x16 buckets, not a mouse
+    // swarm that churns at low counts.
+    let mut trace = uniform(300_000, 48, 9);
+    trace.packets.extend(std::iter::repeat(u64::MAX).take(30_000));
+    let elephant = u64::MAX;
+
+    let fixed_cfg = HkConfig::builder().arrays(2).width(16).k(10).seed(11).build();
+    let mut fixed = ParallelTopK::<u64>::new(fixed_cfg);
+    fixed.insert_all(&trace.packets);
+
+    let exp_cfg = HkConfig::builder()
+        .arrays(2)
+        .width(16)
+        .k(10)
+        .seed(11)
+        .expansion(ExpansionPolicy { large_counter: 100, blocked_threshold: 256, max_arrays: 8 })
+        .build();
+    let mut expanding = ParallelTopK::<u64>::new(exp_cfg);
+    expanding.insert_all(&trace.packets);
+
+    assert!(expanding.sketch().expansions() > 0, "expansion must trigger");
+    let fixed_est = fixed.query(&elephant);
+    let exp_est = expanding.query(&elephant);
+    assert!(
+        exp_est > fixed_est,
+        "expansion should improve the late elephant: fixed {fixed_est}, expanding {exp_est}"
+    );
+    assert!(
+        exp_est > 10_000,
+        "expanded sketch should count most of the elephant, got {exp_est}"
+    );
+}
+
+#[test]
+fn empty_and_single_packet_streams() {
+    let cfg = HkConfig::builder().width(16).k(5).seed(1).build();
+    let hk = ParallelTopK::<u64>::new(cfg.clone());
+    assert!(hk.top_k().is_empty());
+
+    let mut hk = ParallelTopK::<u64>::new(cfg);
+    hk.insert(&42);
+    let top = hk.top_k();
+    assert_eq!(top, vec![(42, 1)]);
+}
+
+#[test]
+fn counter_saturation_under_giant_flow() {
+    // 16-bit counters saturate at 65535; a 100k-packet flow must report
+    // exactly the saturation point, not wrap.
+    let cfg = HkConfig::builder().width(64).k(5).seed(1).build();
+    let mut hk = ParallelTopK::<u64>::new(cfg);
+    for _ in 0..100_000 {
+        hk.insert(&7);
+    }
+    assert_eq!(hk.query(&7), 65_535);
+}
+
+#[test]
+fn elephants_arrive_after_all_mice() {
+    // Worst-case ordering for a decay scheme: 30k distinct mice fill
+    // every bucket first, then 5 elephants must displace them. Mouse
+    // counters are small (decay probability near 1), so all three
+    // variants must recover.
+    let mut stream: Vec<u64> = (1000..31_000u64).collect();
+    for _ in 0..2000 {
+        for e in 0..5u64 {
+            stream.push(e);
+        }
+    }
+    for (name, top) in run_all(&stream, 256, 5) {
+        let hits = top.iter().filter(|(f, _)| *f < 5).count();
+        assert!(hits >= 4, "{name}: late elephants lost, top = {top:?}");
+    }
+}
+
+#[test]
+fn established_elephants_survive_mouse_flood() {
+    // Established elephants face 50k distinct mice; with counters at
+    // ~2000 the decay probability is ~0 and all must survive, in every
+    // variant.
+    let mut stream = Vec::new();
+    for _ in 0..2000 {
+        for e in 0..5u64 {
+            stream.push(e);
+        }
+    }
+    stream.extend(100_000..150_000u64);
+    for (name, top) in run_all(&stream, 256, 5) {
+        let hits = top.iter().filter(|(f, _)| *f < 5).count();
+        assert_eq!(hits, 5, "{name}: established elephants evicted, top = {top:?}");
+    }
+}
+
+#[test]
+fn no_overestimation_on_any_adversarial_order() {
+    // Three orderings of the same multiset; Theorem 2 must hold in all
+    // of them, for every variant.
+    let base: Vec<u64> = (0..5u64)
+        .flat_map(|e| std::iter::repeat(e).take(2000))
+        .chain(1000..4000)
+        .collect();
+    let mut sorted = base.clone();
+    sorted.sort_unstable();
+    let mut reversed = sorted.clone();
+    reversed.reverse();
+    for (label, stream) in [("sorted", sorted), ("reversed", reversed), ("grouped", base)] {
+        let t = exact_counts(&stream);
+        for (name, top) in run_all(&stream, 128, 8) {
+            for (f, est) in top {
+                assert!(
+                    est <= t[&f],
+                    "{name}/{label}: flow {f} estimate {est} > truth {}",
+                    t[&f]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_bucket_total_contention() {
+    // width = 1: the whole universe contends for d buckets. The dominant
+    // flow (half the stream) must survive and never over-count.
+    let mut stream = Vec::new();
+    for i in 0..20_000u64 {
+        stream.push(7);
+        stream.push(100 + i % 500);
+    }
+    let t = exact_counts(&stream);
+    for (name, top) in run_all(&stream, 1, 2) {
+        for (f, est) in &top {
+            assert!(*est <= t[f], "{name}: over-estimation under total contention");
+        }
+        assert!(
+            top.iter().any(|(f, _)| *f == 7),
+            "{name}: the dominant flow must survive contention, top = {top:?}"
+        );
+    }
+}
+
+#[test]
+fn k_larger_than_flow_population() {
+    let stream: Vec<u64> = (0..10u64).flat_map(|f| std::iter::repeat(f).take(100)).collect();
+    for (name, top) in run_all(&stream, 256, 50) {
+        assert!(top.len() <= 10, "{name}: more reported flows than exist");
+        for (_, est) in &top {
+            assert!(*est <= 100, "{name}: estimate exceeds uniform truth");
+        }
+    }
+}
+
+#[test]
+fn adversarial_key_patterns_hash_cleanly() {
+    // Keys engineered to look degenerate (sequential, bit-shifted,
+    // bit-reversed, strided) must not collapse the hash distribution:
+    // an elephant in each pattern class is still found.
+    let patterns: Vec<(&str, fn(u64) -> u64)> = vec![
+        ("sequential", |i| i),
+        ("shifted", |i| i << 32),
+        ("bit-reversed", |i| i.reverse_bits()),
+        ("strided", |i| i.wrapping_mul(4096)),
+    ];
+    for (label, f) in patterns {
+        let mut stream = Vec::new();
+        for i in 0..5000u64 {
+            stream.push(f(1));
+            stream.push(f(100 + i));
+        }
+        let mut hk = ParallelTopK::<u64>::new(variant_cfg(256, 4));
+        hk.insert_all(&stream);
+        let top: Vec<u64> = hk.top_k().into_iter().map(|(k, _)| k).collect();
+        assert!(top.contains(&f(1)), "{label}: elephant missing");
+    }
+}

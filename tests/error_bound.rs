@@ -1,0 +1,78 @@
+//! Validation of the appendix error bound (Theorem 5, Figures 35-36):
+//! the empirical probability that a held elephant's under-estimate
+//! reaches ⌈εN⌉ must not exceed the theoretical bound
+//! `1 / (ε · w · n_i · (b − 1))`.
+
+use heavykeeper::{BasicTopK, DecayFn};
+use hk_common::TopKAlgorithm;
+use hk_traffic::oracle::ExactCounter;
+use hk_traffic::synthetic::sampled_zipf;
+
+#[test]
+fn empirical_violation_probability_below_theorem5_bound() {
+    let trace = sampled_zipf(400_000, 80_000, 1.0, 21);
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let n = oracle.total_packets() as f64;
+    let b = DecayFn::PAPER_DEFAULT_BASE;
+    let eps = (0.5f64).powi(14); // Scaled analogue of the paper's 2^-16.
+    let threshold = (eps * n).ceil() as u64;
+
+    // Average over several seeds like the paper's repeated trials.
+    let mut total_held = 0usize;
+    let mut total_violations = 0usize;
+    let mut bound_sum = 0.0f64;
+    for seed in 0..4u64 {
+        let mut hk = BasicTopK::<u64>::with_memory(40 * 1024, 100, seed);
+        hk.insert_all(&trace.packets);
+        let w = hk.sketch().width() as f64;
+        for (flow, ni) in oracle.top_k(100) {
+            let est = hk.query(&flow);
+            if est == 0 {
+                continue; // Theorem 5 conditions on flows held in a bucket.
+            }
+            total_held += 1;
+            if ni.saturating_sub(est) >= threshold {
+                total_violations += 1;
+            }
+            bound_sum += (1.0 / (eps * w * ni as f64 * (b - 1.0))).min(1.0);
+        }
+    }
+    assert!(total_held > 200, "too few held elephants: {total_held}");
+    let empirical = total_violations as f64 / total_held as f64;
+    let mean_bound = bound_sum / total_held as f64;
+    assert!(
+        empirical <= mean_bound + 1e-9,
+        "empirical {empirical:.4} exceeds Theorem 5 bound {mean_bound:.4}"
+    );
+}
+
+#[test]
+fn larger_memory_lowers_the_bound_and_the_error() {
+    // The bound is ∝ 1/w: doubling memory halves it. The empirical
+    // error must not grow with memory either.
+    let trace = sampled_zipf(200_000, 40_000, 1.0, 5);
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let top = oracle.top_k(50);
+
+    let mean_underestimate = |mem_kb: usize| -> f64 {
+        let mut hk = BasicTopK::<u64>::with_memory(mem_kb * 1024, 50, 7);
+        hk.insert_all(&trace.packets);
+        let mut total = 0u64;
+        let mut cnt = 0u64;
+        for (flow, ni) in &top {
+            let est = hk.query(flow);
+            if est > 0 {
+                total += ni.saturating_sub(est);
+                cnt += 1;
+            }
+        }
+        total as f64 / cnt.max(1) as f64
+    };
+
+    let small = mean_underestimate(5);
+    let large = mean_underestimate(80);
+    assert!(
+        large <= small + 1.0,
+        "error grew with memory: 5KB → {small:.2}, 80KB → {large:.2}"
+    );
+}

