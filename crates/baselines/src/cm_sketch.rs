@@ -7,10 +7,16 @@
 //! whose counters are all shared with elephants looks like an elephant,
 //! which is exactly the failure mode the paper's Figures 4–19 expose
 //! under tight memory.
+//!
+//! Ingest rides the shared prepared-key pipeline
+//! ([`hk_common::prepared`]): one 64-bit hash per packet, per-array
+//! indices by the Kirsch–Mitzenmacher derivation, and a batched path
+//! that prehashes whole batches — so CM is timed under the same hashing
+//! regime as HeavyKeeper in every throughput comparison.
 
-use hk_common::algorithm::TopKAlgorithm;
-use hk_common::hash::HashFamily;
+use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
+use hk_common::prepared::{HashSpec, PreparedKey};
 use hk_common::topk::MinHeapTopK;
 
 /// Bytes per Count-Min counter (32-bit, as in the paper's comparison).
@@ -30,9 +36,11 @@ pub const COUNTER_BYTES: usize = 4;
 #[derive(Debug, Clone)]
 pub struct CmSketchTopK<K: FlowKey> {
     counters: Vec<Vec<u32>>,
-    hashers: Vec<hk_common::hash::SeededHasher>,
+    spec: HashSpec,
     heap: MinHeapTopK<K>,
     width: usize,
+    /// Reusable batch-prolog buffer of prepared keys.
+    scratch: Vec<PreparedKey>,
 }
 
 impl<K: FlowKey> CmSketchTopK<K> {
@@ -44,12 +52,12 @@ impl<K: FlowKey> CmSketchTopK<K> {
     /// Panics if `d == 0`, `w == 0` or `k == 0`.
     pub fn new(d: usize, w: usize, k: usize, seed: u64) -> Self {
         assert!(d > 0 && w > 0 && k > 0, "d, w and k must be positive");
-        let family = HashFamily::new(seed);
         Self {
             counters: vec![vec![0u32; w]; d],
-            hashers: (0..d).map(|j| family.hasher(j)).collect(),
+            spec: HashSpec::new(seed, 16),
             heap: MinHeapTopK::new(k),
             width: w,
+            scratch: Vec::new(),
         }
     }
 
@@ -62,28 +70,37 @@ impl<K: FlowKey> CmSketchTopK<K> {
         Self::new(3, w, k, seed)
     }
 
+    /// Sketch estimate for an already-prepared key.
+    pub fn estimate_prepared(&self, p: &PreparedKey) -> u64 {
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(j, row)| row[p.slot(j, self.width)] as u64)
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Raw sketch estimate (min over the `d` counters), without heap
     /// interaction — used by the throughput benches, matching the
     /// paper's note that heap operations are skipped when timing CM.
     pub fn estimate(&self, key: &K) -> u64 {
         let kb = key.key_bytes();
-        let bytes = kb.as_slice();
-        self.counters
-            .iter()
-            .zip(&self.hashers)
-            .map(|(row, h)| row[h.index(bytes, self.width)] as u64)
-            .min()
-            .unwrap_or(0)
+        self.estimate_prepared(&self.spec.prepare(kb.as_slice()))
+    }
+
+    /// Increments the sketch for a prepared key, without the heap.
+    pub fn record_prepared(&mut self, p: &PreparedKey) {
+        for (j, row) in self.counters.iter_mut().enumerate() {
+            let i = p.slot(j, self.width);
+            row[i] = row[i].saturating_add(1);
+        }
     }
 
     /// Increments the sketch without touching the heap.
     pub fn record(&mut self, key: &K) {
         let kb = key.key_bytes();
-        let bytes = kb.as_slice();
-        for (row, h) in self.counters.iter_mut().zip(&self.hashers) {
-            let i = h.index(bytes, self.width);
-            row[i] = row[i].saturating_add(1);
-        }
+        let p = self.spec.prepare(kb.as_slice());
+        self.record_prepared(&p);
     }
 
     /// Per-array width.
@@ -99,17 +116,19 @@ impl<K: FlowKey> CmSketchTopK<K> {
 
 impl<K: FlowKey> TopKAlgorithm<K> for CmSketchTopK<K> {
     fn insert(&mut self, key: &K) {
-        self.record(key);
-        let est = self.estimate(key);
-        // Count-all heap discipline (Section II-B): replace the minimum
-        // when the sketch estimate exceeds it.
-        if self.heap.contains(key) {
-            if est > self.heap.count(key).unwrap_or(0) {
-                self.heap.update(key, est);
-            }
-        } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
-            self.heap.offer(key.clone(), est);
+        let kb = key.key_bytes();
+        let p = self.spec.prepare(kb.as_slice());
+        self.insert_prepared(key, &p);
+    }
+
+    fn insert_batch(&mut self, keys: &[K]) {
+        // Prolog: hash the whole batch, then walk counters.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.spec.prepare_batch(keys, &mut scratch);
+        for (key, p) in keys.iter().zip(&scratch) {
+            self.insert_prepared(key, p);
         }
+        self.scratch = scratch;
     }
 
     fn query(&self, key: &K) -> u64 {
@@ -127,6 +146,26 @@ impl<K: FlowKey> TopKAlgorithm<K> for CmSketchTopK<K> {
 
     fn name(&self) -> &'static str {
         "CMSketch"
+    }
+}
+
+impl<K: FlowKey> PreparedInsert<K> for CmSketchTopK<K> {
+    fn hash_spec(&self) -> HashSpec {
+        self.spec
+    }
+
+    fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
+        self.record_prepared(p);
+        let est = self.estimate_prepared(p);
+        // Count-all heap discipline (Section II-B): replace the minimum
+        // when the sketch estimate exceeds it.
+        if self.heap.contains(key) {
+            if est > self.heap.count(key).unwrap_or(0) {
+                self.heap.update(key, est);
+            }
+        } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
+            self.heap.offer(key.clone(), est);
+        }
     }
 }
 
@@ -162,6 +201,23 @@ mod tests {
             cm.insert(&f);
             *truth.entry(f).or_insert(0) += 1;
             assert!(cm.query(&f) >= truth[&f]);
+        }
+    }
+
+    #[test]
+    fn batch_equals_scalar() {
+        let stream: Vec<u64> = (0..20_000u64).map(|i| (i * 7) % 300).collect();
+        let mut scalar = CmSketchTopK::<u64>::new(3, 256, 10, 9);
+        let mut batched = CmSketchTopK::<u64>::new(3, 256, 10, 9);
+        for k in &stream {
+            scalar.insert(k);
+        }
+        for chunk in stream.chunks(777) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(scalar.top_k(), batched.top_k());
+        for f in 0..300u64 {
+            assert_eq!(scalar.query(&f), batched.query(&f), "flow {f}");
         }
     }
 

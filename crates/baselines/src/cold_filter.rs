@@ -209,7 +209,10 @@ mod tests {
             cf.insert(&7);
         }
         assert!(cf.backend().query(&7) > 0, "elephant must reach SS");
-        assert!(cf.query(&7) >= n, "reported size must cover the filtered part");
+        assert!(
+            cf.query(&7) >= n,
+            "reported size must cover the filtered part"
+        );
     }
 
     #[test]
@@ -221,7 +224,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 4 == 0 { state % 4 } else { state % 256 };
+            let f = if state.is_multiple_of(4) {
+                state % 4
+            } else {
+                state % 256
+            };
             cf.insert(&f);
             *truth.entry(f).or_insert(0u64) += 1;
         }
@@ -247,7 +254,11 @@ mod tests {
     fn with_memory_budget_respected() {
         let cf = ColdFilterTopK::<u64>::with_memory(20_000, 100, 5);
         assert!(cf.memory_bytes() <= 20_000, "got {}", cf.memory_bytes());
-        assert!(cf.memory_bytes() > 15_000, "budget underused: {}", cf.memory_bytes());
+        assert!(
+            cf.memory_bytes() > 15_000,
+            "budget underused: {}",
+            cf.memory_bytes()
+        );
     }
 
     #[test]

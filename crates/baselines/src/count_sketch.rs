@@ -70,7 +70,11 @@ impl<K: FlowKey> CountSketchTopK<K> {
             .enumerate()
             .map(|(j, row)| {
                 let i = self.index_hashers[j].index(bytes, self.width);
-                let sign = if self.sign_hashers[j].hash(bytes) & 1 == 0 { 1 } else { -1 };
+                let sign = if self.sign_hashers[j].hash(bytes) & 1 == 0 {
+                    1
+                } else {
+                    -1
+                };
                 row[i] * sign
             })
             .collect()
@@ -96,7 +100,11 @@ impl<K: FlowKey> TopKAlgorithm<K> for CountSketchTopK<K> {
         let bytes = kb.as_slice();
         for j in 0..self.counters.len() {
             let i = self.index_hashers[j].index(bytes, self.width);
-            let sign = if self.sign_hashers[j].hash(bytes) & 1 == 0 { 1 } else { -1 };
+            let sign = if self.sign_hashers[j].hash(bytes) & 1 == 0 {
+                1
+            } else {
+                -1
+            };
             self.counters[j][i] += sign;
         }
         let est = self.estimate(key);
@@ -104,10 +112,8 @@ impl<K: FlowKey> TopKAlgorithm<K> for CountSketchTopK<K> {
             if est > self.heap.count(key).unwrap_or(0) {
                 self.heap.update(key, est);
             }
-        } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
-            if est > 0 {
-                self.heap.offer(key.clone(), est);
-            }
+        } else if (!self.heap.is_full() || est > self.heap.min_count().unwrap_or(0)) && est > 0 {
+            self.heap.offer(key.clone(), est);
         }
     }
 

@@ -132,10 +132,8 @@ impl<K: FlowKey> TopKAlgorithm<K> for CounterTreeTopK<K> {
             if est > self.heap.count(key).unwrap_or(0) {
                 self.heap.update(key, est);
             }
-        } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
-            if est > 0 {
-                self.heap.offer(key.clone(), est);
-            }
+        } else if (!self.heap.is_full() || est > self.heap.min_count().unwrap_or(0)) && est > 0 {
+            self.heap.offer(key.clone(), est);
         }
     }
 

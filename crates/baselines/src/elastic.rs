@@ -36,7 +36,12 @@ struct HeavyBucket<K> {
 
 impl<K> Default for HeavyBucket<K> {
     fn default() -> Self {
-        Self { key: None, vote_pos: 0, vote_neg: 0, flag: false }
+        Self {
+            key: None,
+            vote_pos: 0,
+            vote_neg: 0,
+            flag: false,
+        }
     }
 }
 
@@ -68,7 +73,10 @@ impl<K: FlowKey> ElasticTopK<K> {
     ///
     /// Panics if any size is zero.
     pub fn new(heavy_buckets: usize, light_counters: usize, k: usize, seed: u64) -> Self {
-        assert!(heavy_buckets > 0 && light_counters > 0 && k > 0, "sizes must be positive");
+        assert!(
+            heavy_buckets > 0 && light_counters > 0 && k > 0,
+            "sizes must be positive"
+        );
         let family = HashFamily::new(seed);
         Self {
             heavy: (0..heavy_buckets).map(|_| HeavyBucket::default()).collect(),
@@ -116,7 +124,12 @@ impl<K: FlowKey> ElasticTopK<K> {
     }
 
     fn estimate_with(&self, b: &HeavyBucket<K>, key_bytes: &[u8]) -> u64 {
-        b.vote_pos + if b.flag { self.light_query(key_bytes) } else { 0 }
+        b.vote_pos
+            + if b.flag {
+                self.light_query(key_bytes)
+            } else {
+                0
+            }
     }
 }
 
@@ -181,7 +194,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for ElasticTopK<K> {
                 })
             })
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);
         v
     }

@@ -86,7 +86,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for FrequentTopK<K> {
 
     fn top_k(&self) -> Vec<(K, u64)> {
         let mut v: Vec<(K, u64)> = self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);
         v
     }
@@ -125,7 +125,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 2 == 0 { state % 4 } else { state % 1024 };
+            let f = if state.is_multiple_of(2) {
+                state % 4
+            } else {
+                state % 1024
+            };
             fr.insert(&f);
             *truth.entry(f).or_insert(0) += 1;
             let q = fr.query(&f);
@@ -144,7 +148,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 3 != 0 { state % 5 } else { state % 4096 };
+            let f = if !state.is_multiple_of(3) {
+                state % 5
+            } else {
+                state % 4096
+            };
             fr.insert(&f);
             n += 1;
             *truth.entry(f).or_insert(0) += 1;

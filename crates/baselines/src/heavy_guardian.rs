@@ -35,7 +35,10 @@ struct Cell<K> {
 
 impl<K> Default for Cell<K> {
     fn default() -> Self {
-        Self { key: None, count: 0 }
+        Self {
+            key: None,
+            count: 0,
+        }
     }
 }
 
@@ -144,7 +147,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for HeavyGuardianTopK<K> {
             .flatten()
             .filter_map(|c| c.key.as_ref().map(|k| (k.clone(), c.count)))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);
         v
     }
@@ -180,7 +183,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 2 == 0 { state % 8 } else { state % 2048 };
+            let f = if state.is_multiple_of(2) {
+                state % 8
+            } else {
+                state % 2048
+            };
             hg.insert(&f);
             *truth.entry(f).or_insert(0u64) += 1;
             assert!(hg.query(&f) <= truth[&f]);

@@ -110,9 +110,15 @@ impl<K: FlowKey> TopKAlgorithm<K> for LossyCountingTopK<K> {
             if self.table.len() >= self.capacity {
                 self.evict_smallest();
             }
-            self.table.insert(key.clone(), Entry { count: 1, delta: self.bucket - 1 });
+            self.table.insert(
+                key.clone(),
+                Entry {
+                    count: 1,
+                    delta: self.bucket - 1,
+                },
+            );
         }
-        if self.n % self.window == 0 {
+        if self.n.is_multiple_of(self.window) {
             // Prune with the window that just completed (`f + Δ <= b`),
             // *then* advance to the next window. Pruning after the
             // increment would delete entries with `f + Δ = b + 1`, which
@@ -133,7 +139,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for LossyCountingTopK<K> {
             .iter()
             .map(|(k, e)| (k.clone(), e.count + e.delta))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);
         v
     }
@@ -173,7 +179,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 2 == 0 { state % 4 } else { state % 256 };
+            let f = if state.is_multiple_of(2) {
+                state % 4
+            } else {
+                state % 256
+            };
             lc.insert(&f);
             *truth.entry(f).or_insert(0) += 1;
         }

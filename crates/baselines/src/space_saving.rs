@@ -80,6 +80,15 @@ impl<K: FlowKey> TopKAlgorithm<K> for SpaceSavingTopK<K> {
         }
     }
 
+    fn insert_batch(&mut self, keys: &[K]) {
+        // Space-Saving computes no hashes, so there is no prepared-key
+        // prolog to amortize; the batched contract is met by the
+        // in-order scalar walk (trivially observation-equivalent).
+        for key in keys {
+            self.insert(key);
+        }
+    }
+
     fn query(&self, key: &K) -> u64 {
         self.summary.count(key).unwrap_or(0)
     }
@@ -126,7 +135,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 2 == 0 { state % 4 } else { state % 512 };
+            let f = if state.is_multiple_of(2) {
+                state % 4
+            } else {
+                state % 512
+            };
             ss.insert(&f);
             *truth.entry(f).or_insert(0) += 1;
             let q = ss.query(&f);
@@ -162,7 +175,11 @@ mod tests {
         let top = ss.top_k();
         // Every reported "size" is enormous even though every true size
         // is exactly 1.
-        assert!(top[0].1 > 1000, "expected massive over-estimation, got {}", top[0].1);
+        assert!(
+            top[0].1 > 1000,
+            "expected massive over-estimation, got {}",
+            top[0].1
+        );
     }
 
     #[test]

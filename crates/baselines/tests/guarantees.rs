@@ -252,5 +252,8 @@ fn cm_small_width_inflates_mice() {
     }
     cm.record(&99);
     let est = cm.estimate(&99);
-    assert!(est > 1000, "tiny CM must confuse the mouse with elephants: {est}");
+    assert!(
+        est > 1000,
+        "tiny CM must confuse the mouse with elephants: {est}"
+    );
 }

@@ -1,0 +1,79 @@
+//! The generic sharded engine over baseline algorithms.
+//!
+//! The engine is algorithm-agnostic: anything implementing
+//! `TopKAlgorithm` scales across shards. These tests pin that down for
+//! Space-Saving (no hashing at all) and the Count-Min sketch (prepared
+//! -key pipeline), checking the sharded top-k against a single
+//! instance fed the same stream.
+
+use heavykeeper::ShardedEngine;
+use hk_baselines::{CmSketchTopK, SpaceSavingTopK};
+use hk_common::TopKAlgorithm;
+use std::collections::HashSet;
+
+fn skewed_stream(n: usize, heavy: u64, tail: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(2) {
+                (state >> 1) % heavy
+            } else {
+                heavy + state % tail
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn space_saving_shards_match_single_instance_elephants() {
+    let stream = skewed_stream(60_000, 10, 2000, 21);
+    // Large enough summaries that the elephants are never churned out.
+    let mut single = SpaceSavingTopK::<u64>::new(512, 10);
+    single.insert_batch(&stream);
+    let mut engine = ShardedEngine::from_fn(4, 10, |_| SpaceSavingTopK::<u64>::new(128, 10));
+    for chunk in stream.chunks(1000) {
+        engine.insert_batch(chunk);
+    }
+
+    let single_top: HashSet<u64> = single.top_k().into_iter().map(|(f, _)| f).collect();
+    let sharded_top: HashSet<u64> = engine.top_k().into_iter().map(|(f, _)| f).collect();
+    for top in [&single_top, &sharded_top] {
+        let hits = top.iter().filter(|&&f| f < 10).count();
+        assert!(hits >= 9, "top-k missed elephants: {top:?}");
+    }
+}
+
+#[test]
+fn cm_sketch_shards_preserve_uncontended_counts() {
+    // Flows are partitioned, so with ample width each shard's CM counts
+    // its flows exactly; the engine must report them unsplit.
+    let mut engine =
+        ShardedEngine::from_fn(3, 8, |i| CmSketchTopK::<u64>::new(3, 4096, 8, i as u64));
+    let mut batch = Vec::new();
+    for f in 0..8u64 {
+        for _ in 0..50 * (f + 1) {
+            batch.push(f);
+        }
+    }
+    engine.insert_batch(&batch);
+    for f in 0..8u64 {
+        assert_eq!(engine.query(&f), 50 * (f + 1), "flow {f}");
+    }
+    let top = engine.top_k();
+    assert_eq!(top.len(), 8);
+    assert_eq!(top[0], (7, 400));
+}
+
+#[test]
+fn sharded_baseline_is_deterministic() {
+    let stream = skewed_stream(30_000, 8, 500, 5);
+    let run = || {
+        let mut e = ShardedEngine::from_fn(3, 8, |_| SpaceSavingTopK::<u64>::new(256, 8));
+        e.insert_batch(&stream);
+        e.top_k()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,120 @@
+//! The ingest-pipeline bench: scalar vs batched vs sharded inserts/sec.
+//!
+//! Measures the three ingest disciplines of the batch-first pipeline on
+//! the Parallel variant over a mouse-heavy Zipf preset stream (a
+//! CAIDA-like flow population at line-rate sketch sizes, where the
+//! per-packet hash→load→update dependency chain is miss-bound and the
+//! batched pre-touch walk pays off):
+//!
+//! * **scalar** — one `insert` call per packet (the pre-refactor
+//!   discipline);
+//! * **batched** — `insert_batch` over 8192-packet chunks (prepared-key
+//!   prolog + pre-touched block walk);
+//! * **sharded** — the same batches through a 4-shard
+//!   [`ShardedEngine`].
+//!
+//! Besides the criterion-style report, the bench writes a
+//! `BENCH_ingest.json` snapshot at the repository root recording
+//! inserts/sec per mode and the batched/scalar and sharded/scalar
+//! ratios, for the performance trajectory across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use heavykeeper::{HkConfig, ParallelTopK, ShardedEngine};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_metrics::throughput::{measure_mps_with, IngestMode};
+use hk_traffic::synthetic::sampled_zipf;
+
+/// Sketch memory: large enough that bucket lines miss cache, the regime
+/// line-rate deployments with millions of flows live in.
+const MEM: usize = 32 * 1024 * 1024;
+const K: usize = 100;
+const BATCH: usize = 8192;
+const SHARDS: usize = 4;
+
+fn workload() -> Vec<u64> {
+    // Mouse-heavy Zipf preset: 4M packets over 2M flows at skew 0.8
+    // (CAIDA-like flow population, paper Section VI-A).
+    sampled_zipf(4_000_000, 2_000_000, 0.8, 1).packets
+}
+
+fn cfg() -> HkConfig {
+    HkConfig::builder().memory_bytes(MEM).k(K).seed(1).build()
+}
+
+fn bench_ingest_modes(c: &mut Criterion) {
+    let packets = workload();
+    let mut g = c.benchmark_group("batched_vs_scalar");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(packets.len() as u64));
+
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut hk = ParallelTopK::<u64>::new(cfg());
+            for p in &packets {
+                hk.insert(p);
+            }
+            hk.top_k().len()
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut hk = ParallelTopK::<u64>::new(cfg());
+            for chunk in packets.chunks(BATCH) {
+                hk.insert_batch(chunk);
+            }
+            hk.top_k().len()
+        })
+    });
+    g.bench_function("sharded", |b| {
+        b.iter(|| {
+            let mut engine = ShardedEngine::parallel(&cfg(), SHARDS);
+            for chunk in packets.chunks(BATCH) {
+                engine.insert_batch(chunk);
+            }
+            engine.top_k().len()
+        })
+    });
+    g.finish();
+
+    // Snapshot pass: best-of-2 Mps per mode, written to the repo root.
+    let scalar = measure_mps_with(
+        || ParallelTopK::<u64>::new(cfg()),
+        &packets,
+        2,
+        IngestMode::Scalar,
+    );
+    let batched = measure_mps_with(
+        || ParallelTopK::<u64>::new(cfg()),
+        &packets,
+        2,
+        IngestMode::Batched(BATCH),
+    );
+    let sharded = measure_mps_with(
+        || ShardedEngine::parallel(&cfg(), SHARDS),
+        &packets,
+        2,
+        IngestMode::Batched(BATCH),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"batched_vs_scalar\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"algo\": \"HK-Parallel\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"shards\": {SHARDS},\n  \"scalar_mps\": {:.3},\n  \"batched_mps\": {:.3},\n  \"sharded_mps\": {:.3},\n  \"batched_over_scalar\": {:.3},\n  \"sharded_over_scalar\": {:.3}\n}}\n",
+        scalar.mps_best,
+        batched.mps_best,
+        sharded.mps_best,
+        batched.mps_best / scalar.mps_best,
+        sharded.mps_best / scalar.mps_best,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_ingest_modes
+}
+criterion_main!(benches);

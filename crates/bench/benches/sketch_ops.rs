@@ -43,12 +43,18 @@ fn bench_insert(c: &mut Criterion) {
     bench_algo!("hk_minimum", MinimumTopK::<u64>::with_memory(MEM, K, 1));
     bench_algo!("hk_basic", BasicTopK::<u64>::with_memory(MEM, K, 1));
     bench_algo!("space_saving", SpaceSavingTopK::<u64>::with_memory(MEM, K));
-    bench_algo!("lossy_counting", LossyCountingTopK::<u64>::with_memory(MEM, K));
+    bench_algo!(
+        "lossy_counting",
+        LossyCountingTopK::<u64>::with_memory(MEM, K)
+    );
     bench_algo!("css", CssTopK::<u64>::with_memory(MEM, K));
     bench_algo!("cm_sketch", CmSketchTopK::<u64>::with_memory(MEM, K, 1));
     bench_algo!("elastic", ElasticTopK::<u64>::with_memory(MEM, K, 1));
     bench_algo!("cold_filter", ColdFilterTopK::<u64>::with_memory(MEM, K, 1));
-    bench_algo!("heavy_guardian", HeavyGuardianTopK::<u64>::with_memory(MEM, K, 1));
+    bench_algo!(
+        "heavy_guardian",
+        HeavyGuardianTopK::<u64>::with_memory(MEM, K, 1)
+    );
     g.finish();
 }
 

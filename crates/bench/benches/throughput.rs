@@ -34,10 +34,22 @@ fn bench_full_trace(c: &mut Criterion) {
         };
     }
 
-    bench_algo!("hk_parallel", ParallelTopK::<FiveTuple>::with_memory(MEM, K, 1));
-    bench_algo!("hk_minimum", MinimumTopK::<FiveTuple>::with_memory(MEM, K, 1));
-    bench_algo!("space_saving", SpaceSavingTopK::<FiveTuple>::with_memory(MEM, K));
-    bench_algo!("lossy_counting", LossyCountingTopK::<FiveTuple>::with_memory(MEM, K));
+    bench_algo!(
+        "hk_parallel",
+        ParallelTopK::<FiveTuple>::with_memory(MEM, K, 1)
+    );
+    bench_algo!(
+        "hk_minimum",
+        MinimumTopK::<FiveTuple>::with_memory(MEM, K, 1)
+    );
+    bench_algo!(
+        "space_saving",
+        SpaceSavingTopK::<FiveTuple>::with_memory(MEM, K)
+    );
+    bench_algo!(
+        "lossy_counting",
+        LossyCountingTopK::<FiveTuple>::with_memory(MEM, K)
+    );
     g.finish();
 }
 

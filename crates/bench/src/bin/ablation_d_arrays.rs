@@ -31,10 +31,7 @@ fn main() {
     let trace = hk_traffic::presets::campus_like(scale(), seed());
     let oracle = ExactCounter::from_packets(&trace.packets);
     let k = 100;
-    for (variant, run) in [
-        ("Parallel", true),
-        ("Minimum", false),
-    ] {
+    for (variant, run) in [("Parallel", true), ("Minimum", false)] {
         let mut series = Series::new(
             format!(
                 "Ablation: arrays d ({variant} version), precision vs memory (campus-like, scale={}), k=100",

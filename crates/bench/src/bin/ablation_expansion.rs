@@ -22,7 +22,9 @@ fn main() {
     let giants = 64usize;
     let elephant_size = (600_000 / scale()).max(10_000);
     let mut trace = bursty(giants, burst, 1);
-    trace.packets.extend(std::iter::repeat(u64::MAX).take(elephant_size as usize));
+    trace
+        .packets
+        .extend(std::iter::repeat_n(u64::MAX, elephant_size as usize));
     let elephant = u64::MAX;
     let giant_packets = (giants * burst) as u64;
 
@@ -42,7 +44,11 @@ fn main() {
             // Threshold sized so the giant phase settles (every giant
             // eventually placed) while the elephant still has budget to
             // trigger one more expansion of its own.
-            Some(ExpansionPolicy { large_counter: 128, blocked_threshold: 10_000, max_arrays: 16 }),
+            Some(ExpansionPolicy {
+                large_counter: 128,
+                blocked_threshold: 10_000,
+                max_arrays: 16,
+            }),
         ),
     ]
     .into_iter()

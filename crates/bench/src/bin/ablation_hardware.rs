@@ -36,9 +36,18 @@ fn main() {
     min.insert_all(&trace.packets);
 
     let rows = [
-        ("HK-Parallel", packet_cost(InsertDiscipline::Parallel { d }, par.stats())),
-        ("HK-Minimum", packet_cost(InsertDiscipline::Minimum { d }, min.stats())),
-        ("CM-style count-all", packet_cost(InsertDiscipline::CountAll { d }, par.stats())),
+        (
+            "HK-Parallel",
+            packet_cost(InsertDiscipline::Parallel { d }, par.stats()),
+        ),
+        (
+            "HK-Minimum",
+            packet_cost(InsertDiscipline::Minimum { d }, min.stats()),
+        ),
+        (
+            "CM-style count-all",
+            packet_cost(InsertDiscipline::CountAll { d }, par.stats()),
+        ),
     ];
     let devices = [
         ("switch", DeviceProfile::switch_pipeline()),
@@ -65,6 +74,12 @@ fn main() {
         println!();
     }
     println!();
-    println!("measured case mix (per packet, Parallel): {:?}", par.stats());
-    println!("measured case mix (per packet, Minimum):  {:?}", min.stats());
+    println!(
+        "measured case mix (per packet, Parallel): {:?}",
+        par.stats()
+    );
+    println!(
+        "measured case mix (per packet, Minimum):  {:?}",
+        min.stats()
+    );
 }

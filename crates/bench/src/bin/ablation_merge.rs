@@ -54,8 +54,9 @@ fn main() {
             ));
 
             for &s in SPLITS {
-                let mut switches: Vec<ParallelTopK<FiveTuple>> =
-                    (0..s).map(|_| ParallelTopK::new(cfg(kb * 1024, k))).collect();
+                let mut switches: Vec<ParallelTopK<FiveTuple>> = (0..s)
+                    .map(|_| ParallelTopK::new(cfg(kb * 1024, k)))
+                    .collect();
                 for (n, pkt) in trace.packets.iter().enumerate() {
                     switches[n % s].insert(pkt);
                 }

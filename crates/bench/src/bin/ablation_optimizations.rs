@@ -52,15 +52,24 @@ fn main() {
 
             let mut basic = BasicTopK::<FiveTuple>::new(c.clone());
             basic.insert_all(&trace.packets);
-            row.push(("Basic".to_string(), metric.of(&evaluate_topk(&basic.top_k(), &oracle, k))));
+            row.push((
+                "Basic".to_string(),
+                metric.of(&evaluate_topk(&basic.top_k(), &oracle, k)),
+            ));
 
             let mut par = ParallelTopK::<FiveTuple>::new(c.clone());
             par.insert_all(&trace.packets);
-            row.push(("Parallel".to_string(), metric.of(&evaluate_topk(&par.top_k(), &oracle, k))));
+            row.push((
+                "Parallel".to_string(),
+                metric.of(&evaluate_topk(&par.top_k(), &oracle, k)),
+            ));
 
             let mut min = MinimumTopK::<FiveTuple>::new(c);
             min.insert_all(&trace.packets);
-            row.push(("Minimum".to_string(), metric.of(&evaluate_topk(&min.top_k(), &oracle, k))));
+            row.push((
+                "Minimum".to_string(),
+                metric.of(&evaluate_topk(&min.top_k(), &oracle, k)),
+            ));
 
             series.push(kb as f64, row);
         }

@@ -5,7 +5,10 @@ use hk_metrics::experiment::classic_suite;
 fn main() {
     let trace = hk_traffic::presets::caida_like(scale(), seed());
     emit(&sweep_memory(
-        &format!("Fig 5: Precision vs memory (caida-like, scale={}), k=100", scale()),
+        &format!(
+            "Fig 5: Precision vs memory (caida-like, scale={}), k=100",
+            scale()
+        ),
         &trace,
         &classic_suite(),
         MEMORY_KB_TICKS,

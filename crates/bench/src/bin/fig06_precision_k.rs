@@ -5,7 +5,10 @@ use hk_metrics::experiment::classic_suite;
 fn main() {
     let trace = hk_traffic::presets::campus_like(scale(), seed());
     emit(&sweep_k(
-        &format!("Fig 6: Precision vs k (campus-like, scale={}), mem=100KB", scale()),
+        &format!(
+            "Fig 6: Precision vs k (campus-like, scale={}), mem=100KB",
+            scale()
+        ),
         &trace,
         &classic_suite(),
         100,

@@ -5,7 +5,10 @@ use hk_metrics::experiment::classic_suite;
 fn main() {
     let trace = hk_traffic::presets::caida_like(scale(), seed());
     emit(&sweep_k(
-        &format!("Fig 7: Precision vs k (caida-like, scale={}), mem=100KB", scale()),
+        &format!(
+            "Fig 7: Precision vs k (caida-like, scale={}), mem=100KB",
+            scale()
+        ),
         &trace,
         &classic_suite(),
         100,

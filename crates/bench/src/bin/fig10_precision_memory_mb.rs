@@ -6,7 +6,10 @@ fn main() {
     let trace = hk_traffic::presets::campus_like(scale(), seed());
     let budgets: Vec<usize> = (1..=5).map(|mb| mb * 1024).collect();
     emit(&sweep_memory(
-        &format!("Fig 10: Precision vs memory 1-5MB (campus-like, scale={}), k=100", scale()),
+        &format!(
+            "Fig 10: Precision vs memory 1-5MB (campus-like, scale={}), k=100",
+            scale()
+        ),
         &trace,
         &classic_suite(),
         &budgets,

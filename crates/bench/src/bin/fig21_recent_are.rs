@@ -6,7 +6,10 @@ use hk_metrics::experiment::recent_suite;
 fn main() {
     let trace = hk_traffic::presets::campus_like(scale(), seed());
     emit(&sweep_memory(
-        &format!("Fig 21: Are vs memory, recent works (campus-like, scale={}), k=100", scale()),
+        &format!(
+            "Fig 21: Are vs memory, recent works (campus-like, scale={}), k=100",
+            scale()
+        ),
         &trace,
         &recent_suite(),
         MEMORY_KB_TICKS,

@@ -12,7 +12,10 @@ fn main() {
         ("25: AAE", Metric::Log10Aae),
     ] {
         emit(&sweep_memory(
-            &format!("Fig {fig} vs memory, versions (campus-like, scale={}), k=100", scale()),
+            &format!(
+                "Fig {fig} vs memory, versions (campus-like, scale={}), k=100",
+                scale()
+            ),
             &trace,
             &versions_suite(),
             &budgets,

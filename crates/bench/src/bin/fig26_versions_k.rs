@@ -12,7 +12,10 @@ fn main() {
         ("28: AAE", Metric::Log10Aae),
     ] {
         emit(&sweep_k(
-            &format!("Fig {fig} vs k, versions (campus-like, scale={}), mem=30KB", scale()),
+            &format!(
+                "Fig {fig} vs k, versions (campus-like, scale={}), mem=30KB",
+                scale()
+            ),
             &trace,
             &versions_suite(),
             30,

@@ -42,7 +42,10 @@ fn main() {
     let k = 100;
     let repeats = 3;
     let mut series = Series::new(
-        format!("Fig 33: Throughput vs memory (campus-like, scale={}), k=100", scale()),
+        format!(
+            "Fig 33: Throughput vs memory (campus-like, scale={}), k=100",
+            scale()
+        ),
         "memory_KB",
         "Mps",
     );
@@ -52,23 +55,48 @@ fn main() {
         let row = vec![
             (
                 "SS".to_string(),
-                measure_mps(|| SpaceSavingTopK::<FiveTuple>::with_memory(bytes, k), &trace.packets, repeats).mps_best,
+                measure_mps(
+                    || SpaceSavingTopK::<FiveTuple>::with_memory(bytes, k),
+                    &trace.packets,
+                    repeats,
+                )
+                .mps_best,
             ),
             (
                 "LC".to_string(),
-                measure_mps(|| LossyCountingTopK::<FiveTuple>::with_memory(bytes, k), &trace.packets, repeats).mps_best,
+                measure_mps(
+                    || LossyCountingTopK::<FiveTuple>::with_memory(bytes, k),
+                    &trace.packets,
+                    repeats,
+                )
+                .mps_best,
             ),
             (
                 "CM".to_string(),
-                measure_mps(|| CmRawOnly(CmSketchTopK::<FiveTuple>::with_memory(bytes, k, s)), &trace.packets, repeats).mps_best,
+                measure_mps(
+                    || CmRawOnly(CmSketchTopK::<FiveTuple>::with_memory(bytes, k, s)),
+                    &trace.packets,
+                    repeats,
+                )
+                .mps_best,
             ),
             (
                 "Parallel".to_string(),
-                measure_mps(|| ParallelTopK::<FiveTuple>::with_memory(bytes, k, s), &trace.packets, repeats).mps_best,
+                measure_mps(
+                    || ParallelTopK::<FiveTuple>::with_memory(bytes, k, s),
+                    &trace.packets,
+                    repeats,
+                )
+                .mps_best,
             ),
             (
                 "Minimum".to_string(),
-                measure_mps(|| MinimumTopK::<FiveTuple>::with_memory(bytes, k, s), &trace.packets, repeats).mps_best,
+                measure_mps(
+                    || MinimumTopK::<FiveTuple>::with_memory(bytes, k, s),
+                    &trace.packets,
+                    repeats,
+                )
+                .mps_best,
             ),
         ];
         series.push(kb as f64, row);

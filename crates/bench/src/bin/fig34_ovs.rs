@@ -27,20 +27,41 @@ fn main() {
 
     let algos: Vec<(&str, Option<Boxed>)> = vec![
         ("OVS", None),
-        ("Parallel", Some(Box::new(ParallelTopK::<FiveTuple>::with_memory(MEM, k, s)))),
-        ("Minimum", Some(Box::new(MinimumTopK::<FiveTuple>::with_memory(MEM, k, s)))),
-        ("CMSketch", Some(Box::new(CmSketchTopK::<FiveTuple>::with_memory(MEM, k, s)))),
-        ("SS", Some(Box::new(SpaceSavingTopK::<FiveTuple>::with_memory(MEM, k)))),
-        ("LC", Some(Box::new(LossyCountingTopK::<FiveTuple>::with_memory(MEM, k)))),
+        (
+            "Parallel",
+            Some(Box::new(ParallelTopK::<FiveTuple>::with_memory(MEM, k, s))),
+        ),
+        (
+            "Minimum",
+            Some(Box::new(MinimumTopK::<FiveTuple>::with_memory(MEM, k, s))),
+        ),
+        (
+            "CMSketch",
+            Some(Box::new(CmSketchTopK::<FiveTuple>::with_memory(MEM, k, s))),
+        ),
+        (
+            "SS",
+            Some(Box::new(SpaceSavingTopK::<FiveTuple>::with_memory(MEM, k))),
+        ),
+        (
+            "LC",
+            Some(Box::new(LossyCountingTopK::<FiveTuple>::with_memory(
+                MEM, k,
+            ))),
+        ),
     ];
 
     let mut series = Series::new(
-        format!("Fig 34: Throughput on simulated OVS (campus-like, scale={}), mem=50KB", scale()),
+        format!(
+            "Fig 34: Throughput on simulated OVS (campus-like, scale={}), mem=50KB",
+            scale()
+        ),
         "algorithm#",
         "Mps",
     );
     for (idx, (name, algo)) in algos.into_iter().enumerate() {
-        let (report, _) = run_deployment(&trace.packets, algo, RING_CAPACITY, RingMode::Backpressure);
+        let (report, _) =
+            run_deployment(&trace.packets, algo, RING_CAPACITY, RingMode::Backpressure);
         println!(
             "{name:>10}: {:.2} Mps ({} packets, {:.2}s)",
             report.mps, report.consumed, report.seconds

@@ -35,7 +35,8 @@ fn main() {
             "delta",
         );
         for kb in [20usize, 40, 60, 80, 100] {
-            let mut hk = BasicTopK::<hk_traffic::flow::FiveTuple>::with_memory(kb * 1024, 100, seed());
+            let mut hk =
+                BasicTopK::<hk_traffic::flow::FiveTuple>::with_memory(kb * 1024, 100, seed());
             hk.insert_all(&trace.packets);
             let w = hk.sketch().width() as f64;
 
@@ -53,8 +54,16 @@ fn main() {
                 }
                 bound_sum += (1.0 / (eps * w * (*ni as f64) * (b - 1.0))).min(1.0);
             }
-            let empirical = if held > 0 { violations as f64 / held as f64 } else { 0.0 };
-            let bound = if held > 0 { bound_sum / held as f64 } else { 0.0 };
+            let empirical = if held > 0 {
+                violations as f64 / held as f64
+            } else {
+                0.0
+            };
+            let bound = if held > 0 {
+                bound_sum / held as f64
+            } else {
+                0.0
+            };
             series.push(
                 kb as f64,
                 vec![

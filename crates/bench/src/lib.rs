@@ -68,7 +68,10 @@ pub fn scale() -> u64 {
 
 /// The experiment seed (`HK_SEED`, default 1).
 pub fn seed() -> u64 {
-    std::env::var("HK_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    std::env::var("HK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Sweeps memory budgets (in KB) for one trace and suite.
@@ -156,7 +159,7 @@ pub const SKEW_TICKS: &[f64] = &[0.6, 1.2, 1.8, 2.4, 3.0];
 /// plotting pipelines).
 pub fn emit(series: &Series) {
     if json_output() {
-        println!("{}", serde_json::to_string(series).expect("series serializes"));
+        println!("{}", series.to_json());
     } else {
         println!("{}", series.to_table());
     }
@@ -175,7 +178,12 @@ mod tests {
 
     #[test]
     fn metric_extraction() {
-        let r = AccuracyReport { precision: 0.9, are: 0.01, aae: 100.0, reported: 10 };
+        let r = AccuracyReport {
+            precision: 0.9,
+            are: 0.01,
+            aae: 100.0,
+            reported: 10,
+        };
         assert_eq!(Metric::Precision.of(&r), 0.9);
         assert!((Metric::Log10Are.of(&r) + 2.0).abs() < 1e-9);
         assert!((Metric::Log10Aae.of(&r) - 2.0).abs() < 1e-9);
@@ -183,7 +191,12 @@ mod tests {
 
     #[test]
     fn perfect_run_clips_at_minus_seven() {
-        let r = AccuracyReport { precision: 1.0, are: 0.0, aae: 0.0, reported: 10 };
+        let r = AccuracyReport {
+            precision: 1.0,
+            are: 0.0,
+            aae: 0.0,
+            reported: 10,
+        };
         assert_eq!(Metric::Log10Are.of(&r), -7.0);
     }
 

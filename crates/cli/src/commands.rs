@@ -1,7 +1,7 @@
 //! The `hk` subcommands.
 
 use crate::args::{Args, CliError};
-use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK};
+use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK, ShardedEngine};
 use hk_baselines::{
     CmSketchTopK, ColdFilterTopK, CountSketchTopK, CounterTreeTopK, CssTopK, ElasticTopK,
     FrequentTopK, HeavyGuardianTopK, LossyCountingTopK, SpaceSavingTopK,
@@ -21,6 +21,8 @@ hk — HeavyKeeper trace tools
 USAGE:
   hk generate --out FILE [--kind zipf|exact-zipf|uniform|all-distinct]
               [--packets N] [--flows M] [--skew S] [--seed X]
+  hk run      --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
+              [--batch N] [--shards S]
   hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
   hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
   hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
@@ -36,13 +38,14 @@ Algorithms for --algo:
   counter-tree, heavy-guardian
 ";
 
-/// Builds an algorithm by CLI name.
+/// Builds an algorithm by CLI name. The box is `Send` so instances can
+/// be handed to sharded-engine worker threads.
 pub fn make_algo(
     name: &str,
     mem: usize,
     k: usize,
     seed: u64,
-) -> Result<Box<dyn TopKAlgorithm<u64>>, CliError> {
+) -> Result<Box<dyn TopKAlgorithm<u64> + Send>, CliError> {
     Ok(match name {
         "parallel" => Box::new(ParallelTopK::<u64>::with_memory(mem, k, seed)),
         "minimum" => Box::new(MinimumTopK::<u64>::with_memory(mem, k, seed)),
@@ -77,6 +80,77 @@ pub const ALGO_NAMES: &[&str] = &[
     "counter-tree",
     "heavy-guardian",
 ];
+
+/// `hk run`: stream a trace through the batch-first ingest pipeline —
+/// `insert_batch` over `--batch`-sized chunks, optionally spread over
+/// `--shards` engine shards — and report throughput plus top-k accuracy.
+pub fn run_stream(args: &Args) -> Result<(), CliError> {
+    let trace = load(args)?;
+    let algo_name = args.get_or("algo", "parallel");
+    let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
+    let k: usize = args.num_or("k", 100)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    let batch: usize = args.num_or("batch", 4096)?;
+    let shards: usize = args.num_or("shards", 1)?;
+    if batch == 0 {
+        return Err(CliError::Usage("--batch must be positive".into()));
+    }
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be positive".into()));
+    }
+
+    let mut algo: Box<dyn TopKAlgorithm<u64>> = if shards > 1 {
+        // One instance per shard, each charged an equal share of the
+        // memory budget so the total matches the single-shard run.
+        let mut instances = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            instances.push(make_algo(algo_name, mem / shards, k, seed)?);
+        }
+        Box::new(ShardedEngine::from_shards(instances, k))
+    } else {
+        // `Box<dyn TopKAlgorithm + Send>` coerces straight to
+        // `Box<dyn TopKAlgorithm>`; no second box.
+        make_algo(algo_name, mem, k, seed)?
+    };
+
+    let oracle = ExactCounter::from_packets(&trace.packets);
+    let start = Instant::now();
+    for chunk in trace.packets.chunks(batch) {
+        algo.insert_batch(chunk);
+    }
+    // top_k flushes the sharded engine, so the clock covers every packet.
+    let top = algo.top_k();
+    let secs = start.elapsed().as_secs_f64();
+    let report = evaluate_topk(&top, &oracle, k);
+
+    println!(
+        "{} on {} ({} packets, {} flows) — batch {batch}, {shards} shard(s)",
+        algo.name(),
+        trace.name,
+        trace.len(),
+        oracle.distinct_flows()
+    );
+    println!(
+        "memory: {} bytes | precision {:.4} | ARE {:.4} | AAE {:.1} | {:.2} Mps",
+        algo.memory_bytes(),
+        report.precision,
+        report.are,
+        report.aae,
+        trace.len() as f64 / secs / 1e6
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "rank", "flow", "estimated", "true"
+    );
+    for (rank, (flow, est)) in top.iter().take(k.min(20)).enumerate() {
+        println!(
+            "{:>6} {flow:>14} {est:>14} {:>14}",
+            rank + 1,
+            oracle.count(flow)
+        );
+    }
+    Ok(())
+}
 
 /// `hk generate`.
 pub fn generate(args: &Args) -> Result<(), CliError> {
@@ -136,9 +210,16 @@ pub fn analyze(args: &Args) -> Result<(), CliError> {
         report.aae,
         trace.len() as f64 / secs / 1e6
     );
-    println!("{:>6} {:>14} {:>14} {:>14}", "rank", "flow", "estimated", "true");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "rank", "flow", "estimated", "true"
+    );
     for (rank, (flow, est)) in algo.top_k().iter().take(k.min(20)).enumerate() {
-        println!("{:>6} {flow:>14} {est:>14} {:>14}", rank + 1, oracle.count(flow));
+        println!(
+            "{:>6} {flow:>14} {est:>14} {:>14}",
+            rank + 1,
+            oracle.count(flow)
+        );
     }
     Ok(())
 }
@@ -196,8 +277,8 @@ pub fn pcap_gen(args: &Args) -> Result<(), CliError> {
 
     let trace = sampled_zipf(packets, flows, skew, seed).map_keys(FiveTuple::from_index);
     let file = File::create(out)?;
-    let mut w = PcapWriter::new(std::io::BufWriter::new(file))
-        .map_err(|e| CliError::Io(e.to_string()))?;
+    let mut w =
+        PcapWriter::new(std::io::BufWriter::new(file)).map_err(|e| CliError::Io(e.to_string()))?;
     for (n, flow) in trace.packets.iter().enumerate() {
         let ts_sec = (n / 1_000_000) as u32;
         let ts_usec = (n % 1_000_000) as u32;
@@ -226,7 +307,11 @@ pub fn pcap(args: &Args) -> Result<(), CliError> {
         .map_err(|e| CliError::Io(e.to_string()))?
         .read_flows()
         .map_err(|e| CliError::Io(e.to_string()))?;
-    println!("{path}: {} frames parsed, {} skipped", cap.flows.len(), cap.skipped);
+    println!(
+        "{path}: {} frames parsed, {} skipped",
+        cap.flows.len(),
+        cap.skipped
+    );
 
     let top: Vec<(FiveTuple, u64)> = match by {
         "packets" => {
@@ -243,7 +328,11 @@ pub fn pcap(args: &Args) -> Result<(), CliError> {
             }
             hk.top_k()
         }
-        other => return Err(CliError::Usage(format!("--by must be packets|bytes, got `{other}`"))),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--by must be packets|bytes, got `{other}`"
+            )))
+        }
     };
 
     let unit = if by == "bytes" { "bytes" } else { "pkts" };
@@ -251,8 +340,16 @@ pub fn pcap(args: &Args) -> Result<(), CliError> {
     for (rank, (f, est)) in top.iter().enumerate() {
         let flow = format!(
             "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} p{}",
-            f.src_ip[0], f.src_ip[1], f.src_ip[2], f.src_ip[3], f.src_port,
-            f.dst_ip[0], f.dst_ip[1], f.dst_ip[2], f.dst_ip[3], f.dst_port,
+            f.src_ip[0],
+            f.src_ip[1],
+            f.src_ip[2],
+            f.src_ip[3],
+            f.src_port,
+            f.dst_ip[0],
+            f.dst_ip[1],
+            f.dst_ip[2],
+            f.dst_ip[3],
+            f.dst_port,
             f.protocol,
         );
         println!("{:>4}  {flow:<46} {est:>14}", rank + 1);
@@ -279,7 +376,11 @@ pub fn change(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Usage("--threshold must be positive".into()));
     }
 
-    let cfg = HkConfig::builder().memory_bytes(mem).k(k).seed(seed).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(mem)
+        .k(k)
+        .seed(seed)
+        .build();
     let mut det = HeavyChangeDetector::<u64>::new(cfg, threshold);
     let chunk = trace.packets.len().div_ceil(epochs).max(1);
     println!(
@@ -329,20 +430,45 @@ mod tests {
         let path_s = path.to_str().unwrap();
 
         let gen = Args::parse(&sv(&[
-            "generate", "--out", path_s, "--kind", "zipf", "--packets", "20000", "--flows",
-            "2000", "--skew", "1.1", "--seed", "3",
+            "generate",
+            "--out",
+            path_s,
+            "--kind",
+            "zipf",
+            "--packets",
+            "20000",
+            "--flows",
+            "2000",
+            "--skew",
+            "1.1",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         generate(&gen).unwrap();
 
         let ana = Args::parse(&sv(&[
-            "analyze", "--trace", path_s, "--algo", "minimum", "--memory-kb", "8", "--k", "10",
+            "analyze",
+            "--trace",
+            path_s,
+            "--algo",
+            "minimum",
+            "--memory-kb",
+            "8",
+            "--k",
+            "10",
         ]))
         .unwrap();
         analyze(&ana).unwrap();
 
         let cmp = Args::parse(&sv(&[
-            "compare", "--trace", path_s, "--memory-kb", "8", "--k", "10",
+            "compare",
+            "--trace",
+            path_s,
+            "--memory-kb",
+            "8",
+            "--k",
+            "10",
         ]))
         .unwrap();
         compare(&cmp).unwrap();
@@ -351,11 +477,82 @@ mod tests {
     }
 
     #[test]
+    fn run_batched_and_sharded() {
+        let dir = std::env::temp_dir().join("hk-cli-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+
+        let gen = Args::parse(&sv(&[
+            "generate",
+            "--out",
+            path_s,
+            "--kind",
+            "zipf",
+            "--packets",
+            "20000",
+            "--flows",
+            "2000",
+            "--skew",
+            "1.1",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        generate(&gen).unwrap();
+
+        // Batched single-instance run.
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--algo",
+            "parallel",
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--batch",
+            "512",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // Sharded run over a baseline (the engine is algorithm-generic).
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--algo",
+            "space-saving",
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--shards",
+            "3",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // Degenerate flags rejected.
+        let bad = Args::parse(&sv(&["run", "--trace", path_s, "--batch", "0"])).unwrap();
+        assert!(run_stream(&bad).is_err());
+        let bad = Args::parse(&sv(&["run", "--trace", path_s, "--shards", "0"])).unwrap();
+        assert!(run_stream(&bad).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn generate_rejects_unknown_kind() {
         let dir = std::env::temp_dir();
         let path = dir.join("hk-cli-bad.trace");
         let gen = Args::parse(&sv(&[
-            "generate", "--out", path.to_str().unwrap(), "--kind", "weird",
+            "generate",
+            "--out",
+            path.to_str().unwrap(),
+            "--kind",
+            "weird",
         ]))
         .unwrap();
         assert!(generate(&gen).is_err());
@@ -381,15 +578,32 @@ mod tests {
         let path_s = path.to_str().unwrap();
 
         let gen = Args::parse(&sv(&[
-            "pcap-gen", "--out", path_s, "--packets", "5000", "--flows", "500", "--skew",
-            "1.2", "--seed", "3",
+            "pcap-gen",
+            "--out",
+            path_s,
+            "--packets",
+            "5000",
+            "--flows",
+            "500",
+            "--skew",
+            "1.2",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         pcap_gen(&gen).unwrap();
 
         for by in ["packets", "bytes"] {
             let ana = Args::parse(&sv(&[
-                "pcap", "--in", path_s, "--by", by, "--memory-kb", "8", "--k", "5",
+                "pcap",
+                "--in",
+                path_s,
+                "--by",
+                by,
+                "--memory-kb",
+                "8",
+                "--k",
+                "5",
             ]))
             .unwrap();
             pcap(&ana).unwrap();
@@ -413,15 +627,35 @@ mod tests {
         let path = dir.join("t.trace");
         let path_s = path.to_str().unwrap();
         let gen = Args::parse(&sv(&[
-            "generate", "--out", path_s, "--kind", "zipf", "--packets", "30000", "--flows",
-            "3000", "--skew", "1.2", "--seed", "3",
+            "generate",
+            "--out",
+            path_s,
+            "--kind",
+            "zipf",
+            "--packets",
+            "30000",
+            "--flows",
+            "3000",
+            "--skew",
+            "1.2",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         generate(&gen).unwrap();
 
         let ch = Args::parse(&sv(&[
-            "change", "--trace", path_s, "--epochs", "3", "--threshold", "500", "--memory-kb",
-            "16", "--k", "20",
+            "change",
+            "--trace",
+            path_s,
+            "--epochs",
+            "3",
+            "--threshold",
+            "500",
+            "--memory-kb",
+            "16",
+            "--k",
+            "20",
         ]))
         .unwrap();
         change(&ch).unwrap();

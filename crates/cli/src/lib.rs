@@ -4,6 +4,9 @@
 //!
 //! * `hk generate` — write a synthetic trace to disk (Zipf /
 //!   campus-like / CAIDA-like / adversarial shapes).
+//! * `hk run` — stream a trace through the batch-first ingest pipeline
+//!   (`--batch` chunks, optionally `--shards` engine shards) and report
+//!   throughput plus top-k accuracy.
 //! * `hk analyze` — run one algorithm over a trace file and print its
 //!   top-k with accuracy against the exact oracle.
 //! * `hk compare` — run the full algorithm suite over a trace file and
@@ -31,6 +34,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "generate" => commands::generate(&args),
+        "run" => commands::run_stream(&args),
         "analyze" => commands::analyze(&args),
         "compare" => commands::compare(&args),
         "pcap-gen" => commands::pcap_gen(&args),

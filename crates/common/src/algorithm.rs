@@ -1,16 +1,41 @@
 //! The common interface every top-k algorithm in this workspace exposes.
 //!
-//! The experiment harness (`hk-metrics`) drives HeavyKeeper and every
+//! The experiment harness (`hk-metrics`), the OVS pipeline (`hk-ovs`),
+//! the sharded engine, and the CLI all drive HeavyKeeper and every
 //! baseline through this one trait, which mirrors the operations the
-//! paper's evaluation performs: insert each packet, query a flow's
+//! paper's evaluation performs: insert packets, query a flow's
 //! estimated size, and report the top-k flows.
+//!
+//! ## The batch contract
+//!
+//! [`TopKAlgorithm::insert_batch`] is the primary ingest entry point.
+//! Implementations **must** be observation-equivalent to calling
+//! [`TopKAlgorithm::insert`] once per key in order — same bucket state,
+//! same RNG consumption, same top-k — for every batch size including 1;
+//! the differential tests in `heavykeeper` pin this down. What batching
+//! may change is *speed*: an implementation typically hashes the whole
+//! batch up front into a scratch buffer (see
+//! [`crate::prepared::HashSpec::prepare_batch`]) so the bucket walk runs
+//! free of the per-packet hash dependency chain.
 
 use crate::key::FlowKey;
+use crate::prepared::{HashSpec, PreparedKey};
 
 /// A streaming top-k / frequency-estimation algorithm.
 pub trait TopKAlgorithm<K: FlowKey> {
     /// Processes one packet belonging to flow `key`.
     fn insert(&mut self, key: &K);
+
+    /// Processes a batch of packets, observation-equivalent to inserting
+    /// them one by one in order.
+    ///
+    /// The default forwards to [`TopKAlgorithm::insert`]; algorithms
+    /// with a prehashed fast path override it.
+    fn insert_batch(&mut self, keys: &[K]) {
+        for k in keys {
+            self.insert(k);
+        }
+    }
 
     /// Returns the algorithm's estimate of `key`'s size (0 if unknown).
     fn query(&self, key: &K) -> u64;
@@ -27,17 +52,19 @@ pub trait TopKAlgorithm<K: FlowKey> {
     /// A short display name for experiment output (e.g. `"HK-Parallel"`).
     fn name(&self) -> &'static str;
 
-    /// Processes a whole slice of packets.
+    /// Processes a whole slice of packets (kept as the harness-facing
+    /// spelling; rides the batched path).
     fn insert_all(&mut self, keys: &[K]) {
-        for k in keys {
-            self.insert(k);
-        }
+        self.insert_batch(keys);
     }
 }
 
 impl<K: FlowKey, T: TopKAlgorithm<K> + ?Sized> TopKAlgorithm<K> for Box<T> {
     fn insert(&mut self, key: &K) {
         (**self).insert(key);
+    }
+    fn insert_batch(&mut self, keys: &[K]) {
+        (**self).insert_batch(keys);
     }
     fn query(&self, key: &K) -> u64 {
         (**self).query(key)
@@ -50,5 +77,77 @@ impl<K: FlowKey, T: TopKAlgorithm<K> + ?Sized> TopKAlgorithm<K> for Box<T> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn insert_all(&mut self, keys: &[K]) {
+        (**self).insert_all(keys);
+    }
+}
+
+/// Capability trait for algorithms that can ingest precomputed hash
+/// state.
+///
+/// An upstream stage (batch prolog, shared-ring consumer, shard router)
+/// that has already paid for hashing hands the [`PreparedKey`] straight
+/// to the algorithm instead of making it re-derive everything from the
+/// key bytes. Prepared keys are only portable between parties whose
+/// [`PreparedInsert::hash_spec`]s are equal.
+pub trait PreparedInsert<K: FlowKey>: TopKAlgorithm<K> {
+    /// The spec under which this algorithm prepares (and expects) keys.
+    fn hash_spec(&self) -> HashSpec;
+
+    /// Processes one packet whose hash state was computed under
+    /// [`PreparedInsert::hash_spec`]. Must be observation-equivalent to
+    /// [`TopKAlgorithm::insert`] of the same key.
+    fn insert_prepared(&mut self, key: &K, prepared: &PreparedKey);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial exact counter to exercise the default methods.
+    struct Exact {
+        counts: std::collections::HashMap<u64, u64>,
+    }
+
+    impl TopKAlgorithm<u64> for Exact {
+        fn insert(&mut self, key: &u64) {
+            *self.counts.entry(*key).or_insert(0) += 1;
+        }
+        fn query(&self, key: &u64) -> u64 {
+            self.counts.get(key).copied().unwrap_or(0)
+        }
+        fn top_k(&self) -> Vec<(u64, u64)> {
+            let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+            v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            v
+        }
+        fn memory_bytes(&self) -> usize {
+            self.counts.len() * 16
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+    }
+
+    #[test]
+    fn default_insert_batch_loops_insert() {
+        let mut a = Exact {
+            counts: Default::default(),
+        };
+        a.insert_batch(&[1, 1, 2]);
+        a.insert_all(&[1]);
+        assert_eq!(a.query(&1), 3);
+        assert_eq!(a.query(&2), 1);
+    }
+
+    #[test]
+    fn boxed_dispatch_preserves_batching() {
+        let mut a: Box<dyn TopKAlgorithm<u64>> = Box::new(Exact {
+            counts: Default::default(),
+        });
+        a.insert_batch(&[5, 5, 5]);
+        assert_eq!(a.query(&5), 3);
+        assert_eq!(a.name(), "Exact");
     }
 }

@@ -38,9 +38,16 @@ const FINGERPRINT_SEED: u32 = 0x9747_B28C;
 /// ```
 #[inline]
 pub fn fingerprint_of(flow_id: &[u8], bits: u32) -> u32 {
-    assert!(bits > 0 && bits <= 32, "fingerprint width must be in 1..=32");
+    assert!(
+        bits > 0 && bits <= 32,
+        "fingerprint width must be in 1..=32"
+    );
     let h = murmur3_32(flow_id, FINGERPRINT_SEED);
-    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     let fp = h & mask;
     if fp == 0 {
         1
@@ -56,7 +63,10 @@ pub fn fingerprint_of(flow_id: &[u8], bits: u32) -> u32 {
 /// 16-bit fingerprint and 10⁴ buckets over ~10⁶ flows (≈ 100 flows per
 /// bucket), the collision probability is ≈ 1.5 × 10⁻³.
 pub fn collision_probability(bits: u32, flows_per_bucket: f64) -> f64 {
-    assert!(bits > 0 && bits <= 32, "fingerprint width must be in 1..=32");
+    assert!(
+        bits > 0 && bits <= 32,
+        "fingerprint width must be in 1..=32"
+    );
     let p_single = 1.0 / (1u64 << bits) as f64;
     1.0 - (1.0 - p_single).powf(flows_per_bucket)
 }

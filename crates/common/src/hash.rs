@@ -59,9 +59,7 @@ pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
     let mut rest = data;
 
     if len >= 32 {
-        let mut v1 = seed
-            .wrapping_add(XXH_PRIME64_1)
-            .wrapping_add(XXH_PRIME64_2);
+        let mut v1 = seed.wrapping_add(XXH_PRIME64_1).wrapping_add(XXH_PRIME64_2);
         let mut v2 = seed.wrapping_add(XXH_PRIME64_2);
         let mut v3 = seed;
         let mut v4 = seed.wrapping_sub(XXH_PRIME64_1);
@@ -324,7 +322,11 @@ mod tests {
     fn xxhash64_known_answers() {
         // Vectors cross-checked against the reference xxHash implementation.
         assert_eq!(xxhash64(&[], 0), 0xEF46DB3751D8E999);
-        assert_ne!(xxhash64(&[], 1), xxhash64(&[], 0), "seed must perturb the hash");
+        assert_ne!(
+            xxhash64(&[], 1),
+            xxhash64(&[], 0),
+            "seed must perturb the hash"
+        );
         assert_eq!(xxhash64(b"a", 0), 0xD24EC4F1A98C6E5B);
         assert_eq!(xxhash64(b"abc", 0), 0x44BC2CF5AD770999);
     }
@@ -345,7 +347,10 @@ mod tests {
         assert_eq!(murmur3_32(&[], 1), 0x514E28B7);
         assert_eq!(murmur3_32(b"hello", 0), 0x248BFA47);
         assert_eq!(murmur3_32(b"hello, world", 0), 0x149BBB7F);
-        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2E4FF723);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0),
+            0x2E4FF723
+        );
     }
 
     #[test]

@@ -138,7 +138,11 @@ mod tests {
     #[test]
     fn distinct_keys_distinct_bytes() {
         assert_ne!(1u64.key_bytes(), 2u64.key_bytes());
-        assert_ne!(1u32.key_bytes(), 1u64.key_bytes(), "width is part of the encoding");
+        assert_ne!(
+            1u32.key_bytes(),
+            1u64.key_bytes(),
+            "width is part of the encoding"
+        );
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   a seeded, 2-universal hash family. The paper requires `d` 2-way
 //!   independent hash functions (Section III-B); this module provides them
 //!   without external hash crates.
+//! * [`prepared`] — the prepared-key derivation (one 64-bit hash per
+//!   packet → per-array slots + fingerprint) shared by HeavyKeeper, the
+//!   baselines and the sharded engine, with batch prehashing.
 //! * [`fingerprint`] — flow-fingerprint extraction and collision-probability
 //!   helpers (paper footnote 1).
 //! * [`stream_summary`] — the Stream-Summary structure of Metwally et al.
@@ -27,15 +30,17 @@ pub mod counters;
 pub mod fingerprint;
 pub mod hash;
 pub mod key;
+pub mod prepared;
 pub mod prng;
 pub mod stream_summary;
 pub mod topk;
 
-pub use algorithm::TopKAlgorithm;
+pub use algorithm::{PreparedInsert, TopKAlgorithm};
 pub use counters::SaturatingCounter;
 pub use fingerprint::fingerprint_of;
 pub use hash::{HashFamily, SeededHasher};
 pub use key::{FlowKey, KeyBytes};
+pub use prepared::{prepare_key, HashSpec, PreparedKey};
 pub use prng::XorShift64;
 pub use stream_summary::StreamSummary;
 pub use topk::MinHeapTopK;

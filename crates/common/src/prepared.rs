@@ -1,0 +1,193 @@
+//! Prepared-key prehashing — the shared front half of every ingest path.
+//!
+//! Every sketch in this workspace derives its per-packet hash state from
+//! **one** 64-bit xxHash of the flow key (like the paper authors' C++
+//! implementation): per-array bucket indices by the
+//! Kirsch–Mitzenmacher construction `h_j = h1 + j·h2` over the two
+//! 32-bit halves, and a fingerprint from an extra multiply-rotate fold
+//! of the same hash so that fingerprint equality does not imply index
+//! equality.
+//!
+//! This module is the single home of that derivation. It used to live in
+//! `heavykeeper::sketch`; it moved here so that baseline sketches, the
+//! sharded engine, and the batched ingest pipeline can all share one
+//! [`PreparedKey`] without duplicating the hashing rules:
+//!
+//! * [`prepare_key`] — hash one key.
+//! * [`HashSpec`] — the (seed, fingerprint-width) pair that makes two
+//!   prepared keys comparable, with [`HashSpec::prepare_batch`] filling
+//!   a reusable scratch buffer for a whole batch at once (the prolog of
+//!   [`crate::algorithm::TopKAlgorithm::insert_batch`]).
+//!
+//! Splitting "hash the batch" from "walk the buckets" is what the
+//! batch-first pipeline buys: the hash loop is branch-free and
+//! vectorizes, and the subsequent bucket walk presents the CPU a window
+//! of independent memory accesses to overlap instead of one
+//! hash→load→update dependency chain per packet.
+
+use crate::hash::xxhash64;
+use crate::key::FlowKey;
+
+/// The per-packet hash state: index bases and fingerprint, all derived
+/// from one 64-bit hash of the flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedKey {
+    h1: u32,
+    h2: u32,
+    /// The flow's fingerprint (never 0; 0 encodes an empty bucket).
+    pub fp: u32,
+}
+
+impl PreparedKey {
+    /// The bucket index for array `j` in an array of `width` buckets
+    /// (Kirsch–Mitzenmacher derivation + multiply-shift reduction).
+    #[inline]
+    pub fn slot(&self, j: usize, width: usize) -> usize {
+        let h = self.h1.wrapping_add((j as u32).wrapping_mul(self.h2));
+        ((h as u64 * width as u64) >> 32) as usize
+    }
+
+    /// A well-mixed 32-bit value for partitioning flows across shards;
+    /// independent of any array's [`PreparedKey::slot`] for realistic
+    /// widths because it is folded once more.
+    #[inline]
+    pub fn lane(&self) -> u32 {
+        let x = ((self.h1 as u64) << 32 | self.h2 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (x >> 32) as u32
+    }
+}
+
+/// Derives the per-packet hash state from one 64-bit hash of the key.
+///
+/// `fingerprint_mask` must be `(1 << bits) - 1` (or `u32::MAX` for 32
+/// bits); [`HashSpec`] computes it from a bit width.
+#[inline]
+pub fn prepare_key(seed: u64, fingerprint_mask: u32, key_bytes: &[u8]) -> PreparedKey {
+    let base = xxhash64(key_bytes, seed);
+    let h1 = (base >> 32) as u32;
+    // Odd step so `h1 + j*h2` walks the full 32-bit ring.
+    let h2 = (base as u32) | 1;
+    // Fold the hash again for the fingerprint so that fingerprint
+    // equality does not imply index equality.
+    let folded = (base.rotate_left(23) ^ base).wrapping_mul(0x9E37_79B1_85EB_CA87);
+    let fp = ((folded >> 24) as u32) & fingerprint_mask;
+    PreparedKey {
+        h1,
+        h2,
+        fp: if fp == 0 { 1 } else { fp },
+    }
+}
+
+/// Everything that determines how keys are prepared: two algorithms
+/// agree on bucket placement and fingerprints iff their specs are equal
+/// (the compatibility precondition for merging and for handing prepared
+/// keys across algorithm boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashSpec {
+    /// Master hash seed.
+    pub seed: u64,
+    /// Mask selecting the configured fingerprint width.
+    pub fingerprint_mask: u32,
+}
+
+impl HashSpec {
+    /// Builds a spec from a seed and a fingerprint width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= fingerprint_bits <= 32`.
+    pub fn new(seed: u64, fingerprint_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&fingerprint_bits),
+            "fingerprint width must be in 1..=32"
+        );
+        let fingerprint_mask = if fingerprint_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << fingerprint_bits) - 1
+        };
+        Self {
+            seed,
+            fingerprint_mask,
+        }
+    }
+
+    /// Hashes one key.
+    #[inline]
+    pub fn prepare(&self, key_bytes: &[u8]) -> PreparedKey {
+        prepare_key(self.seed, self.fingerprint_mask, key_bytes)
+    }
+
+    /// Hashes a whole batch into `out` (cleared first). `out` is a
+    /// caller-owned scratch buffer so steady-state batches allocate
+    /// nothing.
+    pub fn prepare_batch<K: FlowKey>(&self, keys: &[K], out: &mut Vec<PreparedKey>) {
+        out.clear();
+        out.reserve(keys.len());
+        for key in keys {
+            let kb = key.key_bytes();
+            out.push(self.prepare(kb.as_slice()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let spec = HashSpec::new(7, 16);
+        let a = spec.prepare(&1u64.to_le_bytes());
+        let b = spec.prepare(&1u64.to_le_bytes());
+        assert_eq!(a, b);
+        assert!(a.fp > 0, "fingerprint 0 is reserved for empty buckets");
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let spec = HashSpec::new(99, 16);
+        let keys: Vec<u64> = (0..1000).collect();
+        let mut batch = Vec::new();
+        spec.prepare_batch(&keys, &mut batch);
+        assert_eq!(batch.len(), keys.len());
+        for (k, p) in keys.iter().zip(&batch) {
+            assert_eq!(*p, spec.prepare(k.key_bytes().as_slice()));
+        }
+        // Reuse must clear.
+        spec.prepare_batch(&keys[..10], &mut batch);
+        assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn mask_respected() {
+        let spec = HashSpec::new(3, 8);
+        for v in 0..5000u64 {
+            let p = spec.prepare(&v.to_le_bytes());
+            assert!(p.fp <= 0xFF && p.fp > 0);
+        }
+    }
+
+    #[test]
+    fn lanes_spread_uniformly() {
+        let spec = HashSpec::new(11, 16);
+        let shards = 8u64;
+        let mut counts = vec![0usize; shards as usize];
+        let n = 80_000u64;
+        for v in 0..n {
+            let p = spec.prepare(&v.to_le_bytes());
+            counts[((p.lane() as u64 * shards) >> 32) as usize] += 1;
+        }
+        let expect = (n / shards) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expect).abs() / expect;
+            assert!(rel < 0.05, "shard {i} holds {c} of {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint width")]
+    fn zero_width_rejected() {
+        HashSpec::new(1, 0);
+    }
+}

@@ -113,7 +113,9 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
 
     /// The count associated with `key`, if tracked.
     pub fn count(&self, key: &K) -> Option<u64> {
-        self.index.get(key).map(|&i| self.buckets[self.items[i].bucket].count)
+        self.index
+            .get(key)
+            .map(|&i| self.buckets[self.items[i].bucket].count)
     }
 
     /// The smallest count among tracked keys (`None` when empty).
@@ -135,7 +137,12 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
     }
 
     fn alloc_item(&mut self, key: K, bucket: usize) -> usize {
-        let node = ItemNode { key, bucket, prev: NIL, next: NIL };
+        let node = ItemNode {
+            key,
+            bucket,
+            prev: NIL,
+            next: NIL,
+        };
         if let Some(i) = self.free_items.pop() {
             self.items[i] = node;
             i
@@ -146,7 +153,12 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
     }
 
     fn alloc_bucket(&mut self, count: u64) -> usize {
-        let node = BucketNode { count, head: NIL, prev: NIL, next: NIL };
+        let node = BucketNode {
+            count,
+            head: NIL,
+            prev: NIL,
+            next: NIL,
+        };
         if let Some(i) = self.free_buckets.pop() {
             self.buckets[i] = node;
             i
@@ -215,12 +227,14 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
             return b;
         }
         // Walk toward the target count.
-        while self.buckets[cur].count < count && self.buckets[cur].next != NIL
+        while self.buckets[cur].count < count
+            && self.buckets[cur].next != NIL
             && self.buckets[self.buckets[cur].next].count <= count
         {
             cur = self.buckets[cur].next;
         }
-        while self.buckets[cur].count > count && self.buckets[cur].prev != NIL
+        while self.buckets[cur].count > count
+            && self.buckets[cur].prev != NIL
             && self.buckets[self.buckets[cur].prev].count >= count
         {
             cur = self.buckets[cur].prev;
@@ -327,7 +341,11 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
             // The old bucket is about to be freed; hint from a neighbour.
             let (p, n) = (self.buckets[old_bucket].prev, self.buckets[old_bucket].next);
             self.detach(i);
-            if n != NIL { n } else { p }
+            if n != NIL {
+                n
+            } else {
+                p
+            }
         } else {
             self.detach(i);
             old_bucket
@@ -341,13 +359,20 @@ impl<K: Eq + Hash + Clone> StreamSummary<K> {
         DescIter {
             ss: self,
             bucket: self.max_bucket,
-            item: if self.max_bucket == NIL { NIL } else { self.buckets[self.max_bucket].head },
+            item: if self.max_bucket == NIL {
+                NIL
+            } else {
+                self.buckets[self.max_bucket].head
+            },
         }
     }
 
     /// Returns the top `k` keys by count, descending.
     pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
-        self.iter_desc().take(k).map(|(key, c)| (key.clone(), c)).collect()
+        self.iter_desc()
+            .take(k)
+            .map(|(key, c)| (key.clone(), c))
+            .collect()
     }
 
     /// Exhaustively checks internal invariants; used by tests.

@@ -185,7 +185,7 @@ impl<K: Eq + Hash + Clone> MinHeapTopK<K> {
     /// Returns all tracked `(key, count)` pairs in descending count order.
     pub fn sorted_desc(&self) -> Vec<(K, u64)> {
         let mut v: Vec<(K, u64)> = self.heap.iter().map(|(c, k)| (k.clone(), *c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 
@@ -203,7 +203,11 @@ impl<K: Eq + Hash + Clone> MinHeapTopK<K> {
         assert!(self.heap.len() <= self.capacity);
         assert_eq!(self.heap.len(), self.pos.len());
         for i in 0..self.heap.len() {
-            assert_eq!(self.pos.get(&self.heap[i].1), Some(&i), "position index out of sync");
+            assert_eq!(
+                self.pos.get(&self.heap[i].1),
+                Some(&i),
+                "position index out of sync"
+            );
             let (l, r) = (2 * i + 1, 2 * i + 2);
             if l < self.heap.len() {
                 assert!(self.heap[i].0 <= self.heap[l].0, "heap property violated");

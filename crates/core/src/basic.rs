@@ -11,10 +11,11 @@
 //! bound (Theorem 5), which experiment E21 validates.
 
 use crate::config::HkConfig;
-use crate::sketch::HkSketch;
+use crate::sketch::{HkSketch, PreparedKey};
 use crate::store::TopKStore;
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
+use hk_common::prepared::HashSpec;
 
 /// Basic HeavyKeeper + min-heap (Section III-C).
 ///
@@ -34,6 +35,8 @@ pub struct BasicTopK<K: FlowKey> {
     sketch: HkSketch,
     store: TopKStore<K>,
     cfg: HkConfig,
+    /// Reusable batch-prolog buffer of prepared keys.
+    scratch: Vec<PreparedKey>,
 }
 
 impl<K: FlowKey> BasicTopK<K> {
@@ -43,6 +46,7 @@ impl<K: FlowKey> BasicTopK<K> {
             sketch: HkSketch::new(&cfg),
             store: TopKStore::new(cfg.store, cfg.k),
             cfg,
+            scratch: Vec::new(),
         }
     }
 
@@ -83,17 +87,14 @@ impl<K: FlowKey> TopKAlgorithm<K> for BasicTopK<K> {
     fn insert(&mut self, key: &K) {
         let kb = key.key_bytes();
         let p = self.sketch.prepare(kb.as_slice());
-        self.sketch.insert_basic_prepared(&p);
-        let estimate = self.sketch.query_prepared(&p);
-        if self.store.contains(key) {
-            self.store.update_max(key, estimate);
-        } else if estimate > self.store.nmin() {
-            // nmin() is 0 while the store is not full, so early flows with
-            // any positive estimate are admitted, as in the paper.
-            if estimate > 0 {
-                self.store.admit(key.clone(), estimate);
-            }
-        }
+        self.insert_prepared(key, &p);
+    }
+
+    fn insert_batch(&mut self, keys: &[K]) {
+        // Prolog: hash the whole batch into the scratch buffer, then walk
+        // buckets in pre-touched blocks — the shared body lives in
+        // `sketch::hk_insert_batch_body`.
+        crate::sketch::hk_insert_batch_body!(self, keys);
     }
 
     fn query(&self, key: &K) -> u64 {
@@ -111,6 +112,26 @@ impl<K: FlowKey> TopKAlgorithm<K> for BasicTopK<K> {
 
     fn name(&self) -> &'static str {
         "HK-Basic"
+    }
+}
+
+impl<K: FlowKey> PreparedInsert<K> for BasicTopK<K> {
+    fn hash_spec(&self) -> HashSpec {
+        self.sketch.hash_spec()
+    }
+
+    fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
+        self.sketch.insert_basic_prepared(p);
+        let estimate = self.sketch.query_prepared(p);
+        if self.store.contains(key) {
+            self.store.update_max(key, estimate);
+        } else if estimate > self.store.nmin() {
+            // nmin() is 0 while the store is not full, so early flows with
+            // any positive estimate are admitted, as in the paper.
+            if estimate > 0 {
+                self.store.admit(key.clone(), estimate);
+            }
+        }
     }
 }
 
@@ -134,7 +155,11 @@ mod tests {
         let top = hk.top_k();
         assert_eq!(top[0].0, 42);
         assert!(top[0].1 <= 500, "no over-estimation");
-        assert!(top[0].1 > 400, "estimate should be near 500, got {}", top[0].1);
+        assert!(
+            top[0].1 > 400,
+            "estimate should be near 500, got {}",
+            top[0].1
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ impl Array {
     /// Panics if `w == 0`.
     pub fn new(w: usize) -> Self {
         assert!(w > 0, "array width must be positive");
-        Self { buckets: vec![Bucket::default(); w] }
+        Self {
+            buckets: vec![Bucket::default(); w],
+        }
     }
 
     /// Number of buckets.

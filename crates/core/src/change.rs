@@ -150,7 +150,7 @@ impl<K: FlowKey> HeavyChangeDetector<K> {
                     push_if_heavy(&mut changes, flow.clone(), before, 0, self.threshold);
                 }
             }
-            changes.sort_by(|a, b| b.magnitude().cmp(&a.magnitude()));
+            changes.sort_by_key(|c| std::cmp::Reverse(c.magnitude()));
         }
         self.previous = now;
         self.current.reset();
@@ -171,7 +171,11 @@ fn push_if_heavy<K>(
             flow,
             before,
             after,
-            kind: if after >= before { ChangeKind::Increase } else { ChangeKind::Decrease },
+            kind: if after >= before {
+                ChangeKind::Increase
+            } else {
+                ChangeKind::Decrease
+            },
         });
     }
 }
@@ -227,11 +231,17 @@ mod tests {
             det.insert(&2);
         }
         let changes = det.end_epoch();
-        let up = changes.iter().find(|c| c.flow == 2).expect("eruption missed");
+        let up = changes
+            .iter()
+            .find(|c| c.flow == 2)
+            .expect("eruption missed");
         assert_eq!(up.kind, ChangeKind::Increase);
         assert_eq!(up.before, 0);
         assert!(up.after <= 1000, "no over-estimation");
-        let down = changes.iter().find(|c| c.flow == 1).expect("disappearance missed");
+        let down = changes
+            .iter()
+            .find(|c| c.flow == 1)
+            .expect("disappearance missed");
         assert_eq!(down.kind, ChangeKind::Decrease);
         assert_eq!(down.after, 0);
     }
@@ -266,13 +276,20 @@ mod tests {
         }
         let changes = det.end_epoch();
         assert!(changes.len() >= 3);
-        assert!(changes.windows(2).all(|w| w[0].magnitude() >= w[1].magnitude()));
+        assert!(changes
+            .windows(2)
+            .all(|w| w[0].magnitude() >= w[1].magnitude()));
         assert_eq!(changes[0].flow, 2);
     }
 
     #[test]
     fn magnitude_is_absolute_difference() {
-        let c = HeavyChange { flow: 1u64, before: 300, after: 120, kind: ChangeKind::Decrease };
+        let c = HeavyChange {
+            flow: 1u64,
+            before: 300,
+            after: 120,
+            kind: ChangeKind::Decrease,
+        };
         assert_eq!(c.magnitude(), 180);
     }
 
@@ -292,7 +309,9 @@ mod tests {
             let changes = det.end_epoch();
             if epoch == 1 {
                 assert!(
-                    changes.iter().any(|c| c.flow == 7 && c.kind == ChangeKind::Increase),
+                    changes
+                        .iter()
+                        .any(|c| c.flow == 7 && c.kind == ChangeKind::Increase),
                     "eruption lost in noise: {changes:?}"
                 );
             }

@@ -108,7 +108,13 @@ impl<K: FlowKey> Collector<K> {
     /// Panics if `k == 0`.
     pub fn new(k: usize, rule: AggregationRule) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { rule, k, counts: HashMap::new(), merged: None, reports: 0 }
+        Self {
+            rule,
+            k,
+            counts: HashMap::new(),
+            merged: None,
+            reports: 0,
+        }
     }
 
     /// Number of submissions (reports + sketches) so far this period.
@@ -180,7 +186,7 @@ impl<K: FlowKey> Collector<K> {
                 (key.clone(), est)
             })
             .collect();
-        all.sort_by(|a, b| b.1.cmp(&a.1));
+        all.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         all.truncate(self.k);
         all
     }
@@ -202,7 +208,12 @@ mod tests {
     use crate::config::HkConfig;
 
     fn cfg(seed: u64) -> HkConfig {
-        HkConfig::builder().arrays(2).width(512).k(8).seed(seed).build()
+        HkConfig::builder()
+            .arrays(2)
+            .width(512)
+            .k(8)
+            .seed(seed)
+            .build()
     }
 
     #[test]
@@ -323,7 +334,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 3 == 0 { state % 6 } else { 100 + state % 1000 };
+            let f = if state.is_multiple_of(3) {
+                state % 6
+            } else {
+                100 + state % 1000
+            };
             for sw in &mut switches {
                 sw.insert(&f);
             }

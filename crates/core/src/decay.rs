@@ -95,7 +95,9 @@ impl DecayFn {
 
 impl Default for DecayFn {
     fn default() -> Self {
-        Self::Exponential { b: Self::PAPER_DEFAULT_BASE }
+        Self::Exponential {
+            b: Self::PAPER_DEFAULT_BASE,
+        }
     }
 }
 
@@ -135,7 +137,11 @@ impl DecayTable {
                 (p * (u64::MAX as f64)) as u64
             });
         }
-        Self { probs, thresholds, decay }
+        Self {
+            probs,
+            thresholds,
+            decay,
+        }
     }
 
     /// The decay probability for counter value `c` (0 past the cutoff).

@@ -256,7 +256,12 @@ mod tests {
     use hk_common::algorithm::TopKAlgorithm;
 
     fn cfg(seed: u64) -> HkConfig {
-        HkConfig::builder().arrays(2).width(256).k(8).seed(seed).build()
+        HkConfig::builder()
+            .arrays(2)
+            .width(256)
+            .k(8)
+            .seed(seed)
+            .build()
     }
 
     #[test]
@@ -282,16 +287,39 @@ mod tests {
 
     #[test]
     fn incompatible_fp_bits_rejected() {
-        let a = HkSketch::new(&HkConfig::builder().fingerprint_bits(16).width(64).seed(1).build());
-        let mut b =
-            HkSketch::new(&HkConfig::builder().fingerprint_bits(12).width(64).seed(1).build());
+        let a = HkSketch::new(
+            &HkConfig::builder()
+                .fingerprint_bits(16)
+                .width(64)
+                .seed(1)
+                .build(),
+        );
+        let mut b = HkSketch::new(
+            &HkConfig::builder()
+                .fingerprint_bits(12)
+                .width(64)
+                .seed(1)
+                .build(),
+        );
         assert_eq!(b.merge_from(&a), Err(MergeError::FingerprintMismatch));
     }
 
     #[test]
     fn incompatible_counter_bits_rejected() {
-        let a = HkSketch::new(&HkConfig::builder().counter_bits(16).width(64).seed(1).build());
-        let mut b = HkSketch::new(&HkConfig::builder().counter_bits(32).width(64).seed(1).build());
+        let a = HkSketch::new(
+            &HkConfig::builder()
+                .counter_bits(16)
+                .width(64)
+                .seed(1)
+                .build(),
+        );
+        let mut b = HkSketch::new(
+            &HkConfig::builder()
+                .counter_bits(32)
+                .width(64)
+                .seed(1)
+                .build(),
+        );
         assert_eq!(b.merge_from(&a), Err(MergeError::CounterWidthMismatch));
     }
 
@@ -349,7 +377,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 4 == 0 { state % 8 } else { 100 + state % 3000 };
+            let f = if state.is_multiple_of(4) {
+                state % 8
+            } else {
+                100 + state % 3000
+            };
             sketches[(n % 2) as usize].insert_basic(&f.to_le_bytes());
             *truth.entry(f).or_insert(0) += 1;
         }
@@ -451,7 +483,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 4 == 0 { state % 8 } else { 100 + state % 3000 };
+            let f = if state.is_multiple_of(4) {
+                state % 8
+            } else {
+                100 + state % 3000
+            };
             a.insert_basic(&f.to_le_bytes());
             b.insert_basic(&f.to_le_bytes());
             *truth.entry(f).or_insert(0) += 1;
@@ -465,7 +501,12 @@ mod tests {
 
     #[test]
     fn merge_saturates_at_counter_max() {
-        let cfg8 = HkConfig::builder().arrays(1).width(8).counter_bits(8).seed(2).build();
+        let cfg8 = HkConfig::builder()
+            .arrays(1)
+            .width(8)
+            .counter_bits(8)
+            .seed(2)
+            .build();
         let mut a = HkSketch::new(&cfg8);
         let mut b = HkSketch::new(&cfg8);
         let key = 9u64.to_le_bytes();
@@ -497,7 +538,10 @@ mod tests {
         let top: Vec<u64> = s1.top_k().into_iter().map(|(k, _)| k).collect();
         assert!(top.contains(&100), "aggregate elephant missing: {top:?}");
         let est = s1.top_k().iter().find(|(k, _)| *k == 100).unwrap().1;
-        assert!(est > 400, "merged estimate {est} should reflect both switches");
+        assert!(
+            est > 400,
+            "merged estimate {est} should reflect both switches"
+        );
         assert!(est <= 1200, "no over-estimation after merge");
     }
 

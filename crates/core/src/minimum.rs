@@ -17,11 +17,12 @@
 //! show the accuracy gain, which experiments E15–E17 reproduce.
 
 use crate::config::HkConfig;
-use crate::sketch::HkSketch;
+use crate::sketch::{HkSketch, PreparedKey};
 use crate::stats::InsertStats;
 use crate::store::TopKStore;
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
+use hk_common::prepared::HashSpec;
 
 /// Software Minimum HeavyKeeper (Algorithm 2).
 ///
@@ -45,6 +46,8 @@ pub struct MinimumTopK<K: FlowKey> {
     store: TopKStore<K>,
     cfg: HkConfig,
     stats: InsertStats,
+    /// Reusable batch-prolog buffer of prepared keys.
+    scratch: Vec<PreparedKey>,
 }
 
 impl<K: FlowKey> MinimumTopK<K> {
@@ -55,6 +58,7 @@ impl<K: FlowKey> MinimumTopK<K> {
             store: TopKStore::new(cfg.store, cfg.k),
             cfg,
             stats: InsertStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -116,6 +120,40 @@ impl<K: FlowKey> TopKAlgorithm<K> for MinimumTopK<K> {
     fn insert(&mut self, key: &K) {
         let kb = key.key_bytes();
         let p = self.sketch.prepare(kb.as_slice());
+        self.insert_prepared(key, &p);
+    }
+
+    fn insert_batch(&mut self, keys: &[K]) {
+        // Prolog: hash the whole batch into the scratch buffer, then walk
+        // buckets in pre-touched blocks — the shared body lives in
+        // `sketch::hk_insert_batch_body`.
+        crate::sketch::hk_insert_batch_body!(self, keys);
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        self.sketch.query(kb.as_slice())
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.store.sorted_desc()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes() + self.store.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "HK-Minimum"
+    }
+}
+
+impl<K: FlowKey> PreparedInsert<K> for MinimumTopK<K> {
+    fn hash_spec(&self) -> HashSpec {
+        self.sketch.hash_spec()
+    }
+
+    fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
         let d = self.sketch.arrays();
         self.stats.packets += 1;
 
@@ -128,7 +166,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for MinimumTopK<K> {
         let mut first_empty: Option<(usize, usize)> = None;
         let mut min_slot: Option<(usize, usize, u64)> = None;
         for j in 0..d {
-            let i = self.sketch.slot(j, &p);
+            let i = self.sketch.slot(j, p);
             let b = *self.sketch.bucket(j, i);
             if b.count > 0 && b.fp == p.fp && matched.is_none() {
                 matched = Some((j, i, b.count));
@@ -137,7 +175,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for MinimumTopK<K> {
                 if first_empty.is_none() {
                     first_empty = Some((j, i));
                 }
-            } else if min_slot.map_or(true, |(_, _, c)| b.count < c) {
+            } else if min_slot.is_none_or(|(_, _, c)| b.count < c) {
                 // Strict `<` keeps the *first* smallest (Situation 3).
                 min_slot = Some((j, i, b.count));
             }
@@ -211,23 +249,6 @@ impl<K: FlowKey> TopKAlgorithm<K> for MinimumTopK<K> {
         } else if heavy_v > nmin {
             self.stats.admissions_rejected += 1;
         }
-    }
-
-    fn query(&self, key: &K) -> u64 {
-        let kb = key.key_bytes();
-        self.sketch.query(kb.as_slice())
-    }
-
-    fn top_k(&self) -> Vec<(K, u64)> {
-        self.store.sorted_desc()
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.sketch.memory_bytes() + self.store.memory_bytes()
-    }
-
-    fn name(&self) -> &'static str {
-        "HK-Minimum"
     }
 }
 
@@ -303,7 +324,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 3 == 0 { state % 8 } else { 100 + state % 3000 };
+            let f = if state.is_multiple_of(3) {
+                state % 8
+            } else {
+                100 + state % 3000
+            };
             hk.insert(&f);
             *truth.entry(f).or_insert(0) += 1;
         }
@@ -321,7 +346,11 @@ mod tests {
         for _ in 0..10_000 {
             hk.insert(&1); // Elephant takes the single bucket of array 1.
         }
-        let big_before = hk.sketch().bucket(0, 0).count.max(hk.sketch().bucket(1, 0).count);
+        let big_before = hk
+            .sketch()
+            .bucket(0, 0)
+            .count
+            .max(hk.sketch().bucket(1, 0).count);
         assert!(big_before > 5_000);
         // A stream of distinct mice hits both buckets; minimum decay
         // must chew on the smaller one and leave the elephant's counter
@@ -329,7 +358,11 @@ mod tests {
         for m in 0..2000u64 {
             hk.insert(&(10 + m));
         }
-        let big_after = hk.sketch().bucket(0, 0).count.max(hk.sketch().bucket(1, 0).count);
+        let big_after = hk
+            .sketch()
+            .bucket(0, 0)
+            .count
+            .max(hk.sketch().bucket(1, 0).count);
         assert!(
             big_after + 10 >= big_before,
             "elephant bucket decayed {big_before} -> {big_after}"

@@ -19,11 +19,12 @@
 //! FPGA/ASIC ports, not for the accuracy evaluation.)
 
 use crate::config::HkConfig;
-use crate::sketch::HkSketch;
+use crate::sketch::{HkSketch, PreparedKey};
 use crate::stats::InsertStats;
 use crate::store::TopKStore;
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
+use hk_common::prepared::HashSpec;
 
 /// Hardware Parallel HeavyKeeper (Algorithm 1).
 ///
@@ -47,6 +48,8 @@ pub struct ParallelTopK<K: FlowKey> {
     store: TopKStore<K>,
     cfg: HkConfig,
     stats: InsertStats,
+    /// Reusable batch-prolog buffer of prepared keys.
+    scratch: Vec<PreparedKey>,
 }
 
 impl<K: FlowKey> ParallelTopK<K> {
@@ -57,6 +60,7 @@ impl<K: FlowKey> ParallelTopK<K> {
             store: TopKStore::new(cfg.store, cfg.k),
             cfg,
             stats: InsertStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -118,6 +122,40 @@ impl<K: FlowKey> TopKAlgorithm<K> for ParallelTopK<K> {
     fn insert(&mut self, key: &K) {
         let kb = key.key_bytes();
         let p = self.sketch.prepare(kb.as_slice());
+        self.insert_prepared(key, &p);
+    }
+
+    fn insert_batch(&mut self, keys: &[K]) {
+        // Prolog: hash the whole batch into the scratch buffer, then walk
+        // buckets in pre-touched blocks — the shared body lives in
+        // `sketch::hk_insert_batch_body`.
+        crate::sketch::hk_insert_batch_body!(self, keys);
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        let kb = key.key_bytes();
+        self.sketch.query(kb.as_slice())
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        self.store.sorted_desc()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes() + self.store.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "HK-Parallel"
+    }
+}
+
+impl<K: FlowKey> PreparedInsert<K> for ParallelTopK<K> {
+    fn hash_spec(&self) -> HashSpec {
+        self.sketch.hash_spec()
+    }
+
+    fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
         self.stats.packets += 1;
 
         // Step 1: is the flow already monitored?
@@ -128,7 +166,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for ParallelTopK<K> {
         let mut heavy_v = 0u64; // The paper's HeavyK_V.
         let mut blocked = self.sketch.arrays() > 0; // Section III-F probe.
         for j in 0..self.sketch.arrays() {
-            let i = self.sketch.slot(j, &p);
+            let i = self.sketch.slot(j, p);
             let bucket = *self.sketch.bucket(j, i);
             if bucket.count == 0 {
                 // Case 1: take the empty bucket.
@@ -195,23 +233,6 @@ impl<K: FlowKey> TopKAlgorithm<K> for ParallelTopK<K> {
         } else if heavy_v > nmin {
             self.stats.admissions_rejected += 1;
         }
-    }
-
-    fn query(&self, key: &K) -> u64 {
-        let kb = key.key_bytes();
-        self.sketch.query(kb.as_slice())
-    }
-
-    fn top_k(&self) -> Vec<(K, u64)> {
-        self.store.sorted_desc()
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.sketch.memory_bytes() + self.store.memory_bytes()
-    }
-
-    fn name(&self) -> &'static str {
-        "HK-Parallel"
     }
 }
 
@@ -339,8 +360,12 @@ mod tests {
             "expansion should have triggered"
         );
         // The expanded sketch must know the late elephant much better.
-        assert!(hk_exp.query(&999) > hk_fixed.query(&999).saturating_add(500),
-            "expanded {} vs fixed {}", hk_exp.query(&999), hk_fixed.query(&999));
+        assert!(
+            hk_exp.query(&999) > hk_fixed.query(&999).saturating_add(500),
+            "expanded {} vs fixed {}",
+            hk_exp.query(&999),
+            hk_fixed.query(&999)
+        );
     }
 
     #[test]

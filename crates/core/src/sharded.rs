@@ -1,329 +1,546 @@
-//! Batch-pipelined parallel execution of the Hardware Parallel version.
+//! The sharded multi-core engine: one algorithm instance per thread.
 //!
-//! Section III-E names the Parallel version after a hardware property:
-//! each array's bucket update depends only on that array, so the `d`
-//! updates can execute concurrently (FPGA/ASIC pipelines do exactly
-//! this). [`ShardedParallelTopK`] demonstrates that property in
-//! software: packets are processed in batches, one thread per array,
-//! each thread owning its array and its own decay RNG.
+//! The paper scales HeavyKeeper across cores by RSS-style partitioning:
+//! the NIC hashes each flow to one receive queue, and every queue's
+//! packets are measured independently (Section VII). [`ShardedEngine`]
+//! is that architecture in software, generalized over *every* algorithm
+//! in the workspace — HK variants and baselines alike — through the
+//! [`TopKAlgorithm`] trait:
 //!
-//! The pipeline semantics differ from the strictly sequential
-//! [`crate::ParallelTopK`] in one documented way: the Optimization II
-//! gate inside the arrays uses the `flag`/`n_min` snapshot taken at
-//! batch start (hardware pipelines see the top-k stage's state with
-//! exactly this kind of lag), while the top-k admission itself runs in a
-//! sequential epilogue with fresh state. With a batch size of 1 the
-//! snapshot is exact. Accuracy parity at realistic batch sizes is
-//! asserted by tests and the `sharded` bench.
+//! * **Routing.** Flows are hash-partitioned by a dedicated route hash
+//!   (independent of any algorithm's seed), so each flow's packets all
+//!   land on one shard and per-flow counts are never split.
+//! * **Ingest.** Each shard is an owned algorithm instance behind its
+//!   own worker thread, fed whole batches over a channel; the worker
+//!   runs the shard's [`TopKAlgorithm::insert_batch`] (and with it the
+//!   prepared-key prolog). No locks are touched on the hot path except
+//!   each worker's own shard mutex, which is uncontended while
+//!   streaming.
+//! * **Merge at query.** Because flows are partitioned, the global
+//!   top-k is the k largest of the union of per-shard top-ks — no
+//!   cross-shard double counting. For HK shards the classic sketch
+//!   [`crate::merge`] machinery is additionally available through
+//!   [`ShardedEngine::merged`], which folds every shard into one
+//!   instance for network-wide-style queries.
 //!
-//! Dynamic expansion (Section III-F) is not supported here — adding an
-//! array mid-batch would change the shard topology; construct a new
-//! instance instead.
+//! ## Batch boundary and snapshot semantics
+//!
+//! Scalar [`TopKAlgorithm::insert`] calls accumulate in a per-shard
+//! pending buffer and are dispatched when
+//! [`ShardedEngine::batch_capacity`] packets are buffered;
+//! [`TopKAlgorithm::insert_batch`] dispatches at every call boundary.
+//! Any read ([`TopKAlgorithm::query`] / [`TopKAlgorithm::top_k`])
+//! first dispatches pending packets and then **flushes**: it waits until
+//! every shard has drained its channel, so reads always observe every
+//! packet inserted before them — the pipeline lag is bounded by the
+//! flush, not exposed to readers. Within one shard packets are
+//! processed in arrival order by a single thread, so results are
+//! deterministic: independent of scheduling, equal to running each
+//! shard's sub-stream sequentially.
+//!
+//! This replaces the old `ShardedParallelTopK` special case (which
+//! parallelized over the `d` arrays of a single Parallel instance and
+//! worked for nothing else); that name survives as a type alias.
 
-use crate::bucket::Array;
 use crate::config::HkConfig;
-use crate::decay::DecayTable;
-use crate::sketch::{prepare_key, PreparedKey, MAX_ARRAYS};
-use crate::store::TopKStore;
+use crate::merge::MergeError;
+use crate::minimum::MinimumTopK;
+use crate::parallel::ParallelTopK;
 use hk_common::algorithm::TopKAlgorithm;
 use hk_common::key::FlowKey;
-use hk_common::prng::XorShift64;
+use hk_common::prepared::HashSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
-/// One array plus its private decay RNG: the unit of parallelism.
-#[derive(Debug, Clone)]
-struct Shard {
-    array: Array,
-    rng: XorShift64,
+/// Seed of the routing hash. Distinct from every algorithm seed in use
+/// so shard assignment stays independent of bucket placement.
+const ROUTE_SEED: u64 = 0x5EED_0F50 ^ 0xA110_C8ED;
+
+/// Default number of scalar inserts buffered before a dispatch.
+pub const DEFAULT_BATCH_CAPACITY: usize = 4096;
+
+struct Shard<K, A> {
+    algo: Arc<Mutex<A>>,
+    tx: Option<mpsc::Sender<Vec<K>>>,
+    enqueued: AtomicU64,
+    processed: Arc<AtomicU64>,
+    worker: Option<JoinHandle<()>>,
 }
 
-/// Batch-parallel Hardware Parallel HeavyKeeper.
+struct Pending<K> {
+    per_shard: Vec<Vec<K>>,
+    total: usize,
+}
+
+/// A multi-core top-k engine: `N` owned shards of any
+/// [`TopKAlgorithm`], channel-fed with hash-partitioned batches.
 ///
 /// # Examples
 ///
 /// ```
-/// use heavykeeper::sharded::ShardedParallelTopK;
-/// use heavykeeper::HkConfig;
+/// use heavykeeper::{HkConfig, ShardedEngine, ParallelTopK};
 /// use hk_common::TopKAlgorithm;
-/// let cfg = HkConfig::builder().arrays(4).width(64).k(8).seed(1).build();
-/// let mut hk = ShardedParallelTopK::<u64>::new(cfg);
-/// let batch: Vec<u64> = (0..10_000).map(|i| i % 10).collect();
-/// hk.insert_batch(&batch);
-/// assert_eq!(hk.top_k().len(), 8);
+///
+/// let cfg = HkConfig::builder().width(512).k(8).seed(1).build();
+/// let mut engine = ShardedEngine::parallel(&cfg, 4);
+/// let batch: Vec<u64> = (0..40_000).map(|i| i % 10).collect();
+/// engine.insert_batch(&batch);
+/// assert_eq!(engine.top_k().len(), 8);
 /// ```
-#[derive(Debug)]
-pub struct ShardedParallelTopK<K: FlowKey> {
-    shards: Vec<Shard>,
-    store: TopKStore<K>,
-    decay: DecayTable,
-    cfg: HkConfig,
-    fingerprint_mask: u32,
-    counter_max: u64,
+pub struct ShardedEngine<K: FlowKey, A: TopKAlgorithm<K>> {
+    shards: Vec<Shard<K, A>>,
+    route: HashSpec,
+    k: usize,
+    batch_capacity: usize,
+    pending: Mutex<Pending<K>>,
 }
 
-impl<K: FlowKey> ShardedParallelTopK<K> {
-    /// Builds the sharded algorithm from a configuration.
+impl<K, A> ShardedEngine<K, A>
+where
+    K: FlowKey + Send + 'static,
+    A: TopKAlgorithm<K> + Send + 'static,
+{
+    /// Builds the engine from pre-configured shard instances, reporting
+    /// the `k` largest flows at query time.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration enables Section III-F expansion
-    /// (unsupported here) or exceeds [`MAX_ARRAYS`].
-    pub fn new(cfg: HkConfig) -> Self {
-        assert!(cfg.expansion.is_none(), "sharded variant does not support expansion");
-        assert!(cfg.arrays <= MAX_ARRAYS, "at most {MAX_ARRAYS} arrays supported");
-        let shards = (0..cfg.arrays)
-            .map(|j| Shard {
-                array: Array::new(cfg.width),
-                rng: XorShift64::new(cfg.seed ^ 0xDECA_F00D ^ (j as u64) << 32),
+    /// Panics if `shards` is empty or `k == 0`.
+    pub fn from_shards(shards: Vec<A>, k: usize) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(k > 0, "k must be positive");
+        let n = shards.len();
+        let shards = shards
+            .into_iter()
+            .map(|a| {
+                let algo = Arc::new(Mutex::new(a));
+                let processed = Arc::new(AtomicU64::new(0));
+                let (tx, rx) = mpsc::channel::<Vec<K>>();
+                let worker = {
+                    let algo = Arc::clone(&algo);
+                    let processed = Arc::clone(&processed);
+                    std::thread::spawn(move || {
+                        while let Ok(batch) = rx.recv() {
+                            let mut guard = algo.lock().expect("shard poisoned");
+                            guard.insert_batch(&batch);
+                            processed.fetch_add(batch.len() as u64, Ordering::Release);
+                        }
+                    })
+                };
+                Shard {
+                    algo,
+                    tx: Some(tx),
+                    enqueued: AtomicU64::new(0),
+                    processed,
+                    worker: Some(worker),
+                }
             })
             .collect();
-        let fingerprint_mask = if cfg.fingerprint_bits == 32 {
-            u32::MAX
-        } else {
-            (1u32 << cfg.fingerprint_bits) - 1
-        };
         Self {
             shards,
-            store: TopKStore::new(cfg.store, cfg.k),
-            decay: DecayTable::new(cfg.decay),
-            fingerprint_mask,
-            counter_max: cfg.counter_max(),
-            cfg,
+            route: HashSpec::new(ROUTE_SEED, 32),
+            k,
+            batch_capacity: DEFAULT_BATCH_CAPACITY,
+            pending: Mutex::new(Pending {
+                per_shard: (0..n).map(|_| Vec::new()).collect(),
+                total: 0,
+            }),
         }
     }
 
-    fn prepare(&self, key: &K) -> PreparedKey {
-        prepare_key(self.cfg.seed, self.fingerprint_mask, key.key_bytes().as_slice())
+    /// Builds the engine with `n` shards produced by `make(shard_index)`.
+    pub fn from_fn(n: usize, k: usize, make: impl FnMut(usize) -> A) -> Self {
+        let mut make = make;
+        Self::from_shards((0..n).map(&mut make).collect(), k)
     }
 
-    /// Processes one batch: prolog (prepare + snapshot gates), parallel
-    /// per-array pass, sequential top-k epilogue.
-    pub fn insert_batch(&mut self, keys: &[K]) {
-        if keys.is_empty() {
-            return;
-        }
-        // Prolog: hash every key once, snapshot the admission gates.
-        let prepared: Vec<PreparedKey> = keys.iter().map(|k| self.prepare(k)).collect();
-        let flags: Vec<bool> = keys.iter().map(|k| self.store.contains(k)).collect();
-        let nmin = self.store.nmin();
-        // Optimization II only makes sense once the store is full ("if
-        // the flow were that large it would be monitored"); with free
-        // slots the gate is open, which also lets flows that are new
-        // within this batch grow despite the stale `flags` snapshot.
-        let gate_active = self.store.is_full();
-
-        // Parallel pass: one thread per shard, each producing its
-        // per-packet counter contribution.
-        let width = self.cfg.width;
-        let counter_max = self.counter_max;
-        let decay = &self.decay;
-        let mut contributions: Vec<Vec<u64>> = Vec::with_capacity(self.shards.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .enumerate()
-                .map(|(j, shard)| {
-                    let prepared = &prepared;
-                    let flags = &flags;
-                    s.spawn(move || {
-                        let mut out = vec![0u64; prepared.len()];
-                        for (idx, p) in prepared.iter().enumerate() {
-                            let i = p.slot(j, width);
-                            let bucket = *shard.array.bucket(i);
-                            if bucket.is_empty() {
-                                let b = shard.array.bucket_mut(i);
-                                b.fp = p.fp;
-                                b.count = 1;
-                                out[idx] = 1;
-                            } else if bucket.fp == p.fp {
-                                if !gate_active || flags[idx] || bucket.count <= nmin {
-                                    let b = shard.array.bucket_mut(i);
-                                    if b.count < counter_max {
-                                        b.count += 1;
-                                    }
-                                    out[idx] = b.count;
-                                }
-                            } else {
-                                let t = decay.threshold(bucket.count);
-                                if t != 0 && shard.rng.next_u64_raw() < t {
-                                    let b = shard.array.bucket_mut(i);
-                                    b.count -= 1;
-                                    if b.count == 0 {
-                                        b.fp = p.fp;
-                                        b.count = 1;
-                                        out[idx] = 1;
-                                    }
-                                }
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                contributions.push(h.join().expect("shard thread"));
-            }
-        });
-
-        // Epilogue: merge per-array contributions and run the top-k
-        // admission sequentially with fresh store state.
-        for (idx, key) in keys.iter().enumerate() {
-            let heavy_v = contributions.iter().map(|c| c[idx]).max().unwrap_or(0);
-            if self.store.contains(key) {
-                self.store.update_max(key, heavy_v);
-            } else if !self.store.is_full() {
-                if heavy_v > 0 {
-                    self.store.admit(key.clone(), heavy_v);
-                }
-            } else if heavy_v == self.store.nmin() + 1 {
-                self.store.admit(key.clone(), heavy_v);
-            }
-        }
-    }
-
-    /// Number of arrays (= shards).
-    pub fn arrays(&self) -> usize {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// The configuration this instance was built with.
-    pub fn config(&self) -> &HkConfig {
-        &self.cfg
+    /// The scalar-insert buffering threshold (see the module docs).
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Overrides the scalar-insert buffering threshold.
+    pub fn set_batch_capacity(&mut self, capacity: usize) {
+        self.batch_capacity = capacity.max(1);
+    }
+
+    /// The shard index `key` routes to.
+    #[inline]
+    pub fn shard_of(&self, key: &K) -> usize {
+        let kb = key.key_bytes();
+        let lane = self.route.prepare(kb.as_slice()).lane();
+        ((lane as u64 * self.shards.len() as u64) >> 32) as usize
+    }
+
+    /// Runs `f` against one shard's algorithm (flushed first), for
+    /// diagnostics and merging.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&A) -> R) -> R {
+        self.dispatch_and_flush();
+        let guard = self.shards[shard].algo.lock().expect("shard poisoned");
+        f(&guard)
+    }
+
+    /// Dispatches buffered scalar inserts and waits until every shard
+    /// has drained its channel. After this returns, every packet
+    /// previously inserted is reflected in shard state.
+    pub fn flush(&self) {
+        self.dispatch_and_flush();
+    }
+
+    fn dispatch_locked(&self, pending: &mut Pending<K>) {
+        if pending.total == 0 {
+            return;
+        }
+        for (shard, buf) in self.shards.iter().zip(pending.per_shard.iter_mut()) {
+            if buf.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(buf);
+            shard
+                .enqueued
+                .fetch_add(batch.len() as u64, Ordering::Release);
+            shard
+                .tx
+                .as_ref()
+                .expect("engine running")
+                .send(batch)
+                .expect("shard worker alive");
+        }
+        pending.total = 0;
+    }
+
+    fn dispatch_and_flush(&self) {
+        {
+            let mut pending = self.pending.lock().expect("pending poisoned");
+            self.dispatch_locked(&mut pending);
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let target = shard.enqueued.load(Ordering::Acquire);
+            while shard.processed.load(Ordering::Acquire) < target {
+                // A worker that died (its algorithm panicked inside
+                // insert_batch) can never catch up; surface that instead
+                // of busy-waiting forever. Re-check the counter after
+                // seeing the thread finished so a clean last batch is
+                // not mistaken for death.
+                if shard.worker.as_ref().is_none_or(|w| w.is_finished())
+                    && shard.processed.load(Ordering::Acquire) < target
+                {
+                    panic!("shard {i} worker died (algorithm panicked in insert_batch)");
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn route_into(&self, keys: &[K], pending: &mut Pending<K>) {
+        if self.shards.len() == 1 {
+            pending.per_shard[0].extend(keys.iter().cloned());
+        } else {
+            for key in keys {
+                let s = self.shard_of(key);
+                pending.per_shard[s].push(key.clone());
+            }
+        }
+        pending.total += keys.len();
     }
 }
 
-impl<K: FlowKey> TopKAlgorithm<K> for ShardedParallelTopK<K> {
+impl<K, A> TopKAlgorithm<K> for ShardedEngine<K, A>
+where
+    K: FlowKey + Send + 'static,
+    A: TopKAlgorithm<K> + Send + 'static,
+{
     fn insert(&mut self, key: &K) {
-        self.insert_batch(std::slice::from_ref(key));
+        let s = self.shard_of(key);
+        let mut pending = self.pending.lock().expect("pending poisoned");
+        pending.per_shard[s].push(key.clone());
+        pending.total += 1;
+        if pending.total >= self.batch_capacity {
+            self.dispatch_locked(&mut pending);
+        }
     }
 
-    fn insert_all(&mut self, keys: &[K]) {
-        // Default batch: large enough to amortize thread spawning.
-        for chunk in keys.chunks(8192) {
-            self.insert_batch(chunk);
-        }
+    fn insert_batch(&mut self, keys: &[K]) {
+        let mut pending = self.pending.lock().expect("pending poisoned");
+        self.route_into(keys, &mut pending);
+        // A batch boundary is a dispatch boundary: hand every shard its
+        // sub-batch now so workers overlap with the caller.
+        self.dispatch_locked(&mut pending);
     }
 
     fn query(&self, key: &K) -> u64 {
-        let p = self.prepare(key);
-        let mut best = 0;
-        for (j, shard) in self.shards.iter().enumerate() {
-            let b = shard.array.bucket(p.slot(j, self.cfg.width));
-            if b.fp == p.fp && b.count > best {
-                best = b.count;
-            }
-        }
-        best
+        self.dispatch_and_flush();
+        let s = self.shard_of(key);
+        let guard = self.shards[s].algo.lock().expect("shard poisoned");
+        guard.query(key)
     }
 
     fn top_k(&self) -> Vec<(K, u64)> {
-        self.store.sorted_desc()
+        self.dispatch_and_flush();
+        let mut all: Vec<(K, u64)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.algo.lock().expect("shard poisoned");
+            all.extend(guard.top_k());
+        }
+        // Flows are partitioned, so the union has no duplicates; the
+        // global top-k is the k largest. Ties break on key bytes so the
+        // report is deterministic.
+        all.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| a.0.key_bytes().as_slice().cmp(b.0.key_bytes().as_slice()))
+        });
+        all.truncate(self.k);
+        all
     }
 
     fn memory_bytes(&self) -> usize {
-        let bucket_bits = self.cfg.fingerprint_bits as usize + self.cfg.counter_bits as usize;
-        self.shards.len() * self.cfg.width * bucket_bits.div_ceil(8) + self.store.memory_bytes()
+        self.shards
+            .iter()
+            .map(|s| s.algo.lock().expect("shard poisoned").memory_bytes())
+            .sum()
     }
 
     fn name(&self) -> &'static str {
-        "HK-Sharded"
+        "Sharded"
     }
 }
+
+impl<K: FlowKey, A: TopKAlgorithm<K>> Drop for ShardedEngine<K, A> {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx = None; // Close the channel; the worker loop ends.
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Divides a configuration's width by the shard count so an `n`-shard
+/// engine is accounted the same total sketch memory as one `cfg`
+/// instance.
+fn split_config(cfg: &HkConfig, shards: usize) -> HkConfig {
+    let mut per = cfg.clone();
+    per.width = (cfg.width / shards.max(1)).max(1);
+    per
+}
+
+impl<K: FlowKey + Send + 'static> ShardedEngine<K, ParallelTopK<K>> {
+    /// An engine of `shards` Parallel-variant instances. Each shard gets
+    /// `cfg` with its width divided by the shard count, so total sketch
+    /// memory matches a single `cfg` instance; all shards share `cfg`'s
+    /// seed, which keeps them merge-compatible.
+    pub fn parallel(cfg: &HkConfig, shards: usize) -> Self {
+        let per = split_config(cfg, shards);
+        Self::from_fn(shards, cfg.k, |_| ParallelTopK::new(per.clone()))
+    }
+
+    /// Folds every shard into one Parallel instance via the classic
+    /// sketch merge machinery ([`MergeMode::Sum`]: shards saw disjoint
+    /// packets), for network-wide-style queries over one structure.
+    ///
+    /// [`MergeMode::Sum`]: crate::merge::MergeMode::Sum
+    pub fn merged(&self) -> Result<ParallelTopK<K>, MergeError> {
+        let mut out = self.with_shard(0, |a| a.clone());
+        for i in 1..self.shards() {
+            let other = self.with_shard(i, |a| a.clone());
+            out.merge_from(&other)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<K: FlowKey + Send + 'static> ShardedEngine<K, MinimumTopK<K>> {
+    /// An engine of `shards` Minimum-variant instances (see
+    /// [`ShardedEngine::parallel`] for the memory split).
+    pub fn minimum(cfg: &HkConfig, shards: usize) -> Self {
+        let per = split_config(cfg, shards);
+        Self::from_fn(shards, cfg.k, |_| MinimumTopK::new(per.clone()))
+    }
+
+    /// Folds every shard into one Minimum instance via the sketch merge
+    /// machinery.
+    pub fn merged(&self) -> Result<MinimumTopK<K>, MergeError> {
+        let mut out = self.with_shard(0, |a| a.clone());
+        for i in 1..self.shards() {
+            let other = self.with_shard(i, |a| a.clone());
+            out.merge_from(&other)?;
+        }
+        Ok(out)
+    }
+}
+
+/// The old Parallel-only sharded type, now a thin alias of the generic
+/// engine (construct with [`ShardedEngine::parallel`] or
+/// [`ShardedEngine::from_shards`]).
+pub type ShardedParallelTopK<K> = ShardedEngine<K, ParallelTopK<K>>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parallel::ParallelTopK;
-    use hk_traffic_free::*;
+    use crate::basic::BasicTopK;
 
-    /// Tiny local workload helpers (keep `hk-traffic` out of core's deps).
-    mod hk_traffic_free {
-        pub fn skewed_stream(n: usize, heavy: u64, tail: u64, seed: u64) -> Vec<u64> {
-            let mut state = seed.max(1);
-            (0..n)
-                .map(|_| {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    if state % 2 == 0 {
-                        (state >> 1) % heavy
-                    } else {
-                        heavy + state % tail
-                    }
-                })
-                .collect()
-        }
+    fn skewed_stream(n: usize, heavy: u64, tail: u64, seed: u64) -> Vec<u64> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(2) {
+                    (state >> 1) % heavy
+                } else {
+                    heavy + state % tail
+                }
+            })
+            .collect()
     }
 
-    fn cfg(arrays: usize, w: usize, k: usize) -> HkConfig {
-        HkConfig::builder().arrays(arrays).width(w).k(k).seed(5).build()
+    fn cfg(w: usize, k: usize) -> HkConfig {
+        HkConfig::builder().arrays(2).width(w).k(k).seed(5).build()
     }
 
     #[test]
     fn finds_elephants_like_sequential() {
         let stream = skewed_stream(60_000, 10, 3000, 9);
-        let mut sharded = ShardedParallelTopK::<u64>::new(cfg(2, 128, 10));
-        let mut seq = ParallelTopK::<u64>::new(cfg(2, 128, 10));
-        sharded.insert_all(&stream);
-        seq.insert_all(&stream);
+        let mut sharded = ShardedEngine::parallel(&cfg(256, 10), 4);
+        let mut seq = ParallelTopK::<u64>::new(cfg(256, 10));
+        sharded.insert_batch(&stream);
+        seq.insert_batch(&stream);
 
-        let tops: Vec<std::collections::HashSet<u64>> = [&sharded.top_k(), &seq.top_k()]
-            .iter()
-            .map(|t| t.iter().map(|&(f, _)| f).collect())
-            .collect();
-        // Both must identify the 10 heavy flows.
-        for (name, top) in [("sharded", &tops[0]), ("sequential", &tops[1])] {
-            let hits = top.iter().filter(|&&f| f < 10).count();
+        for (name, top) in [("sharded", sharded.top_k()), ("sequential", seq.top_k())] {
+            let hits = top.iter().filter(|&&(f, _)| f < 10).count();
             assert!(hits >= 9, "{name} found only {hits}/10: {top:?}");
         }
     }
 
     #[test]
-    fn batch_size_one_has_exact_gating() {
-        // With per-packet batches the gate snapshot is always fresh; the
-        // result must match sequential semantics statistically (RNG
-        // streams differ per shard, so only aggregate behaviour agrees).
-        // Keep this small: every packet is its own batch (thread spawn
-        // per packet), which is the semantic worst case, not a fast path.
-        let stream = skewed_stream(3_000, 8, 200, 3);
-        let mut sharded = ShardedParallelTopK::<u64>::new(cfg(2, 64, 8));
-        for k in &stream {
-            sharded.insert(k);
+    fn partitioning_preserves_exact_counts() {
+        // Each flow lands on exactly one shard, so an uncontended flow's
+        // count is exact — sharding must not split or double-count it.
+        let mut engine = ShardedEngine::parallel(&cfg(2048, 16), 4);
+        let mut batch = Vec::new();
+        for f in 0..16u64 {
+            for _ in 0..100 * (f + 1) {
+                batch.push(f);
+            }
         }
-        let hits = sharded.top_k().iter().filter(|&&(f, _)| f < 8).count();
-        assert!(hits >= 7, "hits = {hits}");
+        engine.insert_batch(&batch);
+        for f in 0..16u64 {
+            assert_eq!(engine.query(&f), 100 * (f + 1), "flow {f}");
+        }
     }
 
     #[test]
-    fn no_overestimation_for_uncontended_flow() {
-        let mut sharded = ShardedParallelTopK::<u64>::new(cfg(4, 256, 4));
-        let batch: Vec<u64> = vec![7; 5000];
-        sharded.insert_batch(&batch);
-        assert!(sharded.query(&7) <= 5000);
-        assert!(sharded.query(&7) >= 4999, "uncontended flow should count fully");
+    fn scalar_inserts_flush_on_read() {
+        let mut engine = ShardedEngine::parallel(&cfg(128, 4), 2);
+        for _ in 0..10 {
+            engine.insert(&7u64);
+        }
+        // Far below batch_capacity, yet reads must see every packet.
+        assert_eq!(engine.query(&7), 10);
+        assert_eq!(engine.top_k()[0], (7, 10));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let stream = skewed_stream(30_000, 8, 500, 3);
+        let run = || {
+            let mut e = ShardedEngine::parallel(&cfg(128, 8), 3);
+            for chunk in stream.chunks(777) {
+                e.insert_batch(chunk);
+            }
+            e.top_k()
+        };
+        assert_eq!(run(), run(), "thread scheduling must not leak into results");
+    }
+
+    #[test]
+    fn works_for_any_algorithm_basic() {
+        let mut engine = ShardedEngine::from_fn(3, 5, |_| BasicTopK::<u64>::new(cfg(256, 5)));
+        let stream = skewed_stream(30_000, 5, 1000, 7);
+        engine.insert_batch(&stream);
+        let top = engine.top_k();
+        let hits = top.iter().filter(|&&(f, _)| f < 5).count();
+        assert!(hits >= 4, "top = {top:?}");
+        assert_eq!(engine.name(), "Sharded");
+        assert!(engine.memory_bytes() >= 3 * BasicTopK::<u64>::new(cfg(256, 5)).memory_bytes());
+    }
+
+    #[test]
+    fn merged_view_uses_sketch_merge() {
+        let mut engine = ShardedEngine::parallel(&cfg(1024, 8), 4);
+        let mut batch = Vec::new();
+        for f in 0..8u64 {
+            for _ in 0..200 {
+                batch.push(f);
+            }
+        }
+        engine.insert_batch(&batch);
+        let merged = engine.merged().expect("shards share config");
+        for f in 0..8u64 {
+            use hk_common::algorithm::TopKAlgorithm;
+            assert_eq!(merged.query(&f), 200, "flow {f} after merge");
+        }
     }
 
     #[test]
     fn empty_batch_is_noop() {
-        let mut sharded = ShardedParallelTopK::<u64>::new(cfg(2, 16, 4));
-        sharded.insert_batch(&[]);
-        assert!(sharded.top_k().is_empty());
+        let mut engine = ShardedEngine::<u64, _>::parallel(&cfg(16, 4), 2);
+        engine.insert_batch(&[]);
+        assert!(engine.top_k().is_empty());
     }
 
     #[test]
-    fn more_arrays_more_shards() {
-        let sharded = ShardedParallelTopK::<u64>::new(cfg(8, 32, 4));
-        assert_eq!(sharded.arrays(), 8);
+    fn alias_still_names_the_parallel_engine() {
+        let engine: ShardedParallelTopK<u64> = ShardedEngine::parallel(&cfg(64, 4), 2);
+        assert_eq!(engine.shards(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "does not support expansion")]
-    fn expansion_rejected() {
-        let cfg = HkConfig::builder()
-            .arrays(2)
-            .width(8)
-            .expansion(crate::config::ExpansionPolicy::default())
-            .build();
-        ShardedParallelTopK::<u64>::new(cfg);
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::<u64, ParallelTopK<u64>>::from_shards(vec![], 4);
+    }
+
+    /// An algorithm that blows up on ingest, to exercise worker-death
+    /// detection.
+    struct Exploder;
+
+    impl TopKAlgorithm<u64> for Exploder {
+        fn insert(&mut self, _key: &u64) {
+            panic!("boom");
+        }
+        fn query(&self, _key: &u64) -> u64 {
+            0
+        }
+        fn top_k(&self) -> Vec<(u64, u64)> {
+            Vec::new()
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Exploder"
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker died")]
+    fn dead_worker_is_detected_instead_of_hanging() {
+        let mut engine = ShardedEngine::from_shards(vec![Exploder], 1);
+        engine.insert_batch(&[1u64]);
+        // The worker panicked on the batch; the flush must surface that
+        // rather than spin forever.
+        engine.flush();
     }
 }

@@ -21,49 +21,50 @@
 use crate::bucket::{Array, Bucket};
 use crate::config::HkConfig;
 use crate::decay::DecayTable;
-use hk_common::hash::xxhash64;
+use hk_common::prepared::HashSpec;
 use hk_common::prng::XorShift64;
+
+// The prepared-key derivation lives in `hk_common::prepared` (shared
+// with baselines and the sharded engine); re-exported here because this
+// is where it historically lived and where sketch-level callers look.
+pub use hk_common::prepared::{prepare_key, PreparedKey};
 
 /// Hard cap on the number of arrays, including Section III-F expansion.
 pub const MAX_ARRAYS: usize = 16;
 
-/// The per-packet hash state: index bases and fingerprint, all derived
-/// from one 64-bit hash of the flow key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PreparedKey {
-    h1: u32,
-    h2: u32,
-    /// The flow's fingerprint (never 0; 0 encodes an empty bucket).
-    pub fp: u32,
+/// Batched-insert pre-touch block: the batch walk reads every bucket
+/// line a block will need before updating any of it, so the CPU
+/// overlaps the (random, miss-prone) loads of a whole block instead of
+/// serializing hash→load→update per packet. Plain reads double as
+/// software prefetch without `unsafe`; 64 packets × `d` lines sit well
+/// inside L1 while giving the memory system a deep window.
+pub(crate) const TOUCH_BLOCK: usize = 64;
+
+/// The one shared body of the HK variants' `insert_batch`: take the
+/// scratch buffer, prehash the batch, walk it in pre-touched
+/// [`TOUCH_BLOCK`]s through `insert_prepared`, restore the buffer.
+/// A macro rather than a helper function because the touch pass
+/// borrows `$self.sketch` while the ingest pass needs `&mut $self` —
+/// splitting that across a closure-taking function fights the borrow
+/// checker for no codegen benefit.
+macro_rules! hk_insert_batch_body {
+    ($self:ident, $keys:ident) => {{
+        let mut scratch = std::mem::take(&mut $self.scratch);
+        $self.sketch.hash_spec().prepare_batch($keys, &mut scratch);
+        let mut idx = 0;
+        while idx < $keys.len() {
+            let end = (idx + crate::sketch::TOUCH_BLOCK).min($keys.len());
+            $self.sketch.touch_prepared(&scratch[idx..end]);
+            for (key, p) in $keys[idx..end].iter().zip(&scratch[idx..end]) {
+                $self.insert_prepared(key, p);
+            }
+            idx = end;
+        }
+        $self.scratch = scratch;
+    }};
 }
 
-impl PreparedKey {
-    /// The bucket index for array `j` in an array of `width` buckets
-    /// (Kirsch–Mitzenmacher derivation + multiply-shift reduction).
-    #[inline]
-    pub fn slot(&self, j: usize, width: usize) -> usize {
-        let h = self.h1.wrapping_add((j as u32).wrapping_mul(self.h2));
-        ((h as u64 * width as u64) >> 32) as usize
-    }
-}
-
-/// Derives the per-packet hash state from one 64-bit hash of the key.
-///
-/// Shared by [`HkSketch`] and the batch-pipelined
-/// [`crate::sharded::ShardedParallelTopK`], which owns its arrays
-/// directly.
-#[inline]
-pub fn prepare_key(seed: u64, fingerprint_mask: u32, key_bytes: &[u8]) -> PreparedKey {
-    let base = xxhash64(key_bytes, seed);
-    let h1 = (base >> 32) as u32;
-    // Odd step so `h1 + j*h2` walks the full 32-bit ring.
-    let h2 = (base as u32) | 1;
-    // Fold the hash again for the fingerprint so that fingerprint
-    // equality does not imply index equality.
-    let folded = (base.rotate_left(23) ^ base).wrapping_mul(0x9E37_79B1_85EB_CA87);
-    let fp = ((folded >> 24) as u32) & fingerprint_mask;
-    PreparedKey { h1, h2, fp: if fp == 0 { 1 } else { fp } }
-}
+pub(crate) use hk_insert_batch_body;
 
 /// The HeavyKeeper bucket matrix with decay machinery.
 ///
@@ -105,7 +106,10 @@ impl HkSketch {
     ///
     /// Panics if `cfg.arrays` exceeds [`MAX_ARRAYS`].
     pub fn new(cfg: &HkConfig) -> Self {
-        assert!(cfg.arrays <= MAX_ARRAYS, "at most {MAX_ARRAYS} arrays supported");
+        assert!(
+            cfg.arrays <= MAX_ARRAYS,
+            "at most {MAX_ARRAYS} arrays supported"
+        );
         let arrays = (0..cfg.arrays).map(|_| Array::new(cfg.width)).collect();
         let fingerprint_mask = if cfg.fingerprint_bits == 32 {
             u32::MAX
@@ -158,6 +162,17 @@ impl HkSketch {
     #[inline]
     pub fn fingerprint_bits(&self) -> u32 {
         self.fingerprint_bits
+    }
+
+    /// The spec under which this sketch prepares keys (seed +
+    /// fingerprint mask); prepared keys are portable between parties
+    /// with equal specs.
+    #[inline]
+    pub fn hash_spec(&self) -> HashSpec {
+        HashSpec {
+            seed: self.seed,
+            fingerprint_mask: self.fingerprint_mask,
+        }
     }
 
     /// Hashes a flow key once and derives all per-packet hash state.
@@ -252,6 +267,24 @@ impl HkSketch {
             b.count += 1;
         }
         b.count
+    }
+
+    /// Pulls every bucket line the prepared keys map to into cache by
+    /// reading it (plain reads double as software prefetch; state is
+    /// untouched). The batched insert paths call this one
+    /// [`TOUCH_BLOCK`]-sized block ahead of the update walk so the
+    /// block's random loads overlap instead of serializing behind each
+    /// packet's update.
+    #[inline]
+    pub fn touch_prepared(&self, prepared: &[PreparedKey]) {
+        let mut acc = 0u64;
+        for p in prepared {
+            for j in 0..self.arrays.len() {
+                acc = acc.wrapping_add(self.arrays[j].bucket(p.slot(j, self.width)).count);
+            }
+        }
+        // Keep the loads observable so they are not optimized away.
+        std::hint::black_box(acc);
     }
 
     /// Queries the estimated size of a prepared flow: the maximum counter
@@ -364,8 +397,8 @@ impl HkSketch {
     /// charged `fingerprint_bits + counter_bits` bits like the paper's
     /// packed 16+16 layout.
     pub fn memory_bytes(&self) -> usize {
-        let bucket_bits = self.fingerprint_bits as usize
-            + (64 - self.counter_max.leading_zeros() as usize);
+        let bucket_bits =
+            self.fingerprint_bits as usize + (64 - self.counter_max.leading_zeros() as usize);
         self.arrays.len() * self.width * bucket_bits.div_ceil(8)
     }
 
@@ -526,7 +559,12 @@ mod tests {
 
     #[test]
     fn counter_saturates_at_bit_width() {
-        let cfg = HkConfig::builder().arrays(1).width(4).counter_bits(4).seed(2).build();
+        let cfg = HkConfig::builder()
+            .arrays(1)
+            .width(4)
+            .counter_bits(4)
+            .seed(2)
+            .build();
         let mut sk = HkSketch::new(&cfg);
         let key = 3u64.to_le_bytes();
         for _ in 0..100 {
@@ -540,7 +578,11 @@ mod tests {
         let cfg = HkConfig::builder()
             .arrays(2)
             .width(4)
-            .expansion(ExpansionPolicy { large_counter: 10, blocked_threshold: 5, max_arrays: 3 })
+            .expansion(ExpansionPolicy {
+                large_counter: 10,
+                blocked_threshold: 5,
+                max_arrays: 3,
+            })
             .build();
         let mut sk = HkSketch::new(&cfg);
         assert_eq!(sk.arrays(), 2);

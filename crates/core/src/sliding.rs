@@ -76,7 +76,12 @@ impl<K: FlowKey> SlidingTopK<K> {
         assert!(window > 0, "window must span at least one epoch");
         let mut epochs = VecDeque::with_capacity(window);
         epochs.push_back(ParallelTopK::new(cfg.clone()));
-        Self { epochs, cfg, window, rotations: 0 }
+        Self {
+            epochs,
+            cfg,
+            window,
+            rotations: 0,
+        }
     }
 
     /// Number of epochs the window spans.
@@ -133,7 +138,7 @@ impl<K: FlowKey> SlidingTopK<K> {
                 }
             }
         }
-        seen.sort_by(|a, b| b.1.cmp(&a.1));
+        seen.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         seen.truncate(self.cfg.k);
         seen
     }
@@ -219,7 +224,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 3 == 0 { state % 8 } else { 100 + state % 2000 };
+            let f = if state.is_multiple_of(3) {
+                state % 8
+            } else {
+                100 + state % 2000
+            };
             win.insert(&f);
             *truth.entry(f).or_insert(0) += 1;
             if step % 5000 == 4999 {
@@ -251,7 +260,11 @@ mod tests {
         }
         let top = win.top_k();
         assert_eq!(top[0].0, 42);
-        assert!(top[0].1 > 3000, "window estimate spans epochs: {}", top[0].1);
+        assert!(
+            top[0].1 > 3000,
+            "window estimate spans epochs: {}",
+            top[0].1
+        );
         assert!(top[0].1 <= 6000);
     }
 

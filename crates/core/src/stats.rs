@@ -90,8 +90,17 @@ mod tests {
 
     #[test]
     fn absorb_adds_fields() {
-        let mut a = InsertStats { packets: 10, decays: 3, ..Default::default() };
-        let b = InsertStats { packets: 5, decays: 2, replacements: 1, ..Default::default() };
+        let mut a = InsertStats {
+            packets: 10,
+            decays: 3,
+            ..Default::default()
+        };
+        let b = InsertStats {
+            packets: 5,
+            decays: 2,
+            replacements: 1,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.packets, 15);
         assert_eq!(a.decays, 5);
@@ -100,7 +109,11 @@ mod tests {
 
     #[test]
     fn match_rate_computed() {
-        let s = InsertStats { packets: 100, increments: 25, ..Default::default() };
+        let s = InsertStats {
+            packets: 100,
+            increments: 25,
+            ..Default::default()
+        };
         assert!((s.match_rate() - 0.25).abs() < 1e-12);
     }
 }

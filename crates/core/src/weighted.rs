@@ -240,7 +240,11 @@ mod tests {
         let mut rng = XorShift64::new(3);
         for _ in 0..30_000 {
             let r = rng.next_u64_raw();
-            let f = if r % 4 == 0 { r % 8 } else { 100 + r % 2000 };
+            let f = if r.is_multiple_of(4) {
+                r % 8
+            } else {
+                100 + r % 2000
+            };
             let w = 40 + (r >> 32) % 1460; // realistic packet sizes
             hk.insert_weighted(&f, w);
             *truth.entry(f).or_insert(0) += w;
@@ -261,7 +265,11 @@ mod tests {
         let mut rng = XorShift64::new(11);
         for _ in 0..50_000 {
             let r = rng.next_u64_raw();
-            let f = if r % 3 != 0 { r % 5 } else { 100 + r % 5000 };
+            let f = if !r.is_multiple_of(3) {
+                r % 5
+            } else {
+                100 + r % 5000
+            };
             wtd.insert_weighted(&f, 1);
             par.insert(&f);
         }
@@ -276,7 +284,13 @@ mod tests {
     fn heavy_weight_displaces_mouse() {
         // A mouse holds a bucket with a small counter; one giant weighted
         // packet must evict it and claim the leftover weight.
-        let tiny = HkConfig::builder().arrays(1).width(1).counter_bits(32).k(2).seed(9).build();
+        let tiny = HkConfig::builder()
+            .arrays(1)
+            .width(1)
+            .counter_bits(32)
+            .k(2)
+            .seed(9)
+            .build();
         let mut hk = WeightedTopK::<u64>::new(tiny);
         hk.insert_weighted(&1, 3); // mouse holds bucket with C = 3
         hk.insert_weighted(&2, 1000);
@@ -290,7 +304,13 @@ mod tests {
     fn elephant_resists_weighted_mice() {
         // An elephant with a large counter faces many small weighted
         // opponents; geometric skipping must leave it essentially intact.
-        let tiny = HkConfig::builder().arrays(1).width(1).counter_bits(32).k(2).seed(9).build();
+        let tiny = HkConfig::builder()
+            .arrays(1)
+            .width(1)
+            .counter_bits(32)
+            .k(2)
+            .seed(9)
+            .build();
         let mut hk = WeightedTopK::<u64>::new(tiny);
         hk.insert_weighted(&1, 500_000);
         for m in 0..1000u64 {
@@ -302,7 +322,13 @@ mod tests {
 
     #[test]
     fn counter_saturates_at_bit_width() {
-        let c = HkConfig::builder().arrays(1).width(4).counter_bits(16).k(2).seed(2).build();
+        let c = HkConfig::builder()
+            .arrays(1)
+            .width(4)
+            .counter_bits(16)
+            .k(2)
+            .seed(2)
+            .build();
         let mut hk = WeightedTopK::<u64>::new(c);
         hk.insert_weighted(&3, 1 << 20);
         assert_eq!(hk.query(&3), (1 << 16) - 1);
@@ -323,7 +349,10 @@ mod tests {
         }
         let frac = zeroed as f64 / trials as f64;
         let expect = 1.08f64.powi(-1);
-        assert!((frac - expect).abs() < 0.02, "observed {frac}, expected {expect}");
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "observed {frac}, expected {expect}"
+        );
     }
 
     #[test]

@@ -240,10 +240,17 @@ impl<K: FlowKey> ParallelTopK<K> {
 
         // Bucket matrix.
         let counter_max = hk.sketch().counter_max();
-        let fp_max = if fp_bits == 32 { u32::MAX } else { (1u32 << fp_bits) - 1 };
+        let fp_max = if fp_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << fp_bits) - 1
+        };
         for j in 0..arrays {
             for i in 0..width {
-                let mut cell = Reader { data: r.take(12)?, pos: 0 };
+                let mut cell = Reader {
+                    data: r.take(12)?,
+                    pos: 0,
+                };
                 let fp = cell.u32()?;
                 let count = cell.u64()?;
                 if fp > fp_max {
@@ -276,7 +283,7 @@ impl<K: FlowKey> ParallelTopK<K> {
         if r.pos != data.len() {
             return Err(WireError::Corrupt("trailing bytes"));
         }
-        entries.sort_by(|a, b| b.1.cmp(&a.1));
+        entries.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         for (key, count) in entries {
             if count == 0 {
                 return Err(WireError::Corrupt("zero store count"));
@@ -292,14 +299,23 @@ mod tests {
     use super::*;
 
     fn populated(seed: u64) -> ParallelTopK<u64> {
-        let cfg = HkConfig::builder().arrays(2).width(64).k(8).seed(seed).build();
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(64)
+            .k(8)
+            .seed(seed)
+            .build();
         let mut hk = ParallelTopK::new(cfg);
         let mut state = seed | 1;
         for _ in 0..20_000u64 {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let f = if state % 3 == 0 { state % 6 } else { 100 + state % 1000 };
+            let f = if state.is_multiple_of(3) {
+                state % 6
+            } else {
+                100 + state % 1000
+            };
             hk.insert(&f);
         }
         hk

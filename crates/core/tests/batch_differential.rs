@@ -1,0 +1,188 @@
+//! Differential tests for the batch-first ingest pipeline.
+//!
+//! The `insert_batch` contract requires observation-equivalence with
+//! sequential `insert`: identical sketch state, RNG consumption, top-k
+//! and query answers, for **every** batch size including 1. These tests
+//! drive the three HeavyKeeper variants with both disciplines over the
+//! same streams and compare everything observable, then check the
+//! sharded engine against a single instance and against the
+//! sketch-merge view.
+
+use heavykeeper::{BasicTopK, HkConfig, MinimumTopK, ParallelTopK, ShardedEngine};
+use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
+use proptest::prelude::*;
+
+fn cfg(width: usize, k: usize, seed: u64) -> HkConfig {
+    HkConfig::builder()
+        .arrays(2)
+        .width(width)
+        .k(k)
+        .seed(seed)
+        .build()
+}
+
+/// A deterministic skewed stream: half elephants (small IDs), half mice.
+fn stream(n: usize, heavy: u64, tail: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(2) {
+                (state >> 1) % heavy
+            } else {
+                heavy + state % tail
+            }
+        })
+        .collect()
+}
+
+/// Asserts two instances are observationally identical: top-k report
+/// plus point queries over the whole key universe seen.
+fn assert_equivalent<A: TopKAlgorithm<u64>>(a: &A, b: &A, universe: u64, ctx: &str) {
+    assert_eq!(a.top_k(), b.top_k(), "{ctx}: top-k diverged");
+    for f in 0..universe {
+        assert_eq!(a.query(&f), b.query(&f), "{ctx}: query({f}) diverged");
+    }
+    assert_eq!(
+        a.memory_bytes(),
+        b.memory_bytes(),
+        "{ctx}: accounting diverged"
+    );
+}
+
+macro_rules! batch_equivalence_test {
+    ($name:ident, $ty:ident) => {
+        #[test]
+        fn $name() {
+            let pkts = stream(40_000, 12, 1500, 77);
+            let universe = 12 + 1500 + 1;
+            for batch in [1usize, 2, 3, 7, 64, 1024, 40_000] {
+                let mut scalar = $ty::<u64>::new(cfg(128, 10, 5));
+                let mut batched = $ty::<u64>::new(cfg(128, 10, 5));
+                for k in &pkts {
+                    scalar.insert(k);
+                }
+                for chunk in pkts.chunks(batch) {
+                    batched.insert_batch(chunk);
+                }
+                assert_equivalent(
+                    &scalar,
+                    &batched,
+                    universe,
+                    &format!(concat!(stringify!($ty), " batch={}"), batch),
+                );
+            }
+        }
+    };
+}
+
+batch_equivalence_test!(basic_batch_equals_scalar, BasicTopK);
+batch_equivalence_test!(parallel_batch_equals_scalar, ParallelTopK);
+batch_equivalence_test!(minimum_batch_equals_scalar, MinimumTopK);
+
+#[test]
+fn insert_prepared_equals_insert() {
+    // The PreparedInsert capability must agree with plain insert when
+    // fed keys prepared under the algorithm's own spec.
+    let pkts = stream(20_000, 8, 700, 3);
+    let mut plain = ParallelTopK::<u64>::new(cfg(128, 8, 9));
+    let mut prepared = ParallelTopK::<u64>::new(cfg(128, 8, 9));
+    let spec = prepared.hash_spec();
+    for k in &pkts {
+        plain.insert(k);
+        let kb = hk_common::FlowKey::key_bytes(k);
+        let p = spec.prepare(kb.as_slice());
+        prepared.insert_prepared(k, &p);
+    }
+    assert_equivalent(&plain, &prepared, 8 + 700 + 1, "prepared-vs-plain");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random streams + random batch splits: equivalence is not an
+    /// artifact of the fixed workloads above.
+    #[test]
+    fn random_batch_splits_are_equivalent(
+        seed in 1u64..10_000,
+        batch in 1usize..512,
+        width in 8usize..128,
+    ) {
+        let pkts = stream(8_000, 6, 300, seed);
+        let mut scalar = MinimumTopK::<u64>::new(cfg(width, 6, seed));
+        let mut batched = MinimumTopK::<u64>::new(cfg(width, 6, seed));
+        for k in &pkts {
+            scalar.insert(k);
+        }
+        for chunk in pkts.chunks(batch) {
+            batched.insert_batch(chunk);
+        }
+        prop_assert_eq!(scalar.top_k(), batched.top_k());
+        for f in 0..(6 + 300 + 1) {
+            prop_assert_eq!(scalar.query(&f), batched.query(&f));
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_matches_single_instance_within_tolerance() {
+    // The engine partitions flows across shards, each a full Parallel
+    // instance; uncontended flows count exactly, and the documented
+    // tolerance is about *which* borderline mice fill the tail of the
+    // top-k, never about elephants or their counts.
+    let pkts = stream(80_000, 10, 4000, 41);
+    let mut single = ParallelTopK::<u64>::new(cfg(1024, 10, 5));
+    single.insert_batch(&pkts);
+    let mut engine = ShardedEngine::parallel(&cfg(1024, 10, 5), 4);
+    for chunk in pkts.chunks(2048) {
+        engine.insert_batch(chunk);
+    }
+
+    let single_top: Vec<u64> = single.top_k().into_iter().map(|(f, _)| f).collect();
+    let engine_top: Vec<u64> = engine.top_k().into_iter().map(|(f, _)| f).collect();
+    let single_hits = single_top.iter().filter(|&&f| f < 10).count();
+    let engine_hits = engine_top.iter().filter(|&&f| f < 10).count();
+    assert!(single_hits >= 9, "single missed elephants: {single_top:?}");
+    assert!(engine_hits >= 9, "engine missed elephants: {engine_top:?}");
+
+    // Every elephant's reported size must be close between the two
+    // views: both under-estimate only, and by small margins at this
+    // width.
+    let single_map: std::collections::HashMap<u64, u64> = single.top_k().into_iter().collect();
+    for (f, est) in engine.top_k() {
+        if f < 10 {
+            let s = single_map.get(&f).copied().unwrap_or(0);
+            let hi = s.max(est) as f64;
+            let lo = s.min(est) as f64;
+            assert!(
+                lo / hi > 0.95,
+                "flow {f}: sharded {est} vs single {s} beyond tolerance"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_merged_view_agrees_with_partitioned_queries() {
+    let pkts = stream(40_000, 8, 1000, 13);
+    let mut engine = ShardedEngine::parallel(&cfg(2048, 8, 21), 4);
+    engine.insert_batch(&pkts);
+    let merged = engine.merged().expect("shards share one config");
+    for f in 0..8u64 {
+        // The merge is slightly lossy both ways: shards share one seed,
+        // so a same-slot same-fingerprint flow on another shard adds
+        // under Sum (inflating), while bucket conflicts subtract
+        // (deflating). Elephant estimates must survive within a few
+        // percent of the owning shard's answer.
+        let owning = engine.query(&f);
+        let merged_est = merged.query(&f);
+        let hi = owning.max(merged_est) as f64;
+        let lo = owning.min(merged_est) as f64;
+        assert!(
+            lo / hi > 0.9,
+            "flow {f}: merged {merged_est} vs owning shard {owning} beyond tolerance"
+        );
+    }
+}

@@ -4,9 +4,7 @@
 
 use heavykeeper::decay::{DecayFn, DecayTable};
 use heavykeeper::sliding::SlidingTopK;
-use heavykeeper::{
-    HkConfig, HkSketch, MergeMode, MinimumTopK, ParallelTopK, WeightedTopK,
-};
+use heavykeeper::{HkConfig, HkSketch, MergeMode, MinimumTopK, ParallelTopK, WeightedTopK};
 use hk_common::TopKAlgorithm;
 use proptest::prelude::*;
 use std::collections::HashMap;

@@ -70,8 +70,7 @@ pub fn packet_cost(discipline: InsertDiscipline, stats: &InsertStats) -> PacketC
         if stats.packets == 0 {
             worst
         } else {
-            (stats.empty_claims + stats.increments + stats.decays) as f64
-                / stats.packets as f64
+            (stats.empty_claims + stats.increments + stats.decays) as f64 / stats.packets as f64
         }
     };
     match discipline {
@@ -218,7 +217,10 @@ mod tests {
             logic_ns: 1.0,
             pipelined: false,
         };
-        let banked = DeviceProfile { banked_arrays: true, ..unbanked };
+        let banked = DeviceProfile {
+            banked_arrays: true,
+            ..unbanked
+        };
         assert!(c.throughput_mpps(&banked) > c.throughput_mpps(&unbanked));
     }
 

@@ -10,7 +10,11 @@ use hk_traffic::presets::campus_like;
 
 fn run_both() -> (heavykeeper::InsertStats, heavykeeper::InsertStats) {
     let trace = campus_like(500, 3); // 20k packets
-    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(100).seed(7).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(16 * 1024)
+        .k(100)
+        .seed(7)
+        .build();
     let mut par = ParallelTopK::new(cfg.clone());
     let mut min = MinimumTopK::new(cfg);
     par.insert_all(&trace.packets);
@@ -42,10 +46,8 @@ fn switch_pipeline_reaches_line_rate_only_for_parallel() {
     // SRAM; the Minimum version's recirculation halves headroom.
     let (par, min) = run_both();
     let dev = DeviceProfile::switch_pipeline();
-    let par_mpps =
-        packet_cost(InsertDiscipline::Parallel { d: 2 }, &par).throughput_mpps(&dev);
-    let min_mpps =
-        packet_cost(InsertDiscipline::Minimum { d: 2 }, &min).throughput_mpps(&dev);
+    let par_mpps = packet_cost(InsertDiscipline::Parallel { d: 2 }, &par).throughput_mpps(&dev);
+    let min_mpps = packet_cost(InsertDiscipline::Minimum { d: 2 }, &min).throughput_mpps(&dev);
     assert!(par_mpps >= 149.0, "parallel bound {par_mpps} Mpps");
     assert!((par_mpps / min_mpps - 2.0).abs() < 1e-9);
 }
@@ -58,7 +60,10 @@ fn dram_placement_cannot_sustain_line_rate() {
     let (_, min) = run_both();
     let dev = DeviceProfile::cpu_dram();
     let mpps = packet_cost(InsertDiscipline::Minimum { d: 2 }, &min).throughput_mpps(&dev);
-    assert!(mpps < 10.0, "DRAM bound {mpps} Mpps should be single digits");
+    assert!(
+        mpps < 10.0,
+        "DRAM bound {mpps} Mpps should be single digits"
+    );
 }
 
 #[test]
@@ -68,7 +73,10 @@ fn cached_cpu_bound_dominates_measured_figure33_rates() {
     let (par, _) = run_both();
     let dev = DeviceProfile::cpu_cached();
     let bound = packet_cost(InsertDiscipline::Parallel { d: 2 }, &par).throughput_mpps(&dev);
-    assert!(bound > 15.0, "bound {bound} must exceed measured software rates");
+    assert!(
+        bound > 15.0,
+        "bound {bound} must exceed measured software rates"
+    );
 }
 
 #[test]

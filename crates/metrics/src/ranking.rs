@@ -169,8 +169,14 @@ mod tests {
     fn ties_count_as_concordant() {
         let o = oracle_with(&[(1, 50), (2, 50), (3, 10)]);
         // Flows 1 and 2 tie; any relative order is perfect.
-        assert_eq!(kendall_tau(&[(2u64, 50), (1, 50), (3, 10)], &o, 3), Some(1.0));
-        assert_eq!(kendall_tau(&[(1u64, 50), (2, 50), (3, 10)], &o, 3), Some(1.0));
+        assert_eq!(
+            kendall_tau(&[(2u64, 50), (1, 50), (3, 10)], &o, 3),
+            Some(1.0)
+        );
+        assert_eq!(
+            kendall_tau(&[(1u64, 50), (2, 50), (3, 10)], &o, 3),
+            Some(1.0)
+        );
     }
 
     #[test]

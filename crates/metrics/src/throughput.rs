@@ -1,15 +1,36 @@
 //! Throughput measurement (paper Section VI-B, "Throughput").
 //!
 //! The paper defines throughput as `N / T` in million insertions per
-//! second (Mps): insert the whole trace, record wall time. [`measure_mps`]
-//! does exactly that, with warm-up and repetition to steady the numbers.
+//! second (Mps): insert the whole trace, record wall time. Since the
+//! batch-first refactor the harness measures explicit ingest modes:
+//!
+//! * [`IngestMode::Scalar`] — one [`TopKAlgorithm::insert`] call per
+//!   packet, the paper's original per-packet discipline;
+//! * [`IngestMode::Batched`] — the trace chunked through
+//!   [`TopKAlgorithm::insert_batch`], exercising the prepared-key
+//!   prolog.
+//!
+//! [`measure_mps`] keeps its pre-refactor signature and rides the
+//! batched path (one whole-trace batch). All modes are
+//! observation-equivalent; only the per-packet overhead differs, which
+//! is exactly what the `batched_vs_scalar` bench and the
+//! `BENCH_ingest.json` snapshot track.
 
 use hk_common::algorithm::TopKAlgorithm;
 use hk_common::key::FlowKey;
 use std::time::Instant;
 
+/// How packets are handed to the algorithm during measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// One `insert` call per packet.
+    Scalar,
+    /// `insert_batch` over chunks of the given size.
+    Batched(usize),
+}
+
 /// The result of a throughput run.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputReport {
     /// Million insertions per second (best of the measured repeats).
     pub mps_best: f64,
@@ -19,7 +40,8 @@ pub struct ThroughputReport {
     pub packets: usize,
 }
 
-/// Measures insertion throughput of `make_algo`'s product over `packets`.
+/// Measures insertion throughput of `make_algo`'s product over `packets`
+/// on the batched path (one whole-trace `insert_batch` per repeat).
 ///
 /// A fresh algorithm instance is built per repeat (inserting into a
 /// *full* structure differs from a cold one; the paper times full-trace
@@ -29,7 +51,32 @@ pub struct ThroughputReport {
 /// # Panics
 ///
 /// Panics if `packets` is empty or `repeats == 0`.
-pub fn measure_mps<K, A, F>(mut make_algo: F, packets: &[K], repeats: usize) -> ThroughputReport
+pub fn measure_mps<K, A, F>(make_algo: F, packets: &[K], repeats: usize) -> ThroughputReport
+where
+    K: FlowKey,
+    A: TopKAlgorithm<K>,
+    F: FnMut() -> A,
+{
+    measure_mps_with(
+        make_algo,
+        packets,
+        repeats,
+        IngestMode::Batched(packets.len().max(1)),
+    )
+}
+
+/// [`measure_mps`] under an explicit ingest mode.
+///
+/// # Panics
+///
+/// Panics if `packets` is empty, `repeats == 0`, or a batched mode has
+/// batch size 0.
+pub fn measure_mps_with<K, A, F>(
+    mut make_algo: F,
+    packets: &[K],
+    repeats: usize,
+    mode: IngestMode,
+) -> ThroughputReport
 where
     K: FlowKey,
     A: TopKAlgorithm<K>,
@@ -37,11 +84,27 @@ where
 {
     assert!(!packets.is_empty(), "need packets to measure");
     assert!(repeats > 0, "need at least one repeat");
+    if let IngestMode::Batched(b) = mode {
+        assert!(b > 0, "batch size must be positive");
+    }
+
+    let ingest = |algo: &mut A, packets: &[K]| match mode {
+        IngestMode::Scalar => {
+            for p in packets {
+                algo.insert(p);
+            }
+        }
+        IngestMode::Batched(batch) => {
+            for chunk in packets.chunks(batch) {
+                algo.insert_batch(chunk);
+            }
+        }
+    };
 
     // Warm-up run: touches the allocator and fills caches.
     {
         let mut algo = make_algo();
-        algo.insert_all(&packets[..packets.len().min(100_000)]);
+        ingest(&mut algo, &packets[..packets.len().min(100_000)]);
     }
 
     let mut best = 0.0f64;
@@ -49,7 +112,7 @@ where
     for _ in 0..repeats {
         let mut algo = make_algo();
         let start = Instant::now();
-        algo.insert_all(packets);
+        ingest(&mut algo, packets);
         let secs = start.elapsed().as_secs_f64();
         let mps = packets.len() as f64 / secs / 1e6;
         best = best.max(mps);
@@ -84,6 +147,16 @@ mod tests {
     }
 
     #[test]
+    fn scalar_and_batched_modes_run() {
+        let packets: Vec<u64> = (0..30_000u64).map(|i| i % 64).collect();
+        let mk = || ParallelTopK::<u64>::new(HkConfig::builder().width(128).k(8).build());
+        for mode in [IngestMode::Scalar, IngestMode::Batched(1024)] {
+            let r = measure_mps_with(mk, &packets, 1, mode);
+            assert!(r.mps_best > 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "need packets")]
     fn empty_trace_panics() {
         let packets: Vec<u64> = vec![];
@@ -91,6 +164,18 @@ mod tests {
             || ParallelTopK::<u64>::new(HkConfig::builder().width(16).k(2).build()),
             &packets,
             1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        let packets: Vec<u64> = vec![1];
+        measure_mps_with(
+            || ParallelTopK::<u64>::new(HkConfig::builder().width(16).k(2).build()),
+            &packets,
+            1,
+            IngestMode::Batched(0),
         );
     }
 }

@@ -3,12 +3,30 @@
 //! The paper's OVS integration buffers flow IDs in a shared-memory
 //! region written by the (kernel/DPDK) datapath and read by the
 //! user-space HeavyKeeper process. This module models it as a bounded
-//! lock-free SPSC queue with drop/backpressure statistics.
+//! SPSC queue with drop/backpressure statistics, implemented in-tree
+//! (a fixed slot array with head/tail counters; each slot carries its
+//! own tiny mutex, uncontended in SPSC use, instead of `unsafe` cells).
+//!
+//! The ring is the **batch boundary** of the ingest pipeline: the
+//! datapath mirrors flow IDs one per forwarded packet, and the consumer
+//! drains them in batches ([`SharedRing::pop_batch`]) that feed
+//! [`insert_batch`](hk_common::TopKAlgorithm::insert_batch) — one
+//! prepared-key prolog and one bucket walk per drained batch instead of
+//! per packet.
 
-use crossbeam::queue::ArrayQueue;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A bounded single-producer/single-consumer ring of flow IDs.
+///
+/// **SPSC contract:** exactly one thread may push and exactly one
+/// thread may pop (they may be different threads, and either may also
+/// be the constructing thread). The cursor updates are plain
+/// load/store pairs that are only race-free under that discipline —
+/// two concurrent producers would overwrite one another's slot and
+/// corrupt the occupancy count. Debug builds assert the contract by
+/// remembering the first pushing/popping thread; release builds trust
+/// it, like a real shared-memory ring trusts its datapath.
 ///
 /// # Examples
 ///
@@ -21,10 +39,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// ```
 #[derive(Debug)]
 pub struct SharedRing<T> {
-    queue: ArrayQueue<T>,
+    slots: Vec<Mutex<Option<T>>>,
+    /// Consumer cursor (only the consumer advances it).
+    head: AtomicUsize,
+    /// Producer cursor (only the producer advances it).
+    tail: AtomicUsize,
+    /// Occupied slots; the producer increments after writing, the
+    /// consumer decrements after taking.
+    len: AtomicUsize,
     pushed: AtomicU64,
     dropped: AtomicU64,
     popped: AtomicU64,
+    #[cfg(debug_assertions)]
+    producer: std::sync::OnceLock<std::thread::ThreadId>,
+    #[cfg(debug_assertions)]
+    consumer: std::sync::OnceLock<std::thread::ThreadId>,
 }
 
 impl<T> SharedRing<T> {
@@ -34,17 +63,50 @@ impl<T> SharedRing<T> {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
         Self {
-            queue: ArrayQueue::new(capacity),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            len: AtomicUsize::new(0),
             pushed: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             popped: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            producer: std::sync::OnceLock::new(),
+            #[cfg(debug_assertions)]
+            consumer: std::sync::OnceLock::new(),
         }
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_single(owner: &std::sync::OnceLock<std::thread::ThreadId>, side: &str) {
+        let me = std::thread::current().id();
+        let first = *owner.get_or_init(|| me);
+        assert_eq!(
+            first, me,
+            "SharedRing is SPSC: a second thread tried to {side}"
+        );
+    }
+
+    fn push_raw(&self, item: T) -> Result<(), T> {
+        #[cfg(debug_assertions)]
+        Self::assert_single(&self.producer, "push");
+        if self.len.load(Ordering::Acquire) == self.slots.len() {
+            return Err(item);
+        }
+        let tail = self.tail.load(Ordering::Relaxed);
+        *self.slots[tail % self.slots.len()]
+            .lock()
+            .expect("slot poisoned") = Some(item);
+        self.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
+        self.len.fetch_add(1, Ordering::Release);
+        Ok(())
     }
 
     /// Attempts to push; returns `false` (and counts a drop) when full.
     pub fn try_push(&self, item: T) -> bool {
-        match self.queue.push(item) {
+        match self.push_raw(item) {
             Ok(()) => {
                 self.pushed.fetch_add(1, Ordering::Relaxed);
                 true
@@ -59,7 +121,7 @@ impl<T> SharedRing<T> {
     /// Pushes with backpressure: spins until space frees up.
     pub fn push_blocking(&self, mut item: T) {
         loop {
-            match self.queue.push(item) {
+            match self.push_raw(item) {
                 Ok(()) => {
                     self.pushed.fetch_add(1, Ordering::Relaxed);
                     return;
@@ -74,11 +136,38 @@ impl<T> SharedRing<T> {
 
     /// Attempts to pop one item.
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.queue.pop();
-        if item.is_some() {
-            self.popped.fetch_add(1, Ordering::Relaxed);
+        #[cfg(debug_assertions)]
+        Self::assert_single(&self.consumer, "pop");
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
         }
+        let head = self.head.load(Ordering::Relaxed);
+        let item = self.slots[head % self.slots.len()]
+            .lock()
+            .expect("slot poisoned")
+            .take();
+        debug_assert!(item.is_some(), "len > 0 implies an occupied head slot");
+        self.head.store(head.wrapping_add(1), Ordering::Relaxed);
+        self.len.fetch_sub(1, Ordering::Release);
+        self.popped.fetch_add(1, Ordering::Relaxed);
         item
+    }
+
+    /// Drains up to `max` items into `out`, returning how many were
+    /// taken. This is the consumer-side batch boundary: one call's
+    /// worth of flow IDs becomes one `insert_batch`.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.try_pop() {
+                Some(item) => {
+                    out.push(item);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
     }
 
     /// Items successfully pushed.
@@ -98,12 +187,12 @@ impl<T> SharedRing<T> {
 
     /// Ring capacity.
     pub fn capacity(&self) -> usize {
-        self.queue.capacity()
+        self.slots.len()
     }
 
     /// True when the ring holds no items.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len.load(Ordering::Acquire) == 0
     }
 }
 
@@ -144,6 +233,20 @@ mod tests {
     }
 
     #[test]
+    fn pop_batch_respects_max_and_order() {
+        let ring: SharedRing<u32> = SharedRing::new(16);
+        for i in 0..10 {
+            ring.try_push(i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.pop_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(ring.pop_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+        assert_eq!(ring.pop_batch(&mut out, 8), 0, "empty ring drains nothing");
+    }
+
+    #[test]
     fn cross_thread_transfer() {
         let ring: Arc<SharedRing<u64>> = Arc::new(SharedRing::new(64));
         let n = 100_000u64;
@@ -168,5 +271,28 @@ mod tests {
         assert_eq!(ring.pushed(), n);
         assert_eq!(ring.popped(), n);
         assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn cross_thread_batch_drain() {
+        let ring: Arc<SharedRing<u64>> = Arc::new(SharedRing::new(128));
+        let n = 50_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    ring.push_blocking(i);
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while (got.len() as u64) < n {
+            if ring.pop_batch(&mut got, 256) == 0 {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        let expect: Vec<u64> = (0..n).collect();
+        assert_eq!(got, expect, "batch drain preserves SPSC order");
     }
 }

@@ -66,8 +66,9 @@ pub fn run_rss_deployment(
     assert!(queues > 0, "need at least one queue");
 
     let frames: Vec<[u8; FRAME_LEN]> = flows.iter().map(synthesize_frame).collect();
-    let rings: Vec<Arc<SharedRing<FiveTuple>>> =
-        (0..queues).map(|_| Arc::new(SharedRing::new(ring_capacity))).collect();
+    let rings: Vec<Arc<SharedRing<FiveTuple>>> = (0..queues)
+        .map(|_| Arc::new(SharedRing::new(ring_capacity)))
+        .collect();
     let done = Arc::new(AtomicBool::new(false));
 
     let start = Instant::now();
@@ -85,19 +86,20 @@ pub fn run_rss_deployment(
             handles.push(s.spawn(move || {
                 let mut hk = ParallelTopK::<FiveTuple>::new(cfg);
                 let mut n = 0u64;
+                let mut batch: Vec<FiveTuple> =
+                    Vec::with_capacity(crate::deployment::CONSUMER_BATCH);
                 loop {
-                    match ring.try_pop() {
-                        Some(ft) => {
-                            hk.insert(&ft);
-                            n += 1;
+                    batch.clear();
+                    let taken = ring.pop_batch(&mut batch, crate::deployment::CONSUMER_BATCH);
+                    if taken == 0 {
+                        if done.load(Ordering::Acquire) && ring.is_empty() {
+                            break;
                         }
-                        None => {
-                            if done.load(Ordering::Acquire) && ring.is_empty() {
-                                break;
-                            }
-                            std::hint::spin_loop();
-                        }
+                        std::hint::spin_loop();
+                        continue;
                     }
+                    hk.insert_batch(&batch);
+                    n += taken as u64;
                 }
                 (hk, n)
             }));
@@ -144,7 +146,9 @@ mod tests {
     use super::*;
 
     fn flows(n: u64, distinct: u64) -> Vec<FiveTuple> {
-        (0..n).map(|i| FiveTuple::from_index(i % distinct)).collect()
+        (0..n)
+            .map(|i| FiveTuple::from_index(i % distinct))
+            .collect()
     }
 
     fn cfg() -> HkConfig {

@@ -37,8 +37,20 @@ pub struct FiveTuple {
 
 impl FiveTuple {
     /// Creates a 5-tuple from its fields.
-    pub fn new(src_ip: [u8; 4], dst_ip: [u8; 4], src_port: u16, dst_port: u16, protocol: u8) -> Self {
-        Self { src_ip, dst_ip, src_port, dst_port, protocol }
+    pub fn new(
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        protocol: u8,
+    ) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol,
+        }
     }
 
     /// Derives a synthetic but deterministic 5-tuple from a flow index.
@@ -119,7 +131,12 @@ impl SrcDst {
         let x = i.wrapping_mul(0xD1B54A32D192ED03);
         Self {
             src_ip: [(x >> 56) as u8, (x >> 48) as u8, (i >> 8) as u8, i as u8],
-            dst_ip: [(x >> 40) as u8, (x >> 32) as u8, (i >> 24) as u8, (i >> 16) as u8],
+            dst_ip: [
+                (x >> 40) as u8,
+                (x >> 32) as u8,
+                (i >> 24) as u8,
+                (i >> 16) as u8,
+            ],
         }
     }
 

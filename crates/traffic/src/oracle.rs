@@ -30,7 +30,10 @@ pub struct ExactCounter<K: FlowKey> {
 impl<K: FlowKey> ExactCounter<K> {
     /// Creates an empty oracle.
     pub fn new() -> Self {
-        Self { counts: HashMap::new(), total: 0 }
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Counts every packet of a trace.
@@ -108,7 +111,11 @@ impl<K: FlowKey> ExactCounter<K> {
         if self.counts.is_empty() {
             return 0.0;
         }
-        let mice = self.counts.values().filter(|&&c| c <= mouse_threshold).count();
+        let mice = self
+            .counts
+            .values()
+            .filter(|&&c| c <= mouse_threshold)
+            .count();
         mice as f64 / self.counts.len() as f64
     }
 

@@ -97,7 +97,10 @@ pub fn parse_ethernet(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
         return Err(ParseError::UnsupportedEtherType(ethertype));
     }
     let parsed = parse_ipv4(&frame[off..])?;
-    Ok(ParsedPacket { ip_offset: off, ..parsed })
+    Ok(ParsedPacket {
+        ip_offset: off,
+        ..parsed
+    })
 }
 
 /// Parses an IPv4 packet (starting at the IP header) to its flow ID.
@@ -126,20 +129,19 @@ pub fn parse_ipv4(ip: &[u8]) -> Result<ParsedPacket, ParseError> {
     // A fragment with nonzero offset carries no transport header; treat
     // it like a portless protocol (standard flow-keying fallback).
     let frag_offset = u16::from_be_bytes([ip[6], ip[7]]) & 0x1FFF;
-    let (src_port, dst_port) = if (protocol == PROTO_TCP || protocol == PROTO_UDP)
-        && frag_offset == 0
-    {
-        let t = &ip[header_len..];
-        if t.len() < 4 {
-            return Err(ParseError::Truncated);
-        }
-        (
-            u16::from_be_bytes([t[0], t[1]]),
-            u16::from_be_bytes([t[2], t[3]]),
-        )
-    } else {
-        (0, 0)
-    };
+    let (src_port, dst_port) =
+        if (protocol == PROTO_TCP || protocol == PROTO_UDP) && frag_offset == 0 {
+            let t = &ip[header_len..];
+            if t.len() < 4 {
+                return Err(ParseError::Truncated);
+            }
+            (
+                u16::from_be_bytes([t[0], t[1]]),
+                u16::from_be_bytes([t[2], t[3]]),
+            )
+        } else {
+            (0, 0)
+        };
 
     Ok(ParsedPacket {
         flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, protocol),
@@ -182,8 +184,22 @@ pub fn build_frame(flow: &FiveTuple, payload_len: usize) -> Vec<u8> {
 
     let mut f = Vec::with_capacity(14 + ip_total);
     // Ethernet: locally administered MACs derived from the addresses.
-    f.extend_from_slice(&[0x02, flow.dst_ip[0], flow.dst_ip[1], flow.dst_ip[2], flow.dst_ip[3], 0x01]);
-    f.extend_from_slice(&[0x02, flow.src_ip[0], flow.src_ip[1], flow.src_ip[2], flow.src_ip[3], 0x02]);
+    f.extend_from_slice(&[
+        0x02,
+        flow.dst_ip[0],
+        flow.dst_ip[1],
+        flow.dst_ip[2],
+        flow.dst_ip[3],
+        0x01,
+    ]);
+    f.extend_from_slice(&[
+        0x02,
+        flow.src_ip[0],
+        flow.src_ip[1],
+        flow.src_ip[2],
+        flow.src_ip[3],
+        0x02,
+    ]);
     f.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
 
     // IPv4 header (no options).
@@ -301,7 +317,10 @@ mod tests {
     fn arp_reported_unsupported() {
         let mut frame = vec![0u8; 60];
         frame[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
-        assert_eq!(parse_ethernet(&frame), Err(ParseError::UnsupportedEtherType(0x0806)));
+        assert_eq!(
+            parse_ethernet(&frame),
+            Err(ParseError::UnsupportedEtherType(0x0806))
+        );
     }
 
     #[test]

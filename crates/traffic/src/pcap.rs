@@ -128,7 +128,13 @@ impl<R: Read> PcapReader<R> {
         };
         let snaplen = u32_at(&hdr, 16).max(262_144); // tolerate 0 snaplens
         let linktype = u32_at(&hdr, 20);
-        Ok(Self { src, swapped, nanos, snaplen, linktype })
+        Ok(Self {
+            src,
+            swapped,
+            nanos,
+            snaplen,
+            linktype,
+        })
     }
 
     /// The capture's link type (1 = Ethernet).
@@ -180,8 +186,17 @@ impl<R: Read> PcapReader<R> {
         if let Err(e) = read_exact_or(&mut self.src, &mut data) {
             return Some(Err(e));
         }
-        let ts_nsec = if self.nanos { subsec } else { subsec.saturating_mul(1000) };
-        Some(Ok(PcapRecord { ts_sec, ts_nsec, orig_len, data }))
+        let ts_nsec = if self.nanos {
+            subsec
+        } else {
+            subsec.saturating_mul(1000)
+        };
+        Some(Ok(PcapRecord {
+            ts_sec,
+            ts_nsec,
+            orig_len,
+            data,
+        }))
     }
 
     /// Drains the stream into `(FiveTuple, wire_bytes)` pairs, counting
@@ -196,10 +211,12 @@ impl<R: Read> PcapReader<R> {
             let rec = rec?;
             match parse_ethernet(&rec.data) {
                 Ok(p) => flows.push((p.flow, rec.orig_len as u64)),
-                Err(ParseError::Truncated
-                | ParseError::UnsupportedEtherType(_)
-                | ParseError::BadIpVersion(_)
-                | ParseError::BadIhl(_)) => skipped += 1,
+                Err(
+                    ParseError::Truncated
+                    | ParseError::UnsupportedEtherType(_)
+                    | ParseError::BadIpVersion(_)
+                    | ParseError::BadIhl(_),
+                ) => skipped += 1,
             }
         }
         Ok(FlowCapture { flows, skipped })
@@ -251,7 +268,12 @@ impl<W: Write> PcapWriter<W> {
     }
 
     /// Appends one fully captured packet.
-    pub fn write_packet(&mut self, ts_sec: u32, ts_usec: u32, frame: &[u8]) -> Result<(), PcapError> {
+    pub fn write_packet(
+        &mut self,
+        ts_sec: u32,
+        ts_usec: u32,
+        frame: &[u8],
+    ) -> Result<(), PcapError> {
         self.sink.write_all(&ts_sec.to_le_bytes())?;
         self.sink.write_all(&ts_usec.to_le_bytes())?;
         self.sink.write_all(&(frame.len() as u32).to_le_bytes())?;
@@ -309,12 +331,19 @@ mod tests {
         let fts = flows(20);
         let frames: Vec<Vec<u8>> = fts.iter().map(|f| build_frame(f, 64)).collect();
         let buf = write_capture(&frames);
-        let cap = PcapReader::new(buf.as_slice()).unwrap().read_flows().unwrap();
+        let cap = PcapReader::new(buf.as_slice())
+            .unwrap()
+            .read_flows()
+            .unwrap();
         assert_eq!(cap.skipped, 0);
         let got: Vec<FiveTuple> = cap.flows.iter().map(|&(f, _)| f).collect();
         assert_eq!(got, fts);
         for &(f, bytes) in &cap.flows {
-            let overhead = if f.protocol == 6 { 14 + 20 + 20 } else { 14 + 20 + 8 };
+            let overhead = if f.protocol == 6 {
+                14 + 20 + 20
+            } else {
+                14 + 20 + 8
+            };
             assert_eq!(bytes as usize, overhead + 64);
         }
     }
@@ -328,7 +357,10 @@ mod tests {
         frames.push(arp);
         frames.push(vec![0u8; 5]);
         let buf = write_capture(&frames);
-        let cap = PcapReader::new(buf.as_slice()).unwrap().read_flows().unwrap();
+        let cap = PcapReader::new(buf.as_slice())
+            .unwrap()
+            .read_flows()
+            .unwrap();
         assert_eq!(cap.flows.len(), 3);
         assert_eq!(cap.skipped, 2);
     }

@@ -30,7 +30,10 @@ pub struct Trace<K> {
 impl<K> Trace<K> {
     /// Creates a trace from parts.
     pub fn new(name: impl Into<String>, packets: Vec<K>) -> Self {
-        Self { name: name.into(), packets }
+        Self {
+            name: name.into(),
+            packets,
+        }
     }
 
     /// Number of packets.
@@ -63,7 +66,7 @@ pub fn exact_zipf(n: u64, m: usize, skew: f64, seed: u64) -> Trace<u64> {
     let total: u64 = sizes.iter().sum();
     let mut packets = Vec::with_capacity(total as usize);
     for (i, &s) in sizes.iter().enumerate() {
-        packets.extend(std::iter::repeat(i as u64).take(s as usize));
+        packets.extend(std::iter::repeat_n(i as u64, s as usize));
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     packets.shuffle(&mut rng);
@@ -109,14 +112,18 @@ pub fn uniform(n: u64, m: usize, seed: u64) -> Trace<u64> {
 /// Exercises the paper's Section III-F "late-arriving elephant" weakness
 /// and the dynamic-expansion countermeasure. The elephant's ID is
 /// `u64::MAX` so tests can refer to it.
-pub fn late_elephant(mice_packets: u64, mice_flows: usize, elephant_size: u64, seed: u64) -> Trace<u64> {
+pub fn late_elephant(
+    mice_packets: u64,
+    mice_flows: usize,
+    elephant_size: u64,
+    seed: u64,
+) -> Trace<u64> {
     let mut trace = sampled_zipf(mice_packets, mice_flows, 0.8, seed);
     trace
         .packets
-        .extend(std::iter::repeat(u64::MAX).take(elephant_size as usize));
-    trace.name = format!(
-        "late-elephant(mice={mice_packets}x{mice_flows},elephant={elephant_size})"
-    );
+        .extend(std::iter::repeat_n(u64::MAX, elephant_size as usize));
+    trace.name =
+        format!("late-elephant(mice={mice_packets}x{mice_flows},elephant={elephant_size})");
     trace
 }
 
@@ -129,7 +136,7 @@ pub fn bursty(flows: usize, burst: usize, rounds: usize) -> Trace<u64> {
     let mut packets = Vec::with_capacity(flows * burst * rounds);
     for _ in 0..rounds {
         for f in 0..flows {
-            packets.extend(std::iter::repeat(f as u64).take(burst));
+            packets.extend(std::iter::repeat_n(f as u64, burst));
         }
     }
     Trace::new(format!("bursty(f={flows},b={burst},r={rounds})"), packets)

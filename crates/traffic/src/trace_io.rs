@@ -150,7 +150,10 @@ pub fn from_bytes<K: TraceRecord>(mut data: Bytes, name: &str) -> Result<Trace<K
     }
     let kind = data.get_u8();
     if kind != K::KIND {
-        return Err(TraceIoError::KindMismatch { stored: kind, requested: K::KIND });
+        return Err(TraceIoError::KindMismatch {
+            stored: kind,
+            requested: K::KIND,
+        });
     }
     let _reserved = data.get_u16_le();
     let count = data.get_u64_le() as usize;
@@ -165,13 +168,19 @@ pub fn from_bytes<K: TraceRecord>(mut data: Bytes, name: &str) -> Result<Trace<K
 }
 
 /// Writes a trace to any `Write` sink.
-pub fn write_trace<K: TraceRecord, W: Write>(trace: &Trace<K>, w: &mut W) -> Result<(), TraceIoError> {
+pub fn write_trace<K: TraceRecord, W: Write>(
+    trace: &Trace<K>,
+    w: &mut W,
+) -> Result<(), TraceIoError> {
     w.write_all(&to_bytes(trace))?;
     Ok(())
 }
 
 /// Reads a trace from any `Read` source.
-pub fn read_trace<K: TraceRecord, R: Read>(r: &mut R, name: &str) -> Result<Trace<K>, TraceIoError> {
+pub fn read_trace<K: TraceRecord, R: Read>(
+    r: &mut R,
+    name: &str,
+) -> Result<Trace<K>, TraceIoError> {
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
     from_bytes(Bytes::from(data), name)
@@ -221,7 +230,13 @@ mod tests {
         let t = Trace::new("t", vec![1u64]);
         let b = to_bytes(&t);
         let r: Result<Trace<u32>, _> = from_bytes(b, "t");
-        assert!(matches!(r.unwrap_err(), TraceIoError::KindMismatch { stored: 0, requested: 1 }));
+        assert!(matches!(
+            r.unwrap_err(),
+            TraceIoError::KindMismatch {
+                stored: 0,
+                requested: 1
+            }
+        ));
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
         assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
         let total: u64 = sizes.iter().sum();
         // Rounding and the 1-packet floor perturb the total slightly.
-        assert!((total as f64 - 100_000.0).abs() / 100_000.0 < 0.05, "total = {total}");
+        assert!(
+            (total as f64 - 100_000.0).abs() / 100_000.0 < 0.05,
+            "total = {total}"
+        );
     }
 
     #[test]
@@ -166,7 +169,9 @@ mod tests {
         let sizes = zipf_sizes(n, m, skew);
         let delta = zipf_delta(skew, m);
         for i in 1..=m {
-            let expect = (n as f64 / ((i as f64).powf(skew) * delta)).round().max(1.0) as u64;
+            let expect = (n as f64 / ((i as f64).powf(skew) * delta))
+                .round()
+                .max(1.0) as u64;
             assert_eq!(sizes[i - 1], expect);
         }
     }
@@ -184,9 +189,9 @@ mod tests {
         }
         let delta = zipf_delta(skew, m);
         // Compare empirical frequencies of the head flows to theory.
-        for i in 0..10 {
+        for (i, &count) in counts.iter().take(10).enumerate() {
             let expect = ((i + 1) as f64).powf(-skew) / delta;
-            let got = counts[i] as f64 / n as f64;
+            let got = count as f64 / n as f64;
             let rel = (got - expect).abs() / expect;
             assert!(rel < 0.05, "flow {i}: got {got:.5} expect {expect:.5}");
         }

@@ -20,8 +20,7 @@ fn main() {
     let victim_b = SrcDst::new([203, 0, 113, 9], [198, 51, 100, 11]);
 
     // 200k background packets over ~40k destination pairs.
-    let background = sampled_zipf(200_000, 40_000, 0.9, 3)
-        .map_keys(SrcDst::from_index);
+    let background = sampled_zipf(200_000, 40_000, 0.9, 3).map_keys(SrcDst::from_index);
 
     // The attack: 30k packets to two victims, interleaved into the
     // second half of the stream.
@@ -40,13 +39,20 @@ fn main() {
 
     // 16 KB monitor keyed by (src, dst); the Software Minimum version is
     // the accuracy-optimal choice for software deployments.
-    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(10).seed(5).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(16 * 1024)
+        .k(10)
+        .seed(5)
+        .build();
     let mut monitor = MinimumTopK::<SrcDst>::new(cfg);
     for pkt in &stream {
         monitor.insert(pkt);
     }
 
-    println!("top destinations by packet count ({} packets total):", stream.len());
+    println!(
+        "top destinations by packet count ({} packets total):",
+        stream.len()
+    );
     let mut found = 0;
     for (flow, est) in monitor.top_k() {
         let marker = if flow == victim_a || flow == victim_b {
@@ -57,10 +63,19 @@ fn main() {
         };
         println!(
             "  {}.{}.{}.{} -> {}.{}.{}.{}  ~{est} pkts{marker}",
-            flow.src_ip[0], flow.src_ip[1], flow.src_ip[2], flow.src_ip[3],
-            flow.dst_ip[0], flow.dst_ip[1], flow.dst_ip[2], flow.dst_ip[3],
+            flow.src_ip[0],
+            flow.src_ip[1],
+            flow.src_ip[2],
+            flow.src_ip[3],
+            flow.dst_ip[0],
+            flow.dst_ip[1],
+            flow.dst_ip[2],
+            flow.dst_ip[3],
         );
     }
     assert_eq!(found, 2, "both victims must surface in the top-k");
-    println!("\nboth attack flows detected with {} bytes of state", monitor.memory_bytes());
+    println!(
+        "\nboth attack flows detected with {} bytes of state",
+        monitor.memory_bytes()
+    );
 }

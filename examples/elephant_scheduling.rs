@@ -24,10 +24,13 @@ const K: usize = 16;
 fn main() {
     let trace = sampled_zipf(500_000, 100_000, 1.1, 11).map_keys(FiveTuple::from_index);
     let oracle = ExactCounter::from_packets(&trace.packets);
-    let true_elephants: HashSet<FiveTuple> =
-        oracle.top_k(K).into_iter().map(|(f, _)| f).collect();
+    let true_elephants: HashSet<FiveTuple> = oracle.top_k(K).into_iter().map(|(f, _)| f).collect();
 
-    let cfg = HkConfig::builder().memory_bytes(24 * 1024).k(K).seed(2).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(24 * 1024)
+        .k(K)
+        .seed(2)
+        .build();
     let mut hk = ParallelTopK::<FiveTuple>::new(cfg);
 
     let mut shaped_queue: HashSet<FiveTuple> = HashSet::new();

@@ -19,7 +19,11 @@ const ATTACK_FLOW: u64 = 2_000_002;
 const PKTS_PER_EPOCH: usize = 50_000;
 
 fn main() {
-    let cfg = HkConfig::builder().memory_bytes(24 * 1024).k(20).seed(17).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(24 * 1024)
+        .k(20)
+        .seed(17)
+        .build();
     // Flag changes of 2000+ packets per epoch (4% of epoch traffic).
     let mut det = HeavyChangeDetector::<u64>::new(cfg, 2000);
 

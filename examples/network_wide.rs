@@ -21,16 +21,21 @@ const BACKBONE_FLOW: u64 = u64::MAX; // crosses every switch
 fn main() {
     // All switches share one sketch configuration (and seed!) so their
     // sketches are merge-compatible at the collector.
-    let cfg = HkConfig::builder().memory_bytes(24 * 1024).k(10).seed(77).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(24 * 1024)
+        .k(10)
+        .seed(77)
+        .build();
 
-    let mut switches: Vec<ParallelTopK<u64>> =
-        (0..SWITCHES).map(|_| ParallelTopK::new(cfg.clone())).collect();
+    let mut switches: Vec<ParallelTopK<u64>> = (0..SWITCHES)
+        .map(|_| ParallelTopK::new(cfg.clone()))
+        .collect();
 
     // Each switch sees 100k local packets over its own flow population
     // (disjoint ranges), plus every 8th packet one backbone packet.
     for (s, sw) in switches.iter_mut().enumerate() {
-        let local = sampled_zipf(100_000, 20_000, 1.1, s as u64 + 1)
-            .map_keys(|i| (s as u64) << 32 | i);
+        let local =
+            sampled_zipf(100_000, 20_000, 1.1, s as u64 + 1).map_keys(|i| (s as u64) << 32 | i);
         for (n, pkt) in local.packets.iter().enumerate() {
             sw.insert(pkt);
             if n % 8 == 0 {
@@ -63,13 +68,20 @@ fn main() {
     println!("\nnetwork-wide top-10 (collector, Max rule):");
     let top = collector.top_k();
     for (i, (flow, est)) in top.iter().enumerate() {
-        let marker = if *flow == BACKBONE_FLOW { "  <-- backbone flow" } else { "" };
+        let marker = if *flow == BACKBONE_FLOW {
+            "  <-- backbone flow"
+        } else {
+            ""
+        };
         let origin = if *flow == BACKBONE_FLOW {
             "all switches".to_string()
         } else {
             format!("switch {}", flow >> 32)
         };
-        println!("  #{:<2} flow {flow:#018x} ({origin}) ~{est} pkts{marker}", i + 1);
+        println!(
+            "  #{:<2} flow {flow:#018x} ({origin}) ~{est} pkts{marker}",
+            i + 1
+        );
     }
 
     let backbone = top.iter().find(|(k, _)| *k == BACKBONE_FLOW);

@@ -29,20 +29,34 @@ fn main() {
     for (n, flow) in trace.packets.iter().enumerate() {
         let payload = if *flow == bulk_flow { 1400 } else { 64 };
         let frame = build_frame(flow, payload);
-        writer.write_packet(n as u32 / 1000, (n as u32 % 1000) * 1000, &frame).unwrap();
+        writer
+            .write_packet(n as u32 / 1000, (n as u32 % 1000) * 1000, &frame)
+            .unwrap();
     }
     writer.finish().unwrap();
-    println!("wrote {} bytes of pcap ({} frames)", capture.len(), trace.packets.len());
+    println!(
+        "wrote {} bytes of pcap ({} frames)",
+        capture.len(),
+        trace.packets.len()
+    );
 
     // --- Measurement side: parse frames back into flow IDs. -----------
     let cap = PcapReader::new(capture.as_slice())
         .expect("valid pcap header")
         .read_flows()
         .expect("valid records");
-    println!("parsed {} frames ({} skipped)", cap.flows.len(), cap.skipped);
+    println!(
+        "parsed {} frames ({} skipped)",
+        cap.flows.len(),
+        cap.skipped
+    );
     assert_eq!(cap.skipped, 0);
 
-    let cfg = HkConfig::builder().memory_bytes(20 * 1024).k(5).seed(3).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(20 * 1024)
+        .k(5)
+        .seed(3)
+        .build();
     let mut by_packets = MinimumTopK::<FiveTuple>::new(cfg);
     let mut by_bytes = WeightedTopK::<FiveTuple>::with_memory(20 * 1024, 5, 3);
     for &(flow, wire_bytes) in &cap.flows {
@@ -58,21 +72,36 @@ fn main() {
     println!("\ntop-5 by bytes:");
     let top_bytes = by_bytes.top_k();
     for (flow, est) in &top_bytes {
-        let marker = if *flow == bulk_flow { "  <-- bulk transfer" } else { "" };
+        let marker = if *flow == bulk_flow {
+            "  <-- bulk transfer"
+        } else {
+            ""
+        };
         println!("  {}  ~{est} bytes{marker}", fmt_flow(flow));
     }
 
     // The bulk flow's jumbo frames dominate the byte ranking even though
     // it is unremarkable by packet count.
-    assert_eq!(top_bytes[0].0, bulk_flow, "bytes ranking must surface the bulk flow");
+    assert_eq!(
+        top_bytes[0].0, bulk_flow,
+        "bytes ranking must surface the bulk flow"
+    );
     println!("\nbulk flow ranks #1 by bytes; packet ranking alone would have buried it");
 }
 
 fn fmt_flow(f: &FiveTuple) -> String {
     format!(
         "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
-        f.src_ip[0], f.src_ip[1], f.src_ip[2], f.src_ip[3], f.src_port,
-        f.dst_ip[0], f.dst_ip[1], f.dst_ip[2], f.dst_ip[3], f.dst_port,
+        f.src_ip[0],
+        f.src_ip[1],
+        f.src_ip[2],
+        f.src_ip[3],
+        f.src_port,
+        f.dst_ip[0],
+        f.dst_ip[1],
+        f.dst_ip[2],
+        f.dst_ip[3],
+        f.dst_port,
         f.protocol,
     )
 }

@@ -18,14 +18,21 @@ fn main() {
     // HeavyKeeper in its paper configuration: d = 2 arrays, 16-bit
     // fingerprints and counters, exponential decay with b = 1.08, and a
     // Stream-Summary tracking the top k = 10 flows. ~8 KB total.
-    let cfg = HkConfig::builder().memory_bytes(8 * 1024).k(10).seed(1).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(8 * 1024)
+        .k(10)
+        .seed(1)
+        .build();
     let mut hk = ParallelTopK::<u64>::new(cfg);
 
     for packet in &trace.packets {
         hk.insert(packet);
     }
 
-    println!("{:>8} {:>12} {:>12} {:>8}", "flow", "estimated", "true", "error");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "flow", "estimated", "true", "error"
+    );
     for (flow, estimate) in hk.top_k() {
         let truth = oracle.count(&flow);
         println!(
@@ -37,5 +44,9 @@ fn main() {
     let true_top: Vec<u64> = oracle.top_k(10).into_iter().map(|(f, _)| f).collect();
     let reported: Vec<u64> = hk.top_k().into_iter().map(|(f, _)| f).collect();
     let hits = reported.iter().filter(|f| true_top.contains(f)).count();
-    println!("\nprecision: {}/10  (memory: {} bytes)", hits, hk.memory_bytes());
+    println!(
+        "\nprecision: {}/10  (memory: {} bytes)",
+        hits,
+        hk.memory_bytes()
+    );
 }

@@ -19,12 +19,15 @@ const PERIODS: u64 = 6;
 const PKTS_PER_PERIOD: usize = 50_000;
 
 fn main() {
-    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(5).seed(41).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(16 * 1024)
+        .k(5)
+        .seed(41)
+        .build();
     let mut window = SlidingTopK::<u64>::new(cfg, 3); // last 3 periods
 
     for period in 0..PERIODS {
-        let background =
-            sampled_zipf(PKTS_PER_PERIOD as u64, 10_000, 1.0, period + 1).packets;
+        let background = sampled_zipf(PKTS_PER_PERIOD as u64, 10_000, 1.0, period + 1).packets;
         for (n, pkt) in background.iter().enumerate() {
             window.insert(pkt);
             // The steady flow sends ~2.5k pkts every period.
@@ -55,7 +58,11 @@ fn main() {
     }
 
     // After period 4 the burst (period 1) has slid out of the window.
-    assert_eq!(window.query(&BURST_FLOW), 0, "burst must expire with its epochs");
+    assert_eq!(
+        window.query(&BURST_FLOW),
+        0,
+        "burst must expire with its epochs"
+    );
     assert!(window.query(&STEADY_FLOW) > 0, "steady flow persists");
     println!("\nburst flow expired from the window; steady flow still ranked");
 }

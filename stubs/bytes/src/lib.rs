@@ -1,0 +1,244 @@
+//! Offline stand-in for the `bytes` crate: just enough of
+//! [`Bytes`] / [`BytesMut`] / [`Buf`] / [`BufMut`] for the trace I/O
+//! format. Cheap-clone semantics are preserved ([`Bytes`] shares one
+//! allocation), zero-copy split/advance semantics are simplified.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable, read-cursor view over immutable bytes.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Self::from(b.to_vec())
+    }
+
+    /// Bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of the current view (indices relative to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the view.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of range"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Reads one `u8`.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let src = self.take(dst.len());
+        dst.copy_from_slice(src);
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// A growable byte buffer (write side).
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one `u8`.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_slice(&[1, 2, 3]);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(1..5);
+        assert_eq!(s.as_ref(), &[1, 2, 3, 4]);
+        let s2 = s.slice(1..3);
+        assert_eq!(s2.as_ref(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.get_u16_le();
+    }
+}

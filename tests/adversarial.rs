@@ -9,7 +9,12 @@ use hk_traffic::synthetic::{all_distinct, bursty, uniform};
 use std::collections::HashMap;
 
 fn variant_cfg(width: usize, k: usize) -> HkConfig {
-    HkConfig::builder().arrays(2).width(width).k(k).seed(99).build()
+    HkConfig::builder()
+        .arrays(2)
+        .width(width)
+        .k(k)
+        .seed(99)
+        .build()
 }
 
 /// Runs a stream through all three variants, returning their top-k sets.
@@ -20,7 +25,11 @@ fn run_all(stream: &[u64], width: usize, k: usize) -> Vec<(&'static str, Vec<(u6
     basic.insert_all(stream);
     par.insert_all(stream);
     min.insert_all(stream);
-    vec![("basic", basic.top_k()), ("parallel", par.top_k()), ("minimum", min.top_k())]
+    vec![
+        ("basic", basic.top_k()),
+        ("parallel", par.top_k()),
+        ("minimum", min.top_k()),
+    ]
 }
 
 fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
@@ -36,7 +45,11 @@ fn all_distinct_traffic_degrades_gracefully() {
     // Every packet is a new flow: there are no elephants to find. The
     // sketch must stay consistent (no panic, estimates <= 1) and the
     // report must not invent large flows.
-    let cfg = HkConfig::builder().memory_bytes(4 * 1024).k(20).seed(1).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(4 * 1024)
+        .k(20)
+        .seed(1)
+        .build();
     let mut hk = ParallelTopK::<u64>::new(cfg);
     let trace = all_distinct(100_000);
     hk.insert_all(&trace.packets);
@@ -45,7 +58,10 @@ fn all_distinct_traffic_degrades_gracefully() {
     // (Theorem 2 is conditioned on no collision). The real claim is
     // graceful degradation: no invented elephants.
     for (_, est) in hk.top_k() {
-        assert!(est <= 8, "invented an elephant from singleton traffic: {est}");
+        assert!(
+            est <= 8,
+            "invented an elephant from singleton traffic: {est}"
+        );
     }
 }
 
@@ -53,7 +69,11 @@ fn all_distinct_traffic_degrades_gracefully() {
 fn uniform_traffic_reports_plausible_sizes() {
     // Uniform over 1000 flows x ~100 packets each: precision is
     // meaningless (all flows tie) but sizes must stay bounded by truth.
-    let cfg = HkConfig::builder().memory_bytes(8 * 1024).k(10).seed(2).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(8 * 1024)
+        .k(10)
+        .seed(2)
+        .build();
     let mut hk = MinimumTopK::<u64>::new(cfg);
     let trace = uniform(100_000, 1000, 7);
     let oracle = hk_traffic::oracle::ExactCounter::from_packets(&trace.packets);
@@ -89,10 +109,15 @@ fn late_elephant_blocked_without_expansion_found_with_it() {
     // few dozen giant flows that saturate all 2x16 buckets, not a mouse
     // swarm that churns at low counts.
     let mut trace = uniform(300_000, 48, 9);
-    trace.packets.extend(std::iter::repeat(u64::MAX).take(30_000));
+    trace.packets.extend(std::iter::repeat_n(u64::MAX, 30_000));
     let elephant = u64::MAX;
 
-    let fixed_cfg = HkConfig::builder().arrays(2).width(16).k(10).seed(11).build();
+    let fixed_cfg = HkConfig::builder()
+        .arrays(2)
+        .width(16)
+        .k(10)
+        .seed(11)
+        .build();
     let mut fixed = ParallelTopK::<u64>::new(fixed_cfg);
     fixed.insert_all(&trace.packets);
 
@@ -101,12 +126,19 @@ fn late_elephant_blocked_without_expansion_found_with_it() {
         .width(16)
         .k(10)
         .seed(11)
-        .expansion(ExpansionPolicy { large_counter: 100, blocked_threshold: 256, max_arrays: 8 })
+        .expansion(ExpansionPolicy {
+            large_counter: 100,
+            blocked_threshold: 256,
+            max_arrays: 8,
+        })
         .build();
     let mut expanding = ParallelTopK::<u64>::new(exp_cfg);
     expanding.insert_all(&trace.packets);
 
-    assert!(expanding.sketch().expansions() > 0, "expansion must trigger");
+    assert!(
+        expanding.sketch().expansions() > 0,
+        "expansion must trigger"
+    );
     let fixed_est = fixed.query(&elephant);
     let exp_est = expanding.query(&elephant);
     assert!(
@@ -175,7 +207,10 @@ fn established_elephants_survive_mouse_flood() {
     stream.extend(100_000..150_000u64);
     for (name, top) in run_all(&stream, 256, 5) {
         let hits = top.iter().filter(|(f, _)| *f < 5).count();
-        assert_eq!(hits, 5, "{name}: established elephants evicted, top = {top:?}");
+        assert_eq!(
+            hits, 5,
+            "{name}: established elephants evicted, top = {top:?}"
+        );
     }
 }
 
@@ -184,14 +219,18 @@ fn no_overestimation_on_any_adversarial_order() {
     // Three orderings of the same multiset; Theorem 2 must hold in all
     // of them, for every variant.
     let base: Vec<u64> = (0..5u64)
-        .flat_map(|e| std::iter::repeat(e).take(2000))
+        .flat_map(|e| std::iter::repeat_n(e, 2000))
         .chain(1000..4000)
         .collect();
     let mut sorted = base.clone();
     sorted.sort_unstable();
     let mut reversed = sorted.clone();
     reversed.reverse();
-    for (label, stream) in [("sorted", sorted), ("reversed", reversed), ("grouped", base)] {
+    for (label, stream) in [
+        ("sorted", sorted),
+        ("reversed", reversed),
+        ("grouped", base),
+    ] {
         let t = exact_counts(&stream);
         for (name, top) in run_all(&stream, 128, 8) {
             for (f, est) in top {
@@ -217,7 +256,10 @@ fn single_bucket_total_contention() {
     let t = exact_counts(&stream);
     for (name, top) in run_all(&stream, 1, 2) {
         for (f, est) in &top {
-            assert!(*est <= t[f], "{name}: over-estimation under total contention");
+            assert!(
+                *est <= t[f],
+                "{name}: over-estimation under total contention"
+            );
         }
         assert!(
             top.iter().any(|(f, _)| *f == 7),
@@ -228,7 +270,9 @@ fn single_bucket_total_contention() {
 
 #[test]
 fn k_larger_than_flow_population() {
-    let stream: Vec<u64> = (0..10u64).flat_map(|f| std::iter::repeat(f).take(100)).collect();
+    let stream: Vec<u64> = (0..10u64)
+        .flat_map(|f| std::iter::repeat_n(f, 100))
+        .collect();
     for (name, top) in run_all(&stream, 256, 50) {
         assert!(top.len() <= 10, "{name}: more reported flows than exist");
         for (_, est) in &top {
@@ -242,7 +286,8 @@ fn adversarial_key_patterns_hash_cleanly() {
     // Keys engineered to look degenerate (sequential, bit-shifted,
     // bit-reversed, strided) must not collapse the hash distribution:
     // an elephant in each pattern class is still found.
-    let patterns: Vec<(&str, fn(u64) -> u64)> = vec![
+    type KeyPattern = (&'static str, fn(u64) -> u64);
+    let patterns: Vec<KeyPattern> = vec![
         ("sequential", |i| i),
         ("shifted", |i| i << 32),
         ("bit-reversed", |i| i.reverse_bits()),

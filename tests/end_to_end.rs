@@ -21,8 +21,14 @@ fn all_three_variants_find_topk_with_modest_memory() {
     let k = 50;
     let mem = 16 * 1024;
     for (name, mut algo) in [
-        ("parallel", Box::new(ParallelTopK::<u64>::with_memory(mem, k, 5)) as Box<dyn TopKAlgorithm<u64>>),
-        ("minimum", Box::new(MinimumTopK::<u64>::with_memory(mem, k, 5))),
+        (
+            "parallel",
+            Box::new(ParallelTopK::<u64>::with_memory(mem, k, 5)) as Box<dyn TopKAlgorithm<u64>>,
+        ),
+        (
+            "minimum",
+            Box::new(MinimumTopK::<u64>::with_memory(mem, k, 5)),
+        ),
         ("basic", Box::new(BasicTopK::<u64>::with_memory(mem, k, 5))),
     ] {
         algo.insert_all(&packets);

@@ -22,11 +22,15 @@ fn pcap_pipeline_equivalent_to_direct_insertion() {
     let mut buf = Vec::new();
     let mut w = PcapWriter::new(&mut buf).expect("header");
     for (n, flow) in trace.packets.iter().enumerate() {
-        w.write_packet(n as u32, 0, &build_frame(flow, 16)).expect("record");
+        w.write_packet(n as u32, 0, &build_frame(flow, 16))
+            .expect("record");
     }
     w.finish().expect("flush");
 
-    let cap = PcapReader::new(buf.as_slice()).expect("header").read_flows().expect("records");
+    let cap = PcapReader::new(buf.as_slice())
+        .expect("header")
+        .read_flows()
+        .expect("records");
     assert_eq!(cap.skipped, 0);
 
     let mut direct = ParallelTopK::<FiveTuple>::with_memory(8 * 1024, 20, 9);
@@ -47,7 +51,11 @@ fn distributed_split_matches_single_sketch_accuracy_roughly() {
     let oracle = ExactCounter::from_packets(&trace.packets);
     let k = 50;
 
-    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(k).seed(5).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(16 * 1024)
+        .k(k)
+        .seed(5)
+        .build();
     let mut single = ParallelTopK::<FiveTuple>::new(cfg.clone());
     single.insert_all(&trace.packets);
 
@@ -58,12 +66,17 @@ fn distributed_split_matches_single_sketch_accuracy_roughly() {
     }
     let mut merged = switches.swap_remove(0);
     for sw in &switches {
-        merged.merge_from_with(sw, MergeMode::Sum).expect("compatible");
+        merged
+            .merge_from_with(sw, MergeMode::Sum)
+            .expect("compatible");
     }
 
     let single_prec = evaluate_topk(&single.top_k(), &oracle, k).precision;
     let merged_prec = evaluate_topk(&merged.top_k(), &oracle, k).precision;
-    assert!(single_prec >= 0.9, "single sketch baseline too weak: {single_prec}");
+    assert!(
+        single_prec >= 0.9,
+        "single sketch baseline too weak: {single_prec}"
+    );
     assert!(
         merged_prec >= single_prec - 0.25,
         "merge lost too much precision: {merged_prec} vs {single_prec}"
@@ -81,7 +94,11 @@ fn collector_max_rule_on_replicated_observation() {
     // multiply counts by the number of switches.
     let trace = campus_like(2000, 9); // 5k packets
     let oracle = ExactCounter::from_packets(&trace.packets);
-    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(20).seed(5).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(16 * 1024)
+        .k(20)
+        .seed(5)
+        .build();
 
     let mut collector = Collector::new(20, AggregationRule::Max);
     for _ in 0..3 {
@@ -102,7 +119,14 @@ fn weighted_ranking_differs_from_packet_ranking_when_sizes_skew() {
     // Same trace, two rankings: uniform packet sizes make them agree;
     // inverse sizes (small flows send big packets) make them diverge.
     let trace = campus_like(2000, 11);
-    let cfg = || HkConfig::builder().memory_bytes(16 * 1024).counter_bits(32).k(10).seed(3).build();
+    let cfg = || {
+        HkConfig::builder()
+            .memory_bytes(16 * 1024)
+            .counter_bits(32)
+            .k(10)
+            .seed(3)
+            .build()
+    };
 
     let mut by_pkts = ParallelTopK::<FiveTuple>::new(cfg());
     let mut by_bytes_uniform = WeightedTopK::<FiveTuple>::new(cfg());
@@ -111,9 +135,16 @@ fn weighted_ranking_differs_from_packet_ranking_when_sizes_skew() {
         by_bytes_uniform.insert_weighted(p, 1000);
     }
     let pk: Vec<FiveTuple> = by_pkts.top_k().into_iter().map(|(f, _)| f).collect();
-    let bu: Vec<FiveTuple> = by_bytes_uniform.top_k().into_iter().map(|(f, _)| f).collect();
+    let bu: Vec<FiveTuple> = by_bytes_uniform
+        .top_k()
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
     let overlap = pk.iter().filter(|f| bu.contains(f)).count();
-    assert!(overlap >= 8, "uniform weights must preserve the ranking: {overlap}/10");
+    assert!(
+        overlap >= 8,
+        "uniform weights must preserve the ranking: {overlap}/10"
+    );
 }
 
 #[test]
@@ -121,11 +152,15 @@ fn sliding_window_tracks_regime_change_on_presets() {
     // Epoch 1..3 use one seed (one flow population), epochs 4..6 a
     // disjoint one. After three rotations, the old population must be
     // gone from the window.
-    let cfg = HkConfig::builder().memory_bytes(16 * 1024).k(20).seed(13).build();
+    let cfg = HkConfig::builder()
+        .memory_bytes(16 * 1024)
+        .k(20)
+        .seed(13)
+        .build();
     let mut win = SlidingTopK::<u64>::new(cfg, 3);
     let old_pop = hk_traffic::synthetic::sampled_zipf(30_000, 5_000, 1.3, 1);
-    let new_pop = hk_traffic::synthetic::sampled_zipf(30_000, 5_000, 1.3, 2)
-        .map_keys(|f| f + 1_000_000);
+    let new_pop =
+        hk_traffic::synthetic::sampled_zipf(30_000, 5_000, 1.3, 2).map_keys(|f| f + 1_000_000);
     for chunk in old_pop.packets.chunks(10_000) {
         for p in chunk {
             win.insert(p);

@@ -13,14 +13,28 @@ fn tiny_trace() -> hk_traffic::synthetic::Trace<u64> {
 #[test]
 fn classic_memory_sweep_shape() {
     let trace = tiny_trace();
-    let s = sweep_memory("mini fig 4", &trace, &classic_suite(), &[2, 4, 8], 20, Metric::Precision);
+    let s = sweep_memory(
+        "mini fig 4",
+        &trace,
+        &classic_suite(),
+        &[2, 4, 8],
+        20,
+        Metric::Precision,
+    );
     assert_eq!(s.points.len(), 3);
     for p in &s.points {
         assert_eq!(p.values.len(), 5);
     }
     // HK precision must be monotone-ish: the 8 KB point is at least the
     // 2 KB point.
-    let hk_at = |i: usize| s.points[i].values.iter().find(|(n, _)| n == "HK").unwrap().1;
+    let hk_at = |i: usize| {
+        s.points[i]
+            .values
+            .iter()
+            .find(|(n, _)| n == "HK")
+            .unwrap()
+            .1
+    };
     assert!(hk_at(2) >= hk_at(0) - 0.05);
     // Table renders with a row per tick.
     let table = s.to_table();
@@ -30,7 +44,14 @@ fn classic_memory_sweep_shape() {
 #[test]
 fn recent_suite_sweep_runs() {
     let trace = tiny_trace();
-    let s = sweep_memory("mini fig 20", &trace, &recent_suite(), &[4, 8], 20, Metric::Log10Are);
+    let s = sweep_memory(
+        "mini fig 20",
+        &trace,
+        &recent_suite(),
+        &[4, 8],
+        20,
+        Metric::Log10Are,
+    );
     assert_eq!(s.points.len(), 2);
     for p in &s.points {
         assert_eq!(p.values.len(), 4);
@@ -43,7 +64,14 @@ fn recent_suite_sweep_runs() {
 #[test]
 fn versions_k_sweep_runs() {
     let trace = tiny_trace();
-    let s = sweep_k("mini fig 26", &trace, &versions_suite(), 8, &[10, 20], Metric::Precision);
+    let s = sweep_k(
+        "mini fig 26",
+        &trace,
+        &versions_suite(),
+        8,
+        &[10, 20],
+        Metric::Precision,
+    );
     assert_eq!(s.points.len(), 2);
     for p in &s.points {
         assert_eq!(p.values.len(), 3);
@@ -58,7 +86,14 @@ fn hk_dominates_in_mini_figure4() {
     // The mini figure must already show the paper's ordering at the
     // tight end: HK at or above every baseline.
     let trace = exact_zipf(100_000, 20_000, 1.0, 29);
-    let s = sweep_memory("mini fig 4 tight", &trace, &classic_suite(), &[1], 20, Metric::Precision);
+    let s = sweep_memory(
+        "mini fig 4 tight",
+        &trace,
+        &classic_suite(),
+        &[1],
+        20,
+        Metric::Precision,
+    );
     let row = &s.points[0].values;
     let get = |n: &str| row.iter().find(|(name, _)| name == n).unwrap().1;
     for other in ["SS", "LC", "CSS", "CM"] {

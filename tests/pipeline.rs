@@ -72,7 +72,9 @@ fn ovs_baseline_faster_or_equal_to_instrumented() {
         (0..3)
             .map(|_| {
                 let a = algo.then(|| ParallelTopK::<FiveTuple>::with_memory(50 * 1024, 100, 1));
-                run_deployment(&trace.packets, a, 4096, RingMode::Backpressure).0.mps
+                run_deployment(&trace.packets, a, 4096, RingMode::Backpressure)
+                    .0
+                    .mps
             })
             .fold(0.0, f64::max)
     };

@@ -153,7 +153,11 @@ fn theorem1_admissions_enter_at_nmin_plus_one() {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
-        let f = if state % 2 == 0 { (state >> 1) % 12 } else { 100 + state % 3000 };
+        let f = if state.is_multiple_of(2) {
+            (state >> 1) % 12
+        } else {
+            100 + state % 3000
+        };
         hk.insert(&f);
         if i % 997 == 0 {
             // Spot-check monotone structure of the report.
