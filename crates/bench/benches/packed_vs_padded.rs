@@ -1,0 +1,150 @@
+//! The layout bench: packed single-word buckets vs the pre-refactor
+//! padded layout, plus the `BENCH_layout.json` snapshot.
+//!
+//! Two measurements:
+//!
+//! * **criterion group** — raw Section III-B basic insertion driven
+//!   against (a) the real [`HkSketch`] (one contiguous, 64-byte-aligned
+//!   matrix of packed `u64` words, 8 buckets per cache line) and (b) an
+//!   in-bench replica of the old layout (`Vec<Vec<{fp: u32, count: u64}>>`,
+//!   16 bytes per bucket behind a double indirection). Both consume
+//!   randomness through the same primitives in the same order, so they
+//!   do identical algorithmic work and differ only in memory layout.
+//! * **snapshot pass** — scalar/batched/sharded Mpps of the Parallel
+//!   variant on the `BENCH_ingest.json` workload, written to
+//!   `BENCH_layout.json` next to the pre-refactor numbers measured on
+//!   the same machine in the same session (see the `before` block).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use heavykeeper::decay::DecayTable;
+use heavykeeper::{HkConfig, HkSketch, ParallelTopK, ShardedEngine};
+use hk_common::prng::XorShift64;
+use hk_metrics::throughput::{measure_mps_with, IngestMode};
+use hk_traffic::synthetic::sampled_zipf;
+
+const MEM: usize = 32 * 1024 * 1024;
+const K: usize = 100;
+const BATCH: usize = 8192;
+const SHARDS: usize = 4;
+
+/// The pre-refactor storage: padded 16-byte buckets, one `Vec` per
+/// array. Insertion is the same three-case basic rule as
+/// [`HkSketch::insert_basic`], consuming the RNG identically.
+struct PaddedSketch {
+    arrays: Vec<Vec<(u32, u64)>>,
+    table: DecayTable,
+    rng: XorShift64,
+    spec: hk_common::prepared::HashSpec,
+    counter_max: u64,
+    width: usize,
+}
+
+impl PaddedSketch {
+    fn new(cfg: &HkConfig) -> Self {
+        Self {
+            arrays: vec![vec![(0u32, 0u64); cfg.width]; cfg.arrays],
+            table: DecayTable::new(cfg.decay),
+            rng: XorShift64::new(cfg.seed ^ 0xDECA_F00D),
+            spec: hk_common::prepared::HashSpec::new(cfg.seed, cfg.fingerprint_bits),
+            counter_max: cfg.counter_max(),
+            width: cfg.width,
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        let p = self.spec.prepare(&key.to_le_bytes());
+        for j in 0..self.arrays.len() {
+            let i = p.slot(j, self.width);
+            let (fp, count) = self.arrays[j][i];
+            if count == 0 {
+                self.arrays[j][i] = (p.fp, 1);
+            } else if fp == p.fp {
+                if count < self.counter_max {
+                    self.arrays[j][i].1 = count + 1;
+                }
+            } else {
+                let t = self.table.threshold(count);
+                if t != 0 && self.rng.next_u64_raw() < t {
+                    if count == 1 {
+                        self.arrays[j][i] = (p.fp, 1);
+                    } else {
+                        self.arrays[j][i].1 = count - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn cfg() -> HkConfig {
+    HkConfig::builder().memory_bytes(MEM).k(K).seed(1).build()
+}
+
+fn workload() -> Vec<u64> {
+    sampled_zipf(4_000_000, 2_000_000, 0.8, 1).packets
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let packets = workload();
+    let mut g = c.benchmark_group("packed_vs_padded");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(packets.len() as u64));
+
+    g.bench_function("packed", |b| {
+        b.iter(|| {
+            let mut sk = HkSketch::new(&cfg());
+            for p in &packets {
+                sk.insert_basic(&p.to_le_bytes());
+            }
+            sk.occupancy()
+        })
+    });
+    g.bench_function("padded", |b| {
+        b.iter(|| {
+            let mut sk = PaddedSketch::new(&cfg());
+            for p in &packets {
+                sk.insert(*p);
+            }
+            std::hint::black_box(sk.arrays[0][0].1)
+        })
+    });
+    g.finish();
+
+    // Snapshot pass: after-numbers for BENCH_layout.json.
+    let scalar = measure_mps_with(
+        || ParallelTopK::<u64>::new(cfg()),
+        &packets,
+        2,
+        IngestMode::Scalar,
+    );
+    let batched = measure_mps_with(
+        || ParallelTopK::<u64>::new(cfg()),
+        &packets,
+        2,
+        IngestMode::Batched(BATCH),
+    );
+    let sharded = measure_mps_with(
+        || ShardedEngine::parallel(&cfg(), SHARDS),
+        &packets,
+        2,
+        IngestMode::Batched(BATCH),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"packed_vs_padded\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"algo\": \"HK-Parallel\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"shards\": {SHARDS},\n  \"runtime_bucket_bytes\": {{ \"before\": 16, \"after\": 8 }},\n  \"before\": {{ \"layout\": \"padded Vec<Array> (commit e0b7fc7, same machine, adjacent run)\", \"scalar_mps\": 10.65, \"batched_mps\": 17.01, \"sharded_mps\": 25.04 }},\n  \"after\": {{ \"layout\": \"packed 64B-aligned matrix\", \"scalar_mps\": {:.3}, \"batched_mps\": {:.3}, \"sharded_mps\": {:.3} }},\n  \"note\": \"before/after measured on the same (shared, drift-prone) VM; the seed BENCH_ingest.json snapshot (20.5 Mpps batched) came from a different machine\"\n}}\n",
+        scalar.mps_best, batched.mps_best, sharded.mps_best,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_layout.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_layouts
+}
+criterion_main!(benches);

@@ -29,7 +29,11 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// Parsed command line: one subcommand plus `--flag value` options.
+/// Flags that take no value (presence means `true`).
+const BOOL_FLAGS: &[&str] = &["layout-report"];
+
+/// Parsed command line: one subcommand plus `--flag value` options and
+/// valueless boolean switches ([`BOOL_FLAGS`]).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (`generate`, `analyze`, `compare`, `help`).
@@ -52,12 +56,21 @@ impl Args {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("expected `--flag`, got `{flag}`")));
             };
+            if BOOL_FLAGS.contains(&name) {
+                args.flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(CliError::Usage(format!("flag `--{name}` needs a value")));
             };
             args.flags.insert(name.to_string(), value.clone());
         }
         Ok(args)
+    }
+
+    /// True if a boolean switch was given.
+    pub fn is_set(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// A string flag with a default.
@@ -105,6 +118,17 @@ mod tests {
         let a = Args::parse(&sv(&["analyze"])).unwrap();
         assert_eq!(a.get_or("algo", "parallel"), "parallel");
         assert_eq!(a.num_or::<usize>("k", 100).unwrap(), 100);
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse(&sv(&["run", "--layout-report", "--k", "5"])).unwrap();
+        assert!(a.is_set("layout-report"));
+        assert_eq!(a.num_or::<usize>("k", 1).unwrap(), 5);
+        // Also fine in last position.
+        let a = Args::parse(&sv(&["run", "--k", "5", "--layout-report"])).unwrap();
+        assert!(a.is_set("layout-report"));
+        assert!(!a.is_set("verbose"));
     }
 
     #[test]

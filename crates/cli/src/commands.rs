@@ -22,7 +22,7 @@ USAGE:
   hk generate --out FILE [--kind zipf|exact-zipf|uniform|all-distinct]
               [--packets N] [--flows M] [--skew S] [--seed X]
   hk run      --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
-              [--batch N] [--shards S]
+              [--batch N] [--shards S] [--layout-report]
   hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
   hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
   hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
@@ -97,6 +97,28 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
     }
     if shards == 0 {
         return Err(CliError::Usage("--shards must be positive".into()));
+    }
+
+    if args.is_set("layout-report") {
+        if matches!(algo_name, "parallel" | "minimum" | "basic") {
+            // Mirror of the HK variants' `with_memory` split (k·(ID+4)
+            // bytes of top-k store, remainder to the sketch) — computed
+            // from the config alone, no throwaway matrix allocation.
+            use heavykeeper::sketch::LayoutReport;
+            use hk_common::key::FlowKey;
+            let store_bytes = k * (<u64 as FlowKey>::ENCODED_LEN + 4);
+            let cfg = heavykeeper::HkConfig::builder()
+                .memory_bytes((mem / shards).saturating_sub(store_bytes).max(8))
+                .k(k)
+                .seed(seed)
+                .build();
+            if shards > 1 {
+                println!("layout (per shard, {shards} shards):");
+            }
+            println!("{}", LayoutReport::for_config(&cfg));
+        } else {
+            println!("--layout-report: algorithm `{algo_name}` has no HK bucket matrix");
+        }
     }
 
     let mut algo: Box<dyn TopKAlgorithm<u64>> = if shards > 1 {
@@ -531,6 +553,35 @@ mod tests {
             "10",
             "--shards",
             "3",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // Layout report rides along for HK variants and degrades
+        // gracefully for baselines.
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--layout-report",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--algo",
+            "space-saving",
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--layout-report",
         ]))
         .unwrap();
         run_stream(&run).unwrap();

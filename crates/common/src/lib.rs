@@ -40,7 +40,7 @@ pub use counters::SaturatingCounter;
 pub use fingerprint::fingerprint_of;
 pub use hash::{HashFamily, SeededHasher};
 pub use key::{FlowKey, KeyBytes};
-pub use prepared::{prepare_key, HashSpec, PreparedKey};
+pub use prepared::{prepare_key, HashSpec, KeySlots, PreparedBatch, PreparedKey, SlottedKey};
 pub use prng::XorShift64;
 pub use stream_summary::StreamSummary;
 pub use topk::MinHeapTopK;

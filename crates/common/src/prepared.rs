@@ -18,6 +18,15 @@
 //!   prepared keys comparable, with [`HashSpec::prepare_batch`] filling
 //!   a reusable scratch buffer for a whole batch at once (the prolog of
 //!   [`crate::algorithm::TopKAlgorithm::insert_batch`]).
+//! * [`PreparedBatch`] — the batch scratch: prepared keys *plus a flat
+//!   table of their per-array bucket indices*. The batch pipeline
+//!   derives each slot exactly once in the prolog; the touch pass, the
+//!   insert pass, and the post-insert query all read the cached index
+//!   (via zero-copy [`SlottedKey`] views) instead of redoing the
+//!   multiply-shift per array per pass. [`KeySlots`] abstracts over
+//!   "computes slots on demand" ([`PreparedKey`]) and "has them
+//!   cached" ([`SlottedKey`]) so one generic insert body serves both
+//!   the scalar and the batched path.
 //!
 //! Splitting "hash the batch" from "walk the buckets" is what the
 //! batch-first pipeline buys: the hash loop is branch-free and
@@ -54,6 +63,160 @@ impl PreparedKey {
     pub fn lane(&self) -> u32 {
         let x = ((self.h1 as u64) << 32 | self.h2 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (x >> 32) as u32
+    }
+}
+
+/// Anything that can name the bucket index a key maps to in array `j`.
+///
+/// Implemented by [`PreparedKey`] (derives the slot with a
+/// multiply-shift on every call) and [`SlottedKey`] (reads the index
+/// cached by a [`PreparedBatch`] prolog). Insert/query bodies generic
+/// over this trait compile to the same machine code for the scalar
+/// path and to straight gathers for the batched path.
+pub trait KeySlots {
+    /// The underlying prepared key (fingerprint + index bases).
+    fn key(&self) -> &PreparedKey;
+
+    /// The bucket index for array `j` in an array of `width` buckets.
+    /// Must equal `self.key().slot(j, width)`.
+    fn slot(&self, j: usize, width: usize) -> usize;
+}
+
+impl KeySlots for PreparedKey {
+    #[inline]
+    fn key(&self) -> &PreparedKey {
+        self
+    }
+
+    #[inline]
+    fn slot(&self, j: usize, width: usize) -> usize {
+        PreparedKey::slot(self, j, width)
+    }
+}
+
+/// A borrowed view of one [`PreparedBatch`] entry: the prepared key
+/// plus its cached per-array bucket indices.
+///
+/// The cached indices are only meaningful for the `(arrays, width)`
+/// geometry the batch was prepared for; arrays beyond the cache
+/// (Section III-F expansion mid-batch) fall back to on-demand
+/// derivation, which stays correct because the cache stores exactly
+/// what [`PreparedKey::slot`] would return.
+#[derive(Debug, Clone, Copy)]
+pub struct SlottedKey<'a> {
+    key: &'a PreparedKey,
+    slots: &'a [u32],
+}
+
+impl KeySlots for SlottedKey<'_> {
+    #[inline]
+    fn key(&self) -> &PreparedKey {
+        self.key
+    }
+
+    #[inline]
+    fn slot(&self, j: usize, width: usize) -> usize {
+        if let Some(&s) = self.slots.get(j) {
+            debug_assert_eq!(s as usize, self.key.slot(j, width));
+            s as usize
+        } else {
+            self.key.slot(j, width)
+        }
+    }
+}
+
+/// The batch-prolog scratch: prepared keys plus a flat table of their
+/// per-array bucket indices, in structure-of-arrays form.
+///
+/// The prolog derives every slot exactly once; the touch pass, the
+/// insert pass, and the post-insert query read the cached index via
+/// [`PreparedBatch::entry`] instead of redoing the multiply-shift per
+/// array per pass. Keeping the keys and the `u32` slot table in
+/// separate flat vectors keeps the per-key footprint at
+/// `12 + 4·d` bytes and both streams sequential.
+#[derive(Debug, Clone, Default)]
+pub struct PreparedBatch {
+    keys: Vec<PreparedKey>,
+    slots: Vec<u32>,
+    arrays: usize,
+}
+
+impl PreparedBatch {
+    /// An empty scratch; [`PreparedBatch::prepare`] fills it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prehashes `keys` under `spec` and caches each key's bucket index
+    /// for every one of `arrays` rows of a `width`-bucket sketch.
+    /// Clears previous contents; steady-state batches allocate nothing.
+    pub fn prepare<K: FlowKey>(
+        &mut self,
+        spec: &HashSpec,
+        keys: &[K],
+        arrays: usize,
+        width: usize,
+    ) {
+        // Hard assert (once per batch, not per key): slots are cached as
+        // `u32`, so a wider row would silently truncate in release
+        // builds and break the insert == insert_batch contract.
+        assert!(
+            width as u64 <= u32::MAX as u64 + 1,
+            "width exceeds the u32 slot-cache range"
+        );
+        spec.prepare_batch(keys, &mut self.keys);
+        self.arrays = arrays;
+        // Size once, then write through the slice: the fill loop is
+        // branch-free (no per-push capacity checks).
+        self.slots.clear();
+        self.slots.resize(self.keys.len() * arrays, 0);
+        for (p, out) in self
+            .keys
+            .iter()
+            .zip(self.slots.chunks_exact_mut(arrays.max(1)))
+        {
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = p.slot(j, width) as u32;
+            }
+        }
+    }
+
+    /// Number of prepared entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no entries are prepared.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// How many arrays each entry caches a slot for.
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// The `idx`-th entry as a zero-copy [`SlottedKey`] view.
+    #[inline]
+    pub fn entry(&self, idx: usize) -> SlottedKey<'_> {
+        SlottedKey {
+            key: &self.keys[idx],
+            slots: &self.slots[idx * self.arrays..(idx + 1) * self.arrays],
+        }
+    }
+
+    /// The prepared keys (index bases + fingerprints), batch order.
+    #[inline]
+    pub fn keys(&self) -> &[PreparedKey] {
+        &self.keys
+    }
+
+    /// The flat slot table for a range of entries (`arrays` consecutive
+    /// `u32` indices per entry) — the touch pass gathers straight over
+    /// this.
+    #[inline]
+    pub fn slots_range(&self, range: std::ops::Range<usize>) -> &[u32] {
+        &self.slots[range.start * self.arrays..range.end * self.arrays]
     }
 }
 
@@ -157,6 +320,40 @@ mod tests {
         // Reuse must clear.
         spec.prepare_batch(&keys[..10], &mut batch);
         assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn slotted_batch_matches_on_demand_slots() {
+        let spec = HashSpec::new(42, 16);
+        let keys: Vec<u64> = (0..500).collect();
+        let (arrays, width) = (3usize, 1024usize);
+        let mut batch = PreparedBatch::new();
+        batch.prepare(&spec, &keys, arrays, width);
+        assert_eq!(batch.len(), keys.len());
+        assert_eq!(batch.arrays(), arrays);
+        for (idx, k) in keys.iter().enumerate() {
+            let p = spec.prepare(k.key_bytes().as_slice());
+            let e = batch.entry(idx);
+            assert_eq!(*e.key(), p);
+            // Cached arrays and fallback arrays (past the prepared
+            // geometry, e.g. after expansion) both agree with the
+            // on-demand derivation.
+            for j in 0..8 {
+                assert_eq!(e.slot(j, width), p.slot(j, width));
+            }
+        }
+        // Reuse must clear.
+        batch.prepare(&spec, &keys[..10], arrays, width);
+        assert_eq!(batch.len(), 10);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn prepared_key_is_its_own_slot_source() {
+        let spec = HashSpec::new(5, 16);
+        let p = spec.prepare(&3u64.to_le_bytes());
+        assert_eq!(KeySlots::key(&p), &p);
+        assert_eq!(KeySlots::slot(&p, 1, 64), p.slot(1, 64));
     }
 
     #[test]

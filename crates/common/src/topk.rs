@@ -173,10 +173,11 @@ impl<K: Eq + Hash + Clone> MinHeapTopK<K> {
             self.sift_up(i);
             return None;
         }
-        // Evict the root (minimum) and insert there.
-        let (evicted_count, evicted_key) = self.heap[0].clone();
+        // Evict the root (minimum) by swapping the newcomer in: the old
+        // root moves out of the heap without being cloned.
+        let (evicted_count, evicted_key) =
+            std::mem::replace(&mut self.heap[0], (count, key.clone()));
         self.pos.remove(&evicted_key);
-        self.heap[0] = (count, key.clone());
         self.pos.insert(key, 0);
         self.sift_down(0);
         Some((evicted_key, evicted_count))

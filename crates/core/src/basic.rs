@@ -15,7 +15,7 @@ use crate::sketch::{HkSketch, PreparedKey};
 use crate::store::TopKStore;
 use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
-use hk_common::prepared::HashSpec;
+use hk_common::prepared::{HashSpec, KeySlots, PreparedBatch};
 
 /// Basic HeavyKeeper + min-heap (Section III-C).
 ///
@@ -35,8 +35,8 @@ pub struct BasicTopK<K: FlowKey> {
     sketch: HkSketch,
     store: TopKStore<K>,
     cfg: HkConfig,
-    /// Reusable batch-prolog buffer of prepared keys.
-    scratch: Vec<PreparedKey>,
+    /// Reusable batch-prolog scratch of prepared keys + cached slots.
+    scratch: PreparedBatch,
 }
 
 impl<K: FlowKey> BasicTopK<K> {
@@ -46,7 +46,7 @@ impl<K: FlowKey> BasicTopK<K> {
             sketch: HkSketch::new(&cfg),
             store: TopKStore::new(cfg.store, cfg.k),
             cfg,
-            scratch: Vec::new(),
+            scratch: PreparedBatch::new(),
         }
     }
 
@@ -80,6 +80,22 @@ impl<K: FlowKey> BasicTopK<K> {
     pub fn reset(&mut self) {
         self.sketch.reset();
         self.store = TopKStore::new(self.cfg.store, self.cfg.k);
+    }
+
+    /// The insert body, generic over how bucket slots are obtained (on
+    /// demand for the scalar path, cached for the batched path).
+    fn insert_keyed<S: KeySlots>(&mut self, key: &K, s: &S) {
+        self.sketch.insert_basic_keyed(s);
+        let estimate = self.sketch.query_keyed(s);
+        if self.store.contains(key) {
+            self.store.update_max(key, estimate);
+        } else if estimate > self.store.nmin() {
+            // nmin() is 0 while the store is not full, so early flows with
+            // any positive estimate are admitted, as in the paper.
+            if estimate > 0 {
+                self.store.admit(key.clone(), estimate);
+            }
+        }
     }
 }
 
@@ -121,17 +137,7 @@ impl<K: FlowKey> PreparedInsert<K> for BasicTopK<K> {
     }
 
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
-        self.sketch.insert_basic_prepared(p);
-        let estimate = self.sketch.query_prepared(p);
-        if self.store.contains(key) {
-            self.store.update_max(key, estimate);
-        } else if estimate > self.store.nmin() {
-            // nmin() is 0 while the store is not full, so early flows with
-            // any positive estimate are admitted, as in the paper.
-            if estimate > 0 {
-                self.store.admit(key.clone(), estimate);
-            }
-        }
+        self.insert_keyed(key, p);
     }
 }
 

@@ -211,7 +211,8 @@ impl HkConfigBuilder {
     ///
     /// Panics if the parameters are degenerate (zero arrays/width/k, a
     /// memory budget too small for one bucket per array, fingerprint or
-    /// counter widths out of range).
+    /// counter widths out of range, or combined field widths that do
+    /// not fit the packed 64-bit bucket word).
     pub fn build(self) -> HkConfig {
         assert!(self.arrays > 0, "need at least one array");
         assert!(self.k > 0, "k must be positive");
@@ -222,6 +223,10 @@ impl HkConfigBuilder {
         assert!(
             self.counter_bits > 0 && self.counter_bits < 64,
             "counter width must be in 1..=63"
+        );
+        assert!(
+            self.fingerprint_bits + self.counter_bits <= 64,
+            "fingerprint + counter bits must fit one packed 64-bit bucket"
         );
         let bucket_bytes =
             (self.fingerprint_bits as usize + self.counter_bits as usize).div_ceil(8);
@@ -299,6 +304,27 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         HkConfig::builder().k(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "fit one packed 64-bit bucket")]
+    fn oversized_combined_widths_rejected() {
+        // Each width is individually legal but together they exceed the
+        // packed bucket word.
+        HkConfig::builder()
+            .fingerprint_bits(32)
+            .counter_bits(40)
+            .build();
+    }
+
+    #[test]
+    fn maximal_combined_widths_accepted() {
+        let cfg = HkConfig::builder()
+            .fingerprint_bits(1)
+            .counter_bits(63)
+            .width(4)
+            .build();
+        assert_eq!(cfg.counter_max(), (1u64 << 63) - 1);
     }
 
     #[test]

@@ -132,14 +132,18 @@ impl HkSketch {
         check_compatible(self, other)?;
         let max = self.counter_max();
         for j in 0..self.arrays() {
-            for i in 0..self.width() {
-                let theirs = *other.bucket(j, i);
+            // Walk the other side's packed row view; each merged bucket
+            // is one read-compute-write on our matrix.
+            let layout = other.matrix().layout();
+            let row = other.matrix().row(j);
+            for (i, &word) in row.iter().enumerate() {
+                let theirs = layout.unpack(word);
                 if theirs.is_empty() {
                     continue;
                 }
-                let ours = self.bucket_mut(j, i);
+                let mut ours = self.bucket(j, i);
                 if ours.is_empty() {
-                    *ours = theirs;
+                    ours = theirs;
                 } else if ours.fp == theirs.fp {
                     ours.count = match mode {
                         MergeMode::Sum => (ours.count + theirs.count).min(max),
@@ -163,11 +167,12 @@ impl HkSketch {
                         }
                         MergeMode::Max => {
                             if theirs.count > ours.count {
-                                *ours = theirs;
+                                ours = theirs;
                             }
                         }
                     }
                 }
+                self.set_bucket(j, i, ours);
             }
         }
         Ok(())
@@ -422,7 +427,7 @@ mod tests {
             b.insert_basic(&2u64.to_le_bytes());
         }
         a.merge_from(&b).unwrap();
-        let bucket = *a.bucket(0, 0);
+        let bucket = a.bucket(0, 0);
         assert!(!bucket.is_empty(), "tie must not empty a held bucket");
         assert_eq!(bucket.count, 1);
         assert_eq!(a.query(&1u64.to_le_bytes()), 1, "tie keeps the incumbent");

@@ -22,7 +22,7 @@ use crate::stats::InsertStats;
 use crate::store::TopKStore;
 use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
-use hk_common::prepared::HashSpec;
+use hk_common::prepared::{HashSpec, KeySlots, PreparedBatch};
 
 /// Software Minimum HeavyKeeper (Algorithm 2).
 ///
@@ -45,9 +45,8 @@ pub struct MinimumTopK<K: FlowKey> {
     sketch: HkSketch,
     store: TopKStore<K>,
     cfg: HkConfig,
-    stats: InsertStats,
-    /// Reusable batch-prolog buffer of prepared keys.
-    scratch: Vec<PreparedKey>,
+    /// Reusable batch-prolog scratch of prepared keys + cached slots.
+    scratch: PreparedBatch,
 }
 
 impl<K: FlowKey> MinimumTopK<K> {
@@ -57,8 +56,7 @@ impl<K: FlowKey> MinimumTopK<K> {
             sketch: HkSketch::new(&cfg),
             store: TopKStore::new(cfg.store, cfg.k),
             cfg,
-            stats: InsertStats::default(),
-            scratch: Vec::new(),
+            scratch: PreparedBatch::new(),
         }
     }
 
@@ -103,7 +101,7 @@ impl<K: FlowKey> MinimumTopK<K> {
 
     /// Insertion-outcome counters since construction or [`reset`](Self::reset).
     pub fn stats(&self) -> &InsertStats {
-        &self.stats
+        self.sketch.stats()
     }
 
     /// Clears all measurement state for a new epoch, keeping the
@@ -112,7 +110,38 @@ impl<K: FlowKey> MinimumTopK<K> {
     pub fn reset(&mut self) {
         self.sketch.reset();
         self.store = TopKStore::new(self.cfg.store, self.cfg.k);
-        self.stats = InsertStats::default();
+    }
+
+    /// The insert body (Algorithm 2), generic over how bucket slots are
+    /// obtained (on demand for the scalar path, cached for the batched
+    /// path).
+    fn insert_keyed<S: KeySlots>(&mut self, key: &K, s: &S) {
+        // Step 1: monitored flag and admission threshold.
+        let flag = self.store.contains(key);
+        let nmin = self.store.nmin();
+
+        // Steps 2-4: the at-most-one-bucket walk
+        // ([`HkSketch::walk_minimum`]).
+        let (heavy_v, blocked) = self.sketch.walk_minimum(s, flag, nmin);
+        if blocked {
+            self.sketch.stats_mut().blocked += 1;
+            self.sketch.note_blocked();
+        }
+
+        // Step 5: top-k store update (same rule as the Parallel version).
+        if flag {
+            self.store.update_max(key, heavy_v);
+        } else if !self.store.is_full() {
+            if heavy_v > 0 {
+                self.store.admit(key.clone(), heavy_v);
+                self.sketch.stats_mut().admissions += 1;
+            }
+        } else if heavy_v == nmin + 1 {
+            self.store.admit(key.clone(), heavy_v);
+            self.sketch.stats_mut().admissions += 1;
+        } else if heavy_v > nmin {
+            self.sketch.stats_mut().admissions_rejected += 1;
+        }
     }
 }
 
@@ -154,101 +183,7 @@ impl<K: FlowKey> PreparedInsert<K> for MinimumTopK<K> {
     }
 
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
-        let d = self.sketch.arrays();
-        self.stats.packets += 1;
-
-        // Step 1: monitored flag and admission threshold.
-        let flag = self.store.contains(key);
-        let nmin = self.store.nmin();
-
-        // Scan the d mapped buckets once, remembering what Step 2-4 need.
-        let mut matched: Option<(usize, usize, u64)> = None; // (j, i, count)
-        let mut first_empty: Option<(usize, usize)> = None;
-        let mut min_slot: Option<(usize, usize, u64)> = None;
-        for j in 0..d {
-            let i = self.sketch.slot(j, p);
-            let b = *self.sketch.bucket(j, i);
-            if b.count > 0 && b.fp == p.fp && matched.is_none() {
-                matched = Some((j, i, b.count));
-            }
-            if b.is_empty() {
-                if first_empty.is_none() {
-                    first_empty = Some((j, i));
-                }
-            } else if min_slot.is_none_or(|(_, _, c)| b.count < c) {
-                // Strict `<` keeps the *first* smallest (Situation 3).
-                min_slot = Some((j, i, b.count));
-            }
-        }
-
-        let mut heavy_v = 0u64;
-
-        // Step 2: increment a matching bucket if the gate allows. As in
-        // the Parallel version, the Optimization II gate is `C <= n_min`
-        // (skip only when the counter exceeds n_min — the text's rule;
-        // the pseudo-code's strict `<` would live-lock admissions).
-        let mut handled = false;
-        if let Some((j, i, count)) = matched {
-            if flag || count <= nmin {
-                heavy_v = self.sketch.saturating_increment(j, i);
-                handled = true;
-                self.stats.increments += 1;
-            } else {
-                self.stats.increments_gated += 1;
-            }
-        }
-
-        // Step 3: claim the first empty bucket.
-        if !handled {
-            if let Some((j, i)) = first_empty {
-                let b = self.sketch.bucket_mut(j, i);
-                b.fp = p.fp;
-                b.count = 1;
-                heavy_v = 1;
-                handled = true;
-                self.stats.empty_claims += 1;
-            }
-        }
-
-        // Step 4: minimum decay — roll against the first smallest counter.
-        if !handled && matched.is_none() {
-            if let Some((j, i, count)) = min_slot {
-                if self.sketch.is_large_for_expansion(count) {
-                    // Every bucket is at least as large as the minimum, so
-                    // a large minimum means all d buckets are large:
-                    // Section III-F's blocked situation.
-                    self.stats.blocked += 1;
-                    self.sketch.note_blocked();
-                }
-                self.stats.decay_rolls += 1;
-                if self.sketch.decay_roll(count) {
-                    self.stats.decays += 1;
-                    let b = self.sketch.bucket_mut(j, i);
-                    b.count -= 1;
-                    if b.count == 0 {
-                        b.fp = p.fp;
-                        b.count = 1;
-                        heavy_v = 1;
-                        self.stats.replacements += 1;
-                    }
-                }
-            }
-        }
-
-        // Step 5: top-k store update (same rule as the Parallel version).
-        if flag {
-            self.store.update_max(key, heavy_v);
-        } else if !self.store.is_full() {
-            if heavy_v > 0 {
-                self.store.admit(key.clone(), heavy_v);
-                self.stats.admissions += 1;
-            }
-        } else if heavy_v == nmin + 1 {
-            self.store.admit(key.clone(), heavy_v);
-            self.stats.admissions += 1;
-        } else if heavy_v > nmin {
-            self.stats.admissions_rejected += 1;
-        }
+        self.insert_keyed(key, p);
     }
 }
 

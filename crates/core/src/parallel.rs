@@ -24,7 +24,7 @@ use crate::stats::InsertStats;
 use crate::store::TopKStore;
 use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
-use hk_common::prepared::HashSpec;
+use hk_common::prepared::{HashSpec, KeySlots, PreparedBatch};
 
 /// Hardware Parallel HeavyKeeper (Algorithm 1).
 ///
@@ -47,9 +47,8 @@ pub struct ParallelTopK<K: FlowKey> {
     sketch: HkSketch,
     store: TopKStore<K>,
     cfg: HkConfig,
-    stats: InsertStats,
-    /// Reusable batch-prolog buffer of prepared keys.
-    scratch: Vec<PreparedKey>,
+    /// Reusable batch-prolog scratch of prepared keys + cached slots.
+    scratch: PreparedBatch,
 }
 
 impl<K: FlowKey> ParallelTopK<K> {
@@ -59,8 +58,7 @@ impl<K: FlowKey> ParallelTopK<K> {
             sketch: HkSketch::new(&cfg),
             store: TopKStore::new(cfg.store, cfg.k),
             cfg,
-            stats: InsertStats::default(),
-            scratch: Vec::new(),
+            scratch: PreparedBatch::new(),
         }
     }
 
@@ -105,7 +103,7 @@ impl<K: FlowKey> ParallelTopK<K> {
 
     /// Insertion-outcome counters since construction or [`reset`](Self::reset).
     pub fn stats(&self) -> &InsertStats {
-        &self.stats
+        self.sketch.stats()
     }
 
     /// Clears all measurement state for a new epoch, keeping the
@@ -114,7 +112,41 @@ impl<K: FlowKey> ParallelTopK<K> {
     pub fn reset(&mut self) {
         self.sketch.reset();
         self.store = TopKStore::new(self.cfg.store, self.cfg.k);
-        self.stats = InsertStats::default();
+    }
+
+    /// The insert body (Algorithm 1), generic over how bucket slots are
+    /// obtained (on demand for the scalar path, cached for the batched
+    /// path).
+    fn insert_keyed<S: KeySlots>(&mut self, key: &K, s: &S) {
+        // Step 1: is the flow already monitored?
+        let flag = self.store.contains(key);
+        let nmin = self.store.nmin();
+
+        // Step 2: per-array bucket update (Algorithm 1 lines 4-20, the
+        // word-level walk in [`HkSketch::walk_parallel`]).
+        let (heavy_v, blocked) = self.sketch.walk_parallel(s, flag, nmin);
+        if blocked {
+            self.sketch.stats_mut().blocked += 1;
+            self.sketch.note_blocked();
+        }
+
+        // Step 3: top-k store update (Algorithm 1 lines 21-25).
+        if flag {
+            self.store.update_max(key, heavy_v);
+        } else if !self.store.is_full() {
+            if heavy_v > 0 {
+                self.store.admit(key.clone(), heavy_v);
+                self.sketch.stats_mut().admissions += 1;
+            }
+        } else if heavy_v == nmin + 1 {
+            // Optimization I: only the exact n_min + 1 estimate is a
+            // legitimate promotion; anything larger is a fingerprint
+            // collision (Theorem 1).
+            self.store.admit(key.clone(), heavy_v);
+            self.sketch.stats_mut().admissions += 1;
+        } else if heavy_v > nmin {
+            self.sketch.stats_mut().admissions_rejected += 1;
+        }
     }
 }
 
@@ -156,83 +188,7 @@ impl<K: FlowKey> PreparedInsert<K> for ParallelTopK<K> {
     }
 
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
-        self.stats.packets += 1;
-
-        // Step 1: is the flow already monitored?
-        let flag = self.store.contains(key);
-        let nmin = self.store.nmin();
-
-        // Step 2: per-array bucket update (Algorithm 1 lines 4-20).
-        let mut heavy_v = 0u64; // The paper's HeavyK_V.
-        let mut blocked = self.sketch.arrays() > 0; // Section III-F probe.
-        for j in 0..self.sketch.arrays() {
-            let i = self.sketch.slot(j, p);
-            let bucket = *self.sketch.bucket(j, i);
-            if bucket.count == 0 {
-                // Case 1: take the empty bucket.
-                let b = self.sketch.bucket_mut(j, i);
-                b.fp = p.fp;
-                b.count = 1;
-                heavy_v = heavy_v.max(1);
-                blocked = false;
-                self.stats.empty_claims += 1;
-            } else if bucket.fp == p.fp {
-                // Case 2, gated by Optimization II. The optimization's
-                // text says to "make no change" only when the counter
-                // already *exceeds* n_min (such a match must be a
-                // fingerprint collision), so the gate is `C <= n_min`.
-                // (Algorithm 1's pseudo-code writes `C < n_min`, which
-                // would live-lock: once the store holds k flows of size
-                // n_min, no outside flow could ever reach n_min + 1.)
-                blocked = false;
-                if flag || bucket.count <= nmin {
-                    let c = self.sketch.saturating_increment(j, i);
-                    heavy_v = heavy_v.max(c);
-                    self.stats.increments += 1;
-                } else {
-                    self.stats.increments_gated += 1;
-                }
-            } else {
-                // Case 3: exponential-weakening decay.
-                if !self.sketch.is_large_for_expansion(bucket.count) {
-                    blocked = false;
-                }
-                self.stats.decay_rolls += 1;
-                if self.sketch.decay_roll(bucket.count) {
-                    self.stats.decays += 1;
-                    let b = self.sketch.bucket_mut(j, i);
-                    b.count -= 1;
-                    if b.count == 0 {
-                        b.fp = p.fp;
-                        b.count = 1;
-                        heavy_v = heavy_v.max(1);
-                        self.stats.replacements += 1;
-                    }
-                }
-            }
-        }
-        if blocked {
-            self.stats.blocked += 1;
-            self.sketch.note_blocked();
-        }
-
-        // Step 3: top-k store update (Algorithm 1 lines 21-25).
-        if flag {
-            self.store.update_max(key, heavy_v);
-        } else if !self.store.is_full() {
-            if heavy_v > 0 {
-                self.store.admit(key.clone(), heavy_v);
-                self.stats.admissions += 1;
-            }
-        } else if heavy_v == nmin + 1 {
-            // Optimization I: only the exact n_min + 1 estimate is a
-            // legitimate promotion; anything larger is a fingerprint
-            // collision (Theorem 1).
-            self.store.admit(key.clone(), heavy_v);
-            self.stats.admissions += 1;
-        } else if heavy_v > nmin {
-            self.stats.admissions_rejected += 1;
-        }
+        self.insert_keyed(key, p);
     }
 }
 

@@ -1,4 +1,4 @@
-//! The raw HeavyKeeper sketch: `d` arrays of `(FP, C)` buckets.
+//! The raw HeavyKeeper sketch: a packed `d × w` bucket matrix.
 //!
 //! This type implements the data structure of Section III-B — hashing,
 //! fingerprints, the three insertion cases with exponential-weakening
@@ -6,6 +6,18 @@
 //! bookkeeping. The three top-k variants ([`crate::BasicTopK`],
 //! [`crate::ParallelTopK`], [`crate::MinimumTopK`]) drive it with their
 //! respective insertion disciplines.
+//!
+//! ## Storage
+//!
+//! Buckets live in one contiguous, 64-byte-aligned
+//! [`BucketMatrix`](crate::bucket::BucketMatrix): each bucket is a
+//! single packed `u64` word (counter low, fingerprint high — see
+//! [`crate::bucket`]), so the per-packet work on each of the `d` mapped
+//! buckets is one load, a few register ops, and at most one store.
+//! Eight buckets share a cache line where the old padded
+//! `Vec<Array>`-of-`Vec<Bucket>` layout fit four behind two pointer
+//! hops — on large sketches the random bucket loads dominate, and this
+//! halves the lines touched per packet.
 //!
 //! ## Hashing
 //!
@@ -17,11 +29,21 @@
 //!   adequate substitute for `d` independent hash functions;
 //! * the fingerprint from an additional multiply-rotate fold of the same
 //!   hash, so fingerprint equality does not imply index equality.
+//!
+//! The batched paths go one step further: the batch prolog caches each
+//! packet's per-array bucket index in the
+//! [`PreparedBatch`](hk_common::prepared::PreparedBatch) scratch's flat
+//! slot table, so the pre-touch pass, the insert pass, and the
+//! post-insert query are pure gathers over cached offsets — no index
+//! rederivation once the prolog has run. Insert/query bodies are
+//! generic over [`KeySlots`], which the scalar path satisfies with a
+//! plain [`PreparedKey`] (slots derived on demand).
 
-use crate::bucket::{Array, Bucket};
+use crate::bucket::{Bucket, BucketMatrix, PackedLayout};
 use crate::config::HkConfig;
 use crate::decay::DecayTable;
-use hk_common::prepared::HashSpec;
+use crate::stats::InsertStats;
+use hk_common::prepared::{HashSpec, KeySlots, PreparedBatch};
 use hk_common::prng::XorShift64;
 
 // The prepared-key derivation lives in `hk_common::prepared` (shared
@@ -41,8 +63,9 @@ pub const MAX_ARRAYS: usize = 16;
 pub(crate) const TOUCH_BLOCK: usize = 64;
 
 /// The one shared body of the HK variants' `insert_batch`: take the
-/// scratch buffer, prehash the batch, walk it in pre-touched
-/// [`TOUCH_BLOCK`]s through `insert_prepared`, restore the buffer.
+/// scratch buffer, prehash the batch (caching per-array bucket slots),
+/// walk it in pre-touched [`TOUCH_BLOCK`]s through the variant's
+/// slot-generic `insert_keyed`, restore the buffer.
 /// A macro rather than a helper function because the touch pass
 /// borrows `$self.sketch` while the ingest pass needs `&mut $self` —
 /// splitting that across a closure-taking function fights the borrow
@@ -50,13 +73,14 @@ pub(crate) const TOUCH_BLOCK: usize = 64;
 macro_rules! hk_insert_batch_body {
     ($self:ident, $keys:ident) => {{
         let mut scratch = std::mem::take(&mut $self.scratch);
-        $self.sketch.hash_spec().prepare_batch($keys, &mut scratch);
+        $self.sketch.prepare_batch($keys, &mut scratch);
         let mut idx = 0;
         while idx < $keys.len() {
             let end = (idx + crate::sketch::TOUCH_BLOCK).min($keys.len());
-            $self.sketch.touch_prepared(&scratch[idx..end]);
-            for (key, p) in $keys[idx..end].iter().zip(&scratch[idx..end]) {
-                $self.insert_prepared(key, p);
+            $self.sketch.touch_batch(&scratch, idx..end);
+            for (off, key) in $keys[idx..end].iter().enumerate() {
+                let entry = scratch.entry(idx + off);
+                $self.insert_keyed(key, &entry);
             }
             idx = end;
         }
@@ -65,6 +89,91 @@ macro_rules! hk_insert_batch_body {
 }
 
 pub(crate) use hk_insert_batch_body;
+
+/// Matrix geometry diagnostics (the CLI's `--layout-report`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutReport {
+    /// Arrays `d` (matrix rows).
+    pub rows: usize,
+    /// Buckets per array `w`.
+    pub width: usize,
+    /// Runtime bytes per bucket (one packed word).
+    pub bucket_bytes: usize,
+    /// Buckets sharing one 64-byte cache line.
+    pub buckets_per_line: usize,
+    /// Cache lines a single packet's bucket walk touches (one per
+    /// array; each bucket op is a single word).
+    pub lines_per_packet: usize,
+    /// Runtime bytes of the whole matrix.
+    pub runtime_bytes: usize,
+    /// Accounted bytes under the paper's configured-bit-width charging.
+    pub accounted_bytes: usize,
+    /// Whether the live region starts on a 64-byte boundary.
+    pub aligned: bool,
+    /// Runtime fingerprint field width in bits.
+    pub fp_field_bits: u32,
+    /// Runtime counter field width in bits.
+    pub count_field_bits: u32,
+}
+
+impl LayoutReport {
+    /// Computes the report for a configuration without allocating the
+    /// full matrix (a tiny probe matrix supplies the alignment bit —
+    /// the allocator's behavior, not the size, decides it).
+    pub fn for_config(cfg: &HkConfig) -> Self {
+        let layout = PackedLayout::new(cfg.fingerprint_bits, cfg.counter_bits);
+        let probe = BucketMatrix::new(1, 8, layout);
+        Self::build(
+            cfg.arrays,
+            cfg.width,
+            cfg.sketch_bytes(),
+            probe.is_aligned(),
+            layout,
+        )
+    }
+
+    /// The one place report fields are derived from matrix geometry.
+    fn build(
+        rows: usize,
+        width: usize,
+        accounted_bytes: usize,
+        aligned: bool,
+        layout: PackedLayout,
+    ) -> Self {
+        LayoutReport {
+            rows,
+            width,
+            bucket_bytes: std::mem::size_of::<u64>(),
+            buckets_per_line: 64 / std::mem::size_of::<u64>(),
+            lines_per_packet: rows,
+            runtime_bytes: rows * width * std::mem::size_of::<u64>(),
+            accounted_bytes,
+            aligned,
+            fp_field_bits: layout.fp_bits(),
+            count_field_bits: layout.count_bits(),
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "bucket matrix: {} x {} packed buckets ({} B runtime, {} B accounted)",
+            self.rows, self.width, self.runtime_bytes, self.accounted_bytes
+        )?;
+        writeln!(
+            f,
+            "bucket word:   {} B (fp {} bits | count {} bits), {} buckets/cache line",
+            self.bucket_bytes, self.fp_field_bits, self.count_field_bits, self.buckets_per_line
+        )?;
+        write!(
+            f,
+            "access:        {} line(s) touched per packet, base 64-byte aligned: {}",
+            self.lines_per_packet, self.aligned
+        )
+    }
+}
 
 /// The HeavyKeeper bucket matrix with decay machinery.
 ///
@@ -84,7 +193,7 @@ pub(crate) use hk_insert_batch_body;
 /// ```
 #[derive(Debug, Clone)]
 pub struct HkSketch {
-    arrays: Vec<Array>,
+    matrix: BucketMatrix,
     decay_table: DecayTable,
     rng: XorShift64,
     seed: u64,
@@ -97,6 +206,10 @@ pub struct HkSketch {
     expansion: Option<crate::config::ExpansionPolicy>,
     /// How many arrays were added by expansion (diagnostics).
     expansions: usize,
+    /// Insertion-outcome counters, updated by the walk methods. Living
+    /// on the sketch keeps every hot-loop counter behind the same base
+    /// pointer as the buckets — one memory increment per event.
+    stats: InsertStats,
 }
 
 impl HkSketch {
@@ -110,14 +223,15 @@ impl HkSketch {
             cfg.arrays <= MAX_ARRAYS,
             "at most {MAX_ARRAYS} arrays supported"
         );
-        let arrays = (0..cfg.arrays).map(|_| Array::new(cfg.width)).collect();
+        let layout = PackedLayout::new(cfg.fingerprint_bits, cfg.counter_bits);
+        let matrix = BucketMatrix::new(cfg.arrays, cfg.width, layout);
         let fingerprint_mask = if cfg.fingerprint_bits == 32 {
             u32::MAX
         } else {
             (1u32 << cfg.fingerprint_bits) - 1
         };
         Self {
-            arrays,
+            matrix,
             decay_table: DecayTable::new(cfg.decay),
             rng: XorShift64::new(cfg.seed ^ 0xDECA_F00D),
             seed: cfg.seed,
@@ -128,13 +242,27 @@ impl HkSketch {
             blocked: 0,
             expansion: cfg.expansion,
             expansions: 0,
+            stats: InsertStats::default(),
         }
+    }
+
+    /// Insertion-outcome counters since construction or
+    /// [`HkSketch::reset`] (filled by the Parallel/Minimum walks).
+    #[inline]
+    pub fn stats(&self) -> &InsertStats {
+        &self.stats
+    }
+
+    /// Mutable access for the variants' store-phase counters.
+    #[inline]
+    pub(crate) fn stats_mut(&mut self) -> &mut InsertStats {
+        &mut self.stats
     }
 
     /// Number of arrays `d` (grows under expansion).
     #[inline]
     pub fn arrays(&self) -> usize {
-        self.arrays.len()
+        self.matrix.rows()
     }
 
     /// Buckets per array `w`.
@@ -181,6 +309,14 @@ impl HkSketch {
         prepare_key(self.seed, self.fingerprint_mask, key_bytes)
     }
 
+    /// Prehashes a whole batch into `out`, caching each key's bucket
+    /// index for this sketch's current `(d, w)` geometry (the batch
+    /// prolog; see [`PreparedBatch::prepare`]).
+    #[inline]
+    pub fn prepare_batch<K: hk_common::key::FlowKey>(&self, keys: &[K], out: &mut PreparedBatch) {
+        out.prepare(&self.hash_spec(), keys, self.arrays(), self.width);
+    }
+
     /// The flow's fingerprint (convenience wrapper over
     /// [`HkSketch::prepare`]).
     #[inline]
@@ -194,16 +330,34 @@ impl HkSketch {
         p.slot(j, self.width)
     }
 
-    /// Immutable access to a bucket.
+    /// Reads a bucket (one packed-word load).
     #[inline]
-    pub fn bucket(&self, j: usize, i: usize) -> &Bucket {
-        self.arrays[j].bucket(i)
+    pub fn bucket(&self, j: usize, i: usize) -> Bucket {
+        self.matrix.get(j, i)
     }
 
-    /// Mutable access to a bucket (used by the variant insert routines).
+    /// Overwrites a bucket (one packed-word store). Debug-asserts the
+    /// fields fit their runtime widths.
     #[inline]
-    pub fn bucket_mut(&mut self, j: usize, i: usize) -> &mut Bucket {
-        self.arrays[j].bucket_mut(i)
+    pub fn set_bucket(&mut self, j: usize, i: usize, b: Bucket) {
+        self.matrix.set(j, i, b);
+    }
+
+    /// Read access to the packed matrix (diagnostics, merge walks).
+    #[inline]
+    pub(crate) fn matrix(&self) -> &BucketMatrix {
+        &self.matrix
+    }
+
+    /// Matrix geometry diagnostics (the CLI's `--layout-report`).
+    pub fn layout_report(&self) -> LayoutReport {
+        LayoutReport::build(
+            self.arrays(),
+            self.width,
+            self.memory_bytes(),
+            self.matrix.is_aligned(),
+            self.matrix.layout(),
+        )
     }
 
     /// Rolls the decay coin for counter value `c`: true means decay.
@@ -258,32 +412,30 @@ impl HkSketch {
         (c, w)
     }
 
-    /// Increments a bucket counter, saturating at the configured width.
-    #[inline]
-    pub fn saturating_increment(&mut self, j: usize, i: usize) -> u64 {
-        let max = self.counter_max;
-        let b = self.arrays[j].bucket_mut(i);
-        if b.count < max {
-            b.count += 1;
-        }
-        b.count
-    }
-
-    /// Pulls every bucket line the prepared keys map to into cache by
-    /// reading it (plain reads double as software prefetch; state is
-    /// untouched). The batched insert paths call this one
+    /// Pulls every bucket line a range of batch-scratch entries maps
+    /// to into cache by reading it — a straight gather over the
+    /// prolog's flat slot table, one load per `(packet, array)`, no
+    /// index derivation. Plain reads double as software prefetch
+    /// without `unsafe`; the batched insert paths call this one
     /// [`TOUCH_BLOCK`]-sized block ahead of the update walk so the
     /// block's random loads overlap instead of serializing behind each
-    /// packet's update.
+    /// packet's update. State is untouched.
     #[inline]
-    pub fn touch_prepared(&self, prepared: &[PreparedKey]) {
+    pub fn touch_batch(&self, batch: &PreparedBatch, range: std::ops::Range<usize>) {
+        let arrays = batch.arrays();
+        let width = self.width;
+        let words = self.matrix.data();
         let mut acc = 0u64;
-        for p in prepared {
-            for j in 0..self.arrays.len() {
-                acc = acc.wrapping_add(self.arrays[j].bucket(p.slot(j, self.width)).count);
+        // Rows beyond the prepared geometry (expansion mid-batch) are
+        // skipped: the touch is only a prefetch, partial coverage is
+        // sound.
+        for chunk in batch.slots_range(range).chunks_exact(arrays.max(1)) {
+            let mut base = 0usize;
+            for &slot in chunk {
+                acc = acc.wrapping_add(words[base + slot as usize]);
+                base += width;
             }
         }
-        // Keep the loads observable so they are not optimized away.
         std::hint::black_box(acc);
     }
 
@@ -291,11 +443,20 @@ impl HkSketch {
     /// among mapped buckets whose fingerprint matches (Section III-B,
     /// Query). Returns 0 when no mapped bucket holds the flow.
     pub fn query_prepared(&self, p: &PreparedKey) -> u64 {
+        self.query_keyed(p)
+    }
+
+    /// [`HkSketch::query_prepared`] over any slot source — the batched
+    /// paths pass cached-slot scratch entries so the query gathers over
+    /// precomputed offsets.
+    pub fn query_keyed<S: KeySlots>(&self, s: &S) -> u64 {
+        let pfp = self.matrix.layout().packed_fp(s.key().fp);
         let mut best = 0;
-        for j in 0..self.arrays.len() {
-            let b = self.arrays[j].bucket(self.slot(j, p));
-            if b.fp == p.fp && b.count > best {
-                best = b.count;
+        for j in 0..self.matrix.rows() {
+            let word = self.matrix.word(j, s.slot(j, self.width));
+            let count = self.matrix.layout().count(word);
+            if self.matrix.layout().fp_matches(word, pfp) && count > best {
+                best = count;
             }
         }
         best
@@ -321,34 +482,215 @@ impl HkSketch {
 
     /// [`HkSketch::insert_basic`] on an already-prepared key.
     pub fn insert_basic_prepared(&mut self, p: &PreparedKey) -> u64 {
+        self.insert_basic_keyed(p)
+    }
+
+    /// [`HkSketch::insert_basic_prepared`] over any slot source.
+    ///
+    /// Works on packed words with the fingerprint pre-shifted once per
+    /// packet ([`PackedLayout::packed_fp`] + [`PackedLayout::fp_matches`]):
+    /// per bucket one load, a few and/compare ops against self-resident
+    /// fields, and at most one store. Keeping accesses self-relative
+    /// (rather than hoisting masks into locals) keeps the loop's live
+    /// register set — and with it the out-of-order window across
+    /// packets — as small as possible.
+    pub fn insert_basic_keyed<S: KeySlots>(&mut self, s: &S) -> u64 {
+        let pfp = self.matrix.layout().packed_fp(s.key().fp);
         let mut estimate = 0u64;
-        for j in 0..self.arrays.len() {
-            let i = self.slot(j, p);
-            let bucket = *self.arrays[j].bucket(i);
-            if bucket.is_empty() {
+        for j in 0..self.matrix.rows() {
+            let i = s.slot(j, self.width);
+            let word = self.matrix.word(j, i);
+            let count = self.matrix.layout().count(word);
+            if count == 0 {
                 // Case 1.
-                let b = self.arrays[j].bucket_mut(i);
-                b.fp = p.fp;
-                b.count = 1;
+                self.matrix.set_word(j, i, pfp | 1);
                 estimate = estimate.max(1);
-            } else if bucket.fp == p.fp {
-                // Case 2.
-                let c = self.saturating_increment(j, i);
-                estimate = estimate.max(c);
+            } else if self.matrix.layout().fp_matches(word, pfp) {
+                // Case 2 (saturating strictly below the field limit, so
+                // the increment cannot carry into the fingerprint).
+                if count < self.counter_max {
+                    self.matrix.set_word(j, i, word + 1);
+                    estimate = estimate.max(count + 1);
+                } else {
+                    estimate = estimate.max(count);
+                }
             } else {
                 // Case 3.
-                if self.decay_roll(bucket.count) {
-                    let b = self.arrays[j].bucket_mut(i);
-                    b.count -= 1;
-                    if b.count == 0 {
-                        b.fp = p.fp;
-                        b.count = 1;
+                if self.decay_roll(count) {
+                    if count == 1 {
+                        self.matrix.set_word(j, i, pfp | 1);
                         estimate = estimate.max(1);
+                    } else {
+                        self.matrix.set_word(j, i, word - 1);
                     }
                 }
             }
         }
         estimate
+    }
+
+    /// The Parallel variant's per-packet bucket walk (Algorithm 1 lines
+    /// 4–20), shared by the scalar and batched paths. `flag` is the
+    /// monitored bit, `nmin` the admission floor; outcome counters land
+    /// in [`HkSketch::stats`]. Returns `(HeavyK_V, blocked)`; the
+    /// caller applies the top-k store update and, when `blocked`, the
+    /// Section III-F bookkeeping.
+    pub(crate) fn walk_parallel<S: KeySlots>(
+        &mut self,
+        s: &S,
+        flag: bool,
+        nmin: u64,
+    ) -> (u64, bool) {
+        self.stats.packets += 1;
+        let pfp = self.matrix.layout().packed_fp(s.key().fp);
+        let mut heavy_v = 0u64; // The paper's HeavyK_V.
+        let mut blocked = self.matrix.rows() > 0; // Section III-F probe.
+        for j in 0..self.matrix.rows() {
+            let i = s.slot(j, self.width);
+            let word = self.matrix.word(j, i);
+            let count = self.matrix.layout().count(word);
+            if count == 0 {
+                // Case 1: take the empty bucket.
+                self.matrix.set_word(j, i, pfp | 1);
+                heavy_v = heavy_v.max(1);
+                blocked = false;
+                self.stats.empty_claims += 1;
+            } else if self.matrix.layout().fp_matches(word, pfp) {
+                // Case 2, gated by Optimization II. The optimization's
+                // text says to "make no change" only when the counter
+                // already *exceeds* n_min (such a match must be a
+                // fingerprint collision), so the gate is `C <= n_min`.
+                // (Algorithm 1's pseudo-code writes `C < n_min`, which
+                // would live-lock: once the store holds k flows of size
+                // n_min, no outside flow could ever reach n_min + 1.)
+                blocked = false;
+                if flag || count <= nmin {
+                    if count < self.counter_max {
+                        self.matrix.set_word(j, i, word + 1);
+                        heavy_v = heavy_v.max(count + 1);
+                    } else {
+                        heavy_v = heavy_v.max(count);
+                    }
+                    self.stats.increments += 1;
+                } else {
+                    self.stats.increments_gated += 1;
+                }
+            } else {
+                // Case 3: exponential-weakening decay.
+                if !self.is_large_for_expansion(count) {
+                    blocked = false;
+                }
+                self.stats.decay_rolls += 1;
+                if self.decay_roll(count) {
+                    self.stats.decays += 1;
+                    if count == 1 {
+                        self.matrix.set_word(j, i, pfp | 1);
+                        heavy_v = heavy_v.max(1);
+                        self.stats.replacements += 1;
+                    } else {
+                        self.matrix.set_word(j, i, word - 1);
+                    }
+                }
+            }
+        }
+        (heavy_v, blocked)
+    }
+
+    /// The Minimum variant's per-packet bucket walk (Algorithm 2): one
+    /// read-only scan over the `d` mapped buckets, then at most one
+    /// bucket write — increment a match, claim the first empty, or
+    /// decay-roll the first smallest. Outcome counters land in
+    /// [`HkSketch::stats`]. Returns `(HeavyK_V, blocked)`; the caller
+    /// applies the store update and, when `blocked`, calls
+    /// [`HkSketch::note_blocked`] (deferred past the walk, which is
+    /// state-equivalent: expansion only appends an empty row).
+    pub(crate) fn walk_minimum<S: KeySlots>(
+        &mut self,
+        s: &S,
+        flag: bool,
+        nmin: u64,
+    ) -> (u64, bool) {
+        self.stats.packets += 1;
+        let pfp = self.matrix.layout().packed_fp(s.key().fp);
+
+        // Scan the d mapped buckets once, remembering what the write
+        // phase needs ((j, i) pairs; counts read once).
+        let mut matched: Option<(usize, usize, u64)> = None;
+        let mut first_empty: Option<(usize, usize)> = None;
+        let mut min_slot: Option<(usize, usize, u64)> = None;
+        for j in 0..self.matrix.rows() {
+            let i = s.slot(j, self.width);
+            let word = self.matrix.word(j, i);
+            let count = self.matrix.layout().count(word);
+            if count == 0 {
+                if first_empty.is_none() {
+                    first_empty = Some((j, i));
+                }
+            } else {
+                if matched.is_none() && self.matrix.layout().fp_matches(word, pfp) {
+                    matched = Some((j, i, count));
+                }
+                if min_slot.is_none_or(|(_, _, m)| count < m) {
+                    // Strict `<` keeps the *first* smallest (Situation 3).
+                    min_slot = Some((j, i, count));
+                }
+            }
+        }
+
+        let mut heavy_v = 0u64;
+        let mut blocked = false;
+
+        // Step 2: increment a matching bucket if the gate allows (same
+        // `C <= n_min` reading of Optimization II as the Parallel walk).
+        let mut handled = false;
+        if let Some((j, i, count)) = matched {
+            if flag || count <= nmin {
+                if count < self.counter_max {
+                    self.matrix.set_word(j, i, self.matrix.word(j, i) + 1);
+                    heavy_v = count + 1;
+                } else {
+                    heavy_v = count;
+                }
+                handled = true;
+                self.stats.increments += 1;
+            } else {
+                self.stats.increments_gated += 1;
+            }
+        }
+
+        // Step 3: claim the first empty bucket.
+        if !handled {
+            if let Some((j, i)) = first_empty {
+                self.matrix.set_word(j, i, pfp | 1);
+                heavy_v = 1;
+                handled = true;
+                self.stats.empty_claims += 1;
+            }
+        }
+
+        // Step 4: minimum decay — roll against the first smallest counter.
+        if !handled && matched.is_none() {
+            if let Some((j, i, count)) = min_slot {
+                if self.is_large_for_expansion(count) {
+                    // Every bucket is at least as large as the minimum, so
+                    // a large minimum means all d buckets are large:
+                    // Section III-F's blocked situation.
+                    blocked = true;
+                }
+                self.stats.decay_rolls += 1;
+                if self.decay_roll(count) {
+                    self.stats.decays += 1;
+                    if count == 1 {
+                        self.matrix.set_word(j, i, pfp | 1);
+                        heavy_v = 1;
+                        self.stats.replacements += 1;
+                    } else {
+                        self.matrix.set_word(j, i, self.matrix.word(j, i) - 1);
+                    }
+                }
+            }
+        }
+        (heavy_v, blocked)
     }
 
     /// Records a blocked insertion (Section III-F): every mapped bucket
@@ -362,9 +704,9 @@ impl HkSketch {
         };
         self.blocked += 1;
         if self.blocked > policy.blocked_threshold
-            && self.arrays.len() < policy.max_arrays.min(MAX_ARRAYS)
+            && self.matrix.rows() < policy.max_arrays.min(MAX_ARRAYS)
         {
-            self.arrays.push(Array::new(self.width));
+            self.matrix.push_row();
             self.blocked = 0;
             self.expansions += 1;
             return true;
@@ -399,27 +741,28 @@ impl HkSketch {
     pub fn memory_bytes(&self) -> usize {
         let bucket_bits =
             self.fingerprint_bits as usize + (64 - self.counter_max.leading_zeros() as usize);
-        self.arrays.len() * self.width * bucket_bits.div_ceil(8)
+        self.matrix.rows() * self.width * bucket_bits.div_ceil(8)
     }
 
-    /// Total non-empty buckets (diagnostics).
+    /// Total non-empty buckets (diagnostics): a flat scan of the packed
+    /// words.
     pub fn occupancy(&self) -> usize {
-        self.arrays.iter().map(Array::occupancy).sum()
+        self.matrix.occupancy()
     }
 
     /// Clears every bucket and the blocked counter, keeping the
     /// configuration (including any arrays added by expansion).
     ///
+    /// One contiguous `fill(0)` over the matrix (the all-zero word is
+    /// the all-empty bucket), not a per-bucket walk.
+    ///
     /// Network-wide measurement resets sketches at every reporting
     /// period (paper footnote 2: "sketches in different switches are
     /// often periodically sent to a collector").
     pub fn reset(&mut self) {
-        for a in &mut self.arrays {
-            for i in 0..a.width() {
-                *a.bucket_mut(i) = Bucket::default();
-            }
-        }
+        self.matrix.reset();
         self.blocked = 0;
+        self.stats = InsertStats::default();
     }
 }
 
@@ -643,5 +986,45 @@ mod tests {
             sk.query(&1u64.to_le_bytes())
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn slotted_insert_matches_prepared_insert() {
+        // The cached-slot path must consume the same buckets and RNG as
+        // the on-demand path.
+        let mut a = HkSketch::new(&cfg(32));
+        let mut b = HkSketch::new(&cfg(32));
+        let mut batch = PreparedBatch::new();
+        for v in 0..5_000u64 {
+            let key = (v % 80).to_le_bytes();
+            let p = a.prepare(&key);
+            b.prepare_batch(&[v % 80], &mut batch);
+            let e = batch.entry(0);
+            a.insert_basic_prepared(&p);
+            b.insert_basic_keyed(&e);
+            assert_eq!(a.query_prepared(&p), b.query_keyed(&batch.entry(0)));
+        }
+        for j in 0..a.arrays() {
+            for i in 0..a.width() {
+                assert_eq!(a.bucket(j, i), b.bucket(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn layout_report_geometry() {
+        let sk = HkSketch::new(&cfg(128));
+        let r = sk.layout_report();
+        assert_eq!(r.rows, 2);
+        assert_eq!(r.width, 128);
+        assert_eq!(r.bucket_bytes, 8);
+        assert_eq!(r.buckets_per_line, 8);
+        assert_eq!(r.lines_per_packet, 2);
+        assert_eq!(r.runtime_bytes, 2 * 128 * 8);
+        assert_eq!(r.accounted_bytes, 2 * 128 * 4);
+        assert!(r.aligned);
+        assert_eq!(r.fp_field_bits + r.count_field_bits, 64);
+        let text = r.to_string();
+        assert!(text.contains("2 x 128"), "report text: {text}");
     }
 }

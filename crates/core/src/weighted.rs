@@ -113,32 +113,32 @@ impl<K: FlowKey> WeightedTopK<K> {
         let mut heavy_v = 0u64;
         for j in 0..self.sketch.arrays() {
             let i = self.sketch.slot(j, &p);
-            let bucket = *self.sketch.bucket(j, i);
+            let mut bucket = self.sketch.bucket(j, i);
             if bucket.is_empty() {
                 // Case 1 (weighted): claim with the full weight.
-                let b = self.sketch.bucket_mut(j, i);
-                b.fp = p.fp;
-                b.count = weight.min(max);
-                heavy_v = heavy_v.max(b.count);
+                bucket = crate::bucket::Bucket {
+                    fp: p.fp,
+                    count: weight.min(max),
+                };
+                heavy_v = heavy_v.max(bucket.count);
             } else if bucket.fp == p.fp {
                 // Case 2 (weighted), behind the Optimization II gate.
                 if flag || bucket.count <= nmin {
-                    let b = self.sketch.bucket_mut(j, i);
-                    b.count = (b.count + weight).min(max);
-                    heavy_v = heavy_v.max(b.count);
+                    bucket.count = (bucket.count + weight).min(max);
+                    heavy_v = heavy_v.max(bucket.count);
                 }
             } else {
                 // Case 3 (weighted): contest the incumbent.
                 let (new_c, rem) = self.sketch.weighted_decay_roll(bucket.count, weight);
-                let b = self.sketch.bucket_mut(j, i);
                 if new_c == 0 {
-                    b.fp = p.fp;
-                    b.count = rem.max(1).min(max);
-                    heavy_v = heavy_v.max(b.count);
+                    bucket.fp = p.fp;
+                    bucket.count = rem.max(1).min(max);
+                    heavy_v = heavy_v.max(bucket.count);
                 } else {
-                    b.count = new_c;
+                    bucket.count = new_c;
                 }
             }
+            self.sketch.set_bucket(j, i, bucket);
         }
 
         // Admission: Theorem 1's equality gate does not survive weighted

@@ -158,10 +158,11 @@ impl<K: FlowKey> ParallelTopK<K> {
             }
         }
 
-        // Bucket matrix.
+        // Bucket matrix, streamed row by row over the packed row views.
         for j in 0..sketch.arrays() {
-            for i in 0..sketch.width() {
-                let b = sketch.bucket(j, i);
+            let layout = sketch.matrix().layout();
+            for &word in sketch.matrix().row(j) {
+                let b = layout.unpack(word);
                 out.extend_from_slice(&b.fp.to_le_bytes());
                 out.extend_from_slice(&b.count.to_le_bytes());
             }
@@ -223,6 +224,11 @@ impl<K: FlowKey> ParallelTopK<K> {
         if fp_bits == 0 || fp_bits > 32 || ctr_bits == 0 || ctr_bits >= 64 {
             return Err(WireError::Corrupt("field widths"));
         }
+        if fp_bits + ctr_bits > 64 {
+            // The packed bucket word cannot hold both fields; reject
+            // instead of letting the config constructor panic.
+            return Err(WireError::Corrupt("field widths"));
+        }
 
         let mut builder = HkConfig::builder()
             .arrays(arrays)
@@ -262,9 +268,8 @@ impl<K: FlowKey> ParallelTopK<K> {
                 if count == 0 && fp != 0 {
                     return Err(WireError::Corrupt("empty bucket with fingerprint"));
                 }
-                let b = hk.sketch_mut().bucket_mut(j, i);
-                b.fp = fp;
-                b.count = count;
+                hk.sketch_mut()
+                    .set_bucket(j, i, crate::bucket::Bucket { fp, count });
             }
         }
 
@@ -423,6 +428,21 @@ mod tests {
             ParallelTopK::<u64>::from_wire(&wire).unwrap_err(),
             WireError::Corrupt(_)
         ));
+    }
+
+    #[test]
+    fn oversized_field_widths_rejected_not_panicking() {
+        // fp_bits = 32 and ctr_bits = 40 each pass the individual range
+        // checks but cannot share one packed bucket word; decoding must
+        // return Corrupt, not panic in the config constructor.
+        let mut wire = populated(3).to_wire();
+        // Header: 4 magic + 1 ver + 1 keylen + 2 arrays + 4 width + 4 k.
+        wire[16] = 32; // fp_bits
+        wire[17] = 40; // ctr_bits
+        assert_eq!(
+            ParallelTopK::<u64>::from_wire(&wire).unwrap_err(),
+            WireError::Corrupt("field widths")
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Layout-differential testing: the packed single-word bucket matrix
+//! must reproduce the *exact* bucket states of the pre-refactor padded
+//! layout (`Vec<Array>` of `{fp: u32, count: u64}` buckets behind a
+//! double indirection).
+//!
+//! The golden digests below were recorded by running the pre-refactor
+//! scalar/batched paths (commit `e0b7fc7`) on the recorded seed/stream
+//! and folding every non-empty bucket `(j, i, fp, count)` plus the
+//! top-k report through FNV-1a. The packed matrix must land on the
+//! same digests bit-for-bit: same hashes, same slots, same RNG
+//! consumption, same saturation, same admissions — across the Basic,
+//! Parallel, and Minimum variants and across batch sizes.
+
+use heavykeeper::{BasicTopK, HkConfig, MinimumTopK, ParallelTopK};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+/// The recorded stream: the same xorshift mix the batch-differential
+/// suite uses, seed 77 — half elephants (12 flows), half mice (1500).
+fn stream() -> Vec<u64> {
+    let mut state = 77u64;
+    (0..40_000)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(2) {
+                (state >> 1) % 12
+            } else {
+                12 + state % 1500
+            }
+        })
+        .collect()
+}
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// FNV-1a over every non-empty bucket's `(j, i, fp, count)`.
+fn digest_sketch(sk: &heavykeeper::HkSketch) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for j in 0..sk.arrays() {
+        for i in 0..sk.width() {
+            let b = sk.bucket(j, i);
+            if b.count != 0 || b.fp != 0 {
+                h = fnv(h, j as u64);
+                h = fnv(h, i as u64);
+                h = fnv(h, b.fp as u64);
+                h = fnv(h, b.count);
+            }
+        }
+    }
+    h
+}
+
+fn digest_topk<K: FlowKey + Into<u64> + Copy>(top: &[(K, u64)]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &(k, c) in top {
+        h = fnv(h, k.into());
+        h = fnv(h, c);
+    }
+    h
+}
+
+fn cfg(counter_bits: u32) -> HkConfig {
+    HkConfig::builder()
+        .arrays(2)
+        .width(128)
+        .counter_bits(counter_bits)
+        .k(10)
+        .seed(5)
+        .build()
+}
+
+/// (sketch digest, top-k digest) recorded from the padded layout.
+struct Golden {
+    basic: (u64, u64),
+    parallel: (u64, u64),
+    minimum: (u64, u64),
+}
+
+const GOLDEN_C16: Golden = Golden {
+    basic: (0xe1f6fa4270e47124, 0x0a73b9311d64d2fb),
+    parallel: (0xe1f6fa4270e47124, 0x0a73b9311d64d2fb),
+    minimum: (0xcb8fe2716e3b7560, 0x5e441aa96379289d),
+};
+
+/// 8-bit counters: exercises saturation below the packed field limit.
+const GOLDEN_C8: Golden = Golden {
+    basic: (0x48afce31aea3e833, 0x78e5c85308eefb48),
+    parallel: (0x48afce31aea3e833, 0x78e5c85308eefb48),
+    minimum: (0x530ab398404ae163, 0x78e5c85308eefb48),
+};
+
+fn run_case(counter_bits: u32, chunk: usize, golden: &Golden) {
+    let pkts = stream();
+    let mut basic = BasicTopK::<u64>::new(cfg(counter_bits));
+    let mut par = ParallelTopK::<u64>::new(cfg(counter_bits));
+    let mut min = MinimumTopK::<u64>::new(cfg(counter_bits));
+    for c in pkts.chunks(chunk) {
+        basic.insert_batch(c);
+        par.insert_batch(c);
+        min.insert_batch(c);
+    }
+    let ctx = format!("counter_bits={counter_bits} chunk={chunk}");
+    assert_eq!(
+        (digest_sketch(basic.sketch()), digest_topk(&basic.top_k())),
+        golden.basic,
+        "{ctx}: Basic diverged from the recorded padded-layout state"
+    );
+    assert_eq!(
+        (digest_sketch(par.sketch()), digest_topk(&par.top_k())),
+        golden.parallel,
+        "{ctx}: Parallel diverged from the recorded padded-layout state"
+    );
+    assert_eq!(
+        (digest_sketch(min.sketch()), digest_topk(&min.top_k())),
+        golden.minimum,
+        "{ctx}: Minimum diverged from the recorded padded-layout state"
+    );
+}
+
+#[test]
+fn packed_matrix_reproduces_padded_layout_16bit_counters() {
+    // Small odd chunks and one whole-stream batch: the packed matrix
+    // must be bit-exact under every batching discipline.
+    run_case(16, 7, &GOLDEN_C16);
+    run_case(16, 4096, &GOLDEN_C16);
+    run_case(16, 40_000, &GOLDEN_C16);
+}
+
+#[test]
+fn packed_matrix_reproduces_padded_layout_8bit_counters() {
+    run_case(8, 7, &GOLDEN_C8);
+    run_case(8, 4096, &GOLDEN_C8);
+}
+
+#[test]
+fn scalar_path_matches_recorded_batched_digests() {
+    // The recorded digests came from the batched path; the scalar path
+    // must land on identical state (insert == insert_batch contract,
+    // now across the layout refactor as well).
+    let pkts = stream();
+    let mut par = ParallelTopK::<u64>::new(cfg(16));
+    for p in &pkts {
+        par.insert(p);
+    }
+    assert_eq!(
+        (digest_sketch(par.sketch()), digest_topk(&par.top_k())),
+        GOLDEN_C16.parallel,
+        "scalar path diverged from the recorded padded-layout state"
+    );
+}
