@@ -1,0 +1,127 @@
+//! The sliding-window ingest bench: batched window vs scalar window vs
+//! steady-state batched, plus the `BENCH_window.json` snapshot.
+//!
+//! Three disciplines over the same Zipf workload, all on the Parallel
+//! variant core:
+//!
+//! * **window/scalar** — the pre-refactor discipline: one `insert` per
+//!   packet into a [`SlidingTopK`] ring, rotating every period;
+//! * **window/batched** — the batch-first windowed pipeline: the same
+//!   ring fed `insert_batch` chunks (prepared-batch prolog + pre-touched
+//!   block walk), epochs recycled on rotation (memset instead of a
+//!   fresh allocation, so matrix pages stay resident);
+//! * **steady/batched** — a single [`ParallelTopK`] with no window at
+//!   all, as the ceiling: what the window's `W×`-memory epoch ring
+//!   costs relative to tumbling ingest.
+//!
+//! The snapshot pass writes all three to `BENCH_window.json` so the
+//! batched-vs-scalar windowed comparison is recorded from one machine
+//! and one session.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use heavykeeper::{HkConfig, ParallelTopK, SlidingTopK};
+use hk_metrics::throughput::{measure_mps_with, measure_windowed_mps_with, IngestMode};
+use hk_traffic::synthetic::sampled_zipf;
+
+const MEM: usize = 32 * 1024 * 1024;
+const K: usize = 100;
+const BATCH: usize = 8192;
+const WINDOW: usize = 4;
+/// 8 periods over the trace: every ring slot recycles at least once.
+const PERIODS: usize = 2 * WINDOW;
+
+fn cfg() -> HkConfig {
+    HkConfig::builder().memory_bytes(MEM).k(K).seed(1).build()
+}
+
+/// Per-epoch configuration: the window splits the same total budget
+/// across its `WINDOW` epochs, so the ring is charged like one `cfg()`.
+fn epoch_cfg() -> HkConfig {
+    HkConfig::builder()
+        .memory_bytes(MEM / WINDOW)
+        .k(K)
+        .seed(1)
+        .build()
+}
+
+fn workload() -> Vec<u64> {
+    sampled_zipf(4_000_000, 2_000_000, 0.8, 1).packets
+}
+
+fn bench_sliding_batch(c: &mut Criterion) {
+    let packets = workload();
+    let epoch_packets = packets.len().div_ceil(PERIODS);
+    let mut g = c.benchmark_group("sliding_batch");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(packets.len() as u64));
+
+    g.bench_function("window_scalar", |b| {
+        b.iter(|| {
+            let mut win = SlidingTopK::<u64>::new(epoch_cfg(), WINDOW);
+            for (n, p) in packets.iter().enumerate() {
+                win.insert(p);
+                if (n + 1) % epoch_packets == 0 {
+                    win.rotate();
+                }
+            }
+            win.top_k().len()
+        })
+    });
+    g.bench_function("window_batched", |b| {
+        b.iter(|| {
+            let mut win = SlidingTopK::<u64>::new(epoch_cfg(), WINDOW);
+            let mut periods = packets.chunks(epoch_packets).peekable();
+            while let Some(period) = periods.next() {
+                for chunk in period.chunks(BATCH) {
+                    win.insert_batch(chunk);
+                }
+                if periods.peek().is_some() {
+                    win.rotate();
+                }
+            }
+            win.top_k().len()
+        })
+    });
+    g.finish();
+
+    // Snapshot pass: one-machine, one-session numbers for
+    // BENCH_window.json.
+    let win_scalar = measure_windowed_mps_with(
+        || SlidingTopK::<u64>::new(epoch_cfg(), WINDOW),
+        &packets,
+        2,
+        IngestMode::Scalar,
+        epoch_packets,
+    );
+    let win_batched = measure_windowed_mps_with(
+        || SlidingTopK::<u64>::new(epoch_cfg(), WINDOW),
+        &packets,
+        2,
+        IngestMode::Batched(BATCH),
+        epoch_packets,
+    );
+    let steady_batched = measure_mps_with(
+        || ParallelTopK::<u64>::new(cfg()),
+        &packets,
+        2,
+        IngestMode::Batched(BATCH),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sliding_batch\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"algo\": \"HK-Sliding (Parallel epochs)\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"window\": {WINDOW},\n  \"epoch_packets\": {epoch_packets},\n  \"window_scalar_mps\": {:.3},\n  \"window_batched_mps\": {:.3},\n  \"steady_batched_mps\": {:.3},\n  \"note\": \"window modes rotate every epoch_packets packets (epochs recycled, not reallocated); steady is a single no-window ParallelTopK as the ceiling\"\n}}\n",
+        win_scalar.mps_best, win_batched.mps_best, steady_batched.mps_best,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_window.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_sliding_batch
+}
+criterion_main!(benches);

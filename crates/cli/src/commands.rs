@@ -1,7 +1,7 @@
 //! The `hk` subcommands.
 
 use crate::args::{Args, CliError};
-use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK, ShardedEngine};
+use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK, ShardedEngine, SlidingTopK};
 use hk_baselines::{
     CmSketchTopK, ColdFilterTopK, CountSketchTopK, CounterTreeTopK, CssTopK, ElasticTopK,
     FrequentTopK, HeavyGuardianTopK, LossyCountingTopK, SpaceSavingTopK,
@@ -22,7 +22,8 @@ USAGE:
   hk generate --out FILE [--kind zipf|exact-zipf|uniform|all-distinct]
               [--packets N] [--flows M] [--skew S] [--seed X]
   hk run      --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
-              [--batch N] [--shards S] [--layout-report]
+              [--batch N] [--shards S] [--window W] [--epoch-packets N]
+              [--layout-report]
   hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
   hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
   hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
@@ -84,6 +85,15 @@ pub const ALGO_NAMES: &[&str] = &[
 /// `hk run`: stream a trace through the batch-first ingest pipeline —
 /// `insert_batch` over `--batch`-sized chunks, optionally spread over
 /// `--shards` engine shards — and report throughput plus top-k accuracy.
+///
+/// With `--window W` the run is *windowed*: the trace is cut into
+/// `--epoch-packets`-sized periods (default: the trace split into
+/// `2·W` periods, so the window actually slides) and fed into a
+/// [`SlidingTopK`] ring of `W` epochs; every interior period boundary
+/// rotates the window — across all shards, phase-aligned, when
+/// combined with `--shards`. Accuracy is evaluated against an exact
+/// oracle over the *window-covered suffix* of the trace, the part the
+/// sliding view is supposed to see.
 pub fn run_stream(args: &Args) -> Result<(), CliError> {
     let trace = load(args)?;
     let algo_name = args.get_or("algo", "parallel");
@@ -92,6 +102,7 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
     let seed: u64 = args.num_or("seed", 1)?;
     let batch: usize = args.num_or("batch", 4096)?;
     let shards: usize = args.num_or("shards", 1)?;
+    let window: usize = args.num_or("window", 0)?;
     if batch == 0 {
         return Err(CliError::Usage("--batch must be positive".into()));
     }
@@ -108,12 +119,19 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             use hk_common::key::FlowKey;
             let store_bytes = k * (<u64 as FlowKey>::ENCODED_LEN + 4);
             let cfg = heavykeeper::HkConfig::builder()
-                .memory_bytes((mem / shards).saturating_sub(store_bytes).max(8))
+                .memory_bytes(
+                    (mem / shards / window.max(1))
+                        .saturating_sub(store_bytes)
+                        .max(8),
+                )
                 .k(k)
                 .seed(seed)
                 .build();
-            if shards > 1 {
-                println!("layout (per shard, {shards} shards):");
+            match (shards > 1, window > 0) {
+                (true, true) => println!("layout (per epoch, {shards} shards x {window} epochs):"),
+                (true, false) => println!("layout (per shard, {shards} shards):"),
+                (false, true) => println!("layout (per epoch, window of {window}):"),
+                (false, false) => {}
             }
             println!("{}", LayoutReport::for_config(&cfg));
         } else {
@@ -121,20 +139,73 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    let mut algo: Box<dyn TopKAlgorithm<u64>> = if shards > 1 {
+    if window > 0 {
+        if algo_name != "parallel" {
+            return Err(CliError::Usage(format!(
+                "--window rides the SlidingTopK epoch ring and currently \
+                 supports --algo parallel only (got `{algo_name}`)"
+            )));
+        }
+        let epoch_packets: usize = match args.num_or("epoch-packets", 0)? {
+            0 => trace.len().div_ceil(2 * window).max(1),
+            n => n,
+        };
+        return if shards > 1 {
+            let mut engine = ShardedEngine::from_fn(shards, k, |_| {
+                SlidingTopK::<u64>::with_memory(mem / shards, k, seed, window)
+            });
+            stream_windowed(&mut engine, &trace, batch, epoch_packets, window, shards, k)?;
+            // Worker death is reported, never silently absorbed into
+            // healthy-looking numbers.
+            check_shard_health(&engine)
+        } else {
+            let mut win = SlidingTopK::<u64>::with_memory(mem, k, seed, window);
+            stream_windowed(&mut win, &trace, batch, epoch_packets, window, shards, k)
+        };
+    }
+
+    if shards > 1 {
         // One instance per shard, each charged an equal share of the
-        // memory budget so the total matches the single-shard run.
+        // memory budget so the total matches the single-shard run. The
+        // engine stays a concrete handle so worker death is checked
+        // after the stream, not silently absorbed into the report.
         let mut instances = Vec::with_capacity(shards);
         for _ in 0..shards {
             instances.push(make_algo(algo_name, mem / shards, k, seed)?);
         }
-        Box::new(ShardedEngine::from_shards(instances, k))
+        let mut engine = ShardedEngine::from_shards(instances, k);
+        stream_steady(&mut engine, &trace, batch, shards, k);
+        check_shard_health(&engine)
     } else {
-        // `Box<dyn TopKAlgorithm + Send>` coerces straight to
-        // `Box<dyn TopKAlgorithm>`; no second box.
-        make_algo(algo_name, mem, k, seed)?
-    };
+        let mut algo = make_algo(algo_name, mem, k, seed)?;
+        stream_steady(&mut algo, &trace, batch, shards, k);
+        Ok(())
+    }
+}
 
+/// Fails a run whose sharded engine took worker deaths, naming the dead
+/// shards and the dropped-packet count — results over partial data must
+/// never read as healthy.
+fn check_shard_health<K, A>(engine: &ShardedEngine<K, A>) -> Result<(), CliError>
+where
+    K: hk_common::key::FlowKey + Send + 'static,
+    A: TopKAlgorithm<K> + Send + 'static,
+{
+    engine
+        .flush()
+        .map_err(|e| CliError::Io(format!("{e}; {} packet(s) dropped", engine.lost_packets())))
+}
+
+/// The steady-state ingest + report body of `hk run`, generic so the
+/// sharded engine keeps its concrete type (for post-stream health
+/// checks) while single instances stay boxed.
+fn stream_steady<A: TopKAlgorithm<u64>>(
+    algo: &mut A,
+    trace: &Trace<u64>,
+    batch: usize,
+    shards: usize,
+    k: usize,
+) {
     let oracle = ExactCounter::from_packets(&trace.packets);
     let start = Instant::now();
     for chunk in trace.packets.chunks(batch) {
@@ -163,6 +234,73 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
     println!(
         "{:>6} {:>14} {:>14} {:>14}",
         "rank", "flow", "estimated", "true"
+    );
+    for (rank, (flow, est)) in top.iter().take(k.min(20)).enumerate() {
+        println!(
+            "{:>6} {flow:>14} {est:>14} {:>14}",
+            rank + 1,
+            oracle.count(flow)
+        );
+    }
+}
+
+/// The windowed ingest + report body of `hk run --window`, generic so
+/// one implementation serves the single-instance window and the
+/// sharded engine of windows (whose `rotate_epoch` is the phase-aligned
+/// [`ShardedEngine::rotate_all`]).
+fn stream_windowed<A>(
+    algo: &mut A,
+    trace: &Trace<u64>,
+    batch: usize,
+    epoch_packets: usize,
+    window: usize,
+    shards: usize,
+    k: usize,
+) -> Result<(), CliError>
+where
+    A: TopKAlgorithm<u64> + hk_common::algorithm::EpochRotate,
+{
+    let start = Instant::now();
+    // The one shared definition of the windowed ingest discipline
+    // (periods, interior-boundary rotations) lives in hk-metrics.
+    hk_metrics::throughput::ingest_windowed(
+        algo,
+        &trace.packets,
+        hk_metrics::throughput::IngestMode::Batched(batch),
+        epoch_packets,
+    );
+    let total_periods = trace.len().div_ceil(epoch_packets).max(1);
+    // top_k flushes the sharded engine, so the clock covers every packet.
+    let top = algo.top_k();
+    let secs = start.elapsed().as_secs_f64();
+
+    // The window sees only the last `window` periods (the current one
+    // included); score against the exact counts of that suffix.
+    let live = window.min(total_periods);
+    let covered_from = (total_periods - live) * epoch_packets;
+    let covered = &trace.packets[covered_from..];
+    let oracle = ExactCounter::from_packets(covered);
+    let report = evaluate_topk(&top, &oracle, k);
+
+    println!(
+        "{} on {} ({} packets, {} windowed) — window {window} x {epoch_packets} pkts, \
+         batch {batch}, {shards} shard(s)",
+        algo.name(),
+        trace.name,
+        trace.len(),
+        covered.len(),
+    );
+    println!(
+        "memory: {} bytes | precision {:.4} | ARE {:.4} | AAE {:.1} | {:.2} Mps",
+        algo.memory_bytes(),
+        report.precision,
+        report.are,
+        report.aae,
+        trace.len() as f64 / secs / 1e6
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "rank", "flow", "estimated", "window-true"
     );
     for (rank, (flow, est)) in top.iter().take(k.min(20)).enumerate() {
         println!(
@@ -590,6 +728,84 @@ mod tests {
         let bad = Args::parse(&sv(&["run", "--trace", path_s, "--batch", "0"])).unwrap();
         assert!(run_stream(&bad).is_err());
         let bad = Args::parse(&sv(&["run", "--trace", path_s, "--shards", "0"])).unwrap();
+        assert!(run_stream(&bad).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_windowed_variants() {
+        let dir = std::env::temp_dir().join("hk-cli-window-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+
+        let gen = Args::parse(&sv(&[
+            "generate",
+            "--out",
+            path_s,
+            "--kind",
+            "zipf",
+            "--packets",
+            "24000",
+            "--flows",
+            "2000",
+            "--skew",
+            "1.1",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        generate(&gen).unwrap();
+
+        // Batched windowed run with an explicit period length and the
+        // layout report riding along (per-epoch geometry).
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--batch",
+            "512",
+            "--window",
+            "3",
+            "--epoch-packets",
+            "4000",
+            "--layout-report",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // Sharded windowed run, default epoch length (trace / 2W).
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--window",
+            "2",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // The window path is SlidingTopK-backed: baselines are rejected.
+        let bad = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--algo",
+            "space-saving",
+            "--window",
+            "2",
+        ]))
+        .unwrap();
         assert!(run_stream(&bad).is_err());
         std::fs::remove_file(&path).ok();
     }

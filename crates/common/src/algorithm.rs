@@ -83,6 +83,27 @@ impl<K: FlowKey, T: TopKAlgorithm<K> + ?Sized> TopKAlgorithm<K> for Box<T> {
     }
 }
 
+/// Capability trait for algorithms whose measurement state is organized
+/// in epochs that a period clock advances.
+///
+/// The caller owns the clock: the ingest pipeline (CLI, throughput
+/// harness, sharded engine) calls [`EpochRotate::rotate_epoch`] at every
+/// period boundary, and the algorithm reinterprets its state — a sliding
+/// window slides one epoch, a tumbling deployment reports and resets.
+/// Keeping rotation a trait (rather than a `SlidingTopK` inherent) lets
+/// the sharded engine phase-align rotation across shards and lets the
+/// harness drive windowed workloads generically.
+pub trait EpochRotate {
+    /// Crosses one period boundary.
+    fn rotate_epoch(&mut self);
+}
+
+impl<T: EpochRotate + ?Sized> EpochRotate for Box<T> {
+    fn rotate_epoch(&mut self) {
+        (**self).rotate_epoch();
+    }
+}
+
 /// Capability trait for algorithms that can ingest precomputed hash
 /// state.
 ///

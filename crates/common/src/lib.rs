@@ -35,7 +35,7 @@ pub mod prng;
 pub mod stream_summary;
 pub mod topk;
 
-pub use algorithm::{PreparedInsert, TopKAlgorithm};
+pub use algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
 pub use counters::SaturatingCounter;
 pub use fingerprint::fingerprint_of;
 pub use hash::{HashFamily, SeededHasher};

@@ -74,14 +74,20 @@ impl DecayFn {
 
     /// The decay probability for counter value `c`.
     ///
-    /// `c = 0` never occurs in decay decisions (Case 3 requires `C > 0`);
-    /// the function is still total and returns a clamped value.
+    /// `c = 0` never occurs in decay decisions (Case 3 only rolls
+    /// against non-empty buckets, whose counters are ≥ 1 by the paper's
+    /// invariant); the function is still total so table construction
+    /// can start at index 0. At `c = 0` every variant returns its
+    /// clamped limit — 1.0 for `Exponential` (`b⁰`), 1.0 for
+    /// `Polynomial` (`0^{-b}` clamped), 0.5 for `Sigmoid`.
     pub fn probability(&self, c: u64) -> f64 {
         let c = c as f64;
         let p = match self {
             Self::Exponential { b } => b.powf(-c),
+            // `0^{-b} = ∞`; clamp the unreachable c = 0 point to 1.0
+            // explicitly instead of letting the cast produce inf.
             Self::Polynomial { b } => {
-                if c < 1.0 {
+                if c == 0.0 {
                     1.0
                 } else {
                     c.powf(-b)
@@ -131,16 +137,37 @@ impl DecayTable {
                 break;
             }
             probs.push(p);
-            thresholds.push(if p >= 1.0 {
-                u64::MAX
-            } else {
-                (p * (u64::MAX as f64)) as u64
-            });
+            thresholds.push(Self::threshold_for(p));
         }
         Self {
             probs,
             thresholds,
             decay,
+        }
+    }
+
+    /// Maps a probability to its integer coin threshold with explicit
+    /// rounding and clamping: decay fires when a uniform `u64` draw is
+    /// `< threshold`, so the ideal threshold is `round(p · 2⁶⁴)`.
+    ///
+    /// Scaling by 2⁶⁴ is exact (a power-of-two shift of the 53-bit
+    /// significand), so every `p < 1.0` maps to its threshold with zero
+    /// error and only `p = 1.0` lands on 2⁶⁴ itself — which no `u64`
+    /// holds, hence the explicit clamp to `u64::MAX` (miss probability
+    /// 2⁻⁶⁴, the closest representable coin). The old
+    /// `(p * u64::MAX as f64) as u64` got the same numbers by accident:
+    /// `u64::MAX as f64` silently rounds **up** to 2⁶⁴ (the multiplier
+    /// it named was not the one it used) and the saturating float→int
+    /// cast absorbed the out-of-range `p = 1.0` product. Both of those
+    /// implicit rescues are now spelled out.
+    fn threshold_for(p: f64) -> u64 {
+        const TWO_64: f64 = 18_446_744_073_709_551_616.0; // 2^64 exactly
+        debug_assert!((0.0..=1.0).contains(&p));
+        let t = (p * TWO_64).round();
+        if t >= TWO_64 {
+            u64::MAX
+        } else {
+            t as u64
         }
     }
 
@@ -265,5 +292,66 @@ mod tests {
     #[test]
     fn polynomial_at_one_is_one() {
         assert!((DecayFn::polynomial(2.0).probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    /// Pins `c ∈ {0, 1, cutoff−1, cutoff}` for every variant: `c = 0`
+    /// is unreachable in Case 3 (non-empty buckets have `C ≥ 1`) but
+    /// the table starts at index 0, so its value is part of the
+    /// contract, as are both sides of the cutoff.
+    #[test]
+    fn edge_counters_pinned_for_all_variants() {
+        let cases: [(DecayFn, f64); 3] = [
+            (DecayFn::exponential(1.08), 1.0), // b⁰ = 1
+            (DecayFn::polynomial(1.5), 1.0),   // 0^{-b} clamped to 1
+            (DecayFn::sigmoid(0.08), 0.5),     // 1 / (1 + e⁰)
+        ];
+        for (f, p0) in cases {
+            let t = DecayTable::new(f);
+            let cutoff = t.cutoff();
+            assert!(cutoff >= 2, "{f:?}: degenerate table");
+
+            // c = 0: the unreachable point, still well-defined.
+            assert_eq!(t.probability(0), p0, "{f:?} at c=0");
+            let expect_t0 = if p0 >= 1.0 { u64::MAX } else { 1u64 << 63 };
+            assert_eq!(t.threshold(0), expect_t0, "{f:?} threshold at c=0");
+
+            // c = 1: the first reachable counter; the coin must round,
+            // not truncate.
+            let p1 = f.probability(1);
+            assert!((0.0..1.0).contains(&p1) || p1 == 1.0);
+            let implied = t.threshold(1) as f64 / 18_446_744_073_709_551_616.0;
+            assert!(
+                (implied - p1).abs() < 1e-12,
+                "{f:?} threshold(1) drifted: {implied} vs {p1}"
+            );
+
+            // c = cutoff − 1: the last live entry — small but non-zero.
+            assert!(t.probability(cutoff - 1) >= NEGLIGIBLE, "{f:?}");
+            assert!(t.threshold(cutoff - 1) > 0, "{f:?}");
+
+            // c = cutoff: treated as exactly zero (no decay, no draw).
+            assert_eq!(t.probability(cutoff), 0.0, "{f:?}");
+            assert_eq!(t.threshold(cutoff), 0, "{f:?}");
+        }
+    }
+
+    /// The coin is exact right up against 1.0: scaling by 2⁶⁴ is a
+    /// power-of-two shift, so a probability one ulp below 1 keeps its
+    /// precise threshold (no saturation to `u64::MAX`, which would
+    /// overstate it), while `p = 1.0` itself clamps. (The base is the
+    /// smallest `f64` above 1, so `1/b` is as close to 1 as an
+    /// exponential probability gets.)
+    #[test]
+    fn threshold_near_one_is_exact_and_only_one_clamps() {
+        let b = f64::from_bits(1.0f64.to_bits() + 1);
+        assert!(b > 1.0);
+        let t = DecayTable::new(DecayFn::exponential(b));
+        let p1 = t.probability(1);
+        assert!(p1 < 1.0, "probe must sit strictly below 1.0");
+        assert_eq!(p1, 1.0 - f64::EPSILON, "1/b is one ulp below 1");
+        // p1 · 2⁶⁴ exactly: (1 − 2⁻⁵²) · 2⁶⁴ = 2⁶⁴ − 2¹².
+        assert_eq!(t.threshold(1), u64::MAX - 4095);
+        // Only p = 1.0 (here b⁰ at c = 0) hits the explicit clamp.
+        assert_eq!(t.threshold(0), u64::MAX);
     }
 }

@@ -77,7 +77,7 @@ pub use decay::DecayFn;
 pub use merge::{MergeError, MergeMode};
 pub use minimum::MinimumTopK;
 pub use parallel::ParallelTopK;
-pub use sharded::{ShardedEngine, ShardedParallelTopK};
+pub use sharded::{ShardPoisoned, ShardedEngine, ShardedParallelTopK};
 pub use sketch::HkSketch;
 pub use sliding::SlidingTopK;
 pub use stats::InsertStats;

@@ -114,6 +114,23 @@ impl<K: FlowKey> ParallelTopK<K> {
         self.store = TopKStore::new(self.cfg.store, self.cfg.k);
     }
 
+    /// Restores the instance to its exact as-constructed state —
+    /// buckets zeroed, decay RNG rewound, store emptied — so it is
+    /// indistinguishable from `ParallelTopK::new(cfg)` while keeping
+    /// its (already page-resident) allocations. The sliding window
+    /// recycles evicted epochs through this instead of allocating.
+    pub fn recycle(&mut self) {
+        self.sketch.recycle();
+        self.store = TopKStore::new(self.cfg.store, self.cfg.k);
+    }
+
+    /// Queries an already-prepared flow (the sliding window prepares a
+    /// candidate once and queries every epoch with it).
+    #[inline]
+    pub fn query_prepared(&self, p: &PreparedKey) -> u64 {
+        self.sketch.query_prepared(p)
+    }
+
     /// The insert body (Algorithm 1), generic over how bucket slots are
     /// obtained (on demand for the scalar path, cached for the batched
     /// path).

@@ -38,6 +38,26 @@
 //! deterministic: independent of scheduling, equal to running each
 //! shard's sub-stream sequentially.
 //!
+//! ## Worker death
+//!
+//! A shard algorithm that panics inside `insert_batch` kills its worker
+//! thread. The engine does **not** propagate that as a panic on the
+//! caller thread: the shard is marked *poisoned*, [`ShardedEngine::flush`]
+//! (and the non-trait ingest/rotation entry points) report it as a
+//! [`ShardPoisoned`] error, packets routed to it are dropped and counted
+//! in [`ShardedEngine::lost_packets`], and reads keep serving from the
+//! surviving shards (a poisoned shard's flows go unreported — its state
+//! may be torn mid-insert).
+//!
+//! ## Epoch rotation
+//!
+//! For epoch-organized shards (e.g. [`crate::SlidingTopK`]) the engine
+//! phase-aligns period boundaries across shards:
+//! [`ShardedEngine::rotate_all`] dispatches everything pending and then
+//! enqueues a rotation control message behind it on every shard's
+//! channel, so every shard rotates at the same point of its sub-stream
+//! without a stop-the-world barrier.
+//!
 //! This replaces the old `ShardedParallelTopK` special case (which
 //! parallelized over the `d` arrays of a single Parallel instance and
 //! worked for nothing else); that name survives as a type alias.
@@ -46,10 +66,10 @@ use crate::config::HkConfig;
 use crate::merge::MergeError;
 use crate::minimum::MinimumTopK;
 use crate::parallel::ParallelTopK;
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{EpochRotate, TopKAlgorithm};
 use hk_common::key::FlowKey;
 use hk_common::prepared::HashSpec;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -61,12 +81,55 @@ const ROUTE_SEED: u64 = 0x5EED_0F50 ^ 0xA110_C8ED;
 /// Default number of scalar inserts buffered before a dispatch.
 pub const DEFAULT_BATCH_CAPACITY: usize = 4096;
 
+/// One unit of shard-worker work: a routed sub-batch, or a control
+/// operation applied to the shard's algorithm in stream order (e.g. the
+/// epoch rotation of [`ShardedEngine::rotate_all`]). Because the
+/// channel preserves order and every shard receives the same cut — all
+/// sub-batches dispatched before the op, none after — control ops stay
+/// phase-aligned across shards.
+enum ShardMsg<K, A> {
+    Batch(Vec<K>),
+    Op(Box<dyn FnOnce(&mut A) + Send>),
+}
+
+/// Error: one or more shard workers died mid-stream (the shard's
+/// algorithm panicked while ingesting). The engine keeps serving from
+/// the surviving shards; packets routed to a poisoned shard are
+/// counted in [`ShardedEngine::lost_packets`] and dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPoisoned {
+    /// Indices of the dead shards, ascending.
+    pub shards: Vec<usize>,
+}
+
+impl std::fmt::Display for ShardPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard worker(s) {:?} died (algorithm panicked during ingest)",
+            self.shards
+        )
+    }
+}
+
+impl std::error::Error for ShardPoisoned {}
+
 struct Shard<K, A> {
     algo: Arc<Mutex<A>>,
-    tx: Option<mpsc::Sender<Vec<K>>>,
+    tx: Option<mpsc::Sender<ShardMsg<K, A>>>,
     enqueued: AtomicU64,
     processed: Arc<AtomicU64>,
+    /// Set once the worker is observed dead with work outstanding (or a
+    /// send into its closed channel fails); the shard is skipped from
+    /// then on instead of panicking the caller thread.
+    poisoned: AtomicBool,
     worker: Option<JoinHandle<()>>,
+}
+
+impl<K, A> Shard<K, A> {
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
 }
 
 struct Pending<K> {
@@ -95,6 +158,9 @@ pub struct ShardedEngine<K: FlowKey, A: TopKAlgorithm<K>> {
     k: usize,
     batch_capacity: usize,
     pending: Mutex<Pending<K>>,
+    /// Packets routed to a shard after its worker died (dropped, since
+    /// no thread can ingest them).
+    lost: AtomicU64,
 }
 
 impl<K, A> ShardedEngine<K, A>
@@ -117,15 +183,23 @@ where
             .map(|a| {
                 let algo = Arc::new(Mutex::new(a));
                 let processed = Arc::new(AtomicU64::new(0));
-                let (tx, rx) = mpsc::channel::<Vec<K>>();
+                let (tx, rx) = mpsc::channel::<ShardMsg<K, A>>();
                 let worker = {
                     let algo = Arc::clone(&algo);
                     let processed = Arc::clone(&processed);
                     std::thread::spawn(move || {
-                        while let Ok(batch) = rx.recv() {
-                            let mut guard = algo.lock().expect("shard poisoned");
-                            guard.insert_batch(&batch);
-                            processed.fetch_add(batch.len() as u64, Ordering::Release);
+                        while let Ok(msg) = rx.recv() {
+                            let mut guard = algo.lock().expect("shard mutex");
+                            match msg {
+                                ShardMsg::Batch(batch) => {
+                                    guard.insert_batch(&batch);
+                                    processed.fetch_add(batch.len() as u64, Ordering::Release);
+                                }
+                                ShardMsg::Op(op) => {
+                                    op(&mut guard);
+                                    processed.fetch_add(1, Ordering::Release);
+                                }
+                            }
                         }
                     })
                 };
@@ -134,6 +208,7 @@ where
                     tx: Some(tx),
                     enqueued: AtomicU64::new(0),
                     processed,
+                    poisoned: AtomicBool::new(false),
                     worker: Some(worker),
                 }
             })
@@ -147,6 +222,7 @@ where
                 per_shard: (0..n).map(|_| Vec::new()).collect(),
                 total: 0,
             }),
+            lost: AtomicU64::new(0),
         }
     }
 
@@ -181,61 +257,154 @@ where
 
     /// Runs `f` against one shard's algorithm (flushed first), for
     /// diagnostics and merging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is poisoned (its worker died mid-ingest and
+    /// its state may be torn); check [`ShardedEngine::poisoned_shards`]
+    /// first when the engine may have taken worker deaths.
     pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&A) -> R) -> R {
-        self.dispatch_and_flush();
-        let guard = self.shards[shard].algo.lock().expect("shard poisoned");
+        let _ = self.dispatch_and_flush();
+        assert!(
+            !self.shards[shard].is_poisoned(),
+            "shard {shard} is poisoned (worker died mid-ingest)"
+        );
+        let guard = self.shards[shard].algo.lock().expect("shard mutex");
         f(&guard)
     }
 
-    /// Dispatches buffered scalar inserts and waits until every shard
-    /// has drained its channel. After this returns, every packet
-    /// previously inserted is reflected in shard state.
-    pub fn flush(&self) {
-        self.dispatch_and_flush();
+    /// Dispatches buffered scalar inserts and waits until every live
+    /// shard has drained its channel. After this returns `Ok`, every
+    /// packet previously inserted is reflected in shard state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoisoned`] when any shard's worker has died (its
+    /// algorithm panicked during ingest). The engine stays usable: the
+    /// surviving shards are fully flushed, reads keep working over
+    /// them, and packets routed to dead shards are dropped and counted
+    /// in [`ShardedEngine::lost_packets`].
+    pub fn flush(&self) -> Result<(), ShardPoisoned> {
+        self.dispatch_and_flush()
+    }
+
+    /// Indices of shards whose workers have died so far (ascending;
+    /// empty in the healthy steady state). Detection happens on
+    /// dispatch/flush boundaries, so call [`ShardedEngine::flush`]
+    /// first for an up-to-date answer.
+    pub fn poisoned_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_poisoned())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Packets dropped because their shard's worker was dead: packets
+    /// routed to an already-poisoned shard, plus the backlog that was
+    /// queued when the death was detected (best-effort — a control op
+    /// in flight at the moment of death can perturb the count by its
+    /// single flush unit).
+    pub fn lost_packets(&self) -> u64 {
+        self.lost.load(Ordering::Acquire)
+    }
+
+    /// Hands one message to a shard worker. `flush_units` is what the
+    /// flush accounting waits for (batch length, or 1 for a control
+    /// op); `packet_units` is how many real packets the message carries
+    /// — only those count as [`ShardedEngine::lost_packets`] when the
+    /// shard is dead (a dropped rotation op is not packet loss).
+    fn send_to_shard(&self, idx: usize, msg: ShardMsg<K, A>, flush_units: u64, packet_units: u64) {
+        let shard = &self.shards[idx];
+        if shard.is_poisoned() {
+            self.lost.fetch_add(packet_units, Ordering::Release);
+            return;
+        }
+        // Send first, count on success: counting first would open a
+        // window where a racing flush waits on (and a racing death
+        // accounting double-counts) units that were never delivered.
+        let tx = shard.tx.as_ref().expect("engine running");
+        if tx.send(msg).is_ok() {
+            shard.enqueued.fetch_add(flush_units, Ordering::Release);
+        } else {
+            // Channel closed ⇒ worker dead ⇒ receiver dropped. This
+            // message never entered `enqueued`, so its loss is owned
+            // here unconditionally; the queued-but-unprocessed backlog
+            // is owned by whoever wins the poisoned transition (the
+            // worker is dead, so `processed` is final).
+            self.lost.fetch_add(packet_units, Ordering::Release);
+            if shard
+                .poisoned
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let target = shard.enqueued.load(Ordering::Acquire);
+                let done = shard.processed.load(Ordering::Acquire);
+                self.lost
+                    .fetch_add(target.saturating_sub(done), Ordering::Release);
+            }
+        }
     }
 
     fn dispatch_locked(&self, pending: &mut Pending<K>) {
         if pending.total == 0 {
             return;
         }
-        for (shard, buf) in self.shards.iter().zip(pending.per_shard.iter_mut()) {
+        for (idx, buf) in pending.per_shard.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
             }
             let batch = std::mem::take(buf);
-            shard
-                .enqueued
-                .fetch_add(batch.len() as u64, Ordering::Release);
-            shard
-                .tx
-                .as_ref()
-                .expect("engine running")
-                .send(batch)
-                .expect("shard worker alive");
+            let units = batch.len() as u64;
+            self.send_to_shard(idx, ShardMsg::Batch(batch), units, units);
         }
         pending.total = 0;
     }
 
-    fn dispatch_and_flush(&self) {
+    fn dispatch_and_flush(&self) -> Result<(), ShardPoisoned> {
         {
             let mut pending = self.pending.lock().expect("pending poisoned");
             self.dispatch_locked(&mut pending);
         }
-        for (i, shard) in self.shards.iter().enumerate() {
-            let target = shard.enqueued.load(Ordering::Acquire);
-            while shard.processed.load(Ordering::Acquire) < target {
-                // A worker that died (its algorithm panicked inside
-                // insert_batch) can never catch up; surface that instead
-                // of busy-waiting forever. Re-check the counter after
-                // seeing the thread finished so a clean last batch is
-                // not mistaken for death.
-                if shard.worker.as_ref().is_none_or(|w| w.is_finished())
-                    && shard.processed.load(Ordering::Acquire) < target
-                {
-                    panic!("shard {i} worker died (algorithm panicked in insert_batch)");
+        for shard in &self.shards {
+            loop {
+                if shard.is_poisoned() {
+                    break;
                 }
-                std::thread::yield_now();
+                let target = shard.enqueued.load(Ordering::Acquire);
+                if shard.processed.load(Ordering::Acquire) >= target {
+                    break;
+                }
+                // A worker that died (its algorithm panicked inside
+                // insert_batch) can never catch up; poison the shard
+                // instead of busy-waiting forever. Re-read the counter
+                // after seeing the thread finished so a clean last
+                // batch is not mistaken for death, and account the
+                // backlog exactly once — whichever racing reader wins
+                // the false→true transition owns it.
+                if shard.worker.as_ref().is_none_or(|w| w.is_finished()) {
+                    let done = shard.processed.load(Ordering::Acquire);
+                    if done < target {
+                        if shard
+                            .poisoned
+                            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            self.lost.fetch_add(target - done, Ordering::Release);
+                        }
+                        break;
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
             }
+        }
+        let dead = self.poisoned_shards();
+        if dead.is_empty() {
+            Ok(())
+        } else {
+            Err(ShardPoisoned { shards: dead })
         }
     }
 
@@ -276,17 +445,25 @@ where
     }
 
     fn query(&self, key: &K) -> u64 {
-        self.dispatch_and_flush();
+        let _ = self.dispatch_and_flush();
         let s = self.shard_of(key);
-        let guard = self.shards[s].algo.lock().expect("shard poisoned");
+        if self.shards[s].is_poisoned() {
+            // The flow's shard died mid-ingest; its state may be torn,
+            // so report "unknown" rather than a garbage estimate.
+            return 0;
+        }
+        let guard = self.shards[s].algo.lock().expect("shard mutex");
         guard.query(key)
     }
 
     fn top_k(&self) -> Vec<(K, u64)> {
-        self.dispatch_and_flush();
+        let _ = self.dispatch_and_flush();
         let mut all: Vec<(K, u64)> = Vec::new();
         for shard in &self.shards {
-            let guard = shard.algo.lock().expect("shard poisoned");
+            if shard.is_poisoned() {
+                continue; // Dead shard: its flows are unreported.
+            }
+            let guard = shard.algo.lock().expect("shard mutex");
             all.extend(guard.top_k());
         }
         // Flows are partitioned, so the union has no duplicates; the
@@ -303,12 +480,77 @@ where
     fn memory_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.algo.lock().expect("shard poisoned").memory_bytes())
+            .filter_map(|s| {
+                // A dead worker may have poisoned the mutex; its memory
+                // is still allocated, so account it when readable and
+                // fall back to the inner value otherwise.
+                s.algo
+                    .lock()
+                    .map(|g| g.memory_bytes())
+                    .or_else(|p| Ok::<usize, ()>(p.into_inner().memory_bytes()))
+                    .ok()
+            })
             .sum()
     }
 
     fn name(&self) -> &'static str {
         "Sharded"
+    }
+}
+
+impl<K, A> ShardedEngine<K, A>
+where
+    K: FlowKey + Send + 'static,
+    A: TopKAlgorithm<K> + EpochRotate + Send + 'static,
+{
+    /// Crosses one period boundary on **every** shard, phase-aligned:
+    /// all pending packets are dispatched first, then a rotation
+    /// control message is enqueued behind them on each shard's channel.
+    /// Because workers process their channel in order and every shard
+    /// receives the same cut — everything inserted before this call
+    /// lands pre-rotation, everything after lands post-rotation — the
+    /// shard windows advance in lockstep without stopping the world:
+    /// rotation overlaps with the caller like any other batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoisoned`] when dead shards were skipped (their
+    /// windows no longer advance).
+    pub fn rotate_all(&self) -> Result<(), ShardPoisoned> {
+        {
+            let mut pending = self.pending.lock().expect("pending poisoned");
+            self.dispatch_locked(&mut pending);
+        }
+        for idx in 0..self.shards.len() {
+            self.send_to_shard(
+                idx,
+                ShardMsg::Op(Box::new(|a: &mut A| a.rotate_epoch())),
+                1,
+                0,
+            );
+        }
+        let dead = self.poisoned_shards();
+        if dead.is_empty() {
+            Ok(())
+        } else {
+            Err(ShardPoisoned { shards: dead })
+        }
+    }
+}
+
+impl<K, A> EpochRotate for ShardedEngine<K, A>
+where
+    K: FlowKey + Send + 'static,
+    A: TopKAlgorithm<K> + EpochRotate + Send + 'static,
+{
+    /// [`ShardedEngine::rotate_all`] through the infallible trait
+    /// surface. A [`ShardPoisoned`] error is not lost, only deferred:
+    /// the poisoned state is sticky, so the next
+    /// [`ShardedEngine::flush`] (or [`ShardedEngine::poisoned_shards`])
+    /// reports it — callers driving the engine generically should check
+    /// one of those after the stream, as the CLI's windowed path does.
+    fn rotate_epoch(&mut self) {
+        let _ = self.rotate_all();
     }
 }
 
@@ -535,12 +777,136 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker died")]
-    fn dead_worker_is_detected_instead_of_hanging() {
+    fn dead_worker_poisons_shard_instead_of_panicking() {
         let mut engine = ShardedEngine::from_shards(vec![Exploder], 1);
         engine.insert_batch(&[1u64]);
         // The worker panicked on the batch; the flush must surface that
-        // rather than spin forever.
-        engine.flush();
+        // as an inspectable error rather than spin forever or panic the
+        // caller thread.
+        let err = engine.flush().expect_err("dead worker must be reported");
+        assert_eq!(err.shards, vec![0]);
+        assert_eq!(engine.poisoned_shards(), vec![0]);
+        assert!(err.to_string().contains("died"), "err = {err}");
+        // Reads degrade to the surviving shards (none here) instead of
+        // hanging or panicking.
+        assert_eq!(engine.query(&1), 0);
+        assert!(engine.top_k().is_empty());
+        // Further ingest routed to the dead shard is dropped + counted.
+        engine.insert_batch(&[2u64, 3u64]);
+        assert!(engine.flush().is_err());
+        assert!(
+            engine.lost_packets() >= 2,
+            "lost = {}",
+            engine.lost_packets()
+        );
+    }
+
+    #[test]
+    fn healthy_engine_reports_no_poisoned_shards() {
+        let mut engine = ShardedEngine::parallel(&cfg(64, 4), 2);
+        engine.insert_batch(&[1u64, 2, 3]);
+        engine.flush().expect("healthy shards flush cleanly");
+        assert!(engine.poisoned_shards().is_empty());
+        assert_eq!(engine.lost_packets(), 0);
+    }
+
+    #[test]
+    fn surviving_shards_keep_serving_after_one_death() {
+        // Shard 0 explodes on its first packet; shard 1 is a real HK
+        // instance. Flows routed to shard 1 must stay queryable.
+        enum Mixed {
+            Bad(Exploder),
+            Good(Box<ParallelTopK<u64>>),
+        }
+        impl TopKAlgorithm<u64> for Mixed {
+            fn insert(&mut self, key: &u64) {
+                match self {
+                    Mixed::Bad(a) => a.insert(key),
+                    Mixed::Good(a) => a.insert(key),
+                }
+            }
+            fn query(&self, key: &u64) -> u64 {
+                match self {
+                    Mixed::Bad(a) => a.query(key),
+                    Mixed::Good(a) => a.query(key),
+                }
+            }
+            fn top_k(&self) -> Vec<(u64, u64)> {
+                match self {
+                    Mixed::Bad(a) => a.top_k(),
+                    Mixed::Good(a) => a.top_k(),
+                }
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+            fn name(&self) -> &'static str {
+                "Mixed"
+            }
+        }
+        let mut engine = ShardedEngine::from_shards(
+            vec![
+                Mixed::Bad(Exploder),
+                Mixed::Good(Box::new(ParallelTopK::new(cfg(256, 4)))),
+            ],
+            4,
+        );
+        // Two packets of each of 20 flows; routing spreads them over
+        // both shards.
+        let mut batch = Vec::new();
+        for f in 0..20u64 {
+            batch.push(f);
+            batch.push(f);
+        }
+        assert!(
+            batch.iter().any(|f| engine.shard_of(f) == 0)
+                && batch.iter().any(|f| engine.shard_of(f) == 1),
+            "stream must hit both shards"
+        );
+        engine.insert_batch(&batch);
+        let err = engine.flush().expect_err("exploding shard must poison");
+        assert_eq!(err.shards, vec![0]);
+        // Flows on the surviving shard answer exactly.
+        let mut served = 0;
+        for f in &batch {
+            if engine.shard_of(f) == 1 {
+                assert_eq!(engine.query(f), 2, "flow {f} on surviving shard");
+                served += 1;
+            }
+        }
+        assert!(served > 0, "stream never hit the surviving shard");
+        assert!(engine.top_k().iter().all(|(f, _)| engine.shard_of(f) == 1));
+    }
+
+    #[test]
+    fn rotate_all_keeps_shard_windows_phase_aligned() {
+        use crate::sliding::SlidingTopK;
+        // A 2-epoch window over 3 shards: flows inserted before the
+        // second rotate_all must be gone after the third, exactly as in
+        // the single-instance window.
+        let mk = || ShardedEngine::from_fn(3, 8, |_| SlidingTopK::<u64>::new(cfg(256, 8), 2));
+        let mut engine = mk();
+        let old: Vec<u64> = (0..6000u64).map(|i| i % 6).collect();
+        let new: Vec<u64> = (0..6000u64).map(|i| 100 + i % 6).collect();
+        engine.insert_batch(&old);
+        engine.rotate_all().expect("healthy rotation");
+        engine.insert_batch(&new);
+        // Old flows still inside the 2-epoch window.
+        for f in 0..6u64 {
+            assert_eq!(engine.query(&f), 1000, "flow {f} still in window");
+        }
+        engine.rotate_all().expect("healthy rotation");
+        engine.rotate_all().expect("healthy rotation");
+        for f in 0..6u64 {
+            assert_eq!(engine.query(&f), 0, "flow {f} must have slid out");
+        }
+        // Rotation and per-shard sub-streams are deterministic.
+        let run = |mut e: ShardedEngine<u64, SlidingTopK<u64>>| {
+            e.insert_batch(&old);
+            e.rotate_all().unwrap();
+            e.insert_batch(&new);
+            e.top_k()
+        };
+        assert_eq!(run(mk()), run(mk()));
     }
 }

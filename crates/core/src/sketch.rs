@@ -764,6 +764,31 @@ impl HkSketch {
         self.blocked = 0;
         self.stats = InsertStats::default();
     }
+
+    /// Restores the sketch to its exact as-constructed state: every
+    /// bucket zero, the decay RNG rewound to its seed, expansion rows
+    /// dropped, all counters cleared.
+    ///
+    /// Stronger than [`HkSketch::reset`] (which keeps the RNG stream and
+    /// expansion rows): a recycled sketch is indistinguishable from
+    /// `HkSketch::new(&cfg)` — the property the sliding window's epoch
+    /// recycling relies on for bit-exactness with freshly allocated
+    /// epochs. In the common un-expanded case this is one memset over
+    /// the already-resident matrix, so no pages are faulted back in.
+    pub fn recycle(&mut self) {
+        if self.expansions > 0 {
+            // Expansion grew the matrix; rebuild at the original
+            // geometry (rare — only windows with expansion enabled).
+            let rows = self.matrix.rows() - self.expansions;
+            self.matrix = BucketMatrix::new(rows, self.width, self.matrix.layout());
+            self.expansions = 0;
+        } else {
+            self.matrix.reset();
+        }
+        self.rng = XorShift64::new(self.seed ^ 0xDECA_F00D);
+        self.blocked = 0;
+        self.stats = InsertStats::default();
+    }
 }
 
 #[cfg(test)]
@@ -1009,6 +1034,58 @@ mod tests {
                 assert_eq!(a.bucket(j, i), b.bucket(j, i));
             }
         }
+    }
+
+    #[test]
+    fn recycle_restores_as_constructed_state() {
+        // Drive a sketch, recycle it, then drive it and a genuinely
+        // fresh sketch with identical traffic: every bucket must match.
+        // A plain `reset` would diverge (decay RNG not rewound).
+        let c = cfg(32);
+        let mut recycled = HkSketch::new(&c);
+        let mut rng = XorShift64::new(17);
+        for _ in 0..20_000 {
+            let v = rng.next_u64_raw() % 60;
+            recycled.insert_basic(&v.to_le_bytes());
+        }
+        recycled.recycle();
+        assert_eq!(recycled.occupancy(), 0);
+        assert_eq!(*recycled.stats(), InsertStats::default());
+
+        let mut fresh = HkSketch::new(&c);
+        let mut rng = XorShift64::new(17);
+        for _ in 0..20_000 {
+            let v = rng.next_u64_raw() % 60;
+            let key = v.to_le_bytes();
+            assert_eq!(recycled.insert_basic(&key), fresh.insert_basic(&key));
+        }
+        for j in 0..fresh.arrays() {
+            for i in 0..fresh.width() {
+                assert_eq!(recycled.bucket(j, i), fresh.bucket(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn recycle_drops_expansion_rows() {
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(4)
+            .expansion(ExpansionPolicy {
+                large_counter: 10,
+                blocked_threshold: 5,
+                max_arrays: 3,
+            })
+            .build();
+        let mut sk = HkSketch::new(&cfg);
+        for _ in 0..10 {
+            sk.note_blocked();
+        }
+        assert_eq!(sk.arrays(), 3);
+        sk.recycle();
+        assert_eq!(sk.arrays(), 2, "recycle restores the configured rows");
+        assert_eq!(sk.expansions(), 0);
+        assert_eq!(sk.blocked_count(), 0);
     }
 
     #[test]

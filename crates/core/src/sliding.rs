@@ -10,27 +10,45 @@
 //!
 //! * the window is `W` epochs; each epoch is an independent
 //!   [`ParallelTopK`] over only that epoch's packets;
-//! * [`SlidingTopK::insert`] feeds the newest epoch;
-//! * [`SlidingTopK::rotate`] closes the newest epoch and drops the
-//!   oldest — one call per period boundary (the caller owns the clock,
-//!   so tests and simulations stay deterministic);
+//! * ingest feeds the newest epoch — through the full batch-first
+//!   pipeline: [`SlidingTopK::insert_batch`] runs one prepared-batch
+//!   prehash + slot-table prolog and a pre-touched block walk, and the
+//!   window implements [`PreparedInsert`] so upstream stages that
+//!   already hashed can hand prepared keys straight in;
+//! * [`SlidingTopK::rotate`] closes the newest epoch and *recycles* the
+//!   oldest: the evicted epoch's bucket matrix is cleared with one
+//!   memset (its decay RNG rewound, its store emptied) and reused as
+//!   the new epoch, so the eagerly-populated pages stay hot across
+//!   rotations instead of being freed and page-faulted back in. One
+//!   call per period boundary — the caller owns the clock, so tests and
+//!   simulations stay deterministic. A recycled epoch is bit-exact with
+//!   a freshly allocated one ([`ParallelTopK::recycle`]);
 //! * a window query sums per-epoch estimates over the live epochs.
+//!   All epochs share `cfg.seed`, so one [`PreparedKey`] is valid in
+//!   every epoch: a candidate is hashed **once** and walked through all
+//!   `W` epochs ([`ParallelTopK::query_prepared`]). Sums over the
+//!   *closed* epochs (all but the newest) are additionally cached
+//!   between rotations — closed epochs are immutable until the next
+//!   [`SlidingTopK::rotate`], which invalidates the cache.
 //!   Per-epoch estimates never over-estimate (Theorem 2), so the summed
 //!   window estimate never over-estimates the flow's window count.
 //!
-//! The window's candidate set is the union of per-epoch top-k sets. A
-//! flow that is top-k over the window but never top-k within any single
-//! epoch can be missed — the same within-epoch granularity limit as
-//! every epoch-ring scheme; widening per-epoch `k` mitigates it.
+//! The window's candidate set is the union of per-epoch top-k sets
+//! (deduplicated through a hash set, not a quadratic scan). A flow that
+//! is top-k over the window but never top-k within any single epoch can
+//! be missed — the same within-epoch granularity limit as every
+//! epoch-ring scheme; widening per-epoch `k` mitigates it.
 //!
 //! Memory is `W`× one sketch, the usual price of sliding windows.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
 
 use crate::config::HkConfig;
 use crate::parallel::ParallelTopK;
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
+use hk_common::prepared::{HashSpec, PreparedKey};
 
 /// Top-k flows over a sliding window of the last `W` epochs.
 ///
@@ -43,9 +61,8 @@ use hk_common::key::FlowKey;
 /// let cfg = HkConfig::builder().width(256).k(4).seed(1).build();
 /// let mut win = SlidingTopK::<u64>::new(cfg, 3); // last 3 epochs
 /// for epoch in 0..5u64 {
-///     for _ in 0..1000 {
-///         win.insert(&epoch); // each epoch has its own elephant
-///     }
+///     let period = vec![epoch; 1000]; // each epoch has its own elephant
+///     win.insert_batch(&period);
 ///     win.rotate();
 /// }
 /// let top: Vec<u64> = win.top_k().into_iter().map(|(k, _)| k).collect();
@@ -53,12 +70,31 @@ use hk_common::key::FlowKey;
 /// assert!(!top.contains(&0) && !top.contains(&1));
 /// assert!(top.contains(&4));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SlidingTopK<K: FlowKey> {
     epochs: VecDeque<ParallelTopK<K>>,
     cfg: HkConfig,
     window: usize,
     rotations: u64,
+    /// Per-flow sums of estimates over the *closed* epochs (all but the
+    /// newest). Closed epochs are immutable between rotations, so
+    /// entries stay valid until [`SlidingTopK::rotate`] clears them;
+    /// ingest only touches the newest epoch, which is excluded.
+    /// A `Mutex` (not `RefCell`) so the window stays `Sync` like every
+    /// other algorithm here — uncontended on the single-owner path.
+    closed_cache: Mutex<HashMap<K, u64>>,
+}
+
+impl<K: FlowKey> Clone for SlidingTopK<K> {
+    fn clone(&self) -> Self {
+        Self {
+            epochs: self.epochs.clone(),
+            cfg: self.cfg.clone(),
+            window: self.window,
+            rotations: self.rotations,
+            closed_cache: Mutex::new(self.cache().clone()),
+        }
+    }
 }
 
 impl<K: FlowKey> SlidingTopK<K> {
@@ -66,8 +102,8 @@ impl<K: FlowKey> SlidingTopK<K> {
     /// HeavyKeeper built from `cfg`.
     ///
     /// All epochs share `cfg.seed`, so a flow occupies the same buckets
-    /// in every epoch — cache-friendly and required for nothing, but it
-    /// keeps behaviour reproducible.
+    /// in every epoch — this is what lets the window hash a flow once
+    /// and reuse the prepared state across all live epochs.
     ///
     /// # Panics
     ///
@@ -81,7 +117,29 @@ impl<K: FlowKey> SlidingTopK<K> {
             cfg,
             window,
             rotations: 0,
+            closed_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Constructor from a *total* memory budget in bytes: the budget is
+    /// split evenly across the `window` epochs (each epoch gets the
+    /// [`ParallelTopK::with_memory`] accounting of its share), so a
+    /// windowed run is charged the same total memory as a steady-state
+    /// run with the same `--memory` flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_memory(bytes: usize, k: usize, seed: u64, window: usize) -> Self {
+        assert!(window > 0, "window must span at least one epoch");
+        let store_bytes = k * (K::ENCODED_LEN + 4);
+        let sketch_bytes = (bytes / window).saturating_sub(store_bytes).max(8);
+        let cfg = HkConfig::builder()
+            .memory_bytes(sketch_bytes)
+            .k(k)
+            .seed(seed)
+            .build();
+        Self::new(cfg, window)
     }
 
     /// Number of epochs the window spans.
@@ -99,48 +157,134 @@ impl<K: FlowKey> SlidingTopK<K> {
         self.rotations
     }
 
-    /// Processes one packet of flow `key` into the newest epoch.
-    pub fn insert(&mut self, key: &K) {
+    /// The configuration each epoch is built from.
+    pub fn config(&self) -> &HkConfig {
+        &self.cfg
+    }
+
+    fn newest(&self) -> &ParallelTopK<K> {
+        self.epochs
+            .back()
+            .expect("at least one epoch is always live")
+    }
+
+    fn newest_mut(&mut self) -> &mut ParallelTopK<K> {
         self.epochs
             .back_mut()
             .expect("at least one epoch is always live")
-            .insert(key);
+    }
+
+    /// Processes one packet of flow `key` into the newest epoch.
+    pub fn insert(&mut self, key: &K) {
+        self.newest_mut().insert(key);
+    }
+
+    /// Processes a batch into the newest epoch through the batch-first
+    /// pipeline: one prepared-batch prehash + slot-table prolog, then a
+    /// pre-touched block walk ([`ParallelTopK::insert_batch`]). The
+    /// prolog scratch lives on the epoch and is recycled with it, so
+    /// steady-state windowed ingest allocates nothing.
+    pub fn insert_batch(&mut self, keys: &[K]) {
+        self.newest_mut().insert_batch(keys);
     }
 
     /// Crosses a period boundary: opens a fresh epoch and, once more
-    /// than `window` epochs are live, forgets the oldest.
+    /// than `window` epochs are live, *recycles* the oldest — its
+    /// bucket matrix is cleared with one memset and reused as the new
+    /// epoch ([`ParallelTopK::recycle`]), keeping the matrix's
+    /// eagerly-populated pages hot instead of allocating afresh.
     pub fn rotate(&mut self) {
         if self.epochs.len() == self.window {
-            self.epochs.pop_front();
+            let mut evicted = self
+                .epochs
+                .pop_front()
+                .expect("at least one epoch is always live");
+            evicted.recycle();
+            self.epochs.push_back(evicted);
+        } else {
+            self.epochs.push_back(ParallelTopK::new(self.cfg.clone()));
         }
-        self.epochs.push_back(ParallelTopK::new(self.cfg.clone()));
         self.rotations += 1;
+        // The closed set changed; cached closed-epoch sums are stale.
+        self.cache().clear();
+    }
+
+    fn cache(&self) -> std::sync::MutexGuard<'_, HashMap<K, u64>> {
+        // Never poisoned: no code path can panic while holding it.
+        self.closed_cache.lock().expect("closed-cache mutex")
+    }
+
+    /// Cap on cached closed-epoch sums: enough for every `top_k`
+    /// candidate (at most `W·k` per rotation) several times over, while
+    /// keeping the window's memory bounded no matter how many distinct
+    /// flows are point-queried between rotations — an unbounded map
+    /// would betray the sketch's fixed-memory contract.
+    fn closed_cache_cap(&self) -> usize {
+        (4 * self.window * self.cfg.k).max(1024)
+    }
+
+    /// The sum of per-epoch estimates over the closed epochs, through
+    /// the cache (one walk per closed epoch on a miss, one map lookup
+    /// afterwards until the next rotation). `p` is the caller's
+    /// prepared state for `key`.
+    fn closed_estimate(&self, key: &K, p: &PreparedKey) -> u64 {
+        if self.epochs.len() <= 1 {
+            return 0;
+        }
+        if let Some(&sum) = self.cache().get(key) {
+            return sum;
+        }
+        let sum = self
+            .epochs
+            .iter()
+            .take(self.epochs.len() - 1)
+            .map(|e| e.query_prepared(p))
+            .sum();
+        let mut cache = self.cache();
+        if cache.len() < self.closed_cache_cap() {
+            cache.insert(key.clone(), sum);
+        }
+        sum
+    }
+
+    /// Hashes a flow once; the prepared state is valid in every epoch
+    /// (shared seed).
+    fn prepare(&self, key: &K) -> PreparedKey {
+        let kb = key.key_bytes();
+        self.newest().sketch().prepare(kb.as_slice())
     }
 
     /// The flow's estimated size over the window: the sum of per-epoch
-    /// estimates. Never over-estimates the window count (each summand is
-    /// a per-epoch lower bound, Theorem 2).
+    /// estimates. The flow is hashed exactly once; closed-epoch sums
+    /// come from the rotation-invalidated cache. Never over-estimates
+    /// the window count (each summand is a per-epoch lower bound,
+    /// Theorem 2).
     pub fn query(&self, key: &K) -> u64 {
-        self.epochs.iter().map(|e| e.query(key)).sum()
+        let p = self.prepare(key);
+        self.closed_estimate(key, &p) + self.newest().query_prepared(&p)
     }
 
     /// The top-k flows over the window, largest first.
     ///
-    /// Candidates are the union of per-epoch top-k sets; each candidate
-    /// is re-estimated with the window query.
+    /// Candidates are the union of per-epoch top-k sets (hash-set
+    /// deduplicated, epoch order preserved); each candidate is
+    /// re-estimated with the window query. Ties keep first-encounter
+    /// order (stable sort), matching the pre-batch implementation
+    /// bit for bit.
     pub fn top_k(&self) -> Vec<(K, u64)> {
-        let mut seen: Vec<(K, u64)> = Vec::new();
+        let mut seen: HashSet<K> = HashSet::new();
+        let mut out: Vec<(K, u64)> = Vec::new();
         for epoch in &self.epochs {
             for (key, _) in epoch.top_k() {
-                if !seen.iter().any(|(k, _)| *k == key) {
+                if seen.insert(key.clone()) {
                     let est = self.query(&key);
-                    seen.push((key, est));
+                    out.push((key, est));
                 }
             }
         }
-        seen.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-        seen.truncate(self.cfg.k);
-        seen
+        out.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        out.truncate(self.cfg.k);
+        out
     }
 
     /// Accounted memory: `window` full instances (the epoch ring's cost).
@@ -151,6 +295,48 @@ impl<K: FlowKey> SlidingTopK<K> {
             .expect("at least one epoch is always live")
             .memory_bytes();
         per_epoch * self.window
+    }
+}
+
+impl<K: FlowKey> TopKAlgorithm<K> for SlidingTopK<K> {
+    fn insert(&mut self, key: &K) {
+        SlidingTopK::insert(self, key);
+    }
+
+    fn insert_batch(&mut self, keys: &[K]) {
+        SlidingTopK::insert_batch(self, keys);
+    }
+
+    fn query(&self, key: &K) -> u64 {
+        SlidingTopK::query(self, key)
+    }
+
+    fn top_k(&self) -> Vec<(K, u64)> {
+        SlidingTopK::top_k(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        SlidingTopK::memory_bytes(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "HK-Sliding"
+    }
+}
+
+impl<K: FlowKey> EpochRotate for SlidingTopK<K> {
+    fn rotate_epoch(&mut self) {
+        self.rotate();
+    }
+}
+
+impl<K: FlowKey> PreparedInsert<K> for SlidingTopK<K> {
+    fn hash_spec(&self) -> HashSpec {
+        self.newest().hash_spec()
+    }
+
+    fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
+        self.newest_mut().insert_prepared(key, p);
     }
 }
 
@@ -215,10 +401,32 @@ mod tests {
     }
 
     #[test]
+    fn closed_cache_does_not_hide_live_traffic() {
+        // A repeated query must keep seeing the newest epoch's growth:
+        // only the closed epochs are cached.
+        let mut win = SlidingTopK::<u64>::new(cfg(256, 4), 3);
+        for _ in 0..100 {
+            win.insert(&9);
+        }
+        win.rotate();
+        assert_eq!(win.query(&9), 100);
+        for _ in 0..50 {
+            win.insert(&9);
+        }
+        assert_eq!(win.query(&9), 150, "newest-epoch traffic visible at once");
+    }
+
+    #[test]
     fn no_overestimation_over_window() {
         use std::collections::HashMap;
-        let mut win = SlidingTopK::<u64>::new(cfg(128, 8), 3);
-        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // Per-epoch ground truth in a ring rotated alongside the sketch
+        // window, so the assertion is against the *true live-window*
+        // count — strictly tighter than the stream total once epochs
+        // have slid out.
+        let window = 3usize;
+        let mut win = SlidingTopK::<u64>::new(cfg(128, 8), window);
+        let mut truth_ring: VecDeque<HashMap<u64, u64>> = VecDeque::from([HashMap::new()]);
+        let mut stream_total: HashMap<u64, u64> = HashMap::new();
         let mut state = 13u64;
         for step in 0..30_000u64 {
             state ^= state << 13;
@@ -230,20 +438,58 @@ mod tests {
                 100 + state % 2000
             };
             win.insert(&f);
-            *truth.entry(f).or_insert(0) += 1;
+            *truth_ring.back_mut().unwrap().entry(f).or_insert(0) += 1;
+            *stream_total.entry(f).or_insert(0) += 1;
             if step % 5000 == 4999 {
                 win.rotate();
-                if win.rotations() >= 3 {
-                    // Window slid: restart the ground truth of the live
-                    // window by replaying from scratch is complex; instead
-                    // keep truth as the *stream total*, a valid upper
-                    // bound for the window count.
+                if truth_ring.len() == window {
+                    truth_ring.pop_front();
                 }
+                truth_ring.push_back(HashMap::new());
             }
         }
+        assert!(win.rotations() > window as u64, "window must have slid");
+        let window_truth = |f: u64| -> u64 { truth_ring.iter().filter_map(|m| m.get(&f)).sum() };
+        let mut tighter_than_total = false;
         for (f, est) in win.top_k() {
-            assert!(est <= truth[&f], "flow {f}: {est} > {}", truth[&f]);
+            let live = window_truth(f);
+            assert!(est <= live, "flow {f}: {est} > live-window truth {live}");
+            tighter_than_total |= live < stream_total[&f];
         }
+        assert!(
+            tighter_than_total,
+            "ring truth should be tighter than the stream total for some flow"
+        );
+    }
+
+    #[test]
+    fn closed_cache_is_bounded_and_capped_queries_stay_exact() {
+        let mut win = SlidingTopK::<u64>::new(cfg(256, 4), 2);
+        for _ in 0..100 {
+            win.insert(&1);
+        }
+        win.rotate();
+        // Probe far more distinct flows than the cap admits.
+        let cap = win.closed_cache_cap();
+        for f in 0..(cap as u64 * 3) {
+            let _ = win.query(&(1_000_000 + f));
+        }
+        assert!(
+            win.cache().len() <= cap,
+            "cache grew past its cap: {} > {cap}",
+            win.cache().len()
+        );
+        // Queries past the cap still answer correctly (uncached path).
+        assert_eq!(win.query(&1), 100);
+    }
+
+    #[test]
+    fn window_is_send_and_sync() {
+        // The closed-epoch cache must not cost the auto-traits: shared
+        // references to a window are usable across threads like every
+        // other algorithm in the workspace.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SlidingTopK<u64>>();
     }
 
     #[test]
@@ -276,6 +522,16 @@ mod tests {
     }
 
     #[test]
+    fn with_memory_splits_budget_across_epochs() {
+        let win = SlidingTopK::<u64>::with_memory(64 * 1024, 10, 3, 4);
+        assert_eq!(win.window(), 4);
+        // The whole ring is accounted roughly the given budget (rounding
+        // slack from the width derivation).
+        assert!(win.memory_bytes() <= 64 * 1024);
+        assert!(win.memory_bytes() >= 32 * 1024);
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let run = || {
             let mut win = SlidingTopK::<u64>::new(cfg(64, 4), 2);
@@ -288,5 +544,44 @@ mod tests {
             win.top_k()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batched_ingest_matches_scalar() {
+        // Full differential coverage lives in tests/window_differential.rs;
+        // this is the in-module smoke check.
+        let stream: Vec<u64> = (0..12_000u64).map(|i| (i * 7) % 300).collect();
+        let mut scalar = SlidingTopK::<u64>::new(cfg(128, 8), 3);
+        let mut batched = SlidingTopK::<u64>::new(cfg(128, 8), 3);
+        for (n, chunk) in stream.chunks(3000).enumerate() {
+            for p in chunk {
+                scalar.insert(p);
+            }
+            batched.insert_batch(chunk);
+            if n % 2 == 1 {
+                scalar.rotate();
+                batched.rotate();
+            }
+        }
+        assert_eq!(scalar.top_k(), batched.top_k());
+        for f in 0..300u64 {
+            assert_eq!(scalar.query(&f), batched.query(&f), "flow {f}");
+        }
+    }
+
+    #[test]
+    fn trait_surface_matches_inherent() {
+        fn generic_drive<A: TopKAlgorithm<u64> + EpochRotate>(a: &mut A) -> Vec<(u64, u64)> {
+            a.insert_batch(&[1, 1, 1, 2]);
+            a.rotate_epoch();
+            a.insert(&1);
+            a.top_k()
+        }
+        let mut win = SlidingTopK::<u64>::new(cfg(128, 4), 2);
+        let top = generic_drive(&mut win);
+        assert_eq!(win.rotations(), 1);
+        assert_eq!(top[0], (1, 4));
+        assert_eq!(TopKAlgorithm::query(&win, &2), 1);
+        assert_eq!(TopKAlgorithm::name(&win), "HK-Sliding");
     }
 }

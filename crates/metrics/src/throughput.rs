@@ -15,8 +15,15 @@
 //! observation-equivalent; only the per-packet overhead differs, which
 //! is exactly what the `batched_vs_scalar` bench and the
 //! `BENCH_ingest.json` snapshot track.
+//!
+//! Windowed workloads — the sliding-window scenario, where a period
+//! clock rotates epochs during ingest — are measured by
+//! [`measure_windowed_mps_with`]: the same ingest modes, plus an
+//! [`EpochRotate::rotate_epoch`] call every `epoch_packets` packets.
+//! The `sliding_batch` bench and the `BENCH_window.json` snapshot
+//! compare its scalar and batched modes against steady-state ingest.
 
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{EpochRotate, TopKAlgorithm};
 use hk_common::key::FlowKey;
 use std::time::Instant;
 
@@ -127,6 +134,105 @@ where
     }
 }
 
+/// Feeds `packets` as `epoch_packets`-sized periods under `mode`,
+/// calling [`EpochRotate::rotate_epoch`] at every *interior* period
+/// boundary (no rotation after the final, possibly short, period).
+///
+/// The one definition of the windowed ingest discipline — the
+/// throughput harness and the CLI's `hk run --window` both drive
+/// through it, so their notion of a period boundary cannot diverge.
+///
+/// # Panics
+///
+/// Panics if `epoch_packets == 0` or a batched mode has batch size 0.
+pub fn ingest_windowed<K, A>(algo: &mut A, packets: &[K], mode: IngestMode, epoch_packets: usize)
+where
+    K: FlowKey,
+    A: TopKAlgorithm<K> + EpochRotate,
+{
+    assert!(epoch_packets > 0, "epoch length must be positive");
+    if let IngestMode::Batched(b) = mode {
+        assert!(b > 0, "batch size must be positive");
+    }
+    let mut periods = packets.chunks(epoch_packets).peekable();
+    while let Some(period) = periods.next() {
+        match mode {
+            IngestMode::Scalar => {
+                for p in period {
+                    algo.insert(p);
+                }
+            }
+            IngestMode::Batched(batch) => {
+                for chunk in period.chunks(batch) {
+                    algo.insert_batch(chunk);
+                }
+            }
+        }
+        if periods.peek().is_some() {
+            algo.rotate_epoch();
+        }
+    }
+}
+
+/// [`measure_mps_with`] for windowed (epoch-rotating) algorithms: the
+/// trace is cut into `epoch_packets`-sized periods and
+/// [`EpochRotate::rotate_epoch`] is called at every interior period
+/// boundary, inside the timed region — rotation cost (epoch recycling,
+/// cache invalidation) is part of windowed ingest, so it is measured.
+///
+/// Within each period the packets are fed under `mode` (scalar inserts
+/// or `insert_batch` chunks, chunk boundaries aligned to periods).
+///
+/// # Panics
+///
+/// Panics if `packets` is empty, `repeats == 0`, `epoch_packets == 0`,
+/// or a batched mode has batch size 0.
+pub fn measure_windowed_mps_with<K, A, F>(
+    mut make_algo: F,
+    packets: &[K],
+    repeats: usize,
+    mode: IngestMode,
+    epoch_packets: usize,
+) -> ThroughputReport
+where
+    K: FlowKey,
+    A: TopKAlgorithm<K> + EpochRotate,
+    F: FnMut() -> A,
+{
+    assert!(!packets.is_empty(), "need packets to measure");
+    assert!(repeats > 0, "need at least one repeat");
+    assert!(epoch_packets > 0, "epoch length must be positive");
+    if let IngestMode::Batched(b) = mode {
+        assert!(b > 0, "batch size must be positive");
+    }
+
+    let ingest = |algo: &mut A, packets: &[K]| ingest_windowed(algo, packets, mode, epoch_packets);
+
+    // Warm-up run: touches the allocator and fills caches.
+    {
+        let mut algo = make_algo();
+        ingest(&mut algo, &packets[..packets.len().min(100_000)]);
+    }
+
+    let mut best = 0.0f64;
+    let mut sum = 0.0f64;
+    for _ in 0..repeats {
+        let mut algo = make_algo();
+        let start = Instant::now();
+        ingest(&mut algo, packets);
+        let secs = start.elapsed().as_secs_f64();
+        let mps = packets.len() as f64 / secs / 1e6;
+        best = best.max(mps);
+        sum += mps;
+        std::hint::black_box(algo.top_k().len());
+    }
+    ThroughputReport {
+        mps_best: best,
+        mps_mean: sum / repeats as f64,
+        packets: packets.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +260,45 @@ mod tests {
             let r = measure_mps_with(mk, &packets, 1, mode);
             assert!(r.mps_best > 0.0, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn windowed_modes_run_and_rotate() {
+        use heavykeeper::sliding::SlidingTopK;
+        let packets: Vec<u64> = (0..30_000u64).map(|i| i % 64).collect();
+        let mk = || SlidingTopK::<u64>::new(HkConfig::builder().width(128).k(8).build(), 3);
+        for mode in [IngestMode::Scalar, IngestMode::Batched(1024)] {
+            let r = measure_windowed_mps_with(mk, &packets, 1, mode, 10_000);
+            assert!(r.mps_best > 0.0, "{mode:?}");
+        }
+        // Rotation count is deterministic: interior boundaries only.
+        let mut win = mk();
+        let mut periods = packets.chunks(10_000).peekable();
+        while let Some(period) = periods.next() {
+            win.insert_batch(period);
+            if periods.peek().is_some() {
+                win.rotate();
+            }
+        }
+        assert_eq!(win.rotations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_panics() {
+        let packets: Vec<u64> = vec![1];
+        measure_windowed_mps_with(
+            || {
+                heavykeeper::sliding::SlidingTopK::<u64>::new(
+                    HkConfig::builder().width(16).k(2).build(),
+                    2,
+                )
+            },
+            &packets,
+            1,
+            IngestMode::Scalar,
+            0,
+        );
     }
 
     #[test]
