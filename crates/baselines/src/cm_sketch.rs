@@ -154,6 +154,19 @@ impl<K: FlowKey> PreparedInsert<K> for CmSketchTopK<K> {
         self.spec
     }
 
+    fn insert_prepared_batch(&mut self, keys: &[K], prepared: &[PreparedKey]) {
+        // Hash-once handoff: the dispatcher already prepared the batch
+        // under this spec, so skip the prehash prolog entirely.
+        debug_assert_eq!(keys.len(), prepared.len(), "misaligned prepared batch");
+        for (key, p) in keys.iter().zip(prepared) {
+            self.insert_prepared(key, p);
+        }
+    }
+
+    fn consumes_prepared(&self) -> bool {
+        true
+    }
+
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
         self.record_prepared(p);
         let est = self.estimate_prepared(p);
@@ -164,7 +177,7 @@ impl<K: FlowKey> PreparedInsert<K> for CmSketchTopK<K> {
                 self.heap.update(key, est);
             }
         } else if !self.heap.is_full() || est > self.heap.min_count().unwrap_or(0) {
-            self.heap.offer(key.clone(), est);
+            self.heap.offer(*key, est);
         }
     }
 }

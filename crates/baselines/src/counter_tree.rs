@@ -133,7 +133,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for CounterTreeTopK<K> {
                 self.heap.update(key, est);
             }
         } else if (!self.heap.is_full() || est > self.heap.min_count().unwrap_or(0)) && est > 0 {
-            self.heap.offer(key.clone(), est);
+            self.heap.offer(*key, est);
         }
     }
 

@@ -93,14 +93,14 @@ impl<K: FlowKey> TopKAlgorithm<K> for CssTopK<K> {
             // the same entry, exactly like a TinyTable fingerprint hit.
         } else if !self.summary.is_full() {
             self.summary.insert(fp, 1);
-            self.rep.insert(fp, key.clone());
+            self.rep.insert(fp, *key);
         } else {
             let min = self.summary.min_count().unwrap_or(0);
             if let Some((old_fp, _)) = self.summary.evict_min() {
                 self.rep.remove(&old_fp);
             }
             self.summary.insert(fp, min + 1);
-            self.rep.insert(fp, key.clone());
+            self.rep.insert(fp, *key);
         }
     }
 
@@ -112,7 +112,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for CssTopK<K> {
         self.summary
             .top_k(self.k)
             .into_iter()
-            .filter_map(|(fp, c)| self.rep.get(&fp).map(|k| (k.clone(), c)))
+            .filter_map(|(fp, c)| self.rep.get(&fp).map(|k| (*k, c)))
             .collect()
     }
 

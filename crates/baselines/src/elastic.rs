@@ -141,7 +141,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for ElasticTopK<K> {
         let bucket = &mut self.heavy[i];
         match &bucket.key {
             None => {
-                bucket.key = Some(key.clone());
+                bucket.key = Some(*key);
                 bucket.vote_pos = 1;
                 bucket.vote_neg = 0;
                 bucket.flag = false;
@@ -155,7 +155,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for ElasticTopK<K> {
                     // Evict the resident into the light part.
                     let old_key = bucket.key.take().expect("occupied bucket");
                     let old_votes = bucket.vote_pos;
-                    bucket.key = Some(key.clone());
+                    bucket.key = Some(*key);
                     bucket.vote_pos = 1;
                     bucket.vote_neg = 0;
                     // The newcomer had earlier packets counted as votes
@@ -190,7 +190,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for ElasticTopK<K> {
             .filter_map(|b| {
                 b.key.as_ref().map(|k| {
                     let kb = k.key_bytes();
-                    (k.clone(), self.estimate_with(b, kb.as_slice()))
+                    (*k, self.estimate_with(b, kb.as_slice()))
                 })
             })
             .collect();

@@ -70,7 +70,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for FrequentTopK<K> {
         if let Some(c) = self.counters.get_mut(key) {
             *c += 1;
         } else if self.counters.len() < self.m {
-            self.counters.insert(key.clone(), 1);
+            self.counters.insert(*key, 1);
         } else {
             // Decrement-all; free zeroed counters.
             self.counters.retain(|_, c| {
@@ -85,7 +85,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for FrequentTopK<K> {
     }
 
     fn top_k(&self) -> Vec<(K, u64)> {
-        let mut v: Vec<(K, u64)> = self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        let mut v: Vec<(K, u64)> = self.counters.iter().map(|(k, &c)| (*k, c)).collect();
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);
         v

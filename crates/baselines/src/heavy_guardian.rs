@@ -107,7 +107,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for HeavyGuardianTopK<K> {
         }
         // Empty cell?
         if let Some(cell) = bucket.iter_mut().find(|c| c.key.is_none()) {
-            cell.key = Some(key.clone());
+            cell.key = Some(*key);
             cell.count = 1;
             return;
         }
@@ -124,7 +124,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for HeavyGuardianTopK<K> {
             let cell = &mut bucket[weakest];
             cell.count -= 1;
             if cell.count == 0 {
-                cell.key = Some(key.clone());
+                cell.key = Some(*key);
                 cell.count = 1;
             }
         }
@@ -145,7 +145,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for HeavyGuardianTopK<K> {
             .buckets
             .iter()
             .flatten()
-            .filter_map(|c| c.key.as_ref().map(|k| (k.clone(), c.count)))
+            .filter_map(|c| c.key.as_ref().map(|k| (*k, c.count)))
             .collect();
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);

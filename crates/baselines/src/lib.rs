@@ -53,3 +53,49 @@ pub use frequent::FrequentTopK;
 pub use heavy_guardian::HeavyGuardianTopK;
 pub use lossy_counting::LossyCountingTopK;
 pub use space_saving::SpaceSavingTopK;
+
+/// The hash spec baselines without a [`hk_common::prepared`] pipeline
+/// report from [`hk_common::PreparedInsert::hash_spec`]. These
+/// algorithms (counter summaries, or sketches hashing through their own
+/// `HashFamily`) never consume a `PreparedKey` — they also report
+/// `consumes_prepared() == false` (the trait default), so the sharded
+/// engine routes them without buffering or shipping prepared state.
+/// The spec's only job is to exist and be deterministic.
+pub const ROUTE_ONLY_SPEC_SEED: u64 = 0xBA5E_11E5;
+
+/// Implements [`hk_common::PreparedInsert`] for algorithms that do not
+/// hash with a [`hk_common::prepared::HashSpec`]: the prepared state is
+/// routing-only (`insert_prepared` falls back to `insert`, the trait's
+/// default `insert_prepared_batch` rides the algorithm's own
+/// `insert_batch`, and the default `consumes_prepared() == false`
+/// tells engines not to ship prepared keys at all).
+macro_rules! impl_route_only_prepared {
+    ($($ty:ident),+ $(,)?) => {$(
+        impl<K: hk_common::key::FlowKey> hk_common::PreparedInsert<K> for $ty<K> {
+            fn hash_spec(&self) -> hk_common::prepared::HashSpec {
+                hk_common::prepared::HashSpec::new(ROUTE_ONLY_SPEC_SEED, 32)
+            }
+
+            fn insert_prepared(
+                &mut self,
+                key: &K,
+                _p: &hk_common::prepared::PreparedKey,
+            ) {
+                use hk_common::TopKAlgorithm;
+                self.insert(key);
+            }
+        }
+    )+};
+}
+
+impl_route_only_prepared!(
+    ColdFilterTopK,
+    CountSketchTopK,
+    CounterTreeTopK,
+    CssTopK,
+    ElasticTopK,
+    FrequentTopK,
+    HeavyGuardianTopK,
+    LossyCountingTopK,
+    SpaceSavingTopK,
+);

@@ -94,7 +94,7 @@ impl<K: FlowKey> LossyCountingTopK<K> {
             .table
             .iter()
             .min_by_key(|(_, e)| e.count + e.delta)
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
         {
             self.table.remove(&victim);
         }
@@ -111,7 +111,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for LossyCountingTopK<K> {
                 self.evict_smallest();
             }
             self.table.insert(
-                key.clone(),
+                *key,
                 Entry {
                     count: 1,
                     delta: self.bucket - 1,
@@ -137,7 +137,7 @@ impl<K: FlowKey> TopKAlgorithm<K> for LossyCountingTopK<K> {
         let mut v: Vec<(K, u64)> = self
             .table
             .iter()
-            .map(|(k, e)| (k.clone(), e.count + e.delta))
+            .map(|(k, e)| (*k, e.count + e.delta))
             .collect();
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(self.k);

@@ -71,12 +71,12 @@ impl<K: FlowKey> TopKAlgorithm<K> for SpaceSavingTopK<K> {
         if self.summary.contains(key) {
             self.summary.increment(key, 1);
         } else if !self.summary.is_full() {
-            self.summary.insert(key.clone(), 1);
+            self.summary.insert(*key, 1);
         } else {
             // Admit-all: expel the minimum, inherit its count + 1.
             let min = self.summary.min_count().unwrap_or(0);
             self.summary.evict_min();
-            self.summary.insert(key.clone(), min + 1);
+            self.summary.insert(*key, min + 1);
         }
     }
 

@@ -6,7 +6,7 @@ use hk_baselines::{
     CmSketchTopK, ColdFilterTopK, CountSketchTopK, CounterTreeTopK, CssTopK, ElasticTopK,
     FrequentTopK, HeavyGuardianTopK, LossyCountingTopK, SpaceSavingTopK,
 };
-use hk_common::algorithm::TopKAlgorithm;
+use hk_common::algorithm::{PreparedInsert, TopKAlgorithm};
 use hk_metrics::accuracy::evaluate_topk;
 use hk_traffic::oracle::ExactCounter;
 use hk_traffic::synthetic::{all_distinct, exact_zipf, sampled_zipf, uniform, Trace};
@@ -30,7 +30,7 @@ USAGE:
               [--payload BYTES]
   hk pcap     --in FILE [--by packets|bytes] [--memory-kb KB] [--k K] [--seed X]
   hk change   --trace FILE [--epochs N] [--threshold T] [--memory-kb KB]
-              [--k K] [--seed X]
+              [--k K] [--seed X] [--batch N]
   hk help
 
 Algorithms for --algo:
@@ -40,13 +40,16 @@ Algorithms for --algo:
 ";
 
 /// Builds an algorithm by CLI name. The box is `Send` so instances can
-/// be handed to sharded-engine worker threads.
+/// be handed to sharded-engine worker threads, and carries the
+/// [`PreparedInsert`] capability so same-seed shards ride the engine's
+/// hash-once prepared handoff (algorithms without a prepared pipeline
+/// fall back to their own `insert_batch` behind it).
 pub fn make_algo(
     name: &str,
     mem: usize,
     k: usize,
     seed: u64,
-) -> Result<Box<dyn TopKAlgorithm<u64> + Send>, CliError> {
+) -> Result<Box<dyn PreparedInsert<u64> + Send>, CliError> {
     Ok(match name {
         "parallel" => Box::new(ParallelTopK::<u64>::with_memory(mem, k, seed)),
         "minimum" => Box::new(MinimumTopK::<u64>::with_memory(mem, k, seed)),
@@ -189,7 +192,7 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
 fn check_shard_health<K, A>(engine: &ShardedEngine<K, A>) -> Result<(), CliError>
 where
     K: hk_common::key::FlowKey + Send + 'static,
-    A: TopKAlgorithm<K> + Send + 'static,
+    A: PreparedInsert<K> + Send + 'static,
 {
     engine
         .flush()
@@ -529,11 +532,15 @@ pub fn change(args: &Args) -> Result<(), CliError> {
     let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
     let k: usize = args.num_or("k", 100)?;
     let seed: u64 = args.num_or("seed", 1)?;
+    let batch: usize = args.num_or("batch", 4096)?;
     if epochs == 0 {
         return Err(CliError::Usage("--epochs must be positive".into()));
     }
     if threshold == 0 {
         return Err(CliError::Usage("--threshold must be positive".into()));
+    }
+    if batch == 0 {
+        return Err(CliError::Usage("--batch must be positive".into()));
     }
 
     let cfg = HkConfig::builder()
@@ -544,13 +551,15 @@ pub fn change(args: &Args) -> Result<(), CliError> {
     let mut det = HeavyChangeDetector::<u64>::new(cfg, threshold);
     let chunk = trace.packets.len().div_ceil(epochs).max(1);
     println!(
-        "{}: {} packets, {epochs} epochs of ~{chunk}, threshold {threshold}",
+        "{}: {} packets, {epochs} epochs of ~{chunk}, threshold {threshold}, batch {batch}",
         trace.name,
         trace.len()
     );
     for (e, packets) in trace.packets.chunks(chunk).enumerate() {
-        for p in packets {
-            det.insert(p);
+        // Batch-first ingest: each epoch streams through insert_batch
+        // (prepared-batch prolog + pre-touched walk), like `hk run`.
+        for b in packets.chunks(batch) {
+            det.insert_batch(b);
         }
         let changes = det.end_epoch();
         println!("epoch {e}: {} heavy change(s)", changes.len());
@@ -927,9 +936,30 @@ mod tests {
         .unwrap();
         change(&ch).unwrap();
 
+        // Batched change run (the detector rides insert_batch).
+        let ch = Args::parse(&sv(&[
+            "change",
+            "--trace",
+            path_s,
+            "--epochs",
+            "3",
+            "--threshold",
+            "500",
+            "--memory-kb",
+            "16",
+            "--k",
+            "20",
+            "--batch",
+            "512",
+        ]))
+        .unwrap();
+        change(&ch).unwrap();
+
         let bad = Args::parse(&sv(&["change", "--trace", path_s, "--epochs", "0"])).unwrap();
         assert!(change(&bad).is_err());
         let bad = Args::parse(&sv(&["change", "--trace", path_s, "--threshold", "0"])).unwrap();
+        assert!(change(&bad).is_err());
+        let bad = Args::parse(&sv(&["change", "--trace", path_s, "--batch", "0"])).unwrap();
         assert!(change(&bad).is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -120,6 +120,59 @@ pub trait PreparedInsert<K: FlowKey>: TopKAlgorithm<K> {
     /// [`PreparedInsert::hash_spec`]. Must be observation-equivalent to
     /// [`TopKAlgorithm::insert`] of the same key.
     fn insert_prepared(&mut self, key: &K, prepared: &PreparedKey);
+
+    /// Processes a batch whose hash state was already computed under
+    /// [`PreparedInsert::hash_spec`]: `prepared[i]` is the prepared
+    /// state of `keys[i]`. Must be observation-equivalent to
+    /// [`TopKAlgorithm::insert_batch`] of the same keys.
+    ///
+    /// This is the worker half of the hash-once dispatch plane: an
+    /// upstream stage (the sharded dispatcher, an RSS producer) that
+    /// already hashed every key for routing ships both arrays, and the
+    /// algorithm skips its own prehash prolog — per-array slot tables
+    /// and bucket walks still run locally, where the sketch geometry
+    /// (including mid-stream Section III-F expansion) is known.
+    ///
+    /// The default forwards to [`TopKAlgorithm::insert_batch`] and
+    /// ignores `prepared` — correct for every implementation (prepared
+    /// state is derived, never extra information), and the right
+    /// behavior for algorithms that do not hash with a [`HashSpec`] at
+    /// all. Algorithms with a real prehash prolog override it (and
+    /// should then also override [`PreparedInsert::consumes_prepared`]).
+    fn insert_prepared_batch(&mut self, keys: &[K], prepared: &[PreparedKey]) {
+        debug_assert_eq!(keys.len(), prepared.len(), "misaligned prepared batch");
+        let _ = prepared;
+        self.insert_batch(keys);
+    }
+
+    /// True when [`PreparedInsert::insert_prepared_batch`] actually
+    /// reads the shipped prepared state. An upstream stage that has
+    /// hashed for routing uses this to decide whether buffering and
+    /// shipping the `PreparedKey`s is worth the bandwidth — for an
+    /// algorithm that would discard them (the default
+    /// `insert_prepared_batch` above), routing-only is cheaper.
+    ///
+    /// The default is `false`, matching the default
+    /// `insert_prepared_batch`; implementations that override the batch
+    /// entry to consume the prepared state override this to `true`.
+    fn consumes_prepared(&self) -> bool {
+        false
+    }
+}
+
+impl<K: FlowKey, T: PreparedInsert<K> + ?Sized> PreparedInsert<K> for Box<T> {
+    fn hash_spec(&self) -> HashSpec {
+        (**self).hash_spec()
+    }
+    fn insert_prepared(&mut self, key: &K, prepared: &PreparedKey) {
+        (**self).insert_prepared(key, prepared);
+    }
+    fn insert_prepared_batch(&mut self, keys: &[K], prepared: &[PreparedKey]) {
+        (**self).insert_prepared_batch(keys, prepared);
+    }
+    fn consumes_prepared(&self) -> bool {
+        (**self).consumes_prepared()
+    }
 }
 
 #[cfg(test)]

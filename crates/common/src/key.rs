@@ -55,6 +55,13 @@ impl AsRef<[u8]> for KeyBytes {
 
 /// A type usable as a flow identifier by every sketch in the workspace.
 ///
+/// Flow IDs are small fixed-width values (at most [`MAX_KEY_BYTES`]
+/// bytes — a 5-tuple is 13), so the trait requires `Copy`: every stage
+/// that re-buffers keys (the sharded dispatch plane partitioning a
+/// batch into per-shard sub-batches, ring transfers, top-k reports) is
+/// a plain store into a recycled buffer, never a per-packet `clone()`
+/// that could hide an allocation.
+///
 /// # Examples
 ///
 /// ```
@@ -62,7 +69,7 @@ impl AsRef<[u8]> for KeyBytes {
 /// let id: u64 = 42;
 /// assert_eq!(id.key_bytes().as_slice(), &42u64.to_le_bytes());
 /// ```
-pub trait FlowKey: Eq + Hash + Clone {
+pub trait FlowKey: Eq + Hash + Copy {
     /// Width of the byte encoding, used for memory accounting (how many
     /// bytes a structure storing full flow IDs is charged per entry).
     const ENCODED_LEN: usize;

@@ -157,6 +157,25 @@ impl PreparedBatch {
         arrays: usize,
         width: usize,
     ) {
+        spec.prepare_batch(keys, &mut self.keys);
+        self.fill_slots(arrays, width);
+    }
+
+    /// Fills the scratch from **already-prepared** keys: copies them in
+    /// and caches their slot tables without re-hashing anything. The
+    /// worker half of the hash-once dispatch handoff — an upstream
+    /// stage shipped `prepared` (one hash per key, paid once, at
+    /// routing time), and this recovers the full batch-prolog state for
+    /// the local `(arrays, width)` geometry with a memcpy plus the slot
+    /// multiply-shifts.
+    pub fn prepare_from(&mut self, prepared: &[PreparedKey], arrays: usize, width: usize) {
+        self.keys.clear();
+        self.keys.extend_from_slice(prepared);
+        self.fill_slots(arrays, width);
+    }
+
+    /// The shared slot-table fill of the two prologs.
+    fn fill_slots(&mut self, arrays: usize, width: usize) {
         // Hard assert (once per batch, not per key): slots are cached as
         // `u32`, so a wider row would silently truncate in release
         // builds and break the insert == insert_batch contract.
@@ -164,7 +183,6 @@ impl PreparedBatch {
             width as u64 <= u32::MAX as u64 + 1,
             "width exceeds the u32 slot-cache range"
         );
-        spec.prepare_batch(keys, &mut self.keys);
         self.arrays = arrays;
         // Size once, then write through the slice: the fill loop is
         // branch-free (no per-push capacity checks).
@@ -346,6 +364,28 @@ mod tests {
         batch.prepare(&spec, &keys[..10], arrays, width);
         assert_eq!(batch.len(), 10);
         assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn prepare_from_matches_hashing_prolog() {
+        // The handoff prolog (already-prepared keys shipped in) must
+        // rebuild exactly the scratch the hashing prolog would.
+        let spec = HashSpec::new(42, 16);
+        let keys: Vec<u64> = (0..300).collect();
+        let (arrays, width) = (4usize, 512usize);
+        let mut hashed = PreparedBatch::new();
+        hashed.prepare(&spec, &keys, arrays, width);
+        let mut handoff = PreparedBatch::new();
+        handoff.prepare_from(hashed.keys(), arrays, width);
+        assert_eq!(handoff.len(), hashed.len());
+        assert_eq!(handoff.arrays(), hashed.arrays());
+        for idx in 0..keys.len() {
+            let (a, b) = (hashed.entry(idx), handoff.entry(idx));
+            assert_eq!(a.key(), b.key());
+            for j in 0..arrays {
+                assert_eq!(a.slot(j, width), b.slot(j, width));
+            }
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl<K: FlowKey> BasicTopK<K> {
             // nmin() is 0 while the store is not full, so early flows with
             // any positive estimate are admitted, as in the paper.
             if estimate > 0 {
-                self.store.admit(key.clone(), estimate);
+                self.store.admit(*key, estimate);
             }
         }
     }
@@ -138,6 +138,17 @@ impl<K: FlowKey> PreparedInsert<K> for BasicTopK<K> {
 
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
         self.insert_keyed(key, p);
+    }
+
+    fn insert_prepared_batch(&mut self, keys: &[K], prepared: &[PreparedKey]) {
+        // Hash-once handoff: the upstream stage already prepared every
+        // key; rebuild the slot table locally and go straight to the
+        // pre-touched block walk.
+        crate::sketch::hk_insert_prepared_batch_body!(self, keys, prepared);
+    }
+
+    fn consumes_prepared(&self) -> bool {
+        true
     }
 }
 

@@ -183,7 +183,7 @@ impl<K: FlowKey> Collector<K> {
                     Some(m) => c.max(m.query(key)),
                     None => c,
                 };
-                (key.clone(), est)
+                (*key, est)
             })
             .collect();
         all.sort_by_key(|&(_, c)| std::cmp::Reverse(c));

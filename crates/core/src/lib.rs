@@ -64,6 +64,7 @@ pub mod parallel;
 pub mod sharded;
 pub mod sketch;
 pub mod sliding;
+pub mod spsc;
 pub mod stats;
 pub mod store;
 pub mod weighted;

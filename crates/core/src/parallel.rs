@@ -152,14 +152,14 @@ impl<K: FlowKey> ParallelTopK<K> {
             self.store.update_max(key, heavy_v);
         } else if !self.store.is_full() {
             if heavy_v > 0 {
-                self.store.admit(key.clone(), heavy_v);
+                self.store.admit(*key, heavy_v);
                 self.sketch.stats_mut().admissions += 1;
             }
         } else if heavy_v == nmin + 1 {
             // Optimization I: only the exact n_min + 1 estimate is a
             // legitimate promotion; anything larger is a fingerprint
             // collision (Theorem 1).
-            self.store.admit(key.clone(), heavy_v);
+            self.store.admit(*key, heavy_v);
             self.sketch.stats_mut().admissions += 1;
         } else if heavy_v > nmin {
             self.sketch.stats_mut().admissions_rejected += 1;
@@ -206,6 +206,17 @@ impl<K: FlowKey> PreparedInsert<K> for ParallelTopK<K> {
 
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
         self.insert_keyed(key, p);
+    }
+
+    fn insert_prepared_batch(&mut self, keys: &[K], prepared: &[PreparedKey]) {
+        // Hash-once handoff: the upstream stage already prepared every
+        // key; rebuild the slot table locally and go straight to the
+        // pre-touched block walk.
+        crate::sketch::hk_insert_prepared_batch_body!(self, keys, prepared);
+    }
+
+    fn consumes_prepared(&self) -> bool {
+        true
     }
 }
 

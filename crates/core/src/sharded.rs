@@ -5,17 +5,33 @@
 //! packets are measured independently (Section VII). [`ShardedEngine`]
 //! is that architecture in software, generalized over *every* algorithm
 //! in the workspace — HK variants and baselines alike — through the
-//! [`TopKAlgorithm`] trait:
+//! [`PreparedInsert`] capability (whose supertrait is
+//! [`TopKAlgorithm`]):
 //!
-//! * **Routing.** Flows are hash-partitioned by a dedicated route hash
-//!   (independent of any algorithm's seed), so each flow's packets all
-//!   land on one shard and per-flow counts are never split.
-//! * **Ingest.** Each shard is an owned algorithm instance behind its
-//!   own worker thread, fed whole batches over a channel; the worker
-//!   runs the shard's [`TopKAlgorithm::insert_batch`] (and with it the
-//!   prepared-key prolog). No locks are touched on the hot path except
-//!   each worker's own shard mutex, which is uncontended while
-//!   streaming.
+//! * **Hash-once routing.** The dispatch plane prepares each key
+//!   exactly once. When every shard reports the same
+//!   [`PreparedInsert::hash_spec`] **and** consumes prepared batches
+//!   ([`PreparedInsert::consumes_prepared`] — the common case for HK
+//!   shards, which share a seed to stay merge-compatible), the same
+//!   [`PreparedKey`] that picks the shard (via [`PreparedKey::lane`],
+//!   a further fold of the hash, independent of bucket placement) is
+//!   **shipped to the worker**, which ingests through
+//!   [`PreparedInsert::insert_prepared_batch`] — no second hash
+//!   anywhere. Shards with divergent specs (e.g. per-shard seeds), or
+//!   shards that would discard prepared state (non-hashing baselines),
+//!   fall back to routing under a dedicated seed and worker-side
+//!   `insert_batch`.
+//! * **Zero-alloc dispatch.** Keys are partitioned into per-shard
+//!   structure-of-arrays sub-batches (`keys` + `PreparedKey`s, plain
+//!   `Copy` stores — [`FlowKey`] keys are small POD, never cloned
+//!   through an allocation). Filled sub-batches travel to workers over
+//!   bounded [`SpscRing`]s and the drained buffers come back over a
+//!   per-shard **return ring**, so after warm-up a steady stream
+//!   dispatches with no allocation at all
+//!   ([`ShardedEngine::dispatch_buffers_allocated`] stops moving).
+//!   A full work ring is **backpressure**: the dispatcher holds the
+//!   batch until the worker frees a slot, instead of queueing without
+//!   bound.
 //! * **Merge at query.** Because flows are partitioned, the global
 //!   top-k is the k largest of the union of per-shard top-ks — no
 //!   cross-shard double counting. For HK shards the classic sketch
@@ -31,18 +47,25 @@
 //! [`TopKAlgorithm::insert_batch`] dispatches at every call boundary.
 //! Any read ([`TopKAlgorithm::query`] / [`TopKAlgorithm::top_k`])
 //! first dispatches pending packets and then **flushes**: it waits until
-//! every shard has drained its channel, so reads always observe every
+//! every shard has drained its ring, so reads always observe every
 //! packet inserted before them — the pipeline lag is bounded by the
 //! flush, not exposed to readers. Within one shard packets are
 //! processed in arrival order by a single thread, so results are
 //! deterministic: independent of scheduling, equal to running each
 //! shard's sub-stream sequentially.
 //!
+//! ## Worker wakeups
+//!
+//! Workers spin briefly on an empty ring, then advertise themselves
+//! asleep and park; the dispatcher unparks a sleeping worker only after
+//! an actual push (edge-triggered — no per-send syscalls while the
+//! worker is busy, unlike an mpsc channel's per-send notification).
+//!
 //! ## Worker death
 //!
-//! A shard algorithm that panics inside `insert_batch` kills its worker
-//! thread. The engine does **not** propagate that as a panic on the
-//! caller thread: the shard is marked *poisoned*, [`ShardedEngine::flush`]
+//! A shard algorithm that panics inside ingest kills its worker thread.
+//! The engine does **not** propagate that as a panic on the caller
+//! thread: the shard is marked *poisoned*, [`ShardedEngine::flush`]
 //! (and the non-trait ingest/rotation entry points) report it as a
 //! [`ShardPoisoned`] error, packets routed to it are dropped and counted
 //! in [`ShardedEngine::lost_packets`], and reads keep serving from the
@@ -55,7 +78,7 @@
 //! phase-aligns period boundaries across shards:
 //! [`ShardedEngine::rotate_all`] dispatches everything pending and then
 //! enqueues a rotation control message behind it on every shard's
-//! channel, so every shard rotates at the same point of its sub-stream
+//! ring, so every shard rotates at the same point of its sub-stream
 //! without a stop-the-world barrier.
 //!
 //! This replaces the old `ShardedParallelTopK` special case (which
@@ -66,29 +89,71 @@ use crate::config::HkConfig;
 use crate::merge::MergeError;
 use crate::minimum::MinimumTopK;
 use crate::parallel::ParallelTopK;
-use hk_common::algorithm::{EpochRotate, TopKAlgorithm};
+use crate::spsc::{PushError, SpscRing};
+use hk_common::algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
-use hk_common::prepared::HashSpec;
+use hk_common::prepared::{HashSpec, PreparedKey};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Seed of the routing hash. Distinct from every algorithm seed in use
+/// Seed of the fallback routing hash, used only when shards disagree on
+/// their [`PreparedInsert::hash_spec`] (so no single prepared key is
+/// portable to every shard). Distinct from every algorithm seed in use
 /// so shard assignment stays independent of bucket placement.
 const ROUTE_SEED: u64 = 0x5EED_0F50 ^ 0xA110_C8ED;
 
 /// Default number of scalar inserts buffered before a dispatch.
 pub const DEFAULT_BATCH_CAPACITY: usize = 4096;
 
+/// Work-ring depth per shard: how many dispatched sub-batches may be in
+/// flight before the dispatcher blocks (backpressure). Small on
+/// purpose — at the default batch size one slot is thousands of
+/// packets, and a deep ring would only hide a slow shard behind queue
+/// growth.
+const WORK_RING_CAPACITY: usize = 8;
+
+/// Return-ring depth: work ring + the buffer the worker holds + the one
+/// the dispatcher is filling, so a drained buffer essentially always
+/// finds a free return slot (an overflowing return drops the buffer —
+/// self-correcting, the dispatcher allocates a fresh one on demand).
+const RECYCLE_RING_CAPACITY: usize = WORK_RING_CAPACITY + 2;
+
+/// How many empty polls a worker burns before parking.
+const WORKER_SPIN: usize = 64;
+
+/// A routed sub-batch in structure-of-arrays form: flow keys and, on
+/// the hash-once handoff path, their prepared hash state (index
+/// aligned; empty in route-only mode). Buffers cycle dispatcher →
+/// work ring → worker → return ring → dispatcher, keeping their
+/// capacity, so steady-state dispatch neither allocates nor frees.
+struct SubBatch<K> {
+    keys: Vec<K>,
+    prepared: Vec<PreparedKey>,
+}
+
+impl<K> SubBatch<K> {
+    fn new() -> Self {
+        Self {
+            keys: Vec::new(),
+            prepared: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.prepared.clear();
+    }
+}
+
 /// One unit of shard-worker work: a routed sub-batch, or a control
 /// operation applied to the shard's algorithm in stream order (e.g. the
-/// epoch rotation of [`ShardedEngine::rotate_all`]). Because the
-/// channel preserves order and every shard receives the same cut — all
+/// epoch rotation of [`ShardedEngine::rotate_all`]). Because the ring
+/// preserves order and every shard receives the same cut — all
 /// sub-batches dispatched before the op, none after — control ops stay
 /// phase-aligned across shards.
 enum ShardMsg<K, A> {
-    Batch(Vec<K>),
+    Batch(SubBatch<K>),
     Op(Box<dyn FnOnce(&mut A) + Send>),
 }
 
@@ -116,12 +181,23 @@ impl std::error::Error for ShardPoisoned {}
 
 struct Shard<K, A> {
     algo: Arc<Mutex<A>>,
-    tx: Option<mpsc::Sender<ShardMsg<K, A>>>,
+    /// Dispatcher → worker transport (sub-batches + control ops).
+    work: Arc<SpscRing<ShardMsg<K, A>>>,
+    /// Worker → dispatcher transport of drained, cleared buffers.
+    recycled: Arc<SpscRing<SubBatch<K>>>,
+    /// Flush units handed to the worker (batch lengths + 1 per op).
+    /// Written only on the producer side, under the pending lock.
     enqueued: AtomicU64,
+    /// Flush units the worker has fully applied.
     processed: Arc<AtomicU64>,
-    /// Set once the worker is observed dead with work outstanding (or a
-    /// send into its closed channel fails); the shard is skipped from
-    /// then on instead of panicking the caller thread.
+    /// True while the worker is parked on an empty ring; the dispatcher
+    /// unparks (and clears) it after a push. Edge-triggered wakeups.
+    sleeping: Arc<AtomicBool>,
+    /// The worker's thread handle, for unparking.
+    unparker: std::thread::Thread,
+    /// Set once the worker is observed dead with work outstanding; the
+    /// shard is skipped from then on instead of panicking the caller
+    /// thread.
     poisoned: AtomicBool,
     worker: Option<JoinHandle<()>>,
 }
@@ -130,15 +206,23 @@ impl<K, A> Shard<K, A> {
     fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
     }
+
+    /// Wakes the worker iff it advertised itself asleep.
+    fn wake(&self) {
+        if self.sleeping.swap(false, Ordering::SeqCst) {
+            self.unparker.unpark();
+        }
+    }
 }
 
 struct Pending<K> {
-    per_shard: Vec<Vec<K>>,
+    per_shard: Vec<SubBatch<K>>,
     total: usize,
 }
 
 /// A multi-core top-k engine: `N` owned shards of any
-/// [`TopKAlgorithm`], channel-fed with hash-partitioned batches.
+/// [`PreparedInsert`] algorithm, fed hash-partitioned prepared
+/// sub-batches over bounded SPSC rings.
 ///
 /// # Examples
 ///
@@ -154,22 +238,42 @@ struct Pending<K> {
 /// ```
 pub struct ShardedEngine<K: FlowKey, A: TopKAlgorithm<K>> {
     shards: Vec<Shard<K, A>>,
+    /// The spec keys are prepared under on the dispatch thread: the
+    /// shards' shared [`PreparedInsert::hash_spec`] in handoff mode,
+    /// a dedicated routing spec otherwise.
     route: HashSpec,
+    /// True when every shard shares `route` and therefore consumes the
+    /// dispatcher's prepared keys directly (hash-once handoff).
+    handoff: bool,
     k: usize,
     batch_capacity: usize,
     pending: Mutex<Pending<K>>,
     /// Packets routed to a shard after its worker died (dropped, since
     /// no thread can ingest them).
     lost: AtomicU64,
+    /// Sub-batch buffers ever allocated (the initial per-shard set plus
+    /// any allocated when the return ring came up empty). Flat after
+    /// warm-up — the recycling invariant the tests pin down.
+    buffers_allocated: AtomicU64,
 }
 
 impl<K, A> ShardedEngine<K, A>
 where
     K: FlowKey + Send + 'static,
-    A: TopKAlgorithm<K> + Send + 'static,
+    A: PreparedInsert<K> + Send + 'static,
 {
     /// Builds the engine from pre-configured shard instances, reporting
     /// the `k` largest flows at query time.
+    ///
+    /// When every instance reports the same
+    /// [`PreparedInsert::hash_spec`] and consumes prepared batches,
+    /// the engine runs in hash-once handoff mode: keys are prepared
+    /// once on the dispatch thread (routing rides
+    /// [`PreparedKey::lane`]) and workers ingest the shipped prepared
+    /// batches without re-hashing. Divergent specs (e.g. deliberately
+    /// different per-shard seeds) or prepared-discarding shards fall
+    /// back to a dedicated routing hash with worker-side
+    /// `insert_batch`.
     ///
     /// # Panics
     ///
@@ -178,51 +282,138 @@ where
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(k > 0, "k must be positive");
         let n = shards.len();
+        let first_spec = shards[0].hash_spec();
+        // Handoff mode needs both halves: every shard must *accept* the
+        // same prepared keys (equal specs) and actually *read* them
+        // (`consumes_prepared`) — shipping 12 B/packet of prepared
+        // state to an algorithm that discards it is pure overhead, so
+        // such shards get routing-only dispatch instead.
+        let handoff = shards
+            .iter()
+            .all(|s| s.hash_spec() == first_spec && s.consumes_prepared());
+        let route = if handoff {
+            first_spec
+        } else {
+            HashSpec::new(ROUTE_SEED, 32)
+        };
         let shards = shards
             .into_iter()
-            .map(|a| {
-                let algo = Arc::new(Mutex::new(a));
-                let processed = Arc::new(AtomicU64::new(0));
-                let (tx, rx) = mpsc::channel::<ShardMsg<K, A>>();
-                let worker = {
-                    let algo = Arc::clone(&algo);
-                    let processed = Arc::clone(&processed);
-                    std::thread::spawn(move || {
-                        while let Ok(msg) = rx.recv() {
-                            let mut guard = algo.lock().expect("shard mutex");
-                            match msg {
-                                ShardMsg::Batch(batch) => {
-                                    guard.insert_batch(&batch);
-                                    processed.fetch_add(batch.len() as u64, Ordering::Release);
-                                }
-                                ShardMsg::Op(op) => {
-                                    op(&mut guard);
-                                    processed.fetch_add(1, Ordering::Release);
-                                }
-                            }
-                        }
-                    })
-                };
-                Shard {
-                    algo,
-                    tx: Some(tx),
-                    enqueued: AtomicU64::new(0),
-                    processed,
-                    poisoned: AtomicBool::new(false),
-                    worker: Some(worker),
-                }
-            })
+            .map(|a| Self::spawn_shard(a, handoff))
             .collect();
         Self {
             shards,
-            route: HashSpec::new(ROUTE_SEED, 32),
+            route,
+            handoff,
             k,
             batch_capacity: DEFAULT_BATCH_CAPACITY,
             pending: Mutex::new(Pending {
-                per_shard: (0..n).map(|_| Vec::new()).collect(),
+                per_shard: (0..n).map(|_| SubBatch::new()).collect(),
                 total: 0,
             }),
             lost: AtomicU64::new(0),
+            buffers_allocated: AtomicU64::new(n as u64),
+        }
+    }
+
+    fn spawn_shard(algo: A, handoff: bool) -> Shard<K, A> {
+        let algo = Arc::new(Mutex::new(algo));
+        let processed = Arc::new(AtomicU64::new(0));
+        let sleeping = Arc::new(AtomicBool::new(false));
+        let work = Arc::new(SpscRing::new(WORK_RING_CAPACITY));
+        let recycled = Arc::new(SpscRing::new(RECYCLE_RING_CAPACITY));
+        let worker = {
+            let algo = Arc::clone(&algo);
+            let processed = Arc::clone(&processed);
+            let sleeping = Arc::clone(&sleeping);
+            let work = Arc::clone(&work);
+            let recycled = Arc::clone(&recycled);
+            std::thread::spawn(move || {
+                Self::worker_loop(&algo, &work, &recycled, &processed, &sleeping, handoff)
+            })
+        };
+        let unparker = worker.thread().clone();
+        Shard {
+            algo,
+            work,
+            recycled,
+            enqueued: AtomicU64::new(0),
+            processed,
+            sleeping,
+            unparker,
+            poisoned: AtomicBool::new(false),
+            worker: Some(worker),
+        }
+    }
+
+    /// The shard worker: drain the work ring in order, return drained
+    /// buffers, park when idle. Runs until the dispatcher closes the
+    /// ring (engine drop) and the backlog is drained.
+    fn worker_loop(
+        algo: &Mutex<A>,
+        work: &SpscRing<ShardMsg<K, A>>,
+        recycled: &SpscRing<SubBatch<K>>,
+        processed: &AtomicU64,
+        sleeping: &AtomicBool,
+        handoff: bool,
+    ) {
+        let mut spins = 0usize;
+        loop {
+            match work.try_pop() {
+                Some(ShardMsg::Batch(mut batch)) => {
+                    spins = 0;
+                    let units = batch.keys.len() as u64;
+                    {
+                        let mut guard = algo.lock().expect("shard mutex");
+                        if handoff {
+                            guard.insert_prepared_batch(&batch.keys, &batch.prepared);
+                        } else {
+                            guard.insert_batch(&batch.keys);
+                        }
+                    }
+                    processed.fetch_add(units, Ordering::Release);
+                    // Hand the drained buffer back for reuse; a full
+                    // return ring just drops it (the dispatcher will
+                    // allocate a replacement on demand).
+                    batch.clear();
+                    let _ = recycled.try_push(batch);
+                }
+                Some(ShardMsg::Op(op)) => {
+                    spins = 0;
+                    {
+                        let mut guard = algo.lock().expect("shard mutex");
+                        op(&mut guard);
+                    }
+                    processed.fetch_add(1, Ordering::Release);
+                }
+                None => {
+                    if work.is_closed() {
+                        return; // Drained and shut down.
+                    }
+                    if spins < WORKER_SPIN {
+                        spins += 1;
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    // Sleep protocol: advertise, re-check, park. Every
+                    // access in the handshake is SeqCst, so in the
+                    // total order either this re-check sees the
+                    // push/close, or the other side's post-push (or
+                    // post-close) `wake` sees the flag and unparks —
+                    // a missed wakeup is impossible, and an unpark
+                    // that wins the race just makes `park` return
+                    // immediately. The generous timeout is a pure
+                    // backstop, cheap enough (a few wakeups per
+                    // second) that an idle engine stays idle.
+                    sleeping.store(true, Ordering::SeqCst);
+                    if !work.is_empty() || work.is_closed() {
+                        sleeping.store(false, Ordering::SeqCst);
+                        continue;
+                    }
+                    std::thread::park_timeout(std::time::Duration::from_millis(250));
+                    sleeping.store(false, Ordering::SeqCst);
+                    spins = 0;
+                }
+            }
         }
     }
 
@@ -247,12 +438,34 @@ where
         self.batch_capacity = capacity.max(1);
     }
 
+    /// True when the engine ships dispatcher-prepared keys to workers
+    /// (all shards share one hash spec **and** consume prepared
+    /// batches); false when routing falls back to the dedicated seed
+    /// and workers ingest through their own `insert_batch`.
+    pub fn prepared_handoff(&self) -> bool {
+        self.handoff
+    }
+
+    /// Sub-batch buffers allocated so far: the initial per-shard set
+    /// plus one for every dispatch that found its shard's return ring
+    /// empty. Flat after warm-up — the observable form of "steady-state
+    /// dispatch allocates nothing".
+    pub fn dispatch_buffers_allocated(&self) -> u64 {
+        self.buffers_allocated.load(Ordering::Acquire)
+    }
+
+    /// Routes a prepared key's lane to a shard index (multiply-shift
+    /// over the shard count — no modulo bias, no division).
+    #[inline]
+    fn lane_shard(&self, lane: u32) -> usize {
+        ((lane as u64 * self.shards.len() as u64) >> 32) as usize
+    }
+
     /// The shard index `key` routes to.
     #[inline]
     pub fn shard_of(&self, key: &K) -> usize {
         let kb = key.key_bytes();
-        let lane = self.route.prepare(kb.as_slice()).lane();
-        ((lane as u64 * self.shards.len() as u64) >> 32) as usize
+        self.lane_shard(self.route.prepare(kb.as_slice()).lane())
     }
 
     /// Runs `f` against one shard's algorithm (flushed first), for
@@ -274,7 +487,7 @@ where
     }
 
     /// Dispatches buffered scalar inserts and waits until every live
-    /// shard has drained its channel. After this returns `Ok`, every
+    /// shard has drained its ring. After this returns `Ok`, every
     /// packet previously inserted is reflected in shard state.
     ///
     /// # Errors
@@ -310,39 +523,84 @@ where
         self.lost.load(Ordering::Acquire)
     }
 
-    /// Hands one message to a shard worker. `flush_units` is what the
-    /// flush accounting waits for (batch length, or 1 for a control
-    /// op); `packet_units` is how many real packets the message carries
-    /// — only those count as [`ShardedEngine::lost_packets`] when the
-    /// shard is dead (a dropped rotation op is not packet loss).
+    /// Accounts a newly detected worker death exactly once: whichever
+    /// racing observer wins the false→true transition owns the
+    /// enqueued-but-unprocessed backlog (the worker is dead, so
+    /// `processed` is final).
+    fn poison_shard(&self, idx: usize) {
+        let shard = &self.shards[idx];
+        if shard
+            .poisoned
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let target = shard.enqueued.load(Ordering::Acquire);
+            let done = shard.processed.load(Ordering::Acquire);
+            self.lost
+                .fetch_add(target.saturating_sub(done), Ordering::Release);
+        }
+    }
+
+    /// Hands one message to a shard worker, blocking on a full ring
+    /// (backpressure) until the worker frees a slot or is found dead.
+    /// `flush_units` is what the flush accounting waits for (batch
+    /// length, or 1 for a control op); `packet_units` is how many real
+    /// packets the message carries — only those count as
+    /// [`ShardedEngine::lost_packets`] when the shard is dead (a
+    /// dropped rotation op is not packet loss).
+    ///
+    /// Producer-side ring access: all callers hold the pending lock,
+    /// which is the SPSC producer-exclusivity discipline.
     fn send_to_shard(&self, idx: usize, msg: ShardMsg<K, A>, flush_units: u64, packet_units: u64) {
         let shard = &self.shards[idx];
         if shard.is_poisoned() {
             self.lost.fetch_add(packet_units, Ordering::Release);
             return;
         }
-        // Send first, count on success: counting first would open a
-        // window where a racing flush waits on (and a racing death
-        // accounting double-counts) units that were never delivered.
-        let tx = shard.tx.as_ref().expect("engine running");
-        if tx.send(msg).is_ok() {
-            shard.enqueued.fetch_add(flush_units, Ordering::Release);
-        } else {
-            // Channel closed ⇒ worker dead ⇒ receiver dropped. This
-            // message never entered `enqueued`, so its loss is owned
-            // here unconditionally; the queued-but-unprocessed backlog
-            // is owned by whoever wins the poisoned transition (the
-            // worker is dead, so `processed` is final).
-            self.lost.fetch_add(packet_units, Ordering::Release);
-            if shard
-                .poisoned
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                let target = shard.enqueued.load(Ordering::Acquire);
-                let done = shard.processed.load(Ordering::Acquire);
-                self.lost
-                    .fetch_add(target.saturating_sub(done), Ordering::Release);
+        let mut msg = msg;
+        loop {
+            match shard.work.try_push(msg) {
+                Ok(()) => {
+                    // Count after a successful push: counting first
+                    // would open a window where a racing flush waits on
+                    // (and a racing death accounting double-counts)
+                    // units that were never delivered.
+                    shard.enqueued.fetch_add(flush_units, Ordering::Release);
+                    shard.wake();
+                    return;
+                }
+                Err(err) => {
+                    // Full ring: real backpressure while the worker is
+                    // alive; a dead worker can never free a slot, so
+                    // poison instead of spinning forever. (Closed only
+                    // happens mid-drop; treat it like death.)
+                    let closed = matches!(err, PushError::Closed(_));
+                    if closed || shard.worker.as_ref().is_none_or(|w| w.is_finished()) {
+                        // This message never entered `enqueued`, so its
+                        // loss is owned here unconditionally.
+                        self.lost.fetch_add(packet_units, Ordering::Release);
+                        self.poison_shard(idx);
+                        return;
+                    }
+                    msg = err.into_inner();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Grabs an empty sub-batch buffer for shard `idx`: recycled from
+    /// the worker's return ring when available, freshly allocated (and
+    /// counted) only when the cycle has not converged yet.
+    fn take_buffer(&self, idx: usize) -> SubBatch<K> {
+        match self.shards[idx].recycled.try_pop() {
+            Some(buf) => {
+                debug_assert!(buf.keys.is_empty(), "worker returns cleared buffers");
+                buf
+            }
+            None => {
+                self.buffers_allocated.fetch_add(1, Ordering::Release);
+                SubBatch::new()
             }
         }
     }
@@ -351,12 +609,23 @@ where
         if pending.total == 0 {
             return;
         }
-        for (idx, buf) in pending.per_shard.iter_mut().enumerate() {
-            if buf.is_empty() {
+        for idx in 0..pending.per_shard.len() {
+            if pending.per_shard[idx].keys.is_empty() {
                 continue;
             }
-            let batch = std::mem::take(buf);
-            let units = batch.len() as u64;
+            if self.shards[idx].is_poisoned() {
+                // Dead shard: its packets are lost either way, so drop
+                // them in place — clearing keeps the buffer (and its
+                // capacity), taking no replacement, so a long-lived
+                // engine with one dead shard stays zero-alloc.
+                let units = pending.per_shard[idx].keys.len() as u64;
+                self.lost.fetch_add(units, Ordering::Release);
+                pending.per_shard[idx].clear();
+                continue;
+            }
+            let replacement = self.take_buffer(idx);
+            let batch = std::mem::replace(&mut pending.per_shard[idx], replacement);
+            let units = batch.keys.len() as u64;
             self.send_to_shard(idx, ShardMsg::Batch(batch), units, units);
         }
         pending.total = 0;
@@ -367,7 +636,7 @@ where
             let mut pending = self.pending.lock().expect("pending poisoned");
             self.dispatch_locked(&mut pending);
         }
-        for shard in &self.shards {
+        for (idx, shard) in self.shards.iter().enumerate() {
             loop {
                 if shard.is_poisoned() {
                     break;
@@ -377,22 +646,14 @@ where
                     break;
                 }
                 // A worker that died (its algorithm panicked inside
-                // insert_batch) can never catch up; poison the shard
-                // instead of busy-waiting forever. Re-read the counter
-                // after seeing the thread finished so a clean last
-                // batch is not mistaken for death, and account the
-                // backlog exactly once — whichever racing reader wins
-                // the false→true transition owns it.
+                // ingest) can never catch up; poison the shard instead
+                // of busy-waiting forever. Re-read the counter after
+                // seeing the thread finished so a clean last batch is
+                // not mistaken for death.
                 if shard.worker.as_ref().is_none_or(|w| w.is_finished()) {
                     let done = shard.processed.load(Ordering::Acquire);
                     if done < target {
-                        if shard
-                            .poisoned
-                            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                            .is_ok()
-                        {
-                            self.lost.fetch_add(target - done, Ordering::Release);
-                        }
+                        self.poison_shard(idx);
                         break;
                     }
                 } else {
@@ -408,13 +669,32 @@ where
         }
     }
 
+    /// The single-pass partition: hash each key **once**, route by the
+    /// prepared lane, and store key (+ prepared state in handoff mode)
+    /// into the shard's recycled buffer — plain `Copy` stores, no
+    /// clones, no allocation once buffer capacities have converged.
     fn route_into(&self, keys: &[K], pending: &mut Pending<K>) {
-        if self.shards.len() == 1 {
-            pending.per_shard[0].extend(keys.iter().cloned());
-        } else {
-            for key in keys {
-                let s = self.shard_of(key);
-                pending.per_shard[s].push(key.clone());
+        let one_shard = self.shards.len() == 1;
+        if one_shard && !self.handoff {
+            // Routing is vacuous and the worker re-hashes anyway: a
+            // straight copy keeps the degenerate 1-shard route-only
+            // engine at one hash per packet (the worker's).
+            pending.per_shard[0].keys.extend_from_slice(keys);
+            pending.total += keys.len();
+            return;
+        }
+        for key in keys {
+            let kb = key.key_bytes();
+            let p = self.route.prepare(kb.as_slice());
+            let s = if one_shard {
+                0
+            } else {
+                self.lane_shard(p.lane())
+            };
+            let buf = &mut pending.per_shard[s];
+            buf.keys.push(*key);
+            if self.handoff {
+                buf.prepared.push(p);
             }
         }
         pending.total += keys.len();
@@ -424,13 +704,11 @@ where
 impl<K, A> TopKAlgorithm<K> for ShardedEngine<K, A>
 where
     K: FlowKey + Send + 'static,
-    A: TopKAlgorithm<K> + Send + 'static,
+    A: PreparedInsert<K> + Send + 'static,
 {
     fn insert(&mut self, key: &K) {
-        let s = self.shard_of(key);
         let mut pending = self.pending.lock().expect("pending poisoned");
-        pending.per_shard[s].push(key.clone());
-        pending.total += 1;
+        self.route_into(std::slice::from_ref(key), &mut pending);
         if pending.total >= self.batch_capacity {
             self.dispatch_locked(&mut pending);
         }
@@ -501,12 +779,12 @@ where
 impl<K, A> ShardedEngine<K, A>
 where
     K: FlowKey + Send + 'static,
-    A: TopKAlgorithm<K> + EpochRotate + Send + 'static,
+    A: PreparedInsert<K> + EpochRotate + Send + 'static,
 {
     /// Crosses one period boundary on **every** shard, phase-aligned:
     /// all pending packets are dispatched first, then a rotation
-    /// control message is enqueued behind them on each shard's channel.
-    /// Because workers process their channel in order and every shard
+    /// control message is enqueued behind them on each shard's ring.
+    /// Because workers process their ring in order and every shard
     /// receives the same cut — everything inserted before this call
     /// lands pre-rotation, everything after lands post-rotation — the
     /// shard windows advance in lockstep without stopping the world:
@@ -518,16 +796,20 @@ where
     /// windows no longer advance).
     pub fn rotate_all(&self) -> Result<(), ShardPoisoned> {
         {
+            // The ops go out under the pending lock too: it is the
+            // producer side of every shard ring, so all pushes stay
+            // serialized (SPSC) and no packet can slip between the
+            // dispatch and the rotation cut.
             let mut pending = self.pending.lock().expect("pending poisoned");
             self.dispatch_locked(&mut pending);
-        }
-        for idx in 0..self.shards.len() {
-            self.send_to_shard(
-                idx,
-                ShardMsg::Op(Box::new(|a: &mut A| a.rotate_epoch())),
-                1,
-                0,
-            );
+            for idx in 0..self.shards.len() {
+                self.send_to_shard(
+                    idx,
+                    ShardMsg::Op(Box::new(|a: &mut A| a.rotate_epoch())),
+                    1,
+                    0,
+                );
+            }
         }
         let dead = self.poisoned_shards();
         if dead.is_empty() {
@@ -541,7 +823,7 @@ where
 impl<K, A> EpochRotate for ShardedEngine<K, A>
 where
     K: FlowKey + Send + 'static,
-    A: TopKAlgorithm<K> + EpochRotate + Send + 'static,
+    A: PreparedInsert<K> + EpochRotate + Send + 'static,
 {
     /// [`ShardedEngine::rotate_all`] through the infallible trait
     /// surface. A [`ShardPoisoned`] error is not lost, only deferred:
@@ -557,7 +839,9 @@ where
 impl<K: FlowKey, A: TopKAlgorithm<K>> Drop for ShardedEngine<K, A> {
     fn drop(&mut self) {
         for shard in &mut self.shards {
-            shard.tx = None; // Close the channel; the worker loop ends.
+            // Close the ring; the worker drains the backlog and exits.
+            shard.work.close();
+            shard.wake();
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
@@ -580,7 +864,8 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, ParallelTopK<K>> {
     /// An engine of `shards` Parallel-variant instances. Each shard gets
     /// `cfg` with its width divided by the shard count, so total sketch
     /// memory matches a single `cfg` instance; all shards share `cfg`'s
-    /// seed, which keeps them merge-compatible.
+    /// seed, which keeps them merge-compatible — and puts the engine in
+    /// hash-once handoff mode (shared hash spec).
     pub fn parallel(cfg: &HkConfig, shards: usize) -> Self {
         let per = split_config(cfg, shards);
         Self::from_fn(shards, cfg.k, |_| ParallelTopK::new(per.clone()))
@@ -670,6 +955,7 @@ mod tests {
         // Each flow lands on exactly one shard, so an uncontended flow's
         // count is exact — sharding must not split or double-count it.
         let mut engine = ShardedEngine::parallel(&cfg(2048, 16), 4);
+        assert!(engine.prepared_handoff(), "shared seed => handoff mode");
         let mut batch = Vec::new();
         for f in 0..16u64 {
             for _ in 0..100 * (f + 1) {
@@ -749,6 +1035,35 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_dispatch_recycles_buffers() {
+        // The recycled-buffer round trip: after warm-up, sub-batch
+        // buffers cycle dispatcher → work ring → worker → return ring →
+        // dispatcher, and the allocation counter stops moving no matter
+        // how many more flushes run.
+        let mut engine = ShardedEngine::parallel(&cfg(256, 8), 4);
+        let stream = skewed_stream(8192, 16, 500, 11);
+        // Warm-up: let buffer capacities and the recycle cycle converge
+        // (flush after each batch so every buffer completes the trip).
+        for _ in 0..16 {
+            engine.insert_batch(&stream);
+            engine.flush().expect("healthy engine");
+        }
+        let after_warmup = engine.dispatch_buffers_allocated();
+        for _ in 0..64 {
+            engine.insert_batch(&stream);
+            engine.flush().expect("healthy engine");
+        }
+        assert_eq!(
+            engine.dispatch_buffers_allocated(),
+            after_warmup,
+            "steady-state dispatch must reuse returned buffers, not allocate"
+        );
+        // Sanity: the counter is small — on the order of shards × ring
+        // depth, not on the order of flush count.
+        assert!(after_warmup <= (4 * (WORK_RING_CAPACITY as u64 + 2)) + 4);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedEngine::<u64, ParallelTopK<u64>>::from_shards(vec![], 4);
@@ -776,6 +1091,15 @@ mod tests {
         }
     }
 
+    impl PreparedInsert<u64> for Exploder {
+        fn hash_spec(&self) -> HashSpec {
+            HashSpec::new(0, 32)
+        }
+        fn insert_prepared(&mut self, key: &u64, _p: &PreparedKey) {
+            self.insert(key);
+        }
+    }
+
     #[test]
     fn dead_worker_poisons_shard_instead_of_panicking() {
         let mut engine = ShardedEngine::from_shards(vec![Exploder], 1);
@@ -791,13 +1115,39 @@ mod tests {
         // hanging or panicking.
         assert_eq!(engine.query(&1), 0);
         assert!(engine.top_k().is_empty());
-        // Further ingest routed to the dead shard is dropped + counted.
-        engine.insert_batch(&[2u64, 3u64]);
+        // Further ingest routed to the dead shard is dropped + counted,
+        // without allocating a fresh buffer per dispatch: a long-lived
+        // engine with a dead shard must stay zero-alloc too.
+        let allocated = engine.dispatch_buffers_allocated();
+        for _ in 0..32 {
+            engine.insert_batch(&[2u64, 3u64]);
+        }
         assert!(engine.flush().is_err());
         assert!(
             engine.lost_packets() >= 2,
             "lost = {}",
             engine.lost_packets()
+        );
+        assert_eq!(
+            engine.dispatch_buffers_allocated(),
+            allocated,
+            "dispatch to a poisoned shard must not allocate"
+        );
+    }
+
+    #[test]
+    fn full_ring_on_dead_worker_drops_instead_of_hanging() {
+        // Overrun a dead worker's bounded ring: the backpressure path
+        // must detect the death and drop (counted), never spin forever.
+        let mut engine = ShardedEngine::from_shards(vec![Exploder], 1);
+        let stream: Vec<u64> = (0..64).collect();
+        for _ in 0..4 * WORK_RING_CAPACITY {
+            engine.insert_batch(&stream);
+        }
+        assert!(engine.flush().is_err());
+        assert!(
+            engine.lost_packets() > 0,
+            "overrun packets must be counted lost"
         );
     }
 
@@ -844,6 +1194,14 @@ mod tests {
                 "Mixed"
             }
         }
+        impl PreparedInsert<u64> for Mixed {
+            fn hash_spec(&self) -> HashSpec {
+                HashSpec::new(0, 32)
+            }
+            fn insert_prepared(&mut self, key: &u64, _p: &PreparedKey) {
+                self.insert(key);
+            }
+        }
         let mut engine = ShardedEngine::from_shards(
             vec![
                 Mixed::Bad(Exploder),
@@ -879,6 +1237,34 @@ mod tests {
     }
 
     #[test]
+    fn divergent_shard_specs_fall_back_to_route_only() {
+        // Deliberately different per-shard seeds: no single prepared
+        // key fits every shard, so the engine must route under its own
+        // seed and let workers hash — and still count exactly.
+        let mut engine = ShardedEngine::from_fn(3, 8, |i| {
+            ParallelTopK::<u64>::new(
+                HkConfig::builder()
+                    .arrays(2)
+                    .width(1024)
+                    .k(8)
+                    .seed(100 + i as u64)
+                    .build(),
+            )
+        });
+        assert!(!engine.prepared_handoff(), "per-shard seeds => route-only");
+        let mut batch = Vec::new();
+        for f in 0..8u64 {
+            for _ in 0..100 {
+                batch.push(f);
+            }
+        }
+        engine.insert_batch(&batch);
+        for f in 0..8u64 {
+            assert_eq!(engine.query(&f), 100, "flow {f}");
+        }
+    }
+
+    #[test]
     fn rotate_all_keeps_shard_windows_phase_aligned() {
         use crate::sliding::SlidingTopK;
         // A 2-epoch window over 3 shards: flows inserted before the
@@ -886,6 +1272,7 @@ mod tests {
         // the single-instance window.
         let mk = || ShardedEngine::from_fn(3, 8, |_| SlidingTopK::<u64>::new(cfg(256, 8), 2));
         let mut engine = mk();
+        assert!(engine.prepared_handoff(), "windows share the epoch seed");
         let old: Vec<u64> = (0..6000u64).map(|i| i % 6).collect();
         let new: Vec<u64> = (0..6000u64).map(|i| 100 + i % 6).collect();
         engine.insert_batch(&old);

@@ -66,29 +66,58 @@ pub(crate) const TOUCH_BLOCK: usize = 64;
 /// scratch buffer, prehash the batch (caching per-array bucket slots),
 /// walk it in pre-touched [`TOUCH_BLOCK`]s through the variant's
 /// slot-generic `insert_keyed`, restore the buffer.
-/// A macro rather than a helper function because the touch pass
-/// borrows `$self.sketch` while the ingest pass needs `&mut $self` —
-/// splitting that across a closure-taking function fights the borrow
-/// checker for no codegen benefit.
 macro_rules! hk_insert_batch_body {
     ($self:ident, $keys:ident) => {{
         let mut scratch = std::mem::take(&mut $self.scratch);
         $self.sketch.prepare_batch($keys, &mut scratch);
-        let mut idx = 0;
-        while idx < $keys.len() {
-            let end = (idx + crate::sketch::TOUCH_BLOCK).min($keys.len());
-            $self.sketch.touch_batch(&scratch, idx..end);
-            for (off, key) in $keys[idx..end].iter().enumerate() {
-                let entry = scratch.entry(idx + off);
-                $self.insert_keyed(key, &entry);
-            }
-            idx = end;
-        }
+        crate::sketch::hk_walk_batch_body!($self, $keys, scratch);
         $self.scratch = scratch;
     }};
 }
 
 pub(crate) use hk_insert_batch_body;
+
+/// The hash-once sibling of [`hk_insert_batch_body`]: the upstream
+/// stage (sharded dispatcher, RSS producer) already hashed every key,
+/// so the prolog rebuilds the slot-table scratch from the shipped
+/// [`PreparedKey`]s ([`PreparedBatch::prepare_from`] — a memcpy plus
+/// the slot multiply-shifts, no hashing) and runs the identical
+/// pre-touched block walk.
+macro_rules! hk_insert_prepared_batch_body {
+    ($self:ident, $keys:ident, $prepared:ident) => {{
+        debug_assert_eq!($keys.len(), $prepared.len(), "misaligned prepared batch");
+        let mut scratch = std::mem::take(&mut $self.scratch);
+        $self.sketch.prepare_batch_from($prepared, &mut scratch);
+        crate::sketch::hk_walk_batch_body!($self, $keys, scratch);
+        $self.scratch = scratch;
+    }};
+}
+
+pub(crate) use hk_insert_prepared_batch_body;
+
+/// The shared epilog of the two batch prologs above: walk the prepared
+/// scratch in pre-touched [`TOUCH_BLOCK`]s through the variant's
+/// slot-generic `insert_keyed`.
+/// A macro rather than a helper function because the touch pass
+/// borrows `$self.sketch` while the ingest pass needs `&mut $self` —
+/// splitting that across a closure-taking function fights the borrow
+/// checker for no codegen benefit.
+macro_rules! hk_walk_batch_body {
+    ($self:ident, $keys:ident, $scratch:ident) => {{
+        let mut idx = 0;
+        while idx < $keys.len() {
+            let end = (idx + crate::sketch::TOUCH_BLOCK).min($keys.len());
+            $self.sketch.touch_batch(&$scratch, idx..end);
+            for (off, key) in $keys[idx..end].iter().enumerate() {
+                let entry = $scratch.entry(idx + off);
+                $self.insert_keyed(key, &entry);
+            }
+            idx = end;
+        }
+    }};
+}
+
+pub(crate) use hk_walk_batch_body;
 
 /// Matrix geometry diagnostics (the CLI's `--layout-report`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,6 +344,16 @@ impl HkSketch {
     #[inline]
     pub fn prepare_batch<K: hk_common::key::FlowKey>(&self, keys: &[K], out: &mut PreparedBatch) {
         out.prepare(&self.hash_spec(), keys, self.arrays(), self.width);
+    }
+
+    /// The hash-once batch prolog: rebuilds the slot-table scratch from
+    /// keys an upstream stage already prepared under this sketch's
+    /// [`HkSketch::hash_spec`] — no hashing, just the per-array slot
+    /// derivation for the current `(d, w)` geometry (which only this
+    /// side knows once Section III-F expansion runs mid-stream).
+    #[inline]
+    pub fn prepare_batch_from(&self, prepared: &[PreparedKey], out: &mut PreparedBatch) {
+        out.prepare_from(prepared, self.arrays(), self.width);
     }
 
     /// The flow's fingerprint (convenience wrapper over

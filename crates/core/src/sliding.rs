@@ -83,6 +83,28 @@ pub struct SlidingTopK<K: FlowKey> {
     /// A `Mutex` (not `RefCell`) so the window stays `Sync` like every
     /// other algorithm here — uncontended on the single-owner path.
     closed_cache: Mutex<HashMap<K, u64>>,
+    /// Reusable scratch for [`SlidingTopK::top_k`]: the dedup set and
+    /// the candidate buffer keep their capacity across queries instead
+    /// of being reallocated per call (a windowed monitor polls `top_k`
+    /// every few batches, and `W·k` candidates per poll add up). Same
+    /// `Mutex`-for-`Sync` reasoning as the closed cache.
+    topk_scratch: Mutex<TopKScratch<K>>,
+}
+
+/// The per-query allocations of `top_k`, retained across calls.
+#[derive(Debug)]
+struct TopKScratch<K> {
+    seen: HashSet<K>,
+    candidates: Vec<(K, u64)>,
+}
+
+impl<K> Default for TopKScratch<K> {
+    fn default() -> Self {
+        Self {
+            seen: HashSet::new(),
+            candidates: Vec::new(),
+        }
+    }
 }
 
 impl<K: FlowKey> Clone for SlidingTopK<K> {
@@ -93,6 +115,8 @@ impl<K: FlowKey> Clone for SlidingTopK<K> {
             window: self.window,
             rotations: self.rotations,
             closed_cache: Mutex::new(self.cache().clone()),
+            // Scratch is cheap to refill; a clone starts cold.
+            topk_scratch: Mutex::new(TopKScratch::default()),
         }
     }
 }
@@ -118,6 +142,7 @@ impl<K: FlowKey> SlidingTopK<K> {
             window,
             rotations: 0,
             closed_cache: Mutex::new(HashMap::new()),
+            topk_scratch: Mutex::new(TopKScratch::default()),
         }
     }
 
@@ -242,7 +267,7 @@ impl<K: FlowKey> SlidingTopK<K> {
             .sum();
         let mut cache = self.cache();
         if cache.len() < self.closed_cache_cap() {
-            cache.insert(key.clone(), sum);
+            cache.insert(*key, sum);
         }
         sum
     }
@@ -272,19 +297,28 @@ impl<K: FlowKey> SlidingTopK<K> {
     /// order (stable sort), matching the pre-batch implementation
     /// bit for bit.
     pub fn top_k(&self) -> Vec<(K, u64)> {
-        let mut seen: HashSet<K> = HashSet::new();
-        let mut out: Vec<(K, u64)> = Vec::new();
+        let mut scratch = self
+            .topk_scratch
+            .lock()
+            .expect("top-k scratch mutex: no panic while held");
+        let TopKScratch { seen, candidates } = &mut *scratch;
+        // `clear` keeps the allocations: across polls the dedup set and
+        // the candidate buffer reach a steady capacity (≤ W·k entries)
+        // and stop allocating.
+        seen.clear();
+        candidates.clear();
         for epoch in &self.epochs {
             for (key, _) in epoch.top_k() {
-                if seen.insert(key.clone()) {
+                if seen.insert(key) {
                     let est = self.query(&key);
-                    out.push((key, est));
+                    candidates.push((key, est));
                 }
             }
         }
-        out.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-        out.truncate(self.cfg.k);
-        out
+        candidates.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        candidates.truncate(self.cfg.k);
+        // The caller owns its report; only this exact-size copy leaves.
+        candidates.clone()
     }
 
     /// Accounted memory: `window` full instances (the epoch ring's cost).
@@ -337,6 +371,17 @@ impl<K: FlowKey> PreparedInsert<K> for SlidingTopK<K> {
 
     fn insert_prepared(&mut self, key: &K, p: &PreparedKey) {
         self.newest_mut().insert_prepared(key, p);
+    }
+
+    fn insert_prepared_batch(&mut self, keys: &[K], prepared: &[PreparedKey]) {
+        // All epochs share the hash spec, so an upstream stage's
+        // prepared batch lands in the newest epoch without re-hashing
+        // (sharded windowed ingest rides this).
+        self.newest_mut().insert_prepared_batch(keys, prepared);
+    }
+
+    fn consumes_prepared(&self) -> bool {
+        true
     }
 }
 

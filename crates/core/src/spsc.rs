@@ -1,0 +1,305 @@
+//! Bounded SPSC rings — the sharded engine's worker transport.
+//!
+//! The dispatch plane ships prepared sub-batches to shard workers and
+//! recycles drained buffers back over [`SpscRing`]s: fixed-capacity
+//! single-producer/single-consumer queues with **backpressure** (a full
+//! ring rejects the push; the dispatcher spins the message into the
+//! ring when the worker frees a slot) instead of the unbounded,
+//! node-allocating queueing of `std::sync::mpsc`. Steady-state traffic
+//! allocates nothing: the slot array is fixed at construction and the
+//! payloads it carries are recycled by the return ring.
+//!
+//! This is a sibling of `hk_ovs::ring::SharedRing`, which models the
+//! datapath↔user-space shared-memory region (drop statistics, spinning
+//! producers). This ring is the *in-process* transport: it adds a
+//! close flag for orderly worker shutdown and `Err`-returning pushes so
+//! the dispatcher can tell "full, worker alive → wait" from "closed →
+//! stop", and carries whole batch buffers rather than flow IDs. Like
+//! `SharedRing` it stays inside `forbid(unsafe_code)`: each slot is a
+//! tiny `Mutex<Option<T>>` that is uncontended under the SPSC
+//! discipline, with head/tail cursors advanced only by their owning
+//! side.
+//!
+//! **SPSC contract:** at any moment at most one thread pushes and at
+//! most one thread pops. The sides may be *handed over* (the engine
+//! serializes all producer-side calls under its pending-buffer lock),
+//! but two threads must never race the same side — the cursor updates
+//! are plain load/store pairs that are only race-free under that
+//! discipline.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Every slot is occupied; the consumer must drain first. The item
+    /// is handed back so the producer can retry (backpressure).
+    Full(T),
+    /// The ring was closed; no more items will ever be consumed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the item that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+/// A bounded single-producer/single-consumer ring with a close flag.
+///
+/// # Examples
+///
+/// ```
+/// use heavykeeper::spsc::SpscRing;
+/// let ring: SpscRing<u64> = SpscRing::new(4);
+/// assert!(ring.try_push(7).is_ok());
+/// assert_eq!(ring.try_pop(), Some(7));
+/// assert_eq!(ring.try_pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    /// Consumer cursor (only the consumer advances it).
+    head: AtomicUsize,
+    /// Producer cursor (only the producer advances it).
+    tail: AtomicUsize,
+    /// Occupied slots; the producer increments after writing, the
+    /// consumer decrements after taking. `SeqCst` so the emptiness
+    /// check can participate in the engine's sleep/wake handshake
+    /// (flag-then-recheck on the worker, push-then-check on the
+    /// dispatcher) without a missed-wakeup window.
+    len: AtomicUsize,
+    closed: AtomicBool,
+}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            len: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Attempts to push. A refused item comes back in the error so a
+    /// backpressured producer retries without cloning.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(PushError::Closed(item));
+        }
+        if self.len.load(Ordering::SeqCst) == self.slots.len() {
+            return Err(PushError::Full(item));
+        }
+        let tail = self.tail.load(Ordering::Relaxed);
+        *self.slots[tail % self.slots.len()]
+            .lock()
+            .expect("slot poisoned") = Some(item);
+        self.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
+        self.len.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Attempts to pop one item. Items enqueued before [`SpscRing::close`]
+    /// remain poppable after it (drain-then-stop shutdown).
+    pub fn try_pop(&self) -> Option<T> {
+        if self.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        let item = self.slots[head % self.slots.len()]
+            .lock()
+            .expect("slot poisoned")
+            .take();
+        debug_assert!(item.is_some(), "len > 0 implies an occupied head slot");
+        self.head.store(head.wrapping_add(1), Ordering::Relaxed);
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        item
+    }
+
+    /// Marks the ring closed: further pushes fail with
+    /// [`PushError::Closed`]; already-queued items stay poppable.
+    /// Either side may close (the engine closes from the dispatcher on
+    /// drop; a consumer may close to refuse further work).
+    ///
+    /// `SeqCst` so close participates in the same sleep/wake handshake
+    /// as pushes: close-then-wake on one side, flag-then-recheck on the
+    /// other, with the total order guaranteeing one side sees the
+    /// other.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`SpscRing::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// True when the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len.load(Ordering::SeqCst) == 0
+    }
+
+    /// Occupied slots right now.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_empty() {
+        let ring: SpscRing<u32> = SpscRing::new(8);
+        assert_eq!(ring.try_pop(), None, "fresh ring is empty");
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 5);
+        for i in 0..5 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn full_hands_item_back() {
+        let ring: SpscRing<u32> = SpscRing::new(2);
+        ring.try_push(1).unwrap();
+        ring.try_push(2).unwrap();
+        match ring.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3, "backpressure returns the item"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // One pop frees exactly one slot.
+        assert_eq!(ring.try_pop(), Some(1));
+        ring.try_push(3).unwrap();
+        assert!(matches!(ring.try_push(4), Err(PushError::Full(4))));
+    }
+
+    #[test]
+    fn wraparound_many_times_over() {
+        // A tiny ring cycled far past its capacity: cursors wrap, FIFO
+        // order and occupancy stay exact.
+        let ring: SpscRing<u64> = SpscRing::new(3);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for round in 0..10_000 {
+            let burst = 1 + round % 3;
+            for _ in 0..burst {
+                if ring.try_push(next_in).is_ok() {
+                    next_in += 1;
+                }
+            }
+            while let Some(v) = ring.try_pop() {
+                assert_eq!(v, next_out, "FIFO across wraparound");
+                next_out += 1;
+            }
+        }
+        assert_eq!(next_in, next_out);
+        assert!(next_in > 10_000, "the ring actually cycled");
+    }
+
+    #[test]
+    fn slow_consumer_backpressure_loses_nothing() {
+        // Producer thread spins full pushes against a deliberately slow
+        // consumer: every item arrives exactly once, in order, and the
+        // occupancy never exceeds capacity.
+        let ring: Arc<SpscRing<u64>> = Arc::new(SpscRing::new(4));
+        let n = 50_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut full_hits = 0u64;
+                for i in 0..n {
+                    let mut item = i;
+                    loop {
+                        match ring.try_push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                full_hits += 1;
+                                item = back;
+                                std::hint::spin_loop();
+                            }
+                            Err(PushError::Closed(_)) => panic!("ring closed mid-stream"),
+                        }
+                    }
+                }
+                full_hits
+            })
+        };
+        let mut expected = 0u64;
+        while expected < n {
+            assert!(ring.len() <= ring.capacity());
+            if let Some(v) = ring.try_pop() {
+                assert_eq!(v, expected, "SPSC order must hold");
+                expected += 1;
+                if expected.is_multiple_of(64) {
+                    std::thread::yield_now(); // Let the producer hit Full.
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let full_hits = producer.join().unwrap();
+        assert!(
+            full_hits > 0,
+            "consumer was never slow enough to exercise backpressure"
+        );
+    }
+
+    #[test]
+    fn close_refuses_pushes_but_drains_queued() {
+        let ring: SpscRing<u32> = SpscRing::new(4);
+        ring.try_push(1).unwrap();
+        ring.try_push(2).unwrap();
+        ring.close();
+        assert!(ring.is_closed());
+        assert!(matches!(ring.try_push(3), Err(PushError::Closed(3))));
+        // Shutdown is drain-then-stop: the backlog survives the close.
+        assert_eq!(ring.try_pop(), Some(1));
+        assert_eq!(ring.try_pop(), Some(2));
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_queued_items() {
+        // Worker-death semantics: when a ring goes away with items still
+        // queued (the engine dropping a poisoned shard's transport), the
+        // items are dropped — not leaked, not double-dropped.
+        let sentinel = Arc::new(());
+        {
+            let ring: SpscRing<Arc<()>> = SpscRing::new(8);
+            for _ in 0..5 {
+                ring.try_push(Arc::clone(&sentinel)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&sentinel), 6);
+            assert_eq!(ring.len(), 5);
+        }
+        assert_eq!(
+            Arc::strong_count(&sentinel),
+            1,
+            "queued items must be dropped with the ring"
+        );
+    }
+}

@@ -141,7 +141,7 @@ impl<K: FlowKey> TopKStore<K> {
     pub fn sorted_desc(&self) -> Vec<(K, u64)> {
         match self {
             Self::MinHeap(h) => h.sorted_desc(),
-            Self::StreamSummary(s) => s.iter_desc().map(|(k, c)| (k.clone(), c)).collect(),
+            Self::StreamSummary(s) => s.iter_desc().map(|(k, c)| (*k, c)).collect(),
         }
     }
 

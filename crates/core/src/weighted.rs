@@ -147,10 +147,10 @@ impl<K: FlowKey> WeightedTopK<K> {
             self.store.update_max(key, heavy_v);
         } else if !self.store.is_full() {
             if heavy_v > 0 {
-                self.store.admit(key.clone(), heavy_v);
+                self.store.admit(*key, heavy_v);
             }
         } else if heavy_v > nmin {
-            self.store.admit(key.clone(), heavy_v);
+            self.store.admit(*key, heavy_v);
         }
     }
 }

@@ -1,0 +1,142 @@
+//! Differential tests for the hash-once sharded dispatch plane.
+//!
+//! The engine's contract: a sharded run is **exactly** the per-shard
+//! sub-streams run sequentially — the dispatch plane (single-pass
+//! lane partition, prepared handoff, SPSC transport, buffer recycling)
+//! must be invisible in the results. These tests pin that down by
+//! replaying the engine's own routing on the caller side and comparing
+//! shard state, merged top-k (same tie-break), and point queries across
+//! shard counts × batch sizes, plus batch-boundary invariance.
+
+use heavykeeper::{HkConfig, ParallelTopK, ShardedEngine};
+use hk_common::algorithm::TopKAlgorithm;
+use hk_common::key::FlowKey;
+
+fn cfg(w: usize, k: usize, seed: u64) -> HkConfig {
+    HkConfig::builder()
+        .arrays(2)
+        .width(w)
+        .k(k)
+        .seed(seed)
+        .build()
+}
+
+fn zipfish_stream(n: usize, heavy: u64, tail: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) {
+                (state >> 1) % heavy
+            } else {
+                heavy + state % tail
+            }
+        })
+        .collect()
+}
+
+/// The engine's merge rule, applied caller-side: k largest of the
+/// union, ties broken on key bytes.
+fn merge_topk(mut all: Vec<(u64, u64)>, k: usize) -> Vec<(u64, u64)> {
+    all.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| a.0.key_bytes().as_slice().cmp(b.0.key_bytes().as_slice()))
+    });
+    all.truncate(k);
+    all
+}
+
+#[test]
+fn sharded_equals_sequential_substreams_across_shards_and_batches() {
+    let stream = zipfish_stream(60_000, 12, 2500, 77);
+    let k = 10;
+    for shards in [1usize, 2, 4, 7] {
+        // Reference: replay the engine's routing, run each sub-stream
+        // through a plain instance sequentially, merge like the engine.
+        let probe: ShardedEngine<u64, ParallelTopK<u64>> =
+            ShardedEngine::from_fn(shards, k, |_| ParallelTopK::new(cfg(512, k, 5)));
+        assert!(probe.prepared_handoff(), "shared seed => handoff mode");
+        let mut substreams: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for key in &stream {
+            substreams[probe.shard_of(key)].push(*key);
+        }
+        let mut reference: Vec<ParallelTopK<u64>> = (0..shards)
+            .map(|_| ParallelTopK::new(cfg(512, k, 5)))
+            .collect();
+        for (algo, sub) in reference.iter_mut().zip(&substreams) {
+            algo.insert_batch(sub);
+        }
+        let want = merge_topk(reference.iter().flat_map(|a| a.top_k()).collect(), k);
+
+        for batch in [1usize, 97, 4096] {
+            let mut engine: ShardedEngine<u64, ParallelTopK<u64>> =
+                ShardedEngine::from_fn(shards, k, |_| ParallelTopK::new(cfg(512, k, 5)));
+            for chunk in stream.chunks(batch) {
+                engine.insert_batch(chunk);
+            }
+            assert_eq!(
+                engine.top_k(),
+                want,
+                "shards={shards} batch={batch}: dispatch plane leaked into results"
+            );
+            // Point queries agree with the owning reference shard.
+            for f in 0..12u64 {
+                let s = probe.shard_of(&f);
+                assert_eq!(
+                    engine.query(&f),
+                    reference[s].query(&f),
+                    "shards={shards} batch={batch} flow={f}"
+                );
+            }
+            engine.flush().expect("healthy engine");
+            assert!(engine.poisoned_shards().is_empty());
+        }
+    }
+}
+
+#[test]
+fn scalar_and_batched_engine_ingest_agree() {
+    // The scalar path buffers until batch_capacity; boundaries must not
+    // show in the results either.
+    let stream = zipfish_stream(25_000, 8, 900, 13);
+    let mk = || {
+        ShardedEngine::<u64, ParallelTopK<u64>>::from_fn(3, 8, |_| {
+            ParallelTopK::new(cfg(256, 8, 9))
+        })
+    };
+    let mut scalar = mk();
+    for key in &stream {
+        scalar.insert(key);
+    }
+    let mut batched = mk();
+    batched.insert_batch(&stream);
+    assert_eq!(scalar.top_k(), batched.top_k());
+    for f in 0..8u64 {
+        assert_eq!(scalar.query(&f), batched.query(&f), "flow {f}");
+    }
+}
+
+#[test]
+fn handoff_matches_merged_view_exactly_for_uncontended_flows() {
+    // Disjoint partitioning through the prepared handoff: uncontended
+    // flows count exactly, in the union view and in the sketch-merged
+    // view alike.
+    let mut engine = ShardedEngine::parallel(&cfg(4096, 16, 3), 4);
+    let mut batch = Vec::new();
+    for f in 0..16u64 {
+        for _ in 0..50 * (f + 1) {
+            batch.push(f);
+        }
+    }
+    // Many small batches: exercises buffer recycling mid-differential.
+    for chunk in batch.chunks(333) {
+        engine.insert_batch(chunk);
+    }
+    let merged = engine.merged().expect("shards share config");
+    for f in 0..16u64 {
+        assert_eq!(engine.query(&f), 50 * (f + 1), "engine view, flow {f}");
+        assert_eq!(merged.query(&f), 50 * (f + 1), "merged view, flow {f}");
+    }
+}

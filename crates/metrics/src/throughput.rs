@@ -134,6 +134,122 @@ where
     }
 }
 
+/// One round of a paired A/B throughput comparison: both contenders
+/// measured back to back on the same trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedRound {
+    /// Contender A's throughput this round, Mps.
+    pub a_mps: f64,
+    /// Contender B's throughput this round, Mps.
+    pub b_mps: f64,
+}
+
+/// The result of [`measure_paired_mps_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedReport {
+    /// Per-round (A, B) throughputs, in measurement order.
+    pub rounds: Vec<PairedRound>,
+    /// Mean Mps over rounds, contender A.
+    pub a_mean: f64,
+    /// Mean Mps over rounds, contender B.
+    pub b_mean: f64,
+    /// Mean of the per-round ratios `b/a` — the drift-resistant
+    /// speedup estimate (each ratio compares two adjacent-in-time
+    /// runs, so slow machine phases cancel instead of biasing one
+    /// side).
+    pub ratio_mean: f64,
+}
+
+/// Measures two algorithms in **interleaved paired rounds**
+/// (A, B, A, B, …): each round times a fresh instance of each over the
+/// whole trace under `mode`, back to back. On shared, drift-prone
+/// machines this is the honest comparison — a throttled phase degrades
+/// the round's *pair*, not whichever contender happened to run last —
+/// which is why the bench snapshots record per-round pairs rather than
+/// two independent best-ofs.
+///
+/// # Panics
+///
+/// Panics if `packets` is empty, `rounds == 0`, or a batched mode has
+/// batch size 0.
+pub fn measure_paired_mps_with<K, A, B, FA, FB>(
+    mut make_a: FA,
+    mut make_b: FB,
+    packets: &[K],
+    rounds: usize,
+    mode: IngestMode,
+) -> PairedReport
+where
+    K: FlowKey,
+    A: TopKAlgorithm<K>,
+    B: TopKAlgorithm<K>,
+    FA: FnMut() -> A,
+    FB: FnMut() -> B,
+{
+    assert!(!packets.is_empty(), "need packets to measure");
+    assert!(rounds > 0, "need at least one round");
+    if let IngestMode::Batched(b) = mode {
+        assert!(b > 0, "batch size must be positive");
+    }
+
+    fn timed<K: FlowKey, T: TopKAlgorithm<K>>(
+        algo: &mut T,
+        packets: &[K],
+        mode: IngestMode,
+    ) -> f64 {
+        let start = Instant::now();
+        match mode {
+            IngestMode::Scalar => {
+                for p in packets {
+                    algo.insert(p);
+                }
+            }
+            IngestMode::Batched(batch) => {
+                for chunk in packets.chunks(batch) {
+                    algo.insert_batch(chunk);
+                }
+            }
+        }
+        // The read is *inside* the clock: for pipelined engines (the
+        // sharded engine's rings) `top_k` forces the flush, so the
+        // measurement is end-to-end packets-applied — not the dispatch
+        // rate with a backlog draining off the clock. (This is also why
+        // paired numbers can sit below `measure_mps_with`'s, which
+        // stops its clock at the last enqueue.)
+        std::hint::black_box(algo.top_k().len());
+        let secs = start.elapsed().as_secs_f64();
+        packets.len() as f64 / secs / 1e6
+    }
+
+    // Warm-up both sides (allocator, page faults, caches) off the clock.
+    {
+        let head = &packets[..packets.len().min(100_000)];
+        let mut a = make_a();
+        let mut b = make_b();
+        timed(&mut a, head, mode);
+        timed(&mut b, head, mode);
+    }
+
+    let mut report = PairedReport {
+        rounds: Vec::with_capacity(rounds),
+        a_mean: 0.0,
+        b_mean: 0.0,
+        ratio_mean: 0.0,
+    };
+    for _ in 0..rounds {
+        let a_mps = timed(&mut make_a(), packets, mode);
+        let b_mps = timed(&mut make_b(), packets, mode);
+        report.rounds.push(PairedRound { a_mps, b_mps });
+        report.a_mean += a_mps;
+        report.b_mean += b_mps;
+        report.ratio_mean += b_mps / a_mps;
+    }
+    report.a_mean /= rounds as f64;
+    report.b_mean /= rounds as f64;
+    report.ratio_mean /= rounds as f64;
+    report
+}
+
 /// Feeds `packets` as `epoch_packets`-sized periods under `mode`,
 /// calling [`EpochRotate::rotate_epoch`] at every *interior* period
 /// boundary (no rotation after the final, possibly short, period).
@@ -281,6 +397,26 @@ mod tests {
             }
         }
         assert_eq!(win.rotations(), 2);
+    }
+
+    #[test]
+    fn paired_rounds_record_both_sides() {
+        let packets: Vec<u64> = (0..30_000u64).map(|i| i % 64).collect();
+        let mk = || ParallelTopK::<u64>::new(HkConfig::builder().width(128).k(8).build());
+        let r = measure_paired_mps_with(mk, mk, &packets, 3, IngestMode::Batched(1024));
+        assert_eq!(r.rounds.len(), 3);
+        for round in &r.rounds {
+            assert!(round.a_mps > 0.0 && round.b_mps > 0.0);
+        }
+        assert!(r.a_mean > 0.0 && r.b_mean > 0.0 && r.ratio_mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let packets: Vec<u64> = vec![1];
+        let mk = || ParallelTopK::<u64>::new(HkConfig::builder().width(16).k(2).build());
+        measure_paired_mps_with(mk, mk, &packets, 0, IngestMode::Scalar);
     }
 
     #[test]

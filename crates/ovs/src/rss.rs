@@ -8,6 +8,16 @@
 //! seed); at the end the per-queue sketches are Sum-merged
 //! ([`heavykeeper::merge`]) into one port-wide view.
 //!
+//! Since the hash-once dispatch refactor the RSS plane mirrors the
+//! sharded engine's discipline: the datapath thread **prepares each
+//! parsed flow once** under the consumers' shared
+//! [`HashSpec`] and steers by [`PreparedKey::lane`] (a further fold of
+//! the same hash, standing in for the NIC's RSS key), then ships the
+//! `(flow, prepared)` pair through the ring. Consumers ingest via
+//! [`PreparedInsert::insert_prepared_batch`], so no packet is hashed
+//! twice anywhere in the pipeline — the queue hash *is* the sketch
+//! hash, refolded.
+//!
 //! RSS is flow-affine — every packet of a flow lands in the same queue
 //! — so the per-queue streams are *disjoint by flow*: the Sum merge
 //! never meets the same fingerprint on both sides of a bucket, and the
@@ -20,20 +30,26 @@
 use crate::datapath::{synthesize_frame, Datapath, FRAME_LEN};
 use crate::ring::SharedRing;
 use heavykeeper::{HkConfig, ParallelTopK};
-use hk_common::algorithm::TopKAlgorithm;
-use hk_common::hash::xxhash64;
+use hk_common::algorithm::PreparedInsert;
+use hk_common::key::FlowKey;
+use hk_common::prepared::{HashSpec, PreparedKey};
 use hk_traffic::flow::FiveTuple;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Seed for the RSS hash — fixed and independent of the sketch seed,
-/// like a NIC's RSS key.
-const RSS_SEED: u64 = 0x5255_5353; // "RSS"
+/// The spec the RSS plane prepares flows under for a given sketch
+/// configuration — necessarily the sketches' own spec, so the prepared
+/// state steered by it is directly ingestible on the consumer side.
+pub fn rss_spec(cfg: &HkConfig) -> HashSpec {
+    HashSpec::new(cfg.seed, cfg.fingerprint_bits)
+}
 
-/// Which queue a flow's packets land in.
-pub fn rss_queue(flow: &FiveTuple, queues: usize) -> usize {
-    (xxhash64(&flow.to_bytes(), RSS_SEED) % queues as u64) as usize
+/// Which queue a prepared flow's packets land in: the lane fold of the
+/// one per-packet hash, multiply-shifted over the queue count (no
+/// modulo bias). Flow-affine by construction.
+pub fn rss_queue(p: &PreparedKey, queues: usize) -> usize {
+    ((p.lane() as u64 * queues as u64) >> 32) as usize
 }
 
 /// Results of one multi-queue run.
@@ -49,9 +65,11 @@ pub struct RssReport {
     pub seconds: f64,
 }
 
-/// Runs the RSS deployment: one datapath thread, `queues` rings and
-/// consumer threads each feeding its own HeavyKeeper, then a Sum-merge
-/// into the returned port-wide sketch.
+/// Runs the RSS deployment: one datapath thread (parse, forward,
+/// prepare-once, steer), `queues` rings of `(flow, prepared)` pairs and
+/// consumer threads each feeding its own HeavyKeeper through the
+/// prepared handoff, then a Sum-merge into the returned port-wide
+/// sketch.
 ///
 /// # Panics
 ///
@@ -66,10 +84,11 @@ pub fn run_rss_deployment(
     assert!(queues > 0, "need at least one queue");
 
     let frames: Vec<[u8; FRAME_LEN]> = flows.iter().map(synthesize_frame).collect();
-    let rings: Vec<Arc<SharedRing<FiveTuple>>> = (0..queues)
+    let rings: Vec<Arc<SharedRing<(FiveTuple, PreparedKey)>>> = (0..queues)
         .map(|_| Arc::new(SharedRing::new(ring_capacity)))
         .collect();
     let done = Arc::new(AtomicBool::new(false));
+    let spec = rss_spec(cfg);
 
     let start = Instant::now();
     let mut forwarded = 0u64;
@@ -85,8 +104,15 @@ pub fn run_rss_deployment(
             let cfg = cfg.clone();
             handles.push(s.spawn(move || {
                 let mut hk = ParallelTopK::<FiveTuple>::new(cfg);
+                debug_assert_eq!(hk.hash_spec(), spec, "rss_spec must match the sketch");
                 let mut n = 0u64;
-                let mut batch: Vec<FiveTuple> =
+                let mut batch: Vec<(FiveTuple, PreparedKey)> =
+                    Vec::with_capacity(crate::deployment::CONSUMER_BATCH);
+                // Structure-of-arrays views of the drained batch for the
+                // prepared handoff, reused across drains.
+                let mut keys: Vec<FiveTuple> =
+                    Vec::with_capacity(crate::deployment::CONSUMER_BATCH);
+                let mut prepared: Vec<PreparedKey> =
                     Vec::with_capacity(crate::deployment::CONSUMER_BATCH);
                 loop {
                     batch.clear();
@@ -98,18 +124,27 @@ pub fn run_rss_deployment(
                         std::hint::spin_loop();
                         continue;
                     }
-                    hk.insert_batch(&batch);
+                    keys.clear();
+                    prepared.clear();
+                    for &(ft, p) in &batch {
+                        keys.push(ft);
+                        prepared.push(p);
+                    }
+                    // Hash-once: the datapath already prepared these.
+                    hk.insert_prepared_batch(&keys, &prepared);
                     n += taken as u64;
                 }
                 (hk, n)
             }));
         }
 
-        // Datapath producer (this thread): parse, forward, RSS-steer.
+        // Datapath producer (this thread): parse, forward, prepare
+        // once, steer by the prepared lane.
         let mut dp = Datapath::new();
         for frame in &frames {
             if let Some(ft) = dp.process(frame) {
-                rings[rss_queue(&ft, queues)].push_blocking(ft);
+                let p = spec.prepare(ft.key_bytes().as_slice());
+                rings[rss_queue(&p, queues)].push_blocking((ft, p));
             }
         }
         forwarded = dp.forwarded();
@@ -144,6 +179,7 @@ pub fn run_rss_deployment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hk_common::algorithm::TopKAlgorithm;
 
     fn flows(n: u64, distinct: u64) -> Vec<FiveTuple> {
         (0..n)
@@ -158,13 +194,17 @@ mod tests {
     #[test]
     fn rss_is_flow_affine_and_covers_all_queues() {
         let qs = 4;
+        let spec = rss_spec(&cfg());
         for i in 0..1000u64 {
             let f = FiveTuple::from_index(i);
-            assert_eq!(rss_queue(&f, qs), rss_queue(&f, qs));
+            let p = spec.prepare(f.key_bytes().as_slice());
+            assert_eq!(rss_queue(&p, qs), rss_queue(&p, qs));
         }
         let mut seen = vec![false; qs];
         for i in 0..1000u64 {
-            seen[rss_queue(&FiveTuple::from_index(i), qs)] = true;
+            let f = FiveTuple::from_index(i);
+            let p = spec.prepare(f.key_bytes().as_slice());
+            seen[rss_queue(&p, qs)] = true;
         }
         assert!(seen.iter().all(|&s| s), "some queue never selected");
     }
@@ -201,7 +241,9 @@ mod tests {
 
     #[test]
     fn single_queue_equals_plain_deployment_accuracy() {
-        // queues = 1 degenerates to the Section VII two-thread pipeline.
+        // queues = 1 degenerates to the Section VII two-thread pipeline,
+        // and the prepared handoff must be bit-exact with direct scalar
+        // insertion.
         let pkts = flows(50_000, 100);
         let (report, merged) = run_rss_deployment(&pkts, &cfg(), 1, 512);
         assert_eq!(report.per_queue, vec![50_000]);

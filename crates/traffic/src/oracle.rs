@@ -51,7 +51,7 @@ impl<K: FlowKey> ExactCounter<K> {
     /// Records one packet of flow `key`.
     #[inline]
     pub fn observe(&mut self, key: &K) {
-        *self.counts.entry(key.clone()).or_insert(0) += 1;
+        *self.counts.entry(*key).or_insert(0) += 1;
         self.total += 1;
     }
 
@@ -75,7 +75,7 @@ impl<K: FlowKey> ExactCounter<K> {
     /// Ties are broken deterministically by the key's byte encoding so
     /// results are stable across runs and platforms.
     pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
-        let mut all: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        let mut all: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (*k, c)).collect();
         all.sort_by(|a, b| {
             b.1.cmp(&a.1)
                 .then_with(|| a.0.key_bytes().as_slice().cmp(b.0.key_bytes().as_slice()))
@@ -100,7 +100,7 @@ impl<K: FlowKey> ExactCounter<K> {
         self.counts
             .iter()
             .filter(|(_, &c)| c >= threshold)
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect()
     }
 
