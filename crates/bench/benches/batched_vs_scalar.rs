@@ -96,8 +96,11 @@ fn bench_ingest_modes(c: &mut Criterion) {
         IngestMode::Batched(BATCH),
     );
 
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"batched_vs_scalar\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"algo\": \"HK-Parallel\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"shards\": {SHARDS},\n  \"scalar_mps\": {:.3},\n  \"batched_mps\": {:.3},\n  \"sharded_mps\": {:.3},\n  \"batched_over_scalar\": {:.3},\n  \"sharded_over_scalar\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"batched_vs_scalar\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"available_parallelism\": {parallelism},\n  \"algo\": \"HK-Parallel\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"shards\": {SHARDS},\n  \"scalar_mps\": {:.3},\n  \"batched_mps\": {:.3},\n  \"sharded_mps\": {:.3},\n  \"batched_over_scalar\": {:.3},\n  \"sharded_over_scalar\": {:.3}\n}}\n",
         scalar.mps_best,
         batched.mps_best,
         sharded.mps_best,

@@ -1,0 +1,145 @@
+//! The fleet-export bench: full-frame vs delta export cost and the
+//! collector's windowed merge rate, plus the `BENCH_fleet.json`
+//! snapshot.
+//!
+//! Three questions, one workload (the standard 4M-packet Zipf stream,
+//! hash-partitioned over `SWITCHES` sliding-window switches rotating
+//! every `EPOCH_PACKETS` packets):
+//!
+//! * **Export bytes.** What does one rotation cost on the wire in full
+//!   mode (every live epoch, O(W·sketch)) vs delta mode (one closed
+//!   epoch, O(sketch))? The snapshot records both and their ratio — the
+//!   whole point of the delta protocol is a ratio near `1/W`.
+//! * **End-to-end fleet rate.** Packets/s through ingest + rotation +
+//!   export + channel + collector reassembly, per mode.
+//! * **Collector merge rate.** How fast the collector answers the
+//!   network-wide windowed top-k (epoch-aligned sketch merges across
+//!   switches), expressed as live-window packets per second of query
+//!   time, plus the frame-replay rate of `submit_window_frame`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use heavykeeper::collector::{AggregationRule, Collector};
+use hk_telemetry::{Fleet, FleetConfig};
+use hk_traffic::synthetic::sampled_zipf;
+use std::time::Instant;
+
+const SWITCHES: usize = 4;
+const WINDOW: usize = 4;
+const K: usize = 100;
+/// Per-switch memory budget (split across the window's epochs).
+const MEM: usize = 4 * 1024 * 1024;
+/// 16 periods: the ring recycles several times, so last-rotation bytes
+/// are steady-state (full frames carry all W epochs).
+const PERIODS: usize = 4 * WINDOW;
+
+fn workload() -> Vec<u64> {
+    sampled_zipf(4_000_000, 2_000_000, 0.8, 1).packets
+}
+
+fn fleet_cfg(delta: bool, epoch_packets: usize) -> FleetConfig {
+    FleetConfig {
+        switches: SWITCHES,
+        window: WINDOW,
+        epoch_packets,
+        k: K,
+        memory_bytes: MEM,
+        seed: 1,
+        delta,
+        loss: 0.0,
+        reorder: 0.0,
+    }
+}
+
+fn run_fleet(packets: &[u64], delta: bool, epoch_packets: usize) -> (Fleet<u64>, f64) {
+    let mut fleet = Fleet::<u64>::new(fleet_cfg(delta, epoch_packets));
+    let start = Instant::now();
+    fleet.run_trace(packets);
+    (fleet, start.elapsed().as_secs_f64())
+}
+
+fn bench_fleet_export(c: &mut Criterion) {
+    let packets = workload();
+    let epoch_packets = packets.len().div_ceil(PERIODS);
+    let mut g = c.benchmark_group("fleet_export");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(packets.len() as u64));
+
+    g.bench_function("full_frames", |b| {
+        b.iter(|| {
+            let (fleet, _) = run_fleet(&packets, false, epoch_packets);
+            fleet.stats().bytes_sent
+        })
+    });
+    g.bench_function("delta_frames", |b| {
+        b.iter(|| {
+            let (fleet, _) = run_fleet(&packets, true, epoch_packets);
+            fleet.stats().bytes_sent
+        })
+    });
+    g.finish();
+
+    // Snapshot pass for BENCH_fleet.json.
+    let (full_fleet, full_secs) = run_fleet(&packets, false, epoch_packets);
+    let (delta_fleet, delta_secs) = run_fleet(&packets, true, epoch_packets);
+    let full_stats = *full_fleet.stats();
+    let delta_stats = *delta_fleet.stats();
+    let ratio = delta_stats.bytes_last_rotation as f64 / full_stats.bytes_last_rotation as f64;
+
+    // Collector merge rate: replay the delta fleet's final state into a
+    // fresh collector (submit rate), then time the windowed top-k
+    // (epoch-aligned merge across switches). Live-window packets =
+    // the closed epochs the ring still holds, fleet-wide.
+    let frames: Vec<Vec<u8>> = delta_fleet
+        .switches()
+        .iter()
+        .enumerate()
+        .map(|(i, sw)| sw.export_frame(i as u64, epoch_packets as u32))
+        .collect();
+    let submit_start = Instant::now();
+    let mut replayed = Collector::<u64>::new(K, AggregationRule::Sum);
+    for f in &frames {
+        replayed.submit_window_frame(f).expect("pristine frames");
+    }
+    let submit_secs = submit_start.elapsed().as_secs_f64();
+
+    const TOPK_ROUNDS: usize = 10;
+    let topk_start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..TOPK_ROUNDS {
+        sink += replayed.window_top_k().len();
+    }
+    let topk_secs = topk_start.elapsed().as_secs_f64() / TOPK_ROUNDS as f64;
+    std::hint::black_box(sink);
+    let live_packets = (WINDOW - 1).min(PERIODS) * epoch_packets;
+    let merge_mps = live_packets as f64 / topk_secs / 1e6;
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_export\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"available_parallelism\": {parallelism},\n  \"switches\": {SWITCHES},\n  \"window\": {WINDOW},\n  \"epoch_packets\": {epoch_packets},\n  \"k\": {K},\n  \"memory_bytes_per_switch\": {MEM},\n  \"periods\": {PERIODS},\n  \"full\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3} }},\n  \"delta\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3} }},\n  \"delta_over_full_bytes_per_rotation\": {:.4},\n  \"collector\": {{ \"submit_frames_per_s\": {:.1}, \"window_topk_s\": {:.6}, \"merge_mps\": {:.3} }},\n  \"note\": \"bytes_per_rotation is the last (steady-state) rotation's export across all switches; delta mode ships one closed epoch per rotation vs the full frame's W live epochs, so the ratio target is ~1/W plus header; merge_mps = live-window packets / window_top_k wall time (epoch-aligned Sum merges across switches)\"\n}}\n",
+        full_stats.bytes_sent,
+        full_stats.bytes_last_rotation,
+        packets.len() as f64 / full_secs / 1e6,
+        delta_stats.bytes_sent,
+        delta_stats.bytes_last_rotation,
+        packets.len() as f64 / delta_secs / 1e6,
+        ratio,
+        frames.len() as f64 / submit_secs,
+        topk_secs,
+        merge_mps,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_fleet_export
+}
+criterion_main!(benches);

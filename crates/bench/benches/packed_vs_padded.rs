@@ -130,8 +130,11 @@ fn bench_layouts(c: &mut Criterion) {
         IngestMode::Batched(BATCH),
     );
 
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"packed_vs_padded\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"algo\": \"HK-Parallel\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"shards\": {SHARDS},\n  \"runtime_bucket_bytes\": {{ \"before\": 16, \"after\": 8 }},\n  \"before\": {{ \"layout\": \"padded Vec<Array> (commit e0b7fc7, same machine, adjacent run)\", \"scalar_mps\": 10.65, \"batched_mps\": 17.01, \"sharded_mps\": 25.04 }},\n  \"after\": {{ \"layout\": \"packed 64B-aligned matrix\", \"scalar_mps\": {:.3}, \"batched_mps\": {:.3}, \"sharded_mps\": {:.3} }},\n  \"note\": \"before/after measured on the same (shared, drift-prone) VM; the seed BENCH_ingest.json snapshot (20.5 Mpps batched) came from a different machine\"\n}}\n",
+        "{{\n  \"bench\": \"packed_vs_padded\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"available_parallelism\": {parallelism},\n  \"algo\": \"HK-Parallel\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"shards\": {SHARDS},\n  \"runtime_bucket_bytes\": {{ \"before\": 16, \"after\": 8 }},\n  \"before\": {{ \"layout\": \"padded Vec<Array> (commit e0b7fc7, same machine, adjacent run)\", \"scalar_mps\": 10.65, \"batched_mps\": 17.01, \"sharded_mps\": 25.04 }},\n  \"after\": {{ \"layout\": \"packed 64B-aligned matrix\", \"scalar_mps\": {:.3}, \"batched_mps\": {:.3}, \"sharded_mps\": {:.3} }},\n  \"note\": \"before/after measured on the same (shared, drift-prone) VM; the seed BENCH_ingest.json snapshot (20.5 Mpps batched) came from a different machine\"\n}}\n",
         scalar.mps_best, batched.mps_best, sharded.mps_best,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_layout.json");

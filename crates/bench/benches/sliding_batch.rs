@@ -107,8 +107,11 @@ fn bench_sliding_batch(c: &mut Criterion) {
         IngestMode::Batched(BATCH),
     );
 
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"sliding_batch\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"algo\": \"HK-Sliding (Parallel epochs)\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"window\": {WINDOW},\n  \"epoch_packets\": {epoch_packets},\n  \"window_scalar_mps\": {:.3},\n  \"window_batched_mps\": {:.3},\n  \"steady_batched_mps\": {:.3},\n  \"note\": \"window modes rotate every epoch_packets packets (epochs recycled, not reallocated); steady is a single no-window ParallelTopK as the ceiling\"\n}}\n",
+        "{{\n  \"bench\": \"sliding_batch\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"available_parallelism\": {parallelism},\n  \"algo\": \"HK-Sliding (Parallel epochs)\",\n  \"memory_bytes\": {MEM},\n  \"k\": {K},\n  \"batch\": {BATCH},\n  \"window\": {WINDOW},\n  \"epoch_packets\": {epoch_packets},\n  \"window_scalar_mps\": {:.3},\n  \"window_batched_mps\": {:.3},\n  \"steady_batched_mps\": {:.3},\n  \"note\": \"window modes rotate every epoch_packets packets (epochs recycled, not reallocated); steady is a single no-window ParallelTopK as the ceiling\"\n}}\n",
         win_scalar.mps_best, win_batched.mps_best, steady_batched.mps_best,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_window.json");

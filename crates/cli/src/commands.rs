@@ -31,6 +31,9 @@ USAGE:
   hk pcap     --in FILE [--by packets|bytes] [--memory-kb KB] [--k K] [--seed X]
   hk change   --trace FILE [--epochs N] [--threshold T] [--memory-kb KB]
               [--k K] [--seed X] [--batch N]
+  hk fleet    [--switches S] [--window W] [--epoch-packets N] [--periods P]
+              [--flows M] [--skew Z] [--memory-kb KB] [--k K] [--seed X]
+              [--delta] [--loss p] [--reorder q] [--min-recall R]
   hk help
 
 Algorithms for --algo:
@@ -573,6 +576,118 @@ pub fn change(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `hk fleet`: the windowed telemetry scenario — `--switches` sliding
+/// windows over hash-partitioned Zipf traffic, rotating every
+/// `--epoch-packets` packets for `--periods` periods, exporting wire-v2
+/// frames (`--delta` for steady-state single-epoch deltas, full frames
+/// otherwise) through a channel that drops each frame with probability
+/// `--loss` and reorders adjacent frames with probability `--reorder`.
+/// The collector reassembles per-switch rings (resync requests are
+/// serviced in-band) and its network-wide windowed top-k is scored
+/// against the loss-free merged oracle; `--min-recall` turns that score
+/// into an exit status for CI.
+pub fn fleet(args: &Args) -> Result<(), CliError> {
+    use hk_telemetry::{Fleet, FleetConfig};
+
+    let switches: usize = args.num_or("switches", 3)?;
+    let window: usize = args.num_or("window", 4)?;
+    let epoch_packets: usize = args.num_or("epoch-packets", 10_000)?;
+    let periods: usize = args.num_or("periods", 3 * window.max(1))?;
+    let flows: usize = args.num_or("flows", 10_000)?;
+    let skew: f64 = args.num_or("skew", 1.1)?;
+    let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
+    let k: usize = args.num_or("k", 20)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    let delta = args.is_set("delta");
+    let loss: f64 = args.num_or("loss", 0.0)?;
+    let reorder: f64 = args.num_or("reorder", 0.0)?;
+    if switches == 0 || window == 0 || epoch_packets == 0 || periods == 0 {
+        return Err(CliError::Usage(
+            "--switches/--window/--epoch-packets/--periods must be positive".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&loss) || !(0.0..1.0).contains(&reorder) {
+        return Err(CliError::Usage(
+            "--loss and --reorder must be in [0, 1)".into(),
+        ));
+    }
+
+    let trace = sampled_zipf((periods * epoch_packets) as u64, flows, skew, seed);
+    let mut fleet = Fleet::<u64>::new(FleetConfig {
+        switches,
+        window,
+        epoch_packets,
+        k,
+        memory_bytes: mem / switches.max(1),
+        seed,
+        delta,
+        loss,
+        reorder,
+    });
+    let start = Instant::now();
+    fleet.run_trace(&trace.packets);
+    let secs = start.elapsed().as_secs_f64();
+    // One oracle build serves both the recall score and the
+    // comparison table below.
+    let oracle = fleet.oracle_collector();
+    let recall = fleet.recall_against(&oracle);
+    let s = *fleet.stats();
+
+    println!(
+        "fleet: {switches} switch(es) x window {window} x {epoch_packets} pkts/epoch, \
+         {} packets, mode {}, loss {loss}, reorder {reorder}",
+        trace.len(),
+        if delta { "delta" } else { "full" },
+    );
+    println!(
+        "rotations {} | frames {} sent / {} delivered / {} lost / {} reordered | \
+         {} full, {} delta, {} resync, {} duplicate",
+        s.rotations,
+        s.frames_sent,
+        s.frames_delivered,
+        s.frames_lost,
+        s.frames_reordered,
+        s.full_frames,
+        s.delta_frames,
+        s.resyncs,
+        s.duplicates,
+    );
+    println!(
+        "export: {} bytes total, {} bytes last rotation ({} per switch) | {:.2} Mps end-to-end",
+        s.bytes_sent,
+        s.bytes_last_rotation,
+        s.bytes_last_rotation / switches as u64,
+        trace.len() as f64 / secs / 1e6,
+    );
+    println!("recall vs loss-free merged oracle: {recall:.4}");
+
+    let top = fleet.collector().window_top_k();
+    let oracle_top = oracle.window_top_k();
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "rank", "flow", "collector", "oracle"
+    );
+    for (rank, (flow, est)) in top.iter().take(k.min(20)).enumerate() {
+        let oracle_est = oracle_top
+            .iter()
+            .find(|(f, _)| f == flow)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        println!("{:>6} {flow:>14} {est:>14} {oracle_est:>14}", rank + 1);
+    }
+
+    let bound: f64 = args.num_or("min-recall", -1.0)?;
+    if bound >= 0.0 {
+        if recall < bound {
+            return Err(CliError::Io(format!(
+                "fleet recall {recall:.4} below --min-recall {bound:.4}"
+            )));
+        }
+        println!("recall bound {bound:.2} satisfied");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -894,6 +1009,90 @@ mod tests {
     fn pcap_missing_file_is_io_error() {
         let ana = Args::parse(&sv(&["pcap", "--in", "/nonexistent/x.pcap"])).unwrap();
         assert!(matches!(pcap(&ana).unwrap_err(), CliError::Io(_)));
+    }
+
+    #[test]
+    fn fleet_scenarios_run_and_enforce_recall() {
+        // Lossless full-frame fleet: recall is perfect, so the bound
+        // passes.
+        let f = Args::parse(&sv(&[
+            "fleet",
+            "--switches",
+            "2",
+            "--window",
+            "3",
+            "--epoch-packets",
+            "2000",
+            "--periods",
+            "5",
+            "--flows",
+            "500",
+            "--memory-kb",
+            "32",
+            "--k",
+            "10",
+            "--min-recall",
+            "0.99",
+        ]))
+        .unwrap();
+        fleet(&f).unwrap();
+
+        // Delta mode with loss + reorder still clears a sane bound
+        // (resyncs pull the collector back).
+        let f = Args::parse(&sv(&[
+            "fleet",
+            "--switches",
+            "3",
+            "--window",
+            "4",
+            "--epoch-packets",
+            "2000",
+            "--periods",
+            "8",
+            "--flows",
+            "500",
+            "--memory-kb",
+            "32",
+            "--k",
+            "10",
+            "--delta",
+            "--loss",
+            "0.05",
+            "--reorder",
+            "0.05",
+            "--min-recall",
+            "0.7",
+        ]))
+        .unwrap();
+        fleet(&f).unwrap();
+
+        // An impossible bound fails the run.
+        let f = Args::parse(&sv(&[
+            "fleet",
+            "--switches",
+            "2",
+            "--window",
+            "2",
+            "--epoch-packets",
+            "1000",
+            "--periods",
+            "4",
+            "--delta",
+            "--loss",
+            "0.6",
+            "--seed",
+            "9",
+            "--min-recall",
+            "1.1",
+        ]))
+        .unwrap();
+        assert!(matches!(fleet(&f).unwrap_err(), CliError::Io(_)));
+
+        // Degenerate flags rejected.
+        let bad = Args::parse(&sv(&["fleet", "--switches", "0"])).unwrap();
+        assert!(fleet(&bad).is_err());
+        let bad = Args::parse(&sv(&["fleet", "--loss", "1.5"])).unwrap();
+        assert!(fleet(&bad).is_err());
     }
 
     #[test]

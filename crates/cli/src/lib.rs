@@ -17,6 +17,9 @@
 //!   packets or by bytes.
 //! * `hk change` — split a trace into epochs and report heavy changes
 //!   (eruptions/disappearances) at every epoch boundary.
+//! * `hk fleet` — the windowed telemetry scenario: S sliding-window
+//!   switches exporting wire-v2 frames (full or delta) over a lossy
+//!   channel to a collector answering the network-wide windowed top-k.
 //!
 //! The argument parser is a small hand-rolled `--flag value` scanner so
 //! the workspace stays within its sanctioned dependency set.
@@ -40,6 +43,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "pcap-gen" => commands::pcap_gen(&args),
         "pcap" => commands::pcap(&args),
         "change" => commands::change(&args),
+        "fleet" => commands::fleet(&args),
         "help" | "" => {
             print!("{}", commands::USAGE);
             Ok(())

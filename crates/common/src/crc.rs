@@ -1,0 +1,86 @@
+//! CRC-32 (IEEE 802.3) — integrity checksums for wire payloads.
+//!
+//! The windowed telemetry frames checksum every epoch payload so a
+//! collector can reject a corrupted epoch without decoding it (and
+//! without trusting the transport). This is the standard reflected
+//! CRC-32 with polynomial `0xEDB88320`, computed byte-at-a-time over a
+//! compile-time table — no external crates, deterministic across
+//! platforms, ~1 cycle/byte which is noise next to sketch encode cost.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-indexed remainder table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`: the checksum `cksum`-compatible tools and
+/// zlib's `crc32()` produce.
+///
+/// # Examples
+///
+/// ```
+/// use hk_common::crc::crc32;
+/// // The catalogue test vector for CRC-32/ISO-HDLC.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(crc32(b""), 0);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Catalogue check value plus a few independently computed ones.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        assert_eq!(crc32(&[0, 0, 0]), crc32(&[0, 0, 0]));
+        assert_ne!(crc32(&[0, 0, 0]), crc32(&[0, 0]));
+    }
+}

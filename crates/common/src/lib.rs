@@ -20,6 +20,8 @@
 //!   the paper uses to explain the algorithms.
 //! * [`counters`] — bit-width-limited counters so that memory accounting
 //!   (16-bit counter fields, Section VI-A) is enforced in type.
+//! * [`crc`] — CRC-32 (IEEE) for wire-payload integrity (the windowed
+//!   telemetry frames checksum every epoch payload).
 //! * [`prng`] — a tiny, fast xorshift PRNG used for decay coin flips.
 
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@
 
 pub mod algorithm;
 pub mod counters;
+pub mod crc;
 pub mod fingerprint;
 pub mod hash;
 pub mod key;
@@ -37,6 +40,7 @@ pub mod topk;
 
 pub use algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
 pub use counters::SaturatingCounter;
+pub use crc::crc32;
 pub use fingerprint::fingerprint_of;
 pub use hash::{HashFamily, SeededHasher};
 pub use key::{FlowKey, KeyBytes};

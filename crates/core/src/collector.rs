@@ -45,11 +45,13 @@
 //! assert!(top[0].1 <= 1000, "Max rule never over-estimates");
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
 
 use crate::merge::{MergeError, MergeMode};
 use crate::parallel::ParallelTopK;
-use crate::wire::WireError;
+use crate::sliding::SlidingTopK;
+use crate::wire::{FrameKind, WindowFrame, WireError};
 use hk_common::algorithm::TopKAlgorithm;
 use hk_common::key::FlowKey;
 
@@ -73,6 +75,88 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// What a window-frame submission did (the protocol's normal outcomes —
+/// duplicates and gaps are expected under a lossy transport, not
+/// errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSubmit {
+    /// A full snapshot (re)installed the switch's ring replica.
+    Snapshot,
+    /// A delta advanced the replica in sequence (possibly draining
+    /// buffered out-of-order deltas behind it).
+    Applied,
+    /// The frame's rotation was at or below the replica's — already
+    /// incorporated; dropped idempotently.
+    Duplicate,
+    /// The delta is ahead of the replica (a rotation-id gap): it was
+    /// buffered, and the switch is flagged in
+    /// [`Collector::resync_needed`] until a full snapshot arrives or
+    /// the missing deltas fill the gap.
+    ResyncRequested,
+}
+
+/// Why a window-frame submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSubmitError {
+    /// The frame did not decode (truncated, corrupt, bad CRC, …).
+    Wire(WireError),
+    /// The frame conflicts with the switch's established ring (window
+    /// size or sketch configuration changed mid-stream).
+    Mismatch {
+        /// The submitting switch.
+        switch: u64,
+    },
+    /// A delta arrived for a switch that never sent a full snapshot;
+    /// the switch is flagged for resync.
+    NoSnapshot {
+        /// The submitting switch.
+        switch: u64,
+    },
+}
+
+impl std::fmt::Display for WindowSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "window frame decode failed: {e}"),
+            Self::Mismatch { switch } => {
+                write!(f, "switch {switch}: frame conflicts with established ring")
+            }
+            Self::NoSnapshot { switch } => {
+                write!(f, "switch {switch}: delta before any full snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WindowSubmitError {}
+
+/// One switch's reassembled sliding window at the collector.
+#[derive(Debug, Clone)]
+struct SwitchWindow<K: FlowKey> {
+    /// The reassembled ring: bit-identical to the switch's own
+    /// [`SlidingTopK`] as of the last in-sequence frame.
+    replica: SlidingTopK<K>,
+    /// Out-of-order deltas buffered by rotation id, waiting for the
+    /// gap before them to fill (bounded by the window size — anything
+    /// older is covered by the resync snapshot anyway).
+    pending: BTreeMap<u64, ParallelTopK<K>>,
+    /// Highest rotation id this switch was ever *observed* at (from any
+    /// frame, including buffered-then-dropped deltas). The replica is
+    /// known-stale — and the switch resync-flagged — exactly while
+    /// `replica.rotations() < max_seen`; deriving the flag from this
+    /// (rather than from the pending buffer emptying) means a gap delta
+    /// discarded by the bounded buffer can never silently clear it.
+    max_seen: u64,
+}
+
+impl<K: FlowKey> SwitchWindow<K> {
+    /// True while a rotation was observed that the replica has not
+    /// incorporated.
+    fn needs_resync(&self) -> bool {
+        self.replica.rotations() < self.max_seen
+    }
+}
+
 /// How per-switch counts for the same flow combine network-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AggregationRule {
@@ -90,7 +174,17 @@ pub enum AggregationRule {
 /// submission see [`Collector::submit_sketch`], which folds the sketch's
 /// own top-k through the same path after merging the bucket arrays into
 /// an accumulated network-wide sketch.
-#[derive(Debug, Clone)]
+///
+/// For *windowed* deployments the collector additionally reassembles
+/// each switch's sliding-window epoch ring from wire-v2 frames
+/// ([`Collector::submit_window_frame`]): full snapshots install a
+/// per-switch [`SlidingTopK`] replica, steady-state deltas advance it
+/// one closed epoch per rotation, and [`Collector::window_top_k`]
+/// answers the network-wide windowed top-k by merging live epochs
+/// across switches through the [`crate::merge`] machinery. The windowed
+/// plane is independent of the tumbling report/sketch path (and of
+/// [`Collector::end_period`]) — a sliding window has no period to end.
+#[derive(Debug)]
 pub struct Collector<K: FlowKey> {
     rule: AggregationRule,
     k: usize,
@@ -98,6 +192,50 @@ pub struct Collector<K: FlowKey> {
     /// Network-wide merged sketch, present once a sketch was submitted.
     merged: Option<ParallelTopK<K>>,
     reports: usize,
+    /// Per-switch reassembled sliding windows, keyed by switch id.
+    windows: HashMap<u64, SwitchWindow<K>>,
+    /// Switches flagged for resync before any snapshot arrived (no
+    /// [`SwitchWindow`] entry exists yet to carry the flag).
+    resync_no_snapshot: HashSet<u64>,
+    /// Reusable query scratch: the candidate buffer and dedup set keep
+    /// their capacity across [`Collector::top_k`] /
+    /// [`Collector::window_top_k`] calls instead of reallocating per
+    /// query (same pattern as [`SlidingTopK`]'s top-k scratch). A
+    /// `Mutex` — not `RefCell` — so the collector stays `Sync`;
+    /// uncontended on the single-owner path.
+    scratch: Mutex<QueryScratch<K>>,
+}
+
+/// The per-query allocations of the top-k paths, retained across calls.
+#[derive(Debug)]
+struct QueryScratch<K> {
+    seen: HashSet<K>,
+    candidates: Vec<(K, u64)>,
+}
+
+impl<K> Default for QueryScratch<K> {
+    fn default() -> Self {
+        Self {
+            seen: HashSet::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+impl<K: FlowKey> Clone for Collector<K> {
+    fn clone(&self) -> Self {
+        Self {
+            rule: self.rule,
+            k: self.k,
+            counts: self.counts.clone(),
+            merged: self.merged.clone(),
+            reports: self.reports,
+            windows: self.windows.clone(),
+            resync_no_snapshot: self.resync_no_snapshot.clone(),
+            // Scratch is cheap to refill; a clone starts cold.
+            scratch: Mutex::new(QueryScratch::default()),
+        }
+    }
 }
 
 impl<K: FlowKey> Collector<K> {
@@ -114,6 +252,9 @@ impl<K: FlowKey> Collector<K> {
             counts: HashMap::new(),
             merged: None,
             reports: 0,
+            windows: HashMap::new(),
+            resync_no_snapshot: HashSet::new(),
+            scratch: Mutex::new(QueryScratch::default()),
         }
     }
 
@@ -171,34 +312,336 @@ impl<K: FlowKey> Collector<K> {
     /// Flow estimates combine the reported evidence under the
     /// aggregation rule with (when sketches were submitted) the merged
     /// sketch's own estimate.
+    ///
+    /// The candidate buffer is scratch retained across calls — a
+    /// collector polled every period stops allocating per query.
     pub fn top_k(&self) -> Vec<(K, u64)> {
-        let mut all: Vec<(K, u64)> = self
-            .counts
-            .iter()
-            .map(|(key, &c)| {
-                // The merged sketch (built with the rule's merge mode) is
-                // one more lower bound on the flow's network-wide size;
-                // take the strongest evidence.
-                let est = match &self.merged {
-                    Some(m) => c.max(m.query(key)),
-                    None => c,
-                };
-                (*key, est)
-            })
-            .collect();
-        all.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-        all.truncate(self.k);
-        all
+        let mut scratch = self.scratch.lock().expect("collector scratch mutex");
+        let candidates = &mut scratch.candidates;
+        candidates.clear();
+        candidates.extend(self.counts.iter().map(|(key, &c)| {
+            // The merged sketch (built with the rule's merge mode) is
+            // one more lower bound on the flow's network-wide size;
+            // take the strongest evidence.
+            let est = match &self.merged {
+                Some(m) => c.max(m.query(key)),
+                None => c,
+            };
+            (*key, est)
+        }));
+        candidates.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        candidates.truncate(self.k);
+        // The caller owns its report; only this exact-size copy leaves.
+        candidates.clone()
     }
 
-    /// Ends the period: returns this period's top-k and clears all state
-    /// (switch sketches reset on their side, paper footnote 2).
+    /// Ends the period: returns this period's top-k and clears the
+    /// tumbling state (switch sketches reset on their side, paper
+    /// footnote 2). Reassembled sliding windows are untouched — they
+    /// have no period boundary; they advance by rotation.
     pub fn end_period(&mut self) -> Vec<(K, u64)> {
         let out = self.top_k();
         self.counts.clear();
         self.merged = None;
         self.reports = 0;
         out
+    }
+
+    // -- The windowed (wire v2) plane -----------------------------------
+
+    /// Submits one windowed telemetry frame
+    /// ([`SlidingTopK::export_frame`] / [`SlidingTopK::export_delta`]
+    /// bytes) and reassembles the submitting switch's epoch ring.
+    ///
+    /// * A **full** frame installs (or re-anchors) the switch's
+    ///   [`SlidingTopK`] replica at the frame's rotation and clears any
+    ///   resync flag; a stale full frame (rotation behind the replica)
+    ///   is dropped idempotently.
+    /// * A **delta** frame carrying rotation `R` applies when the
+    ///   replica stands at `R - 1` ([`SlidingTopK::commit_epoch`]).
+    ///   `R` at or below the replica's rotation is a duplicate
+    ///   (idempotent drop). `R` further ahead is a **gap**: the delta is
+    ///   buffered (so a reordered neighbor can still slot in once the
+    ///   gap fills) and the switch is flagged in
+    ///   [`Collector::resync_needed`] until a full snapshot arrives.
+    ///
+    /// Returns what the frame did; errors are reserved for frames that
+    /// cannot participate in the protocol at all (undecodable bytes,
+    /// ring mismatches, deltas before any snapshot).
+    pub fn submit_window_frame(
+        &mut self,
+        payload: &[u8],
+    ) -> Result<WindowSubmit, WindowSubmitError> {
+        let frame = WindowFrame::<K>::decode(payload).map_err(WindowSubmitError::Wire)?;
+        self.submit_window(frame)
+    }
+
+    /// [`Collector::submit_window_frame`] over an already-decoded frame.
+    pub fn submit_window(
+        &mut self,
+        frame: WindowFrame<K>,
+    ) -> Result<WindowSubmit, WindowSubmitError> {
+        let switch = frame.switch_id;
+        match frame.kind {
+            FrameKind::Full => {
+                let window = frame
+                    .into_window()
+                    .expect("full frames always convert to a window");
+                if let Some(entry) = self.windows.get_mut(&switch) {
+                    // Array counts are excluded from the ring-identity
+                    // check: Section III-F expansion grows them
+                    // per-epoch at runtime.
+                    if entry.replica.window() != window.window()
+                        || !crate::wire::same_ring_config(entry.replica.config(), window.config())
+                    {
+                        return Err(WindowSubmitError::Mismatch { switch });
+                    }
+                    if window.rotations() < entry.replica.rotations() {
+                        // A reordered, stale snapshot must not rewind
+                        // the ring.
+                        return Ok(WindowSubmit::Duplicate);
+                    }
+                    entry.max_seen = entry.max_seen.max(window.rotations());
+                    entry.replica = window;
+                    Self::drain_pending(entry);
+                } else {
+                    self.resync_no_snapshot.remove(&switch);
+                    self.windows.insert(
+                        switch,
+                        SwitchWindow {
+                            max_seen: window.rotations(),
+                            replica: window,
+                            pending: BTreeMap::new(),
+                        },
+                    );
+                }
+                Ok(WindowSubmit::Snapshot)
+            }
+            FrameKind::Delta => {
+                let Some(entry) = self.windows.get_mut(&switch) else {
+                    // No ring to apply the delta to; ask for a snapshot.
+                    self.resync_no_snapshot.insert(switch);
+                    return Err(WindowSubmitError::NoSnapshot { switch });
+                };
+                if frame.window != entry.replica.window()
+                    || frame.epochs.first().is_some_and(|e| {
+                        !crate::wire::same_ring_config(e.config(), entry.replica.config())
+                    })
+                {
+                    return Err(WindowSubmitError::Mismatch { switch });
+                }
+                let rotation = frame.rotation;
+                let epoch = frame
+                    .epochs
+                    .into_iter()
+                    .next()
+                    .expect("decode guarantees one epoch per delta");
+                let current = entry.replica.rotations();
+                if rotation <= current {
+                    return Ok(WindowSubmit::Duplicate);
+                }
+                // Every delta ahead of the replica marks the switch
+                // observed at that rotation — even one the bounded
+                // buffer below ends up discarding — so the resync flag
+                // cannot be cleared until the replica truly catches up.
+                entry.max_seen = entry.max_seen.max(rotation);
+                if rotation == current + 1 {
+                    entry.replica.commit_epoch(epoch);
+                    Self::drain_pending(entry);
+                    return Ok(WindowSubmit::Applied);
+                }
+                // Gap: buffer the early delta (bounded by the window —
+                // anything a snapshot would supersede may be dropped)
+                // and request a resync.
+                if entry.pending.len() < entry.replica.window() {
+                    entry.pending.insert(rotation, epoch);
+                }
+                Ok(WindowSubmit::ResyncRequested)
+            }
+        }
+    }
+
+    /// Applies buffered out-of-order deltas that have become
+    /// in-sequence. The resync flag clears by itself once the replica's
+    /// rotation reaches the highest one ever observed
+    /// ([`SwitchWindow::needs_resync`]) — never merely because the
+    /// buffer emptied.
+    fn drain_pending(entry: &mut SwitchWindow<K>) {
+        loop {
+            let current = entry.replica.rotations();
+            // Drop anything the replica has already covered.
+            while let Some((&r, _)) = entry.pending.iter().next() {
+                if r <= current {
+                    entry.pending.remove(&r);
+                } else {
+                    break;
+                }
+            }
+            match entry.pending.remove(&(current + 1)) {
+                Some(epoch) => entry.replica.commit_epoch(epoch),
+                None => break,
+            }
+        }
+    }
+
+    /// Switch ids whose windows need a full snapshot (a rotation was
+    /// observed that the replica has not incorporated, or a delta
+    /// arrived before any snapshot), ascending. The deployment answers
+    /// by shipping [`SlidingTopK::export_frame`] for each.
+    pub fn resync_needed(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .windows
+            .iter()
+            .filter(|(_, w)| w.needs_resync())
+            .map(|(&id, _)| id)
+            .chain(self.resync_no_snapshot.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The reassembled window replica of one switch, if it has sent a
+    /// snapshot. Bit-identical to the switch's own [`SlidingTopK`] as
+    /// of the last in-sequence frame.
+    pub fn switch_window(&self, switch: u64) -> Option<&SlidingTopK<K>> {
+        self.windows.get(&switch).map(|w| &w.replica)
+    }
+
+    /// Switch ids with an installed window replica, ascending.
+    pub fn window_switches(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.windows.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Merges the live-window epochs of every reassembled switch into
+    /// one network-wide [`SlidingTopK`], epoch-aligned from the newest
+    /// backwards, under the collector's aggregation rule
+    /// ([`MergeMode::Sum`] for disjoint vantage points,
+    /// [`MergeMode::Max`] for overlapping paths) — the existing sketch
+    /// merge machinery applied per epoch.
+    ///
+    /// Returns `None` when no window was submitted, or `Err` when the
+    /// switches' rings are not merge-compatible (different seeds /
+    /// geometries).
+    pub fn merged_window(&self) -> Result<Option<SlidingTopK<K>>, MergeError> {
+        let mode = match self.rule {
+            AggregationRule::Max => MergeMode::Max,
+            AggregationRule::Sum => MergeMode::Sum,
+        };
+        let mut switches: Vec<&SwitchWindow<K>> = Vec::with_capacity(self.windows.len());
+        {
+            // Deterministic merge order — ascending switch id (HashMap
+            // iteration order is not deterministic, and the Sum-conflict
+            // tie rule makes merge results order-sensitive).
+            let mut ids: Vec<(&u64, &SwitchWindow<K>)> = self.windows.iter().collect();
+            ids.sort_by_key(|(&id, _)| id);
+            switches.extend(ids.into_iter().map(|(_, w)| w));
+        }
+        let Some(deepest) = switches.iter().map(|w| w.replica.live_epochs()).max() else {
+            return Ok(None);
+        };
+        // Align epochs on their distance from the newest: switches
+        // rotate in phase in a windowed deployment, so "i rotations
+        // ago" names the same period everywhere; switches still filling
+        // their ring simply contribute to fewer epochs.
+        let mut merged_newest_first: Vec<ParallelTopK<K>> = Vec::with_capacity(deepest);
+        for back in 0..deepest {
+            let mut acc: Option<ParallelTopK<K>> = None;
+            for w in &switches {
+                let live = w.replica.live_epochs();
+                if back >= live {
+                    continue;
+                }
+                let epoch = w
+                    .replica
+                    .epoch_iter()
+                    .nth(live - 1 - back)
+                    .expect("index within live epochs");
+                match &mut acc {
+                    None => acc = Some(epoch.clone()),
+                    Some(a) => a.merge_from_with(epoch, mode)?,
+                }
+            }
+            merged_newest_first.push(acc.expect("deepest covers at least one switch"));
+        }
+        merged_newest_first.reverse();
+        let cfg = merged_newest_first
+            .last()
+            .expect("at least one epoch")
+            .config()
+            .clone();
+        let window = switches
+            .iter()
+            .map(|w| w.replica.window())
+            .max()
+            .expect("at least one switch");
+        let rotations = switches
+            .iter()
+            .map(|w| w.replica.rotations())
+            .max()
+            .expect("at least one switch");
+        Ok(Some(SlidingTopK::from_epochs(
+            cfg,
+            window,
+            rotations,
+            merged_newest_first,
+        )))
+    }
+
+    /// The network-wide top-k over the *live windows* of every
+    /// reassembled switch, largest first.
+    ///
+    /// Candidates are the union of per-switch window top-k sets
+    /// (deduplicated through the retained scratch); each candidate's
+    /// estimate combines the per-switch window queries under the
+    /// aggregation rule with (when the rings are merge-compatible) the
+    /// [`Collector::merged_window`] estimate — both are lower bounds on
+    /// the flow's true window count, so the combination never
+    /// over-estimates.
+    pub fn window_top_k(&self) -> Vec<(K, u64)> {
+        // The merged ring catches cross-switch elephants that no single
+        // switch reports; incompatible rings fall back to report-level
+        // aggregation alone.
+        let merged = self.merged_window().ok().flatten();
+        let mut switches: Vec<(&u64, &SwitchWindow<K>)> = self.windows.iter().collect();
+        switches.sort_by_key(|(&id, _)| id);
+
+        let mut scratch = self.scratch.lock().expect("collector scratch mutex");
+        let QueryScratch { seen, candidates } = &mut *scratch;
+        seen.clear();
+        candidates.clear();
+        for (_, w) in &switches {
+            for (key, _) in w.replica.top_k() {
+                if !seen.insert(key) {
+                    continue;
+                }
+                let mut est: u64 = match self.rule {
+                    AggregationRule::Max => switches
+                        .iter()
+                        .map(|(_, sw)| sw.replica.query(&key))
+                        .max()
+                        .unwrap_or(0),
+                    AggregationRule::Sum => switches
+                        .iter()
+                        .map(|(_, sw)| sw.replica.query(&key))
+                        .fold(0u64, u64::saturating_add),
+                };
+                if let Some(m) = &merged {
+                    est = est.max(m.query(&key));
+                }
+                if est > 0 {
+                    candidates.push((key, est));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| a.0.key_bytes().as_slice().cmp(b.0.key_bytes().as_slice()))
+        });
+        candidates.truncate(self.k);
+        candidates.clone()
     }
 }
 
@@ -319,6 +762,305 @@ mod tests {
         c.submit_sketch(&ParallelTopK::<u64>::new(cfg(1))).unwrap();
         let err = c.submit_sketch(&ParallelTopK::<u64>::new(cfg(2)));
         assert!(err.is_err());
+    }
+
+    fn window_cfg(seed: u64) -> HkConfig {
+        HkConfig::builder()
+            .arrays(2)
+            .width(256)
+            .k(8)
+            .seed(seed)
+            .build()
+    }
+
+    /// Drives a switch window and the collector through `periods`
+    /// periods of delta export, returning the switch for comparison.
+    fn run_delta_stream(
+        coll: &mut Collector<u64>,
+        switch: u64,
+        periods: u64,
+        drop_rotation: Option<u64>,
+    ) -> SlidingTopK<u64> {
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), 3);
+        // Initial snapshot anchors the delta stream.
+        coll.submit_window_frame(&win.export_frame(switch, 1000))
+            .unwrap();
+        for p in 0..periods {
+            let batch: Vec<u64> = (0..1000u64)
+                .map(|i| switch * 1000 + p * 10 + i % 7)
+                .collect();
+            win.insert_batch(&batch);
+            win.rotate();
+            let delta = win.export_delta(switch, 1000).unwrap();
+            if drop_rotation != Some(win.rotations()) {
+                let _ = coll.submit_window_frame(&delta);
+            }
+        }
+        win
+    }
+
+    fn assert_replica_matches(coll: &Collector<u64>, switch: u64, win: &SlidingTopK<u64>) {
+        let replica = coll.switch_window(switch).expect("replica installed");
+        assert_eq!(replica.rotations(), win.rotations());
+        assert_eq!(replica.live_epochs(), win.live_epochs());
+        for (ea, eb) in replica.epoch_iter().zip(win.epoch_iter()) {
+            for j in 0..ea.sketch().arrays() {
+                for i in 0..ea.sketch().width() {
+                    assert_eq!(ea.sketch().bucket(j, i), eb.sketch().bucket(j, i));
+                }
+            }
+        }
+        for f in 0..100u64 {
+            let probe = switch * 1000 + f;
+            assert_eq!(replica.query(&probe), win.query(&probe), "flow {probe}");
+        }
+    }
+
+    #[test]
+    fn delta_stream_reassembles_bit_exact() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let win = run_delta_stream(&mut coll, 1, 6, None);
+        assert!(coll.resync_needed().is_empty());
+        assert_replica_matches(&coll, 1, &win);
+    }
+
+    #[test]
+    fn duplicate_deltas_are_idempotent() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), 3);
+        coll.submit_window_frame(&win.export_frame(7, 100)).unwrap();
+        win.insert_batch(&vec![42u64; 500]);
+        win.rotate();
+        let delta = win.export_delta(7, 100).unwrap();
+        assert_eq!(
+            coll.submit_window_frame(&delta).unwrap(),
+            WindowSubmit::Applied
+        );
+        // The same delta again — and again — changes nothing.
+        for _ in 0..3 {
+            assert_eq!(
+                coll.submit_window_frame(&delta).unwrap(),
+                WindowSubmit::Duplicate
+            );
+        }
+        assert_replica_matches(&coll, 7, &win);
+    }
+
+    #[test]
+    fn rotation_gap_flags_resync_and_snapshot_recovers() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        // Drop the delta of rotation 3: rotation 4's delta opens a gap.
+        let win = run_delta_stream(&mut coll, 2, 6, Some(3));
+        assert_eq!(coll.resync_needed(), vec![2]);
+        // The pre-gap prefix is intact but the ring is behind.
+        assert!(coll.switch_window(2).unwrap().rotations() < win.rotations());
+        // Resync: a full snapshot re-anchors, clearing the flag and
+        // restoring bit-exactness.
+        coll.submit_window_frame(&win.export_frame(2, 1000))
+            .unwrap();
+        assert!(coll.resync_needed().is_empty());
+        assert_replica_matches(&coll, 2, &win);
+    }
+
+    #[test]
+    fn reordered_adjacent_deltas_heal_without_resync() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), 3);
+        coll.submit_window_frame(&win.export_frame(9, 100)).unwrap();
+        let mut deltas = Vec::new();
+        for p in 0..2u64 {
+            win.insert_batch(&(0..500u64).map(|i| p * 100 + i % 5).collect::<Vec<_>>());
+            win.rotate();
+            deltas.push(win.export_delta(9, 100).unwrap());
+        }
+        // Deliver rotation 2 before rotation 1: the early delta is
+        // buffered (resync requested), then the late one drains both
+        // and the flag clears — no snapshot needed.
+        assert_eq!(
+            coll.submit_window_frame(&deltas[1]).unwrap(),
+            WindowSubmit::ResyncRequested
+        );
+        assert_eq!(coll.resync_needed(), vec![9]);
+        assert_eq!(
+            coll.submit_window_frame(&deltas[0]).unwrap(),
+            WindowSubmit::Applied
+        );
+        assert!(coll.resync_needed().is_empty());
+        assert_replica_matches(&coll, 9, &win);
+    }
+
+    #[test]
+    fn resync_survives_gap_delta_dropped_by_full_buffer() {
+        // A gap delta discarded because the pending buffer is full must
+        // NOT let a later contiguous drain clear the resync flag: the
+        // collector *observed* that rotation and never got its epoch.
+        let window = 3usize;
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), window);
+        coll.submit_window_frame(&win.export_frame(4, 100)).unwrap();
+        let mut deltas = Vec::new();
+        for p in 0..6u64 {
+            win.insert_batch(&(0..200u64).map(|i| p * 50 + i % 4).collect::<Vec<_>>());
+            win.rotate();
+            deltas.push(win.export_delta(4, 100).unwrap());
+        }
+        // Deliver rotations 2..=4 (buffer fills: cap = window = 3),
+        // then 5 (dropped by the bound), then the missing rotation 1:
+        // the drain applies 1..=4 and empties the buffer, but rotation
+        // 5 was observed-and-lost, so the flag must survive.
+        for d in &deltas[1..4] {
+            assert_eq!(
+                coll.submit_window_frame(d).unwrap(),
+                WindowSubmit::ResyncRequested
+            );
+        }
+        assert_eq!(
+            coll.submit_window_frame(&deltas[4]).unwrap(),
+            WindowSubmit::ResyncRequested
+        );
+        assert_eq!(
+            coll.submit_window_frame(&deltas[0]).unwrap(),
+            WindowSubmit::Applied
+        );
+        assert_eq!(coll.switch_window(4).unwrap().rotations(), 4);
+        assert_eq!(
+            coll.resync_needed(),
+            vec![4],
+            "dropped rotation 5 must keep the resync flag"
+        );
+        // The snapshot heals it, as always.
+        coll.submit_window_frame(&win.export_frame(4, 100)).unwrap();
+        assert!(coll.resync_needed().is_empty());
+        assert_replica_matches(&coll, 4, &win);
+    }
+
+    #[test]
+    fn delta_before_snapshot_requests_resync() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), 3);
+        win.insert_batch(&vec![1u64; 100]);
+        win.rotate();
+        let delta = win.export_delta(5, 100).unwrap();
+        assert_eq!(
+            coll.submit_window_frame(&delta).unwrap_err(),
+            WindowSubmitError::NoSnapshot { switch: 5 }
+        );
+        assert_eq!(coll.resync_needed(), vec![5]);
+        coll.submit_window_frame(&win.export_frame(5, 100)).unwrap();
+        assert!(coll.resync_needed().is_empty());
+        assert_replica_matches(&coll, 5, &win);
+    }
+
+    #[test]
+    fn mismatched_ring_rejected() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let win3 = SlidingTopK::<u64>::new(window_cfg(3), 3);
+        coll.submit_window_frame(&win3.export_frame(1, 100))
+            .unwrap();
+        // Different window size from the same switch id: rejected.
+        let win4 = SlidingTopK::<u64>::new(window_cfg(3), 4);
+        assert_eq!(
+            coll.submit_window_frame(&win4.export_frame(1, 100))
+                .unwrap_err(),
+            WindowSubmitError::Mismatch { switch: 1 }
+        );
+        // Different seed: rejected too.
+        let other = SlidingTopK::<u64>::new(window_cfg(4), 3);
+        assert_eq!(
+            coll.submit_window_frame(&other.export_frame(1, 100))
+                .unwrap_err(),
+            WindowSubmitError::Mismatch { switch: 1 }
+        );
+        // Garbage bytes are a wire error.
+        assert!(matches!(
+            coll.submit_window_frame(b"junk").unwrap_err(),
+            WindowSubmitError::Wire(_)
+        ));
+    }
+
+    #[test]
+    fn window_top_k_merges_disjoint_switches() {
+        // Two switches, disjoint traffic (Sum rule): flow 500 sends half
+        // its packets through each switch; network-wide it must rank
+        // first even though it ties locally.
+        let mut coll = Collector::<u64>::new(4, AggregationRule::Sum);
+        let mut wins: Vec<SlidingTopK<u64>> = (0..2)
+            .map(|_| SlidingTopK::<u64>::new(window_cfg(11), 2))
+            .collect();
+        for (s, win) in wins.iter_mut().enumerate() {
+            let mut batch = Vec::new();
+            for _ in 0..300 {
+                // The cross-switch elephant, then this switch's locals.
+                for f in [
+                    500u64,
+                    1 + s as u64 * 10,
+                    2 + s as u64 * 10,
+                    3 + s as u64 * 10,
+                ] {
+                    batch.push(f);
+                }
+            }
+            win.insert_batch(&batch);
+            coll.submit_window_frame(&win.export_frame(s as u64, 2000))
+                .unwrap();
+        }
+        let top = coll.window_top_k();
+        assert_eq!(top[0].0, 500, "cross-switch elephant must rank first");
+        assert!(top[0].1 <= 600, "no over-estimation: {}", top[0].1);
+        assert!(top[0].1 >= 550, "sum evidence lost: {}", top[0].1);
+        // The merged ring exists and answers window queries.
+        let merged = coll.merged_window().unwrap().unwrap();
+        assert_eq!(merged.query(&500), top[0].1);
+    }
+
+    #[test]
+    fn window_top_k_max_rule_never_overestimates() {
+        // Three switches all observing the same stream (overlapping
+        // paths, Max rule): estimates stay below the single-stream
+        // truth.
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut coll = Collector::<u64>::new(6, AggregationRule::Max);
+        let mut wins: Vec<SlidingTopK<u64>> = (0..3)
+            .map(|_| SlidingTopK::<u64>::new(window_cfg(21), 2))
+            .collect();
+        let mut state = 77u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = if state.is_multiple_of(3) {
+                state % 6
+            } else {
+                100 + state % 800
+            };
+            for w in wins.iter_mut() {
+                w.insert(&f);
+            }
+            *truth.entry(f).or_insert(0) += 1;
+        }
+        for (s, w) in wins.iter().enumerate() {
+            coll.submit_window_frame(&w.export_frame(s as u64, 20_000))
+                .unwrap();
+        }
+        for (f, est) in coll.window_top_k() {
+            assert!(est <= truth[&f], "flow {f}: {est} > {}", truth[&f]);
+        }
+    }
+
+    #[test]
+    fn end_period_leaves_windows_alone() {
+        let mut coll = Collector::<u64>::new(4, AggregationRule::Sum);
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), 2);
+        win.insert_batch(&vec![9u64; 200]);
+        coll.submit_window_frame(&win.export_frame(0, 100)).unwrap();
+        coll.submit_report(vec![(1u64, 50)]);
+        let _ = coll.end_period();
+        assert!(coll.top_k().is_empty(), "tumbling state cleared");
+        assert_eq!(
+            coll.window_top_k()[0],
+            (9, 200),
+            "windowed state survives end_period"
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod wire;
 
 pub use basic::BasicTopK;
 pub use change::{ChangeKind, HeavyChange, HeavyChangeDetector};
-pub use collector::{AggregationRule, Collector};
+pub use collector::{AggregationRule, Collector, WindowSubmit, WindowSubmitError};
 pub use config::{ExpansionPolicy, HkConfig, HkConfigBuilder, StoreKind};
 pub use decay::DecayFn;
 pub use merge::{MergeError, MergeMode};
@@ -83,4 +83,4 @@ pub use sketch::HkSketch;
 pub use sliding::SlidingTopK;
 pub use stats::InsertStats;
 pub use weighted::WeightedTopK;
-pub use wire::WireError;
+pub use wire::{FrameKind, WindowFrame, WireError};

@@ -820,6 +820,77 @@ where
     }
 }
 
+impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K>> {
+    /// An engine of `shards` sliding windows (see
+    /// [`ShardedEngine::parallel`] for the memory split): every shard
+    /// runs a `window`-epoch [`SlidingTopK`](crate::sliding::SlidingTopK)
+    /// ring, sharing `cfg`'s seed so the engine rides hash-once handoff
+    /// and the shard windows stay merge-compatible.
+    pub fn sliding(cfg: &HkConfig, shards: usize, window: usize) -> Self {
+        let per = split_config(cfg, shards);
+        Self::from_fn(shards, cfg.k, |_| {
+            crate::sliding::SlidingTopK::new(per.clone(), window)
+        })
+    }
+
+    /// Exports one **full** wire-v2 frame per shard, phase-aligned:
+    /// everything inserted before this call is dispatched and flushed
+    /// first — the same pending-dispatch barrier
+    /// [`ShardedEngine::rotate_all`] cuts behind — so every frame is
+    /// captured at the same point of the stream and the same rotation
+    /// count. Shard `i`'s frame carries switch id `switch_id_base + i`:
+    /// flows are hash-partitioned across shards, so a collector
+    /// aggregates the frames as *disjoint* vantage points
+    /// ([`crate::collector::AggregationRule::Sum`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoisoned`] when any shard's worker has died (its
+    /// ring state may be torn; no frame is exported for it — the
+    /// surviving shards' frames are not returned either, so a partial
+    /// fleet view is never mistaken for a complete one).
+    pub fn export_frames(
+        &self,
+        switch_id_base: u64,
+        epoch_packets: u32,
+    ) -> Result<Vec<Vec<u8>>, ShardPoisoned> {
+        self.flush()?;
+        Ok(self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let guard = shard.algo.lock().expect("shard mutex");
+                guard.export_frame(switch_id_base + i as u64, epoch_packets)
+            })
+            .collect())
+    }
+
+    /// The delta sibling of [`ShardedEngine::export_frames`]: one
+    /// **delta** frame per shard behind the same flush barrier, each
+    /// carrying the shard window's newest closed epoch. Returns `None`
+    /// before the first rotation (no epoch has closed anywhere — the
+    /// shards rotate in lockstep through
+    /// [`ShardedEngine::rotate_all`], so either all have a closed
+    /// epoch or none do).
+    pub fn export_deltas(
+        &self,
+        switch_id_base: u64,
+        epoch_packets: u32,
+    ) -> Result<Option<Vec<Vec<u8>>>, ShardPoisoned> {
+        self.flush()?;
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let guard = shard.algo.lock().expect("shard mutex");
+            match guard.export_delta(switch_id_base + i as u64, epoch_packets) {
+                Some(frame) => out.push(frame),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
 impl<K, A> EpochRotate for ShardedEngine<K, A>
 where
     K: FlowKey + Send + 'static,
@@ -1261,6 +1332,62 @@ mod tests {
         engine.insert_batch(&batch);
         for f in 0..8u64 {
             assert_eq!(engine.query(&f), 100, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn sharded_export_is_phase_aligned_and_collectible() {
+        use crate::collector::{AggregationRule, Collector};
+        use crate::wire::{FrameKind, WindowFrame};
+
+        let mut engine = ShardedEngine::<u64, _>::sliding(&cfg(1024, 8), 3, 2);
+        assert!(engine.prepared_handoff());
+
+        // No rotation yet: no closed epoch anywhere, so no deltas.
+        engine.insert_batch(&(0..3000u64).map(|i| i % 6).collect::<Vec<_>>());
+        assert!(engine.export_deltas(0, 500).unwrap().is_none());
+
+        engine.rotate_all().unwrap();
+        engine.insert_batch(&(0..3000u64).map(|i| 100 + i % 6).collect::<Vec<_>>());
+
+        // Full frames: one per shard, all at the same rotation count
+        // (the flush barrier), decodable, with the right switch ids.
+        let frames = engine.export_frames(10, 500).unwrap();
+        assert_eq!(frames.len(), 3);
+        for (i, bytes) in frames.iter().enumerate() {
+            let f = WindowFrame::<u64>::decode(bytes).unwrap();
+            assert_eq!(f.kind, FrameKind::Full);
+            assert_eq!(f.switch_id, 10 + i as u64);
+            assert_eq!(f.rotation, 1, "phase-aligned rotation count");
+            assert_eq!(f.window, 2);
+            assert_eq!(f.epoch_packets, 500);
+        }
+
+        // Deltas exist now and carry the closed epoch of rotation 1.
+        let deltas = engine.export_deltas(10, 500).unwrap().unwrap();
+        assert_eq!(deltas.len(), 3);
+        for bytes in &deltas {
+            let f = WindowFrame::<u64>::decode(bytes).unwrap();
+            assert_eq!(f.kind, FrameKind::Delta);
+            assert_eq!(f.rotation, 1);
+        }
+
+        // A Sum-rule collector (shards are disjoint vantage points)
+        // reassembles the full frames into the engine's own view.
+        let mut coll = Collector::<u64>::new(16, AggregationRule::Sum);
+        for bytes in &frames {
+            coll.submit_window_frame(bytes).unwrap();
+        }
+        for f in (0..6u64).chain(100..106) {
+            assert_eq!(
+                coll.window_top_k()
+                    .iter()
+                    .find(|(k, _)| *k == f)
+                    .map(|&(_, c)| c)
+                    .unwrap_or(0),
+                engine.query(&f),
+                "flow {f}: collector view must match the engine"
+            );
         }
     }
 

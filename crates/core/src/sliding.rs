@@ -321,6 +321,63 @@ impl<K: FlowKey> SlidingTopK<K> {
         candidates.clone()
     }
 
+    /// The live epochs, oldest first (the newest — still accumulating —
+    /// epoch is last). Closed epochs are immutable until the next
+    /// [`SlidingTopK::rotate`]; the telemetry exporter streams them onto
+    /// the wire through this view.
+    pub fn epoch_iter(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = &ParallelTopK<K>> + ExactSizeIterator {
+        self.epochs.iter()
+    }
+
+    /// Rebuilds a window from externally supplied epochs (oldest first)
+    /// — the collector-side constructor: a decoded
+    /// [`WindowFrame`](crate::wire::WindowFrame) becomes a queryable
+    /// replica of the switch's ring. `rotations` restores the rotation
+    /// counter so delta reassembly can continue from here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, `epochs` is empty, or more epochs are
+    /// supplied than the window holds.
+    pub fn from_epochs(
+        cfg: HkConfig,
+        window: usize,
+        rotations: u64,
+        epochs: Vec<ParallelTopK<K>>,
+    ) -> Self {
+        assert!(window > 0, "window must span at least one epoch");
+        assert!(
+            !epochs.is_empty() && epochs.len() <= window,
+            "epoch count must be in 1..=window"
+        );
+        Self {
+            epochs: epochs.into(),
+            cfg,
+            window,
+            rotations,
+            closed_cache: Mutex::new(HashMap::new()),
+            topk_scratch: Mutex::new(TopKScratch::default()),
+        }
+    }
+
+    /// Applies a remotely *closed* epoch to this replica: installs
+    /// `final_epoch` as the definitive state of the current newest
+    /// epoch, then crosses the period boundary exactly like
+    /// [`SlidingTopK::rotate`] (evict-and-recycle once the ring is
+    /// full, fresh empty newest, rotation counter bumped, caches
+    /// invalidated).
+    ///
+    /// This is the collector's delta-reassembly step: a switch that
+    /// ships only its just-closed epoch per rotation keeps the replica
+    /// ring bit-identical to its own — the fresh epoch both sides open
+    /// is empty, and every closed epoch is the shipped final state.
+    pub fn commit_epoch(&mut self, final_epoch: ParallelTopK<K>) {
+        *self.newest_mut() = final_epoch;
+        self.rotate();
+    }
+
     /// Accounted memory: `window` full instances (the epoch ring's cost).
     pub fn memory_bytes(&self) -> usize {
         let per_epoch = self

@@ -48,6 +48,12 @@ pub enum WireError {
     /// The payload's key width does not match the requested key type,
     /// or the key type does not implement `from_key_bytes`.
     KeyMismatch,
+    /// An epoch payload's CRC-32 does not match its bytes (wire v2
+    /// window frames checksum every epoch record).
+    BadCrc {
+        /// Index of the failing epoch record within the frame.
+        epoch: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -58,6 +64,7 @@ impl std::fmt::Display for WireError {
             Self::Truncated => write!(f, "wire payload truncated"),
             Self::Corrupt(what) => write!(f, "corrupt field: {what}"),
             Self::KeyMismatch => write!(f, "key type does not match payload"),
+            Self::BadCrc { epoch } => write!(f, "epoch record {epoch} fails its CRC"),
         }
     }
 }
@@ -125,12 +132,19 @@ fn decode_decay(r: &mut Reader<'_>) -> Result<DecayFn, WireError> {
 impl<K: FlowKey> ParallelTopK<K> {
     /// Serializes this instance for shipping to a collector.
     pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.wire_into(&mut out);
+        out
+    }
+
+    /// [`ParallelTopK::to_wire`], appended to an existing buffer — the
+    /// windowed frame encoder streams every epoch payload straight into
+    /// the frame through this, with no intermediate per-epoch `Vec`.
+    pub(crate) fn wire_into(&self, out: &mut Vec<u8>) {
         let sketch = self.sketch();
         let cfg = self.config();
         let top = self.top_k();
-        let mut out = Vec::with_capacity(
-            32 + sketch.arrays() * sketch.width() * 12 + top.len() * (K::ENCODED_LEN + 8),
-        );
+        out.reserve(32 + sketch.arrays() * sketch.width() * 12 + top.len() * (K::ENCODED_LEN + 8));
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
         out.push(K::ENCODED_LEN as u8);
@@ -143,7 +157,7 @@ impl<K: FlowKey> ParallelTopK<K> {
         out.push(cfg.fingerprint_bits as u8);
         out.push(cfg.counter_bits as u8);
         out.extend_from_slice(&cfg.seed.to_le_bytes());
-        encode_decay(&mut out, cfg.decay);
+        encode_decay(out, cfg.decay);
         out.push(match cfg.store {
             StoreKind::StreamSummary => 0,
             StoreKind::MinHeap => 1,
@@ -174,7 +188,6 @@ impl<K: FlowKey> ParallelTopK<K> {
             out.extend_from_slice(key.key_bytes().as_slice());
             out.extend_from_slice(&count.to_le_bytes());
         }
-        out
     }
 
     /// Reconstructs an instance from [`ParallelTopK::to_wire`] bytes.
@@ -296,6 +309,313 @@ impl<K: FlowKey> ParallelTopK<K> {
             hk.offer(key, count);
         }
         Ok(hk)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire v2: the windowed telemetry frame (epoch-ring framing).
+//
+// A sliding-window deployment cannot ship its state as one v1 sketch:
+// the measurement unit is a ring of W epoch sketches plus a rotation
+// counter, and steady-state export should not pay O(W · sketch) per
+// period when only one epoch changed. The v2 frame carries both shapes:
+//
+// ```text
+// magic "HKWF" | version u8 (2) | kind u8 (0 full / 1 delta) | key_len u8 |
+// switch_id u64 | rotation u64 | window u16 | live u16 | epoch_packets u32
+// then `live` epoch records, oldest -> newest:
+//   payload_len u32 | payload (one v1 "HKSK" sketch) | crc32 u32
+// ```
+//
+// * **Full** frames carry every live epoch (the accumulating newest
+//   included) — the initial snapshot and the resync path.
+// * **Delta** frames carry exactly one record: the epoch that was
+//   *closed* by rotation number `rotation` — the steady-state path,
+//   O(one sketch) per period regardless of W.
+//
+// Every epoch record is CRC-32-checksummed independently, so one
+// corrupted epoch is detected before any expensive decode. `rotation`
+// orders frames: the collector applies delta R only on top of state at
+// rotation R-1, treats R ≤ current as a duplicate (idempotent drop) and
+// R > current+1 as a gap that flags the switch for resync.
+// ---------------------------------------------------------------------
+
+/// Magic prefix of a windowed telemetry frame.
+const FRAME_MAGIC: &[u8; 4] = b"HKWF";
+/// Wire version of the window frame format.
+const FRAME_VERSION: u8 = 2;
+
+/// Whether a window frame is a full snapshot or a single-epoch delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Every live epoch of the ring (snapshot / resync).
+    Full,
+    /// Only the epoch closed by `rotation` (steady-state export).
+    Delta,
+}
+
+/// A decoded windowed telemetry frame: one switch's epoch-ring state
+/// (or its newest closed epoch) plus the metadata the collector needs
+/// to reassemble the ring.
+#[derive(Debug, Clone)]
+pub struct WindowFrame<K: FlowKey> {
+    /// Which switch exported the frame (assigned by the deployment).
+    pub switch_id: u64,
+    /// The switch's rotation counter at export time. For a delta this
+    /// is the rotation that closed the carried epoch.
+    pub rotation: u64,
+    /// The ring size `W` the switch runs.
+    pub window: usize,
+    /// The switch's per-epoch packet budget (periods are cut every this
+    /// many packets); carried so artifacts are self-describing.
+    pub epoch_packets: u32,
+    /// Snapshot or delta.
+    pub kind: FrameKind,
+    /// The carried epochs, oldest first. `len == 1` for a delta; for a
+    /// full frame the last entry is the accumulating newest epoch.
+    pub epochs: Vec<ParallelTopK<K>>,
+}
+
+/// True when two configurations describe the *same ring* — equal in
+/// every field except `arrays`, which Section III-F expansion grows
+/// per-epoch at runtime (one window's epochs can legitimately hold
+/// different array counts, and so can a replica and the delta that
+/// advances it).
+pub(crate) fn same_ring_config(a: &HkConfig, b: &HkConfig) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.arrays = 0;
+    b.arrays = 0;
+    a == b
+}
+
+/// Appends the shared frame header.
+#[allow(clippy::too_many_arguments)]
+fn encode_frame_header(
+    out: &mut Vec<u8>,
+    kind: FrameKind,
+    key_len: usize,
+    switch_id: u64,
+    rotation: u64,
+    window: usize,
+    live: usize,
+    epoch_packets: u32,
+) {
+    // The header carries these as u16; silent truncation would emit a
+    // frame the decoder rejects (or, worse, one with a wrong ring
+    // size). A >65535-epoch window is 65536 sketches of memory — far
+    // past any sane deployment — so refuse loudly instead of encoding
+    // garbage.
+    assert!(
+        window <= u16::MAX as usize && live <= u16::MAX as usize,
+        "window frame fields exceed the wire format's u16 range ({window} epochs)"
+    );
+    out.extend_from_slice(FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.push(match kind {
+        FrameKind::Full => 0,
+        FrameKind::Delta => 1,
+    });
+    out.push(key_len as u8);
+    out.extend_from_slice(&switch_id.to_le_bytes());
+    out.extend_from_slice(&rotation.to_le_bytes());
+    out.extend_from_slice(&(window as u16).to_le_bytes());
+    out.extend_from_slice(&(live as u16).to_le_bytes());
+    out.extend_from_slice(&epoch_packets.to_le_bytes());
+}
+
+/// Appends one epoch record: length-prefixed v1 payload plus its CRC.
+/// The payload is streamed straight into `out` (the epoch's packed row
+/// views feed [`ParallelTopK::wire_into`]); the length is back-patched
+/// and the CRC computed over the written range — no intermediate copy.
+fn encode_epoch_record<K: FlowKey>(out: &mut Vec<u8>, epoch: &ParallelTopK<K>) {
+    let len_at = out.len();
+    out.extend_from_slice(&0u32.to_le_bytes()); // placeholder
+    let payload_at = out.len();
+    epoch.wire_into(out);
+    let payload_len = out.len() - payload_at;
+    out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc = hk_common::crc::crc32(&out[payload_at..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+impl<K: FlowKey> crate::sliding::SlidingTopK<K> {
+    /// Exports the whole ring as a [`FrameKind::Full`] window frame:
+    /// every live epoch (the accumulating newest included), the
+    /// rotation counter, and the per-epoch packet budget. This is the
+    /// initial snapshot a delta stream starts from, and the resync
+    /// payload after loss.
+    pub fn export_frame(&self, switch_id: u64, epoch_packets: u32) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(64 + self.live_epochs() * 1024);
+        encode_frame_header(
+            &mut out,
+            FrameKind::Full,
+            K::ENCODED_LEN,
+            switch_id,
+            self.rotations(),
+            self.window(),
+            self.live_epochs(),
+            epoch_packets,
+        );
+        for epoch in self.epoch_iter() {
+            encode_epoch_record(&mut out, epoch);
+        }
+        out
+    }
+
+    /// Exports the newest *closed* epoch as a [`FrameKind::Delta`]
+    /// frame — the steady-state export, O(one sketch) per rotation
+    /// instead of the full frame's O(W · sketch).
+    ///
+    /// The carried epoch is the one closed by the latest
+    /// [`rotate`](crate::sliding::SlidingTopK::rotate) (closed epochs
+    /// are immutable, so the delta is valid any time before the next
+    /// rotation). Returns `None` when no closed epoch is live — before
+    /// the first rotation, and *always* for a `W = 1` window (its only
+    /// slot is the accumulating epoch; rotation evicts the closed one
+    /// immediately) — ship [`export_frame`] instead.
+    ///
+    /// [`export_frame`]: crate::sliding::SlidingTopK::export_frame
+    pub fn export_delta(&self, switch_id: u64, epoch_packets: u32) -> Option<Vec<u8>> {
+        // The newest closed epoch sits just behind the accumulating one.
+        let closed = self.epoch_iter().rev().nth(1)?;
+        let mut out = Vec::with_capacity(64 + 1024);
+        encode_frame_header(
+            &mut out,
+            FrameKind::Delta,
+            K::ENCODED_LEN,
+            switch_id,
+            self.rotations(),
+            self.window(),
+            1,
+            epoch_packets,
+        );
+        encode_epoch_record(&mut out, closed);
+        Some(out)
+    }
+}
+
+impl<K: FlowKey> WindowFrame<K> {
+    /// Decodes a window frame produced by
+    /// [`SlidingTopK::export_frame`](crate::sliding::SlidingTopK::export_frame)
+    /// or
+    /// [`SlidingTopK::export_delta`](crate::sliding::SlidingTopK::export_delta).
+    ///
+    /// Every header field is validated and every epoch record must pass
+    /// its CRC before its payload is decoded; any truncation, corruption
+    /// or inconsistency (a delta with ≠ 1 record, more live epochs than
+    /// the window holds or than the rotation count allows, epochs that
+    /// are not merge-compatible with each other) is rejected.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { data, pos: 0 };
+        if r.take(4)? != FRAME_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != FRAME_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = match r.u8()? {
+            0 => FrameKind::Full,
+            1 => FrameKind::Delta,
+            _ => return Err(WireError::Corrupt("frame kind")),
+        };
+        if r.u8()? as usize != K::ENCODED_LEN {
+            return Err(WireError::KeyMismatch);
+        }
+        let switch_id = r.u64()?;
+        let rotation = r.u64()?;
+        let window = r.u16()? as usize;
+        let live = r.u16()? as usize;
+        let epoch_packets = r.u32()?;
+        if window == 0 {
+            return Err(WireError::Corrupt("window size"));
+        }
+        if live == 0 || live > window {
+            return Err(WireError::Corrupt("live epoch count"));
+        }
+        match kind {
+            FrameKind::Delta => {
+                if live != 1 {
+                    return Err(WireError::Corrupt("delta epoch count"));
+                }
+                // A delta carries a *closed* epoch, which takes at least
+                // one rotation to exist.
+                if rotation == 0 {
+                    return Err(WireError::Corrupt("delta before first rotation"));
+                }
+            }
+            FrameKind::Full => {
+                // The ring grows by one epoch per rotation from one, so
+                // more live epochs than `rotation + 1` are impossible.
+                if live as u64 > rotation.saturating_add(1) {
+                    return Err(WireError::Corrupt("more epochs than rotations"));
+                }
+            }
+        }
+
+        let mut epochs = Vec::with_capacity(live);
+        for idx in 0..live {
+            let payload_len = r.u32()? as usize;
+            let payload = r.take(payload_len)?;
+            let crc = r.u32()?;
+            if hk_common::crc::crc32(payload) != crc {
+                return Err(WireError::BadCrc { epoch: idx });
+            }
+            epochs.push(ParallelTopK::<K>::from_wire(payload)?);
+        }
+        if r.pos != data.len() {
+            return Err(WireError::Corrupt("trailing bytes"));
+        }
+        // All epochs of one ring share a configuration — except the
+        // array count, which Section III-F expansion can grow in one
+        // epoch but not another. Reject frames whose epochs could not
+        // have come from one switch.
+        for pair in epochs.windows(2) {
+            if !same_ring_config(pair[0].config(), pair[1].config()) {
+                return Err(WireError::Corrupt("epochs from different rings"));
+            }
+        }
+        Ok(Self {
+            switch_id,
+            rotation,
+            window,
+            epoch_packets,
+            kind,
+            epochs,
+        })
+    }
+
+    /// Converts a [`FrameKind::Full`] frame into a queryable window
+    /// replica ([`SlidingTopK::from_epochs`]); `None` for deltas, which
+    /// only make sense applied to an existing replica
+    /// ([`SlidingTopK::commit_epoch`]).
+    ///
+    /// [`SlidingTopK::from_epochs`]: crate::sliding::SlidingTopK::from_epochs
+    /// [`SlidingTopK::commit_epoch`]: crate::sliding::SlidingTopK::commit_epoch
+    pub fn into_window(self) -> Option<crate::sliding::SlidingTopK<K>> {
+        if self.kind != FrameKind::Full {
+            return None;
+        }
+        // The ring config the replica opens *fresh* epochs from. Decoded
+        // epoch configs carry each epoch's `arrays` as currently grown
+        // (Section III-F), but a freshly recycled epoch always starts at
+        // the base count — the minimum across the ring (a recycle drops
+        // expansion rows, so any un-expanded epoch in the frame shows
+        // the base).
+        let cfg = self
+            .epochs
+            .iter()
+            .map(|e| e.config())
+            .min_by_key(|c| c.arrays)
+            .expect("decode guarantees at least one epoch")
+            .clone();
+        Some(crate::sliding::SlidingTopK::from_epochs(
+            cfg,
+            self.window,
+            self.rotation,
+            self.epochs,
+        ))
     }
 }
 
@@ -471,6 +791,216 @@ mod tests {
         let hk = ParallelTopK::<u64>::new(cfg);
         let back = ParallelTopK::<u64>::from_wire(&hk.to_wire()).unwrap();
         assert_eq!(back.config().expansion, hk.config().expansion);
+    }
+
+    fn populated_window(seed: u64, window: usize, rotations: usize) -> crate::SlidingTopK<u64> {
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(64)
+            .k(8)
+            .seed(seed)
+            .build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, window);
+        let mut state = seed | 1;
+        for r in 0..=rotations as u64 {
+            for _ in 0..4000u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let f = if state.is_multiple_of(3) {
+                    r * 10 + state % 6
+                } else {
+                    1000 + state % 500
+                };
+                win.insert(&f);
+            }
+            if r < rotations as u64 {
+                win.rotate();
+            }
+        }
+        win
+    }
+
+    /// Replica-vs-original equality down to the bucket words: every
+    /// epoch's matrix and store must match, not just the query surface.
+    fn assert_windows_bit_equal(a: &crate::SlidingTopK<u64>, b: &crate::SlidingTopK<u64>) {
+        assert_eq!(a.window(), b.window());
+        assert_eq!(a.rotations(), b.rotations());
+        assert_eq!(a.live_epochs(), b.live_epochs());
+        let canon = |mut v: Vec<(u64, u64)>| {
+            v.sort_unstable();
+            v
+        };
+        for (ea, eb) in a.epoch_iter().zip(b.epoch_iter()) {
+            // Decoded configs carry each epoch's *current* array count
+            // (v1 semantics: growth survives the round trip) while the
+            // local config keeps the construction base; ring identity
+            // ignores that field, the sketch-level count must agree.
+            assert!(same_ring_config(ea.config(), eb.config()));
+            assert_eq!(ea.sketch().arrays(), eb.sketch().arrays());
+            for j in 0..ea.sketch().arrays() {
+                for i in 0..ea.sketch().width() {
+                    assert_eq!(
+                        ea.sketch().bucket(j, i),
+                        eb.sketch().bucket(j, i),
+                        "({j},{i})"
+                    );
+                }
+            }
+            assert_eq!(canon(ea.top_k()), canon(eb.top_k()));
+        }
+        for f in 0..1600u64 {
+            assert_eq!(a.query(&f), b.query(&f), "flow {f}");
+        }
+        assert_eq!(canon(a.top_k()), canon(b.top_k()));
+    }
+
+    #[test]
+    fn full_frame_roundtrips_bit_exact() {
+        let win = populated_window(5, 3, 5);
+        let bytes = win.export_frame(42, 4000);
+        let frame = WindowFrame::<u64>::decode(&bytes).unwrap();
+        assert_eq!(frame.switch_id, 42);
+        assert_eq!(frame.rotation, 5);
+        assert_eq!(frame.window, 3);
+        assert_eq!(frame.epoch_packets, 4000);
+        assert_eq!(frame.kind, FrameKind::Full);
+        assert_eq!(frame.epochs.len(), 3);
+        let replica = frame.into_window().unwrap();
+        assert_windows_bit_equal(&win, &replica);
+    }
+
+    #[test]
+    fn full_frame_during_ring_fill() {
+        // Fewer live epochs than the window: the frame carries exactly
+        // the live ones and the replica keeps growing correctly.
+        let win = populated_window(9, 4, 1);
+        assert_eq!(win.live_epochs(), 2);
+        let frame = WindowFrame::<u64>::decode(&win.export_frame(1, 100)).unwrap();
+        assert_eq!(frame.epochs.len(), 2);
+        let mut replica = frame.into_window().unwrap();
+        assert_windows_bit_equal(&win, &replica);
+        replica.rotate();
+        assert_eq!(replica.live_epochs(), 3);
+    }
+
+    #[test]
+    fn delta_frame_carries_newest_closed_epoch() {
+        let win = populated_window(7, 3, 4);
+        let bytes = win
+            .export_delta(3, 4000)
+            .expect("rotated window has a closed epoch");
+        let frame = WindowFrame::<u64>::decode(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Delta);
+        assert_eq!(frame.rotation, 4);
+        assert_eq!(frame.epochs.len(), 1);
+        // The carried epoch is the one just behind the accumulating
+        // newest.
+        let closed = win.epoch_iter().rev().nth(1).unwrap();
+        for j in 0..closed.sketch().arrays() {
+            for i in 0..closed.sketch().width() {
+                assert_eq!(
+                    frame.epochs[0].sketch().bucket(j, i),
+                    closed.sketch().bucket(j, i)
+                );
+            }
+        }
+        // Deltas do not convert to standalone windows.
+        assert!(frame.into_window().is_none());
+        // Cost check: a delta is roughly one epoch, not W of them.
+        let full = win.export_frame(3, 4000);
+        assert!(
+            bytes.len() * 2 < full.len(),
+            "delta {} vs full {} bytes",
+            bytes.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn unrotated_window_has_no_delta() {
+        let cfg = HkConfig::builder().width(32).k(4).seed(1).build();
+        let win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        assert!(win.export_delta(0, 10).is_none());
+        // But a full frame works from the very start.
+        let frame = WindowFrame::<u64>::decode(&win.export_frame(0, 10)).unwrap();
+        assert_eq!(frame.epochs.len(), 1);
+        assert_eq!(frame.rotation, 0);
+    }
+
+    #[test]
+    fn expansion_grown_epochs_roundtrip_in_one_frame() {
+        // Section III-F expansion grows one epoch's array count while
+        // fresher (recycled) epochs stay at the base: the frame's
+        // epochs legitimately disagree on `arrays`, and both the
+        // decoder and the collector must accept that as one ring.
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(2)
+            .k(2)
+            .seed(9)
+            .expansion(ExpansionPolicy {
+                large_counter: 30,
+                blocked_threshold: 40,
+                max_arrays: 6,
+            })
+            .build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        // First period: all-distinct mice — contested buckets stay
+        // small, no expansion, so this epoch keeps the base arrays.
+        win.insert_batch(&(0..2000u64).map(|i| 10_000 + i).collect::<Vec<_>>());
+        win.rotate();
+        // Second period: fill both tiny arrays with giants, then a late
+        // elephant hammers until Section III-F expands the epoch (same
+        // recipe as the parallel-variant expansion test).
+        let mut giants: Vec<u64> = Vec::new();
+        for f in 0..4u64 {
+            giants.extend(std::iter::repeat_n(f, 2000));
+        }
+        giants.extend(std::iter::repeat_n(999u64, 3000));
+        win.insert_batch(&giants);
+        let arrays: Vec<usize> = win.epoch_iter().map(|e| e.sketch().arrays()).collect();
+        assert!(
+            arrays.iter().any(|&a| a > 2),
+            "expansion precondition: {arrays:?}"
+        );
+        assert!(
+            arrays.contains(&2),
+            "base-arrays epoch precondition: {arrays:?}"
+        );
+
+        // The frame its own decoder must accept.
+        let frame = WindowFrame::<u64>::decode(&win.export_frame(3, 4000)).unwrap();
+        let replica = frame.into_window().unwrap();
+        assert_windows_bit_equal(&win, &replica);
+        // Fresh replica epochs open at the base array count, like the
+        // switch's own recycled epochs.
+        assert_eq!(replica.config().arrays, 2);
+
+        // The collector path: snapshot, then a delta carrying an
+        // expanded closed epoch, no Mismatch anywhere.
+        use crate::collector::{AggregationRule, Collector};
+        let mut coll = Collector::<u64>::new(4, AggregationRule::Sum);
+        coll.submit_window_frame(&win.export_frame(3, 4000))
+            .unwrap();
+        win.rotate();
+        coll.submit_window_frame(&win.export_delta(3, 4000).unwrap())
+            .unwrap();
+        let replica = coll.switch_window(3).unwrap();
+        assert_eq!(replica.rotations(), win.rotations());
+        for f in 0..10u64 {
+            assert_eq!(replica.query(&f), win.query(&f), "flow {f}");
+        }
+    }
+
+    #[test]
+    fn frame_key_width_checked() {
+        let win = populated_window(3, 2, 2);
+        let bytes = win.export_frame(0, 100);
+        assert_eq!(
+            WindowFrame::<u32>::decode(&bytes).unwrap_err(),
+            WireError::KeyMismatch
+        );
     }
 
     #[test]

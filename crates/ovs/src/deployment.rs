@@ -17,6 +17,7 @@
 
 use crate::datapath::{synthesize_frame, Datapath, FRAME_LEN};
 use crate::ring::SharedRing;
+use heavykeeper::SlidingTopK;
 use hk_common::algorithm::TopKAlgorithm;
 use hk_traffic::flow::FiveTuple;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -144,6 +145,139 @@ where
     )
 }
 
+/// Results of one windowed deployment run: the plain report plus the
+/// telemetry frames the consumer exported at each period boundary.
+#[derive(Debug)]
+pub struct WindowedDeploymentReport {
+    /// The end-to-end pipeline report.
+    pub report: DeploymentReport,
+    /// The exported wire-v2 frames, in export order: one initial full
+    /// snapshot, then one delta per rotation — exactly the stream a
+    /// collector's `submit_window_frame` reassembles.
+    pub frames: Vec<Vec<u8>>,
+    /// Period boundaries crossed (equals the delta count).
+    pub rotations: u64,
+}
+
+/// [`run_deployment`] with a sliding-window consumer that *feeds the
+/// telemetry exporter*: the user-space thread drains the ring in
+/// batches into `window`, rotates it every `epoch_packets` consumed
+/// packets, and exports a frame at every boundary — an initial
+/// [`SlidingTopK::export_frame`] snapshot before the stream, then one
+/// [`SlidingTopK::export_delta`] per rotation (the steady-state
+/// O(sketch) export). The returned frames are ready for a collector.
+///
+/// Export happens on the consumer thread between ring drains, exactly
+/// where a deployed switch would serialize: the cost shows up in `mps`
+/// like every other consumer-side cost.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty, `ring_capacity == 0`, or
+/// `epoch_packets == 0`.
+pub fn run_windowed_deployment(
+    flows: &[FiveTuple],
+    mut window: SlidingTopK<FiveTuple>,
+    switch_id: u64,
+    epoch_packets: usize,
+    ring_capacity: usize,
+    mode: RingMode,
+) -> (WindowedDeploymentReport, SlidingTopK<FiveTuple>) {
+    assert!(!flows.is_empty(), "need packets to run");
+    assert!(epoch_packets > 0, "epoch length must be positive");
+
+    let frames_budget = epoch_packets.min(u32::MAX as usize) as u32;
+    let frames: Vec<[u8; FRAME_LEN]> = flows.iter().map(synthesize_frame).collect();
+    let ring: Arc<SharedRing<FiveTuple>> = Arc::new(SharedRing::new(ring_capacity));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let start = Instant::now();
+    let mut forwarded = 0u64;
+    let mut consumed = 0u64;
+    let mut exported: Vec<Vec<u8>> = Vec::new();
+
+    // The delta stream starts from a full snapshot of the (empty) ring.
+    exported.push(window.export_frame(switch_id, frames_budget));
+
+    std::thread::scope(|s| {
+        let producer_ring = Arc::clone(&ring);
+        let producer_done = Arc::clone(&done);
+        let producer = s.spawn(move || {
+            let mut dp = Datapath::new();
+            let mut mirror: Vec<FiveTuple> = Vec::with_capacity(CONSUMER_BATCH);
+            for burst in frames.chunks(CONSUMER_BATCH) {
+                mirror.clear();
+                dp.process_batch(burst.iter().map(|f| f.as_slice()), &mut mirror);
+                for &ft in &mirror {
+                    match mode {
+                        RingMode::Backpressure => producer_ring.push_blocking(ft),
+                        RingMode::DropWhenFull => {
+                            let _ = producer_ring.try_push(ft);
+                        }
+                    }
+                }
+            }
+            producer_done.store(true, Ordering::Release);
+            dp.forwarded()
+        });
+
+        // Consumer: batch-drain, rotate at period boundaries, export.
+        let mut local_consumed = 0u64;
+        let mut until_rotation = epoch_packets;
+        let mut batch: Vec<FiveTuple> = Vec::with_capacity(CONSUMER_BATCH);
+        loop {
+            batch.clear();
+            // Never drain past a period boundary: a rotation must land
+            // between packet `epoch_packets` and packet
+            // `epoch_packets + 1` of the sub-stream, exactly like the
+            // trace-driven windowed ingest.
+            let quota = CONSUMER_BATCH.min(until_rotation);
+            let taken = ring.pop_batch(&mut batch, quota);
+            if taken == 0 {
+                if done.load(Ordering::Acquire) && ring.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            window.insert_batch(&batch);
+            local_consumed += taken as u64;
+            until_rotation -= taken;
+            if until_rotation == 0 {
+                window.rotate();
+                // A W = 1 ring has no closed epoch to delta (its only
+                // slot is the accumulating one); fall back to a full
+                // frame so every rotation still exports.
+                exported.push(
+                    window
+                        .export_delta(switch_id, frames_budget)
+                        .unwrap_or_else(|| window.export_frame(switch_id, frames_budget)),
+                );
+                until_rotation = epoch_packets;
+            }
+        }
+        consumed = local_consumed;
+        forwarded = producer.join().expect("datapath thread");
+    });
+
+    let seconds = start.elapsed().as_secs_f64();
+    let rotations = window.rotations();
+    (
+        WindowedDeploymentReport {
+            report: DeploymentReport {
+                mps: consumed as f64 / seconds / 1e6,
+                forwarded,
+                dropped: ring.dropped(),
+                consumed,
+                seconds,
+            },
+            frames: exported,
+            rotations,
+        },
+        window,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +327,46 @@ mod tests {
     #[should_panic(expected = "need packets")]
     fn empty_trace_panics() {
         run_deployment::<ParallelTopK<FiveTuple>>(&[], None, 8, RingMode::Backpressure);
+    }
+
+    #[test]
+    fn windowed_deployment_exports_collectible_frames() {
+        use heavykeeper::collector::{AggregationRule, Collector};
+
+        let pkts = flows(60_000, 200);
+        let win =
+            SlidingTopK::<FiveTuple>::new(HkConfig::builder().width(256).k(10).seed(5).build(), 3);
+        let (out, win) =
+            run_windowed_deployment(&pkts, win, 42, 10_000, 1024, RingMode::Backpressure);
+        assert_eq!(out.report.consumed, 60_000);
+        assert_eq!(out.rotations, 6, "60k packets / 10k per epoch");
+        // One initial snapshot + one delta per rotation.
+        assert_eq!(out.frames.len(), 1 + out.rotations as usize);
+
+        // The frame stream reassembles loss-free at a collector.
+        let mut coll = Collector::<FiveTuple>::new(10, AggregationRule::Sum);
+        for frame in &out.frames {
+            coll.submit_window_frame(frame).unwrap();
+        }
+        assert!(coll.resync_needed().is_empty());
+        let replica = coll.switch_window(42).expect("switch installed");
+        assert_eq!(replica.rotations(), win.rotations());
+        // Every *closed* epoch is bit-identical (the switch's newest
+        // epoch only had packets after the last export, and here the
+        // trace length is a multiple of the epoch length, so both
+        // newest epochs are empty and the whole ring matches).
+        assert_eq!(replica.live_epochs(), win.live_epochs());
+        for (ea, eb) in replica.epoch_iter().zip(win.epoch_iter()) {
+            for j in 0..ea.sketch().arrays() {
+                for i in 0..ea.sketch().width() {
+                    assert_eq!(ea.sketch().bucket(j, i), eb.sketch().bucket(j, i));
+                }
+            }
+        }
+        // Window queries answered from the collector match the
+        // switch-local view.
+        for &f in pkts.iter().take(50) {
+            assert_eq!(replica.query(&f), win.query(&f));
+        }
     }
 }

@@ -12,6 +12,8 @@
 //! * [`hk_traffic`] — workload generation and ground-truth oracles.
 //! * [`hk_metrics`] — precision / ARE / AAE / throughput harness.
 //! * [`hk_ovs`] — the simulated Open vSwitch deployment of Section VII.
+//! * [`hk_telemetry`] — the windowed telemetry plane (fleet scenario
+//!   driver over the wire-v2 epoch frames).
 //! * [`hk_common`] — shared substrate (hashing, Stream-Summary, top-k).
 
 pub use heavykeeper;
@@ -19,4 +21,5 @@ pub use hk_baselines;
 pub use hk_common;
 pub use hk_metrics;
 pub use hk_ovs;
+pub use hk_telemetry;
 pub use hk_traffic;
