@@ -1,6 +1,6 @@
-//! The fleet-export bench: full-frame vs delta export cost and the
-//! collector's windowed merge rate, plus the `BENCH_fleet.json`
-//! snapshot.
+//! The fleet-export bench: full-frame vs delta vs dirty-patch export
+//! cost and the collector's windowed merge rate, plus the
+//! `BENCH_fleet.json` snapshot.
 //!
 //! Three questions, one workload (the standard 4M-packet Zipf stream,
 //! hash-partitioned over `SWITCHES` sliding-window switches rotating
@@ -8,8 +8,11 @@
 //!
 //! * **Export bytes.** What does one rotation cost on the wire in full
 //!   mode (every live epoch, O(W·sketch)) vs delta mode (one closed
-//!   epoch, O(sketch))? The snapshot records both and their ratio — the
-//!   whole point of the delta protocol is a ratio near `1/W`.
+//!   epoch, O(sketch)) vs dirty mode (changed buckets only,
+//!   O(changed))? The snapshot records all three and their ratios — the
+//!   delta protocol targets `~1/W` of full, and the dirty patches must
+//!   undercut plain deltas by the fraction of buckets the epoch left
+//!   untouched.
 //! * **End-to-end fleet rate.** Packets/s through ingest + rotation +
 //!   export + channel + collector reassembly, per mode.
 //! * **Collector merge rate.** How fast the collector answers the
@@ -19,7 +22,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use heavykeeper::collector::{AggregationRule, Collector};
-use hk_telemetry::{Fleet, FleetConfig};
+use hk_telemetry::{ExportMode, Fleet, FleetConfig};
 use hk_traffic::synthetic::sampled_zipf;
 use std::time::Instant;
 
@@ -36,7 +39,7 @@ fn workload() -> Vec<u64> {
     sampled_zipf(4_000_000, 2_000_000, 0.8, 1).packets
 }
 
-fn fleet_cfg(delta: bool, epoch_packets: usize) -> FleetConfig {
+fn fleet_cfg(mode: ExportMode, epoch_packets: usize) -> FleetConfig {
     FleetConfig {
         switches: SWITCHES,
         window: WINDOW,
@@ -44,14 +47,14 @@ fn fleet_cfg(delta: bool, epoch_packets: usize) -> FleetConfig {
         k: K,
         memory_bytes: MEM,
         seed: 1,
-        delta,
+        mode,
         loss: 0.0,
         reorder: 0.0,
     }
 }
 
-fn run_fleet(packets: &[u64], delta: bool, epoch_packets: usize) -> (Fleet<u64>, f64) {
-    let mut fleet = Fleet::<u64>::new(fleet_cfg(delta, epoch_packets));
+fn run_fleet(packets: &[u64], mode: ExportMode, epoch_packets: usize) -> (Fleet<u64>, f64) {
+    let mut fleet = Fleet::<u64>::new(fleet_cfg(mode, epoch_packets));
     let start = Instant::now();
     fleet.run_trace(packets);
     (fleet, start.elapsed().as_secs_f64())
@@ -66,24 +69,34 @@ fn bench_fleet_export(c: &mut Criterion) {
 
     g.bench_function("full_frames", |b| {
         b.iter(|| {
-            let (fleet, _) = run_fleet(&packets, false, epoch_packets);
+            let (fleet, _) = run_fleet(&packets, ExportMode::Full, epoch_packets);
             fleet.stats().bytes_sent
         })
     });
     g.bench_function("delta_frames", |b| {
         b.iter(|| {
-            let (fleet, _) = run_fleet(&packets, true, epoch_packets);
+            let (fleet, _) = run_fleet(&packets, ExportMode::Delta, epoch_packets);
+            fleet.stats().bytes_sent
+        })
+    });
+    g.bench_function("dirty_frames", |b| {
+        b.iter(|| {
+            let (fleet, _) = run_fleet(&packets, ExportMode::Dirty, epoch_packets);
             fleet.stats().bytes_sent
         })
     });
     g.finish();
 
     // Snapshot pass for BENCH_fleet.json.
-    let (full_fleet, full_secs) = run_fleet(&packets, false, epoch_packets);
-    let (delta_fleet, delta_secs) = run_fleet(&packets, true, epoch_packets);
+    let (full_fleet, full_secs) = run_fleet(&packets, ExportMode::Full, epoch_packets);
+    let (delta_fleet, delta_secs) = run_fleet(&packets, ExportMode::Delta, epoch_packets);
+    let (dirty_fleet, dirty_secs) = run_fleet(&packets, ExportMode::Dirty, epoch_packets);
     let full_stats = *full_fleet.stats();
     let delta_stats = *delta_fleet.stats();
+    let dirty_stats = *dirty_fleet.stats();
     let ratio = delta_stats.bytes_last_rotation as f64 / full_stats.bytes_last_rotation as f64;
+    let dirty_ratio =
+        dirty_stats.bytes_last_rotation as f64 / delta_stats.bytes_last_rotation as f64;
 
     // Collector merge rate: replay the delta fleet's final state into a
     // fresh collector (submit rate), then time the windowed top-k
@@ -117,14 +130,19 @@ fn bench_fleet_export(c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"fleet_export\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"available_parallelism\": {parallelism},\n  \"switches\": {SWITCHES},\n  \"window\": {WINDOW},\n  \"epoch_packets\": {epoch_packets},\n  \"k\": {K},\n  \"memory_bytes_per_switch\": {MEM},\n  \"periods\": {PERIODS},\n  \"full\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3} }},\n  \"delta\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3} }},\n  \"delta_over_full_bytes_per_rotation\": {:.4},\n  \"collector\": {{ \"submit_frames_per_s\": {:.1}, \"window_topk_s\": {:.6}, \"merge_mps\": {:.3} }},\n  \"note\": \"bytes_per_rotation is the last (steady-state) rotation's export across all switches; delta mode ships one closed epoch per rotation vs the full frame's W live epochs, so the ratio target is ~1/W plus header; merge_mps = live-window packets / window_top_k wall time (epoch-aligned Sum merges across switches)\"\n}}\n",
+        "{{\n  \"bench\": \"fleet_export\",\n  \"workload\": \"sampled_zipf(n=4e6, m=2e6, skew=0.8)\",\n  \"available_parallelism\": {parallelism},\n  \"switches\": {SWITCHES},\n  \"window\": {WINDOW},\n  \"epoch_packets\": {epoch_packets},\n  \"k\": {K},\n  \"memory_bytes_per_switch\": {MEM},\n  \"periods\": {PERIODS},\n  \"full\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3} }},\n  \"delta\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3} }},\n  \"dirty\": {{ \"bytes_total\": {}, \"bytes_per_rotation\": {}, \"fleet_mps\": {:.3}, \"dirty_frames\": {} }},\n  \"delta_over_full_bytes_per_rotation\": {:.4},\n  \"dirty_over_delta_bytes_per_rotation\": {:.4},\n  \"collector\": {{ \"submit_frames_per_s\": {:.1}, \"window_topk_s\": {:.6}, \"merge_mps\": {:.3} }},\n  \"note\": \"bytes_per_rotation is the last (steady-state) rotation's export across all switches; delta mode ships one closed epoch per rotation vs the full frame's W live epochs, so the ratio target is ~1/W plus header; dirty mode ships only the closed epoch's changed buckets (bitmap + varint XOR patches) against the previous export, so its ratio vs delta is the changed-bucket fraction; merge_mps = live-window packets / window_top_k wall time (epoch-aligned Sum merges across switches)\"\n}}\n",
         full_stats.bytes_sent,
         full_stats.bytes_last_rotation,
         packets.len() as f64 / full_secs / 1e6,
         delta_stats.bytes_sent,
         delta_stats.bytes_last_rotation,
         packets.len() as f64 / delta_secs / 1e6,
+        dirty_stats.bytes_sent,
+        dirty_stats.bytes_last_rotation,
+        packets.len() as f64 / dirty_secs / 1e6,
+        dirty_stats.dirty_frames,
         ratio,
+        dirty_ratio,
         frames.len() as f64 / submit_secs,
         topk_secs,
         merge_mps,

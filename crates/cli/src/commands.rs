@@ -33,7 +33,8 @@ USAGE:
               [--k K] [--seed X] [--batch N]
   hk fleet    [--switches S] [--window W] [--epoch-packets N] [--periods P]
               [--flows M] [--skew Z] [--memory-kb KB] [--k K] [--seed X]
-              [--delta] [--loss p] [--reorder q] [--min-recall R]
+              [--delta-mode full|delta|dirty] [--delta] [--loss p]
+              [--reorder q] [--min-recall R]
   hk help
 
 Algorithms for --algo:
@@ -578,16 +579,17 @@ pub fn change(args: &Args) -> Result<(), CliError> {
 
 /// `hk fleet`: the windowed telemetry scenario — `--switches` sliding
 /// windows over hash-partitioned Zipf traffic, rotating every
-/// `--epoch-packets` packets for `--periods` periods, exporting wire-v2
-/// frames (`--delta` for steady-state single-epoch deltas, full frames
-/// otherwise) through a channel that drops each frame with probability
-/// `--loss` and reorders adjacent frames with probability `--reorder`.
-/// The collector reassembles per-switch rings (resync requests are
-/// serviced in-band) and its network-wide windowed top-k is scored
-/// against the loss-free merged oracle; `--min-recall` turns that score
-/// into an exit status for CI.
+/// `--epoch-packets` packets for `--periods` periods, exporting wire
+/// frames per `--delta-mode full|delta|dirty` (full snapshots,
+/// single-epoch deltas, or changed-bucket dirty patches; `--delta` is
+/// shorthand for `--delta-mode delta`) through a channel that drops
+/// each frame with probability `--loss` and reorders adjacent frames
+/// with probability `--reorder`. The collector reassembles per-switch
+/// rings (resync requests are serviced in-band) and its network-wide
+/// windowed top-k is scored against the loss-free merged oracle;
+/// `--min-recall` turns that score into an exit status for CI.
 pub fn fleet(args: &Args) -> Result<(), CliError> {
-    use hk_telemetry::{Fleet, FleetConfig};
+    use hk_telemetry::{ExportMode, Fleet, FleetConfig};
 
     let switches: usize = args.num_or("switches", 3)?;
     let window: usize = args.num_or("window", 4)?;
@@ -598,7 +600,22 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
     let mem = args.num_or::<usize>("memory-kb", 50)? * 1024;
     let k: usize = args.num_or("k", 20)?;
     let seed: u64 = args.num_or("seed", 1)?;
-    let delta = args.is_set("delta");
+    let mode_default = if args.is_set("delta") {
+        "delta"
+    } else {
+        "full"
+    };
+    let mode_name = args.get_or("delta-mode", mode_default);
+    let mode = match mode_name {
+        "full" => ExportMode::Full,
+        "delta" => ExportMode::Delta,
+        "dirty" => ExportMode::Dirty,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--delta-mode must be full, delta or dirty, got {other:?}"
+            )))
+        }
+    };
     let loss: f64 = args.num_or("loss", 0.0)?;
     let reorder: f64 = args.num_or("reorder", 0.0)?;
     if switches == 0 || window == 0 || epoch_packets == 0 || periods == 0 {
@@ -620,7 +637,7 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         k,
         memory_bytes: mem / switches.max(1),
         seed,
-        delta,
+        mode,
         loss,
         reorder,
     });
@@ -635,13 +652,12 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
 
     println!(
         "fleet: {switches} switch(es) x window {window} x {epoch_packets} pkts/epoch, \
-         {} packets, mode {}, loss {loss}, reorder {reorder}",
+         {} packets, mode {mode_name}, loss {loss}, reorder {reorder}",
         trace.len(),
-        if delta { "delta" } else { "full" },
     );
     println!(
         "rotations {} | frames {} sent / {} delivered / {} lost / {} reordered | \
-         {} full, {} delta, {} resync, {} duplicate",
+         {} full, {} delta, {} dirty, {} resync, {} duplicate",
         s.rotations,
         s.frames_sent,
         s.frames_delivered,
@@ -649,6 +665,7 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         s.frames_reordered,
         s.full_frames,
         s.delta_frames,
+        s.dirty_frames,
         s.resyncs,
         s.duplicates,
     );
@@ -1066,6 +1083,36 @@ mod tests {
         .unwrap();
         fleet(&f).unwrap();
 
+        // Dirty mode under the same abuse: patches plus resyncs still
+        // reconstruct a collector view that clears the bound.
+        let f = Args::parse(&sv(&[
+            "fleet",
+            "--switches",
+            "3",
+            "--window",
+            "4",
+            "--epoch-packets",
+            "2000",
+            "--periods",
+            "8",
+            "--flows",
+            "500",
+            "--memory-kb",
+            "32",
+            "--k",
+            "10",
+            "--delta-mode",
+            "dirty",
+            "--loss",
+            "0.05",
+            "--reorder",
+            "0.05",
+            "--min-recall",
+            "0.7",
+        ]))
+        .unwrap();
+        fleet(&f).unwrap();
+
         // An impossible bound fails the run.
         let f = Args::parse(&sv(&[
             "fleet",
@@ -1093,6 +1140,8 @@ mod tests {
         assert!(fleet(&bad).is_err());
         let bad = Args::parse(&sv(&["fleet", "--loss", "1.5"])).unwrap();
         assert!(fleet(&bad).is_err());
+        let bad = Args::parse(&sv(&["fleet", "--delta-mode", "sparse"])).unwrap();
+        assert!(matches!(fleet(&bad).unwrap_err(), CliError::Usage(_)));
     }
 
     #[test]

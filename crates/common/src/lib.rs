@@ -22,6 +22,8 @@
 //!   (16-bit counter fields, Section VI-A) is enforced in type.
 //! * [`crc`] — CRC-32 (IEEE) for wire-payload integrity (the windowed
 //!   telemetry frames checksum every epoch payload).
+//! * [`varint`] — LEB128 varints and run-length-encoded bitmaps, the
+//!   coding substrate of the dirty-delta (wire v3) telemetry frames.
 //! * [`prng`] — a tiny, fast xorshift PRNG used for decay coin flips.
 
 #![forbid(unsafe_code)]
@@ -37,6 +39,7 @@ pub mod prepared;
 pub mod prng;
 pub mod stream_summary;
 pub mod topk;
+pub mod varint;
 
 pub use algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
 pub use counters::SaturatingCounter;

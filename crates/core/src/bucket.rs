@@ -324,6 +324,33 @@ impl BucketMatrix {
         *self = grown;
     }
 
+    /// Scan-and-compares row `j` against `base` (the same row of a
+    /// retained snapshot; `None` means an all-empty baseline, e.g. a row
+    /// added by Section III-F expansion since the snapshot), filling
+    /// `bitmap` with one bit per bucket — set iff the packed words
+    /// differ — and returning the changed-bucket count. `bitmap` is
+    /// resized to `width.div_ceil(64)` words; trailing bits past
+    /// `width` stay zero. Plain u64 compares over the packed row view:
+    /// this is the dirty-delta exporter's whole read path, and it never
+    /// touches ingest.
+    pub fn diff_row_bitmap(&self, j: usize, base: Option<&[u64]>, bitmap: &mut Vec<u64>) -> usize {
+        if let Some(base) = base {
+            debug_assert_eq!(base.len(), self.width, "baseline row width");
+        }
+        bitmap.clear();
+        bitmap.resize(self.width.div_ceil(64), 0);
+        let row = self.row(j);
+        let mut changed = 0usize;
+        for (i, &new) in row.iter().enumerate() {
+            let old = base.map_or(0, |b| b[i]);
+            if old != new {
+                bitmap[i / 64] |= 1u64 << (i % 64);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
     /// True if the live region actually starts on a 64-byte boundary
     /// (diagnostics; `false` only if `align_offset` gave up).
     pub fn is_aligned(&self) -> bool {

@@ -51,7 +51,7 @@ use std::sync::Mutex;
 use crate::merge::{MergeError, MergeMode};
 use crate::parallel::ParallelTopK;
 use crate::sliding::SlidingTopK;
-use crate::wire::{FrameKind, WindowFrame, WireError};
+use crate::wire::{DirtyPatch, FrameKind, WindowFrame, WireError};
 use hk_common::algorithm::TopKAlgorithm;
 use hk_common::key::FlowKey;
 
@@ -130,6 +130,19 @@ impl std::fmt::Display for WindowSubmitError {
 
 impl std::error::Error for WindowSubmitError {}
 
+/// An out-of-order advance buffered until the gap before it fills:
+/// either a plain delta's whole epoch, or a dirty patch that must wait
+/// for its baseline (the epoch closed by `rotation - 1`) to become the
+/// replica's newest closed epoch before it can be reconstructed.
+#[derive(Debug, Clone)]
+enum PendingDelta<K: FlowKey> {
+    /// A [`FrameKind::Delta`] record: the closed epoch itself.
+    Epoch(Box<ParallelTopK<K>>),
+    /// A [`FrameKind::Dirty`] record: changed buckets only, applied
+    /// against the then-current baseline at drain time.
+    Patch(DirtyPatch<K>),
+}
+
 /// One switch's reassembled sliding window at the collector.
 #[derive(Debug, Clone)]
 struct SwitchWindow<K: FlowKey> {
@@ -139,7 +152,7 @@ struct SwitchWindow<K: FlowKey> {
     /// Out-of-order deltas buffered by rotation id, waiting for the
     /// gap before them to fill (bounded by the window size — anything
     /// older is covered by the resync snapshot anyway).
-    pending: BTreeMap<u64, ParallelTopK<K>>,
+    pending: BTreeMap<u64, PendingDelta<K>>,
     /// Highest rotation id this switch was ever *observed* at (from any
     /// frame, including buffered-then-dropped deltas). The replica is
     /// known-stale — and the switch resync-flagged — exactly while
@@ -364,6 +377,10 @@ impl<K: FlowKey> Collector<K> {
     ///   buffered (so a reordered neighbor can still slot in once the
     ///   gap fills) and the switch is flagged in
     ///   [`Collector::resync_needed`] until a full snapshot arrives.
+    /// * A **dirty** frame ([`SlidingTopK::export_dirty`]) follows the
+    ///   exact same rotation protocol; its record is a changed-buckets
+    ///   patch reconstructed against the replica's newest closed epoch
+    ///   ([`DirtyPatch::apply`]) instead of a whole shipped epoch.
     ///
     /// Returns what the frame did; errors are reserved for frames that
     /// cannot participate in the protocol at all (undecodable bytes,
@@ -454,11 +471,68 @@ impl<K: FlowKey> Collector<K> {
                 // anything a snapshot would supersede may be dropped)
                 // and request a resync.
                 if entry.pending.len() < entry.replica.window() {
-                    entry.pending.insert(rotation, epoch);
+                    entry
+                        .pending
+                        .insert(rotation, PendingDelta::Epoch(Box::new(epoch)));
+                }
+                Ok(WindowSubmit::ResyncRequested)
+            }
+            FrameKind::Dirty => {
+                let Some(entry) = self.windows.get_mut(&switch) else {
+                    // No ring — and no baseline — to patch; ask for a
+                    // snapshot, exactly like a delta before a snapshot.
+                    self.resync_no_snapshot.insert(switch);
+                    return Err(WindowSubmitError::NoSnapshot { switch });
+                };
+                let patch = frame.patch.expect("decode guarantees a patch");
+                // A dirty frame carries no epoch config (the patch is
+                // config-free by construction); ring identity is checked
+                // on the geometry it does carry. Seed/decay mismatches
+                // from an adversarial same-geometry stream fail at
+                // apply-time validation or in the CRC/rotation protocol.
+                if frame.window != entry.replica.window()
+                    || patch.width() != entry.replica.config().width
+                {
+                    return Err(WindowSubmitError::Mismatch { switch });
+                }
+                let rotation = frame.rotation;
+                let current = entry.replica.rotations();
+                if rotation <= current {
+                    return Ok(WindowSubmit::Duplicate);
+                }
+                // Same observed-rotation bookkeeping as plain deltas:
+                // even a patch the bounded buffer drops keeps the
+                // resync flag honest.
+                entry.max_seen = entry.max_seen.max(rotation);
+                if rotation == current + 1 {
+                    let applied = Self::apply_patch(entry, &patch);
+                    match applied {
+                        Ok(epoch) => {
+                            entry.replica.commit_epoch(epoch);
+                            Self::drain_pending(entry);
+                            return Ok(WindowSubmit::Applied);
+                        }
+                        Err(e) => return Err(WindowSubmitError::Wire(e)),
+                    }
+                }
+                if entry.pending.len() < entry.replica.window() {
+                    entry.pending.insert(rotation, PendingDelta::Patch(patch));
                 }
                 Ok(WindowSubmit::ResyncRequested)
             }
         }
+    }
+
+    /// Reconstructs the epoch a dirty patch describes against the
+    /// replica's newest closed epoch — the epoch closed by
+    /// `rotation - 1`, bit-exact by the protocol invariant, which is
+    /// exactly the shadow snapshot the exporter diffed against.
+    fn apply_patch(
+        entry: &SwitchWindow<K>,
+        patch: &DirtyPatch<K>,
+    ) -> Result<ParallelTopK<K>, WireError> {
+        let base = entry.replica.epoch_iter().rev().nth(1);
+        patch.apply(base, entry.replica.config())
     }
 
     /// Applies buffered out-of-order deltas that have become
@@ -478,7 +552,21 @@ impl<K: FlowKey> Collector<K> {
                 }
             }
             match entry.pending.remove(&(current + 1)) {
-                Some(epoch) => entry.replica.commit_epoch(epoch),
+                Some(PendingDelta::Epoch(epoch)) => entry.replica.commit_epoch(*epoch),
+                Some(PendingDelta::Patch(patch)) => {
+                    // The patch's baseline is the epoch closed by
+                    // `current` — the replica's newest closed epoch at
+                    // this point, however the gap was healed.
+                    let applied = Self::apply_patch(entry, &patch);
+                    match applied {
+                        Ok(epoch) => entry.replica.commit_epoch(epoch),
+                        // A buffered patch that fails against the
+                        // healed baseline is dropped: `max_seen` keeps
+                        // the switch resync-flagged, so a snapshot
+                        // supersedes it.
+                        Err(_) => break,
+                    }
+                }
                 None => break,
             }
         }
@@ -976,6 +1064,81 @@ mod tests {
             coll.submit_window_frame(b"junk").unwrap_err(),
             WindowSubmitError::Wire(_)
         ));
+    }
+
+    /// Like [`run_delta_stream`] but dirty-first: the priming rotation
+    /// falls back to a plain delta, every later one ships a patch —
+    /// the fallback chain the telemetry exporter runs.
+    fn run_dirty_stream(coll: &mut Collector<u64>, switch: u64, periods: u64) -> SlidingTopK<u64> {
+        let mut win = SlidingTopK::<u64>::new(window_cfg(3), 3);
+        coll.submit_window_frame(&win.export_frame(switch, 1000))
+            .unwrap();
+        for p in 0..periods {
+            let batch: Vec<u64> = (0..1000u64)
+                .map(|i| switch * 1000 + p * 10 + i % 7)
+                .collect();
+            win.insert_batch(&batch);
+            win.rotate();
+            let bytes = win
+                .export_dirty(switch, 1000)
+                .unwrap_or_else(|| win.export_delta(switch, 1000).expect("closed epoch"));
+            coll.submit_window_frame(&bytes).unwrap();
+        }
+        win
+    }
+
+    #[test]
+    fn dirty_stream_reassembles_bit_exact() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let win = run_dirty_stream(&mut coll, 3, 6);
+        assert!(coll.resync_needed().is_empty());
+        assert_replica_matches(&coll, 3, &win);
+    }
+
+    #[test]
+    fn dirty_window_size_change_rejected() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        run_dirty_stream(&mut coll, 5, 2);
+        // The same switch id reappears with a W = 2 ring and ships a
+        // dirty frame: ring identity wins over rotation bookkeeping.
+        let mut other = SlidingTopK::<u64>::new(window_cfg(3), 2);
+        let bytes = loop {
+            other.insert_batch(&vec![9u64; 300]);
+            other.rotate();
+            if let Some(b) = other.export_dirty(5, 1000) {
+                break b;
+            }
+        };
+        assert_eq!(
+            coll.submit_window_frame(&bytes).unwrap_err(),
+            WindowSubmitError::Mismatch { switch: 5 }
+        );
+    }
+
+    #[test]
+    fn dirty_sketch_width_change_rejected() {
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        run_dirty_stream(&mut coll, 6, 2);
+        // Same window size but a regeometried sketch: the patch's own
+        // width betrays it before any bucket math happens.
+        let narrow = HkConfig::builder()
+            .arrays(2)
+            .width(128)
+            .k(8)
+            .seed(3)
+            .build();
+        let mut other = SlidingTopK::<u64>::new(narrow, 3);
+        let bytes = loop {
+            other.insert_batch(&vec![9u64; 300]);
+            other.rotate();
+            if let Some(b) = other.export_dirty(6, 1000) {
+                break b;
+            }
+        };
+        assert_eq!(
+            coll.submit_window_frame(&bytes).unwrap_err(),
+            WindowSubmitError::Mismatch { switch: 6 }
+        );
     }
 
     #[test]

@@ -889,6 +889,39 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
         }
         Ok(Some(out))
     }
+
+    /// The dirty sibling of [`ShardedEngine::export_deltas`]: one
+    /// **dirty** wire-v3 frame per shard behind the same flush barrier
+    /// ([`SlidingTopK::export_dirty`](crate::sliding::SlidingTopK::export_dirty)).
+    /// Returns `None` unless *every* shard produced a dirty frame —
+    /// the shards rotate in lockstep through
+    /// [`ShardedEngine::rotate_all`] and this method primes or advances
+    /// every shard's shadow on every call, so after the first
+    /// (`None`-returning, shadow-priming) call per rotation stream the
+    /// shards stay dirty-eligible together. On `None` the caller ships
+    /// [`ShardedEngine::export_deltas`] or
+    /// [`ShardedEngine::export_frames`] instead; either fallback
+    /// carries the same closed epochs the refreshed shadows snapshot,
+    /// so the next rotation can go dirty.
+    pub fn export_dirties(
+        &self,
+        switch_id_base: u64,
+        epoch_packets: u32,
+    ) -> Result<Option<Vec<Vec<u8>>>, ShardPoisoned> {
+        self.flush()?;
+        let mut out = Vec::with_capacity(self.shards.len());
+        let mut complete = true;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard.algo.lock().expect("shard mutex");
+            // Call every shard even once one came up empty: the call is
+            // what primes/advances each shard's shadow for next time.
+            match guard.export_dirty(switch_id_base + i as u64, epoch_packets) {
+                Some(frame) => out.push(frame),
+                None => complete = false,
+            }
+        }
+        Ok(complete.then_some(out))
+    }
 }
 
 impl<K, A> EpochRotate for ShardedEngine<K, A>
@@ -1388,6 +1421,38 @@ mod tests {
                 engine.query(&f),
                 "flow {f}: collector view must match the engine"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_dirty_export_primes_then_ships_lockstep() {
+        use crate::wire::{FrameKind, WindowFrame};
+
+        let mut engine = ShardedEngine::<u64, _>::sliding(&cfg(1024, 8), 3, 2);
+
+        // No rotation yet: no closed epoch anywhere.
+        engine.insert_batch(&(0..3000u64).map(|i| i % 6).collect::<Vec<_>>());
+        assert!(engine.export_dirties(10, 500).unwrap().is_none());
+
+        // One closed epoch: every shard primes its shadow, and the
+        // batch declines as a unit (all-or-nothing lockstep).
+        engine.rotate_all().unwrap();
+        assert!(engine.export_dirties(10, 500).unwrap().is_none());
+
+        engine.insert_batch(&(0..3000u64).map(|i| 100 + i % 6).collect::<Vec<_>>());
+        engine.rotate_all().unwrap();
+        let frames = engine
+            .export_dirties(10, 500)
+            .unwrap()
+            .expect("every shard shadow is fresh");
+        assert_eq!(frames.len(), 3);
+        for (i, bytes) in frames.iter().enumerate() {
+            let f = WindowFrame::<u64>::decode(bytes).unwrap();
+            assert_eq!(f.kind, FrameKind::Dirty);
+            assert_eq!(f.switch_id, 10 + i as u64);
+            assert_eq!(f.rotation, 2, "phase-aligned rotation count");
+            assert_eq!(f.window, 2);
+            assert!(f.patch.is_some());
         }
     }
 

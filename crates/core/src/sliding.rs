@@ -89,6 +89,32 @@ pub struct SlidingTopK<K: FlowKey> {
     /// every few batches, and `W·k` candidates per poll add up). Same
     /// `Mutex`-for-`Sync` reasoning as the closed cache.
     topk_scratch: Mutex<TopKScratch<K>>,
+    /// The dirty-delta exporter's retained snapshot of the last exported
+    /// closed epoch ([`SlidingTopK::export_dirty`]): the packed words the
+    /// *next* closed epoch is scan-and-compared against. `None` until the
+    /// first dirty export primes it. One extra matrix of memory — the
+    /// price of O(changed buckets) steady-state export — deliberately
+    /// outside [`SlidingTopK::memory_bytes`], which accounts the
+    /// measurement structure, not the telemetry plane.
+    pub(crate) export_shadow: Option<ExportShadow>,
+}
+
+/// The packed words of the last closed epoch a dirty delta shipped,
+/// tagged with the rotation that closed it (staleness check: a dirty
+/// delta at rotation `R` is only valid against the shadow of `R - 1`).
+#[derive(Debug, Clone)]
+pub(crate) struct ExportShadow {
+    /// Rotation counter at snapshot time; the snapshotted epoch is the
+    /// one this rotation closed.
+    pub(crate) rotation: u64,
+    /// Matrix rows at snapshot time (Section III-F expansion can make
+    /// this differ from the next closed epoch's).
+    pub(crate) rows: usize,
+    /// Matrix width (never changes within a ring; double-checked so a
+    /// stale shadow can never be diffed against a different geometry).
+    pub(crate) width: usize,
+    /// The snapshot: `rows × width` packed words, row-major.
+    pub(crate) words: Vec<u64>,
 }
 
 /// The per-query allocations of `top_k`, retained across calls.
@@ -117,6 +143,7 @@ impl<K: FlowKey> Clone for SlidingTopK<K> {
             closed_cache: Mutex::new(self.cache().clone()),
             // Scratch is cheap to refill; a clone starts cold.
             topk_scratch: Mutex::new(TopKScratch::default()),
+            export_shadow: self.export_shadow.clone(),
         }
     }
 }
@@ -143,6 +170,7 @@ impl<K: FlowKey> SlidingTopK<K> {
             rotations: 0,
             closed_cache: Mutex::new(HashMap::new()),
             topk_scratch: Mutex::new(TopKScratch::default()),
+            export_shadow: None,
         }
     }
 
@@ -359,6 +387,7 @@ impl<K: FlowKey> SlidingTopK<K> {
             rotations,
             closed_cache: Mutex::new(HashMap::new()),
             topk_scratch: Mutex::new(TopKScratch::default()),
+            export_shadow: None,
         }
     }
 

@@ -313,45 +313,66 @@ impl<K: FlowKey> ParallelTopK<K> {
 }
 
 // ---------------------------------------------------------------------
-// Wire v2: the windowed telemetry frame (epoch-ring framing).
+// Wire v2/v3: the windowed telemetry frame (epoch-ring framing).
 //
 // A sliding-window deployment cannot ship its state as one v1 sketch:
 // the measurement unit is a ring of W epoch sketches plus a rotation
 // counter, and steady-state export should not pay O(W · sketch) per
-// period when only one epoch changed. The v2 frame carries both shapes:
+// period when only one epoch changed. The frame carries three shapes
+// under one header:
 //
 // ```text
-// magic "HKWF" | version u8 (2) | kind u8 (0 full / 1 delta) | key_len u8 |
+// magic "HKWF" | version u8 (2 full/delta, 3 dirty) |
+// kind u8 (0 full / 1 delta / 2 dirty) | key_len u8 |
 // switch_id u64 | rotation u64 | window u16 | live u16 | epoch_packets u32
-// then `live` epoch records, oldest -> newest:
-//   payload_len u32 | payload (one v1 "HKSK" sketch) | crc32 u32
+// then `live` records, oldest -> newest:
+//   payload_len u32 | payload | crc32 u32
 // ```
 //
-// * **Full** frames carry every live epoch (the accumulating newest
-//   included) — the initial snapshot and the resync path.
-// * **Delta** frames carry exactly one record: the epoch that was
-//   *closed* by rotation number `rotation` — the steady-state path,
-//   O(one sketch) per period regardless of W.
+// * **Full** frames (v2) carry every live epoch (the accumulating
+//   newest included) as v1 "HKSK" payloads — the initial snapshot and
+//   the resync path.
+// * **Delta** frames (v2) carry exactly one v1 record: the epoch that
+//   was *closed* by rotation number `rotation` — O(one sketch) per
+//   period regardless of W.
+// * **Dirty** frames (v3) carry exactly one "HKDP" record: the closed
+//   epoch expressed as a *patch* against the previous export — a
+//   per-row changed-bucket bitmap (RLE over all-zero bitmap words) plus
+//   varint-coded `old XOR new` packed words, and the whole top-k store.
+//   Steady-state cost is O(changed buckets), which HeavyKeeper's own
+//   thesis makes O(elephants): almost all buckets hold mice or nothing
+//   and are untouched between rotations.
 //
-// Every epoch record is CRC-32-checksummed independently, so one
-// corrupted epoch is detected before any expensive decode. `rotation`
-// orders frames: the collector applies delta R only on top of state at
-// rotation R-1, treats R ≤ current as a duplicate (idempotent drop) and
-// R > current+1 as a gap that flags the switch for resync.
+// Every record is CRC-32-checksummed independently, so corruption is
+// detected before any expensive decode. `rotation` orders frames
+// identically for deltas and dirty patches: the collector applies
+// rotation R only on top of state at rotation R-1, treats R ≤ current
+// as a duplicate (idempotent drop) and R > current+1 as a gap that
+// flags the switch for resync.
 // ---------------------------------------------------------------------
 
 /// Magic prefix of a windowed telemetry frame.
 const FRAME_MAGIC: &[u8; 4] = b"HKWF";
-/// Wire version of the window frame format.
+/// Wire version of full/delta window frames.
 const FRAME_VERSION: u8 = 2;
+/// Wire version of dirty-patch window frames ([`FrameKind::Dirty`]).
+const DIRTY_FRAME_VERSION: u8 = 3;
+/// Magic prefix of a dirty-patch record payload (where full/delta
+/// records carry a v1 "HKSK" sketch).
+const DIRTY_MAGIC: &[u8; 4] = b"HKDP";
 
-/// Whether a window frame is a full snapshot or a single-epoch delta.
+/// Whether a window frame is a full snapshot, a single-epoch delta, or
+/// a dirty-bucket patch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
     /// Every live epoch of the ring (snapshot / resync).
     Full,
     /// Only the epoch closed by `rotation` (steady-state export).
     Delta,
+    /// The epoch closed by `rotation` as a changed-buckets patch
+    /// against the epoch closed by `rotation - 1` (wire v3; the
+    /// O(elephants) steady-state export).
+    Dirty,
 }
 
 /// A decoded windowed telemetry frame: one switch's epoch-ring state
@@ -369,11 +390,16 @@ pub struct WindowFrame<K: FlowKey> {
     /// The switch's per-epoch packet budget (periods are cut every this
     /// many packets); carried so artifacts are self-describing.
     pub epoch_packets: u32,
-    /// Snapshot or delta.
+    /// Snapshot, delta, or dirty patch.
     pub kind: FrameKind,
     /// The carried epochs, oldest first. `len == 1` for a delta; for a
-    /// full frame the last entry is the accumulating newest epoch.
+    /// full frame the last entry is the accumulating newest epoch;
+    /// empty for a dirty frame (its record is [`WindowFrame::patch`]).
     pub epochs: Vec<ParallelTopK<K>>,
+    /// The dirty-bucket patch — `Some` iff `kind` is
+    /// [`FrameKind::Dirty`]. Applied to a replica's newest closed epoch
+    /// via [`DirtyPatch::apply`].
+    pub patch: Option<DirtyPatch<K>>,
 }
 
 /// True when two configurations describe the *same ring* — equal in
@@ -411,10 +437,14 @@ fn encode_frame_header(
         "window frame fields exceed the wire format's u16 range ({window} epochs)"
     );
     out.extend_from_slice(FRAME_MAGIC);
-    out.push(FRAME_VERSION);
+    out.push(match kind {
+        FrameKind::Full | FrameKind::Delta => FRAME_VERSION,
+        FrameKind::Dirty => DIRTY_FRAME_VERSION,
+    });
     out.push(match kind {
         FrameKind::Full => 0,
         FrameKind::Delta => 1,
+        FrameKind::Dirty => 2,
     });
     out.push(key_len as u8);
     out.extend_from_slice(&switch_id.to_le_bytes());
@@ -475,7 +505,15 @@ impl<K: FlowKey> crate::sliding::SlidingTopK<K> {
     /// slot is the accumulating epoch; rotation evicts the closed one
     /// immediately) — ship [`export_frame`] instead.
     ///
+    /// This `Option`-with-fallback contract is the precedent the dirty
+    /// exporter extends: [`export_dirty`] likewise returns `None`
+    /// whenever its preconditions (a closed epoch *and* a fresh shadow
+    /// snapshot) do not hold, and the caller downgrades to this method
+    /// or to [`export_frame`]. Pinned by the
+    /// `export_delta_option_contract_pins_fallback_precedent` test.
+    ///
     /// [`export_frame`]: crate::sliding::SlidingTopK::export_frame
+    /// [`export_dirty`]: crate::sliding::SlidingTopK::export_dirty
     pub fn export_delta(&self, switch_id: u64, epoch_packets: u32) -> Option<Vec<u8>> {
         // The newest closed epoch sits just behind the accumulating one.
         let closed = self.epoch_iter().rev().nth(1)?;
@@ -492,6 +530,324 @@ impl<K: FlowKey> crate::sliding::SlidingTopK<K> {
         );
         encode_epoch_record(&mut out, closed);
         Some(out)
+    }
+
+    /// Exports the newest closed epoch as a [`FrameKind::Dirty`] frame:
+    /// a patch of only the buckets whose packed words *changed* since
+    /// the previous export, scan-and-compared against a retained shadow
+    /// snapshot — plain u64 compares at export time, no per-write dirty
+    /// tracking, the ingest hot path untouched. Steady-state cost is
+    /// O(changed buckets) ≈ O(elephants) instead of the plain delta's
+    /// O(sketch).
+    ///
+    /// Returns `Some(frame)` only when the shadow snapshots exactly the
+    /// epoch closed by `rotation - 1` (and the geometry still matches);
+    /// the shadow is then advanced to the epoch just closed. In every
+    /// other case — before the first rotation, for `W = 1` windows
+    /// (same rule as [`export_delta`], whose `Option` contract is the
+    /// tested precedent), on the first call after construction, or
+    /// after a skipped rotation — it *re-primes* the shadow from the
+    /// current closed epoch and returns `None`: the caller must ship
+    /// [`export_delta`] or [`export_frame`] for this rotation instead.
+    /// Both fallbacks carry the same closed epoch the refreshed shadow
+    /// now snapshots, so exporter shadow and collector baseline stay in
+    /// lockstep and the *next* rotation can go dirty.
+    ///
+    /// The shadow costs one extra matrix per window and is accounted to
+    /// the telemetry plane, not [`memory_bytes`].
+    ///
+    /// [`export_delta`]: crate::sliding::SlidingTopK::export_delta
+    /// [`export_frame`]: crate::sliding::SlidingTopK::export_frame
+    /// [`memory_bytes`]: crate::sliding::SlidingTopK::memory_bytes
+    pub fn export_dirty(&mut self, switch_id: u64, epoch_packets: u32) -> Option<Vec<u8>> {
+        use crate::sliding::ExportShadow;
+
+        let rotation = self.rotations();
+        let window = self.window();
+        if self.live_epochs() < 2 {
+            // No closed epoch to snapshot or ship (pre-first-rotation,
+            // or W = 1): drop any stale shadow.
+            self.export_shadow = None;
+            return None;
+        }
+        // Borrow phase: diff-and-encode (or just snapshot) against the
+        // closed epoch, producing the frame bytes and the new shadow.
+        let (bytes, next_shadow) = {
+            let closed = self
+                .epoch_iter()
+                .rev()
+                .nth(1)
+                .expect("two or more live epochs");
+            let sketch = closed.sketch();
+            let rows = sketch.arrays();
+            let width = sketch.width();
+            let fresh = self
+                .export_shadow
+                .as_ref()
+                .is_some_and(|s| s.rotation + 1 == rotation && s.width == width);
+            let bytes = if fresh {
+                let shadow = self.export_shadow.as_ref().expect("checked fresh");
+                let mut out = Vec::with_capacity(HEADER_LEN + 256);
+                encode_frame_header(
+                    &mut out,
+                    FrameKind::Dirty,
+                    K::ENCODED_LEN,
+                    switch_id,
+                    rotation,
+                    window,
+                    1,
+                    epoch_packets,
+                );
+                let len_at = out.len();
+                out.extend_from_slice(&0u32.to_le_bytes()); // placeholder
+                let payload_at = out.len();
+                encode_dirty_payload(&mut out, closed, shadow);
+                let payload_len = out.len() - payload_at;
+                out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+                let crc = hk_common::crc::crc32(&out[payload_at..]);
+                out.extend_from_slice(&crc.to_le_bytes());
+                Some(out)
+            } else {
+                None
+            };
+            let next_shadow = ExportShadow {
+                rotation,
+                rows,
+                width,
+                words: sketch.snapshot_words(),
+            };
+            (bytes, next_shadow)
+        };
+        self.export_shadow = Some(next_shadow);
+        bytes
+    }
+}
+
+/// Length of the fixed frame header (shared by full, delta and dirty).
+const HEADER_LEN: usize = 31;
+
+/// Appends the dirty-patch record payload: the closed epoch diffed
+/// against the shadow, rows beyond the shadow (Section III-F expansion
+/// since the last export) diffed against an all-empty baseline, then
+/// the whole top-k store (small — `k` entries — and not worth diffing).
+fn encode_dirty_payload<K: FlowKey>(
+    out: &mut Vec<u8>,
+    closed: &ParallelTopK<K>,
+    shadow: &crate::sliding::ExportShadow,
+) {
+    use hk_common::varint;
+
+    let sketch = closed.sketch();
+    let matrix = sketch.matrix();
+    let (rows, width) = (matrix.rows(), matrix.width());
+    debug_assert_eq!(shadow.width, width, "caller checked geometry");
+
+    out.extend_from_slice(DIRTY_MAGIC);
+    varint::write_u64(out, rows as u64);
+    varint::write_u64(out, width as u64);
+    let mut bitmap: Vec<u64> = Vec::new();
+    for j in 0..rows {
+        let base = if j < shadow.rows {
+            Some(&shadow.words[j * width..(j + 1) * width])
+        } else {
+            None
+        };
+        matrix.diff_row_bitmap(j, base, &mut bitmap);
+        varint::write_bitmap_rle(out, &bitmap);
+        let row = matrix.row(j);
+        for (i, &new) in row.iter().enumerate() {
+            if bitmap[i / 64] & (1u64 << (i % 64)) != 0 {
+                let old = base.map_or(0, |b| b[i]);
+                varint::write_u64(out, old ^ new);
+            }
+        }
+    }
+    let top = closed.top_k();
+    varint::write_u64(out, top.len() as u64);
+    for (key, count) in &top {
+        out.extend_from_slice(key.key_bytes().as_slice());
+        varint::write_u64(out, *count);
+    }
+}
+
+/// A decoded [`FrameKind::Dirty`] record: which buckets of the closed
+/// epoch changed since the previous export, and how — `old XOR new`
+/// packed words, stored densely (zero = unchanged) so
+/// [`DirtyPatch::apply`] is one XOR walk — plus the epoch's whole
+/// top-k store.
+#[derive(Debug, Clone)]
+pub struct DirtyPatch<K: FlowKey> {
+    rows: usize,
+    width: usize,
+    /// `rows × width` XOR diffs, row-major; zero means unchanged.
+    words: Vec<u64>,
+    store: Vec<(K, u64)>,
+}
+
+impl<K: FlowKey> DirtyPatch<K> {
+    /// Matrix rows of the patched epoch (the new epoch's array count —
+    /// Section III-F expansion can make it differ from the baseline's).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix width of the patched epoch (must equal the ring's).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Decodes one "HKDP" record payload (CRC already verified by the
+    /// frame decoder). Structural validation only — semantic limits
+    /// (counter/fingerprint ranges, store size) need the ring config
+    /// and are enforced by [`DirtyPatch::apply`].
+    fn decode(data: &[u8]) -> Result<Self, WireError> {
+        use hk_common::varint;
+
+        if data.len() < 4 || &data[..4] != DIRTY_MAGIC {
+            return Err(WireError::Corrupt("dirty patch magic"));
+        }
+        let mut pos = 4usize;
+        let rows = varint::read_u64(data, &mut pos).ok_or(WireError::Corrupt("patch varint"))?;
+        let width = varint::read_u64(data, &mut pos).ok_or(WireError::Corrupt("patch varint"))?;
+        if rows == 0 || rows > crate::sketch::MAX_ARRAYS as u64 {
+            return Err(WireError::Corrupt("array count"));
+        }
+        if width == 0 || width > u32::MAX as u64 {
+            return Err(WireError::Corrupt("width/k"));
+        }
+        let (rows, width) = (rows as usize, width as usize);
+        let bitmap_words = width.div_ceil(64);
+        let mut words = vec![0u64; rows * width];
+        let mut bitmap: Vec<u64> = Vec::with_capacity(bitmap_words);
+        for j in 0..rows {
+            varint::read_bitmap_rle(data, &mut pos, bitmap_words, &mut bitmap)
+                .ok_or(WireError::Corrupt("dirty bitmap"))?;
+            // Bits past `width` in the last bitmap word name no bucket.
+            if width % 64 != 0 && bitmap[bitmap_words - 1] >> (width % 64) != 0 {
+                return Err(WireError::Corrupt("dirty bitmap tail"));
+            }
+            let row = &mut words[j * width..(j + 1) * width];
+            for (w, &bits) in bitmap.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let i = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let diff = varint::read_u64(data, &mut pos)
+                        .ok_or(WireError::Corrupt("patch varint"))?;
+                    if diff == 0 {
+                        // A zero diff means the bucket did not change;
+                        // its bitmap bit must not have been set.
+                        return Err(WireError::Corrupt("zero dirty diff"));
+                    }
+                    row[i] = diff;
+                }
+            }
+        }
+        let n = varint::read_u64(data, &mut pos).ok_or(WireError::Corrupt("patch varint"))?;
+        if n > data.len() as u64 {
+            // Cheap sanity bound before allocating: every entry costs
+            // at least one byte on the wire.
+            return Err(WireError::Corrupt("store size"));
+        }
+        let mut store = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let end = pos
+                .checked_add(K::ENCODED_LEN)
+                .ok_or(WireError::Truncated)?;
+            let kb = data.get(pos..end).ok_or(WireError::Truncated)?;
+            pos = end;
+            let key = K::from_key_bytes(kb).ok_or(WireError::KeyMismatch)?;
+            let count =
+                varint::read_u64(data, &mut pos).ok_or(WireError::Corrupt("patch varint"))?;
+            if count == 0 {
+                return Err(WireError::Corrupt("zero store count"));
+            }
+            store.push((key, count));
+        }
+        if pos != data.len() {
+            return Err(WireError::Corrupt("trailing bytes"));
+        }
+        Ok(Self {
+            rows,
+            width,
+            words,
+            store,
+        })
+    }
+
+    /// Reconstructs the closed epoch this patch describes:
+    /// `base XOR diff` over the packed words, where `base` is the
+    /// collector replica's newest closed epoch (the epoch closed by
+    /// `rotation - 1`, bit-exact by the delta-protocol invariant) and
+    /// rows beyond it patch an all-empty baseline. `ring_cfg` is the
+    /// replica's configuration; the reconstructed epoch opens from it
+    /// with this patch's array count.
+    ///
+    /// Every *changed* word is validated like
+    /// [`ParallelTopK::from_wire`] validates buckets (counter and
+    /// fingerprint within their configured ranges, no empty bucket with
+    /// a fingerprint); unchanged words were validated when the baseline
+    /// was installed. The store is re-offered largest-first, like the
+    /// v1 decode path.
+    pub fn apply(
+        &self,
+        base: Option<&ParallelTopK<K>>,
+        ring_cfg: &HkConfig,
+    ) -> Result<ParallelTopK<K>, WireError> {
+        if self.width != ring_cfg.width {
+            return Err(WireError::Corrupt("patch width"));
+        }
+        let mut cfg = ring_cfg.clone();
+        cfg.arrays = self.rows;
+        let mut hk = ParallelTopK::<K>::new(cfg);
+        let layout = hk.sketch().matrix().layout();
+        let counter_max = hk.sketch().counter_max();
+        let fp_bits = hk.sketch().fingerprint_bits();
+        let fp_max = if fp_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << fp_bits) - 1
+        };
+
+        // Seed from the baseline (missing/shorter baselines leave the
+        // fresh all-empty rows), then XOR the diffs in.
+        if let Some(base) = base {
+            let src = base.sketch().matrix();
+            if src.width() != self.width {
+                return Err(WireError::Corrupt("patch width"));
+            }
+            let shared = self.rows.min(src.rows()) * self.width;
+            hk.sketch_mut().matrix_mut().data_mut()[..shared]
+                .copy_from_slice(&src.data()[..shared]);
+        }
+        let dst = hk.sketch_mut().matrix_mut().data_mut();
+        for (slot, &diff) in dst.iter_mut().zip(&self.words) {
+            if diff == 0 {
+                continue;
+            }
+            let word = *slot ^ diff;
+            let b = layout.unpack(word);
+            if b.fp > fp_max {
+                return Err(WireError::Corrupt("bucket fingerprint"));
+            }
+            if b.count > counter_max {
+                return Err(WireError::Corrupt("bucket counter"));
+            }
+            if b.count == 0 && b.fp != 0 {
+                return Err(WireError::Corrupt("empty bucket with fingerprint"));
+            }
+            *slot = word;
+        }
+
+        if self.store.len() > ring_cfg.k {
+            return Err(WireError::Corrupt("store size"));
+        }
+        let mut entries = self.store.clone();
+        entries.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        for (key, count) in entries {
+            hk.offer(key, count);
+        }
+        Ok(hk)
     }
 }
 
@@ -512,14 +868,24 @@ impl<K: FlowKey> WindowFrame<K> {
             return Err(WireError::BadMagic);
         }
         let version = r.u8()?;
-        if version != FRAME_VERSION {
+        if version != FRAME_VERSION && version != DIRTY_FRAME_VERSION {
             return Err(WireError::BadVersion(version));
         }
         let kind = match r.u8()? {
             0 => FrameKind::Full,
             1 => FrameKind::Delta,
+            2 => FrameKind::Dirty,
             _ => return Err(WireError::Corrupt("frame kind")),
         };
+        // Full/delta are v2; dirty is v3. A mismatched pairing never
+        // came from an exporter here.
+        let expected = match kind {
+            FrameKind::Full | FrameKind::Delta => FRAME_VERSION,
+            FrameKind::Dirty => DIRTY_FRAME_VERSION,
+        };
+        if version != expected {
+            return Err(WireError::Corrupt("frame version/kind pairing"));
+        }
         if r.u8()? as usize != K::ENCODED_LEN {
             return Err(WireError::KeyMismatch);
         }
@@ -545,6 +911,21 @@ impl<K: FlowKey> WindowFrame<K> {
                     return Err(WireError::Corrupt("delta before first rotation"));
                 }
             }
+            FrameKind::Dirty => {
+                if live != 1 {
+                    return Err(WireError::Corrupt("dirty epoch count"));
+                }
+                // A dirty patch needs a *previously exported* closed
+                // epoch as its baseline: the epoch closed by rotation
+                // R - 1 must have existed, so R ≥ 2. And a W = 1 ring
+                // never retains a closed epoch to diff or to apply to.
+                if rotation < 2 {
+                    return Err(WireError::Corrupt("dirty before second rotation"));
+                }
+                if window < 2 {
+                    return Err(WireError::Corrupt("dirty window size"));
+                }
+            }
             FrameKind::Full => {
                 // The ring grows by one epoch per rotation from one, so
                 // more live epochs than `rotation + 1` are impossible.
@@ -554,7 +935,8 @@ impl<K: FlowKey> WindowFrame<K> {
             }
         }
 
-        let mut epochs = Vec::with_capacity(live);
+        let mut epochs = Vec::with_capacity(if kind == FrameKind::Dirty { 0 } else { live });
+        let mut patch = None;
         for idx in 0..live {
             let payload_len = r.u32()? as usize;
             let payload = r.take(payload_len)?;
@@ -562,7 +944,11 @@ impl<K: FlowKey> WindowFrame<K> {
             if hk_common::crc::crc32(payload) != crc {
                 return Err(WireError::BadCrc { epoch: idx });
             }
-            epochs.push(ParallelTopK::<K>::from_wire(payload)?);
+            if kind == FrameKind::Dirty {
+                patch = Some(DirtyPatch::<K>::decode(payload)?);
+            } else {
+                epochs.push(ParallelTopK::<K>::from_wire(payload)?);
+            }
         }
         if r.pos != data.len() {
             return Err(WireError::Corrupt("trailing bytes"));
@@ -583,13 +969,14 @@ impl<K: FlowKey> WindowFrame<K> {
             epoch_packets,
             kind,
             epochs,
+            patch,
         })
     }
 
     /// Converts a [`FrameKind::Full`] frame into a queryable window
-    /// replica ([`SlidingTopK::from_epochs`]); `None` for deltas, which
-    /// only make sense applied to an existing replica
-    /// ([`SlidingTopK::commit_epoch`]).
+    /// replica ([`SlidingTopK::from_epochs`]); `None` for deltas and
+    /// dirty patches, which only make sense applied to an existing
+    /// replica ([`SlidingTopK::commit_epoch`], [`DirtyPatch::apply`]).
     ///
     /// [`SlidingTopK::from_epochs`]: crate::sliding::SlidingTopK::from_epochs
     /// [`SlidingTopK::commit_epoch`]: crate::sliding::SlidingTopK::commit_epoch
@@ -991,6 +1378,425 @@ mod tests {
         for f in 0..10u64 {
             assert_eq!(replica.query(&f), win.query(&f), "flow {f}");
         }
+    }
+
+    #[test]
+    fn export_delta_option_contract_pins_fallback_precedent() {
+        // The documented precedent the dirty exporter builds on: the
+        // delta exporter signals "no closed epoch" through its Option,
+        // and the caller downgrades to a full frame. Pinned so a future
+        // change to eager/panicking behavior fails loudly — export_dirty
+        // inherits exactly this contract.
+        let cfg = HkConfig::builder().width(32).k(4).seed(1).build();
+        // Before the first rotation: no closed epoch.
+        let mut win = crate::SlidingTopK::<u64>::new(cfg.clone(), 3);
+        win.insert_batch(&[7u64; 100]);
+        assert!(win.export_delta(0, 10).is_none());
+        assert!(win.export_dirty(0, 10).is_none(), "same rule for dirty");
+        // After one rotation: a closed epoch exists, the delta ships.
+        win.rotate();
+        assert!(win.export_delta(0, 10).is_some());
+        // A W = 1 window never retains a closed epoch: None forever.
+        let mut one = crate::SlidingTopK::<u64>::new(cfg, 1);
+        for _ in 0..4 {
+            one.insert_batch(&[7u64; 50]);
+            one.rotate();
+            assert!(one.export_delta(0, 10).is_none());
+            assert!(one.export_dirty(0, 10).is_none(), "same rule for dirty");
+        }
+    }
+
+    /// Feeds a period of traffic and rotates, like the exporter loop of
+    /// a deployment: insert → rotate → export. Heavy flows carry
+    /// distinct weights so the window top-k boundary never lands inside
+    /// a tie (tie order among equal counts is unspecified and may
+    /// differ between a switch and its replica); the mouse tail is
+    /// rotation-salted so successive epochs genuinely differ.
+    fn feed_and_rotate(win: &mut crate::SlidingTopK<u64>, seed: u64, r: u64) {
+        let mut batch = Vec::with_capacity(4000);
+        for f in 0..20u64 {
+            batch.extend(std::iter::repeat_n(f, 50 + 30 * f as usize));
+        }
+        let mut state = seed | 1;
+        for _ in 0..500u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            batch.push(10_000 + r * 1_000 + state % 400);
+        }
+        win.insert_batch(&batch);
+        win.rotate();
+    }
+
+    #[test]
+    fn export_dirty_primes_then_ships_patches() {
+        let cfg = HkConfig::builder().arrays(2).width(64).k(8).seed(5).build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        feed_and_rotate(&mut win, 5, 0);
+        // First call after the first rotation: a closed epoch exists
+        // but no shadow does — primes and declines.
+        assert!(win.export_dirty(9, 3000).is_none());
+        feed_and_rotate(&mut win, 6, 1);
+        let bytes = win.export_dirty(9, 3000).expect("shadow is fresh");
+        let frame = WindowFrame::<u64>::decode(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Dirty);
+        assert_eq!(frame.switch_id, 9);
+        assert_eq!(frame.rotation, 2);
+        assert!(frame.epochs.is_empty());
+        assert!(frame.patch.is_some());
+        assert!(frame.into_window().is_none(), "patches need a replica");
+    }
+
+    #[test]
+    fn export_dirty_declines_after_skipped_rotation() {
+        let cfg = HkConfig::builder().width(64).k(4).seed(3).build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        feed_and_rotate(&mut win, 3, 0);
+        assert!(win.export_dirty(0, 3000).is_none()); // primes
+        feed_and_rotate(&mut win, 4, 1);
+        feed_and_rotate(&mut win, 5, 2); // rotation 2 never exported
+                                         // The shadow snapshots rotation 1's closed epoch, but the
+                                         // rotation counter is 3: a patch against it would skip an
+                                         // epoch. Decline and re-prime instead.
+        assert!(win.export_dirty(0, 3000).is_none());
+        feed_and_rotate(&mut win, 6, 3);
+        assert!(win.export_dirty(0, 3000).is_some(), "re-primed shadow");
+    }
+
+    /// Drives one switch and a collector through `periods` of dirty
+    /// export with delta/full fallback, asserting bit-exactness after
+    /// every applied frame. Returns (win, dirty_frames_shipped).
+    fn run_dirty_stream(
+        coll: &mut crate::collector::Collector<u64>,
+        switch: u64,
+        window: usize,
+        periods: u64,
+    ) -> (crate::SlidingTopK<u64>, usize) {
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(64)
+            .k(8)
+            .seed(switch + 1)
+            .build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, window);
+        coll.submit_window_frame(&win.export_frame(switch, 3000))
+            .unwrap();
+        let mut dirty = 0usize;
+        for r in 0..periods {
+            feed_and_rotate(&mut win, switch * 100 + r, r);
+            let bytes = match win.export_dirty(switch, 3000) {
+                Some(b) => {
+                    dirty += 1;
+                    b
+                }
+                None => win
+                    .export_delta(switch, 3000)
+                    .unwrap_or_else(|| win.export_frame(switch, 3000)),
+            };
+            coll.submit_window_frame(&bytes).unwrap();
+            assert_windows_bit_equal(&win, coll.switch_window(switch).unwrap());
+        }
+        (win, dirty)
+    }
+
+    #[test]
+    fn dirty_stream_reassembles_bit_exact() {
+        use crate::collector::{AggregationRule, Collector};
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let (_, dirty) = run_dirty_stream(&mut coll, 2, 3, 8);
+        assert!(coll.resync_needed().is_empty());
+        // Rotation 1 falls back to a delta (shadow just primed); every
+        // later rotation must ship dirty.
+        assert_eq!(dirty, 7);
+    }
+
+    #[test]
+    fn duplicate_dirty_frames_are_idempotent() {
+        use crate::collector::{AggregationRule, Collector, WindowSubmit};
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let (mut win, _) = run_dirty_stream(&mut coll, 1, 3, 3);
+        feed_and_rotate(&mut win, 900, 3);
+        let bytes = win.export_dirty(1, 3000).expect("steady state is dirty");
+        assert_eq!(
+            coll.submit_window_frame(&bytes).unwrap(),
+            WindowSubmit::Applied
+        );
+        for _ in 0..3 {
+            assert_eq!(
+                coll.submit_window_frame(&bytes).unwrap(),
+                WindowSubmit::Duplicate
+            );
+        }
+        assert_windows_bit_equal(&win, coll.switch_window(1).unwrap());
+    }
+
+    #[test]
+    fn reordered_dirty_patches_heal_through_pending_buffer() {
+        use crate::collector::{AggregationRule, Collector, WindowSubmit};
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let (mut win, _) = run_dirty_stream(&mut coll, 4, 3, 3);
+        // Export two consecutive dirty frames without submitting…
+        feed_and_rotate(&mut win, 41, 3);
+        let first = win.export_dirty(4, 3000).unwrap();
+        feed_and_rotate(&mut win, 42, 4);
+        let second = win.export_dirty(4, 3000).unwrap();
+        // …then deliver them swapped: the early patch is buffered, the
+        // late one applies and the drain reconstructs the buffered
+        // patch against the baseline it was encoded from.
+        assert_eq!(
+            coll.submit_window_frame(&second).unwrap(),
+            WindowSubmit::ResyncRequested
+        );
+        assert_eq!(coll.resync_needed(), vec![4]);
+        assert_eq!(
+            coll.submit_window_frame(&first).unwrap(),
+            WindowSubmit::Applied
+        );
+        assert!(coll.resync_needed().is_empty());
+        assert_windows_bit_equal(&win, coll.switch_window(4).unwrap());
+    }
+
+    #[test]
+    fn dirty_gap_heals_with_snapshot() {
+        use crate::collector::{AggregationRule, Collector, WindowSubmit};
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let (mut win, _) = run_dirty_stream(&mut coll, 6, 3, 3);
+        // Lose one dirty frame entirely, ship the next: gap.
+        feed_and_rotate(&mut win, 61, 3);
+        let _lost = win.export_dirty(6, 3000).unwrap();
+        feed_and_rotate(&mut win, 62, 4);
+        let ahead = win.export_dirty(6, 3000).unwrap();
+        assert_eq!(
+            coll.submit_window_frame(&ahead).unwrap(),
+            WindowSubmit::ResyncRequested
+        );
+        assert_eq!(coll.resync_needed(), vec![6]);
+        // The resync snapshot re-anchors; the buffered stale patch is
+        // discarded by the drain.
+        coll.submit_window_frame(&win.export_frame(6, 3000))
+            .unwrap();
+        assert!(coll.resync_needed().is_empty());
+        assert_windows_bit_equal(&win, coll.switch_window(6).unwrap());
+        // And the stream continues dirty afterwards: the exporter
+        // shadow never desynced.
+        feed_and_rotate(&mut win, 63, 5);
+        let next = win.export_dirty(6, 3000).expect("stream stays dirty");
+        assert_eq!(
+            coll.submit_window_frame(&next).unwrap(),
+            WindowSubmit::Applied
+        );
+        assert_windows_bit_equal(&win, coll.switch_window(6).unwrap());
+    }
+
+    #[test]
+    fn dirty_before_snapshot_requests_resync() {
+        use crate::collector::WindowSubmitError;
+        use crate::collector::{AggregationRule, Collector};
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let cfg = HkConfig::builder().width(64).k(4).seed(2).build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        feed_and_rotate(&mut win, 1, 0);
+        assert!(win.export_dirty(5, 3000).is_none());
+        feed_and_rotate(&mut win, 2, 1);
+        let bytes = win.export_dirty(5, 3000).unwrap();
+        assert_eq!(
+            coll.submit_window_frame(&bytes).unwrap_err(),
+            WindowSubmitError::NoSnapshot { switch: 5 }
+        );
+        assert_eq!(coll.resync_needed(), vec![5]);
+    }
+
+    #[test]
+    fn dirty_frame_is_smaller_than_delta_on_stable_traffic() {
+        // The point of the format: when few buckets change between
+        // rotations, the patch collapses while the delta stays O(sketch).
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(4096)
+            .k(8)
+            .seed(7)
+            .build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 4);
+        // Few distinct flows against a wide sketch: most buckets stay
+        // empty, so successive closed epochs differ in few words.
+        let mut dirty = Vec::new();
+        for r in 0..3u64 {
+            win.insert_batch(&(0..2000u64).map(|i| i % 40).collect::<Vec<_>>());
+            win.rotate();
+            match win.export_dirty(0, 2000) {
+                Some(b) => dirty = b,
+                None => assert_eq!(r, 0, "only the priming call declines"),
+            }
+        }
+        let delta = win.export_delta(0, 2000).unwrap();
+        assert!(
+            dirty.len() * 4 < delta.len(),
+            "dirty {} vs delta {} bytes",
+            dirty.len(),
+            delta.len()
+        );
+    }
+
+    #[test]
+    fn dirty_header_and_payload_corruption_rejected() {
+        let cfg = HkConfig::builder().width(64).k(4).seed(8).build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        feed_and_rotate(&mut win, 1, 0);
+        assert!(win.export_dirty(0, 3000).is_none());
+        feed_and_rotate(&mut win, 2, 1);
+        let bytes = win.export_dirty(0, 3000).unwrap();
+        assert!(WindowFrame::<u64>::decode(&bytes).is_ok());
+        // Version byte: a dirty kind under v2 is a pairing violation.
+        let mut v = bytes.clone();
+        v[4] = 2;
+        assert_eq!(
+            WindowFrame::<u64>::decode(&v).unwrap_err(),
+            WireError::Corrupt("frame version/kind pairing")
+        );
+        // Kind byte: a delta kind under v3 likewise.
+        let mut k = bytes.clone();
+        k[5] = 1;
+        assert_eq!(
+            WindowFrame::<u64>::decode(&k).unwrap_err(),
+            WireError::Corrupt("frame version/kind pairing")
+        );
+        // Rotation counter forced below 2: dirty needs a baseline.
+        let mut r = bytes.clone();
+        r[15..23].copy_from_slice(&1u64.to_le_bytes());
+        assert_eq!(
+            WindowFrame::<u64>::decode(&r).unwrap_err(),
+            WireError::Corrupt("dirty before second rotation")
+        );
+        // Every truncation rejected.
+        for cut in 0..bytes.len() {
+            assert!(
+                WindowFrame::<u64>::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Payload bytes are CRC-protected.
+        let payload_at = 31 + 4;
+        let mut flipped = bytes.clone();
+        flipped[payload_at + 2] ^= 0x20;
+        assert!(matches!(
+            WindowFrame::<u64>::decode(&flipped).unwrap_err(),
+            WireError::BadCrc { .. }
+        ));
+    }
+
+    #[test]
+    fn dirty_patch_apply_rejects_empty_bucket_with_fingerprint() {
+        // XOR of two field-valid packed words is always field-valid, so
+        // the one reconstruction error an honest-geometry patch can
+        // reach is a zero counter under a nonzero fingerprint. A patch
+        // is internally consistent on its own — only apply-time
+        // validation against the actual baseline can catch this.
+        let cfg = HkConfig::builder().width(64).k(4).seed(1).build();
+        let mut words = vec![0u64; 64];
+        words[3] = 1u64 << 32; // fp = 1, count = 0 against a zero base
+        let patch = DirtyPatch::<u64> {
+            rows: 1,
+            width: 64,
+            words,
+            store: Vec::new(),
+        };
+        assert_eq!(
+            patch.apply(None, &cfg).unwrap_err(),
+            WireError::Corrupt("empty bucket with fingerprint")
+        );
+    }
+
+    #[test]
+    fn malicious_dirty_frame_rejected_at_apply_and_flags_resync() {
+        use crate::collector::{AggregationRule, Collector, WindowSubmitError};
+        let cfg = HkConfig::builder().width(64).k(4).seed(8).build();
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        feed_and_rotate(&mut win, 1, 0);
+        let mut coll = Collector::<u64>::new(4, AggregationRule::Sum);
+        coll.submit_window_frame(&win.export_frame(2, 3000))
+            .unwrap();
+        // Craft a well-formed v3 frame for rotation 2 whose single diff
+        // reconstructs an empty bucket carrying a fingerprint when
+        // XOR-ed onto the replica's true baseline.
+        let baseline = win.epoch_iter().rev().nth(1).unwrap().sketch();
+        let b = baseline.bucket(0, 0);
+        let base_word = (u64::from(b.fp) << 32) | b.count;
+        let evil_diff = base_word ^ (1u64 << 32);
+        assert_ne!(evil_diff, 0, "diff must survive the zero-diff check");
+        let mut out = Vec::new();
+        encode_frame_header(&mut out, FrameKind::Dirty, 8, 2, 2, 3, 1, 3000);
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        let payload_at = out.len();
+        out.extend_from_slice(DIRTY_MAGIC);
+        hk_common::varint::write_u64(&mut out, 1); // rows
+        hk_common::varint::write_u64(&mut out, 64); // width
+        hk_common::varint::write_bitmap_rle(&mut out, &[1u64]); // bucket 0
+        hk_common::varint::write_u64(&mut out, evil_diff);
+        hk_common::varint::write_u64(&mut out, 0); // empty store
+        let payload_len = out.len() - payload_at;
+        out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        let crc = hk_common::crc::crc32(&out[payload_at..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            coll.submit_window_frame(&out).unwrap_err(),
+            WindowSubmitError::Wire(WireError::Corrupt("empty bucket with fingerprint"))
+        );
+        // The replica kept its pre-frame state and the switch is
+        // flagged: the rotation was seen but never applied.
+        assert_eq!(coll.switch_window(2).unwrap().rotations(), 1);
+        assert_eq!(coll.resync_needed(), vec![2]);
+        // A snapshot heals, as after any loss.
+        feed_and_rotate(&mut win, 2, 1);
+        coll.submit_window_frame(&win.export_frame(2, 3000))
+            .unwrap();
+        assert!(coll.resync_needed().is_empty());
+        assert_windows_bit_equal(&win, coll.switch_window(2).unwrap());
+    }
+
+    #[test]
+    fn dirty_patch_expansion_grows_rows_against_empty_baseline() {
+        // Section III-F expansion between two exports: the new closed
+        // epoch has more rows than the shadow; the extra rows are
+        // diffed — and reconstructed — against an all-empty baseline.
+        let cfg = HkConfig::builder()
+            .arrays(2)
+            .width(2)
+            .k(2)
+            .seed(9)
+            .expansion(ExpansionPolicy {
+                large_counter: 30,
+                blocked_threshold: 40,
+                max_arrays: 6,
+            })
+            .build();
+        use crate::collector::{AggregationRule, Collector, WindowSubmit};
+        let mut coll = Collector::<u64>::new(4, AggregationRule::Sum);
+        let mut win = crate::SlidingTopK::<u64>::new(cfg, 3);
+        // Quiet first period; snapshot + prime.
+        win.insert_batch(&(0..200u64).map(|i| 10_000 + i).collect::<Vec<_>>());
+        win.rotate();
+        coll.submit_window_frame(&win.export_frame(3, 2000))
+            .unwrap();
+        assert!(win.export_dirty(3, 2000).is_none());
+        // Second period: force expansion, then close it.
+        let mut giants: Vec<u64> = Vec::new();
+        for f in 0..4u64 {
+            giants.extend(std::iter::repeat_n(f, 2000));
+        }
+        giants.extend(std::iter::repeat_n(999u64, 3000));
+        win.insert_batch(&giants);
+        win.rotate();
+        let arrays: Vec<usize> = win.epoch_iter().map(|e| e.sketch().arrays()).collect();
+        assert!(arrays.iter().any(|&a| a > 2), "expansion precondition");
+        let bytes = win.export_dirty(3, 2000).expect("fresh shadow");
+        let frame = WindowFrame::<u64>::decode(&bytes).unwrap();
+        assert!(frame.patch.as_ref().unwrap().rows() > 2);
+        assert_eq!(
+            coll.submit_window_frame(&bytes).unwrap(),
+            WindowSubmit::Applied
+        );
+        assert_windows_bit_equal(&win, coll.switch_window(3).unwrap());
     }
 
     #[test]

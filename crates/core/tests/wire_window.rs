@@ -1,7 +1,7 @@
-//! Wire-v2 robustness: the window-frame decoder against malformed
-//! bytes, and the collector's delta protocol against loss, duplication
-//! and reordering — mirroring the v1 `wire.rs` rejection suite at the
-//! frame level.
+//! Wire-v2/v3 robustness: the window-frame decoder against malformed
+//! bytes, and the collector's delta and dirty-patch protocols against
+//! loss, duplication and reordering — mirroring the v1 `wire.rs`
+//! rejection suite at the frame level.
 //!
 //! Decoder properties:
 //!
@@ -60,6 +60,26 @@ fn populated(seed: u64, window: usize, rotations: usize) -> SlidingTopK<u64> {
     win
 }
 
+/// A window primed so it exports dirty patches; returns the window
+/// (three rotations deep) and one valid dirty frame for rotation 3.
+fn populated_with_dirty(seed: u64, window: usize) -> (SlidingTopK<u64>, Vec<u8>) {
+    let mut win = populated(seed, window, 2);
+    assert!(
+        win.export_dirty(1, 2000).is_none(),
+        "first call only primes"
+    );
+    let mut state = seed.wrapping_mul(31) | 1;
+    for _ in 0..2000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        win.insert(&(1000 + state % 800));
+    }
+    win.rotate();
+    let bytes = win.export_dirty(1, 2000).expect("shadow is fresh");
+    (win, bytes)
+}
+
 /// Header byte offsets (see the wire.rs frame diagram).
 const OFF_VERSION: usize = 4;
 const OFF_KIND: usize = 5;
@@ -71,9 +91,11 @@ const HEADER_LEN: usize = 31;
 #[test]
 fn truncation_rejected_at_every_byte() {
     let win = populated(3, 3, 4);
+    let (_, dirty) = populated_with_dirty(3, 3);
     for frame in [
         win.export_frame(1, 2000),
         win.export_delta(1, 2000).unwrap(),
+        dirty,
     ] {
         for cut in 0..frame.len() {
             assert!(
@@ -108,6 +130,26 @@ fn every_payload_byte_is_crc_protected() {
     assert!(
         crc_hits > (frame.len() - HEADER_LEN) / 2,
         "CRC must catch most record corruption, caught {crc_hits}"
+    );
+}
+
+#[test]
+fn every_dirty_payload_byte_is_crc_protected() {
+    // Same sweep over a v3 frame: its single record is the HKDP patch.
+    let (_, frame) = populated_with_dirty(5, 3);
+    let mut crc_hits = 0;
+    for i in HEADER_LEN..frame.len() {
+        let mut bad = frame.clone();
+        bad[i] ^= 0x20;
+        let err = WindowFrame::<u64>::decode(&bad);
+        assert!(err.is_err(), "flip at byte {i} accepted");
+        if matches!(err, Err(WireError::BadCrc { .. })) {
+            crc_hits += 1;
+        }
+    }
+    assert!(
+        crc_hits > (frame.len() - HEADER_LEN) / 2,
+        "CRC must catch most patch corruption, caught {crc_hits}"
     );
 }
 
@@ -196,12 +238,69 @@ fn header_corruption_rejected_specifically() {
 }
 
 #[test]
+fn dirty_header_corruption_rejected_specifically() {
+    let (win, good) = populated_with_dirty(7, 3);
+
+    // Kind and version must agree: a dirty kind under v2…
+    let mut bad = good.clone();
+    bad[OFF_VERSION] = 2;
+    assert_eq!(
+        WindowFrame::<u64>::decode(&bad).unwrap_err(),
+        WireError::Corrupt("frame version/kind pairing")
+    );
+    // …and a delta kind under v3 are both impossible.
+    let mut bad = good.clone();
+    bad[OFF_KIND] = 1;
+    assert_eq!(
+        WindowFrame::<u64>::decode(&bad).unwrap_err(),
+        WireError::Corrupt("frame version/kind pairing")
+    );
+    // So is stamping v3+dirty onto a full frame's byte layout.
+    let full = win.export_frame(1, 2000);
+    let mut bad = full.clone();
+    bad[OFF_VERSION] = 3;
+    bad[OFF_KIND] = 2;
+    assert!(WindowFrame::<u64>::decode(&bad).is_err());
+
+    // A patch needs a baseline: rotation < 2 is impossible.
+    let mut bad = good.clone();
+    bad[15..23].copy_from_slice(&1u64.to_le_bytes());
+    assert_eq!(
+        WindowFrame::<u64>::decode(&bad).unwrap_err(),
+        WireError::Corrupt("dirty before second rotation")
+    );
+
+    // A W = 1 ring never exports patches.
+    let mut bad = good.clone();
+    bad[OFF_WINDOW] = 1;
+    bad[OFF_WINDOW + 1] = 0;
+    assert_eq!(
+        WindowFrame::<u64>::decode(&bad).unwrap_err(),
+        WireError::Corrupt("dirty window size")
+    );
+
+    // Exactly one record, always.
+    let mut bad = good.clone();
+    bad[OFF_LIVE] = 2;
+    assert_eq!(
+        WindowFrame::<u64>::decode(&bad).unwrap_err(),
+        WireError::Corrupt("dirty epoch count")
+    );
+}
+
+#[test]
 fn trailing_garbage_rejected() {
     let win = populated(7, 2, 2);
     let mut frame = win.export_frame(0, 100);
     frame.push(0);
     assert_eq!(
         WindowFrame::<u64>::decode(&frame).unwrap_err(),
+        WireError::Corrupt("trailing bytes")
+    );
+    let (_, mut dirty) = populated_with_dirty(7, 3);
+    dirty.push(0);
+    assert_eq!(
+        WindowFrame::<u64>::decode(&dirty).unwrap_err(),
         WireError::Corrupt("trailing bytes")
     );
 }
@@ -282,6 +381,84 @@ fn protocol_survives_random_loss_dup_reorder() {
 
         // Channel: walk the frame list, sometimes dropping, sometimes
         // delivering twice, sometimes swapping with the next frame.
+        let mut i = 0;
+        while i < frames.len() {
+            if rng.bernoulli(0.15) && i + 1 < frames.len() {
+                frames.swap(i, i + 1);
+            }
+            if rng.bernoulli(0.25) {
+                i += 1; // dropped
+                continue;
+            }
+            let repeats = if rng.bernoulli(0.2) { 2 } else { 1 };
+            for _ in 0..repeats {
+                let before = digest(coll.switch_window(0).unwrap());
+                let outcome = coll.submit_window_frame(&frames[i]).unwrap();
+                let after = digest(coll.switch_window(0).unwrap());
+                match outcome {
+                    WindowSubmit::Duplicate | WindowSubmit::ResyncRequested => {
+                        assert_eq!(before, after, "non-apply outcomes must not mutate");
+                    }
+                    _ => {}
+                }
+            }
+            let replica = coll.switch_window(0).unwrap();
+            assert!(
+                replica.rotations() <= win.rotations(),
+                "seed {channel_seed}: replica ran ahead"
+            );
+            i += 1;
+        }
+
+        // Whatever happened, one clean snapshot restores exactness.
+        coll.submit_window_frame(&win.export_frame(0, 1000))
+            .unwrap();
+        assert!(coll.resync_needed().is_empty(), "seed {channel_seed}");
+        assert_eq!(
+            digest(coll.switch_window(0).unwrap()),
+            digest(&win),
+            "seed {channel_seed}: snapshot must restore bit-exactness"
+        );
+    }
+}
+
+#[test]
+fn dirty_protocol_survives_random_loss_dup_reorder() {
+    // The delta sweep, re-run over the dirty-patch stream: the switch
+    // exports with the telemetry fallback chain (dirty once the shadow
+    // is primed, delta before), and the collector faces drops,
+    // duplicates and adjacent swaps. A lost patch poisons every later
+    // patch for that switch until re-anchored — exactly what the
+    // rotation-id gating must absorb without ever applying one against
+    // the wrong baseline.
+    for channel_seed in 0..20u64 {
+        let mut rng = XorShift64::new(channel_seed * 113 + 5);
+        let mut win = SlidingTopK::<u64>::new(cfg(4), 3);
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        coll.submit_window_frame(&win.export_frame(0, 1000))
+            .unwrap();
+
+        let mut state = 9u64;
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut dirty_count = 0;
+        for _ in 0..8 {
+            for _ in 0..1000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                win.insert(&(state % 50));
+            }
+            win.rotate();
+            frames.push(match win.export_dirty(0, 1000) {
+                Some(b) => {
+                    dirty_count += 1;
+                    b
+                }
+                None => win.export_delta(0, 1000).unwrap(),
+            });
+        }
+        assert_eq!(dirty_count, 7, "every post-priming rotation is dirty");
+
         let mut i = 0;
         while i < frames.len() {
             if rng.bernoulli(0.15) && i + 1 < frames.len() {

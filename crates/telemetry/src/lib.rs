@@ -31,9 +31,15 @@
 //!
 //! * **Full frames** carry every live epoch — O(W · sketch) bytes; used
 //!   for the initial snapshot, for resync, and as the only frame kind
-//!   when delta mode is off.
+//!   under [`ExportMode::Full`].
 //! * **Delta frames** carry one closed epoch — O(sketch) bytes per
 //!   rotation, the steady-state export cost, independent of `W`.
+//! * **Dirty frames** ([`ExportMode::Dirty`]) carry the closed epoch as
+//!   a changed-bucket patch against the previous export — O(changed
+//!   buckets) bytes per rotation. When the exporter's shadow isn't
+//!   fresh (first rotation, or a rotation whose export was skipped),
+//!   the switch degrades one step to a delta, then to a full frame;
+//!   the per-frame kind labels in [`FleetStats`] account for the mix.
 //! * **Loss** shows up as a rotation-id gap at the collector, which
 //!   buffers the early delta, flags the switch in
 //!   [`Collector::resync_needed`], and is healed by the next full
@@ -64,6 +70,31 @@ use hk_common::prng::XorShift64;
 /// sketch seed so switch assignment is independent of bucket placement.
 const PARTITION_SALT: u64 = 0xF1EE_7000_5A17_0000;
 
+/// Steady-state export policy of a fleet's switches: what each switch
+/// ships at a period boundary, in decreasing bytes-per-rotation order.
+/// Each mode degrades one step when its preconditions fail (no closed
+/// epoch, no fresh shadow) rather than skipping the rotation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExportMode {
+    /// A full snapshot every rotation — O(W · sketch) bytes.
+    Full,
+    /// One closed epoch per rotation — O(sketch) bytes.
+    #[default]
+    Delta,
+    /// Changed buckets of the closed epoch per rotation — O(changed)
+    /// bytes, at the cost of one shadow matrix per switch.
+    Dirty,
+}
+
+/// What a shipped frame actually was — under [`ExportMode::Dirty`] the
+/// fallback chain mixes kinds, so the label rides with each frame.
+#[derive(Debug, Clone, Copy)]
+enum ExportKind {
+    Full,
+    Delta,
+    Dirty,
+}
+
 /// Configuration of a fleet scenario run.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -81,10 +112,8 @@ pub struct FleetConfig {
     pub memory_bytes: usize,
     /// Master seed: sketches, flow partitioning, and channel noise.
     pub seed: u64,
-    /// Steady-state export mode: `true` ships one delta per rotation
-    /// after the initial snapshot; `false` ships a full frame every
-    /// rotation.
-    pub delta: bool,
+    /// Steady-state export policy after the initial snapshot.
+    pub mode: ExportMode,
     /// Per-frame drop probability on the export channel.
     pub loss: f64,
     /// Probability that a frame is reordered behind its successor
@@ -101,7 +130,7 @@ impl Default for FleetConfig {
             k: 50,
             memory_bytes: 64 * 1024,
             seed: 1,
-            delta: true,
+            mode: ExportMode::Delta,
             loss: 0.0,
             reorder: 0.0,
         }
@@ -125,6 +154,8 @@ pub struct FleetStats {
     pub full_frames: u64,
     /// Delta frames sent.
     pub delta_frames: u64,
+    /// Dirty (changed-bucket patch) frames sent.
+    pub dirty_frames: u64,
     /// Full snapshots sent *in answer to a resync request*.
     pub resyncs: u64,
     /// Deltas the collector dropped as duplicates.
@@ -143,13 +174,13 @@ pub struct FleetStats {
 /// # Examples
 ///
 /// ```
-/// use hk_telemetry::{Fleet, FleetConfig};
+/// use hk_telemetry::{ExportMode, Fleet, FleetConfig};
 ///
 /// let mut fleet = Fleet::<u64>::new(FleetConfig {
 ///     switches: 2,
 ///     window: 3,
 ///     epoch_packets: 1000,
-///     delta: true,
+///     mode: ExportMode::Dirty,
 ///     ..FleetConfig::default()
 /// });
 /// let trace: Vec<u64> = (0..5000u64).map(|i| i % 40).collect();
@@ -212,13 +243,18 @@ impl<K: FlowKey> Fleet<K> {
             cfg,
         };
         // Initial snapshots anchor every delta stream.
-        let snapshots: Vec<(usize, Vec<u8>)> = fleet
+        let snapshots: Vec<(Vec<u8>, ExportKind)> = fleet
             .switches
             .iter()
             .enumerate()
-            .map(|(i, sw)| (i, sw.export_frame(i as u64, fleet.epoch_budget())))
+            .map(|(i, sw)| {
+                (
+                    sw.export_frame(i as u64, fleet.epoch_budget()),
+                    ExportKind::Full,
+                )
+            })
             .collect();
-        fleet.ship(snapshots, false);
+        fleet.ship(snapshots);
         fleet
     }
 
@@ -251,37 +287,46 @@ impl<K: FlowKey> Fleet<K> {
     }
 
     /// Crosses one period boundary fleet-wide: rotates every switch,
-    /// exports each one's frame (delta or full per
-    /// [`FleetConfig::delta`]), ships the batch through the lossy
-    /// channel, and then services any resync requests with full
-    /// snapshots (also through the channel — a lost resync is retried
-    /// at the next rotation).
+    /// exports each one's frame per [`FleetConfig::mode`], ships the
+    /// batch through the lossy channel, and then services any resync
+    /// requests with full snapshots (also through the channel — a lost
+    /// resync is retried at the next rotation).
     pub fn rotate(&mut self) {
         for sw in &mut self.switches {
             sw.rotate();
         }
         self.stats.rotations += 1;
         let budget = self.epoch_budget();
-        let frames: Vec<(usize, Vec<u8>)> = self
+        let mode = self.cfg.mode;
+        let frames: Vec<(Vec<u8>, ExportKind)> = self
             .switches
-            .iter()
+            .iter_mut()
             .enumerate()
             .map(|(i, sw)| {
-                // A W = 1 ring never has a closed epoch to delta (its
-                // only slot is the accumulating one), so delta mode
-                // degrades to full frames there instead of failing.
-                let bytes = match self.cfg.delta {
-                    true => sw
-                        .export_delta(i as u64, budget)
-                        .unwrap_or_else(|| sw.export_frame(i as u64, budget)),
-                    false => sw.export_frame(i as u64, budget),
-                };
-                (i, bytes)
+                // Each mode degrades one step instead of skipping the
+                // rotation: a W = 1 ring never has a closed epoch to
+                // delta (its only slot is the accumulating one), and a
+                // dirty export additionally needs a shadow of the
+                // previous rotation's export (absent on the first
+                // rotation; stale after resolution changes).
+                match mode {
+                    ExportMode::Full => (sw.export_frame(i as u64, budget), ExportKind::Full),
+                    ExportMode::Delta => match sw.export_delta(i as u64, budget) {
+                        Some(b) => (b, ExportKind::Delta),
+                        None => (sw.export_frame(i as u64, budget), ExportKind::Full),
+                    },
+                    ExportMode::Dirty => match sw.export_dirty(i as u64, budget) {
+                        Some(b) => (b, ExportKind::Dirty),
+                        None => match sw.export_delta(i as u64, budget) {
+                            Some(b) => (b, ExportKind::Delta),
+                            None => (sw.export_frame(i as u64, budget), ExportKind::Full),
+                        },
+                    },
+                }
             })
             .collect();
-        self.stats.bytes_last_rotation = frames.iter().map(|(_, b)| b.len() as u64).sum();
-        let delta_mode = self.cfg.delta && self.cfg.window > 1;
-        self.ship(frames, delta_mode);
+        self.stats.bytes_last_rotation = frames.iter().map(|(b, _)| b.len() as u64).sum();
+        self.ship(frames);
         self.service_resyncs(true);
     }
 
@@ -295,20 +340,19 @@ impl<K: FlowKey> Fleet<K> {
         if wanted.is_empty() {
             return;
         }
-        let frames: Vec<(usize, Vec<u8>)> = wanted
+        let frames: Vec<(Vec<u8>, ExportKind)> = wanted
             .iter()
             .filter_map(|&id| {
-                let i = id as usize;
                 self.switches
-                    .get(i)
-                    .map(|sw| (i, sw.export_frame(id, budget)))
+                    .get(id as usize)
+                    .map(|sw| (sw.export_frame(id, budget), ExportKind::Full))
             })
             .collect();
         self.stats.resyncs += frames.len() as u64;
         if lossy {
-            self.ship(frames, false);
+            self.ship(frames);
         } else {
-            for (_, bytes) in frames {
+            for (bytes, _) in frames {
                 self.stats.frames_sent += 1;
                 self.stats.full_frames += 1;
                 self.stats.bytes_sent += bytes.len() as u64;
@@ -336,18 +380,18 @@ impl<K: FlowKey> Fleet<K> {
     /// own next frame — a genuine same-stream inversion that exercises
     /// the collector's out-of-order delta buffering (an in-batch swap
     /// would only exchange frames of different switches, which are
-    /// independent streams and no reordering at all). `delta` only
-    /// labels the accounting.
-    fn ship(&mut self, frames: Vec<(usize, Vec<u8>)>, delta: bool) {
+    /// independent streams and no reordering at all). The per-frame
+    /// [`ExportKind`] only labels the accounting.
+    fn ship(&mut self, frames: Vec<(Vec<u8>, ExportKind)>) {
         // Frames delayed by the previous shipment come out behind this
         // one; frames delayed now wait for the next.
         let overdue = std::mem::take(&mut self.delayed);
-        for (_, bytes) in frames {
+        for (bytes, kind) in frames {
             self.stats.frames_sent += 1;
-            if delta {
-                self.stats.delta_frames += 1;
-            } else {
-                self.stats.full_frames += 1;
+            match kind {
+                ExportKind::Full => self.stats.full_frames += 1,
+                ExportKind::Delta => self.stats.delta_frames += 1,
+                ExportKind::Dirty => self.stats.dirty_frames += 1,
             }
             self.stats.bytes_sent += bytes.len() as u64;
             if self.cfg.loss > 0.0 && self.channel_rng.bernoulli(self.cfg.loss) {
@@ -542,7 +586,7 @@ mod tests {
             switches: 3,
             window: 4,
             epoch_packets: 5_000,
-            delta: false,
+            mode: ExportMode::Full,
             ..FleetConfig::default()
         });
         fleet.run_trace(&zipfish(40_000, 9));
@@ -563,7 +607,7 @@ mod tests {
             switches: 3,
             window: 4,
             epoch_packets: 5_000,
-            delta: true,
+            mode: ExportMode::Delta,
             ..FleetConfig::default()
         });
         fleet.run_trace(&zipfish(40_000, 9));
@@ -617,7 +661,7 @@ mod tests {
             switches: 2,
             window: 1,
             epoch_packets: 1_000,
-            delta: true,
+            mode: ExportMode::Delta,
             ..FleetConfig::default()
         });
         fleet.run_trace(&zipfish(5_000, 3));
@@ -639,7 +683,7 @@ mod tests {
             switches: 2,
             window: 3,
             epoch_packets: 1_000,
-            delta: true,
+            mode: ExportMode::Delta,
             reorder: 0.4,
             seed: 6,
             ..FleetConfig::default()
@@ -658,23 +702,91 @@ mod tests {
     #[test]
     fn delta_frames_are_fraction_of_full() {
         // Steady state: a delta rotation ships ~1/W of a full rotation.
-        let mk = |delta| {
+        let mk = |mode| {
             let mut fleet = Fleet::<u64>::new(FleetConfig {
                 switches: 2,
                 window: 4,
                 epoch_packets: 4_000,
-                delta,
+                mode,
                 ..FleetConfig::default()
             });
             fleet.run_trace(&zipfish(48_000, 5)); // 12 periods: ring cycles
             fleet.stats().bytes_last_rotation
         };
-        let (delta_bytes, full_bytes) = (mk(true), mk(false));
+        let (delta_bytes, full_bytes) = (mk(ExportMode::Delta), mk(ExportMode::Full));
         let ratio = delta_bytes as f64 / full_bytes as f64;
         let bound = 1.0 / 4.0 + 0.1;
         assert!(
             ratio <= bound,
             "delta/full = {ratio:.3} exceeds 1/W + eps = {bound:.3}"
+        );
+    }
+
+    #[test]
+    fn lossless_dirty_mode_replicas_are_bit_exact() {
+        let mut fleet = Fleet::<u64>::new(FleetConfig {
+            switches: 3,
+            window: 4,
+            epoch_packets: 5_000,
+            mode: ExportMode::Dirty,
+            ..FleetConfig::default()
+        });
+        fleet.run_trace(&zipfish(40_000, 9));
+        let s = *fleet.stats();
+        assert_eq!(s.rotations, 8);
+        // Rotation 1 primes every shadow (delta fallback); rotations
+        // 2..=8 all ship dirty — the fallback chain is exact, not lossy.
+        assert_eq!(s.delta_frames, 3, "one priming delta per switch");
+        assert_eq!(s.dirty_frames, 3 * 7);
+        assert!(fleet.collector().resync_needed().is_empty());
+        for (i, sw) in fleet.switches().iter().enumerate() {
+            let replica = fleet.collector().switch_window(i as u64).unwrap();
+            assert_eq!(window_digest(replica), window_digest(sw), "switch {i}");
+        }
+    }
+
+    #[test]
+    fn single_epoch_window_dirty_mode_degrades_to_full() {
+        // W = 1 satisfies neither the dirty nor the delta precondition:
+        // the chain bottoms out at full frames every rotation.
+        let mut fleet = Fleet::<u64>::new(FleetConfig {
+            switches: 2,
+            window: 1,
+            epoch_packets: 1_000,
+            mode: ExportMode::Dirty,
+            ..FleetConfig::default()
+        });
+        fleet.run_trace(&zipfish(5_000, 3));
+        assert_eq!(fleet.stats().rotations, 5);
+        assert_eq!(fleet.stats().dirty_frames, 0, "W=1 ships full frames");
+        assert_eq!(fleet.stats().delta_frames, 0, "W=1 ships full frames");
+        for (i, sw) in fleet.switches().iter().enumerate() {
+            let replica = fleet.collector().switch_window(i as u64).unwrap();
+            assert_eq!(window_digest(replica), window_digest(sw), "switch {i}");
+        }
+    }
+
+    #[test]
+    fn dirty_rotation_bytes_stay_below_delta() {
+        // The steady-state cost ladder the modes exist for: dirty only
+        // pays for buckets the closed epoch changed, so on any traffic
+        // with re-used flows it must undercut a delta, which always
+        // ships the whole sketch.
+        let mk = |mode| {
+            let mut fleet = Fleet::<u64>::new(FleetConfig {
+                switches: 2,
+                window: 4,
+                epoch_packets: 4_000,
+                mode,
+                ..FleetConfig::default()
+            });
+            fleet.run_trace(&zipfish(48_000, 5));
+            fleet.stats().bytes_last_rotation
+        };
+        let (dirty_bytes, delta_bytes) = (mk(ExportMode::Dirty), mk(ExportMode::Delta));
+        assert!(
+            dirty_bytes < delta_bytes,
+            "dirty {dirty_bytes} bytes/rotation must undercut delta {delta_bytes}"
         );
     }
 }

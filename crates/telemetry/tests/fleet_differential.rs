@@ -17,7 +17,7 @@
 
 use heavykeeper::sliding::SlidingTopK;
 use hk_common::key::FlowKey;
-use hk_telemetry::{window_digest, Fleet, FleetConfig};
+use hk_telemetry::{window_digest, ExportMode, Fleet, FleetConfig};
 
 /// Skewed deterministic stream: a few persistent elephants over a long
 /// mouse tail, shaped like the paper's workloads.
@@ -73,7 +73,7 @@ fn full_frames_reassemble_bit_exact_across_geometries() {
             switches,
             window,
             epoch_packets: 3_000,
-            delta: false,
+            mode: ExportMode::Full,
             seed: 7,
             ..FleetConfig::default()
         });
@@ -96,7 +96,7 @@ fn lossless_deltas_reassemble_bit_exact() {
         switches: 3,
         window: 4,
         epoch_packets: 4_000,
-        delta: true,
+        mode: ExportMode::Delta,
         seed: 3,
         ..FleetConfig::default()
     });
@@ -119,7 +119,7 @@ fn delta_mode_with_loss_recovers_bit_exact_after_resync() {
         switches: 3,
         window: 4,
         epoch_packets: 3_000,
-        delta: true,
+        mode: ExportMode::Delta,
         loss: 0.3,
         reorder: 0.15,
         seed: 11,
@@ -156,7 +156,100 @@ fn loss_sweep_always_converges() {
                 switches: 2,
                 window: 3,
                 epoch_packets: 1_000,
-                delta: true,
+                mode: ExportMode::Delta,
+                loss,
+                reorder: 0.2,
+                seed,
+                ..FleetConfig::default()
+            });
+            fleet.run_trace(&stream(12_000, seed * 7 + 1));
+            fleet.reconcile();
+            for (i, sw) in fleet.switches().iter().enumerate() {
+                let replica = fleet.collector().switch_window(i as u64).unwrap();
+                assert_eq!(
+                    window_digest(replica),
+                    window_digest(sw),
+                    "loss {loss} seed {seed} switch {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lossless_dirty_patches_reassemble_bit_exact() {
+    let mut fleet = Fleet::<u64>::new(FleetConfig {
+        switches: 3,
+        window: 4,
+        epoch_packets: 4_000,
+        mode: ExportMode::Dirty,
+        seed: 3,
+        ..FleetConfig::default()
+    });
+    fleet.run_trace(&stream(48_000, 5));
+    // Steady state: one priming delta per switch (rotation 1), dirty
+    // patches everywhere after.
+    assert_eq!(fleet.stats().delta_frames, 3);
+    assert_eq!(fleet.stats().dirty_frames, 3 * 11);
+    assert_eq!(fleet.stats().frames_lost, 0);
+    for (i, sw) in fleet.switches().iter().enumerate() {
+        let replica = fleet.collector().switch_window(i as u64).unwrap();
+        assert_bit_exact(replica, sw, &format!("switch {i}"));
+    }
+}
+
+#[test]
+fn dirty_mode_with_loss_recovers_bit_exact_after_resync() {
+    // The same punishment the delta test takes, in dirty mode: 30%
+    // loss plus reordering. A lost dirty patch leaves the replica's
+    // baseline behind, so *every* later patch for that switch is
+    // unusable until a resync snapshot re-anchors it — the strongest
+    // self-healing obligation in the protocol.
+    let mut fleet = Fleet::<u64>::new(FleetConfig {
+        switches: 3,
+        window: 4,
+        epoch_packets: 3_000,
+        mode: ExportMode::Dirty,
+        loss: 0.3,
+        reorder: 0.15,
+        seed: 11,
+        ..FleetConfig::default()
+    });
+    fleet.run_trace(&stream(60_000, 13));
+    let s = *fleet.stats();
+    assert!(s.frames_lost > 0, "the channel must actually drop frames");
+    assert!(
+        s.dirty_frames > 0,
+        "the exporter must actually ship patches"
+    );
+    assert!(
+        s.resyncs > 0,
+        "loss at this rate must have triggered resyncs"
+    );
+
+    fleet.reconcile();
+    assert!(fleet.collector().resync_needed().is_empty());
+    for (i, sw) in fleet.switches().iter().enumerate() {
+        let replica = fleet
+            .collector()
+            .switch_window(i as u64)
+            .expect("reconcile installs every switch");
+        assert_bit_exact(replica, sw, &format!("switch {i} after resync"));
+    }
+}
+
+#[test]
+fn dirty_loss_sweep_always_converges() {
+    // Digest-level sweep over loss rates and seeds in dirty mode:
+    // whatever the channel does to the patch stream, reconcile ends
+    // bit-exact.
+    for loss in [0.05, 0.5, 0.8] {
+        for seed in 1..=4u64 {
+            let mut fleet = Fleet::<u64>::new(FleetConfig {
+                switches: 2,
+                window: 3,
+                epoch_packets: 1_000,
+                mode: ExportMode::Dirty,
                 loss,
                 reorder: 0.2,
                 seed,
@@ -186,7 +279,7 @@ fn collector_windowed_topk_tracks_oracle_under_loss() {
         window: 4,
         epoch_packets: 5_000,
         k: 10,
-        delta: true,
+        mode: ExportMode::Delta,
         loss: 0.05,
         seed: 2,
         ..FleetConfig::default()
