@@ -30,7 +30,7 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["layout-report", "delta"];
+const BOOL_FLAGS: &[&str] = &["layout-report", "delta", "recover"];
 
 /// Parsed command line: one subcommand plus `--flag value` options and
 /// valueless boolean switches ([`BOOL_FLAGS`]).

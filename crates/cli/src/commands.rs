@@ -1,7 +1,7 @@
 //! The `hk` subcommands.
 
 use crate::args::{Args, CliError};
-use heavykeeper::{BasicTopK, MinimumTopK, ParallelTopK, ShardedEngine, SlidingTopK};
+use heavykeeper::{BasicTopK, FaultPlan, MinimumTopK, ParallelTopK, ShardedEngine, SlidingTopK};
 use hk_baselines::{
     CmSketchTopK, ColdFilterTopK, CountSketchTopK, CounterTreeTopK, CssTopK, ElasticTopK,
     FrequentTopK, HeavyGuardianTopK, LossyCountingTopK, SpaceSavingTopK,
@@ -23,7 +23,8 @@ USAGE:
               [--packets N] [--flows M] [--skew S] [--seed X]
   hk run      --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
               [--batch N] [--shards S] [--window W] [--epoch-packets N]
-              [--layout-report]
+              [--layout-report] [--fault PLAN] [--recover]
+              [--checkpoint-every N] [--min-recall R]
   hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
   hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
   hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
@@ -41,6 +42,13 @@ Algorithms for --algo:
   parallel (default), minimum, basic, space-saving, lossy-counting,
   frequent, css, cm-sketch, count-sketch, elastic, cold-filter,
   counter-tree, heavy-guardian
+
+Fault injection (--algo parallel only):
+  --fault takes a comma-separated plan of kind:shard@packets entries,
+  e.g. `kill:2@50000,wedge:1@90000` (kinds: kill, mid-walk, wedge).
+  With --recover the engine checkpoints every --checkpoint-every
+  batches (default 8) and respawns dead shards from their last
+  checkpoint; --min-recall R fails the run if precision drops below R.
 ";
 
 /// Builds an algorithm by CLI name. The box is `Send` so instances can
@@ -101,6 +109,14 @@ pub const ALGO_NAMES: &[&str] = &[
 /// combined with `--shards`. Accuracy is evaluated against an exact
 /// oracle over the *window-covered suffix* of the trace, the part the
 /// sliding view is supposed to see.
+///
+/// `--fault PLAN` arms the engine's deterministic fault-injection
+/// harness (see [`FaultPlan::parse`]) and `--recover` turns on
+/// checkpoint/respawn recovery: shards checkpoint every
+/// `--checkpoint-every` batches (and at every rotation barrier) and a
+/// dying worker is respawned from its last checkpoint, with the dark
+/// window reported after the stream. Both ride the concrete
+/// checkpointable engines, so they require `--algo parallel`.
 pub fn run_stream(args: &Args) -> Result<(), CliError> {
     let trace = load(args)?;
     let algo_name = args.get_or("algo", "parallel");
@@ -115,6 +131,22 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
     }
     if shards == 0 {
         return Err(CliError::Usage("--shards must be positive".into()));
+    }
+    let fault = match args.get_or("fault", "") {
+        "" => None,
+        spec => Some(FaultPlan::parse(spec).map_err(CliError::Usage)?),
+    };
+    let recover = args.is_set("recover");
+    let ckpt_every: u64 = args.num_or("checkpoint-every", 8)?;
+    // Fault injection and recovery need the concrete checkpointable
+    // engines (ParallelTopK / SlidingTopK), not a boxed algorithm —
+    // and the engine path even at --shards 1.
+    let fault_mode = fault.is_some() || recover;
+    if fault_mode && algo_name != "parallel" {
+        return Err(CliError::Usage(format!(
+            "--fault/--recover ride the checkpointable engines and \
+             support --algo parallel only (got `{algo_name}`)"
+        )));
     }
 
     if args.is_set("layout-report") {
@@ -157,21 +189,39 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             0 => trace.len().div_ceil(2 * window).max(1),
             n => n,
         };
-        return if shards > 1 {
+        return if shards > 1 || fault_mode {
             let mut engine = ShardedEngine::from_fn(shards, k, |_| {
                 SlidingTopK::<u64>::with_memory(mem / shards, k, seed, window)
             });
-            stream_windowed(&mut engine, &trace, batch, epoch_packets, window, shards, k)?;
+            if fault_mode {
+                arm_fault_harness(&mut engine, fault.as_ref(), recover, ckpt_every)?;
+            }
+            let report =
+                stream_windowed(&mut engine, &trace, batch, epoch_packets, window, shards, k)?;
             // Worker death is reported, never silently absorbed into
-            // healthy-looking numbers.
-            check_shard_health(&engine)
+            // healthy-looking numbers — unless --recover healed it,
+            // in which case the dark window is reported instead.
+            finish_engine_run(&mut engine, recover, trace.len() as u64)?;
+            enforce_min_recall(args, report.precision)
         } else {
             let mut win = SlidingTopK::<u64>::with_memory(mem, k, seed, window);
-            stream_windowed(&mut win, &trace, batch, epoch_packets, window, shards, k)
+            let report =
+                stream_windowed(&mut win, &trace, batch, epoch_packets, window, shards, k)?;
+            enforce_min_recall(args, report.precision)
         };
     }
 
-    if shards > 1 {
+    if fault_mode {
+        // Concrete ParallelTopK shards (not boxed) so the engine can
+        // checkpoint and respawn them.
+        let mut engine = ShardedEngine::from_fn(shards, k, |_| {
+            ParallelTopK::<u64>::with_memory(mem / shards, k, seed)
+        });
+        arm_fault_harness(&mut engine, fault.as_ref(), recover, ckpt_every)?;
+        let report = stream_steady(&mut engine, &trace, batch, shards, k);
+        finish_engine_run(&mut engine, recover, trace.len() as u64)?;
+        enforce_min_recall(args, report.precision)
+    } else if shards > 1 {
         // One instance per shard, each charged an equal share of the
         // memory budget so the total matches the single-shard run. The
         // engine stays a concrete handle so worker death is checked
@@ -181,13 +231,76 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             instances.push(make_algo(algo_name, mem / shards, k, seed)?);
         }
         let mut engine = ShardedEngine::from_shards(instances, k);
-        stream_steady(&mut engine, &trace, batch, shards, k);
-        check_shard_health(&engine)
+        let report = stream_steady(&mut engine, &trace, batch, shards, k);
+        check_shard_health(&engine)?;
+        enforce_min_recall(args, report.precision)
     } else {
         let mut algo = make_algo(algo_name, mem, k, seed)?;
-        stream_steady(&mut algo, &trace, batch, shards, k);
-        Ok(())
+        let report = stream_steady(&mut algo, &trace, batch, shards, k);
+        enforce_min_recall(args, report.precision)
     }
+}
+
+/// Arms the checkpoint/respawn plane and the deterministic fault plan
+/// on a freshly built engine, before the first packet flows.
+fn arm_fault_harness<A>(
+    engine: &mut ShardedEngine<u64, A>,
+    fault: Option<&FaultPlan>,
+    recover: bool,
+    ckpt_every: u64,
+) -> Result<(), CliError>
+where
+    A: PreparedInsert<u64> + hk_common::algorithm::ShardCheckpoint + Send + 'static,
+{
+    engine
+        .enable_checkpoints(ckpt_every)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    if let Some(plan) = fault {
+        engine.set_fault_plan(plan);
+    }
+    engine.set_auto_recover(recover);
+    Ok(())
+}
+
+/// Post-stream wrap-up for a fault-mode engine run: with `--recover`,
+/// heal any shard that died after the last ingest (auto-recovery only
+/// triggers on the next insert) and print the dark-window accounting;
+/// then apply the usual health check so an *unrecovered* death still
+/// fails the run.
+fn finish_engine_run<A>(
+    engine: &mut ShardedEngine<u64, A>,
+    recover: bool,
+    stream_packets: u64,
+) -> Result<(), CliError>
+where
+    A: PreparedInsert<u64> + Send + 'static,
+{
+    if recover {
+        engine.recover().map_err(|e| CliError::Io(e.to_string()))?;
+        let acc = hk_metrics::RecoveryAccounting::from_reports(engine.recovery_log());
+        if acc.recoveries > 0 {
+            println!(
+                "recovery: {acc} | {:.4}% of stream dark",
+                100.0 * acc.dark_fraction(stream_packets)
+            );
+        }
+    }
+    check_shard_health(engine)
+}
+
+/// Applies the `--min-recall` floor to a run's precision, turning the
+/// score into an exit status for CI (same contract as `hk fleet`).
+fn enforce_min_recall(args: &Args, precision: f64) -> Result<(), CliError> {
+    let bound: f64 = args.num_or("min-recall", -1.0)?;
+    if bound >= 0.0 {
+        if precision < bound {
+            return Err(CliError::Io(format!(
+                "run precision {precision:.4} below --min-recall {bound:.4}"
+            )));
+        }
+        println!("recall bound {bound:.2} satisfied");
+    }
+    Ok(())
 }
 
 /// Fails a run whose sharded engine took worker deaths, naming the dead
@@ -212,7 +325,7 @@ fn stream_steady<A: TopKAlgorithm<u64>>(
     batch: usize,
     shards: usize,
     k: usize,
-) {
+) -> hk_metrics::AccuracyReport {
     let oracle = ExactCounter::from_packets(&trace.packets);
     let start = Instant::now();
     for chunk in trace.packets.chunks(batch) {
@@ -249,6 +362,7 @@ fn stream_steady<A: TopKAlgorithm<u64>>(
             oracle.count(flow)
         );
     }
+    report
 }
 
 /// The windowed ingest + report body of `hk run --window`, generic so
@@ -263,7 +377,7 @@ fn stream_windowed<A>(
     window: usize,
     shards: usize,
     k: usize,
-) -> Result<(), CliError>
+) -> Result<hk_metrics::AccuracyReport, CliError>
 where
     A: TopKAlgorithm<u64> + hk_common::algorithm::EpochRotate,
 {
@@ -316,7 +430,7 @@ where
             oracle.count(flow)
         );
     }
-    Ok(())
+    Ok(report)
 }
 
 /// `hk generate`.

@@ -160,6 +160,36 @@ pub trait PreparedInsert<K: FlowKey>: TopKAlgorithm<K> {
     }
 }
 
+/// Capability trait for algorithms whose measurement state can be
+/// serialized into self-contained restart bytes and rebuilt from them.
+///
+/// This is the restartable-state contract the sharded engine's
+/// checkpoint/respawn recovery rides: a worker's algorithm is
+/// periodically encoded into an in-engine checkpoint, and when the
+/// worker dies the shard is respawned from the last checkpoint instead
+/// of staying dark. The encoding is the algorithm's own wire format
+/// (sketch wire-v1, window frames), so checkpoints double as export
+/// frames and vice versa.
+///
+/// **Bit-exactness contract:** `restore_checkpoint(encode_checkpoint())`
+/// must rebuild an instance whose recorded state — bucket words, top-k
+/// store, epoch ring — is bit-exact with the original, and re-encoding
+/// the restored instance must reproduce the same bytes. State the
+/// encoding declares transient (e.g. the decay RNG position, which
+/// re-seeds from config and only perturbs future coin flips) is exempt.
+/// The recovery differential tests pin this down.
+pub trait ShardCheckpoint {
+    /// Serializes the full restartable state into self-contained bytes.
+    fn encode_checkpoint(&self) -> Vec<u8>;
+
+    /// Rebuilds an instance from [`ShardCheckpoint::encode_checkpoint`]
+    /// bytes. `None` when the bytes do not decode (corrupt or foreign
+    /// payload) — never panics.
+    fn restore_checkpoint(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
+}
+
 impl<K: FlowKey, T: PreparedInsert<K> + ?Sized> PreparedInsert<K> for Box<T> {
     fn hash_spec(&self) -> HashSpec {
         (**self).hash_spec()

@@ -160,6 +160,11 @@ struct SwitchWindow<K: FlowKey> {
     /// (rather than from the pending buffer emptying) means a gap delta
     /// discarded by the bounded buffer can never silently clear it.
     max_seen: u64,
+    /// Collector-clock tick of the last frame received from this switch
+    /// (any frame — even a duplicate proves the switch is alive).
+    /// Compared against the collector's running clock by
+    /// [`Collector::stale_switches`] to spot switches gone silent.
+    last_progress: u64,
 }
 
 impl<K: FlowKey> SwitchWindow<K> {
@@ -210,6 +215,11 @@ pub struct Collector<K: FlowKey> {
     /// Switches flagged for resync before any snapshot arrived (no
     /// [`SwitchWindow`] entry exists yet to carry the flag).
     resync_no_snapshot: HashSet<u64>,
+    /// Logical clock: ticks once per window-frame submission (from any
+    /// switch). Staleness is measured against it — "idle for `n`" means
+    /// "`n` frames arrived fleet-wide since this switch last spoke",
+    /// which needs no wall clock and stays deterministic in tests.
+    clock: u64,
     /// Reusable query scratch: the candidate buffer and dedup set keep
     /// their capacity across [`Collector::top_k`] /
     /// [`Collector::window_top_k`] calls instead of reallocating per
@@ -245,6 +255,7 @@ impl<K: FlowKey> Clone for Collector<K> {
             reports: self.reports,
             windows: self.windows.clone(),
             resync_no_snapshot: self.resync_no_snapshot.clone(),
+            clock: self.clock,
             // Scratch is cheap to refill; a clone starts cold.
             scratch: Mutex::new(QueryScratch::default()),
         }
@@ -267,6 +278,7 @@ impl<K: FlowKey> Collector<K> {
             reports: 0,
             windows: HashMap::new(),
             resync_no_snapshot: HashSet::new(),
+            clock: 0,
             scratch: Mutex::new(QueryScratch::default()),
         }
     }
@@ -399,12 +411,18 @@ impl<K: FlowKey> Collector<K> {
         frame: WindowFrame<K>,
     ) -> Result<WindowSubmit, WindowSubmitError> {
         let switch = frame.switch_id;
+        // Any decodable frame naming the switch proves it alive, so the
+        // liveness stamp lands before the protocol decides what the
+        // frame does (even a duplicate resets the idle counter).
+        self.clock += 1;
+        let now = self.clock;
         match frame.kind {
             FrameKind::Full => {
                 let window = frame
                     .into_window()
                     .expect("full frames always convert to a window");
                 if let Some(entry) = self.windows.get_mut(&switch) {
+                    entry.last_progress = now;
                     // Array counts are excluded from the ring-identity
                     // check: Section III-F expansion grows them
                     // per-epoch at runtime.
@@ -429,6 +447,7 @@ impl<K: FlowKey> Collector<K> {
                             max_seen: window.rotations(),
                             replica: window,
                             pending: BTreeMap::new(),
+                            last_progress: now,
                         },
                     );
                 }
@@ -440,6 +459,7 @@ impl<K: FlowKey> Collector<K> {
                     self.resync_no_snapshot.insert(switch);
                     return Err(WindowSubmitError::NoSnapshot { switch });
                 };
+                entry.last_progress = now;
                 if frame.window != entry.replica.window()
                     || frame.epochs.first().is_some_and(|e| {
                         !crate::wire::same_ring_config(e.config(), entry.replica.config())
@@ -484,6 +504,7 @@ impl<K: FlowKey> Collector<K> {
                     self.resync_no_snapshot.insert(switch);
                     return Err(WindowSubmitError::NoSnapshot { switch });
                 };
+                entry.last_progress = now;
                 let patch = frame.patch.expect("decode guarantees a patch");
                 // A dirty frame carries no epoch config (the patch is
                 // config-free by construction); ring identity is checked
@@ -587,6 +608,38 @@ impl<K: FlowKey> Collector<K> {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Switch ids that have gone silent: more than `max_idle`
+    /// window-frame submissions (fleet-wide, the collector's logical
+    /// clock) have arrived since the switch last sent any frame.
+    /// Ascending. A stale switch's replica keeps answering queries with
+    /// its last-known window — this is how the operator learns that
+    /// window is no longer fresh (a dead shard's exporter, a partitioned
+    /// switch) and decides to wait, resync, or
+    /// [`Collector::evict_switch`] it.
+    pub fn stale_switches(&self, max_idle: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .windows
+            .iter()
+            .filter(|(_, w)| self.clock.saturating_sub(w.last_progress) > max_idle)
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Drops one switch from the windowed plane entirely: its replica,
+    /// buffered deltas, and resync flags. Its flows vanish from
+    /// [`Collector::window_top_k`] at the next query — the windowed
+    /// analogue of the sharded engine dropping a dead shard's state.
+    /// Returns `true` when the switch was known. (The tumbling
+    /// report/sketch plane is untouched: those submissions are already
+    /// folded in and carry no per-switch state to evict.)
+    pub fn evict_switch(&mut self, switch: u64) -> bool {
+        let had_window = self.windows.remove(&switch).is_some();
+        let had_flag = self.resync_no_snapshot.remove(&switch);
+        had_window || had_flag
     }
 
     /// The reassembled window replica of one switch, if it has sent a
@@ -859,6 +912,68 @@ mod tests {
             .k(8)
             .seed(seed)
             .build()
+    }
+
+    #[test]
+    fn silent_switch_goes_stale_and_can_be_evicted() {
+        // Two switches stream deltas; switch 1 goes silent mid-run (its
+        // exporter died). The collector must spot the silence through
+        // its logical clock, keep serving switch 1's last-known window
+        // until told otherwise, and forget it entirely on eviction.
+        let mut coll = Collector::<u64>::new(8, AggregationRule::Sum);
+        let mut wins: Vec<SlidingTopK<u64>> =
+            (0..2).map(|_| SlidingTopK::new(window_cfg(3), 3)).collect();
+        for (s, win) in wins.iter_mut().enumerate() {
+            coll.submit_window_frame(&win.export_frame(s as u64, 1000))
+                .unwrap();
+        }
+        let drive = |win: &mut SlidingTopK<u64>, s: u64, p: u64| {
+            win.insert_batch(
+                &(0..500u64)
+                    .map(|i| s * 1000 + p + i % 5)
+                    .collect::<Vec<_>>(),
+            );
+            win.rotate();
+            win.export_delta(s, 1000).unwrap()
+        };
+        // Both alive for 3 periods: nobody is stale even at max_idle 1
+        // (each switch speaks every other submission).
+        for p in 0..3 {
+            for s in 0..2u64 {
+                let frame = drive(&mut wins[s as usize], s, p);
+                coll.submit_window_frame(&frame).unwrap();
+            }
+        }
+        assert!(coll.stale_switches(1).is_empty());
+        // Switch 1 falls silent; switch 0 keeps streaming.
+        for p in 3..9 {
+            let frame = drive(&mut wins[0], 0, p);
+            coll.submit_window_frame(&frame).unwrap();
+        }
+        assert_eq!(
+            coll.stale_switches(3),
+            vec![1],
+            "6 frames since switch 1 spoke"
+        );
+        assert!(coll.stale_switches(10).is_empty(), "not yet idle past 10");
+        // The stale replica still serves its last-known window...
+        assert!(coll.switch_window(1).is_some());
+        assert!(coll.window_top_k().iter().any(|&(f, _)| f >= 1000));
+        // ...until evicted, after which its flows vanish from queries
+        // and it is no longer tracked (so no longer reported stale).
+        assert!(coll.evict_switch(1));
+        assert!(!coll.evict_switch(1), "second eviction finds nothing");
+        assert!(coll.switch_window(1).is_none());
+        assert!(coll.stale_switches(3).is_empty());
+        assert!(coll.window_top_k().iter().all(|&(f, _)| f < 1000));
+        // A returning switch re-anchors with a snapshot like any new one.
+        coll.submit_window_frame(&wins[1].export_frame(1, 1000))
+            .unwrap();
+        assert!(coll.switch_window(1).is_some());
+        assert!(
+            coll.stale_switches(3).is_empty(),
+            "fresh again after resync"
+        );
     }
 
     /// Drives a switch window and the collector through `periods`

@@ -58,6 +58,7 @@ pub mod change;
 pub mod collector;
 pub mod config;
 pub mod decay;
+pub mod fault;
 pub mod merge;
 pub mod minimum;
 pub mod parallel;
@@ -75,10 +76,13 @@ pub use change::{ChangeKind, HeavyChange, HeavyChangeDetector};
 pub use collector::{AggregationRule, Collector, WindowSubmit, WindowSubmitError};
 pub use config::{ExpansionPolicy, HkConfig, HkConfigBuilder, StoreKind};
 pub use decay::DecayFn;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use merge::{MergeError, MergeMode};
 pub use minimum::MinimumTopK;
 pub use parallel::ParallelTopK;
-pub use sharded::{ShardPoisoned, ShardedEngine, ShardedParallelTopK};
+pub use sharded::{
+    RecoverError, RecoveryReport, ShardPoisoned, ShardedEngine, ShardedParallelTopK,
+};
 pub use sketch::HkSketch;
 pub use sliding::SlidingTopK;
 pub use stats::InsertStats;

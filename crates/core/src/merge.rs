@@ -80,6 +80,9 @@ pub enum MergeError {
     FingerprintMismatch,
     /// Different counter widths: saturation points disagree.
     CounterWidthMismatch,
+    /// A sharded engine had no live shard left to fold (every worker
+    /// died and none was recovered): there is nothing to merge.
+    NoLiveShards,
 }
 
 impl std::fmt::Display for MergeError {
@@ -90,6 +93,7 @@ impl std::fmt::Display for MergeError {
             Self::ArrayCountMismatch => "array counts differ",
             Self::FingerprintMismatch => "fingerprint widths differ",
             Self::CounterWidthMismatch => "counter widths differ",
+            Self::NoLiveShards => return write!(f, "no live shard to merge (all workers died)"),
         };
         write!(f, "sketches are not merge-compatible: {what}")
     }

@@ -72,6 +72,37 @@
 //! surviving shards (a poisoned shard's flows go unreported — its state
 //! may be torn mid-insert).
 //!
+//! ## Checkpoint/respawn recovery
+//!
+//! Poisoning alone leaves a dead shard dark forever. With
+//! [`ShardedEngine::enable_checkpoints`] the engine turns worker death
+//! into a *bounded-loss, self-healing* event instead:
+//!
+//! * **Checkpointing.** Every shard's algorithm is periodically encoded
+//!   (via [`ShardCheckpoint`] — the encoding is the algorithm's own wire
+//!   format, so wire frames double as restart state) into an in-engine
+//!   checkpoint slot. Checkpoint *ops* ride the work ring like any
+//!   control message, so a checkpoint captures the state after exactly
+//!   the packets dispatched before it — a well-defined cut of the
+//!   shard's sub-stream. Cadence: every `N` dispatched batches, at
+//!   every [`ShardedEngine::rotate_all`] barrier, and on demand via
+//!   [`ShardedEngine::checkpoint_now`].
+//! * **Respawn.** [`ShardedEngine::recover`] decodes each poisoned
+//!   shard's last checkpoint, spawns a fresh worker with fresh SPSC
+//!   work/return rings (the dead thread still owns clones of the old
+//!   ones), re-admits the lane, and reports the *dark window* — the
+//!   packets routed to the shard after the checkpoint cut, which the
+//!   restored state does not include — in a [`RecoveryReport`]. With
+//!   [`ShardedEngine::set_auto_recover`] the ingest entry points run
+//!   the same recovery as soon as they observe a dead worker, so the
+//!   stream heals without caller involvement. Reads during the dark
+//!   window keep degrading to the surviving shards as before.
+//! * **Fault injection.** Recovery code only exercised by hand-crafted
+//!   thread aborts rots; [`ShardedEngine::set_fault_plan`] installs a
+//!   deterministic [`FaultPlan`](crate::fault::FaultPlan) — kill /
+//!   mid-walk / wedge at exact sub-stream positions — threaded through
+//!   the worker loop, so every recovery path has a reproducible test.
+//!
 //! ## Epoch rotation
 //!
 //! For epoch-organized shards (e.g. [`crate::SlidingTopK`]) the engine
@@ -86,15 +117,16 @@
 //! worked for nothing else); that name survives as a type alias.
 
 use crate::config::HkConfig;
+use crate::fault::{FaultKind, FaultPlan, ShardFaults};
 use crate::merge::MergeError;
 use crate::minimum::MinimumTopK;
 use crate::parallel::ParallelTopK;
 use crate::spsc::{PushError, SpscRing};
-use hk_common::algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
+use hk_common::algorithm::{EpochRotate, PreparedInsert, ShardCheckpoint, TopKAlgorithm};
 use hk_common::key::FlowKey;
 use hk_common::prepared::{HashSpec, PreparedKey};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// Seed of the fallback routing hash, used only when shards disagree on
@@ -179,6 +211,84 @@ impl std::fmt::Display for ShardPoisoned {
 
 impl std::error::Error for ShardPoisoned {}
 
+/// A shard's last taken checkpoint: the encoded restart state plus the
+/// routed-packet count at its cut (the value of the shard's cumulative
+/// routed counter when the checkpoint op was enqueued — by ring order,
+/// exactly the packets the worker had applied when it encoded).
+#[derive(Clone)]
+struct CheckpointSlot {
+    bytes: Vec<u8>,
+    packets: u64,
+}
+
+/// What one shard recovery did: which shard was respawned, where its
+/// restoring checkpoint cut the sub-stream, and how many packets fell
+/// in the *dark window* — routed to the shard after the checkpoint cut,
+/// hence absent from the restored state. The dark window is the
+/// recovery's loss bound: at most one checkpoint interval of that
+/// shard's sub-stream plus whatever was routed while the shard was
+/// down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Index of the respawned shard.
+    pub shard: usize,
+    /// Cumulative routed-packet position of the restoring checkpoint.
+    pub checkpoint_packets: u64,
+    /// Cumulative packets routed to the shard when recovery ran.
+    pub routed_packets: u64,
+    /// `routed_packets - checkpoint_packets`: the packets the restored
+    /// shard never saw.
+    pub dark_packets: u64,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} respawned from checkpoint @{} pkts ({} dark of {} routed)",
+            self.shard, self.checkpoint_packets, self.dark_packets, self.routed_packets
+        )
+    }
+}
+
+/// Error: [`ShardedEngine::recover`] could not respawn a dead shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// [`ShardedEngine::enable_checkpoints`] was never called, so there
+    /// is no restore path (the engine cannot name `A`'s decoder without
+    /// the [`ShardCheckpoint`] capability being captured first).
+    CheckpointsDisabled,
+    /// The shard died before its first checkpoint was taken.
+    NoCheckpoint {
+        /// The shard that has no checkpoint to restore from.
+        shard: usize,
+    },
+    /// The shard's checkpoint bytes failed to decode. Shards recovered
+    /// earlier in the same call stay recovered.
+    CheckpointCorrupt {
+        /// The shard whose checkpoint did not decode.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CheckpointsDisabled => {
+                write!(f, "recovery requires enable_checkpoints to be called first")
+            }
+            Self::NoCheckpoint { shard } => {
+                write!(f, "shard {shard} died before its first checkpoint")
+            }
+            Self::CheckpointCorrupt { shard } => {
+                write!(f, "shard {shard}'s checkpoint bytes failed to decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
 struct Shard<K, A> {
     algo: Arc<Mutex<A>>,
     /// Dispatcher → worker transport (sub-batches + control ops).
@@ -199,6 +309,24 @@ struct Shard<K, A> {
     /// shard is skipped from then on instead of panicking the caller
     /// thread.
     poisoned: AtomicBool,
+    /// Cumulative packets routed to this shard (enqueued *or* dropped
+    /// dead), written on the producer side under the pending lock.
+    /// Rebased to the checkpoint cut on respawn, so `routed - ckpt`
+    /// is the dark window across repeated kills.
+    packets_routed: AtomicU64,
+    /// Cumulative packets the worker has applied, in the same rebased
+    /// coordinates as `packets_routed` — the worker-side stream
+    /// position fault thresholds are measured against.
+    packets_done: Arc<AtomicU64>,
+    /// Batches dispatched since the last scheduled checkpoint
+    /// (producer side, under the pending lock).
+    ckpt_batches: AtomicU64,
+    /// The last taken checkpoint. Shared with in-flight checkpoint ops
+    /// and preserved across respawns.
+    checkpoint: Arc<Mutex<Option<CheckpointSlot>>>,
+    /// This shard's slice of the installed fault plan. Preserved across
+    /// respawns so repeated faults keep firing in sequence.
+    faults: Arc<ShardFaults>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -219,6 +347,12 @@ struct Pending<K> {
     per_shard: Vec<SubBatch<K>>,
     total: usize,
 }
+
+/// [`ShardCheckpoint::encode_checkpoint`] captured as a plain fn
+/// pointer (see the `encode` field on [`ShardedEngine`]).
+type EncodeFn<A> = fn(&A) -> Vec<u8>;
+/// [`ShardCheckpoint::restore_checkpoint`] captured likewise.
+type RestoreFn<A> = fn(&[u8]) -> Option<A>;
 
 /// A multi-core top-k engine: `N` owned shards of any
 /// [`PreparedInsert`] algorithm, fed hash-partitioned prepared
@@ -255,6 +389,19 @@ pub struct ShardedEngine<K: FlowKey, A: TopKAlgorithm<K>> {
     /// any allocated when the return ring came up empty). Flat after
     /// warm-up — the recycling invariant the tests pin down.
     buffers_allocated: AtomicU64,
+    /// Checkpoint cadence in dispatched batches per shard; `None` until
+    /// [`ShardedEngine::enable_checkpoints`].
+    checkpoint_every: Option<u64>,
+    /// `A`'s checkpoint encoder, captured as a plain fn pointer so the
+    /// unbounded engine paths (dispatch, rotate) can schedule
+    /// checkpoints without a `ShardCheckpoint` bound.
+    encode: Option<EncodeFn<A>>,
+    /// `A`'s checkpoint decoder, captured like `encode`.
+    restore: Option<RestoreFn<A>>,
+    /// When set, ingest entry points respawn dead shards themselves.
+    auto_recover: bool,
+    /// Every recovery this engine has performed, in order.
+    recovery_log: Vec<RecoveryReport>,
 }
 
 impl<K, A> ShardedEngine<K, A>
@@ -312,23 +459,62 @@ where
             }),
             lost: AtomicU64::new(0),
             buffers_allocated: AtomicU64::new(n as u64),
+            checkpoint_every: None,
+            encode: None,
+            restore: None,
+            auto_recover: false,
+            recovery_log: Vec::new(),
         }
     }
 
     fn spawn_shard(algo: A, handoff: bool) -> Shard<K, A> {
+        Self::spawn_shard_with(
+            algo,
+            handoff,
+            Arc::new(Mutex::new(None)),
+            Arc::new(ShardFaults::default()),
+            0,
+        )
+    }
+
+    /// Spawns a shard worker around `algo`, reusing the given checkpoint
+    /// slot and fault schedule (fresh on first spawn, the dead shard's
+    /// on respawn) and starting both packet counters at `base_packets`
+    /// — the restoring checkpoint's cut, so dark-window accounting and
+    /// fault thresholds stay in cumulative sub-stream coordinates across
+    /// repeated kills.
+    fn spawn_shard_with(
+        algo: A,
+        handoff: bool,
+        checkpoint: Arc<Mutex<Option<CheckpointSlot>>>,
+        faults: Arc<ShardFaults>,
+        base_packets: u64,
+    ) -> Shard<K, A> {
         let algo = Arc::new(Mutex::new(algo));
         let processed = Arc::new(AtomicU64::new(0));
+        let packets_done = Arc::new(AtomicU64::new(base_packets));
         let sleeping = Arc::new(AtomicBool::new(false));
         let work = Arc::new(SpscRing::new(WORK_RING_CAPACITY));
         let recycled = Arc::new(SpscRing::new(RECYCLE_RING_CAPACITY));
         let worker = {
             let algo = Arc::clone(&algo);
             let processed = Arc::clone(&processed);
+            let packets_done = Arc::clone(&packets_done);
             let sleeping = Arc::clone(&sleeping);
             let work = Arc::clone(&work);
             let recycled = Arc::clone(&recycled);
+            let faults = Arc::clone(&faults);
             std::thread::spawn(move || {
-                Self::worker_loop(&algo, &work, &recycled, &processed, &sleeping, handoff)
+                Self::worker_loop(
+                    &algo,
+                    &work,
+                    &recycled,
+                    &processed,
+                    &packets_done,
+                    &sleeping,
+                    &faults,
+                    handoff,
+                )
             })
         };
         let unparker = worker.thread().clone();
@@ -341,19 +527,28 @@ where
             sleeping,
             unparker,
             poisoned: AtomicBool::new(false),
+            packets_routed: AtomicU64::new(base_packets),
+            packets_done,
+            ckpt_batches: AtomicU64::new(0),
+            checkpoint,
+            faults,
             worker: Some(worker),
         }
     }
 
     /// The shard worker: drain the work ring in order, return drained
     /// buffers, park when idle. Runs until the dispatcher closes the
-    /// ring (engine drop) and the backlog is drained.
+    /// ring (engine drop) and the backlog is drained — or an injected
+    /// fault takes it down first.
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         algo: &Mutex<A>,
         work: &SpscRing<ShardMsg<K, A>>,
         recycled: &SpscRing<SubBatch<K>>,
         processed: &AtomicU64,
+        packets_done: &AtomicU64,
         sleeping: &AtomicBool,
+        faults: &ShardFaults,
         handoff: bool,
     ) {
         let mut spins = 0usize;
@@ -362,6 +557,44 @@ where
                 Some(ShardMsg::Batch(mut batch)) => {
                     spins = 0;
                     let units = batch.keys.len() as u64;
+                    let applied = packets_done.load(Ordering::Relaxed);
+                    if let Some((threshold, kind)) = faults.crossing(applied, units) {
+                        match kind {
+                            // Clean death at a batch boundary: nothing
+                            // of the crossing batch is applied.
+                            FaultKind::Kill => {
+                                panic!("fault injection: kill at {threshold} packets")
+                            }
+                            // Torn death: apply the batch up to the
+                            // threshold, then die *holding* the algo
+                            // mutex — sketch torn mid-stream, mutex
+                            // poisoned. The worst case recovery must
+                            // absorb.
+                            FaultKind::MidWalk => {
+                                let cut = (threshold.saturating_sub(applied) as usize)
+                                    .min(batch.keys.len());
+                                let mut guard = algo.lock().expect("shard mutex");
+                                if handoff {
+                                    guard.insert_prepared_batch(
+                                        &batch.keys[..cut],
+                                        &batch.prepared[..cut],
+                                    );
+                                } else {
+                                    guard.insert_batch(&batch.keys[..cut]);
+                                }
+                                panic!("fault injection: mid-walk at {threshold} packets")
+                            }
+                            // Silent stop: close the work ring from the
+                            // consumer side and exit without panicking,
+                            // so the dispatcher's backpressure path sees
+                            // `Closed` (not `Full`) on a live-looking
+                            // shard.
+                            FaultKind::Wedge => {
+                                work.close();
+                                return;
+                            }
+                        }
+                    }
                     {
                         let mut guard = algo.lock().expect("shard mutex");
                         if handoff {
@@ -370,6 +603,11 @@ where
                             guard.insert_batch(&batch.keys);
                         }
                     }
+                    // `packets_done` strictly before `processed`: a
+                    // flusher that observes `processed` caught up must
+                    // also observe the packet position (release/acquire
+                    // pairing on `processed`).
+                    packets_done.fetch_add(units, Ordering::Release);
                     processed.fetch_add(units, Ordering::Release);
                     // Hand the drained buffer back for reuse; a full
                     // return ring just drops it (the dispatcher will
@@ -469,21 +707,31 @@ where
     }
 
     /// Runs `f` against one shard's algorithm (flushed first), for
-    /// diagnostics and merging.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shard is poisoned (its worker died mid-ingest and
-    /// its state may be torn); check [`ShardedEngine::poisoned_shards`]
-    /// first when the engine may have taken worker deaths.
-    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&A) -> R) -> R {
+    /// diagnostics and merging. Returns `None` when the shard is
+    /// poisoned (its worker died mid-ingest and its state may be torn)
+    /// — the engine degrades to the surviving shards instead of
+    /// panicking; [`ShardedEngine::poisoned_shards`] names the dead
+    /// ones.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&A) -> R) -> Option<R> {
         let _ = self.dispatch_and_flush();
-        assert!(
-            !self.shards[shard].is_poisoned(),
-            "shard {shard} is poisoned (worker died mid-ingest)"
-        );
-        let guard = self.shards[shard].algo.lock().expect("shard mutex");
-        f(&guard)
+        let s = &self.shards[shard];
+        if s.is_poisoned() {
+            return None;
+        }
+        // A poisoned algo mutex (the worker panicked holding it) means
+        // the same thing as a poisoned shard: torn state, no answer.
+        let guard = s.algo.lock().ok()?;
+        Some(f(&guard))
+    }
+
+    /// The pending-buffer lock, recovering from poison: `Pending` is
+    /// plain routed-buffer state (keys copied in, a running total), so
+    /// a caller thread that panicked mid-route leaves it usable — at
+    /// worst a partially routed batch that the next dispatch ships.
+    /// Recovering keeps a single caller panic from wedging every later
+    /// ingest and read on this engine.
+    fn lock_pending(&self) -> MutexGuard<'_, Pending<K>> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Dispatches buffered scalar inserts and waits until every live
@@ -553,6 +801,13 @@ where
     /// which is the SPSC producer-exclusivity discipline.
     fn send_to_shard(&self, idx: usize, msg: ShardMsg<K, A>, flush_units: u64, packet_units: u64) {
         let shard = &self.shards[idx];
+        // Routed = destined for this shard, delivered or not: the dark
+        // window a recovery reports is everything sent after the
+        // checkpoint cut, including packets dropped while the shard was
+        // down.
+        shard
+            .packets_routed
+            .fetch_add(packet_units, Ordering::Release);
         if shard.is_poisoned() {
             self.lost.fetch_add(packet_units, Ordering::Release);
             return;
@@ -617,8 +872,12 @@ where
                 // Dead shard: its packets are lost either way, so drop
                 // them in place — clearing keeps the buffer (and its
                 // capacity), taking no replacement, so a long-lived
-                // engine with one dead shard stays zero-alloc.
+                // engine with one dead shard stays zero-alloc. Still
+                // routed, for dark-window accounting.
                 let units = pending.per_shard[idx].keys.len() as u64;
+                self.shards[idx]
+                    .packets_routed
+                    .fetch_add(units, Ordering::Release);
                 self.lost.fetch_add(units, Ordering::Release);
                 pending.per_shard[idx].clear();
                 continue;
@@ -627,13 +886,48 @@ where
             let batch = std::mem::replace(&mut pending.per_shard[idx], replacement);
             let units = batch.keys.len() as u64;
             self.send_to_shard(idx, ShardMsg::Batch(batch), units, units);
+            // Scheduled checkpoint: every `checkpoint_every` dispatched
+            // batches, the shard encodes itself right behind the work
+            // it just received.
+            if let Some(every) = self.checkpoint_every {
+                let n = self.shards[idx]
+                    .ckpt_batches
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                if n >= every {
+                    self.shards[idx].ckpt_batches.store(0, Ordering::Relaxed);
+                    self.enqueue_checkpoint(idx);
+                }
+            }
         }
         pending.total = 0;
     }
 
+    /// Enqueues a checkpoint op on shard `idx`'s ring (caller holds the
+    /// pending lock — producer discipline). The op rides behind every
+    /// batch dispatched so far, so the state it encodes is exactly the
+    /// routed-counter cut captured here.
+    fn enqueue_checkpoint(&self, idx: usize) {
+        let Some(encode) = self.encode else { return };
+        let shard = &self.shards[idx];
+        if shard.is_poisoned() {
+            return;
+        }
+        let at_packets = shard.packets_routed.load(Ordering::Acquire);
+        let slot = Arc::clone(&shard.checkpoint);
+        let op = move |a: &mut A| {
+            let bytes = encode(a);
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(CheckpointSlot {
+                bytes,
+                packets: at_packets,
+            });
+        };
+        self.send_to_shard(idx, ShardMsg::Op(Box::new(op)), 1, 0);
+    }
+
     fn dispatch_and_flush(&self) -> Result<(), ShardPoisoned> {
         {
-            let mut pending = self.pending.lock().expect("pending poisoned");
+            let mut pending = self.lock_pending();
             self.dispatch_locked(&mut pending);
         }
         for (idx, shard) in self.shards.iter().enumerate() {
@@ -699,6 +993,202 @@ where
         }
         pending.total += keys.len();
     }
+
+    /// Turns on checkpoint/respawn recovery: captures `A`'s
+    /// [`ShardCheckpoint`] encode/decode as engine state, schedules a
+    /// checkpoint every `every_batches` dispatched batches per shard
+    /// (plus one at every [`ShardedEngine::rotate_all`] barrier), and
+    /// takes an immediate baseline checkpoint of every live shard — so
+    /// any later death, however early, has something to restore from.
+    ///
+    /// The dark-window loss bound is the cadence knob: a shard respawn
+    /// loses at most `every_batches` batches of that shard's sub-stream
+    /// (plus whatever was routed while it was down), at the cost of one
+    /// encode per interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoisoned`] if dead shards were found while taking
+    /// the baseline (the live ones are still checkpointed and
+    /// recoverable).
+    pub fn enable_checkpoints(&mut self, every_batches: u64) -> Result<(), ShardPoisoned>
+    where
+        A: ShardCheckpoint,
+    {
+        let encode = A::encode_checkpoint as fn(&A) -> Vec<u8>;
+        self.encode = Some(encode);
+        self.restore = Some(A::restore_checkpoint as fn(&[u8]) -> Option<A>);
+        self.checkpoint_every = Some(every_batches.max(1));
+        let res = self.dispatch_and_flush();
+        for shard in &self.shards {
+            if shard.is_poisoned() {
+                continue;
+            }
+            // Flushed + `&mut self`: the worker is idle and no ingest
+            // races, so encoding synchronously here is exact.
+            let Ok(guard) = shard.algo.lock() else {
+                continue;
+            };
+            let bytes = encode(&guard);
+            let packets = shard.packets_done.load(Ordering::Acquire);
+            *shard
+                .checkpoint
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(CheckpointSlot { bytes, packets });
+        }
+        res
+    }
+
+    /// When on, the ingest entry points ([`TopKAlgorithm::insert`] /
+    /// [`TopKAlgorithm::insert_batch`]) scan for dead workers and run
+    /// [`ShardedEngine::recover`] themselves, so the stream self-heals
+    /// without the caller checking [`ShardedEngine::flush`]. Requires
+    /// [`ShardedEngine::enable_checkpoints`]; recoveries land in
+    /// [`ShardedEngine::recovery_log`].
+    pub fn set_auto_recover(&mut self, on: bool) {
+        self.auto_recover = on;
+    }
+
+    /// Installs a deterministic fault plan: each shard's worker takes
+    /// its scheduled faults when its cumulative applied-packet count
+    /// crosses their thresholds (see [`crate::fault`]). Replaces any
+    /// previous plan; specs naming a shard index out of range are
+    /// ignored. Test/CLI hook — a production engine never calls this.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let specs: Vec<(u64, FaultKind)> = plan
+                .specs()
+                .iter()
+                .filter(|s| s.shard == idx)
+                .map(|s| (s.after_packets, s.kind))
+                .collect();
+            shard.faults.install(specs);
+        }
+    }
+
+    /// Checkpoints every live shard right now (behind the usual
+    /// dispatch barrier) and waits for the encodes to land.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoisoned`] when dead shards were skipped.
+    pub fn checkpoint_now(&self) -> Result<(), ShardPoisoned> {
+        {
+            let mut pending = self.lock_pending();
+            self.dispatch_locked(&mut pending);
+            for idx in 0..self.shards.len() {
+                self.enqueue_checkpoint(idx);
+                self.shards[idx].ckpt_batches.store(0, Ordering::Relaxed);
+            }
+        }
+        self.dispatch_and_flush()
+    }
+
+    /// The bytes of `shard`'s last taken checkpoint (in-flight
+    /// checkpoint ops are flushed first), or `None` if none was taken
+    /// yet. The differential tests compare these against a fresh encode
+    /// of the restored shard to pin down bit-exact recovery.
+    pub fn checkpoint_bytes(&self, shard: usize) -> Option<Vec<u8>> {
+        let _ = self.dispatch_and_flush();
+        self.shards[shard]
+            .checkpoint
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|s| s.bytes.clone())
+    }
+
+    /// Every recovery this engine has performed, in order (both
+    /// explicit [`ShardedEngine::recover`] calls and auto-recoveries).
+    pub fn recovery_log(&self) -> &[RecoveryReport] {
+        &self.recovery_log
+    }
+
+    /// Respawns every poisoned shard from its last checkpoint: decodes
+    /// the checkpoint bytes, spawns a fresh worker on fresh work/return
+    /// rings (the dead thread still owns the old ones) around the
+    /// restored algorithm, re-admits the shard's lane, and reports each
+    /// recovery's dark window. After `Ok`,
+    /// [`ShardedEngine::poisoned_shards`] is empty and routed packets
+    /// flow to the respawned shards again. A healthy engine returns an
+    /// empty `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::CheckpointsDisabled`] without
+    /// [`ShardedEngine::enable_checkpoints`];
+    /// [`RecoverError::NoCheckpoint`] / [`RecoverError::CheckpointCorrupt`]
+    /// when a dead shard has nothing restorable (shards recovered
+    /// earlier in the call stay recovered).
+    pub fn recover(&mut self) -> Result<Vec<RecoveryReport>, RecoverError> {
+        let restore = self.restore.ok_or(RecoverError::CheckpointsDisabled)?;
+        // Settle detection: drains pending (dropping dead shards'
+        // packets into the routed/lost counters) and poisons every
+        // shard whose worker is gone. The Err only repeats what
+        // `poisoned_shards` tells us next.
+        let _ = self.dispatch_and_flush();
+        let mut reports = Vec::new();
+        for idx in 0..self.shards.len() {
+            if !self.shards[idx].is_poisoned() {
+                continue;
+            }
+            let slot = self.shards[idx]
+                .checkpoint
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+                .ok_or(RecoverError::NoCheckpoint { shard: idx })?;
+            let algo =
+                restore(&slot.bytes).ok_or(RecoverError::CheckpointCorrupt { shard: idx })?;
+            let routed = self.shards[idx].packets_routed.load(Ordering::Acquire);
+            let report = RecoveryReport {
+                shard: idx,
+                checkpoint_packets: slot.packets,
+                routed_packets: routed,
+                dark_packets: routed.saturating_sub(slot.packets),
+            };
+            self.respawn_shard(idx, algo, slot.packets);
+            self.recovery_log.push(report.clone());
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Replaces a dead shard's interior with a fresh worker around
+    /// `algo`: fresh rings (the dead thread holds clones of the old
+    /// ones), fresh flush counters, packet counters rebased to the
+    /// restoring checkpoint's cut. The checkpoint slot and fault
+    /// schedule carry over — the slot still matches the restored state,
+    /// and remaining faults keep firing on the respawned worker.
+    fn respawn_shard(&mut self, idx: usize, algo: A, base_packets: u64) {
+        let old = &mut self.shards[idx];
+        old.work.close();
+        if let Some(worker) = old.worker.take() {
+            let _ = worker.join(); // Already dead; reap the handle.
+        }
+        let checkpoint = Arc::clone(&old.checkpoint);
+        let faults = Arc::clone(&old.faults);
+        self.shards[idx] =
+            Self::spawn_shard_with(algo, self.handoff, checkpoint, faults, base_packets);
+    }
+
+    /// The auto-recover death scan: one `is_finished` load per shard
+    /// (cheap enough for the ingest path), recovery only when a worker
+    /// is actually gone. Errors are deliberately swallowed — ingest
+    /// stays infallible, and an unrecoverable shard shows up through
+    /// `flush`/`poisoned_shards` exactly as without auto-recovery.
+    fn auto_recover_if_needed(&mut self) {
+        if !self.auto_recover || self.restore.is_none() {
+            return;
+        }
+        let any_dead = self
+            .shards
+            .iter()
+            .any(|s| s.is_poisoned() || s.worker.as_ref().is_none_or(|w| w.is_finished()));
+        if any_dead {
+            let _ = self.recover();
+        }
+    }
 }
 
 impl<K, A> TopKAlgorithm<K> for ShardedEngine<K, A>
@@ -707,15 +1197,27 @@ where
     A: PreparedInsert<K> + Send + 'static,
 {
     fn insert(&mut self, key: &K) {
-        let mut pending = self.pending.lock().expect("pending poisoned");
-        self.route_into(std::slice::from_ref(key), &mut pending);
-        if pending.total >= self.batch_capacity {
-            self.dispatch_locked(&mut pending);
+        // Scalar fast path: the death scan piggybacks on the dispatch
+        // boundary, not on every buffered insert.
+        let dispatch = {
+            let mut pending = self.lock_pending();
+            self.route_into(std::slice::from_ref(key), &mut pending);
+            pending.total >= self.batch_capacity
+        };
+        if dispatch {
+            self.auto_recover_if_needed();
+            let mut pending = self.lock_pending();
+            if pending.total >= self.batch_capacity {
+                self.dispatch_locked(&mut pending);
+            }
         }
     }
 
     fn insert_batch(&mut self, keys: &[K]) {
-        let mut pending = self.pending.lock().expect("pending poisoned");
+        // Recover *before* routing, so a freshly respawned shard
+        // receives this batch instead of dropping it.
+        self.auto_recover_if_needed();
+        let mut pending = self.lock_pending();
         self.route_into(keys, &mut pending);
         // A batch boundary is a dispatch boundary: hand every shard its
         // sub-batch now so workers overlap with the caller.
@@ -730,8 +1232,12 @@ where
             // so report "unknown" rather than a garbage estimate.
             return 0;
         }
-        let guard = self.shards[s].algo.lock().expect("shard mutex");
-        guard.query(key)
+        match self.shards[s].algo.lock() {
+            Ok(guard) => guard.query(key),
+            // Poisoned mutex = worker died holding it; same degraded
+            // answer as a poisoned shard.
+            Err(_) => 0,
+        }
     }
 
     fn top_k(&self) -> Vec<(K, u64)> {
@@ -741,7 +1247,9 @@ where
             if shard.is_poisoned() {
                 continue; // Dead shard: its flows are unreported.
             }
-            let guard = shard.algo.lock().expect("shard mutex");
+            let Ok(guard) = shard.algo.lock() else {
+                continue; // Torn mid-walk: degrade like a poisoned shard.
+            };
             all.extend(guard.top_k());
         }
         // Flows are partitioned, so the union has no duplicates; the
@@ -800,7 +1308,7 @@ where
             // producer side of every shard ring, so all pushes stay
             // serialized (SPSC) and no packet can slip between the
             // dispatch and the rotation cut.
-            let mut pending = self.pending.lock().expect("pending poisoned");
+            let mut pending = self.lock_pending();
             self.dispatch_locked(&mut pending);
             for idx in 0..self.shards.len() {
                 self.send_to_shard(
@@ -809,6 +1317,13 @@ where
                     1,
                     0,
                 );
+                // A rotation is a natural checkpoint barrier: the
+                // encode rides right behind the rotate op, so a restart
+                // from it resumes at a clean epoch boundary.
+                if self.checkpoint_every.is_some() {
+                    self.enqueue_checkpoint(idx);
+                    self.shards[idx].ckpt_batches.store(0, Ordering::Relaxed);
+                }
             }
         }
         let dead = self.poisoned_shards();
@@ -975,18 +1490,30 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, ParallelTopK<K>> {
         Self::from_fn(shards, cfg.k, |_| ParallelTopK::new(per.clone()))
     }
 
-    /// Folds every shard into one Parallel instance via the classic
-    /// sketch merge machinery ([`MergeMode::Sum`]: shards saw disjoint
-    /// packets), for network-wide-style queries over one structure.
+    /// Folds every **live** shard into one Parallel instance via the
+    /// classic sketch merge machinery ([`MergeMode::Sum`]: shards saw
+    /// disjoint packets), for network-wide-style queries over one
+    /// structure. Poisoned shards are skipped — the merged view
+    /// degrades exactly like [`TopKAlgorithm::top_k`] does.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::NoLiveShards`] when every shard is poisoned;
+    /// otherwise the usual merge-compatibility errors.
     ///
     /// [`MergeMode::Sum`]: crate::merge::MergeMode::Sum
     pub fn merged(&self) -> Result<ParallelTopK<K>, MergeError> {
-        let mut out = self.with_shard(0, |a| a.clone());
-        for i in 1..self.shards() {
-            let other = self.with_shard(i, |a| a.clone());
-            out.merge_from(&other)?;
+        let mut out: Option<ParallelTopK<K>> = None;
+        for i in 0..self.shards() {
+            let Some(part) = self.with_shard(i, |a| a.clone()) else {
+                continue;
+            };
+            match &mut out {
+                None => out = Some(part),
+                Some(acc) => acc.merge_from(&part)?,
+            }
         }
-        Ok(out)
+        out.ok_or(MergeError::NoLiveShards)
     }
 }
 
@@ -998,15 +1525,22 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, MinimumTopK<K>> {
         Self::from_fn(shards, cfg.k, |_| MinimumTopK::new(per.clone()))
     }
 
-    /// Folds every shard into one Minimum instance via the sketch merge
-    /// machinery.
+    /// Folds every **live** shard into one Minimum instance via the
+    /// sketch merge machinery (same degradation rules as the Parallel
+    /// engine's `merged`: poisoned shards are skipped,
+    /// [`MergeError::NoLiveShards`] when none survive).
     pub fn merged(&self) -> Result<MinimumTopK<K>, MergeError> {
-        let mut out = self.with_shard(0, |a| a.clone());
-        for i in 1..self.shards() {
-            let other = self.with_shard(i, |a| a.clone());
-            out.merge_from(&other)?;
+        let mut out: Option<MinimumTopK<K>> = None;
+        for i in 0..self.shards() {
+            let Some(part) = self.with_shard(i, |a| a.clone()) else {
+                continue;
+            };
+            match &mut out {
+                None => out = Some(part),
+                Some(acc) => acc.merge_from(&part)?,
+            }
         }
-        Ok(out)
+        out.ok_or(MergeError::NoLiveShards)
     }
 }
 

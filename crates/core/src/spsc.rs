@@ -283,6 +283,78 @@ mod tests {
     }
 
     #[test]
+    fn consumer_side_close_fails_inflight_push_with_closed_not_full() {
+        // The wedge-fault path: a consumer that stops consuming closes
+        // the ring from its side. A producer spinning on backpressure
+        // against a *full* ring must then see `Closed` (stop, poison
+        // the shard), never keep getting `Full` (spin forever).
+        let ring: Arc<SpscRing<u32>> = Arc::new(SpscRing::new(2));
+        ring.try_push(1).unwrap();
+        ring.try_push(2).unwrap();
+        assert!(matches!(ring.try_push(3), Err(PushError::Full(3))));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                ring.close(); // Refuse further work, drain nothing.
+            })
+        };
+        consumer.join().unwrap();
+        // The ring is still full, but Closed must win over Full:
+        // backpressure on a wedged consumer is not backpressure.
+        assert!(matches!(ring.try_push(3), Err(PushError::Closed(3))));
+        // The wedged backlog stays poppable (drain-then-stop), so an
+        // engine that wanted to salvage it still could.
+        assert_eq!(ring.try_pop(), Some(1));
+        assert_eq!(ring.try_pop(), Some(2));
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn close_races_concurrent_pops_without_losing_the_backlog() {
+        // Close-during-pop: a consumer draining while the other side
+        // closes must observe every queued item exactly once — close is
+        // a pure push-gate, invisible to the pop path.
+        for _ in 0..100 {
+            let ring: Arc<SpscRing<u64>> = Arc::new(SpscRing::new(8));
+            for i in 0..8 {
+                ring.try_push(i).unwrap();
+            }
+            let closer = {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || ring.close())
+            };
+            let mut got = Vec::new();
+            while got.len() < 8 {
+                if let Some(v) = ring.try_pop() {
+                    got.push(v);
+                }
+            }
+            closer.join().unwrap();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+            assert!(ring.is_closed());
+        }
+    }
+
+    #[test]
+    fn fresh_ring_after_close_carries_a_new_stream() {
+        // The respawn path: a dead shard's rings are abandoned (closed,
+        // possibly non-empty) and replaced wholesale. The replacement
+        // must be fully independent — open, empty, and unaffected by
+        // the old ring's state.
+        let old: SpscRing<u32> = SpscRing::new(4);
+        old.try_push(7).unwrap();
+        old.close();
+        let fresh: SpscRing<u32> = SpscRing::new(4);
+        assert!(!fresh.is_closed());
+        assert!(fresh.is_empty());
+        fresh.try_push(42).unwrap();
+        assert_eq!(fresh.try_pop(), Some(42));
+        // And the abandoned ring still honors drain-then-stop.
+        assert_eq!(old.try_pop(), Some(7));
+        assert!(matches!(old.try_push(8), Err(PushError::Closed(8))));
+    }
+
+    #[test]
     fn dropping_the_ring_drops_queued_items() {
         // Worker-death semantics: when a ring goes away with items still
         // queued (the engine dropping a poisoned shard's transport), the

@@ -143,7 +143,16 @@ impl<K: FlowKey> ParallelTopK<K> {
     pub(crate) fn wire_into(&self, out: &mut Vec<u8>) {
         let sketch = self.sketch();
         let cfg = self.config();
-        let top = self.top_k();
+        // Canonical store order (count desc, ties on key bytes): the
+        // store's internal tie order is admission-history dependent, and
+        // a checkpoint round trip replays admissions in a different
+        // order — encoding must not depend on it, or restored state
+        // would re-encode to different bytes.
+        let mut top = self.top_k();
+        top.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| a.0.key_bytes().as_slice().cmp(b.0.key_bytes().as_slice()))
+        });
         out.reserve(32 + sketch.arrays() * sketch.width() * 12 + top.len() * (K::ENCODED_LEN + 8));
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
@@ -1003,6 +1012,42 @@ impl<K: FlowKey> WindowFrame<K> {
             self.rotation,
             self.epochs,
         ))
+    }
+}
+
+// -- Checkpoint encode/restore hooks ------------------------------------
+//
+// The sharded engine's recovery plumbing rides the existing wire
+// formats: a shard checkpoint IS a wire payload (sketch wire-v1 for
+// steady sketches, a full wire-v2 window frame for sliding windows), so
+// the bytes that leave the process as telemetry double as restart
+// state. Both impls satisfy the `ShardCheckpoint` bit-exactness
+// contract for everything the formats ship; the decay RNG position is
+// transient by the format's design (the restored instance re-seeds from
+// the config), which perturbs *future* decay draws only, never
+// recorded counts.
+
+impl<K: FlowKey> hk_common::ShardCheckpoint for ParallelTopK<K> {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        self.to_wire()
+    }
+
+    fn restore_checkpoint(bytes: &[u8]) -> Option<Self> {
+        Self::from_wire(bytes).ok()
+    }
+}
+
+/// Switch id stamped on checkpoint frames: checkpoints never leave the
+/// engine, so the id only needs to be recognizable in a debugger.
+const CHECKPOINT_SWITCH_ID: u64 = u64::from_le_bytes(*b"HKCKPT\0\0");
+
+impl<K: FlowKey> hk_common::ShardCheckpoint for crate::sliding::SlidingTopK<K> {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        self.export_frame(CHECKPOINT_SWITCH_ID, 0)
+    }
+
+    fn restore_checkpoint(bytes: &[u8]) -> Option<Self> {
+        WindowFrame::<K>::decode(bytes).ok()?.into_window()
     }
 }
 

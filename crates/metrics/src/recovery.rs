@@ -1,0 +1,121 @@
+//! Recovery accounting for the sharded engine's checkpoint/respawn
+//! plane.
+//!
+//! A [`RecoveryReport`](heavykeeper::RecoveryReport) describes one
+//! shard respawn; an experiment run (the fault-injection harness, the
+//! CLI's `--fault ... --recover` mode) produces a *sequence* of them.
+//! [`RecoveryAccounting`] folds that sequence into the numbers an
+//! evaluation wants next to its accuracy table: how many recoveries
+//! happened, how many packets fell in dark windows, and how the dark
+//! total relates to the stream (the a-priori loss bound a checkpoint
+//! cadence promises).
+
+use heavykeeper::RecoveryReport;
+
+/// Aggregated view of every recovery an engine performed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryAccounting {
+    /// Number of shard respawns.
+    pub recoveries: usize,
+    /// Total packets across all dark windows (routed after a restoring
+    /// checkpoint's cut — the engine's actual loss exposure).
+    pub dark_packets: u64,
+    /// The largest single dark window, the quantity a checkpoint
+    /// cadence bounds per recovery.
+    pub max_dark_packets: u64,
+    /// Distinct shards that took at least one recovery, counted once
+    /// each (a 4-shard engine reporting `4` here lost every lane at
+    /// some point).
+    pub shards_hit: usize,
+}
+
+impl RecoveryAccounting {
+    /// Folds a run's recovery log into one accounting.
+    pub fn from_reports(reports: &[RecoveryReport]) -> Self {
+        let mut shards: Vec<usize> = reports.iter().map(|r| r.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        Self {
+            recoveries: reports.len(),
+            dark_packets: reports.iter().map(|r| r.dark_packets).sum(),
+            max_dark_packets: reports.iter().map(|r| r.dark_packets).max().unwrap_or(0),
+            shards_hit: shards.len(),
+        }
+    }
+
+    /// The dark total as a fraction of `stream_packets` — an upper
+    /// bound on the recall the recoveries can have cost (a flow is only
+    /// under-counted by packets its shard never saw). `0.0` for an
+    /// empty stream.
+    pub fn dark_fraction(&self, stream_packets: u64) -> f64 {
+        if stream_packets == 0 {
+            0.0
+        } else {
+            self.dark_packets as f64 / stream_packets as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryAccounting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} recover{} across {} shard{}, {} dark packets (max {} per recovery)",
+            self.recoveries,
+            if self.recoveries == 1 { "y" } else { "ies" },
+            self.shards_hit,
+            if self.shards_hit == 1 { "" } else { "s" },
+            self.dark_packets,
+            self.max_dark_packets,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(shard: usize, ckpt: u64, routed: u64) -> RecoveryReport {
+        RecoveryReport {
+            shard,
+            checkpoint_packets: ckpt,
+            routed_packets: routed,
+            dark_packets: routed - ckpt,
+        }
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let acc = RecoveryAccounting::from_reports(&[]);
+        assert_eq!(acc, RecoveryAccounting::default());
+        assert_eq!(acc.dark_fraction(1_000_000), 0.0);
+        assert_eq!(acc.dark_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn folds_repeated_kills_per_shard() {
+        // Shard 2 died twice, shard 0 once: 3 recoveries, 2 shards hit,
+        // dark windows summed and the worst one surfaced.
+        let acc = RecoveryAccounting::from_reports(&[
+            report(2, 50_000, 53_000),
+            report(0, 10_000, 10_500),
+            report(2, 80_000, 81_000),
+        ]);
+        assert_eq!(acc.recoveries, 3);
+        assert_eq!(acc.shards_hit, 2);
+        assert_eq!(acc.dark_packets, 4_500);
+        assert_eq!(acc.max_dark_packets, 3_000);
+        assert!((acc.dark_fraction(450_000) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_operator_readable() {
+        let one = RecoveryAccounting::from_reports(&[report(1, 5, 7)]);
+        assert_eq!(
+            one.to_string(),
+            "1 recovery across 1 shard, 2 dark packets (max 2 per recovery)"
+        );
+        let many = RecoveryAccounting::from_reports(&[report(0, 0, 4), report(1, 2, 3)]);
+        assert!(many.to_string().starts_with("2 recoveries across 2 shards"));
+    }
+}
