@@ -10,6 +10,8 @@ pub enum CliError {
     Usage(String),
     /// Underlying I/O failure.
     Io(String),
+    /// `hk lint --deny` found violations (exit code 1, no usage dump).
+    LintFindings(usize),
 }
 
 impl fmt::Display for CliError {
@@ -17,6 +19,7 @@ impl fmt::Display for CliError {
         match self {
             Self::Usage(m) => write!(f, "{m}"),
             Self::Io(m) => write!(f, "i/o: {m}"),
+            Self::LintFindings(n) => write!(f, "lint failed with {n} finding(s)"),
         }
     }
 }
@@ -30,7 +33,7 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["layout-report", "delta", "recover"];
+const BOOL_FLAGS: &[&str] = &["layout-report", "delta", "recover", "json", "deny"];
 
 /// Parsed command line: one subcommand plus `--flag value` options and
 /// valueless boolean switches ([`BOOL_FLAGS`]).

@@ -36,6 +36,7 @@ USAGE:
               [--flows M] [--skew Z] [--memory-kb KB] [--k K] [--seed X]
               [--delta-mode full|delta|dirty] [--delta] [--loss p]
               [--reorder q] [--min-recall R]
+  hk lint     [--root DIR] [--json] [--deny]
   hk help
 
 Algorithms for --algo:
@@ -815,6 +816,27 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
             )));
         }
         println!("recall bound {bound:.2} satisfied");
+    }
+    Ok(())
+}
+
+/// `hk lint`: run the workspace invariant lint (see `crates/lint`).
+/// Prints findings as text (or `--json`); with `--deny` a dirty
+/// workspace is an error (exit code 1 — the CI gate).
+pub fn lint(args: &Args) -> Result<(), CliError> {
+    let root = match args.get_or("root", "") {
+        "" => hk_lint::find_workspace_root(),
+        p => std::path::PathBuf::from(p),
+    };
+    let cfg = hk_lint::LintConfig::for_workspace(root);
+    let report = hk_lint::run(&cfg);
+    if args.is_set("json") {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if args.is_set("deny") && !report.is_clean() {
+        return Err(CliError::LintFindings(report.findings.len()));
     }
     Ok(())
 }

@@ -20,6 +20,10 @@
 //! * `hk fleet` — the windowed telemetry scenario: S sliding-window
 //!   switches exporting wire-v2 frames (full or delta) over a lossy
 //!   channel to a collector answering the network-wide windowed top-k.
+//! * `hk lint` — the workspace invariant lint (`crates/lint`): checks
+//!   hot-path allocation, lock-poison discipline, worker-path panics,
+//!   `#![forbid(unsafe_code)]` pins, wire determinism and wire-constant
+//!   consistency; `--deny` makes findings fatal.
 //!
 //! The argument parser is a small hand-rolled `--flag value` scanner so
 //! the workspace stays within its sanctioned dependency set.
@@ -44,6 +48,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "pcap" => commands::pcap(&args),
         "change" => commands::change(&args),
         "fleet" => commands::fleet(&args),
+        "lint" => commands::lint(&args),
         "help" | "" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -1,10 +1,19 @@
 //! The `hk` binary: see `hk help`.
+#![forbid(unsafe_code)]
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if let Err(e) = hk_cli::run(&argv) {
-        eprintln!("error: {e}");
-        eprint!("{}", hk_cli::commands::USAGE);
-        std::process::exit(2);
+    match hk_cli::run(&argv) {
+        Ok(()) => {}
+        // A dirty lint under --deny is a finding, not a usage error.
+        Err(e @ hk_cli::CliError::LintFindings(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", hk_cli::commands::USAGE);
+            std::process::exit(2);
+        }
     }
 }

@@ -46,7 +46,7 @@
 //! ```
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::merge::{MergeError, MergeMode};
 use crate::parallel::ParallelTopK;
@@ -341,7 +341,8 @@ impl<K: FlowKey> Collector<K> {
     /// The candidate buffer is scratch retained across calls — a
     /// collector polled every period stops allocating per query.
     pub fn top_k(&self) -> Vec<(K, u64)> {
-        let mut scratch = self.scratch.lock().expect("collector scratch mutex");
+        // Scratch is cleared before use — poison cannot leak state.
+        let mut scratch = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
         let candidates = &mut scratch.candidates;
         candidates.clear();
         candidates.extend(self.counts.iter().map(|(key, &c)| {
@@ -749,7 +750,8 @@ impl<K: FlowKey> Collector<K> {
         let mut switches: Vec<(&u64, &SwitchWindow<K>)> = self.windows.iter().collect();
         switches.sort_by_key(|(&id, _)| id);
 
-        let mut scratch = self.scratch.lock().expect("collector scratch mutex");
+        // Scratch is cleared before use — poison cannot leak state.
+        let mut scratch = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
         let QueryScratch { seen, candidates } = &mut *scratch;
         seen.clear();
         candidates.clear();

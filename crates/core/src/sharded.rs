@@ -563,6 +563,7 @@ where
                             // Clean death at a batch boundary: nothing
                             // of the crossing batch is applied.
                             FaultKind::Kill => {
+                                // hk-lint: allow(panic-free-worker-paths) deliberate fault injection: this panic IS the simulated worker death
                                 panic!("fault injection: kill at {threshold} packets")
                             }
                             // Torn death: apply the batch up to the
@@ -573,7 +574,7 @@ where
                             FaultKind::MidWalk => {
                                 let cut = (threshold.saturating_sub(applied) as usize)
                                     .min(batch.keys.len());
-                                let mut guard = algo.lock().expect("shard mutex");
+                                let mut guard = algo.lock().unwrap_or_else(PoisonError::into_inner);
                                 if handoff {
                                     guard.insert_prepared_batch(
                                         &batch.keys[..cut],
@@ -582,6 +583,7 @@ where
                                 } else {
                                     guard.insert_batch(&batch.keys[..cut]);
                                 }
+                                // hk-lint: allow(panic-free-worker-paths) deliberate fault injection: dies holding the algo mutex to simulate a torn walk
                                 panic!("fault injection: mid-walk at {threshold} packets")
                             }
                             // Silent stop: close the work ring from the
@@ -596,7 +598,13 @@ where
                         }
                     }
                     {
-                        let mut guard = algo.lock().expect("shard mutex");
+                        // A *live* worker can only observe poison from
+                        // a reader thread panicking in its `with_shard`
+                        // closure (shared access — the sketch is not
+                        // torn); a panic on this thread would have
+                        // killed the worker already. Absorb and keep
+                        // ingesting.
+                        let mut guard = algo.lock().unwrap_or_else(PoisonError::into_inner);
                         if handoff {
                             guard.insert_prepared_batch(&batch.keys, &batch.prepared);
                         } else {
@@ -618,7 +626,7 @@ where
                 Some(ShardMsg::Op(op)) => {
                     spins = 0;
                     {
-                        let mut guard = algo.lock().expect("shard mutex");
+                        let mut guard = algo.lock().unwrap_or_else(PoisonError::into_inner);
                         op(&mut guard);
                     }
                     processed.fetch_add(1, Ordering::Release);
@@ -1375,7 +1383,10 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let guard = shard.algo.lock().expect("shard mutex");
+                // The flush barrier already rejected dead workers;
+                // residual poison can only come from a reader's panic
+                // (shared access, state intact) — absorb it.
+                let guard = shard.algo.lock().unwrap_or_else(PoisonError::into_inner);
                 guard.export_frame(switch_id_base + i as u64, epoch_packets)
             })
             .collect())
@@ -1396,7 +1407,7 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
         self.flush()?;
         let mut out = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
-            let guard = shard.algo.lock().expect("shard mutex");
+            let guard = shard.algo.lock().unwrap_or_else(PoisonError::into_inner);
             match guard.export_delta(switch_id_base + i as u64, epoch_packets) {
                 Some(frame) => out.push(frame),
                 None => return Ok(None),
@@ -1427,7 +1438,7 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
         let mut out = Vec::with_capacity(self.shards.len());
         let mut complete = true;
         for (i, shard) in self.shards.iter().enumerate() {
-            let mut guard = shard.algo.lock().expect("shard mutex");
+            let mut guard = shard.algo.lock().unwrap_or_else(PoisonError::into_inner);
             // Call every shard even once one came up empty: the call is
             // what primes/advances each shard's shadow for next time.
             match guard.export_dirty(switch_id_base + i as u64, epoch_packets) {

@@ -42,7 +42,7 @@
 //! Memory is `W`× one sketch, the usual price of sliding windows.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::config::HkConfig;
 use crate::parallel::ParallelTopK;
@@ -263,8 +263,12 @@ impl<K: FlowKey> SlidingTopK<K> {
     }
 
     fn cache(&self) -> std::sync::MutexGuard<'_, HashMap<K, u64>> {
-        // Never poisoned: no code path can panic while holding it.
-        self.closed_cache.lock().expect("closed-cache mutex")
+        // The guard only covers map reads/inserts, so poison (which
+        // would need a panic in the allocator) cannot leave a torn
+        // entry behind — absorb it.
+        self.closed_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Cap on cached closed-epoch sums: enough for every `top_k`
@@ -325,10 +329,12 @@ impl<K: FlowKey> SlidingTopK<K> {
     /// order (stable sort), matching the pre-batch implementation
     /// bit for bit.
     pub fn top_k(&self) -> Vec<(K, u64)> {
+        // The scratch is cleared before use, so poisoned leftovers
+        // from an earlier panic cannot leak into this query.
         let mut scratch = self
             .topk_scratch
             .lock()
-            .expect("top-k scratch mutex: no panic while held");
+            .unwrap_or_else(PoisonError::into_inner);
         let TopKScratch { seen, candidates } = &mut *scratch;
         // `clear` keeps the allocations: across polls the dedup set and
         // the candidate buffer reach a steady capacity (≤ W·k entries)

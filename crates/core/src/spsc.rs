@@ -83,6 +83,7 @@ impl<T> SpscRing<T> {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        // hk-lint: allow(panic-free-worker-paths) construction-time contract — a zero-capacity ring is a build bug, not a runtime fault
         assert!(capacity > 0, "ring capacity must be positive");
         Self {
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
@@ -103,9 +104,11 @@ impl<T> SpscRing<T> {
             return Err(PushError::Full(item));
         }
         let tail = self.tail.load(Ordering::Relaxed);
+        // Poison cannot tear a slot: the critical section is a plain
+        // Option swap. Absorb it rather than cascade the panic.
         *self.slots[tail % self.slots.len()]
             .lock()
-            .expect("slot poisoned") = Some(item);
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(item);
         self.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
         self.len.fetch_add(1, Ordering::SeqCst);
         Ok(())
@@ -120,7 +123,7 @@ impl<T> SpscRing<T> {
         let head = self.head.load(Ordering::Relaxed);
         let item = self.slots[head % self.slots.len()]
             .lock()
-            .expect("slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
         debug_assert!(item.is_some(), "len > 0 implies an occupied head slot");
         self.head.store(head.wrapping_add(1), Ordering::Relaxed);

@@ -1,0 +1,550 @@
+//! A small Rust lexer, sufficient for token-level lint rules.
+//!
+//! This is not a full grammar — it only has to get *tokenization*
+//! right, because every rule in this crate works on token sequences.
+//! The traps that break naive regex-based linters are handled
+//! properly:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any number of hashes) and raw byte
+//!   strings (`br#"…"#`) — an `unwrap()` *inside* a raw string is text,
+//!   not code;
+//! * nested block comments (`/* /* */ */`), which Rust allows;
+//! * lifetimes vs char literals (`'a` vs `'x'`, including escapes like
+//!   `'\''` and `'\x41'`);
+//! * byte strings with escapes (`b"HKCKPT\0\0"`), decoded to their
+//!   byte values so magic-constant rules compare real bytes;
+//! * raw identifiers (`r#type`), which start like a raw string.
+//!
+//! Comments are kept as tokens (the suppression syntax lives in them);
+//! rules that only care about code filter them out via
+//! [`Token::is_comment`].
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …). Raw
+    /// identifiers (`r#type`) lex as their unprefixed name.
+    Ident(String),
+    /// `'a`, `'static` — a lifetime, *not* a char literal.
+    Lifetime(String),
+    /// `'x'`, `'\n'`, `b'x'` — char and byte literals.
+    CharLit,
+    /// `"…"` cooked string; payload is the source text between the
+    /// quotes (escapes left as written — rules treat strings as
+    /// opaque).
+    Str(String),
+    /// `r"…"` / `r#"…"#` raw string; payload is the raw content.
+    RawStr(String),
+    /// `b"…"` / `br#"…"#` byte string; payload is the *decoded* byte
+    /// value (escapes resolved), so `b"HKCKPT\0\0"` yields 8 bytes.
+    ByteStr(Vec<u8>),
+    /// Numeric literal, verbatim (`0xA1B2_C3D4`, `1.5e-3`, `42u64`).
+    Num(String),
+    /// Any single punctuation character (`.`, `!`, `(`, `:`, …).
+    Punct(char),
+    /// `// …` — payload is the text after the two slashes.
+    LineComment(String),
+    /// `/* … */` (possibly nested) — payload is the inner text.
+    BlockComment(String),
+}
+
+impl Token {
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment(_) | TokenKind::BlockComment(_)
+        )
+    }
+
+    /// The identifier's name, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) -> &'a [u8] {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if f(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Unterminated constructs (string/comment running to
+/// EOF) terminate the token at EOF rather than erroring — a linter
+/// should degrade, not die, on weird input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                c.bump();
+                c.bump();
+                let text = c.eat_while(|b| b != b'\n');
+                out.push(Token {
+                    kind: TokenKind::LineComment(String::from_utf8_lossy(text).into_owned()),
+                    line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                let mut depth = 1usize;
+                let mut end = c.pos;
+                while depth > 0 {
+                    if c.peek().is_none() {
+                        end = c.pos;
+                        break;
+                    }
+                    if c.peek() == Some(b'/') && c.peek_at(1) == Some(b'*') {
+                        c.bump();
+                        c.bump();
+                        depth += 1;
+                    } else if c.peek() == Some(b'*') && c.peek_at(1) == Some(b'/') {
+                        depth -= 1;
+                        end = c.pos;
+                        c.bump();
+                        c.bump();
+                    } else {
+                        c.bump();
+                    }
+                }
+                let text = &c.src[start..end.max(start)];
+                out.push(Token {
+                    kind: TokenKind::BlockComment(String::from_utf8_lossy(text).into_owned()),
+                    line,
+                });
+            }
+            b'r' if starts_raw_string(&c, 1) => {
+                c.bump(); // r
+                let content = lex_raw_string(&mut c);
+                out.push(Token {
+                    kind: TokenKind::RawStr(content),
+                    line,
+                });
+            }
+            b'r' if c.peek_at(1) == Some(b'#')
+                && c.peek_at(2).is_some_and(is_ident_start)
+                && c.peek_at(2) != Some(b'"') =>
+            {
+                // Raw identifier r#type.
+                c.bump();
+                c.bump();
+                let name = c.eat_while(is_ident_continue);
+                out.push(Token {
+                    kind: TokenKind::Ident(String::from_utf8_lossy(name).into_owned()),
+                    line,
+                });
+            }
+            b'b' if c.peek_at(1) == Some(b'"') => {
+                c.bump(); // b
+                c.bump(); // "
+                let bytes = lex_cooked_string(&mut c, true);
+                out.push(Token {
+                    kind: TokenKind::ByteStr(bytes),
+                    line,
+                });
+            }
+            b'b' if c.peek_at(1) == Some(b'r') && starts_raw_string(&c, 2) => {
+                c.bump(); // b
+                c.bump(); // r
+                let content = lex_raw_string(&mut c);
+                out.push(Token {
+                    kind: TokenKind::ByteStr(content.into_bytes()),
+                    line,
+                });
+            }
+            b'b' if c.peek_at(1) == Some(b'\'') => {
+                c.bump(); // b
+                c.bump(); // '
+                lex_char_tail(&mut c);
+                out.push(Token {
+                    kind: TokenKind::CharLit,
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let name = c.eat_while(is_ident_continue);
+                out.push(Token {
+                    kind: TokenKind::Ident(String::from_utf8_lossy(name).into_owned()),
+                    line,
+                });
+            }
+            b'"' => {
+                c.bump();
+                let bytes = lex_cooked_string(&mut c, false);
+                out.push(Token {
+                    kind: TokenKind::Str(String::from_utf8_lossy(&bytes).into_owned()),
+                    line,
+                });
+            }
+            b'\'' => {
+                c.bump();
+                // Lifetime or char literal. After the quote, an
+                // identifier followed by a closing quote is a char
+                // ('a'); an identifier NOT followed by a closing quote
+                // is a lifetime ('a, 'static). Anything else (escape,
+                // punctuation char) is a char literal.
+                if c.peek().is_some_and(is_ident_start) && c.peek() != Some(b'\\') {
+                    let start = c.pos;
+                    c.eat_while(is_ident_continue);
+                    if c.peek() == Some(b'\'') {
+                        c.bump(); // closing quote: char literal
+                        out.push(Token {
+                            kind: TokenKind::CharLit,
+                            line,
+                        });
+                    } else {
+                        let name = &c.src[start..c.pos];
+                        out.push(Token {
+                            kind: TokenKind::Lifetime(String::from_utf8_lossy(name).into_owned()),
+                            line,
+                        });
+                    }
+                } else {
+                    lex_char_tail(&mut c);
+                    out.push(Token {
+                        kind: TokenKind::CharLit,
+                        line,
+                    });
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let start = c.pos;
+                c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+                // Decimal point: consume only when followed by a digit,
+                // so `1.max(2)` and tuple access stay method calls.
+                if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                    c.bump();
+                    c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+                }
+                // Signed exponent (1e-3): the sign follows e/E.
+                if matches!(c.src.get(c.pos.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                    && matches!(c.peek(), Some(b'+') | Some(b'-'))
+                    && c.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    c.bump();
+                    c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+                }
+                let text = &c.src[start..c.pos];
+                out.push(Token {
+                    kind: TokenKind::Num(String::from_utf8_lossy(text).into_owned()),
+                    line,
+                });
+            }
+            _ => {
+                c.bump();
+                out.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does a raw string start at offset `off` (just past `r` / `br`)?
+/// Matches zero or more `#` then `"`.
+fn starts_raw_string(c: &Cursor<'_>, off: usize) -> bool {
+    let mut i = off;
+    while c.peek_at(i) == Some(b'#') {
+        i += 1;
+    }
+    c.peek_at(i) == Some(b'"')
+}
+
+/// Lexes `#*"…"#*` with the cursor positioned at the first `#` or `"`.
+fn lex_raw_string(c: &mut Cursor<'_>) -> String {
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    c.bump(); // opening quote
+    let start = c.pos;
+    let end;
+    loop {
+        match c.peek() {
+            None => {
+                end = c.pos;
+                break;
+            }
+            Some(b'"') => {
+                // Candidate close: needs `hashes` trailing #s.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if c.peek_at(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = c.pos;
+                    c.bump();
+                    for _ in 0..hashes {
+                        c.bump();
+                    }
+                    break;
+                }
+                c.bump();
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+    String::from_utf8_lossy(&c.src[start..end.max(start)]).into_owned()
+}
+
+/// Lexes the body of a cooked (escaped) string, cursor just past the
+/// opening quote. Returns the decoded bytes. `byte_ctx` only matters
+/// for documentation — decoding is identical.
+fn lex_cooked_string(c: &mut Cursor<'_>, _byte_ctx: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        match c.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => match c.bump() {
+                Some(b'0') => out.push(0),
+                Some(b'n') => out.push(b'\n'),
+                Some(b'r') => out.push(b'\r'),
+                Some(b't') => out.push(b'\t'),
+                Some(b'\\') => out.push(b'\\'),
+                Some(b'"') => out.push(b'"'),
+                Some(b'\'') => out.push(b'\''),
+                Some(b'x') => {
+                    let hi = c.bump();
+                    let lo = c.bump();
+                    let val = |b: Option<u8>| b.and_then(|b| (b as char).to_digit(16)).unwrap_or(0);
+                    out.push((val(hi) * 16 + val(lo)) as u8);
+                }
+                Some(b'\n') => {
+                    // Line-continuation escape: skip leading whitespace.
+                    while matches!(c.peek(), Some(b' ') | Some(b'\t')) {
+                        c.bump();
+                    }
+                }
+                Some(other) => out.push(other),
+                None => break,
+            },
+            Some(other) => out.push(other),
+        }
+    }
+    out
+}
+
+/// Consumes the rest of a char literal, cursor just past the opening
+/// quote (escape or single char, then closing quote).
+fn lex_char_tail(c: &mut Cursor<'_>) {
+    match c.bump() {
+        Some(b'\\') => {
+            match c.bump() {
+                Some(b'x') => {
+                    c.bump();
+                    c.bump();
+                }
+                Some(b'u') => {
+                    // \u{…}
+                    while c.peek().is_some() && c.peek() != Some(b'}') && c.peek() != Some(b'\'') {
+                        c.bump();
+                    }
+                    if c.peek() == Some(b'}') {
+                        c.bump();
+                    }
+                }
+                _ => {}
+            }
+        }
+        _ => {
+            // Multi-byte UTF-8 chars: eat continuation bytes.
+            while c.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                c.bump();
+            }
+        }
+    }
+    if c.peek() == Some(b'\'') {
+        c.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_hides_code() {
+        let toks = lex(r###"let s = r#"x.unwrap() inside"#; y.unwrap();"###);
+        let unwraps = toks.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1, "only the real unwrap outside the raw string");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::RawStr(s) if s.contains("unwrap"))));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            idents("a /* outer /* inner */ still comment */ b"),
+            ["a", "b"]
+        );
+        assert!(toks.iter().any(|t| matches!(
+            &t.kind,
+            TokenKind::BlockComment(s) if s.contains("inner")
+        )));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\''", "'\\n'", "'\\x41'", "'\\u{1F600}'", "'é'"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, TokenKind::CharLit, "{src}");
+        }
+    }
+
+    #[test]
+    fn byte_string_escapes_decode() {
+        let toks = lex(r#"const C: &[u8] = b"HKCKPT\0\0";"#);
+        let bytes = toks
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::ByteStr(b) => Some(b.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(bytes, b"HKCKPT\0\0");
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_with_underscores_and_hex() {
+        let toks = lex("0xA1B2_C3D4 1_000 1.5e-3 x.0");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0xA1B2_C3D4", "1_000", "1.5e-3", "0"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\n\nb /* x\ny */ c");
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        let c = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!((a.line, b.line, c.line), (1, 3, 4));
+    }
+
+    #[test]
+    fn comments_preserved_for_suppressions() {
+        let toks = lex("x(); // hk-lint: allow(some-rule) reason here");
+        assert!(toks.iter().any(|t| matches!(
+            &t.kind,
+            TokenKind::LineComment(s) if s.contains("hk-lint")
+        )));
+    }
+}

@@ -1,0 +1,61 @@
+//! `hk-lint` binary: lints the workspace for repo invariants.
+//!
+//! ```text
+//! hk-lint [--deny] [--json] [--list-rules] [--root PATH]
+//! ```
+//!
+//! `--deny` exits 1 when findings remain (the CI gate); `--json` emits
+//! machine-readable output; `--root` overrides the workspace root
+//! (default: walk up from the current directory to the first directory
+//! containing a `Cargo.toml` with `[workspace]`).
+#![forbid(unsafe_code)]
+
+use hk_lint::find_workspace_root;
+use std::path::PathBuf;
+
+fn main() {
+    let mut deny = false;
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--list-rules" => list = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("hk-lint [--deny] [--json] [--list-rules] [--root PATH]");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if list {
+        for (name, desc) in hk_lint::rules::RULES {
+            println!("{name}: {desc}");
+        }
+        return;
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let cfg = hk_lint::LintConfig::for_workspace(root);
+    let report = hk_lint::run(&cfg);
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture crate root *without* the pin — reported at line 1. //~ forbid-unsafe-pinned
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//! Fixture crate root that carries the pin — no finding.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

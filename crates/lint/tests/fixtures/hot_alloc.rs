@@ -1,0 +1,28 @@
+//! Fixture: no-alloc-in-hot-path. The test config marks `hot_insert`
+//! as a hot function; `cold_path` is not configured and may allocate.
+//! Trailing markers name the finding expected on each line.
+
+pub fn hot_insert(keys: &[u64], out: &mut Vec<u64>) {
+    let v: Vec<u64> = Vec::new(); //~ no-alloc-in-hot-path
+    let w = keys.to_vec(); //~ no-alloc-in-hot-path
+    let s = format!("x{}", keys.len()); //~ no-alloc-in-hot-path
+    let b = Box::new(1u64); //~ no-alloc-in-hot-path
+    let t = String::from("y"); //~ no-alloc-in-hot-path
+    let c = out.clone(); //~ no-alloc-in-hot-path
+    let m = vec![1u64, 2]; //~ no-alloc-in-hot-path
+    let n = s.to_string(); //~ no-alloc-in-hot-path
+    out.push(keys.len() as u64);
+    let _ = (v, w, b, t, c, m, n);
+}
+
+pub fn hot_but_clean(keys: &[u64], out: &mut Vec<u64>) {
+    // Recycled-buffer discipline: only stores into existing capacity.
+    out.clear();
+    out.extend_from_slice(keys);
+}
+
+pub fn cold_path(keys: &[u64]) -> Vec<u64> {
+    let mut v = Vec::new();
+    v.extend_from_slice(keys);
+    v.clone()
+}

@@ -1,0 +1,36 @@
+//! Fixture: lock-poison-discipline. Bare unwrap/expect on lock() are
+//! findings; the PoisonError::into_inner pattern and test-module
+//! unwraps are not.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn bad_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() //~ lock-poison-discipline
+}
+
+pub fn bad_expect(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("poisoned") //~ lock-poison-discipline
+}
+
+pub fn bad_multiline(m: &Mutex<u64>) -> u64 {
+    *m
+        .lock()
+        .unwrap() //~ lock-poison-discipline
+}
+
+pub fn good_absorb(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn good_match(m: &Mutex<u64>) -> Option<u64> {
+    m.lock().ok().map(|g| *g)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = std::sync::Mutex::new(1u64);
+        let _ = m.lock().unwrap();
+    }
+}

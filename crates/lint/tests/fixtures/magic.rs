@@ -1,0 +1,30 @@
+//! Fixture: wire-constant-consistency. The test registry pins magic
+//! b"HKTX" and version const VERSION = 1; everything that disagrees is
+//! a finding.
+
+pub const MAGIC: &[u8; 4] = b"HKTX";
+pub const BAD_MAGIC: &[u8; 4] = b"HKZZ"; //~ wire-constant-consistency
+pub const VERSION: u8 = 1;
+pub const FRAME_VERSION: u8 = 9; //~ wire-constant-consistency
+
+pub fn encode(out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+}
+
+pub fn decode(buf: &[u8]) -> bool {
+    if buf.len() < 5 || &buf[..4] != MAGIC {
+        return false;
+    }
+    let version = buf[4];
+    if version == 7 { //~ wire-constant-consistency
+        return false;
+    }
+    version == VERSION
+}
+
+pub fn hand_built_frame() -> Vec<u8> {
+    let mut v = b"HKQQ".to_vec(); //~ wire-constant-consistency
+    v.push(VERSION);
+    v
+}

@@ -1,0 +1,40 @@
+//! Fixture: suppression behavior. The whole file is worker scope for
+//! the test config, so every bare `.unwrap()` is a finding unless a
+//! reasoned allow covers its line. Directives sit inside block
+//! comments to keep the expectation markers out of the directive
+//! reason.
+
+pub fn covered_line_below(x: Option<u64>) -> u64 {
+    // hk-lint: allow(panic-free-worker-paths) fixture: reasoned allow covering the next line
+    x.unwrap()
+}
+
+pub fn covered_same_line(x: Option<u64>) -> u64 {
+    x.unwrap() /* hk-lint: allow(panic-free-worker-paths) fixture: reasoned same-line allow */
+}
+
+pub fn allow_without_reason(x: Option<u64>) -> u64 {
+    /* hk-lint: allow(panic-free-worker-paths) */ //~ suppression
+    x.unwrap() //~ panic-free-worker-paths
+}
+
+pub fn allow_unknown_rule(x: Option<u64>) -> u64 {
+    /* hk-lint: allow(no-such-rule) believable reason */ //~ suppression
+    x.unwrap() //~ panic-free-worker-paths
+}
+
+pub fn malformed_directive(x: Option<u64>) -> u64 {
+    /* hk-lint: disable-everything */ //~ suppression
+    x.unwrap() //~ panic-free-worker-paths
+}
+
+pub fn allow_too_far_away(x: Option<u64>) -> u64 {
+    // hk-lint: allow(panic-free-worker-paths) fixture: a blank line breaks coverage
+
+    x.unwrap() //~ panic-free-worker-paths
+}
+
+pub fn allow_wrong_rule(x: Option<u64>) -> u64 {
+    // hk-lint: allow(no-alloc-in-hot-path) fixture: names a different rule
+    x.unwrap() //~ panic-free-worker-paths
+}

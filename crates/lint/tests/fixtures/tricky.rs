@@ -1,0 +1,20 @@
+//! Fixture: lexer traps. This file is in worker scope for the test
+//! config — every `unwrap`/`panic!` below is inside a string or a
+//! comment except the single real one at the end.
+
+pub fn raw_strings_hide_code() -> usize {
+    let s = r#"value.unwrap() and panic!("x") inside a raw string"#;
+    let t = r##"nested "# hash-guard, still .expect("hidden")"##;
+    let u = "cooked string with x.unwrap() and \" escaped quote";
+    /* block comment with x.unwrap()
+       /* nested: panic!("still a comment") */
+       still the outer comment: .expect("here") */
+    let lifetime_not_char: &'static str = "ok";
+    let c = 'x';
+    let esc = '\'';
+    s.len() + t.len() + u.len() + lifetime_not_char.len() + (c as usize) + (esc as usize)
+}
+
+pub fn generic_lifetimes<'a>(x: &'a Option<u64>) -> u64 {
+    x.unwrap() //~ panic-free-worker-paths
+}

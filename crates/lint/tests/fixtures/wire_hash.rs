@@ -1,0 +1,31 @@
+//! Fixture: wire-determinism. Functions whose names carry a wire
+//! marker (wire/export/encode/checkpoint) must not iterate
+//! hash-ordered collections; other functions may.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Telemetry {
+    pub counts: HashMap<u64, u64>,
+}
+
+impl Telemetry {
+    pub fn export_counts(&self, out: &mut Vec<(u64, u64)>) {
+        for (k, v) in self.counts.iter() { //~ wire-determinism
+            out.push((*k, *v));
+        }
+    }
+
+    pub fn export_sorted(&self, out: &mut Vec<(u64, u64)>) {
+        let scratch: HashMap<u64, u64> = HashMap::new(); //~ wire-determinism
+        out.extend(scratch.keys().map(|k| (*k, 0))); //~ wire-determinism
+    }
+
+    pub fn query_counts(&self) -> usize {
+        // Not a wire-path function: hash-order iteration is fine here.
+        self.counts.iter().count()
+    }
+
+    pub fn encode_tags(&self, tags: &HashSet<u64>) -> u64 {
+        tags.iter().sum() //~ wire-determinism
+    }
+}

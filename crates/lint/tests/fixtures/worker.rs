@@ -1,0 +1,28 @@
+//! Fixture: panic-free-worker-paths. The test config lists this whole
+//! file as worker scope.
+
+pub fn worker_loop_fixture(x: Option<u64>) -> u64 {
+    if x.is_none() {
+        panic!("boom"); //~ panic-free-worker-paths
+    }
+    let y = x.unwrap(); //~ panic-free-worker-paths
+    let z = x.expect("present"); //~ panic-free-worker-paths
+    assert_eq!(y, z); //~ panic-free-worker-paths
+    todo!() //~ panic-free-worker-paths
+}
+
+pub fn graceful(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("unreachable in tests is fine");
+        }
+    }
+}

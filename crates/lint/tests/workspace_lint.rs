@@ -1,0 +1,32 @@
+//! The in-process workspace sweep: `cargo test -q` fails on any new
+//! lint violation, with the full diagnostic listing in the assert
+//! message. CI additionally runs `cargo run -p hk-lint -- --deny` so
+//! the gate holds even for test profiles that filter this crate out.
+
+use hk_lint::{run, LintConfig};
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = run(&LintConfig::for_workspace(root));
+    assert!(
+        report.is_clean(),
+        "hk-lint found violations:\n{}",
+        report.render_text()
+    );
+    // Guard against the walker silently scanning nothing (wrong root,
+    // over-broad exclude) — a vacuous pass is not a pass.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — lint root looks wrong",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed >= 1,
+        "expected at least one reasoned allow in-tree"
+    );
+}

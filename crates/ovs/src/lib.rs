@@ -14,6 +14,7 @@
 //! throughput — the quantity Figure 34 compares — is preserved; absolute
 //! Mps obviously reflect this machine, as the paper's reflect theirs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datapath;

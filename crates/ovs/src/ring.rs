@@ -96,9 +96,11 @@ impl<T> SharedRing<T> {
             return Err(item);
         }
         let tail = self.tail.load(Ordering::Relaxed);
+        // Poison cannot tear a slot: the critical section is a plain
+        // Option swap. Absorb it rather than cascade the panic.
         *self.slots[tail % self.slots.len()]
             .lock()
-            .expect("slot poisoned") = Some(item);
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(item);
         self.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
         self.len.fetch_add(1, Ordering::Release);
         Ok(())
@@ -144,7 +146,7 @@ impl<T> SharedRing<T> {
         let head = self.head.load(Ordering::Relaxed);
         let item = self.slots[head % self.slots.len()]
             .lock()
-            .expect("slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
         debug_assert!(item.is_some(), "len > 0 implies an occupied head slot");
         self.head.store(head.wrapping_add(1), Ordering::Relaxed);

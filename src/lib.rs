@@ -15,10 +15,14 @@
 //! * [`hk_telemetry`] — the windowed telemetry plane (fleet scenario
 //!   driver over the wire-v2 epoch frames).
 //! * [`hk_common`] — shared substrate (hashing, Stream-Summary, top-k).
+//! * [`hk_lint`] — the workspace invariant lint (`hk lint`, CI `--deny`
+//!   gate, in-process sweep in `crates/lint/tests/`).
+#![forbid(unsafe_code)]
 
 pub use heavykeeper;
 pub use hk_baselines;
 pub use hk_common;
+pub use hk_lint;
 pub use hk_metrics;
 pub use hk_ovs;
 pub use hk_telemetry;

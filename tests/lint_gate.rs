@@ -1,0 +1,24 @@
+//! Tier-1 lint gate: the workspace invariant lint (`crates/lint`) runs
+//! in-process as part of the umbrella package's plain `cargo test -q`,
+//! so a new violation fails the default test run — no extra CI wiring
+//! required. `crates/lint/tests/workspace_lint.rs` repeats the sweep
+//! under `cargo test --workspace`, and CI also runs the
+//! `hk-lint --deny` binary.
+
+use hk_repro::hk_lint::{run, LintConfig};
+
+#[test]
+fn workspace_passes_invariant_lint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = run(&LintConfig::for_workspace(root));
+    assert!(
+        report.is_clean(),
+        "hk-lint found violations:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — lint root looks wrong",
+        report.files_scanned
+    );
+}
