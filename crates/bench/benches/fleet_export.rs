@@ -50,6 +50,7 @@ fn fleet_cfg(mode: ExportMode, epoch_packets: usize) -> FleetConfig {
         mode,
         loss: 0.0,
         reorder: 0.0,
+        lease: 0,
     }
 }
 

@@ -24,7 +24,8 @@ USAGE:
   hk run      --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
               [--batch N] [--shards S] [--window W] [--epoch-packets N]
               [--layout-report] [--fault PLAN] [--recover]
-              [--checkpoint-every N] [--min-recall R]
+              [--checkpoint-every N] [--reshard M@P[,M@P...]]
+              [--min-recall R]
   hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
   hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
   hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
@@ -35,7 +36,7 @@ USAGE:
   hk fleet    [--switches S] [--window W] [--epoch-packets N] [--periods P]
               [--flows M] [--skew Z] [--memory-kb KB] [--k K] [--seed X]
               [--delta-mode full|delta|dirty] [--delta] [--loss p]
-              [--reorder q] [--min-recall R]
+              [--reorder q] [--lease N] [--outage S@A..B] [--min-recall R]
   hk lint     [--root DIR] [--json] [--deny]
   hk help
 
@@ -50,6 +51,18 @@ Fault injection (--algo parallel only):
   With --recover the engine checkpoints every --checkpoint-every
   batches (default 8) and respawns dead shards from their last
   checkpoint; --min-recall R fails the run if precision drops below R.
+
+Live resharding (--algo parallel, steady path only):
+  --reshard takes comma-separated shards@packets steps, e.g.
+  `4@200000` (grow to 4 shards once 200000 packets streamed). Each
+  step is a drain/split/swap migration under traffic; it implies
+  checkpointing and composes with --fault/--recover.
+
+Fleet leases:
+  --lease N evicts a switch after N rotations of silence; a returning
+  switch is re-admitted through a full-snapshot resync. --outage S@A..B
+  silences switch S's uplink during periods [A, B) to exercise the
+  evict/re-admit cycle from the driver.
 ";
 
 /// Builds an algorithm by CLI name. The box is `Send` so instances can
@@ -139,15 +152,26 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
     };
     let recover = args.is_set("recover");
     let ckpt_every: u64 = args.num_or("checkpoint-every", 8)?;
-    // Fault injection and recovery need the concrete checkpointable
-    // engines (ParallelTopK / SlidingTopK), not a boxed algorithm —
-    // and the engine path even at --shards 1.
+    let reshard_steps = match args.get_or("reshard", "") {
+        "" => Vec::new(),
+        spec => parse_reshard_schedule(spec).map_err(CliError::Usage)?,
+    };
+    // Fault injection, recovery and live resharding need the concrete
+    // checkpointable engines (ParallelTopK / SlidingTopK), not a boxed
+    // algorithm — and the engine path even at --shards 1.
     let fault_mode = fault.is_some() || recover;
-    if fault_mode && algo_name != "parallel" {
+    if (fault_mode || !reshard_steps.is_empty()) && algo_name != "parallel" {
         return Err(CliError::Usage(format!(
-            "--fault/--recover ride the checkpointable engines and \
-             support --algo parallel only (got `{algo_name}`)"
+            "--fault/--recover/--reshard ride the checkpointable engines \
+             and support --algo parallel only (got `{algo_name}`)"
         )));
+    }
+    if !reshard_steps.is_empty() && window > 0 {
+        return Err(CliError::Usage(
+            "--reshard rides the steady engine path and does not combine \
+             with --window yet"
+                .into(),
+        ));
     }
 
     if args.is_set("layout-report") {
@@ -212,14 +236,25 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
         };
     }
 
-    if fault_mode {
+    if fault_mode || !reshard_steps.is_empty() {
         // Concrete ParallelTopK shards (not boxed) so the engine can
-        // checkpoint and respawn them.
+        // checkpoint, respawn and reshard them. `--reshard` implies
+        // the checkpoint plane — the migration moves state as
+        // checkpoint bytes.
         let mut engine = ShardedEngine::from_fn(shards, k, |_| {
             ParallelTopK::<u64>::with_memory(mem / shards, k, seed)
         });
         arm_fault_harness(&mut engine, fault.as_ref(), recover, ckpt_every)?;
-        let report = stream_steady(&mut engine, &trace, batch, shards, k);
+        let mut steps = reshard_steps.iter().copied().peekable();
+        let report = stream_steady_with(&mut engine, &trace, batch, shards, k, |eng, fed| {
+            while steps.peek().is_some_and(|&(_, at)| at <= fed) {
+                let (to, at) = steps.next().expect("peeked");
+                match eng.reshard(to) {
+                    Ok(rep) => println!("@{at} pkts: {rep}"),
+                    Err(e) => println!("@{at} pkts: reshard refused: {e}"),
+                }
+            }
+        });
         finish_engine_run(&mut engine, recover, trace.len() as u64)?;
         enforce_min_recall(args, report.precision)
     } else if shards > 1 {
@@ -286,7 +321,45 @@ where
             );
         }
     }
+    let racc = hk_metrics::ReshardAccounting::from_reports(engine.reshard_log());
+    if racc.migrations > 0 {
+        println!(
+            "reshard: {racc} | {:.4}% of stream dark",
+            100.0 * racc.dark_fraction(stream_packets)
+        );
+    }
     check_shard_health(engine)
+}
+
+/// Parses `--reshard`'s comma-separated `shards@packets` steps into a
+/// schedule sorted by trigger point.
+fn parse_reshard_schedule(s: &str) -> Result<Vec<(usize, u64)>, String> {
+    let mut steps = Vec::new();
+    for entry in s.split(',').filter(|e| !e.is_empty()) {
+        let bad = || format!("bad reshard step `{entry}` (want shards@packets)");
+        let (m, p) = entry.split_once('@').ok_or_else(bad)?;
+        let to: usize = m.parse().map_err(|_| bad())?;
+        let at: u64 = p.parse().map_err(|_| bad())?;
+        if to == 0 {
+            return Err(format!("reshard step `{entry}` asks for zero shards"));
+        }
+        steps.push((to, at));
+    }
+    steps.sort_by_key(|&(_, at)| at);
+    Ok(steps)
+}
+
+/// Parses `--outage`'s `switch@from..to` spec: switch index plus the
+/// half-open period range during which its uplink is down.
+fn parse_outage(s: &str) -> Result<(usize, usize, usize), String> {
+    let bad = || format!("bad outage `{s}` (want switch@from..to)");
+    let (sw, range) = s.split_once('@').ok_or_else(bad)?;
+    let (from, to) = range.split_once("..").ok_or_else(bad)?;
+    Ok((
+        sw.parse().map_err(|_| bad())?,
+        from.parse().map_err(|_| bad())?,
+        to.parse().map_err(|_| bad())?,
+    ))
 }
 
 /// Applies the `--min-recall` floor to a run's precision, turning the
@@ -327,10 +400,27 @@ fn stream_steady<A: TopKAlgorithm<u64>>(
     shards: usize,
     k: usize,
 ) -> hk_metrics::AccuracyReport {
+    stream_steady_with(algo, trace, batch, shards, k, |_, _| {})
+}
+
+/// [`stream_steady`] with an after-each-chunk hook carrying the
+/// cumulative packet count — the `--reshard` schedule trigger rides
+/// this, firing its migrations at exact points of the stream.
+fn stream_steady_with<A: TopKAlgorithm<u64>>(
+    algo: &mut A,
+    trace: &Trace<u64>,
+    batch: usize,
+    shards: usize,
+    k: usize,
+    mut after_chunk: impl FnMut(&mut A, u64),
+) -> hk_metrics::AccuracyReport {
     let oracle = ExactCounter::from_packets(&trace.packets);
     let start = Instant::now();
+    let mut fed = 0u64;
     for chunk in trace.packets.chunks(batch) {
         algo.insert_batch(chunk);
+        fed += chunk.len() as u64;
+        after_chunk(algo, fed);
     }
     // top_k flushes the sharded engine, so the clock covers every packet.
     let top = algo.top_k();
@@ -733,6 +823,11 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
     };
     let loss: f64 = args.num_or("loss", 0.0)?;
     let reorder: f64 = args.num_or("reorder", 0.0)?;
+    let lease: u64 = args.num_or("lease", 0)?;
+    let outage = match args.get_or("outage", "") {
+        "" => None,
+        spec => Some(parse_outage(spec).map_err(CliError::Usage)?),
+    };
     if switches == 0 || window == 0 || epoch_packets == 0 || periods == 0 {
         return Err(CliError::Usage(
             "--switches/--window/--epoch-packets/--periods must be positive".into(),
@@ -742,6 +837,18 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Usage(
             "--loss and --reorder must be in [0, 1)".into(),
         ));
+    }
+    if let Some((sw, from, to)) = outage {
+        if sw >= switches {
+            return Err(CliError::Usage(format!(
+                "--outage names switch {sw} but the fleet has {switches}"
+            )));
+        }
+        if from >= to {
+            return Err(CliError::Usage(
+                "--outage wants a non-empty period range A..B".into(),
+            ));
+        }
     }
 
     let trace = sampled_zipf((periods * epoch_packets) as u64, flows, skew, seed);
@@ -755,9 +862,21 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         mode,
         loss,
         reorder,
+        lease,
     });
     let start = Instant::now();
-    fleet.run_trace(&trace.packets);
+    // The per-period loop (instead of `run_trace`) lets an `--outage`
+    // silence one switch's uplink for a stretch of rotations — the
+    // switch keeps measuring, the collector stops hearing from it.
+    for (period, chunk) in trace.packets.chunks(epoch_packets).enumerate() {
+        if let Some((sw, from, to)) = outage {
+            fleet.set_muted(sw, (from..to).contains(&period));
+        }
+        fleet.ingest(chunk);
+        if chunk.len() == epoch_packets {
+            fleet.rotate();
+        }
+    }
     let secs = start.elapsed().as_secs_f64();
     // One oracle build serves both the recall score and the
     // comparison table below.
@@ -784,6 +903,12 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         s.resyncs,
         s.duplicates,
     );
+    if lease > 0 || s.evictions > 0 {
+        println!(
+            "lease {lease}: {} eviction(s), {} re-admission(s)",
+            s.evictions, s.readmissions,
+        );
+    }
     println!(
         "export: {} bytes total, {} bytes last rotation ({} per switch) | {:.2} Mps end-to-end",
         s.bytes_sent,
@@ -1006,6 +1131,106 @@ mod tests {
         assert!(run_stream(&bad).is_err());
         let bad = Args::parse(&sv(&["run", "--trace", path_s, "--shards", "0"])).unwrap();
         assert!(run_stream(&bad).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_reshards_mid_stream() {
+        let dir = std::env::temp_dir().join("hk-cli-reshard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+        let gen = Args::parse(&sv(&[
+            "generate",
+            "--out",
+            path_s,
+            "--kind",
+            "zipf",
+            "--packets",
+            "40000",
+            "--flows",
+            "2000",
+            "--skew",
+            "1.1",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        generate(&gen).unwrap();
+
+        // Grow 2 -> 4 a quarter of the way in, then shrink back to 2 —
+        // the run still clears the recall floor.
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--memory-kb",
+            "32",
+            "--k",
+            "10",
+            "--shards",
+            "2",
+            "--batch",
+            "512",
+            "--reshard",
+            "4@10000,2@30000",
+            "--min-recall",
+            "0.8",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // A kill after the grow composes with --recover.
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--memory-kb",
+            "32",
+            "--k",
+            "10",
+            "--shards",
+            "2",
+            "--batch",
+            "512",
+            "--reshard",
+            "4@10000",
+            "--fault",
+            "kill:1@15000",
+            "--recover",
+            "--min-recall",
+            "0.8",
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+
+        // Misuse: resharding rides the steady parallel engine only.
+        let bad = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--algo",
+            "space-saving",
+            "--reshard",
+            "4@10000",
+        ]))
+        .unwrap();
+        assert!(matches!(run_stream(&bad).unwrap_err(), CliError::Usage(_)));
+        let bad = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            path_s,
+            "--window",
+            "4",
+            "--reshard",
+            "4@10000",
+        ]))
+        .unwrap();
+        assert!(matches!(run_stream(&bad).unwrap_err(), CliError::Usage(_)));
+        let bad = Args::parse(&sv(&["run", "--trace", path_s, "--reshard", "0@5"])).unwrap();
+        assert!(matches!(run_stream(&bad).unwrap_err(), CliError::Usage(_)));
+        let bad = Args::parse(&sv(&["run", "--trace", path_s, "--reshard", "4-500"])).unwrap();
+        assert!(matches!(run_stream(&bad).unwrap_err(), CliError::Usage(_)));
         std::fs::remove_file(&path).ok();
     }
 
@@ -1277,6 +1502,48 @@ mod tests {
         let bad = Args::parse(&sv(&["fleet", "--loss", "1.5"])).unwrap();
         assert!(fleet(&bad).is_err());
         let bad = Args::parse(&sv(&["fleet", "--delta-mode", "sparse"])).unwrap();
+        assert!(matches!(fleet(&bad).unwrap_err(), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fleet_lease_survives_an_outage_cycle() {
+        // One switch's uplink is down for 10 rotations under a 2-round
+        // lease: it gets evicted, returns, resyncs, and the fleet still
+        // clears the recall floor at the end of the run.
+        let f = Args::parse(&sv(&[
+            "fleet",
+            "--switches",
+            "3",
+            "--window",
+            "3",
+            "--epoch-packets",
+            "2000",
+            "--periods",
+            "18",
+            "--flows",
+            "500",
+            "--memory-kb",
+            "32",
+            "--k",
+            "10",
+            "--delta",
+            "--lease",
+            "2",
+            "--outage",
+            "1@4..14",
+            "--min-recall",
+            "0.7",
+        ]))
+        .unwrap();
+        fleet(&f).unwrap();
+
+        // Outage specs that name a missing switch or an empty range are
+        // usage errors, as is a malformed spec.
+        let bad = Args::parse(&sv(&["fleet", "--outage", "9@0..2"])).unwrap();
+        assert!(matches!(fleet(&bad).unwrap_err(), CliError::Usage(_)));
+        let bad = Args::parse(&sv(&["fleet", "--outage", "1@5..5"])).unwrap();
+        assert!(matches!(fleet(&bad).unwrap_err(), CliError::Usage(_)));
+        let bad = Args::parse(&sv(&["fleet", "--outage", "1:4-14"])).unwrap();
         assert!(matches!(fleet(&bad).unwrap_err(), CliError::Usage(_)));
     }
 

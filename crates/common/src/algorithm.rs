@@ -190,6 +190,38 @@ pub trait ShardCheckpoint {
         Self: Sized;
 }
 
+/// Capability trait for checkpointable algorithms whose state can be
+/// *redistributed* across a changing shard count — the contract live
+/// resharding rides on top of [`ShardCheckpoint`].
+///
+/// A reshard rebuilds every new shard from restored donor checkpoints:
+/// shrink folds several donors into one survivor; grow restores the
+/// same parent checkpoint into several children. Both directions then
+/// trim the reported set to the new lane map. The two operations this
+/// takes are:
+///
+/// * [`ShardReshard::fold_donor`] — absorb another instance's state
+///   under disjoint-substream (sum) semantics. The folded estimate of
+///   any flow must stay one-sided: never above the flow's true count
+///   across the donors' combined sub-streams.
+/// * [`ShardReshard::retain_flows`] — drop monitored flows the new
+///   lane map routes elsewhere. Only the *reported* set shrinks; the
+///   approximate summary may conservatively keep foreign state (a
+///   sketch cannot attribute its cells to flows), which never raises
+///   any surviving flow's estimate.
+pub trait ShardReshard<K: FlowKey>: ShardCheckpoint {
+    /// Folds `donor`'s state into `self` assuming the two observed
+    /// disjoint sub-streams. `Err` (with a human-readable reason) when
+    /// the instances are not fold-compatible — differing geometry,
+    /// seeds, or window phase; `self` is left usable, at worst
+    /// partially folded.
+    fn fold_donor(&mut self, donor: &Self) -> Result<(), String>;
+
+    /// Keeps only the monitored flows for which `keep` returns true.
+    /// Sketch-like summary state is untouched (conservative carry).
+    fn retain_flows(&mut self, keep: &mut dyn FnMut(&K) -> bool);
+}
+
 impl<K: FlowKey, T: PreparedInsert<K> + ?Sized> PreparedInsert<K> for Box<T> {
     fn hash_spec(&self) -> HashSpec {
         (**self).hash_spec()

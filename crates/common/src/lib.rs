@@ -41,7 +41,7 @@ pub mod stream_summary;
 pub mod topk;
 pub mod varint;
 
-pub use algorithm::{EpochRotate, PreparedInsert, ShardCheckpoint, TopKAlgorithm};
+pub use algorithm::{EpochRotate, PreparedInsert, ShardCheckpoint, ShardReshard, TopKAlgorithm};
 pub use counters::SaturatingCounter;
 pub use crc::crc32;
 pub use fingerprint::fingerprint_of;

@@ -111,6 +111,19 @@ impl FaultPlan {
         &self.specs
     }
 
+    /// One shard's faults as the `(threshold, kind)` pairs
+    /// `ShardFaults::install` takes. Used at plan install time and
+    /// again when a reshard grows the topology: shard indices the old
+    /// topology never had get their slice installed on the fresh
+    /// worker, so a plan can schedule faults on post-grow shards.
+    pub(crate) fn specs_for(&self, shard: usize) -> Vec<(u64, FaultKind)> {
+        self.specs
+            .iter()
+            .filter(|s| s.shard == shard)
+            .map(|s| (s.after_packets, s.kind))
+            .collect()
+    }
+
     /// Parses the CLI spelling: comma-separated `kind:shard@packets`
     /// entries (`kill:2@50000,wedge:1@9000`). Kinds: `kill`,
     /// `mid-walk`, `wedge`.

@@ -62,6 +62,7 @@ pub mod fault;
 pub mod merge;
 pub mod minimum;
 pub mod parallel;
+pub mod reshard;
 pub mod sharded;
 pub mod sketch;
 pub mod sliding;
@@ -80,8 +81,10 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use merge::{MergeError, MergeMode};
 pub use minimum::MinimumTopK;
 pub use parallel::ParallelTopK;
+pub use reshard::{ReshardError, ReshardReport};
 pub use sharded::{
-    RecoverError, RecoveryReport, ShardPoisoned, ShardedEngine, ShardedParallelTopK,
+    BackpressurePolicy, RecoverError, RecoveryReport, ShardPoisoned, ShardedEngine,
+    ShardedParallelTopK,
 };
 pub use sketch::HkSketch;
 pub use sliding::SlidingTopK;

@@ -83,6 +83,9 @@ pub enum MergeError {
     /// A sharded engine had no live shard left to fold (every worker
     /// died and none was recovered): there is nothing to merge.
     NoLiveShards,
+    /// Two sliding windows disagree on window span, rotation count, or
+    /// live epoch count: their epoch rings cannot be zipped pairwise.
+    WindowMismatch,
 }
 
 impl std::fmt::Display for MergeError {
@@ -94,6 +97,7 @@ impl std::fmt::Display for MergeError {
             Self::FingerprintMismatch => "fingerprint widths differ",
             Self::CounterWidthMismatch => "counter widths differ",
             Self::NoLiveShards => return write!(f, "no live shard to merge (all workers died)"),
+            Self::WindowMismatch => "window spans or rotation phases differ",
         };
         write!(f, "sketches are not merge-compatible: {what}")
     }
@@ -255,6 +259,31 @@ impl<K: FlowKey> MinimumTopK<K> {
             |k, est| self.offer(k, est),
         );
         Ok(())
+    }
+}
+
+// The reshard fold/retain capability, for every checkpointable
+// algorithm the sharded engine can respawn: fold = the Sum merge above
+// (donor shards observed disjoint sub-streams), retain = the store
+// repartition under the new lane map.
+
+impl<K: FlowKey> hk_common::ShardReshard<K> for ParallelTopK<K> {
+    fn fold_donor(&mut self, donor: &Self) -> Result<(), String> {
+        self.merge_from(donor).map_err(|e| e.to_string())
+    }
+
+    fn retain_flows(&mut self, keep: &mut dyn FnMut(&K) -> bool) {
+        self.retain_monitored(keep);
+    }
+}
+
+impl<K: FlowKey> hk_common::ShardReshard<K> for crate::sliding::SlidingTopK<K> {
+    fn fold_donor(&mut self, donor: &Self) -> Result<(), String> {
+        self.merge_from(donor).map_err(|e| e.to_string())
+    }
+
+    fn retain_flows(&mut self, keep: &mut dyn FnMut(&K) -> bool) {
+        self.retain_monitored(keep);
     }
 }
 

@@ -131,6 +131,15 @@ impl<K: FlowKey> ParallelTopK<K> {
         self.sketch.query_prepared(p)
     }
 
+    /// Keeps only the monitored flows for which `keep` returns true;
+    /// the sketch is untouched. This is the reshard carry: a child
+    /// restored from a parent checkpoint keeps the whole (conservative,
+    /// never-overestimating) sketch but reports only the flows the new
+    /// lane map routes to it.
+    pub fn retain_monitored(&mut self, keep: &mut dyn FnMut(&K) -> bool) {
+        self.store.retain(keep);
+    }
+
     /// The insert body (Algorithm 1), generic over how bucket slots are
     /// obtained (on demand for the scalar path, cached for the batched
     /// path).

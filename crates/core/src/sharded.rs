@@ -121,8 +121,11 @@ use crate::fault::{FaultKind, FaultPlan, ShardFaults};
 use crate::merge::MergeError;
 use crate::minimum::MinimumTopK;
 use crate::parallel::ParallelTopK;
+use crate::reshard::{donor_range, lane_to_shard, ReshardError, ReshardReport};
 use crate::spsc::{PushError, SpscRing};
-use hk_common::algorithm::{EpochRotate, PreparedInsert, ShardCheckpoint, TopKAlgorithm};
+use hk_common::algorithm::{
+    EpochRotate, PreparedInsert, ShardCheckpoint, ShardReshard, TopKAlgorithm,
+};
 use hk_common::key::FlowKey;
 use hk_common::prepared::{HashSpec, PreparedKey};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -153,6 +156,27 @@ const RECYCLE_RING_CAPACITY: usize = WORK_RING_CAPACITY + 2;
 
 /// How many empty polls a worker burns before parking.
 const WORKER_SPIN: usize = 64;
+
+/// What the dispatcher does when a shard's work ring is full.
+///
+/// The ring is deliberately shallow ([`WORK_RING_CAPACITY`] slots), so
+/// a shard that falls behind fills it fast; this policy decides whether
+/// the *whole* dispatch plane then runs at the slow shard's pace or the
+/// slow shard's overflow is dropped. See
+/// [`ShardedEngine::set_backpressure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Hold the message until the worker frees a slot — lossless, the
+    /// default: dispatch throughput degrades to the slowest shard's.
+    #[default]
+    Block,
+    /// Drop the crossing sub-batch and count its packets in
+    /// [`ShardedEngine::shed_packets`] — lossy: dispatch never stalls
+    /// behind one slow shard. Only packet batches are ever shed;
+    /// control ops (rotation, checkpoint barriers) always block, so
+    /// phase alignment and checkpoint cuts stay exact under shedding.
+    Shed,
+}
 
 /// A routed sub-batch in structure-of-arrays form: flow keys and, on
 /// the hash-once handoff path, their prepared hash state (index
@@ -402,6 +426,17 @@ pub struct ShardedEngine<K: FlowKey, A: TopKAlgorithm<K>> {
     auto_recover: bool,
     /// Every recovery this engine has performed, in order.
     recovery_log: Vec<RecoveryReport>,
+    /// Full-work-ring policy (see [`BackpressurePolicy`]).
+    backpressure: BackpressurePolicy,
+    /// Packets dropped by [`BackpressurePolicy::Shed`] on full rings —
+    /// the lossy-policy sibling of [`ShardedEngine::lost_packets`].
+    shed: AtomicU64,
+    /// The installed fault plan, kept so a reshard can arm shard
+    /// indices the old topology never had (`None` when no plan).
+    fault_plan: Option<FaultPlan>,
+    /// Every reshard migration this engine has run, in order
+    /// (committed and rolled back alike).
+    reshard_log: Vec<ReshardReport>,
 }
 
 impl<K, A> ShardedEngine<K, A>
@@ -464,6 +499,10 @@ where
             restore: None,
             auto_recover: false,
             recovery_log: Vec::new(),
+            backpressure: BackpressurePolicy::Block,
+            shed: AtomicU64::new(0),
+            fault_plan: None,
+            reshard_log: Vec::new(),
         }
     }
 
@@ -701,10 +740,12 @@ where
     }
 
     /// Routes a prepared key's lane to a shard index (multiply-shift
-    /// over the shard count — no modulo bias, no division).
+    /// over the shard count — no modulo bias, no division). Shared
+    /// with the reshard plane ([`crate::reshard`]), whose donor
+    /// selection and store repartition must use the exact same fold.
     #[inline]
     fn lane_shard(&self, lane: u32) -> usize {
-        ((lane as u64 * self.shards.len() as u64) >> 32) as usize
+        lane_to_shard(lane, self.shards.len())
     }
 
     /// The shard index `key` routes to.
@@ -779,6 +820,28 @@ where
         self.lost.load(Ordering::Acquire)
     }
 
+    /// Packets dropped by [`BackpressurePolicy::Shed`] when their
+    /// shard's work ring was full — the lossy-policy counter next to
+    /// [`ShardedEngine::lost_packets`] (which counts dead-shard drops;
+    /// the two never overlap). Always zero under the default
+    /// [`BackpressurePolicy::Block`].
+    pub fn shed_packets(&self) -> u64 {
+        self.shed.load(Ordering::Acquire)
+    }
+
+    /// The current full-ring policy.
+    pub fn backpressure(&self) -> BackpressurePolicy {
+        self.backpressure
+    }
+
+    /// Sets the full-ring policy (see [`BackpressurePolicy`]). A shed
+    /// sub-batch's buffer is dropped with it, so sustained shedding
+    /// re-allocates replacement buffers at the shedding rate —
+    /// shedding trades the zero-alloc steady state for liveness.
+    pub fn set_backpressure(&mut self, policy: BackpressurePolicy) {
+        self.backpressure = policy;
+    }
+
     /// Accounts a newly detected worker death exactly once: whichever
     /// racing observer wins the false→true transition owns the
     /// enqueued-but-unprocessed backlog (the worker is dead, so
@@ -846,6 +909,17 @@ where
                         return;
                     }
                     msg = err.into_inner();
+                    // Shed policy: a live-but-slow shard's overflow
+                    // batch is dropped instead of stalling the whole
+                    // dispatch plane. Ops always block — a shed
+                    // rotation or checkpoint barrier would tear the
+                    // phase alignment shedding is meant to preserve.
+                    if self.backpressure == BackpressurePolicy::Shed
+                        && matches!(msg, ShardMsg::Batch(_))
+                    {
+                        self.shed.fetch_add(packet_units, Ordering::Release);
+                        return;
+                    }
                     std::thread::yield_now();
                 }
             }
@@ -1060,18 +1134,19 @@ where
     /// Installs a deterministic fault plan: each shard's worker takes
     /// its scheduled faults when its cumulative applied-packet count
     /// crosses their thresholds (see [`crate::fault`]). Replaces any
-    /// previous plan; specs naming a shard index out of range are
-    /// ignored. Test/CLI hook — a production engine never calls this.
-    pub fn set_fault_plan(&self, plan: &FaultPlan) {
+    /// previous plan. Specs naming a shard index beyond the current
+    /// topology are kept dormant: a later [`ShardedEngine::reshard`]
+    /// that grows past that index arms them on the new worker (and a
+    /// reshard rebases packet counters to the packets a shard's
+    /// restored state represents, so thresholds stay in cumulative
+    /// sub-stream coordinates — a threshold the rebase jumps past
+    /// fires on the new worker's first batch). Test/CLI hook — a
+    /// production engine never calls this.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         for (idx, shard) in self.shards.iter().enumerate() {
-            let specs: Vec<(u64, FaultKind)> = plan
-                .specs()
-                .iter()
-                .filter(|s| s.shard == idx)
-                .map(|s| (s.after_packets, s.kind))
-                .collect();
-            shard.faults.install(specs);
+            shard.faults.install(plan.specs_for(idx));
         }
+        self.fault_plan = Some(plan.clone());
     }
 
     /// Checkpoints every live shard right now (behind the usual
@@ -1110,6 +1185,12 @@ where
     /// explicit [`ShardedEngine::recover`] calls and auto-recoveries).
     pub fn recovery_log(&self) -> &[RecoveryReport] {
         &self.recovery_log
+    }
+
+    /// Every reshard migration this engine has run, in order —
+    /// committed and rolled back alike (see [`ShardedEngine::reshard`]).
+    pub fn reshard_log(&self) -> &[ReshardReport] {
+        &self.reshard_log
     }
 
     /// Respawns every poisoned shard from its last checkpoint: decodes
@@ -1196,6 +1277,276 @@ where
         if any_dead {
             let _ = self.recover();
         }
+    }
+}
+
+impl<K, A> ShardedEngine<K, A>
+where
+    K: FlowKey + Send + 'static,
+    A: PreparedInsert<K> + ShardReshard<K> + Send + 'static,
+{
+    /// Changes the shard count **under traffic**: a phase-structured
+    /// online migration that ends with the engine serving the same
+    /// stream over `new_shards` lanes.
+    ///
+    /// 1. **Drain** — dispatch everything pending and run a checkpoint
+    ///    barrier op through every shard's SPSC ring
+    ///    ([`ShardedEngine::checkpoint_now`]), so each shard's slot is
+    ///    a packet-precise cut of its sub-stream. A `kill`/`wedge`/
+    ///    `mid-walk` fault firing here respawns the victim from its
+    ///    last periodic checkpoint (dark window accounted in the
+    ///    report) and re-runs the barrier.
+    /// 2. **Split/merge** — pure computation on the drained checkpoint
+    ///    bytes; the old topology keeps serving reads meanwhile
+    ///    (pre-swap state, never an error). Every new shard restores
+    ///    the donors whose lane intervals intersect its own: shrink
+    ///    folds donors through the Sum merge (disjoint sub-streams),
+    ///    grow restores the same parent checkpoint into each child —
+    ///    the parent *sketch* is replicated (a sketch cannot attribute
+    ///    its cells to flows; the copy is conservative and keeps
+    ///    estimates one-sided) while the monitored top-k set is
+    ///    repartitioned under the new lane map
+    ///    ([`ShardReshard::retain_flows`]).
+    /// 3. **Swap** — the new topology is installed atomically under
+    ///    the pending lock: routing is the same multiply-shift fold
+    ///    over the new shard count (divergent-spec fallback routing
+    ///    preserved — `route` does not change), per-shard packet
+    ///    counters are rebased to the packets each restored state
+    ///    represents (the sum of its donor cuts), and a baseline
+    ///    checkpoint of the carried state is primed so a death right
+    ///    after the swap is recoverable. Old workers are closed and
+    ///    joined.
+    ///
+    /// Ingest issued between phases buffers in the pending partition
+    /// under the usual bounded backpressure policy and is dispatched to
+    /// the *new* topology after the swap. A migration that cannot
+    /// complete — unrecoverable shard, undecodable or fold-incompatible
+    /// checkpoint, faults exhausting the drain retry budget — **rolls
+    /// back**: the old topology keeps serving exactly as before the
+    /// call, and the returned [`ReshardReport`] carries the reason plus
+    /// the dark-window accounting of any recoveries that did run.
+    /// `reshard(current_count)` is a committed no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ReshardError::ZeroShards`] and
+    /// [`ReshardError::CheckpointsDisabled`] are caller mistakes; every
+    /// runtime failure is a rollback, reported not errored.
+    pub fn reshard(&mut self, new_shards: usize) -> Result<ReshardReport, ReshardError> {
+        if new_shards == 0 {
+            return Err(ReshardError::ZeroShards);
+        }
+        let (Some(encode), Some(restore)) = (self.encode, self.restore) else {
+            return Err(ReshardError::CheckpointsDisabled);
+        };
+        let from = self.shards.len();
+        let mut recoveries: Vec<RecoveryReport> = Vec::new();
+        if new_shards == from {
+            let report = ReshardReport {
+                from_shards: from,
+                to_shards: new_shards,
+                committed: true,
+                cut_packets: Vec::new(),
+                dark_packets: 0,
+                recoveries,
+                rollback: None,
+            };
+            self.reshard_log.push(report.clone());
+            return Ok(report);
+        }
+
+        let cuts = match self.reshard_drain(&mut recoveries) {
+            Ok(cuts) => cuts,
+            Err(reason) => {
+                return Ok(self.reshard_rollback(new_shards, Vec::new(), recoveries, reason))
+            }
+        };
+        let cut_packets: Vec<u64> = cuts.iter().map(|c| c.packets).collect();
+
+        let states = match self.reshard_rebuild(new_shards, &cuts, restore) {
+            Ok(states) => states,
+            Err(reason) => {
+                return Ok(self.reshard_rollback(new_shards, cut_packets, recoveries, reason))
+            }
+        };
+
+        self.reshard_swap(states, encode);
+        let report = ReshardReport {
+            from_shards: from,
+            to_shards: new_shards,
+            committed: true,
+            cut_packets,
+            dark_packets: recoveries.iter().map(|r| r.dark_packets).sum(),
+            recoveries,
+            rollback: None,
+        };
+        self.reshard_log.push(report.clone());
+        Ok(report)
+    }
+
+    /// Phase 1 of [`ShardedEngine::reshard`]: the checkpoint barrier.
+    /// Retries around mid-drain faults — each retry first heals every
+    /// dead shard through the normal recovery path (its dark window
+    /// lands in `recoveries`), and fault specs are consume-once, so
+    /// the loop strictly progresses; the attempt budget is a backstop
+    /// against pathological plans, turning them into a rollback
+    /// instead of a livelock.
+    fn reshard_drain(
+        &mut self,
+        recoveries: &mut Vec<RecoveryReport>,
+    ) -> Result<Vec<CheckpointSlot>, String> {
+        let mut attempts = 0usize;
+        while self.checkpoint_now().is_err() {
+            attempts += 1;
+            if attempts > self.shards.len() + 2 {
+                return Err("drain retry budget exhausted (faults kept firing)".into());
+            }
+            match self.recover() {
+                Ok(mut healed) => recoveries.append(&mut healed),
+                Err(e) => return Err(format!("unrecoverable shard during drain: {e}")),
+            }
+        }
+        let mut cuts = Vec::with_capacity(self.shards.len());
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let slot = shard
+                .checkpoint
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            match slot {
+                Some(slot) => cuts.push(slot),
+                None => return Err(format!("shard {idx} has no checkpoint after drain")),
+            }
+        }
+        Ok(cuts)
+    }
+
+    /// Phase 2 of [`ShardedEngine::reshard`]: rebuilds each new
+    /// shard's state from the drained cuts. Runs entirely on the
+    /// caller thread against checkpoint *bytes* — no worker
+    /// participates, so a fault cannot fire here and the old topology
+    /// stays untouched (rollback is free until the swap).
+    fn reshard_rebuild(
+        &self,
+        new_shards: usize,
+        cuts: &[CheckpointSlot],
+        restore: RestoreFn<A>,
+    ) -> Result<Vec<(A, u64)>, String> {
+        let route = self.route;
+        let mut out = Vec::with_capacity(new_shards);
+        for j in 0..new_shards {
+            let (first, last) = donor_range(j, new_shards, cuts.len());
+            let mut acc: Option<A> = None;
+            let mut base = 0u64;
+            for (i, cut) in cuts.iter().enumerate().take(last + 1).skip(first) {
+                let Some(part) = restore(&cut.bytes) else {
+                    return Err(format!("donor shard {i}'s checkpoint failed to decode"));
+                };
+                base = base.saturating_add(cut.packets);
+                match &mut acc {
+                    None => acc = Some(part),
+                    Some(a) => {
+                        if let Err(e) = a.fold_donor(&part) {
+                            return Err(format!("donor shard {i} is not fold-compatible: {e}"));
+                        }
+                    }
+                }
+            }
+            let Some(mut algo) = acc else {
+                return Err(format!("new shard {j} has no donor interval"));
+            };
+            // Repartition the monitored set under the *new* lane map:
+            // only flows routing to lane interval `j` stay reported
+            // here. Same prepare + fold as the dispatcher, so a
+            // retained flow is exactly a flow future packets reach.
+            algo.retain_flows(&mut |key: &K| {
+                let kb = key.key_bytes();
+                lane_to_shard(route.prepare(kb.as_slice()).lane(), new_shards) == j
+            });
+            out.push((algo, base));
+        }
+        Ok(out)
+    }
+
+    /// Phase 3 of [`ShardedEngine::reshard`]: installs the new
+    /// topology. New workers spawn *before* the pending lock is taken
+    /// (spawning allocates; the lock only covers the pointer swap), the
+    /// pending partition is resized to the new shard count under the
+    /// lock — the atomic routing swap: every later `route_into` folds
+    /// lanes over the new count — and the old workers are closed and
+    /// joined after.
+    fn reshard_swap(&mut self, states: Vec<(A, u64)>, encode: EncodeFn<A>) {
+        let from = self.shards.len();
+        let mut fresh = Vec::with_capacity(states.len());
+        for (j, (algo, base)) in states.into_iter().enumerate() {
+            // Baseline checkpoint = the carried state at its rebased
+            // cut: a death right after the swap restores exactly what
+            // the migration installed (dark window = post-swap routed
+            // packets only).
+            let slot = Arc::new(Mutex::new(Some(CheckpointSlot {
+                bytes: encode(&algo),
+                packets: base,
+            })));
+            // Shard indices alive on both sides keep their fault slice
+            // (consumed faults stay consumed across the migration);
+            // indices the grow created get their slice of the stored
+            // plan armed fresh.
+            let faults = if j < from {
+                Arc::clone(&self.shards[j].faults)
+            } else {
+                let f = Arc::new(ShardFaults::default());
+                if let Some(plan) = &self.fault_plan {
+                    f.install(plan.specs_for(j));
+                }
+                f
+            };
+            fresh.push(Self::spawn_shard_with(
+                algo,
+                self.handoff,
+                slot,
+                faults,
+                base,
+            ));
+        }
+        self.buffers_allocated
+            .fetch_add(fresh.len() as u64, Ordering::Release);
+        let old = {
+            // Field-level borrows (not `lock_pending`) so the guard on
+            // `pending` and the mutable borrow of `shards` split.
+            let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            pending.per_shard = (0..fresh.len()).map(|_| SubBatch::new()).collect();
+            pending.total = 0;
+            std::mem::replace(&mut self.shards, fresh)
+        };
+        for mut shard in old {
+            shard.work.close();
+            shard.wake();
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+
+    /// Builds, logs, and returns the rollback report: the old topology
+    /// was not (or could not be) swapped out and keeps serving.
+    fn reshard_rollback(
+        &mut self,
+        to_shards: usize,
+        cut_packets: Vec<u64>,
+        recoveries: Vec<RecoveryReport>,
+        reason: String,
+    ) -> ReshardReport {
+        let report = ReshardReport {
+            from_shards: self.shards.len(),
+            to_shards,
+            committed: false,
+            dark_packets: recoveries.iter().map(|r| r.dark_packets).sum(),
+            cut_packets,
+            recoveries,
+            rollback: Some(reason),
+        };
+        self.reshard_log.push(report.clone());
+        report
     }
 }
 
@@ -2032,5 +2383,334 @@ mod tests {
             e.top_k()
         };
         assert_eq!(run(mk()), run(mk()));
+    }
+
+    /// An algorithm whose ingest blocks until a shared gate opens:
+    /// makes the worker deterministically slow so the work ring fills
+    /// and the full-ring backpressure policies are observable.
+    struct Gated {
+        open: Arc<std::sync::atomic::AtomicBool>,
+        count: u64,
+    }
+
+    impl TopKAlgorithm<u64> for Gated {
+        fn insert(&mut self, _key: &u64) {
+            while !self.open.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            self.count += 1;
+        }
+        fn query(&self, _key: &u64) -> u64 {
+            self.count
+        }
+        fn top_k(&self) -> Vec<(u64, u64)> {
+            vec![(7, self.count)]
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Gated"
+        }
+    }
+
+    impl PreparedInsert<u64> for Gated {
+        fn hash_spec(&self) -> HashSpec {
+            HashSpec::new(0, 32)
+        }
+        fn insert_prepared(&mut self, key: &u64, _p: &PreparedKey) {
+            self.insert(key);
+        }
+    }
+
+    #[test]
+    fn shed_policy_drops_counted_packets_on_full_ring() {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut engine = ShardedEngine::from_shards(
+            vec![Gated {
+                open: Arc::clone(&gate),
+                count: 0,
+            }],
+            4,
+        );
+        engine.set_batch_capacity(1);
+        assert_eq!(engine.backpressure(), BackpressurePolicy::Block);
+        engine.set_backpressure(BackpressurePolicy::Shed);
+        // The gated worker never frees a ring slot, so once the ring
+        // fills every further batch must shed instead of stalling —
+        // this loop terminates *because* Shed never blocks.
+        let total = 20 * WORK_RING_CAPACITY as u64;
+        for _ in 0..total {
+            engine.insert_batch(&[7u64]);
+        }
+        assert!(engine.shed_packets() > 0, "full ring under Shed must shed");
+        gate.store(true, Ordering::Release);
+        engine.flush().expect("gated worker is alive, not dead");
+        // Shed is bookkept loss, not silent loss: what was not shed was
+        // applied, and none of it counts as dead-shard loss.
+        assert_eq!(engine.query(&7), total - engine.shed_packets());
+        assert_eq!(engine.lost_packets(), 0);
+        assert!(engine.poisoned_shards().is_empty());
+    }
+
+    #[test]
+    fn block_policy_stalls_until_worker_catches_up() {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut engine = ShardedEngine::from_shards(
+            vec![Gated {
+                open: Arc::clone(&gate),
+                count: 0,
+            }],
+            4,
+        );
+        engine.set_batch_capacity(1);
+        // Open the gate from the side once the dispatcher is (almost
+        // surely) parked on the full ring; under Block it must wait for
+        // the worker rather than drop or shed anything.
+        let opener = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                gate.store(true, Ordering::Release);
+            })
+        };
+        let total = 20 * WORK_RING_CAPACITY as u64;
+        for _ in 0..total {
+            engine.insert_batch(&[7u64]);
+        }
+        engine.flush().expect("healthy worker");
+        opener.join().expect("opener thread");
+        assert_eq!(engine.query(&7), total, "Block delivers every packet");
+        assert_eq!(engine.shed_packets(), 0);
+        assert_eq!(engine.lost_packets(), 0);
+    }
+
+    fn checked_engine(width: usize, shards: usize) -> ShardedEngine<u64, ParallelTopK<u64>> {
+        let mut engine = ShardedEngine::parallel(&cfg(width, 16), shards);
+        engine
+            .enable_checkpoints(1)
+            .expect("fresh engine checkpoints");
+        engine
+    }
+
+    /// 100·(f+1) packets of each of 16 flows — wide-sketch counts are
+    /// exact, so reshard carry errors show up as off-by-anything.
+    fn counting_batch() -> Vec<u64> {
+        let mut batch = Vec::new();
+        for f in 0..16u64 {
+            for _ in 0..100 * (f + 1) {
+                batch.push(f);
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn reshard_grow_preserves_exact_counts_under_live_traffic() {
+        let mut engine = checked_engine(2048, 2);
+        let batch = counting_batch();
+        engine.insert_batch(&batch);
+        let report = engine.reshard(4).expect("well-formed reshard");
+        assert!(report.committed, "zero-fault grow commits: {report}");
+        assert_eq!((report.from_shards, report.to_shards), (2, 4));
+        assert_eq!(report.dark_packets, 0, "no fault => no dark window");
+        assert_eq!(engine.shards(), 4);
+        // Traffic keeps flowing into the new topology.
+        engine.insert_batch(&batch);
+        for f in 0..16u64 {
+            assert_eq!(engine.query(&f), 2 * 100 * (f + 1), "flow {f}");
+        }
+        // The carry must never lose counts (no underestimation from the
+        // split): every monitored flow is still reported, exactly once.
+        let top = engine.top_k();
+        for f in 0..16u64 {
+            let hits: Vec<_> = top.iter().filter(|&&(k, _)| k == f).collect();
+            assert_eq!(hits.len(), 1, "flow {f} reported exactly once");
+            assert_eq!(hits[0].1, 2 * 100 * (f + 1));
+        }
+        assert_eq!(engine.reshard_log().len(), 1);
+    }
+
+    #[test]
+    fn reshard_shrink_folds_donors_without_losing_counts() {
+        let mut engine = checked_engine(2048, 4);
+        let batch = counting_batch();
+        engine.insert_batch(&batch);
+        let report = engine.reshard(2).expect("well-formed reshard");
+        assert!(report.committed, "zero-fault shrink commits: {report}");
+        assert_eq!(report.cut_packets.iter().sum::<u64>(), batch.len() as u64);
+        assert_eq!(engine.shards(), 2);
+        engine.insert_batch(&batch);
+        for f in 0..16u64 {
+            assert_eq!(engine.query(&f), 2 * 100 * (f + 1), "flow {f}");
+        }
+    }
+
+    #[test]
+    fn reshard_carry_is_one_sided_even_when_the_sketch_is_tight() {
+        // A deliberately narrow sketch under a heavy-tailed stream:
+        // estimates collide, but the grow carry must be invisible —
+        // each child replicates its parent's sketch and keeps its slice
+        // of the parent's store, so every sketch estimate and every
+        // monitored count is bit-identical across the migration.
+        // Whatever one-sidedness held before (Theorem 2) still holds.
+        let stream = skewed_stream(40_000, 10, 2000, 13);
+        let mut engine = checked_engine(64, 2);
+        engine.insert_batch(&stream);
+        let before = engine.top_k();
+        let before_est: Vec<(u64, u64)> =
+            before.iter().map(|&(f, _)| (f, engine.query(&f))).collect();
+        engine.reshard(4).expect("well-formed reshard");
+        for &(f, est) in &before_est {
+            assert_eq!(engine.query(&f), est, "flow {f}: sketch estimate moved");
+        }
+        // Every pre-reshard monitored flow is still monitored, at the
+        // same count, on exactly the shard the new lane map routes it to.
+        let mut monitored = std::collections::HashMap::new();
+        for shard in 0..engine.shards() {
+            for (f, c) in engine.with_shard(shard, |a| a.top_k()).expect("live") {
+                assert!(
+                    monitored.insert(f, c).is_none(),
+                    "flow {f} monitored on two shards"
+                );
+            }
+        }
+        for &(f, est) in &before {
+            assert_eq!(monitored.get(&f), Some(&est), "flow {f}: store carry");
+        }
+    }
+
+    #[test]
+    fn reshard_partitions_monitored_flows_by_new_routing() {
+        let mut engine = checked_engine(2048, 2);
+        engine.insert_batch(&counting_batch());
+        engine.reshard(3).expect("well-formed reshard");
+        for shard in 0..engine.shards() {
+            let owned = engine.with_shard(shard, |a| a.top_k()).expect("live shard");
+            for (f, _) in owned {
+                assert_eq!(
+                    engine.shard_of(&f),
+                    shard,
+                    "flow {f} monitored off its routed shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reshard_misuse_is_an_error_not_a_rollback() {
+        let mut engine: ShardedEngine<u64, ParallelTopK<u64>> =
+            ShardedEngine::parallel(&cfg(256, 8), 2);
+        assert_eq!(
+            engine.reshard(4),
+            Err(ReshardError::CheckpointsDisabled),
+            "no encode/restore capability captured"
+        );
+        engine.enable_checkpoints(4).unwrap();
+        assert_eq!(engine.reshard(0), Err(ReshardError::ZeroShards));
+        assert!(engine.reshard_log().is_empty(), "misuse is not logged");
+        // Same-count reshard is a committed no-op.
+        let report = engine.reshard(2).unwrap();
+        assert!(report.committed);
+        assert_eq!(engine.shards(), 2);
+    }
+
+    #[test]
+    fn reshard_recovers_from_kill_during_drain_and_commits() {
+        let mut engine = checked_engine(1024, 2);
+        let stream = skewed_stream(20_000, 8, 400, 3);
+        engine.insert_batch(&stream);
+        engine.flush().expect("healthy engine");
+        let applied0 = stream.iter().filter(|f| engine.shard_of(f) == 0).count() as u64;
+        // The fault crosses only when the *drain* dispatches the staged
+        // sub-batch below — the stream above ends exactly at the
+        // threshold and `>` does not fire.
+        engine.set_fault_plan(&FaultPlan::new().kill(0, applied0));
+        let mut victim = 0u64;
+        while engine.shard_of(&victim) != 0 {
+            victim += 1;
+        }
+        let staged = vec![victim; 50];
+        engine.insert_batch(&staged); // stays pending: far below batch_capacity
+        let report = engine.reshard(4).expect("well-formed reshard");
+        assert!(report.committed, "drain heals and retries: {report}");
+        assert_eq!(report.recoveries.len(), 1, "exactly the scheduled kill");
+        assert_eq!(report.recoveries[0].shard, 0);
+        // Dark window bound: cadence is one batch, so at most the
+        // staged sub-batch that died with the worker goes dark.
+        assert!(
+            report.dark_packets <= staged.len() as u64,
+            "dark window {} exceeds the staged batch",
+            report.dark_packets
+        );
+        assert_eq!(engine.shards(), 4);
+        // Post-commit traffic lands and counts stay one-sided.
+        engine.insert_batch(&staged);
+        engine.flush().expect("post-reshard engine is healthy");
+        let est = engine.query(&victim);
+        let truth = stream.iter().filter(|&&f| f == victim).count() as u64 + 100;
+        assert!(est <= truth, "over-estimated after faulted reshard");
+        assert!(
+            est + report.dark_packets + staged.len() as u64 >= truth,
+            "lost more than the dark window: est {est}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn reshard_rolls_back_when_donors_cannot_fold() {
+        use crate::sliding::SlidingTopK;
+        // Shard 1's window span differs: a 4 -> 2 shrink must fold
+        // donors 0+1, hit the window mismatch, and roll back with the
+        // old topology still serving.
+        let mut engine = ShardedEngine::from_fn(4, 8, |i| {
+            SlidingTopK::<u64>::new(cfg(512, 8), if i == 1 { 3 } else { 2 })
+        });
+        engine.enable_checkpoints(4).unwrap();
+        let batch: Vec<u64> = (0..4000u64).map(|i| i % 8).collect();
+        engine.insert_batch(&batch);
+        let report = engine.reshard(2).expect("well-formed reshard");
+        assert!(!report.committed, "mismatched donors cannot commit");
+        let reason = report.rollback.as_deref().expect("rollback reason");
+        assert!(
+            reason.contains("not fold-compatible"),
+            "unexpected reason: {reason}"
+        );
+        assert_eq!(engine.shards(), 4, "old topology survives the rollback");
+        assert_eq!(engine.reshard_log().len(), 1);
+        assert!(!engine.reshard_log()[0].committed);
+        // Reads and writes keep working against the pre-swap state.
+        engine.insert_batch(&batch);
+        for f in 0..8u64 {
+            assert_eq!(engine.query(&f), 1000, "flow {f} after rollback");
+        }
+    }
+
+    #[test]
+    fn reshard_grow_arms_dormant_fault_specs_on_new_shards() {
+        // A spec naming shard 3 of a 2-shard engine is dormant until
+        // the grow creates shard 3 — then it must fire on the fresh
+        // worker and be recoverable through the normal path.
+        let mut engine = checked_engine(1024, 2);
+        engine.set_fault_plan(&FaultPlan::new().kill(3, 0));
+        let stream = skewed_stream(10_000, 8, 400, 7);
+        engine.insert_batch(&stream);
+        engine
+            .flush()
+            .expect("dormant spec must not fire at 2 shards");
+        assert!(engine.poisoned_shards().is_empty());
+        let report = engine.reshard(4).expect("well-formed reshard");
+        assert!(report.committed);
+        // First packet routed to shard 3 crosses threshold 0.
+        let mut probe = 0u64;
+        while engine.shard_of(&probe) != 3 {
+            probe += 1;
+        }
+        engine.insert_batch(&vec![probe; 64]);
+        assert!(engine.flush().is_err(), "armed spec fires post-grow");
+        assert_eq!(engine.poisoned_shards(), vec![3]);
+        let healed = engine.recover().expect("baseline checkpoint restores");
+        assert_eq!(healed.len(), 1);
+        assert_eq!(healed[0].shard, 3);
+        engine.flush().expect("healed engine");
     }
 }

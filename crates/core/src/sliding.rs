@@ -45,6 +45,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Mutex, PoisonError};
 
 use crate::config::HkConfig;
+use crate::merge::MergeError;
 use crate::parallel::ParallelTopK;
 use hk_common::algorithm::{EpochRotate, PreparedInsert, TopKAlgorithm};
 use hk_common::key::FlowKey;
@@ -421,6 +422,42 @@ impl<K: FlowKey> SlidingTopK<K> {
             .expect("at least one epoch is always live")
             .memory_bytes();
         per_epoch * self.window
+    }
+
+    /// Merges another window (same span, same rotation phase) into this
+    /// one, epoch by epoch under [`MergeMode::Sum`](crate::merge::MergeMode::Sum)
+    /// semantics — the shrink half of a reshard, where two shard
+    /// windows that observed disjoint sub-streams fold into one
+    /// survivor. The engine rotates shards in lockstep
+    /// ([`rotate_all`](crate::ShardedEngine::rotate_all)), so shard
+    /// windows always share phase; anything else is a
+    /// [`MergeError::WindowMismatch`].
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.window != other.window
+            || self.rotations != other.rotations
+            || self.epochs.len() != other.epochs.len()
+        {
+            return Err(MergeError::WindowMismatch);
+        }
+        for (mine, theirs) in self.epochs.iter_mut().zip(other.epochs.iter()) {
+            mine.merge_from(theirs)?;
+        }
+        // Closed-epoch sums changed and the shadow no longer matches
+        // any epoch this window will close.
+        self.cache().clear();
+        self.export_shadow = None;
+        Ok(())
+    }
+
+    /// Keeps only the monitored flows for which `keep` returns true, in
+    /// every live epoch; the per-epoch sketches are untouched (see
+    /// [`ParallelTopK::retain_monitored`]).
+    pub fn retain_monitored(&mut self, keep: &mut dyn FnMut(&K) -> bool) {
+        for epoch in self.epochs.iter_mut() {
+            epoch.retain_monitored(keep);
+        }
+        self.cache().clear();
+        self.export_shadow = None;
     }
 }
 

@@ -150,6 +150,25 @@ impl<K: FlowKey> TopKStore<K> {
     pub fn memory_bytes(&self) -> usize {
         self.capacity() * (K::ENCODED_LEN + 4)
     }
+
+    /// Keeps only the monitored flows for which `keep` returns true —
+    /// the store half of a reshard's lane repartition. Counts of the
+    /// survivors are preserved exactly; the store is rebuilt smallest
+    /// first so no admission can evict a survivor (the kept set never
+    /// exceeds capacity).
+    pub fn retain(&mut self, keep: &mut dyn FnMut(&K) -> bool) {
+        let kind = match self {
+            Self::MinHeap(_) => StoreKind::MinHeap,
+            Self::StreamSummary(_) => StoreKind::StreamSummary,
+        };
+        let mut kept = self.sorted_desc();
+        kept.retain(|(k, _)| keep(k));
+        let mut fresh = Self::new(kind, self.capacity());
+        for (k, c) in kept.into_iter().rev() {
+            fresh.admit(k, c);
+        }
+        *self = fresh;
+    }
 }
 
 #[cfg(test)]

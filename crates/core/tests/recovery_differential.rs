@@ -269,6 +269,126 @@ fn recall_of(faulty: &[(u64, u64)], oracle: &[(u64, u64)]) -> f64 {
 }
 
 #[test]
+fn kill_in_every_reshard_phase_recovers_with_bounded_dark_window() {
+    let k = 20;
+    let batch = 512;
+    let cadence = 4u64; // checkpoint every 4 dispatched batches per shard
+    let part_a = zipfish_stream(40_000, 24, 4000, 7);
+    let part_b = zipfish_stream(40_000, 24, 4000, 19);
+
+    // One full run: part A at `from` shards, a sub-batch staged in the
+    // pending partition (so the drain has something to dispatch across
+    // the cut), a live reshard to `to`, then part B against whatever
+    // topology came out. Auto-recovery heals post-swap deaths; drain
+    // deaths are healed inside `reshard` itself.
+    let run = |from: usize, to: usize, staged: &[u64], plan: Option<&FaultPlan>| {
+        let mut engine: ShardedEngine<u64, ParallelTopK<u64>> =
+            ShardedEngine::from_fn(from, k, |_| ParallelTopK::new(cfg(1024, k, 5)));
+        engine.enable_checkpoints(cadence).unwrap();
+        if let Some(plan) = plan {
+            engine.set_fault_plan(plan);
+        }
+        engine.set_auto_recover(true);
+        for chunk in part_a.chunks(batch) {
+            engine.insert_batch(chunk);
+        }
+        engine.flush().expect("no fault is scheduled inside part A");
+        engine.insert_batch(staged); // pending across the reshard call
+        let report = engine.reshard(to).expect("well-formed reshard");
+        for chunk in part_b.chunks(batch) {
+            engine.insert_batch(chunk);
+        }
+        engine.recover().expect("every death must be restorable");
+        engine.flush().expect("healed engine");
+        // `recovery_log` includes drain-phase heals (they also appear
+        // in `report.recoveries`) and post-swap auto-heals.
+        (engine.top_k(), report, engine.recovery_log().to_vec())
+    };
+
+    for (from, to) in [(2usize, 4usize), (4usize, 2usize)] {
+        // Per-old-shard applied counts after part A, for packet-exact
+        // threshold placement (the engine routes deterministically).
+        let probe: ShardedEngine<u64, ParallelTopK<u64>> =
+            ShardedEngine::from_fn(from, k, |_| ParallelTopK::new(cfg(1024, k, 5)));
+        let mut a = vec![0u64; from];
+        for f in &part_a {
+            a[probe.shard_of(f)] += 1;
+        }
+        let victim = (0..u64::MAX).find(|f| probe.shard_of(f) == 0).unwrap();
+        let staged = vec![victim; 50];
+
+        let (oracle_top, oracle_report, oracle_log) = run(from, to, &staged, None);
+        assert!(oracle_report.committed, "{from}->{to}: fault-free commit");
+        assert!(oracle_log.is_empty(), "{from}->{to}: loss-free oracle");
+
+        // A kill scheduled inside each migration phase. Part A ends
+        // with shard 0 at exactly a[0] applied packets and `>` compares
+        // strictly, so a threshold of a[0] fires on the *drain's*
+        // dispatch of the staged sub-batch and never earlier. The
+        // split phase is pure computation on checkpoint bytes (no
+        // worker applies packets), so a fault armed inside it fires on
+        // the first post-rebuild dispatch; the swap case pins its
+        // threshold far below the rebased base — the rebase jumps past
+        // it and it fires on the new worker's very first batch.
+        let phases: [(&str, FaultPlan); 3] = [
+            ("drain", FaultPlan::new().kill(0, a[0])),
+            (
+                "split",
+                if to > from {
+                    // A shard index only the new topology has: dormant
+                    // until the grow installs it, threshold at its
+                    // donor's cut.
+                    FaultPlan::new().kill(to - 1, a[from - 1])
+                } else {
+                    // A survivor at exactly its post-fold base.
+                    FaultPlan::new().kill(0, a[0] + a[1] + staged.len() as u64)
+                },
+            ),
+            (
+                "swap",
+                if to > from {
+                    FaultPlan::new().kill(to - 1, 1)
+                } else {
+                    // Above everything shard 0 applies pre-swap
+                    // (a[0] + staged), below its rebased base.
+                    FaultPlan::new().kill(0, a[0] + staged.len() as u64 + a[1] / 2)
+                },
+            ),
+        ];
+
+        for (phase, plan) in &phases {
+            let tag = format!("{from}->{to} kill@{phase}");
+            let (top, report, log) = run(from, to, &staged, Some(plan));
+            assert!(report.committed, "{tag}: must commit, got {report}");
+            assert_eq!(report.to_shards, to, "{tag}");
+            assert!(!log.is_empty(), "{tag}: the scheduled kill never fired");
+            if *phase == "drain" {
+                assert!(
+                    !report.recoveries.is_empty(),
+                    "{tag}: drain kill heals inside the migration"
+                );
+            }
+            // Bounded loss: the restoring checkpoint is at worst one
+            // cadence interval old (or the swap baseline itself), and
+            // detection lags by at most the transport backlog.
+            let slack = (10 * batch) as u64;
+            for r in &log {
+                assert!(
+                    r.dark_packets <= cadence * batch as u64 + slack,
+                    "{tag}: dark window {} exceeds a checkpoint interval + slack",
+                    r.dark_packets
+                );
+            }
+            let recall = recall_of(&top, &oracle_top);
+            assert!(
+                recall >= 0.6,
+                "{tag}: recall {recall:.2} vs loss-free oracle fell below floor"
+            );
+        }
+    }
+}
+
+#[test]
 fn kill_at_every_rotation_stays_within_one_epoch_of_loss() {
     let k = 20;
     let shards = 4;

@@ -130,6 +130,8 @@ impl LintConfig {
                 ("crates/core/src/sharded.rs", "route_into"),
                 ("crates/core/src/sharded.rs", "send_to_shard"),
                 ("crates/core/src/sharded.rs", "take_buffer"),
+                // Lane routing shared by dispatch and reshard (PR 9).
+                ("crates/core/src/reshard.rs", "lane_to_shard"),
             ]),
             worker_files: vec![
                 "crates/core/src/fault.rs".into(),
@@ -144,6 +146,14 @@ impl LintConfig {
                 ("crates/core/src/sharded.rs", "auto_recover_if_needed"),
                 ("crates/core/src/sharded.rs", "poison_shard"),
                 ("crates/core/src/sharded.rs", "enqueue_checkpoint"),
+                // The live-migration phases (PR 9): they run while
+                // workers are live, so a panic here strands the engine
+                // mid-topology exactly like a worker panic would.
+                ("crates/core/src/sharded.rs", "reshard"),
+                ("crates/core/src/sharded.rs", "reshard_drain"),
+                ("crates/core/src/sharded.rs", "reshard_rebuild"),
+                ("crates/core/src/sharded.rs", "reshard_swap"),
+                ("crates/core/src/sharded.rs", "reshard_rollback"),
             ]),
             wire_fn_markers: vec![
                 "wire".into(),

@@ -24,5 +24,5 @@ pub mod throughput;
 pub use accuracy::{evaluate_topk, AccuracyReport};
 pub use experiment::{Series, SeriesPoint};
 pub use ranking::{intersection_at, kendall_tau, weighted_overlap};
-pub use recovery::RecoveryAccounting;
+pub use recovery::{RecoveryAccounting, ReshardAccounting};
 pub use throughput::{measure_mps, measure_mps_with, IngestMode};

@@ -8,9 +8,10 @@
 //! evaluation wants next to its accuracy table: how many recoveries
 //! happened, how many packets fell in dark windows, and how the dark
 //! total relates to the stream (the a-priori loss bound a checkpoint
-//! cadence promises).
+//! cadence promises). [`ReshardAccounting`] does the same for the live
+//! migrations in a [`reshard_log`](heavykeeper::ShardedEngine::reshard_log).
 
-use heavykeeper::RecoveryReport;
+use heavykeeper::{RecoveryReport, ReshardReport};
 
 /// Aggregated view of every recovery an engine performed during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +72,66 @@ impl std::fmt::Display for RecoveryAccounting {
     }
 }
 
+/// Aggregated view of every live reshard migration a run performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReshardAccounting {
+    /// Migrations attempted (committed + rolled back).
+    pub migrations: usize,
+    /// Migrations that installed their new topology.
+    pub committed: usize,
+    /// Migrations that rolled back to the old topology.
+    pub rollbacks: usize,
+    /// Shard respawns forced by faults firing inside a migration phase.
+    pub forced_recoveries: usize,
+    /// Total packets across all mid-migration dark windows.
+    pub dark_packets: u64,
+}
+
+impl ReshardAccounting {
+    /// Folds an engine's reshard log into one accounting.
+    pub fn from_reports(reports: &[ReshardReport]) -> Self {
+        let committed = reports.iter().filter(|r| r.committed).count();
+        Self {
+            migrations: reports.len(),
+            committed,
+            rollbacks: reports.len() - committed,
+            forced_recoveries: reports.iter().map(|r| r.recoveries.len()).sum(),
+            dark_packets: reports.iter().map(|r| r.dark_packets).sum(),
+        }
+    }
+
+    /// Mid-migration dark packets as a fraction of `stream_packets` —
+    /// what the migrations themselves can have cost in recall. `0.0`
+    /// for an empty stream.
+    pub fn dark_fraction(&self, stream_packets: u64) -> f64 {
+        if stream_packets == 0 {
+            0.0
+        } else {
+            self.dark_packets as f64 / stream_packets as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ReshardAccounting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} reshard{} ({} committed, {} rolled back), {} forced recover{}, {} dark packets",
+            self.migrations,
+            if self.migrations == 1 { "" } else { "s" },
+            self.committed,
+            self.rollbacks,
+            self.forced_recoveries,
+            if self.forced_recoveries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            self.dark_packets,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +178,45 @@ mod tests {
         );
         let many = RecoveryAccounting::from_reports(&[report(0, 0, 4), report(1, 2, 3)]);
         assert!(many.to_string().starts_with("2 recoveries across 2 shards"));
+    }
+
+    fn reshard(committed: bool, recoveries: usize, dark: u64) -> ReshardReport {
+        ReshardReport {
+            from_shards: 2,
+            to_shards: 4,
+            committed,
+            cut_packets: vec![10, 10],
+            dark_packets: dark,
+            recoveries: (0..recoveries).map(|i| report(i, 0, dark)).collect(),
+            rollback: (!committed).then(|| "drain retry budget exhausted".into()),
+        }
+    }
+
+    #[test]
+    fn reshard_log_folds_commits_and_rollbacks() {
+        let acc = ReshardAccounting::from_reports(&[
+            reshard(true, 0, 0),
+            reshard(false, 1, 300),
+            reshard(true, 2, 120),
+        ]);
+        assert_eq!(acc.migrations, 3);
+        assert_eq!(acc.committed, 2);
+        assert_eq!(acc.rollbacks, 1);
+        assert_eq!(acc.forced_recoveries, 3);
+        assert_eq!(acc.dark_packets, 420);
+        assert!((acc.dark_fraction(42_000) - 0.01).abs() < 1e-12);
+        assert_eq!(
+            ReshardAccounting::from_reports(&[]),
+            ReshardAccounting::default()
+        );
+    }
+
+    #[test]
+    fn reshard_display_is_operator_readable() {
+        let acc = ReshardAccounting::from_reports(&[reshard(true, 1, 25)]);
+        assert_eq!(
+            acc.to_string(),
+            "1 reshard (1 committed, 0 rolled back), 1 forced recovery, 25 dark packets"
+        );
     }
 }

@@ -119,6 +119,13 @@ pub struct FleetConfig {
     /// Probability that a frame is reordered behind its successor
     /// within one rotation's batch of frames.
     pub reorder: f64,
+    /// Lease length in rotations; `0` disables leasing. With a lease,
+    /// a switch the collector has not heard from for more than `lease`
+    /// rotations' worth of fleet traffic is **evicted** (replica,
+    /// buffered deltas and flags dropped —
+    /// [`Collector::evict_switch`]); a returning switch re-admits
+    /// itself through the ordinary full-snapshot resync path.
+    pub lease: u64,
 }
 
 impl Default for FleetConfig {
@@ -133,6 +140,7 @@ impl Default for FleetConfig {
             mode: ExportMode::Delta,
             loss: 0.0,
             reorder: 0.0,
+            lease: 0,
         }
     }
 }
@@ -160,6 +168,12 @@ pub struct FleetStats {
     pub resyncs: u64,
     /// Deltas the collector dropped as duplicates.
     pub duplicates: u64,
+    /// Switches evicted for overrunning their lease
+    /// ([`FleetConfig::lease`]).
+    pub evictions: u64,
+    /// Previously evicted switches whose replica was reinstalled by a
+    /// later snapshot (the resync re-admission path).
+    pub readmissions: u64,
     /// Total frame bytes handed to the channel.
     pub bytes_sent: u64,
     /// Bytes of the most recent rotation's scheduled exports (all
@@ -207,6 +221,12 @@ pub struct Fleet<K: FlowKey> {
     stats: FleetStats,
     /// Per-switch ingest staging, reused across [`Fleet::ingest`] calls.
     staging: Vec<Vec<K>>,
+    /// Switches whose uplink is down ([`Fleet::set_muted`]): they keep
+    /// measuring, but nothing they export reaches the channel.
+    muted: std::collections::HashSet<usize>,
+    /// Switches currently evicted under the lease, watched for
+    /// re-admission.
+    evicted: std::collections::HashSet<u64>,
 }
 
 impl<K: FlowKey> Fleet<K> {
@@ -240,6 +260,8 @@ impl<K: FlowKey> Fleet<K> {
             staging: (0..cfg.switches).map(|_| Vec::new()).collect(),
             switches,
             stats: FleetStats::default(),
+            muted: std::collections::HashSet::new(),
+            evicted: std::collections::HashSet::new(),
             cfg,
         };
         // Initial snapshots anchor every delta stream.
@@ -298,10 +320,12 @@ impl<K: FlowKey> Fleet<K> {
         self.stats.rotations += 1;
         let budget = self.epoch_budget();
         let mode = self.cfg.mode;
+        let muted = &self.muted;
         let frames: Vec<(Vec<u8>, ExportKind)> = self
             .switches
             .iter_mut()
             .enumerate()
+            .filter(|(i, _)| !muted.contains(i))
             .map(|(i, sw)| {
                 // Each mode degrades one step instead of skipping the
                 // rotation: a W = 1 ring never has a closed epoch to
@@ -328,6 +352,49 @@ impl<K: FlowKey> Fleet<K> {
         self.stats.bytes_last_rotation = frames.iter().map(|(b, _)| b.len() as u64).sum();
         self.ship(frames);
         self.service_resyncs(true);
+        self.enforce_lease();
+    }
+
+    /// Cuts the uplink of one switch (or restores it): a muted switch
+    /// keeps measuring and rotating, but none of its exports — scheduled
+    /// frames or resync answers — reach the channel. The deterministic
+    /// way to make a switch *silent* for the lease/eviction plane.
+    pub fn set_muted(&mut self, switch: usize, muted: bool) {
+        if muted {
+            self.muted.insert(switch);
+        } else {
+            self.muted.remove(&switch);
+        }
+    }
+
+    /// The lease sweep run at every rotation: evicts switches the
+    /// collector has not heard from in over [`FleetConfig::lease`]
+    /// rotations' worth of frames, and counts a re-admission for every
+    /// previously evicted switch whose replica a snapshot reinstalled.
+    /// The collector clock ticks per *submitted frame*, so one rotation
+    /// of a healthy fleet is at most `switches` ticks — leases are
+    /// converted at that rate.
+    fn enforce_lease(&mut self) {
+        if self.cfg.lease == 0 {
+            return;
+        }
+        let max_idle = self.cfg.lease.saturating_mul(self.cfg.switches as u64);
+        for id in self.collector.stale_switches(max_idle) {
+            if self.collector.evict_switch(id) {
+                self.stats.evictions += 1;
+                self.evicted.insert(id);
+            }
+        }
+        let readmitted: Vec<u64> = self
+            .evicted
+            .iter()
+            .copied()
+            .filter(|&id| self.collector.switch_window(id).is_some())
+            .collect();
+        for id in readmitted {
+            self.stats.readmissions += 1;
+            self.evicted.remove(&id);
+        }
     }
 
     /// Ships full snapshots to the collector for every switch it
@@ -342,6 +409,7 @@ impl<K: FlowKey> Fleet<K> {
         }
         let frames: Vec<(Vec<u8>, ExportKind)> = wanted
             .iter()
+            .filter(|&&id| !self.muted.contains(&(id as usize)))
             .filter_map(|&id| {
                 self.switches
                     .get(id as usize)
@@ -442,6 +510,9 @@ impl<K: FlowKey> Fleet<K> {
             .iter()
             .enumerate()
             .filter(|(i, sw)| {
+                if self.muted.contains(i) {
+                    return false; // A down uplink cannot reconcile.
+                }
                 let id = *i as u64;
                 let lagging = match self.collector.switch_window(id) {
                     Some(replica) => replica.rotations() < sw.rotations(),
@@ -459,6 +530,7 @@ impl<K: FlowKey> Fleet<K> {
             self.stats.bytes_sent += bytes.len() as u64;
             self.deliver(&bytes);
         }
+        self.enforce_lease();
         shipped
     }
 
@@ -671,6 +743,80 @@ mod tests {
             let replica = fleet.collector().switch_window(i as u64).unwrap();
             assert_eq!(window_digest(replica), window_digest(sw), "switch {i}");
         }
+    }
+
+    #[test]
+    fn lease_evicts_silent_switch_and_readmits_on_reconnect() {
+        // Silence -> evict -> reconnect -> converge: switch 1's uplink
+        // goes down mid-run; after the lease runs out the collector
+        // evicts its replica (its flows vanish from the merged view),
+        // and when the uplink returns the ordinary resync path
+        // re-admits it with a full snapshot, bit-exact again.
+        let mut fleet = Fleet::<u64>::new(FleetConfig {
+            switches: 3,
+            window: 3,
+            epoch_packets: 2_000,
+            mode: ExportMode::Delta,
+            lease: 2,
+            ..FleetConfig::default()
+        });
+        let trace = zipfish(60_000, 11);
+        let periods: Vec<&[u64]> = trace.chunks(2_000).collect();
+
+        // Healthy start: every switch installs.
+        for p in &periods[..4] {
+            fleet.ingest(p);
+            fleet.rotate();
+        }
+        assert!(fleet.collector().switch_window(1).is_some());
+
+        // Uplink down: the switch keeps measuring, the collector stops
+        // hearing from it, and the lease sweep eventually evicts it.
+        fleet.set_muted(1, true);
+        for p in &periods[4..14] {
+            fleet.ingest(p);
+            fleet.rotate();
+        }
+        assert_eq!(fleet.stats().evictions, 1, "silent switch evicted");
+        assert_eq!(fleet.stats().readmissions, 0);
+        assert!(
+            fleet.collector().switch_window(1).is_none(),
+            "evicted replica is gone from the windowed plane"
+        );
+
+        // Reconnect: the next delta hits the no-snapshot arm, the
+        // resync ships a full snapshot, and the replica is re-admitted.
+        fleet.set_muted(1, false);
+        for p in &periods[14..18] {
+            fleet.ingest(p);
+            fleet.rotate();
+        }
+        assert_eq!(fleet.stats().readmissions, 1, "resync re-admits");
+        fleet.reconcile();
+        for (i, sw) in fleet.switches().iter().enumerate() {
+            let replica = fleet
+                .collector()
+                .switch_window(i as u64)
+                .expect("all switches back");
+            assert_eq!(window_digest(replica), window_digest(sw), "switch {i}");
+        }
+        // Re-admission used the ordinary resync machinery.
+        assert!(fleet.stats().resyncs >= 1);
+    }
+
+    #[test]
+    fn lease_zero_never_evicts() {
+        let mut fleet = Fleet::<u64>::new(FleetConfig {
+            switches: 2,
+            window: 2,
+            epoch_packets: 1_000,
+            ..FleetConfig::default()
+        });
+        fleet.set_muted(1, true);
+        fleet.run_trace(&zipfish(20_000, 5));
+        assert_eq!(fleet.stats().evictions, 0, "leasing is off by default");
+        // The muted switch's replica just goes stale, it is not dropped.
+        assert!(fleet.collector().switch_window(1).is_some());
     }
 
     #[test]
