@@ -25,7 +25,7 @@ USAGE:
               [--batch N] [--shards S] [--window W] [--epoch-packets N]
               [--layout-report] [--fault PLAN] [--recover]
               [--checkpoint-every N] [--reshard M@P[,M@P...]]
-              [--min-recall R]
+              [--min-recall R] [--stats-json FILE]
   hk analyze  --trace FILE [--algo NAME] [--memory-kb KB] [--k K] [--seed X]
   hk compare  --trace FILE [--memory-kb KB] [--k K] [--seed X]
   hk pcap-gen --out FILE [--packets N] [--flows M] [--skew S] [--seed X]
@@ -63,6 +63,13 @@ Fleet leases:
   switch is re-admitted through a full-snapshot resync. --outage S@A..B
   silences switch S's uplink during periods [A, B) to exercise the
   evict/re-admit cycle from the driver.
+
+Observability:
+  hk run --stats-json FILE attaches the hk-obs plane to the sharded
+  engine (any engine-path run: --shards > 1, --fault, --recover or
+  --reshard) and writes stage counters, latency/batch histograms and
+  the event journal as JSON after the stream. hk fleet prints a
+  per-period obs stat line plus the journal summary at the end.
 ";
 
 /// Builds an algorithm by CLI name. The box is `Send` so instances can
@@ -156,6 +163,12 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
         "" => Vec::new(),
         spec => parse_reshard_schedule(spec).map_err(CliError::Usage)?,
     };
+    let stats_path = args.get_or("stats-json", "").to_string();
+    let obs_hub = if stats_path.is_empty() {
+        None
+    } else {
+        Some(std::sync::Arc::new(hk_obs::ObsHub::new()))
+    };
     // Fault injection, recovery and live resharding need the concrete
     // checkpointable engines (ParallelTopK / SlidingTopK), not a boxed
     // algorithm — and the engine path even at --shards 1.
@@ -218,6 +231,9 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             let mut engine = ShardedEngine::from_fn(shards, k, |_| {
                 SlidingTopK::<u64>::with_memory(mem / shards, k, seed, window)
             });
+            if let Some(hub) = &obs_hub {
+                engine.attach_obs(hub.clone());
+            }
             if fault_mode {
                 arm_fault_harness(&mut engine, fault.as_ref(), recover, ckpt_every)?;
             }
@@ -227,8 +243,12 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             // healthy-looking numbers — unless --recover healed it,
             // in which case the dark window is reported instead.
             finish_engine_run(&mut engine, recover, trace.len() as u64)?;
+            if !stats_path.is_empty() {
+                write_stats_json(&engine, &stats_path)?;
+            }
             enforce_min_recall(args, report.precision)
         } else {
+            require_engine_for_stats(&stats_path)?;
             let mut win = SlidingTopK::<u64>::with_memory(mem, k, seed, window);
             let report =
                 stream_windowed(&mut win, &trace, batch, epoch_packets, window, shards, k)?;
@@ -244,6 +264,9 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
         let mut engine = ShardedEngine::from_fn(shards, k, |_| {
             ParallelTopK::<u64>::with_memory(mem / shards, k, seed)
         });
+        if let Some(hub) = &obs_hub {
+            engine.attach_obs(hub.clone());
+        }
         arm_fault_harness(&mut engine, fault.as_ref(), recover, ckpt_every)?;
         let mut steps = reshard_steps.iter().copied().peekable();
         let report = stream_steady_with(&mut engine, &trace, batch, shards, k, |eng, fed| {
@@ -256,6 +279,9 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             }
         });
         finish_engine_run(&mut engine, recover, trace.len() as u64)?;
+        if !stats_path.is_empty() {
+            write_stats_json(&engine, &stats_path)?;
+        }
         enforce_min_recall(args, report.precision)
     } else if shards > 1 {
         // One instance per shard, each charged an equal share of the
@@ -267,10 +293,18 @@ pub fn run_stream(args: &Args) -> Result<(), CliError> {
             instances.push(make_algo(algo_name, mem / shards, k, seed)?);
         }
         let mut engine = ShardedEngine::from_shards(instances, k);
+        if let Some(hub) = &obs_hub {
+            engine.attach_obs(hub.clone());
+        }
         let report = stream_steady(&mut engine, &trace, batch, shards, k);
+        print_engine_backpressure(&engine);
         check_shard_health(&engine)?;
+        if !stats_path.is_empty() {
+            write_stats_json(&engine, &stats_path)?;
+        }
         enforce_min_recall(args, report.precision)
     } else {
+        require_engine_for_stats(&stats_path)?;
         let mut algo = make_algo(algo_name, mem, k, seed)?;
         let report = stream_steady(&mut algo, &trace, batch, shards, k);
         enforce_min_recall(args, report.precision)
@@ -328,7 +362,54 @@ where
             100.0 * racc.dark_fraction(stream_packets)
         );
     }
+    print_engine_backpressure(engine);
     check_shard_health(engine)
+}
+
+/// Prints the engine's backpressure accounting — always, so a shedding
+/// or lossy run can never read as a clean one. Zero/zero is the
+/// healthy-path assertion, not noise.
+fn print_engine_backpressure<K, A>(engine: &ShardedEngine<K, A>)
+where
+    K: hk_common::key::FlowKey + Send + 'static,
+    A: PreparedInsert<K> + Send + 'static,
+{
+    println!(
+        "backpressure: {} packet(s) shed, {} packet(s) lost",
+        engine.shed_packets(),
+        engine.lost_packets()
+    );
+}
+
+/// Rejects `--stats-json` on runs that never build a sharded engine —
+/// the obs plane instruments the engine's dispatch/ingest stages, so a
+/// bare single-instance run has nothing to attach it to.
+fn require_engine_for_stats(stats_path: &str) -> Result<(), CliError> {
+    if stats_path.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Usage(
+            "--stats-json instruments the sharded engine; combine it with \
+             --shards > 1, --fault, --recover or --reshard"
+                .into(),
+        ))
+    }
+}
+
+/// Writes the engine's observability snapshot (counters, histograms,
+/// event journal) as JSON to `path` — the `--stats-json` exit ramp.
+fn write_stats_json<K, A>(engine: &ShardedEngine<K, A>, path: &str) -> Result<(), CliError>
+where
+    K: hk_common::key::FlowKey + Send + 'static,
+    A: PreparedInsert<K> + Send + 'static,
+{
+    let snap = engine
+        .obs_snapshot()
+        .ok_or_else(|| CliError::Io("--stats-json: no observability hub attached".into()))?;
+    std::fs::write(path, snap.render_json())
+        .map_err(|e| CliError::Io(format!("--stats-json {path}: {e}")))?;
+    println!("stats: obs snapshot written to {path}");
+    Ok(())
 }
 
 /// Parses `--reshard`'s comma-separated `shards@packets` steps into a
@@ -864,6 +945,10 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         reorder,
         lease,
     });
+    // The obs plane rides every fleet run: per-period stat lines below,
+    // journal summary (evictions/readmissions/resyncs) after the run.
+    let obs = std::sync::Arc::new(hk_obs::ObsHub::new());
+    fleet.attach_obs(obs.clone());
     let start = Instant::now();
     // The per-period loop (instead of `run_trace`) lets an `--outage`
     // silence one switch's uplink for a stretch of rotations — the
@@ -875,6 +960,17 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         fleet.ingest(chunk);
         if chunk.len() == epoch_packets {
             fleet.rotate();
+            let snap = obs.snapshot();
+            println!(
+                "obs: period {period} | exports {} | frame bytes p50 {} p95 {} p99 {} | \
+                 journal {} event(s), {} dropped",
+                snap.stages.exports,
+                snap.export_bytes.p50,
+                snap.export_bytes.p95,
+                snap.export_bytes.p99,
+                snap.journal.recorded,
+                snap.journal.dropped,
+            );
         }
     }
     let secs = start.elapsed().as_secs_f64();
@@ -907,6 +1003,16 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         println!(
             "lease {lease}: {} eviction(s), {} re-admission(s)",
             s.evictions, s.readmissions,
+        );
+    }
+    let obs_snap = obs.snapshot();
+    if obs_snap.journal.recorded > 0 {
+        println!(
+            "obs journal: {} eviction(s), {} readmission(s), {} resync(s) | {} dropped",
+            obs_snap.journal.count_of("eviction"),
+            obs_snap.journal.count_of("readmission"),
+            obs_snap.journal.count_of("resync"),
+            obs_snap.journal.dropped,
         );
     }
     println!(
@@ -1036,6 +1142,79 @@ mod tests {
         compare(&cmp).unwrap();
 
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_stats_json_snapshots_a_faulted_resharded_engine() {
+        let dir = std::env::temp_dir().join("hk-cli-stats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.trace");
+        let trace_s = trace.to_str().unwrap();
+        let stats = dir.join("stats.json");
+        let stats_s = stats.to_str().unwrap();
+
+        let gen = Args::parse(&sv(&[
+            "generate",
+            "--out",
+            trace_s,
+            "--kind",
+            "zipf",
+            "--packets",
+            "30000",
+            "--flows",
+            "2000",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        generate(&gen).unwrap();
+
+        // One faulted, recovered, resharded engine run with the obs
+        // plane attached: the snapshot must tell the whole story.
+        let run = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            trace_s,
+            "--memory-kb",
+            "64",
+            "--k",
+            "10",
+            "--shards",
+            "2",
+            "--fault",
+            "kill:1@8000",
+            "--recover",
+            "--reshard",
+            "3@16000",
+            "--stats-json",
+            stats_s,
+        ]))
+        .unwrap();
+        run_stream(&run).unwrap();
+        let json = std::fs::read_to_string(&stats).unwrap();
+        assert!(!json.contains("\"dispatch_packets\": 0"), "{json}");
+        assert!(json.contains("\"ingest_packets\""), "{json}");
+        assert!(json.contains("\"kind\": \"recovery\""), "{json}");
+        assert!(json.contains("\"kind\": \"reshard_phase\""), "{json}");
+
+        // A run that never builds the engine has nothing to observe —
+        // refused up front, not silently empty.
+        let bare = Args::parse(&sv(&[
+            "run",
+            "--trace",
+            trace_s,
+            "--memory-kb",
+            "16",
+            "--k",
+            "10",
+            "--stats-json",
+            stats_s,
+        ]))
+        .unwrap();
+        assert!(matches!(run_stream(&bare), Err(CliError::Usage(_))));
+
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&stats).ok();
     }
 
     #[test]

@@ -227,6 +227,12 @@ pub struct Collector<K: FlowKey> {
     /// `Mutex` — not `RefCell` — so the collector stays `Sync`;
     /// uncontended on the single-owner path.
     scratch: Mutex<QueryScratch<K>>,
+    /// Window frames that participated in the protocol (snapshot,
+    /// delta, dirty, duplicate or buffered alike) — observability.
+    window_frames_accepted: u64,
+    /// Window frames the protocol refused (wire errors, ring
+    /// mismatches, deltas before any snapshot).
+    window_frames_rejected: u64,
 }
 
 /// The per-query allocations of the top-k paths, retained across calls.
@@ -258,6 +264,8 @@ impl<K: FlowKey> Clone for Collector<K> {
             clock: self.clock,
             // Scratch is cheap to refill; a clone starts cold.
             scratch: Mutex::new(QueryScratch::default()),
+            window_frames_accepted: self.window_frames_accepted,
+            window_frames_rejected: self.window_frames_rejected,
         }
     }
 }
@@ -280,12 +288,26 @@ impl<K: FlowKey> Collector<K> {
             resync_no_snapshot: HashSet::new(),
             clock: 0,
             scratch: Mutex::new(QueryScratch::default()),
+            window_frames_accepted: 0,
+            window_frames_rejected: 0,
         }
     }
 
     /// Number of submissions (reports + sketches) so far this period.
     pub fn reports(&self) -> usize {
         self.reports
+    }
+
+    /// Lifetime window frames that participated in the reassembly
+    /// protocol (duplicates and gap-buffered deltas included).
+    pub fn window_frames_accepted(&self) -> u64 {
+        self.window_frames_accepted
+    }
+
+    /// Lifetime window frames refused outright — undecodable bytes,
+    /// ring mismatches, or deltas arriving before any snapshot.
+    pub fn window_frames_rejected(&self) -> u64 {
+        self.window_frames_rejected
     }
 
     /// Submits one switch's top-k report for this period.
@@ -402,12 +424,30 @@ impl<K: FlowKey> Collector<K> {
         &mut self,
         payload: &[u8],
     ) -> Result<WindowSubmit, WindowSubmitError> {
-        let frame = WindowFrame::<K>::decode(payload).map_err(WindowSubmitError::Wire)?;
+        let frame = match WindowFrame::<K>::decode(payload) {
+            Ok(f) => f,
+            Err(e) => {
+                self.window_frames_rejected += 1;
+                return Err(WindowSubmitError::Wire(e));
+            }
+        };
         self.submit_window(frame)
     }
 
     /// [`Collector::submit_window_frame`] over an already-decoded frame.
     pub fn submit_window(
+        &mut self,
+        frame: WindowFrame<K>,
+    ) -> Result<WindowSubmit, WindowSubmitError> {
+        let out = self.submit_window_inner(frame);
+        match &out {
+            Ok(_) => self.window_frames_accepted += 1,
+            Err(_) => self.window_frames_rejected += 1,
+        }
+        out
+    }
+
+    fn submit_window_inner(
         &mut self,
         frame: WindowFrame<K>,
     ) -> Result<WindowSubmit, WindowSubmitError> {

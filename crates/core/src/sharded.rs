@@ -128,9 +128,11 @@ use hk_common::algorithm::{
 };
 use hk_common::key::FlowKey;
 use hk_common::prepared::{HashSpec, PreparedKey};
+use hk_obs::{EventKind, ObsHub, ReshardStage, WorkerObs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Seed of the fallback routing hash, used only when shards disagree on
 /// their [`PreparedInsert::hash_spec`] (so no single prepared key is
@@ -186,6 +188,11 @@ pub enum BackpressurePolicy {
 struct SubBatch<K> {
     keys: Vec<K>,
     prepared: Vec<PreparedKey>,
+    /// Dispatch timestamp for the dispatch→drain latency histogram.
+    /// Stamped only when an [`ObsHub`] is attached (one `Instant::now`
+    /// per *batch*, at the batch boundary — never per packet), `None`
+    /// otherwise.
+    sent_at: Option<Instant>,
 }
 
 impl<K> SubBatch<K> {
@@ -193,12 +200,14 @@ impl<K> SubBatch<K> {
         Self {
             keys: Vec::new(),
             prepared: Vec::new(),
+            sent_at: None,
         }
     }
 
     fn clear(&mut self) {
         self.keys.clear();
         self.prepared.clear();
+        self.sent_at = None;
     }
 }
 
@@ -351,6 +360,11 @@ struct Shard<K, A> {
     /// This shard's slice of the installed fault plan. Preserved across
     /// respawns so repeated faults keep firing in sequence.
     faults: Arc<ShardFaults>,
+    /// The worker's observation bundle, populated by
+    /// [`ShardedEngine::attach_obs`] (workers spawn at construction,
+    /// before any hub exists). Unset = instrumentation off: the worker
+    /// pays one atomic load per batch and nothing else.
+    obs: Arc<OnceLock<WorkerObs>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -437,6 +451,9 @@ pub struct ShardedEngine<K: FlowKey, A: TopKAlgorithm<K>> {
     /// Every reshard migration this engine has run, in order
     /// (committed and rolled back alike).
     reshard_log: Vec<ReshardReport>,
+    /// The attached observability hub; `None` (the default) disables
+    /// all instrumentation down to one branch per dispatched batch.
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl<K, A> ShardedEngine<K, A>
@@ -503,6 +520,7 @@ where
             shed: AtomicU64::new(0),
             fault_plan: None,
             reshard_log: Vec::new(),
+            obs: None,
         }
     }
 
@@ -535,6 +553,7 @@ where
         let sleeping = Arc::new(AtomicBool::new(false));
         let work = Arc::new(SpscRing::new(WORK_RING_CAPACITY));
         let recycled = Arc::new(SpscRing::new(RECYCLE_RING_CAPACITY));
+        let obs: Arc<OnceLock<WorkerObs>> = Arc::new(OnceLock::new());
         let worker = {
             let algo = Arc::clone(&algo);
             let processed = Arc::clone(&processed);
@@ -543,6 +562,7 @@ where
             let work = Arc::clone(&work);
             let recycled = Arc::clone(&recycled);
             let faults = Arc::clone(&faults);
+            let obs = Arc::clone(&obs);
             std::thread::spawn(move || {
                 Self::worker_loop(
                     &algo,
@@ -553,6 +573,7 @@ where
                     &sleeping,
                     &faults,
                     handoff,
+                    &obs,
                 )
             })
         };
@@ -571,6 +592,7 @@ where
             ckpt_batches: AtomicU64::new(0),
             checkpoint,
             faults,
+            obs,
             worker: Some(worker),
         }
     }
@@ -589,6 +611,7 @@ where
         sleeping: &AtomicBool,
         faults: &ShardFaults,
         handoff: bool,
+        obs: &OnceLock<WorkerObs>,
     ) {
         let mut spins = 0usize;
         loop {
@@ -648,6 +671,20 @@ where
                             guard.insert_prepared_batch(&batch.keys, &batch.prepared);
                         } else {
                             guard.insert_batch(&batch.keys);
+                        }
+                    }
+                    // Instrumentation samples at the batch boundary:
+                    // one counter bump and one histogram record per
+                    // *drained batch*, and the latency clock was read
+                    // at dispatch — the per-packet walk above stays
+                    // timing- and counter-free.
+                    if let Some(o) = obs.get() {
+                        o.shard.ingest_batches.incr();
+                        o.shard.ingest_packets.add(units);
+                        o.batch_packets.record(units);
+                        if let Some(sent) = batch.sent_at {
+                            let ns = sent.elapsed().as_nanos();
+                            o.latency_ns.record(u64::try_from(ns).unwrap_or(u64::MAX));
                         }
                     }
                     // `packets_done` strictly before `processed`: a
@@ -829,6 +866,58 @@ where
         self.shed.load(Ordering::Acquire)
     }
 
+    /// Attaches an observability hub: every stage of the engine starts
+    /// reporting into it — dispatch/ingest counters, dispatch→drain
+    /// latency and batch-size histograms, and journal events for
+    /// worker death, recovery, reshard phases and shedding. Idempotent
+    /// per shard slot (the worker's bundle is set once); shard slots
+    /// created later (reshard growth, respawn) are wired automatically.
+    ///
+    /// With no hub attached (the default) the hot path pays one branch
+    /// per dispatched batch and one relaxed load per drained batch —
+    /// the `obs_overhead` bench pins this within noise.
+    pub fn attach_obs(&mut self, hub: Arc<ObsHub>) {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let _ = shard.obs.set(hub.worker(idx));
+        }
+        self.obs = Some(hub);
+    }
+
+    /// The attached hub, if any.
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref()
+    }
+
+    /// Publishes the engine-owned gauge totals (SPSC ring push/pop
+    /// counts, lost and shed packets) into the attached hub and returns
+    /// a coherent snapshot. `None` when no hub is attached.
+    pub fn obs_snapshot(&self) -> Option<hk_obs::Snapshot> {
+        let hub = self.obs.as_ref()?;
+        let mut pushes = 0u64;
+        let mut pops = 0u64;
+        for shard in &self.shards {
+            pushes += shard.work.pushes() + shard.recycled.pushes();
+            pops += shard.work.pops() + shard.recycled.pops();
+        }
+        hub.stages.ring_pushes.set(pushes);
+        hub.stages.ring_pops.set(pops);
+        hub.stages.lost_packets.set(self.lost_packets());
+        hub.stages.shed_packets.set(self.shed_packets());
+        Some(hub.snapshot())
+    }
+
+    /// Journals a reshard phase transition (no-op without a hub).
+    fn obs_reshard_phase(&self, from: usize, to: usize, stage: ReshardStage) {
+        if let Some(hub) = &self.obs {
+            hub.stages.reshard_phases.incr();
+            hub.journal.record(EventKind::ReshardPhase {
+                from_shards: from as u64,
+                to_shards: to as u64,
+                stage,
+            });
+        }
+    }
+
     /// The current full-ring policy.
     pub fn backpressure(&self) -> BackpressurePolicy {
         self.backpressure
@@ -857,6 +946,11 @@ where
             let done = shard.processed.load(Ordering::Acquire);
             self.lost
                 .fetch_add(target.saturating_sub(done), Ordering::Release);
+            if let Some(hub) = &self.obs {
+                hub.shard(idx).worker_deaths.incr();
+                hub.journal
+                    .record(EventKind::WorkerDeath { shard: idx as u64 });
+            }
         }
     }
 
@@ -918,6 +1012,12 @@ where
                         && matches!(msg, ShardMsg::Batch(_))
                     {
                         self.shed.fetch_add(packet_units, Ordering::Release);
+                        if let Some(hub) = &self.obs {
+                            hub.journal.record(EventKind::Shed {
+                                shard: idx as u64,
+                                packets: packet_units,
+                            });
+                        }
                         return;
                     }
                     std::thread::yield_now();
@@ -965,8 +1065,16 @@ where
                 continue;
             }
             let replacement = self.take_buffer(idx);
-            let batch = std::mem::replace(&mut pending.per_shard[idx], replacement);
+            let mut batch = std::mem::replace(&mut pending.per_shard[idx], replacement);
             let units = batch.keys.len() as u64;
+            if let Some(hub) = &self.obs {
+                hub.stages.dispatch_batches.incr();
+                hub.stages.dispatch_packets.add(units);
+                // One clock read per dispatched batch, at the batch
+                // boundary — the worker computes the elapsed
+                // dispatch→drain time when it drains this buffer.
+                batch.sent_at = Some(Instant::now());
+            }
             self.send_to_shard(idx, ShardMsg::Batch(batch), units, units);
             // Scheduled checkpoint: every `checkpoint_every` dispatched
             // batches, the shard encodes itself right behind the work
@@ -1004,6 +1112,9 @@ where
                 packets: at_packets,
             });
         };
+        if let Some(hub) = &self.obs {
+            hub.stages.checkpoints.incr();
+        }
         self.send_to_shard(idx, ShardMsg::Op(Box::new(op)), 1, 0);
     }
 
@@ -1237,6 +1348,14 @@ where
                 dark_packets: routed.saturating_sub(slot.packets),
             };
             self.respawn_shard(idx, algo, slot.packets);
+            if let Some(hub) = &self.obs {
+                hub.stages.recoveries.incr();
+                hub.dark_packets.record(report.dark_packets);
+                hub.journal.record(EventKind::Recovery {
+                    shard: idx as u64,
+                    dark_packets: report.dark_packets,
+                });
+            }
             self.recovery_log.push(report.clone());
             reports.push(report);
         }
@@ -1259,6 +1378,11 @@ where
         let faults = Arc::clone(&old.faults);
         self.shards[idx] =
             Self::spawn_shard_with(algo, self.handoff, checkpoint, faults, base_packets);
+        // The fresh worker's OnceLock is empty; re-wire it so the
+        // respawned shard keeps accumulating on the same hub slot.
+        if let Some(hub) = &self.obs {
+            let _ = self.shards[idx].obs.set(hub.worker(idx));
+        }
     }
 
     /// The auto-recover death scan: one `is_finished` load per shard
@@ -1355,6 +1479,7 @@ where
             return Ok(report);
         }
 
+        self.obs_reshard_phase(from, new_shards, ReshardStage::Drain);
         let cuts = match self.reshard_drain(&mut recoveries) {
             Ok(cuts) => cuts,
             Err(reason) => {
@@ -1363,6 +1488,7 @@ where
         };
         let cut_packets: Vec<u64> = cuts.iter().map(|c| c.packets).collect();
 
+        self.obs_reshard_phase(from, new_shards, ReshardStage::Rebuild);
         let states = match self.reshard_rebuild(new_shards, &cuts, restore) {
             Ok(states) => states,
             Err(reason) => {
@@ -1370,7 +1496,12 @@ where
             }
         };
 
+        self.obs_reshard_phase(from, new_shards, ReshardStage::Swap);
         self.reshard_swap(states, encode);
+        self.obs_reshard_phase(from, new_shards, ReshardStage::Commit);
+        if let Some(hub) = &self.obs {
+            hub.stages.reshards.incr();
+        }
         let report = ReshardReport {
             from_shards: from,
             to_shards: new_shards,
@@ -1518,6 +1649,14 @@ where
             pending.total = 0;
             std::mem::replace(&mut self.shards, fresh)
         };
+        // Wire the new topology's workers into the hub: slot counters
+        // are per-index, so shards alive on both sides keep their
+        // series and grown indices start fresh ones.
+        if let Some(hub) = &self.obs {
+            for (j, shard) in self.shards.iter().enumerate() {
+                let _ = shard.obs.set(hub.worker(j));
+            }
+        }
         for mut shard in old {
             shard.work.close();
             shard.wake();
@@ -1536,6 +1675,7 @@ where
         recoveries: Vec<RecoveryReport>,
         reason: String,
     ) -> ReshardReport {
+        self.obs_reshard_phase(self.shards.len(), to_shards, ReshardStage::Rollback);
         let report = ReshardReport {
             from_shards: self.shards.len(),
             to_shards,
@@ -1685,6 +1825,9 @@ where
                 }
             }
         }
+        if let Some(hub) = &self.obs {
+            hub.stages.rotations.incr();
+        }
         let dead = self.poisoned_shards();
         if dead.is_empty() {
             Ok(())
@@ -1729,7 +1872,7 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
         epoch_packets: u32,
     ) -> Result<Vec<Vec<u8>>, ShardPoisoned> {
         self.flush()?;
-        Ok(self
+        let frames: Vec<Vec<u8>> = self
             .shards
             .iter()
             .enumerate()
@@ -1740,7 +1883,9 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
                 let guard = shard.algo.lock().unwrap_or_else(PoisonError::into_inner);
                 guard.export_frame(switch_id_base + i as u64, epoch_packets)
             })
-            .collect())
+            .collect();
+        self.obs_record_export(&frames);
+        Ok(frames)
     }
 
     /// The delta sibling of [`ShardedEngine::export_frames`]: one
@@ -1764,6 +1909,7 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
                 None => return Ok(None),
             }
         }
+        self.obs_record_export(&out);
         Ok(Some(out))
     }
 
@@ -1797,7 +1943,21 @@ impl<K: FlowKey + Send + 'static> ShardedEngine<K, crate::sliding::SlidingTopK<K
                 None => complete = false,
             }
         }
+        if complete {
+            self.obs_record_export(&out);
+        }
         Ok(complete.then_some(out))
+    }
+
+    /// Counts one export op and records per-shard frame sizes into the
+    /// export-bytes histogram (no-op without a hub).
+    fn obs_record_export(&self, frames: &[Vec<u8>]) {
+        if let Some(hub) = &self.obs {
+            hub.stages.exports.incr();
+            for f in frames {
+                hub.export_bytes.record(f.len() as u64);
+            }
+        }
     }
 }
 
@@ -2712,5 +2872,76 @@ mod tests {
         assert_eq!(healed.len(), 1);
         assert_eq!(healed[0].shard, 3);
         engine.flush().expect("healed engine");
+    }
+
+    #[test]
+    fn obs_snapshot_covers_a_faulted_resharded_run() {
+        let hub = Arc::new(hk_obs::ObsHub::new());
+        let mut engine = checked_engine(2048, 2);
+        engine.attach_obs(hub.clone());
+        engine.set_fault_plan(&FaultPlan::new().kill(0, 200));
+        engine.set_auto_recover(true);
+        let batch = counting_batch();
+        engine.insert_batch(&batch);
+        // Auto-recovery fires on the next insert; a post-stream kill is
+        // healed explicitly, the CLI's finish discipline.
+        engine.recover().expect("checkpoint restores the kill");
+        engine.flush().expect("recovered engine is healthy");
+        let report = engine.reshard(4).expect("well-formed reshard");
+        assert!(report.committed, "zero-fault grow commits: {report}");
+        engine.insert_batch(&batch);
+        engine.flush().expect("healthy after reshard");
+
+        let snap = engine.obs_snapshot().expect("hub attached");
+        // Stage counters: every packet dispatched, all of them ingested
+        // (recovery replays the checkpointed prefix, so ingest can
+        // exceed dispatch — never undershoot what survived).
+        assert_eq!(snap.stages.dispatch_packets, 2 * batch.len() as u64);
+        let ingested: u64 = snap.shards.iter().map(|s| s.ingest_packets).sum();
+        assert!(ingested > 0, "workers reported ingest");
+        assert!(snap.stages.recoveries >= 1, "kill was recovered");
+        assert_eq!(snap.stages.reshards, 1);
+        assert!(
+            snap.stages.reshard_phases >= 4,
+            "drain/rebuild/swap/commit each counted: {}",
+            snap.stages.reshard_phases
+        );
+        assert!(snap.stages.ring_pushes > 0);
+        assert!(snap.stages.checkpoints > 0);
+        // Histograms saw the batches and their drain latencies.
+        assert!(snap.batch_packets.count > 0);
+        assert!(snap.dispatch_latency_ns.count > 0);
+        assert!(
+            snap.dark_packets.count >= 1,
+            "recovery recorded its dark window"
+        );
+        // Journal: the full lifecycle story, in one faulted run.
+        assert!(snap.journal.count_of("worker_death") >= 1);
+        assert!(snap.journal.count_of("recovery") >= 1);
+        assert!(snap.journal.count_of("reshard_phase") >= 4);
+        assert_eq!(snap.journal.dropped, 0);
+        // Both exposition formats carry the keys CI greps for.
+        let json = snap.render_json();
+        assert!(json.contains("\"dispatch_packets\""), "{json}");
+        assert!(json.contains("\"kind\": \"recovery\""), "{json}");
+        assert!(json.contains("\"kind\": \"reshard_phase\""), "{json}");
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("hk_recoveries 1"), "{prom}");
+    }
+
+    #[test]
+    fn detached_engine_has_no_obs_and_sheds_no_instrumentation_state() {
+        let mut engine = ShardedEngine::parallel(&cfg(256, 8), 2);
+        assert!(engine.obs().is_none());
+        assert!(engine.obs_snapshot().is_none());
+        engine.insert_batch(&counting_batch());
+        engine.flush().expect("healthy");
+        // Attaching mid-life starts counting from here on.
+        let hub = Arc::new(hk_obs::ObsHub::new());
+        engine.attach_obs(hub);
+        engine.insert_batch(&counting_batch());
+        engine.flush().expect("healthy");
+        let snap = engine.obs_snapshot().expect("attached");
+        assert_eq!(snap.stages.dispatch_packets, counting_batch().len() as u64);
     }
 }

@@ -42,6 +42,7 @@
 //! Memory is `W`× one sketch, the usual price of sliding windows.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use crate::config::HkConfig;
@@ -98,6 +99,11 @@ pub struct SlidingTopK<K: FlowKey> {
     /// outside [`SlidingTopK::memory_bytes`], which accounts the
     /// measurement structure, not the telemetry plane.
     pub(crate) export_shadow: Option<ExportShadow>,
+    /// Lifetime export operations served (frames + deltas + dirty
+    /// patches), atomic because the frame/delta exporters take `&self`.
+    pub(crate) export_ops: AtomicU64,
+    /// Total wire bytes across those exports.
+    pub(crate) export_bytes: AtomicU64,
 }
 
 /// The packed words of the last closed epoch a dirty delta shipped,
@@ -145,6 +151,8 @@ impl<K: FlowKey> Clone for SlidingTopK<K> {
             // Scratch is cheap to refill; a clone starts cold.
             topk_scratch: Mutex::new(TopKScratch::default()),
             export_shadow: self.export_shadow.clone(),
+            export_ops: AtomicU64::new(self.export_ops()),
+            export_bytes: AtomicU64::new(self.exported_bytes()),
         }
     }
 }
@@ -172,6 +180,8 @@ impl<K: FlowKey> SlidingTopK<K> {
             closed_cache: Mutex::new(HashMap::new()),
             topk_scratch: Mutex::new(TopKScratch::default()),
             export_shadow: None,
+            export_ops: AtomicU64::new(0),
+            export_bytes: AtomicU64::new(0),
         }
     }
 
@@ -209,6 +219,24 @@ impl<K: FlowKey> SlidingTopK<K> {
     /// Total period boundaries crossed so far.
     pub fn rotations(&self) -> u64 {
         self.rotations
+    }
+
+    /// Lifetime export operations served by this window — full frames,
+    /// deltas and dirty patches alike (observability; see `hk-obs`).
+    pub fn export_ops(&self) -> u64 {
+        self.export_ops.load(Ordering::Relaxed)
+    }
+
+    /// Total wire bytes across every export served.
+    pub fn exported_bytes(&self) -> u64 {
+        self.export_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Accounts one served export of `bytes` wire bytes (called by the
+    /// wire-format exporters; atomics so `&self` exporters can bump).
+    pub(crate) fn note_export(&self, bytes: usize) {
+        self.export_ops.fetch_add(1, Ordering::Relaxed);
+        self.export_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// The configuration each epoch is built from.
@@ -395,6 +423,8 @@ impl<K: FlowKey> SlidingTopK<K> {
             closed_cache: Mutex::new(HashMap::new()),
             topk_scratch: Mutex::new(TopKScratch::default()),
             export_shadow: None,
+            export_ops: AtomicU64::new(0),
+            export_bytes: AtomicU64::new(0),
         }
     }
 

@@ -27,7 +27,7 @@
 //! are plain load/store pairs that are only race-free under that
 //! discipline.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Why a push was refused.
@@ -74,6 +74,11 @@ pub struct SpscRing<T> {
     /// dispatcher) without a missed-wakeup window.
     len: AtomicUsize,
     closed: AtomicBool,
+    /// Successful pushes over the ring's lifetime (observability;
+    /// relaxed — statistical, never part of the handshake).
+    pushes: AtomicU64,
+    /// Successful pops over the ring's lifetime.
+    pops: AtomicU64,
 }
 
 impl<T> SpscRing<T> {
@@ -91,6 +96,8 @@ impl<T> SpscRing<T> {
             tail: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
+            pushes: AtomicU64::new(0),
+            pops: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +118,7 @@ impl<T> SpscRing<T> {
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(item);
         self.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
         self.len.fetch_add(1, Ordering::SeqCst);
+        self.pushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -128,6 +136,7 @@ impl<T> SpscRing<T> {
         debug_assert!(item.is_some(), "len > 0 implies an occupied head slot");
         self.head.store(head.wrapping_add(1), Ordering::Relaxed);
         self.len.fetch_sub(1, Ordering::SeqCst);
+        self.pops.fetch_add(1, Ordering::Relaxed);
         item
     }
 
@@ -164,6 +173,16 @@ impl<T> SpscRing<T> {
         self.slots.len()
     }
 
+    /// Successful pushes over the ring's lifetime (relaxed).
+    pub fn pushes(&self) -> u64 {
+        self.pushes.load(Ordering::Relaxed)
+    }
+
+    /// Successful pops over the ring's lifetime (relaxed).
+    pub fn pops(&self) -> u64 {
+        self.pops.load(Ordering::Relaxed)
+    }
+
     /// True when every slot is occupied — the next `try_push` would
     /// return [`PushError::Full`]. Advisory on the producer side (the
     /// consumer may free a slot at any moment): a shedding dispatcher
@@ -192,6 +211,20 @@ mod tests {
             assert_eq!(ring.try_pop(), Some(i));
         }
         assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn push_pop_counters_track_successes_only() {
+        let ring: SpscRing<u32> = SpscRing::new(2);
+        ring.try_push(1).unwrap();
+        ring.try_push(2).unwrap();
+        assert!(ring.try_push(3).is_err(), "full push must not count");
+        assert_eq!(ring.pushes(), 2);
+        assert_eq!(ring.try_pop(), Some(1));
+        assert_eq!(ring.pops(), 1);
+        assert_eq!(ring.try_pop(), Some(2));
+        assert_eq!(ring.try_pop(), None, "empty pop must not count");
+        assert_eq!((ring.pushes(), ring.pops()), (2, 2));
     }
 
     #[test]

@@ -499,6 +499,7 @@ impl<K: FlowKey> crate::sliding::SlidingTopK<K> {
         for epoch in self.epoch_iter() {
             encode_epoch_record(&mut out, epoch);
         }
+        self.note_export(out.len());
         out
     }
 
@@ -538,6 +539,7 @@ impl<K: FlowKey> crate::sliding::SlidingTopK<K> {
             epoch_packets,
         );
         encode_epoch_record(&mut out, closed);
+        self.note_export(out.len());
         Some(out)
     }
 
@@ -628,6 +630,9 @@ impl<K: FlowKey> crate::sliding::SlidingTopK<K> {
             (bytes, next_shadow)
         };
         self.export_shadow = Some(next_shadow);
+        if let Some(b) = &bytes {
+            self.note_export(b.len());
+        }
         bytes
     }
 }

@@ -202,6 +202,7 @@ pub fn run_on(cfg: &LintConfig, files: &[SourceFile]) -> LintReport {
     let mut findings = Vec::new();
     for f in files {
         rules::no_alloc_in_hot_path(cfg, f, &mut findings);
+        rules::no_timing_in_hot_path(cfg, f, &mut findings);
         rules::lock_poison_discipline(cfg, f, &mut findings);
         rules::panic_free_worker_paths(cfg, f, &mut findings);
         rules::forbid_unsafe_pinned(cfg, f, &mut findings);

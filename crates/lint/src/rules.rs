@@ -34,6 +34,10 @@ pub const RULES: &[(&str, &str)] = &[
         "frame magics and wire version constants must agree with the registered values across encode, decode and test code",
     ),
     (
+        "no-timing-in-hot-path",
+        "per-packet ingest functions must not read the clock (Instant::now / SystemTime::now) — timing belongs at batch boundaries",
+    ),
+    (
         "suppression",
         "meta: malformed hk-lint directives, allows without a reason, allows naming unknown rules",
     ),
@@ -55,6 +59,12 @@ pub struct LintConfig {
     pub exclude: Vec<String>,
     /// Hot ingest functions for `no-alloc-in-hot-path`.
     pub hot_functions: Vec<(String, String)>,
+    /// Per-packet functions for `no-timing-in-hot-path`. Deliberately
+    /// narrower than [`LintConfig::hot_functions`]: batch-boundary
+    /// code (`dispatch_locked`, `worker_loop`) may read the clock once
+    /// per batch — the obs latency histogram depends on it — but
+    /// per-packet walks must never.
+    pub timing_hot_functions: Vec<(String, String)>,
     /// Files that are wholly worker/fault/recovery scope.
     pub worker_files: Vec<String>,
     /// Individual worker-scope functions.
@@ -80,6 +90,7 @@ impl LintConfig {
             root: root.into(),
             exclude: Vec::new(),
             hot_functions: Vec::new(),
+            timing_hot_functions: Vec::new(),
             worker_files: Vec::new(),
             worker_functions: Vec::new(),
             wire_fn_markers: Vec::new(),
@@ -131,6 +142,28 @@ impl LintConfig {
                 ("crates/core/src/sharded.rs", "send_to_shard"),
                 ("crates/core/src/sharded.rs", "take_buffer"),
                 // Lane routing shared by dispatch and reshard (PR 9).
+                ("crates/core/src/reshard.rs", "lane_to_shard"),
+            ]),
+            // The per-packet subset of the hot set: everything above
+            // except the batch-boundary dispatch/worker code, which
+            // stamps one Instant per *batch* for the obs latency
+            // histogram (PR 10) and is allowed to.
+            timing_hot_functions: pairs(&[
+                ("crates/core/src/sketch.rs", "insert_basic_keyed"),
+                ("crates/core/src/sketch.rs", "walk_parallel"),
+                ("crates/core/src/sketch.rs", "walk_minimum"),
+                ("", "insert_prepared_batch"),
+                ("crates/common/src/prepared.rs", "prepare_from"),
+                ("crates/common/src/prepared.rs", "prepare_into"),
+                ("crates/core/src/spsc.rs", "try_push"),
+                ("crates/core/src/spsc.rs", "try_pop"),
+                ("crates/ovs/src/ring.rs", "push_raw"),
+                ("crates/ovs/src/ring.rs", "try_push"),
+                ("crates/ovs/src/ring.rs", "try_pop"),
+                ("crates/ovs/src/ring.rs", "pop_batch"),
+                ("crates/core/src/sharded.rs", "route_into"),
+                ("crates/core/src/sharded.rs", "send_to_shard"),
+                ("crates/core/src/sharded.rs", "take_buffer"),
                 ("crates/core/src/reshard.rs", "lane_to_shard"),
             ]),
             worker_files: vec![
@@ -274,6 +307,53 @@ pub fn no_alloc_in_hot_path(cfg: &LintConfig, f: &SourceFile, findings: &mut Vec
                         t.line,
                         format!(
                             "`{ty}::{m}` in hot function `{}` — hot ingest paths must not allocate",
+                            span.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-timing-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// Clock-reading constructors forbidden in per-packet functions.
+const TIMING_PATHS: &[&str] = &["Instant", "SystemTime"];
+
+pub fn no_timing_in_hot_path(cfg: &LintConfig, f: &SourceFile, findings: &mut Vec<Finding>) {
+    if is_test_path(&f.rel) {
+        return;
+    }
+    for span in &f.fns {
+        if !cfg.fn_matches(&cfg.timing_hot_functions, &f.rel, &span.name) {
+            continue;
+        }
+        for i in span.body.clone() {
+            if f.in_test_region(i) {
+                continue;
+            }
+            let Some(t) = f.ct(i) else { continue };
+            for &ty in TIMING_PATHS {
+                if f.matches(
+                    i,
+                    &[
+                        Pat::I(ty),
+                        Pat::P(':'),
+                        Pat::P(':'),
+                        Pat::I("now"),
+                        Pat::P('('),
+                    ],
+                ) {
+                    push(
+                        findings,
+                        "no-timing-in-hot-path",
+                        f,
+                        t.line,
+                        format!(
+                            "`{ty}::now()` in per-packet function `{}` — clock reads cost more than the bucket walk they time; stamp once per batch at the dispatch boundary instead",
                             span.name
                         ),
                     );

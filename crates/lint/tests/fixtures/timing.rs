@@ -1,0 +1,27 @@
+//! Fixture: no-timing-in-hot-path. The test config marks `hot_insert`
+//! as a per-packet function; `batch_boundary` is not configured and may
+//! stamp the clock. Trailing markers name the expected findings.
+
+use std::time::{Instant, SystemTime};
+
+pub fn hot_insert(keys: &[u64], out: &mut Vec<u64>) {
+    let t0 = Instant::now(); //~ no-timing-in-hot-path
+    for &k in keys {
+        let _stamp = SystemTime::now(); //~ no-timing-in-hot-path
+        out.push(k);
+    }
+    let _ = t0;
+}
+
+pub fn hot_but_clean(keys: &[u64], out: &mut Vec<u64>) {
+    // No clock reads: the walk stays branch-and-memory only.
+    out.extend_from_slice(keys);
+}
+
+pub fn batch_boundary(keys: &[u64]) -> u128 {
+    // Unconfigured function: one stamp per batch is the sanctioned
+    // pattern (the obs latency histogram is fed exactly this way).
+    let t0 = Instant::now();
+    let _ = keys.len();
+    t0.elapsed().as_nanos()
+}

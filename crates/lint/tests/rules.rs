@@ -57,6 +57,13 @@ fn no_alloc_in_hot_path_fixture() {
 }
 
 #[test]
+fn no_timing_in_hot_path_fixture() {
+    let mut cfg = LintConfig::bare(fixtures_root());
+    cfg.timing_hot_functions = vec![(String::new(), "hot_insert".into())];
+    check("timing.rs", &cfg);
+}
+
+#[test]
 fn lock_poison_discipline_fixture() {
     // No scope config needed: the rule applies everywhere outside tests.
     check("lock_poison.rs", &LintConfig::bare(fixtures_root()));

@@ -65,6 +65,8 @@ use hk_common::algorithm::TopKAlgorithm;
 use hk_common::key::FlowKey;
 use hk_common::prepared::HashSpec;
 use hk_common::prng::XorShift64;
+use hk_obs::{EventKind, ObsHub};
+use std::sync::Arc;
 
 /// Seed salt of the fleet's flow-partition hash: distinct from every
 /// sketch seed so switch assignment is independent of bucket placement.
@@ -227,6 +229,10 @@ pub struct Fleet<K: FlowKey> {
     /// Switches currently evicted under the lease, watched for
     /// re-admission.
     evicted: std::collections::HashSet<u64>,
+    /// Optional observability hub ([`Fleet::attach_obs`]): export
+    /// stage counters, frame-size histogram and lifecycle journal
+    /// (evictions, readmissions, resyncs).
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl<K: FlowKey> Fleet<K> {
@@ -262,6 +268,7 @@ impl<K: FlowKey> Fleet<K> {
             stats: FleetStats::default(),
             muted: std::collections::HashSet::new(),
             evicted: std::collections::HashSet::new(),
+            obs: None,
             cfg,
         };
         // Initial snapshots anchor every delta stream.
@@ -282,6 +289,19 @@ impl<K: FlowKey> Fleet<K> {
 
     fn epoch_budget(&self) -> u32 {
         self.cfg.epoch_packets.min(u32::MAX as usize) as u32
+    }
+
+    /// Attaches an observability hub: every subsequent export bumps the
+    /// `exports` stage counter and feeds the frame-size histogram, and
+    /// lease evictions, readmissions and resync snapshots land in the
+    /// event journal. Detached fleets (the default) skip all of it.
+    pub fn attach_obs(&mut self, hub: Arc<ObsHub>) {
+        self.obs = Some(hub);
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref()
     }
 
     /// The switch a flow belongs to (multiply-shift over the partition
@@ -383,6 +403,9 @@ impl<K: FlowKey> Fleet<K> {
             if self.collector.evict_switch(id) {
                 self.stats.evictions += 1;
                 self.evicted.insert(id);
+                if let Some(hub) = &self.obs {
+                    hub.journal.record(EventKind::Eviction { switch: id });
+                }
             }
         }
         let readmitted: Vec<u64> = self
@@ -394,6 +417,9 @@ impl<K: FlowKey> Fleet<K> {
         for id in readmitted {
             self.stats.readmissions += 1;
             self.evicted.remove(&id);
+            if let Some(hub) = &self.obs {
+                hub.journal.record(EventKind::Readmission { switch: id });
+            }
         }
     }
 
@@ -411,9 +437,12 @@ impl<K: FlowKey> Fleet<K> {
             .iter()
             .filter(|&&id| !self.muted.contains(&(id as usize)))
             .filter_map(|&id| {
-                self.switches
-                    .get(id as usize)
-                    .map(|sw| (sw.export_frame(id, budget), ExportKind::Full))
+                self.switches.get(id as usize).map(|sw| {
+                    if let Some(hub) = &self.obs {
+                        hub.journal.record(EventKind::Resync { switch: id });
+                    }
+                    (sw.export_frame(id, budget), ExportKind::Full)
+                })
             })
             .collect();
         self.stats.resyncs += frames.len() as u64;
@@ -462,6 +491,10 @@ impl<K: FlowKey> Fleet<K> {
                 ExportKind::Dirty => self.stats.dirty_frames += 1,
             }
             self.stats.bytes_sent += bytes.len() as u64;
+            if let Some(hub) = &self.obs {
+                hub.stages.exports.incr();
+                hub.export_bytes.record(bytes.len() as u64);
+            }
             if self.cfg.loss > 0.0 && self.channel_rng.bernoulli(self.cfg.loss) {
                 self.stats.frames_lost += 1;
                 continue;

@@ -14,6 +14,8 @@
 //! * [`hk_ovs`] — the simulated Open vSwitch deployment of Section VII.
 //! * [`hk_telemetry`] — the windowed telemetry plane (fleet scenario
 //!   driver over the wire-v2 epoch frames).
+//! * [`hk_obs`] — the runtime observability plane (stage counters,
+//!   log2 histograms, event journal, Prometheus/JSON exposition).
 //! * [`hk_common`] — shared substrate (hashing, Stream-Summary, top-k).
 //! * [`hk_lint`] — the workspace invariant lint (`hk lint`, CI `--deny`
 //!   gate, in-process sweep in `crates/lint/tests/`).
@@ -24,6 +26,7 @@ pub use hk_baselines;
 pub use hk_common;
 pub use hk_lint;
 pub use hk_metrics;
+pub use hk_obs;
 pub use hk_ovs;
 pub use hk_telemetry;
 pub use hk_traffic;
